@@ -1,0 +1,73 @@
+//! A3 — ablation: redundant data sources.
+//!
+//! A consumer's input slot lists `k` alternative producers; all but one
+//! fail. With `k = 1` (the failing producer is the only source) the
+//! instance gets stuck; for `k > 1` the first available alternative is
+//! used (§3: "the principal way of introducing redundant data sources").
+//! The series shows the cost of carrying more alternatives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowscript_bench as wl;
+use flowscript_engine::{InstanceStatus, ObjectVal};
+use flowscript_sim::SimDuration;
+
+fn run_alternatives(seed: u64, k: usize) -> InstanceStatus {
+    let source = wl::alternatives_source(k);
+    let mut sys = wl::bench_system(seed, 3);
+    sys.register_script("alts", &source, "root").unwrap();
+    wl::bind_alternatives(&sys, k, SimDuration::from_millis(3));
+    sys.start("a", "alts", "main", [("seed", ObjectVal::text("Data", "s"))])
+        .unwrap();
+    sys.run();
+    sys.status("a").unwrap()
+}
+
+fn run_all_failing(seed: u64, k: usize) -> InstanceStatus {
+    // Every producer fails: no alternative helps; the consumer waits
+    // forever and the engine reports Stuck.
+    let source = wl::alternatives_source(k);
+    let mut sys = wl::bench_system(seed, 3);
+    sys.register_script("alts", &source, "root").unwrap();
+    for i in 0..k {
+        sys.bind_fn(&format!("refP{i}"), |_: &flowscript_engine::InvokeCtx| {
+            flowscript_engine::TaskBehavior::outcome("failed")
+        });
+    }
+    sys.bind_fn("refConsumer", |_: &flowscript_engine::InvokeCtx| {
+        flowscript_engine::TaskBehavior::outcome("done")
+    });
+    sys.start("a", "alts", "main", [("seed", ObjectVal::text("Data", "s"))])
+        .unwrap();
+    sys.run();
+    sys.status("a").unwrap()
+}
+
+fn alternatives(c: &mut Criterion) {
+    // Availability report: with redundancy, the lone good producer is
+    // found; without any good producer, the engine reports Stuck.
+    for k in [1usize, 2, 4, 8] {
+        let with_winner = matches!(run_alternatives(7, k), InstanceStatus::Completed(_));
+        let all_failing = matches!(run_all_failing(7, k), InstanceStatus::Stuck { .. });
+        eprintln!(
+            "ablation_alternatives: k={k}: completes with one good source: {with_winner}; \
+             stuck when all fail: {all_failing}"
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation/alternatives");
+    group.sample_size(10);
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut counter = 0u64;
+            b.iter(|| {
+                counter += 1;
+                let status = run_alternatives(counter, k);
+                assert!(matches!(status, InstanceStatus::Completed(_)));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, alternatives);
+criterion_main!(benches);

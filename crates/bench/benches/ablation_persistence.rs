@@ -1,0 +1,88 @@
+//! A1 — ablation: cost of transactional/persistent coordination.
+//!
+//! The paper's system records all coordination state in persistent
+//! atomic objects. This ablation sweeps checkpoint policy (never /
+//! every 64 commits / every 8 commits) over a 20-order run and reports
+//! the final log size per policy (once, on stderr) — the latency series
+//! shows what durability costs and what compaction buys back.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowscript_bench as wl;
+use flowscript_engine::coordinator::EngineConfig;
+use flowscript_engine::ObjectVal;
+
+fn run_orders(seed: u64, checkpoint_every: Option<u64>) -> (std::time::Duration, u64) {
+    let config = EngineConfig {
+        checkpoint_every,
+        ..EngineConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let mut sys = wl::bench_system_with(seed, 4, config);
+    sys.register_script(
+        "order",
+        flowscript_core::samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
+    sys.bind_fn("refPaymentAuthorisation", |_| {
+        flowscript_engine::TaskBehavior::outcome("authorised")
+            .with_object("paymentInfo", ObjectVal::text("PaymentInfo", "p"))
+    });
+    sys.bind_fn("refCheckStock", |_| {
+        flowscript_engine::TaskBehavior::outcome("stockAvailable")
+            .with_object("stockInfo", ObjectVal::text("StockInfo", "s"))
+    });
+    sys.bind_fn("refDispatch", |_| {
+        flowscript_engine::TaskBehavior::outcome("dispatchCompleted")
+            .with_object("dispatchNote", ObjectVal::text("DispatchNote", "n"))
+    });
+    sys.bind_fn("refPaymentCapture", |_| {
+        flowscript_engine::TaskBehavior::outcome("done")
+    });
+    for i in 0..20 {
+        sys.start(
+            &format!("o{i}"),
+            "order",
+            "main",
+            [("order", ObjectVal::text("Order", "o"))],
+        )
+        .unwrap();
+    }
+    sys.run();
+    for i in 0..20 {
+        assert!(sys.outcome(&format!("o{i}")).is_some());
+    }
+    (started.elapsed(), sys.log_size())
+}
+
+fn persistence(c: &mut Criterion) {
+    // Report log sizes once.
+    for (label, policy) in [
+        ("no_checkpoints", None),
+        ("checkpoint_every_64", Some(64)),
+        ("checkpoint_every_8", Some(8)),
+    ] {
+        let (_, log) = run_orders(1, policy);
+        eprintln!("ablation_persistence: {label}: final log = {log} bytes");
+    }
+
+    let mut group = c.benchmark_group("ablation/persistence");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("no_checkpoints", None),
+        ("checkpoint_every_64", Some(64u64)),
+        ("checkpoint_every_8", Some(8)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
+            let mut counter = 0u64;
+            b.iter(|| {
+                counter += 1;
+                run_orders(counter, policy)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, persistence);
+criterion_main!(benches);

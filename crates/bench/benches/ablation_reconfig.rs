@@ -1,0 +1,90 @@
+//! A4 — ablation: dynamic reconfiguration latency vs instance size.
+//!
+//! Applies the paper's §2 add-a-task operation to running chains of
+//! increasing size. The op is transactional (persisted + applied
+//! atomically), so its cost includes the schema clone and the control
+//! block write.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowscript_bench as wl;
+use flowscript_engine::{ObjectVal, Reconfig, TaskBehavior, WorkflowSystem};
+
+fn running_chain(seed: u64, n: usize, source: &str) -> WorkflowSystem {
+    let mut sys = wl::bench_system(seed, 3);
+    sys.register_script("chain", source, "root").unwrap();
+    wl::bind_chain(&sys, n);
+    sys.bind_fn("refExtra", |_: &flowscript_engine::InvokeCtx| {
+        TaskBehavior::outcome("done").with_object("out", ObjectVal::text("Data", "x"))
+    });
+    sys.start("c", "chain", "main", [("seed", ObjectVal::text("Data", "s"))])
+        .unwrap();
+    sys
+}
+
+const ADDED_TASK: &str = r#"
+    task extra of taskclass Stage {
+        implementation { "code" is "refExtra" };
+        inputs { input main { inputobject in from { out of task s0 if output done } } }
+    }
+"#;
+
+fn reconfig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/reconfig_add_task");
+    group.sample_size(10);
+    for n in [10usize, 50, 200] {
+        let source = wl::chain_source(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut counter = 0u64;
+            b.iter_batched(
+                || {
+                    counter += 1;
+                    running_chain(counter, n, &source)
+                },
+                |mut sys| {
+                    sys.reconfigure(
+                        "c",
+                        Reconfig::AddTask {
+                            scope_path: "root".into(),
+                            task_source: ADDED_TASK.into(),
+                        },
+                    )
+                    .expect("reconfig applies");
+                    sys
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn rebind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/reconfig_rebind");
+    group.sample_size(10);
+    let source = wl::chain_source(20);
+    group.bench_function("rebind_on_chain_20", |b| {
+        let mut counter = 50_000u64;
+        b.iter_batched(
+            || {
+                counter += 1;
+                running_chain(counter, 20, &source)
+            },
+            |mut sys| {
+                sys.reconfigure(
+                    "c",
+                    Reconfig::Rebind {
+                        code: "ref10".into(),
+                        to: "refExtra".into(),
+                    },
+                )
+                .expect("rebind applies");
+                sys
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reconfig, rebind);
+criterion_main!(benches);

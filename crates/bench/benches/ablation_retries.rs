@@ -1,0 +1,70 @@
+//! A2 — ablation: automatic retries under failures.
+//!
+//! An executor crashes mid-run. With retries enabled (the paper's §3
+//! policy) the chain completes via re-dispatch to another node; with
+//! retries disabled the instance gets stuck. The series compares
+//! time-to-verdict and reports the success rate (once, on stderr).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowscript_bench as wl;
+use flowscript_engine::coordinator::EngineConfig;
+use flowscript_engine::{InstanceStatus, ObjectVal, TaskBehavior};
+use flowscript_sim::{FaultAction, FaultPlan, SimDuration, SimTime};
+
+fn run_chain_with_crash(seed: u64, max_retries: u32) -> bool {
+    let config = EngineConfig {
+        max_retries,
+        dispatch_timeout: SimDuration::from_millis(300),
+        retry_backoff: SimDuration::from_millis(15),
+        ..EngineConfig::default()
+    };
+    let n = 6;
+    let source = wl::chain_source(n);
+    let mut sys = wl::bench_system_with(seed, 3, config);
+    sys.register_script("chain", &source, "root").unwrap();
+    for i in 0..n {
+        sys.bind_fn(&format!("ref{i}"), |ctx: &flowscript_engine::InvokeCtx| {
+            TaskBehavior::outcome("done")
+                .with_work(SimDuration::from_millis(20))
+                .with_object("out", ObjectVal::text("Data", ctx.input_text("in")))
+        });
+    }
+    let victim = sys.executor_nodes()[0];
+    FaultPlan::new()
+        .at(SimTime::from_nanos(15_000_000), FaultAction::Crash(victim))
+        .apply(sys.world_mut());
+    sys.start("c", "chain", "main", [("seed", ObjectVal::text("Data", "s"))])
+        .unwrap();
+    sys.run();
+    matches!(sys.status("c").unwrap(), InstanceStatus::Completed(_))
+}
+
+fn retries(c: &mut Criterion) {
+    // Success-rate report over 20 seeds.
+    for max_retries in [0u32, 3] {
+        let successes = (0..20)
+            .filter(|&seed| run_chain_with_crash(seed, max_retries))
+            .count();
+        eprintln!("ablation_retries: max_retries={max_retries}: {successes}/20 runs completed");
+    }
+
+    let mut group = c.benchmark_group("ablation/retries");
+    group.sample_size(10);
+    for max_retries in [0u32, 3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_retries),
+            &max_retries,
+            |b, &max_retries| {
+                let mut counter = 100u64;
+                b.iter(|| {
+                    counter += 1;
+                    run_chain_with_crash(counter, max_retries)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, retries);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! F1 — Fig. 1: inter-task dependencies.
+//!
+//! Measures end-to-end completion of the four-task diamond (notification
+//! and dataflow mixed) and its generalisations: N-deep chains and N-wide
+//! fans. The paper's claim is structural (dependencies order execution);
+//! the series here shows how coordination cost scales with graph shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowscript_bench as wl;
+
+fn diamond(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/diamond");
+    group.sample_size(20);
+    let mut counter = 0u64;
+    group.bench_function("four_task_diamond", |b| {
+        b.iter(|| {
+            counter += 1;
+            let mut sys = wl::diamond_system(counter);
+            wl::run_diamond(&mut sys, "d");
+            sys.stats().dispatches
+        })
+    });
+    group.finish();
+}
+
+fn chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/chain_depth");
+    group.sample_size(10);
+    for n in [4usize, 16, 64] {
+        let source = wl::chain_source(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut counter = 0u64;
+            b.iter(|| {
+                counter += 1;
+                let mut sys = wl::bench_system(counter, 3);
+                sys.register_script("chain", &source, "root").unwrap();
+                wl::bind_chain(&sys, n);
+                sys.start(
+                    "c",
+                    "chain",
+                    "main",
+                    [("seed", flowscript_engine::ObjectVal::text("Data", "s"))],
+                )
+                .unwrap();
+                sys.run();
+                assert!(sys.outcome("c").is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/fan_width");
+    group.sample_size(10);
+    for width in [4usize, 16, 64] {
+        let source = wl::fan_source(width);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            let mut counter = 1000u64;
+            b.iter(|| {
+                counter += 1;
+                let mut sys = wl::bench_system(counter, 4);
+                sys.register_script("fan", &source, "root").unwrap();
+                wl::bind_fan(&sys, width);
+                sys.start(
+                    "f",
+                    "fan",
+                    "main",
+                    [("seed", flowscript_engine::ObjectVal::text("Data", "s"))],
+                )
+                .unwrap();
+                sys.run();
+                assert!(sys.outcome("f").is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, diamond, chains, fans);
+criterion_main!(benches);

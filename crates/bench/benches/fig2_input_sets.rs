@@ -1,0 +1,117 @@
+//! F2 — Fig. 2: task anatomy — alternative input sets and alternative
+//! sources.
+//!
+//! Measures (a) the input-set race between a data producer and a timer
+//! (the paper's timeout idiom) and (b) readiness evaluation as the
+//! number of alternative sources per slot grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowscript_bench as wl;
+use flowscript_engine::{ObjectVal, TaskBehavior};
+use flowscript_sim::SimDuration;
+
+const TIMEOUT_SCRIPT: &str = r#"
+class Data;
+taskclass Slow {
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { out of class Data } }
+}
+taskclass Timer {
+    inputs { input main { seed of class Data } };
+    outputs { outcome fired { } }
+}
+taskclass Consumer {
+    inputs {
+        input main { in of class Data };
+        input fallback { }
+    };
+    outputs { outcome fromData { }; outcome fromTimeout { } }
+}
+taskclass Root {
+    inputs { input main { seed of class Data } };
+    outputs { outcome viaData { }; outcome viaTimeout { } }
+}
+compoundtask root of taskclass Root {
+    task slow of taskclass Slow {
+        implementation { "code" is "refSlow" };
+        inputs { input main { inputobject seed from { seed of task root if input main } } }
+    };
+    task timeout of taskclass Timer {
+        implementation { "code" is "builtin:timer"; "duration_ms" is "100" };
+        inputs { input main { inputobject seed from { seed of task root if input main } } }
+    };
+    task consumer of taskclass Consumer {
+        implementation { "code" is "refConsumer" };
+        inputs {
+            input main { inputobject in from { out of task slow if output done } };
+            input fallback { notification from { task timeout if output fired } }
+        }
+    };
+    outputs {
+        outcome viaData { notification from { task consumer if output fromData } };
+        outcome viaTimeout { notification from { task consumer if output fromTimeout } }
+    }
+}
+"#;
+
+fn input_set_race(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/input_set_race");
+    group.sample_size(15);
+    for (label, slow_ms) in [("data_wins", 10u64), ("timer_wins", 10_000)] {
+        group.bench_function(label, |b| {
+            let mut counter = 0u64;
+            b.iter(|| {
+                counter += 1;
+                let mut sys = wl::bench_system(counter, 2);
+                sys.register_script("t", TIMEOUT_SCRIPT, "root").unwrap();
+                sys.bind_fn("refSlow", move |_| {
+                    TaskBehavior::outcome("done")
+                        .with_work(SimDuration::from_millis(slow_ms))
+                        .with_object("out", ObjectVal::text("Data", "d"))
+                });
+                sys.bind_fn("refConsumer", |ctx| {
+                    if ctx.set == "main" {
+                        TaskBehavior::outcome("fromData")
+                    } else {
+                        TaskBehavior::outcome("fromTimeout")
+                    }
+                });
+                sys.start("i", "t", "main", [("seed", ObjectVal::text("Data", "s"))])
+                    .unwrap();
+                sys.run();
+                let outcome = sys.outcome("i").unwrap();
+                if slow_ms < 100 {
+                    assert_eq!(outcome.name, "viaData");
+                } else {
+                    assert_eq!(outcome.name, "viaTimeout");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn alternative_sources(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/alternative_sources");
+    group.sample_size(10);
+    for k in [1usize, 4, 8] {
+        let source = wl::alternatives_source(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut counter = 0u64;
+            b.iter(|| {
+                counter += 1;
+                let mut sys = wl::bench_system(counter, 3);
+                sys.register_script("alts", &source, "root").unwrap();
+                wl::bind_alternatives(&sys, k, SimDuration::from_millis(3));
+                sys.start("a", "alts", "main", [("seed", ObjectVal::text("Data", "s"))])
+                    .unwrap();
+                sys.run();
+                assert!(sys.outcome("a").is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, input_set_race, alternative_sources);
+criterion_main!(benches);

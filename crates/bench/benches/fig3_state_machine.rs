@@ -1,0 +1,70 @@
+//! F3 — Fig. 3: the task state machine.
+//!
+//! Micro-benchmarks of the lifecycle substrate every task transition
+//! rides on: legal-transition checks, control-block transitions
+//! (wait → execute → outcome, with repeat loops), and the codec
+//! round-trip each persisted transition pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flowscript_engine::{CbState, TaskCb};
+
+fn transitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/state_machine");
+    group.bench_function("legality_check", |b| {
+        let exec = CbState::Executing { set: "main".into() };
+        let done = CbState::Done {
+            outcome: "done".into(),
+        };
+        b.iter(|| {
+            black_box(TaskCb::transition_allowed(
+                black_box(&exec),
+                black_box(&done),
+            ))
+        })
+    });
+
+    group.bench_function("full_lifecycle", |b| {
+        b.iter(|| {
+            let mut cb = TaskCb::new("bench/task");
+            cb.transition(CbState::Executing { set: "main".into() });
+            // A repeat re-entry (Fig. 3's Repeat1).
+            cb.transition(CbState::Executing { set: "main".into() });
+            cb.repeats += 1;
+            cb.transition(CbState::Done {
+                outcome: "ok".into(),
+            });
+            black_box(cb)
+        })
+    });
+
+    group.bench_function("scope_reset", |b| {
+        b.iter(|| {
+            let mut cb = TaskCb::new("bench/task");
+            cb.transition(CbState::Executing { set: "main".into() });
+            cb.marks_emitted.push("m".into());
+            cb.reset_for_incarnation(3);
+            black_box(cb)
+        })
+    });
+
+    group.bench_function("persisted_transition_codec", |b| {
+        let cb = TaskCb {
+            path: "order/dispatch".into(),
+            state: CbState::Executing { set: "main".into() },
+            incarnation: 2,
+            scope_inc: 1,
+            attempt: 1,
+            marks_emitted: vec!["progress".into()],
+            repeats: 1,
+        };
+        b.iter(|| {
+            let bytes = flowscript_codec::to_bytes(black_box(&cb));
+            let back: TaskCb = flowscript_codec::from_bytes(&bytes).unwrap();
+            black_box(back)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, transitions);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! F4 — Fig. 4: the workflow management system structure.
+//!
+//! Measures the full service stack: system bring-up (nodes + services),
+//! script registration through the repository service, and
+//! instantiate-to-completion through the execution service — the
+//! repository/coordinator/executor round-trips of the paper's
+//! architecture diagram.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowscript_bench as wl;
+use flowscript_core::samples;
+use flowscript_engine::{ObjectVal, TaskBehavior, WorkflowSystem};
+
+fn architecture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/architecture");
+    group.sample_size(20);
+
+    group.bench_function("system_bring_up", |b| {
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            WorkflowSystem::builder()
+                .executors(3)
+                .seed(counter)
+                .trace(false)
+                .build()
+        })
+    });
+
+    group.bench_function("repository_register_rpc", |b| {
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            let mut sys = wl::bench_system(counter, 2);
+            sys.register_script("q", samples::QUICKSTART, "pipeline")
+                .unwrap()
+        })
+    });
+
+    group.bench_function("instantiate_and_run_pipeline", |b| {
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            let mut sys = wl::bench_system(counter, 2);
+            sys.register_script("q", samples::QUICKSTART, "pipeline")
+                .unwrap();
+            sys.bind_fn("refProduce", |_| {
+                TaskBehavior::outcome("produced")
+                    .with_object("message", ObjectVal::text("Message", "m"))
+            });
+            sys.bind_fn("refConsume", |_| {
+                TaskBehavior::outcome("consumed")
+                    .with_object("result", ObjectVal::text("Message", "r"))
+            });
+            sys.start("i", "q", "main", [("seed", ObjectVal::text("Message", "s"))])
+                .unwrap();
+            sys.run();
+            assert!(sys.outcome("i").is_some());
+        })
+    });
+
+    // Sustained throughput: many instances through one system.
+    group.bench_function("throughput_20_orders", |b| {
+        let mut counter = 5000u64;
+        b.iter(|| {
+            counter += 1;
+            let mut sys = wl::order_system(counter);
+            for i in 0..20 {
+                sys.start(
+                    &format!("o{i}"),
+                    "order",
+                    "main",
+                    [("order", ObjectVal::text("Order", "o"))],
+                )
+                .unwrap();
+            }
+            sys.run();
+            for i in 0..20 {
+                assert!(sys.outcome(&format!("o{i}")).is_some());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, architecture);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! F5 — Fig. 5: compound task composition.
+//!
+//! Measures compound-task machinery: schema compilation and end-to-end
+//! execution as nesting depth grows (each level adds one scope of input
+//! propagation and output mapping).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowscript_bench as wl;
+use flowscript_core::schema::compile_source;
+use flowscript_engine::{InvokeCtx, ObjectVal, TaskBehavior};
+
+fn compile_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/compile_nesting");
+    for depth in [1usize, 4, 8] {
+        let source = wl::nested_source(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| compile_source(&source, "root").unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn run_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/run_nesting");
+    group.sample_size(15);
+    for depth in [1usize, 4, 8] {
+        let source = wl::nested_source(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            let mut counter = 0u64;
+            b.iter(|| {
+                counter += 1;
+                let mut sys = wl::bench_system(counter, 2);
+                sys.register_script("nested", &source, "root").unwrap();
+                sys.bind_fn("refLeaf", |ctx: &InvokeCtx| {
+                    TaskBehavior::outcome("done")
+                        .with_object("out", ObjectVal::text("Data", ctx.input_text("in")))
+                });
+                sys.start("n", "nested", "main", [("in", ObjectVal::text("Data", "x"))])
+                    .unwrap();
+                sys.run();
+                assert!(sys.outcome("n").is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compile_depth, run_depth);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! F6 — Fig. 6 / §5.1: the network-management service impact application.
+//!
+//! Single-incident latency and sustained incident throughput for the
+//! paper's first example application.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowscript_bench as wl;
+use flowscript_engine::ObjectVal;
+
+fn service_impact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/service_impact");
+    group.sample_size(20);
+
+    group.bench_function("single_incident", |b| {
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            let mut sys = wl::service_impact_system(counter);
+            wl::run_service_impact(&mut sys, "i");
+        })
+    });
+
+    group.bench_function("ten_concurrent_incidents", |b| {
+        let mut counter = 10_000u64;
+        b.iter(|| {
+            counter += 1;
+            let mut sys = wl::service_impact_system(counter);
+            for i in 0..10 {
+                sys.start(
+                    &format!("i{i}"),
+                    "si",
+                    "main",
+                    [("alarmsSource", ObjectVal::text("AlarmsSource", "a"))],
+                )
+                .unwrap();
+            }
+            sys.run();
+            for i in 0..10 {
+                assert!(sys.outcome(&format!("i{i}")).is_some());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, service_impact);
+criterion_main!(benches);

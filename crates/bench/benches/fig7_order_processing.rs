@@ -1,0 +1,54 @@
+//! F7 — Fig. 7 / §5.2: electronic order processing.
+//!
+//! Both script outcomes (completed / cancelled) plus sustained
+//! throughput, exercising the mixed notification+dataflow join at
+//! `dispatch` and the abort-outcome cancellation path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowscript_bench as wl;
+use flowscript_core::samples;
+use flowscript_engine::{ObjectVal, TaskBehavior};
+
+fn orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/order_processing");
+    group.sample_size(20);
+
+    group.bench_function("order_completed_path", |b| {
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            let mut sys = wl::order_system(counter);
+            wl::run_order(&mut sys, "o");
+        })
+    });
+
+    group.bench_function("order_cancelled_path", |b| {
+        let mut counter = 20_000u64;
+        b.iter(|| {
+            counter += 1;
+            let mut sys = wl::bench_system(counter, 4);
+            sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
+                .unwrap();
+            sys.bind_fn("refPaymentAuthorisation", |_| {
+                TaskBehavior::outcome("authorised")
+                    .with_object("paymentInfo", ObjectVal::text("PaymentInfo", "p"))
+            });
+            sys.bind_fn("refCheckStock", |_| {
+                TaskBehavior::outcome("stockNotAvailable")
+            });
+            sys.bind_fn("refDispatch", |_| {
+                TaskBehavior::outcome("dispatchCompleted")
+                    .with_object("dispatchNote", ObjectVal::text("DispatchNote", "n"))
+            });
+            sys.bind_fn("refPaymentCapture", |_| TaskBehavior::outcome("done"));
+            sys.start("o", "order", "main", [("order", ObjectVal::text("Order", "o"))])
+                .unwrap();
+            sys.run();
+            assert_eq!(sys.outcome("o").unwrap().name, "orderCancelled");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, orders);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! F8 — Fig. 8 / §5.3: tripReservation — the compound repeat loop.
+//!
+//! The series sweeps the number of hotel failures (0, 1, 2, 4): each
+//! failure adds one compensation + one scope reset + one re-execution of
+//! the businessReservation subtree, so cost should grow roughly linearly
+//! in the repeat count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowscript_bench as wl;
+
+fn trip_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/repeat_loop");
+    group.sample_size(15);
+    for failures in [0u32, 1, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(failures),
+            &failures,
+            |b, &failures| {
+                let mut counter = u64::from(failures) * 1000;
+                b.iter(|| {
+                    counter += 1;
+                    let mut sys = wl::trip_system(counter, failures);
+                    wl::run_trip(&mut sys, "t");
+                    assert_eq!(sys.stats().repeats, u64::from(failures));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, trip_loop);
+criterion_main!(benches);

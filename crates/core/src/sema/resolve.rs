@@ -1,0 +1,970 @@
+//! Scope resolution: sources, conditions, classes and output mappings.
+//!
+//! A *scope* is a set of sibling task instances: the constituents of one
+//! compound task (plus the compound itself, referenceable by name for
+//! `… of task <compound> if input <set>` self-references), or the
+//! top-level instances of the script. Resolution walks scopes recursively.
+
+use std::collections::BTreeMap;
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Diagnostics};
+
+use super::graph;
+
+pub(crate) struct Ctx<'a> {
+    pub task_classes: &'a BTreeMap<&'a str, &'a TaskClassDecl>,
+    pub templates: &'a BTreeMap<&'a str, &'a TemplateDecl>,
+}
+
+/// What a task name inside a scope refers to.
+#[derive(Clone, Copy)]
+enum Referent<'a> {
+    /// A sibling constituent with this task class.
+    Sibling(&'a TaskClassDecl),
+    /// The enclosing compound itself.
+    SelfCompound(&'a TaskClassDecl),
+}
+
+struct Scope<'a> {
+    /// Sibling name → class (None when the class name did not resolve;
+    /// an error was already reported).
+    siblings: BTreeMap<&'a str, Option<&'a TaskClassDecl>>,
+    /// The enclosing compound instance name and class, if any.
+    enclosing: Option<(&'a str, &'a TaskClassDecl)>,
+}
+
+impl<'a> Scope<'a> {
+    fn lookup(&self, task: &str) -> Option<Referent<'a>> {
+        if let Some(class) = self.siblings.get(task) {
+            return class.map(Referent::Sibling);
+        }
+        match self.enclosing {
+            Some((name, class)) if name == task => Some(Referent::SelfCompound(class)),
+            _ => None,
+        }
+    }
+}
+
+pub(crate) fn check_top_level(
+    script: &Script,
+    ctx: &Ctx<'_>,
+    diags: &mut Diagnostics,
+    warnings: &mut Diagnostics,
+) {
+    let constituents: Vec<ConstituentRef<'_>> = script
+        .items
+        .iter()
+        .filter_map(|item| match item {
+            Item::Task(task) => Some(ConstituentRef::Task(task)),
+            Item::Compound(compound) => Some(ConstituentRef::Compound(compound)),
+            Item::TemplateInstance(instance) => Some(ConstituentRef::Instance(instance)),
+            _ => None,
+        })
+        .collect();
+    check_scope(&constituents, None, ctx, diags, warnings);
+}
+
+/// A borrowed view of a constituent, uniform across top level and
+/// compound bodies.
+#[derive(Clone, Copy)]
+enum ConstituentRef<'a> {
+    Task(&'a TaskDecl),
+    Compound(&'a CompoundTaskDecl),
+    Instance(&'a TemplateInstanceDecl),
+}
+
+impl<'a> ConstituentRef<'a> {
+    fn name(&self) -> &'a Ident {
+        match self {
+            ConstituentRef::Task(t) => &t.name,
+            ConstituentRef::Compound(c) => &c.name,
+            ConstituentRef::Instance(i) => &i.name,
+        }
+    }
+
+    fn class_name(&self, ctx: &Ctx<'a>) -> Option<&'a Ident> {
+        match self {
+            ConstituentRef::Task(t) => Some(&t.class),
+            ConstituentRef::Compound(c) => Some(&c.class),
+            ConstituentRef::Instance(i) => ctx
+                .templates
+                .get(i.template.as_str())
+                .map(|template| &template.class),
+        }
+    }
+
+    fn input_sets(&self) -> &'a [InputSetBinding] {
+        match self {
+            ConstituentRef::Task(t) => &t.input_sets,
+            ConstituentRef::Compound(c) => &c.input_sets,
+            ConstituentRef::Instance(_) => &[],
+        }
+    }
+}
+
+fn check_scope(
+    constituents: &[ConstituentRef<'_>],
+    enclosing: Option<(&CompoundTaskDecl, &TaskClassDecl)>,
+    ctx: &Ctx<'_>,
+    diags: &mut Diagnostics,
+    warnings: &mut Diagnostics,
+) {
+    // Build the sibling table, reporting unknown classes and duplicates.
+    let mut siblings: BTreeMap<&str, Option<&TaskClassDecl>> = BTreeMap::new();
+    for constituent in constituents {
+        let name = constituent.name();
+        let class = match constituent.class_name(ctx) {
+            Some(class_name) => {
+                let resolved = ctx.task_classes.get(class_name.as_str()).copied();
+                if resolved.is_none() {
+                    diags.push(Diagnostic::error(
+                        format!("unknown taskclass `{class_name}`"),
+                        class_name.span,
+                    ));
+                }
+                resolved
+            }
+            None => {
+                if let ConstituentRef::Instance(instance) = constituent {
+                    diags.push(Diagnostic::error(
+                        format!("unknown tasktemplate `{}`", instance.template),
+                        instance.template.span,
+                    ));
+                }
+                None
+            }
+        };
+        if siblings.insert(name.as_str(), class).is_some() {
+            diags.push(Diagnostic::error(
+                format!("duplicate task instance `{name}` in scope"),
+                name.span,
+            ));
+        }
+        if let Some((compound, _)) = enclosing {
+            if name.as_str() == compound.name.as_str() {
+                diags.push(Diagnostic::error(
+                    format!(
+                        "constituent `{name}` shadows its enclosing compound task"
+                    ),
+                    name.span,
+                ));
+            }
+        }
+    }
+
+    let scope = Scope {
+        siblings,
+        enclosing: enclosing.map(|(compound, class)| (compound.name.as_str(), class)),
+    };
+
+    // Check each constituent's bindings against the scope.
+    for constituent in constituents {
+        let Some(Some(class)) = scope.siblings.get(constituent.name().as_str()).copied()
+        else {
+            continue;
+        };
+        check_bindings(
+            constituent.name(),
+            class,
+            constituent.input_sets(),
+            &scope,
+            diags,
+        );
+        if let ConstituentRef::Instance(instance) = constituent {
+            check_template_instance(instance, &scope, ctx, diags);
+        }
+    }
+
+    // Output mappings of the enclosing compound resolve in the *inner*
+    // scope — but this function is called per scope, so the caller passes
+    // the compound's own outputs through `enclosing` and we check them
+    // here, where the constituents are visible.
+    if let Some((compound, class)) = enclosing {
+        check_output_mappings(compound, class, &scope, diags);
+    }
+
+    // Dependency cycles within this scope.
+    graph::check_cycles(constituents.iter().map(|c| scope_edges(c, &scope)), diags);
+
+    // Dead constituents: feed no sibling and no output mapping.
+    warn_dead_constituents(constituents, enclosing.map(|(c, _)| c), warnings);
+
+    // Recurse into compound constituents.
+    for constituent in constituents {
+        if let ConstituentRef::Compound(compound) = constituent {
+            let Some(class) = ctx.task_classes.get(compound.class.as_str()) else {
+                continue;
+            };
+            let inner: Vec<ConstituentRef<'_>> = compound
+                .constituents
+                .iter()
+                .map(|c| match c {
+                    Constituent::Task(t) => ConstituentRef::Task(t),
+                    Constituent::Compound(c) => ConstituentRef::Compound(c),
+                    Constituent::TemplateInstance(i) => ConstituentRef::Instance(i),
+                })
+                .collect();
+            check_scope(&inner, Some((compound, class)), ctx, diags, warnings);
+        }
+    }
+}
+
+/// Dependency edges `(consumer, producers…)` for cycle detection; repeat
+/// and self edges are excluded (legal loops).
+fn scope_edges<'a>(
+    constituent: &ConstituentRef<'a>,
+    scope: &Scope<'a>,
+) -> (&'a str, Vec<&'a str>) {
+    let consumer = constituent.name().as_str();
+    let mut producers = Vec::new();
+    for set in constituent.input_sets() {
+        for element in &set.elements {
+            match element {
+                InputElem::Object(binding) => {
+                    for source in &binding.sources {
+                        collect_edge(consumer, source.task.as_str(), &source.cond, scope, &mut producers);
+                    }
+                }
+                InputElem::Notification(binding) => {
+                    for source in &binding.sources {
+                        collect_edge(
+                            consumer,
+                            source.task.as_str(),
+                            &SourceCond::Output(source.outcome.clone()),
+                            scope,
+                            &mut producers,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    (consumer, producers)
+}
+
+fn collect_edge<'a>(
+    consumer: &str,
+    producer: &'a str,
+    cond: &SourceCond,
+    scope: &Scope<'a>,
+    out: &mut Vec<&'a str>,
+) {
+    if producer == consumer {
+        return; // self loop (repeat), legal
+    }
+    let Some(Referent::Sibling(class)) = scope.lookup(producer) else {
+        return; // self-compound reference or unresolved: no intra-scope edge
+    };
+    // An edge through a repeat outcome is a legal loop (Fig. 8).
+    if let SourceCond::Output(outcome) = cond {
+        if let Some(output) = class.output(outcome.as_str()) {
+            if output.kind == OutputKind::RepeatOutcome {
+                return;
+            }
+        }
+    }
+    out.push(producer);
+}
+
+fn check_bindings(
+    task_name: &Ident,
+    class: &TaskClassDecl,
+    bindings: &[InputSetBinding],
+    scope: &Scope<'_>,
+    diags: &mut Diagnostics,
+) {
+    let mut bound_sets = std::collections::BTreeSet::new();
+    for binding in bindings {
+        if !bound_sets.insert(binding.name.as_str()) {
+            diags.push(Diagnostic::error(
+                format!(
+                    "input set `{}` bound twice on task `{task_name}`",
+                    binding.name
+                ),
+                binding.name.span,
+            ));
+            continue;
+        }
+        let Some(set_sig) = class.input_set(binding.name.as_str()) else {
+            diags.push(Diagnostic::error(
+                format!(
+                    "task `{task_name}`: taskclass `{}` has no input set `{}`",
+                    class.name, binding.name
+                ),
+                binding.name.span,
+            ));
+            continue;
+        };
+
+        let mut bound_objects = std::collections::BTreeSet::new();
+        for element in &binding.elements {
+            match element {
+                InputElem::Object(object_binding) => {
+                    let Some(object_sig) = set_sig
+                        .objects
+                        .iter()
+                        .find(|o| o.name == object_binding.name)
+                    else {
+                        diags.push(Diagnostic::error(
+                            format!(
+                                "input set `{}` of `{}` has no object `{}`",
+                                binding.name, class.name, object_binding.name
+                            ),
+                            object_binding.name.span,
+                        ));
+                        continue;
+                    };
+                    if !bound_objects.insert(object_binding.name.as_str()) {
+                        diags.push(Diagnostic::error(
+                            format!(
+                                "input object `{}` bound twice in set `{}` of task `{task_name}`",
+                                object_binding.name, binding.name
+                            ),
+                            object_binding.name.span,
+                        ));
+                    }
+                    if object_binding.sources.is_empty() {
+                        diags.push(Diagnostic::error(
+                            format!(
+                                "input object `{}` of task `{task_name}` has no sources",
+                                object_binding.name
+                            ),
+                            object_binding.name.span,
+                        ));
+                    }
+                    for source in &object_binding.sources {
+                        check_object_source(
+                            task_name,
+                            source,
+                            &object_sig.class,
+                            scope,
+                            diags,
+                        );
+                    }
+                }
+                InputElem::Notification(notification) => {
+                    if notification.sources.is_empty() {
+                        diags.push(Diagnostic::error(
+                            format!("notification on task `{task_name}` has no sources"),
+                            binding.name.span,
+                        ));
+                    }
+                    for source in &notification.sources {
+                        check_notif_source(task_name, source, scope, diags);
+                    }
+                }
+            }
+        }
+
+        // Every declared object of the set must be bound, or the set can
+        // never be satisfied.
+        for object_sig in &set_sig.objects {
+            if !bound_objects.contains(object_sig.name.as_str()) {
+                diags.push(Diagnostic::error(
+                    format!(
+                        "task `{task_name}`: input set `{}` never binds object `{}` \
+                         declared by taskclass `{}`",
+                        binding.name, object_sig.name, class.name
+                    ),
+                    binding.name.span,
+                ));
+            }
+        }
+    }
+}
+
+/// Validates one `obj of task t [if …]` source and its class against the
+/// expected input object class.
+fn check_object_source(
+    consumer: &Ident,
+    source: &ObjectSource,
+    expected_class: &Ident,
+    scope: &Scope<'_>,
+    diags: &mut Diagnostics,
+) {
+    let Some(referent) = scope.lookup(source.task.as_str()) else {
+        diags.push(Diagnostic::error(
+            format!("unknown task `{}` in source", source.task),
+            source.task.span,
+        ));
+        return;
+    };
+    let (class, is_self) = match referent {
+        Referent::Sibling(class) => (class, false),
+        Referent::SelfCompound(class) => (class, true),
+    };
+    match &source.cond {
+        SourceCond::Input(set_name) => {
+            let Some(set) = class.input_set(set_name.as_str()) else {
+                diags.push(Diagnostic::error(
+                    format!(
+                        "taskclass `{}` has no input set `{set_name}`",
+                        class.name
+                    ),
+                    set_name.span,
+                ));
+                return;
+            };
+            let Some(object) = set.objects.iter().find(|o| o.name == source.object) else {
+                diags.push(Diagnostic::error(
+                    format!(
+                        "input set `{set_name}` of `{}` has no object `{}`",
+                        class.name, source.object
+                    ),
+                    source.object.span,
+                ));
+                return;
+            };
+            require_class_match(consumer, &source.object, &object.class, expected_class, diags);
+        }
+        SourceCond::Output(outcome_name) => {
+            let Some(output) = class.output(outcome_name.as_str()) else {
+                diags.push(Diagnostic::error(
+                    format!(
+                        "taskclass `{}` has no output `{outcome_name}`",
+                        class.name
+                    ),
+                    outcome_name.span,
+                ));
+                return;
+            };
+            // Repeat outcomes are private to the producing task (§4.2),
+            // with the single exception of the task sourcing itself.
+            let self_loop = is_self || source.task.as_str() == consumer.as_str();
+            if output.kind == OutputKind::RepeatOutcome && !self_loop {
+                diags.push(Diagnostic::error(
+                    format!(
+                        "repeat outcome `{outcome_name}` of `{}` may only be used by \
+                         the task itself",
+                        source.task
+                    ),
+                    outcome_name.span,
+                ));
+                return;
+            }
+            let Some(object) = output.objects.iter().find(|o| o.name == source.object) else {
+                diags.push(Diagnostic::error(
+                    format!(
+                        "output `{outcome_name}` of `{}` has no object `{}`",
+                        class.name, source.object
+                    ),
+                    source.object.span,
+                ));
+                return;
+            };
+            require_class_match(consumer, &source.object, &object.class, expected_class, diags);
+        }
+        SourceCond::Any => {
+            // Any non-repeat output of the producer carrying this object.
+            let candidates: Vec<&ObjectSig> = class
+                .outputs
+                .iter()
+                .filter(|o| o.kind != OutputKind::RepeatOutcome)
+                .flat_map(|o| o.objects.iter())
+                .filter(|o| o.name == source.object)
+                .collect();
+            if candidates.is_empty() {
+                diags.push(Diagnostic::error(
+                    format!(
+                        "no output of `{}` produces object `{}`",
+                        class.name, source.object
+                    ),
+                    source.object.span,
+                ));
+                return;
+            }
+            for candidate in candidates {
+                require_class_match(consumer, &source.object, &candidate.class, expected_class, diags);
+            }
+        }
+    }
+}
+
+fn require_class_match(
+    consumer: &Ident,
+    object: &Ident,
+    actual: &Ident,
+    expected: &Ident,
+    diags: &mut Diagnostics,
+) {
+    if actual.as_str() != expected.as_str() {
+        diags.push(Diagnostic::error(
+            format!(
+                "type mismatch on task `{consumer}`: object `{object}` has class \
+                 `{actual}` but class `{expected}` is required"
+            ),
+            object.span,
+        ));
+    }
+}
+
+fn check_notif_source(
+    consumer: &Ident,
+    source: &NotifSource,
+    scope: &Scope<'_>,
+    diags: &mut Diagnostics,
+) {
+    let Some(referent) = scope.lookup(source.task.as_str()) else {
+        diags.push(Diagnostic::error(
+            format!("unknown task `{}` in notification", source.task),
+            source.task.span,
+        ));
+        return;
+    };
+    let (class, is_self) = match referent {
+        Referent::Sibling(class) => (class, false),
+        Referent::SelfCompound(class) => (class, true),
+    };
+    let Some(output) = class.output(source.outcome.as_str()) else {
+        diags.push(Diagnostic::error(
+            format!(
+                "taskclass `{}` has no output `{}`",
+                class.name, source.outcome
+            ),
+            source.outcome.span,
+        ));
+        return;
+    };
+    let self_loop = is_self || source.task.as_str() == consumer.as_str();
+    if output.kind == OutputKind::RepeatOutcome && !self_loop {
+        diags.push(Diagnostic::error(
+            format!(
+                "repeat outcome `{}` of `{}` may only notify the task itself",
+                source.outcome, source.task
+            ),
+            source.outcome.span,
+        ));
+    }
+}
+
+fn check_template_instance(
+    instance: &TemplateInstanceDecl,
+    scope: &Scope<'_>,
+    ctx: &Ctx<'_>,
+    diags: &mut Diagnostics,
+) {
+    let Some(template) = ctx.templates.get(instance.template.as_str()) else {
+        return; // unknown template already reported
+    };
+    if instance.args.len() != template.params.len() {
+        diags.push(Diagnostic::error(
+            format!(
+                "tasktemplate `{}` expects {} argument(s), got {}",
+                instance.template,
+                template.params.len(),
+                instance.args.len()
+            ),
+            instance.name.span,
+        ));
+    }
+    for arg in &instance.args {
+        if scope.lookup(arg.as_str()).is_none() {
+            diags.push(Diagnostic::error(
+                format!("template argument `{arg}` names no task in scope"),
+                arg.span,
+            ));
+        }
+    }
+}
+
+fn check_output_mappings(
+    compound: &CompoundTaskDecl,
+    class: &TaskClassDecl,
+    scope: &Scope<'_>,
+    diags: &mut Diagnostics,
+) {
+    let mut mapped = std::collections::BTreeSet::new();
+    for mapping in &compound.outputs {
+        let Some(sig) = class.output(mapping.name.as_str()) else {
+            diags.push(Diagnostic::error(
+                format!(
+                    "compound `{}`: taskclass `{}` has no output `{}`",
+                    compound.name, class.name, mapping.name
+                ),
+                mapping.name.span,
+            ));
+            continue;
+        };
+        if sig.kind != mapping.kind {
+            diags.push(Diagnostic::error(
+                format!(
+                    "compound `{}`: output `{}` is `{}` in taskclass `{}` but mapped as `{}`",
+                    compound.name,
+                    mapping.name,
+                    sig.kind,
+                    class.name,
+                    mapping.kind
+                ),
+                mapping.name.span,
+            ));
+        }
+        if !mapped.insert(mapping.name.as_str()) {
+            diags.push(Diagnostic::error(
+                format!(
+                    "compound `{}`: output `{}` mapped twice",
+                    compound.name, mapping.name
+                ),
+                mapping.name.span,
+            ));
+        }
+
+        let mut mapped_objects = std::collections::BTreeSet::new();
+        for element in &mapping.elements {
+            match element {
+                OutputElem::Object(binding) => {
+                    let Some(object_sig) =
+                        sig.objects.iter().find(|o| o.name == binding.name)
+                    else {
+                        diags.push(Diagnostic::error(
+                            format!(
+                                "output `{}` of `{}` has no object `{}`",
+                                mapping.name, class.name, binding.name
+                            ),
+                            binding.name.span,
+                        ));
+                        continue;
+                    };
+                    mapped_objects.insert(binding.name.as_str());
+                    if binding.sources.is_empty() {
+                        diags.push(Diagnostic::error(
+                            format!(
+                                "output object `{}` of compound `{}` has no sources",
+                                binding.name, compound.name
+                            ),
+                            binding.name.span,
+                        ));
+                    }
+                    for source in &binding.sources {
+                        check_object_source(
+                            &compound.name,
+                            source,
+                            &object_sig.class,
+                            scope,
+                            diags,
+                        );
+                    }
+                }
+                OutputElem::Notification(notification) => {
+                    for source in &notification.sources {
+                        check_notif_source(&compound.name, source, scope, diags);
+                    }
+                }
+            }
+        }
+        for object_sig in &sig.objects {
+            if !mapped_objects.contains(object_sig.name.as_str()) {
+                diags.push(Diagnostic::error(
+                    format!(
+                        "compound `{}`: output `{}` never maps object `{}`",
+                        compound.name, mapping.name, object_sig.name
+                    ),
+                    mapping.name.span,
+                ));
+            }
+        }
+    }
+}
+
+/// Warns about constituents that feed nothing: no sibling consumes their
+/// outputs and no output mapping references them.
+fn warn_dead_constituents<'a>(
+    constituents: &[ConstituentRef<'a>],
+    enclosing: Option<&'a CompoundTaskDecl>,
+    warnings: &mut Diagnostics,
+) {
+    use std::collections::BTreeSet;
+    let mut referenced: BTreeSet<&'a str> = BTreeSet::new();
+    for constituent in constituents {
+        for binding in constituent.input_sets() {
+            for element in &binding.elements {
+                match element {
+                    InputElem::Object(b) => {
+                        for source in &b.sources {
+                            referenced.insert(source.task.as_str());
+                        }
+                    }
+                    InputElem::Notification(b) => {
+                        for source in &b.sources {
+                            referenced.insert(source.task.as_str());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(compound) = enclosing {
+        for mapping in &compound.outputs {
+            for element in &mapping.elements {
+                match element {
+                    OutputElem::Object(b) => {
+                        for source in &b.sources {
+                            referenced.insert(source.task.as_str());
+                        }
+                    }
+                    OutputElem::Notification(b) => {
+                        for source in &b.sources {
+                            referenced.insert(source.task.as_str());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for constituent in constituents {
+        let name = constituent.name();
+        if !referenced.contains(name.as_str()) {
+            warnings.push(Diagnostic::warning(
+                format!("task `{name}` feeds no other task and no output"),
+                name.span,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::diag::Diagnostics;
+    use crate::parse;
+    use crate::sema::check;
+
+    fn errors_of(source: &str) -> Diagnostics {
+        let script = parse(source).expect("parse ok");
+        check(&script).expect_err("expected errors")
+    }
+
+    const PRELUDE: &str = r#"
+        class C;
+        class D;
+        taskclass Producer {
+            inputs { input main { seed of class C } };
+            outputs {
+                outcome done { out of class C };
+                outcome other { alt of class D };
+                repeat outcome again { seed of class C }
+            }
+        }
+        taskclass Consumer {
+            inputs { input main { in of class C } };
+            outputs { outcome done { } }
+        }
+    "#;
+
+    fn with_prelude(body: &str) -> String {
+        format!("{PRELUDE}\n{body}")
+    }
+
+    #[test]
+    fn unknown_source_task_rejected() {
+        let err = errors_of(&with_prelude(
+            r#"
+            task c of taskclass Consumer {
+                inputs { input main {
+                    inputobject in from { out of task ghost if output done }
+                } }
+            }
+            "#,
+        ));
+        assert!(err.to_string().contains("unknown task `ghost`"));
+    }
+
+    #[test]
+    fn unknown_outcome_rejected() {
+        let err = errors_of(&with_prelude(
+            r#"
+            task p of taskclass Producer {
+                inputs { input main { inputobject seed from { seed of task p if output again } } }
+            }
+            task c of taskclass Consumer {
+                inputs { input main {
+                    inputobject in from { out of task p if output nope }
+                } }
+            }
+            "#,
+        ));
+        assert!(err.to_string().contains("no output `nope`"));
+    }
+
+    #[test]
+    fn class_mismatch_rejected() {
+        let err = errors_of(&with_prelude(
+            r#"
+            task p of taskclass Producer {
+                inputs { input main { inputobject seed from { seed of task p if output again } } }
+            }
+            task c of taskclass Consumer {
+                inputs { input main {
+                    inputobject in from { alt of task p if output other }
+                } }
+            }
+            "#,
+        ));
+        assert!(err.to_string().contains("type mismatch"), "{err}");
+    }
+
+    #[test]
+    fn repeat_outcome_private_to_producer() {
+        let err = errors_of(&with_prelude(
+            r#"
+            task p of taskclass Producer {
+                inputs { input main { inputobject seed from { seed of task p if output again } } }
+            }
+            task c of taskclass Consumer {
+                inputs { input main {
+                    inputobject in from { seed of task p if output again }
+                } }
+            }
+            "#,
+        ));
+        assert!(
+            err.to_string().contains("may only be used by"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn self_repeat_loop_allowed() {
+        let source = with_prelude(
+            r#"
+            task p of taskclass Producer {
+                inputs { input main {
+                    inputobject seed from { seed of task p if output again }
+                } }
+            }
+            "#,
+        );
+        let script = parse(&source).unwrap();
+        assert!(check(&script).is_ok());
+    }
+
+    #[test]
+    fn unbound_input_object_rejected() {
+        let err = errors_of(&with_prelude(
+            r#"
+            task c of taskclass Consumer {
+                inputs { input main { notification from { task c if output done } } }
+            }
+            "#,
+        ));
+        assert!(err.to_string().contains("never binds object `in`"), "{err}");
+    }
+
+    #[test]
+    fn dataflow_cycle_rejected() {
+        let err = errors_of(&with_prelude(
+            r#"
+            task a of taskclass Consumer {
+                inputs { input main { inputobject in from { out of task b if output done } } }
+            }
+            task b of taskclass Producer {
+                inputs { input main { inputobject seed from { out of task a if output done } } }
+            }
+            "#,
+        ));
+        // The seed's class is wrong too, but the cycle a → b → a must be
+        // reported regardless.
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn output_mapping_must_cover_objects() {
+        let err = errors_of(&with_prelude(
+            r#"
+            taskclass Wrap {
+                inputs { input main { seed of class C } };
+                outputs { outcome done { out of class C } }
+            }
+            compoundtask w of taskclass Wrap {
+                task p of taskclass Producer {
+                    inputs { input main {
+                        inputobject seed from { seed of task w if input main }
+                    } }
+                };
+                outputs { outcome done { notification from { task p if output done } } }
+            }
+            "#,
+        ));
+        assert!(err.to_string().contains("never maps object `out`"), "{err}");
+    }
+
+    #[test]
+    fn output_mapping_kind_must_match() {
+        let err = errors_of(&with_prelude(
+            r#"
+            taskclass Wrap {
+                inputs { input main { seed of class C } };
+                outputs { outcome done { } }
+            }
+            compoundtask w of taskclass Wrap {
+                task p of taskclass Producer {
+                    inputs { input main {
+                        inputobject seed from { seed of task w if input main }
+                    } }
+                };
+                outputs { mark done { notification from { task p if output done } } }
+            }
+            "#,
+        ));
+        assert!(err.to_string().contains("mapped as `mark`"), "{err}");
+    }
+
+    #[test]
+    fn template_arity_checked() {
+        let err = errors_of(&with_prelude(
+            r#"
+            tasktemplate task tt of taskclass Consumer {
+                parameters { p1 };
+                inputs { input main { inputobject in from { out of task p1 if output done } } }
+            }
+            task p of taskclass Producer {
+                inputs { input main { inputobject seed from { seed of task p if output again } } }
+            }
+            t of tasktemplate tt(p, p)
+            "#,
+        ));
+        assert!(err.to_string().contains("expects 1 argument(s), got 2"), "{err}");
+    }
+
+    #[test]
+    fn template_argument_must_resolve() {
+        let err = errors_of(&with_prelude(
+            r#"
+            tasktemplate task tt of taskclass Consumer {
+                parameters { p1 };
+                inputs { input main { inputobject in from { out of task p1 if output done } } }
+            }
+            t of tasktemplate tt(phantom)
+            "#,
+        ));
+        assert!(err.to_string().contains("names no task in scope"), "{err}");
+    }
+
+    #[test]
+    fn dead_constituent_warned() {
+        let source = with_prelude(
+            r#"
+            taskclass Wrap {
+                inputs { input main { seed of class C } };
+                outputs { outcome done { } }
+            }
+            compoundtask w of taskclass Wrap {
+                task p of taskclass Producer {
+                    inputs { input main {
+                        inputobject seed from { seed of task w if input main }
+                    } }
+                };
+                task q of taskclass Producer {
+                    inputs { input main {
+                        inputobject seed from { seed of task w if input main }
+                    } }
+                };
+                outputs { outcome done { notification from { task p if output done } } }
+            }
+            "#,
+        );
+        let script = parse(&source).unwrap();
+        let checked = check(&script).unwrap();
+        let warned = checked.warnings().to_string();
+        assert!(warned.contains("`q` feeds no other task"), "{warned}");
+    }
+}

@@ -1,0 +1,188 @@
+use std::fmt;
+
+use crate::span::Span;
+
+/// Lexical token kinds of the flowscript language.
+///
+/// Every keyword of the paper's grammar is reserved; identifiers may not
+/// shadow them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Keywords (paper §4).
+    Class,
+    TaskClass,
+    Task,
+    CompoundTask,
+    TaskTemplate,
+    Inputs,
+    Outputs,
+    Input,
+    Output,
+    InputObject,
+    OutputObject,
+    Notification,
+    From,
+    Of,
+    If,
+    Is,
+    Implementation,
+    Outcome,
+    Abort,
+    Repeat,
+    Mark,
+    Parameters,
+
+    /// An identifier (task, class, object or outcome name).
+    Ident(String),
+    /// A string literal (implementation keys/values).
+    Str(String),
+
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The keyword for `text`, if it is one.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        Some(match text {
+            "class" => TokenKind::Class,
+            "taskclass" => TokenKind::TaskClass,
+            "task" => TokenKind::Task,
+            "compoundtask" => TokenKind::CompoundTask,
+            "tasktemplate" => TokenKind::TaskTemplate,
+            "inputs" => TokenKind::Inputs,
+            "outputs" => TokenKind::Outputs,
+            "input" => TokenKind::Input,
+            "output" => TokenKind::Output,
+            "inputobject" => TokenKind::InputObject,
+            "outputobject" => TokenKind::OutputObject,
+            "notification" => TokenKind::Notification,
+            "from" => TokenKind::From,
+            "of" => TokenKind::Of,
+            "if" => TokenKind::If,
+            "is" => TokenKind::Is,
+            "implementation" => TokenKind::Implementation,
+            "outcome" => TokenKind::Outcome,
+            "abort" => TokenKind::Abort,
+            "repeat" => TokenKind::Repeat,
+            "mark" => TokenKind::Mark,
+            "parameters" => TokenKind::Parameters,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Str(_) => "string literal".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            TokenKind::LBrace => "`{`".to_string(),
+            TokenKind::RBrace => "`}`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Semi => "`;`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            keyword => format!("keyword `{}`", keyword.keyword_text().unwrap_or("?")),
+        }
+    }
+
+    /// The source text of a keyword token.
+    pub fn keyword_text(&self) -> Option<&'static str> {
+        Some(match self {
+            TokenKind::Class => "class",
+            TokenKind::TaskClass => "taskclass",
+            TokenKind::Task => "task",
+            TokenKind::CompoundTask => "compoundtask",
+            TokenKind::TaskTemplate => "tasktemplate",
+            TokenKind::Inputs => "inputs",
+            TokenKind::Outputs => "outputs",
+            TokenKind::Input => "input",
+            TokenKind::Output => "output",
+            TokenKind::InputObject => "inputobject",
+            TokenKind::OutputObject => "outputobject",
+            TokenKind::Notification => "notification",
+            TokenKind::From => "from",
+            TokenKind::Of => "of",
+            TokenKind::If => "if",
+            TokenKind::Is => "is",
+            TokenKind::Implementation => "implementation",
+            TokenKind::Outcome => "outcome",
+            TokenKind::Abort => "abort",
+            TokenKind::Repeat => "repeat",
+            TokenKind::Mark => "mark",
+            TokenKind::Parameters => "parameters",
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A lexed token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_roundtrip() {
+        for text in [
+            "class",
+            "taskclass",
+            "task",
+            "compoundtask",
+            "tasktemplate",
+            "inputs",
+            "outputs",
+            "input",
+            "output",
+            "inputobject",
+            "outputobject",
+            "notification",
+            "from",
+            "of",
+            "if",
+            "is",
+            "implementation",
+            "outcome",
+            "abort",
+            "repeat",
+            "mark",
+            "parameters",
+        ] {
+            let kind = TokenKind::keyword(text).expect(text);
+            assert_eq!(kind.keyword_text(), Some(text));
+        }
+        assert_eq!(TokenKind::keyword("orders"), None);
+    }
+
+    #[test]
+    fn descriptions_are_informative() {
+        assert_eq!(
+            TokenKind::Ident("dispatch".into()).describe(),
+            "identifier `dispatch`"
+        );
+        assert_eq!(TokenKind::Class.describe(), "keyword `class`");
+        assert_eq!(TokenKind::Semi.describe(), "`;`");
+        assert_eq!(TokenKind::Class.to_string(), "keyword `class`");
+    }
+}

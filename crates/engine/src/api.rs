@@ -1,0 +1,652 @@
+//! The high-level facade: a complete workflow system on simulated nodes.
+//!
+//! [`WorkflowSystem`] wires the Fig. 4 topology: a client node, the
+//! repository service, the execution coordinator, and `n` executor nodes,
+//! all over the simulated network. Scripts are registered via repository
+//! RPC, instances started via coordinator RPC, and everything runs under
+//! the deterministic event loop ([`WorkflowSystem::run`]).
+//!
+//! Fault injection is first-class: crash/restart any node (the
+//! coordinator recovers from its write-ahead log), partition the network,
+//! or apply a scripted [`FaultPlan`].
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use flowscript_sim::{
+    net::LinkConfig, FaultPlan, NodeId, SimDuration, SimTime, World,
+};
+use flowscript_tx::SharedStorage;
+
+use crate::coordinator::{
+    CoordHandle, CoordStats, Coordinator, EngineConfig, InstanceStatus, Outcome,
+};
+use crate::error::EngineError;
+use crate::executor;
+use crate::impl_registry::{ImplRegistry, InvokeCtx, TaskBehavior, TaskImpl};
+use crate::msg::EngineMsg;
+use crate::reconfig::Reconfig;
+use crate::repository::RepoHandle;
+use crate::state::CbState;
+use crate::value::ObjectVal;
+
+/// Builder for a [`WorkflowSystem`].
+#[derive(Debug)]
+pub struct SystemBuilder {
+    executors: usize,
+    seed: u64,
+    config: EngineConfig,
+    link: LinkConfig,
+    registry: Option<ImplRegistry>,
+    storage: Option<SharedStorage>,
+    trace_enabled: bool,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        Self {
+            executors: 2,
+            seed: 0,
+            config: EngineConfig::default(),
+            link: LinkConfig::default(),
+            registry: None,
+            storage: None,
+            trace_enabled: true,
+        }
+    }
+}
+
+impl SystemBuilder {
+    /// Number of executor nodes (≥ 1).
+    pub fn executors(mut self, n: usize) -> Self {
+        self.executors = n.max(1);
+        self
+    }
+
+    /// RNG seed (same seed ⇒ identical run).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Engine policy (retries, timeouts, repeat bounds, checkpoints).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Default network link characteristics.
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Uses an existing implementation registry (shared with other
+    /// systems, e.g. nested script execution).
+    pub fn registry(mut self, registry: ImplRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Uses existing stable storage (to model restarting a whole system
+    /// over surviving disks).
+    pub fn storage(mut self, storage: SharedStorage) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Disables trace recording (benchmarks).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace_enabled = enabled;
+        self
+    }
+
+    /// Builds the system: creates nodes, installs services.
+    pub fn build(self) -> WorkflowSystem {
+        let mut world = World::new(self.seed);
+        world.trace_mut().set_enabled(self.trace_enabled);
+        world.net_mut().set_default_link(self.link);
+        let client = world.add_node("client");
+        let repo_node = world.add_node("repository");
+        let coord_node = world.add_node("coordinator");
+        let executors: Vec<NodeId> = (0..self.executors)
+            .map(|i| world.add_node(format!("executor{i}")))
+            .collect();
+
+        let registry = self.registry.unwrap_or_default();
+        let storage = self.storage.unwrap_or_default();
+
+        let repo = RepoHandle::new();
+        repo.install(&mut world, repo_node);
+
+        let coordinator = Coordinator::open(
+            coord_node,
+            repo_node,
+            executors.clone(),
+            self.config,
+            storage.clone(),
+        )
+        .expect("fresh storage opens");
+        let coord = CoordHandle::new(coordinator);
+        coord.install(&mut world);
+        // If the storage carried previous state (system restart), recover.
+        coord.recover(&mut world);
+
+        for &node in &executors {
+            executor::install(&mut world, node, coord_node, registry.clone());
+        }
+
+        WorkflowSystem {
+            world,
+            client,
+            repo_node,
+            coord_node,
+            executors,
+            registry,
+            repo,
+            coord,
+            storage,
+        }
+    }
+}
+
+/// A complete simulated workflow management system (Fig. 4).
+pub struct WorkflowSystem {
+    world: World,
+    client: NodeId,
+    repo_node: NodeId,
+    coord_node: NodeId,
+    executors: Vec<NodeId>,
+    registry: ImplRegistry,
+    repo: RepoHandle,
+    coord: CoordHandle,
+    storage: SharedStorage,
+}
+
+impl WorkflowSystem {
+    /// Starts building a system.
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    // -----------------------------------------------------------------
+    // Scripts and implementations.
+    // -----------------------------------------------------------------
+
+    /// Registers (and validates) a script with the repository service.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidScript`] with rendered diagnostics.
+    pub fn register_script(
+        &mut self,
+        name: &str,
+        source: &str,
+        root: &str,
+    ) -> Result<u32, EngineError> {
+        let msg = EngineMsg::RepoRegister {
+            name: name.to_string(),
+            source: source.to_string(),
+            root: root.to_string(),
+        };
+        let result: Rc<RefCell<Option<Result<u32, String>>>> = Rc::new(RefCell::new(None));
+        let result2 = result.clone();
+        self.world.rpc_call(
+            self.client,
+            self.repo_node,
+            flowscript_codec::to_bytes(&msg),
+            SimDuration::from_secs(10),
+            move |_, reply| {
+                let outcome = match reply {
+                    Err(err) => Err(err.to_string()),
+                    Ok(bytes) => match flowscript_codec::from_bytes::<EngineMsg>(&bytes) {
+                        Ok(EngineMsg::RepoReply { result, .. }) => result,
+                        _ => Err("malformed repository reply".to_string()),
+                    },
+                };
+                *result2.borrow_mut() = Some(outcome);
+            },
+        );
+        self.pump(|| result.borrow().is_some());
+        let taken = result.borrow_mut().take();
+        match taken {
+            Some(Ok(version)) => Ok(version),
+            Some(Err(err)) => Err(EngineError::InvalidScript(err)),
+            None => Err(EngineError::Tx("repository call never completed".into())),
+        }
+    }
+
+    /// Binds a closure implementation.
+    pub fn bind_fn<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&InvokeCtx) -> TaskBehavior + 'static,
+    {
+        self.registry.bind_fn(name, f);
+    }
+
+    /// Binds a [`TaskImpl`] implementation.
+    pub fn bind(&self, name: &str, implementation: Rc<dyn TaskImpl>) {
+        self.registry.bind(name, implementation);
+    }
+
+    /// Binds a nested workflow script as an implementation (§4.3).
+    pub fn bind_script(&self, name: &str, source: &str, root: &str) {
+        self.registry.bind_script(name, source, root);
+    }
+
+    /// The shared implementation registry.
+    pub fn registry(&self) -> &ImplRegistry {
+        &self.registry
+    }
+
+    /// Direct repository access (admin/monitoring).
+    pub fn repository(&self) -> &RepoHandle {
+        &self.repo
+    }
+
+    // -----------------------------------------------------------------
+    // Instances.
+    // -----------------------------------------------------------------
+
+    /// Starts an instance of a registered script, binding the root's
+    /// `set` input set with `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown script, duplicate instance, bad inputs, or unreachable
+    /// services.
+    pub fn start_with<I, K>(
+        &mut self,
+        instance: &str,
+        script: &str,
+        set: &str,
+        inputs: I,
+    ) -> Result<(), EngineError>
+    where
+        I: IntoIterator<Item = (K, ObjectVal)>,
+        K: Into<String>,
+    {
+        let inputs: BTreeMap<String, ObjectVal> =
+            inputs.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        let msg = EngineMsg::StartInstance {
+            instance: instance.to_string(),
+            script: script.to_string(),
+            version: None,
+            set: set.to_string(),
+            inputs,
+        };
+        let result: Rc<RefCell<Option<Result<(), String>>>> = Rc::new(RefCell::new(None));
+        let result2 = result.clone();
+        self.world.rpc_call(
+            self.client,
+            self.coord_node,
+            flowscript_codec::to_bytes(&msg),
+            SimDuration::from_secs(10),
+            move |_, reply| {
+                let outcome = match reply {
+                    Err(err) => Err(err.to_string()),
+                    Ok(bytes) => match flowscript_codec::from_bytes::<EngineMsg>(&bytes) {
+                        Ok(EngineMsg::Ack { result }) => result,
+                        _ => Err("malformed coordinator reply".to_string()),
+                    },
+                };
+                *result2.borrow_mut() = Some(outcome);
+            },
+        );
+        self.pump(|| result.borrow().is_some());
+        let taken = result.borrow_mut().take();
+        match taken {
+            Some(Ok(())) => Ok(()),
+            Some(Err(err)) => Err(EngineError::BadInputs(err)),
+            None => Err(EngineError::Tx("start call never completed".into())),
+        }
+    }
+
+    /// [`WorkflowSystem::start_with`] for the common `main` input set.
+    ///
+    /// # Errors
+    ///
+    /// As for [`WorkflowSystem::start_with`].
+    pub fn start<I, K>(
+        &mut self,
+        instance: &str,
+        script: &str,
+        set: &str,
+        inputs: I,
+    ) -> Result<(), EngineError>
+    where
+        I: IntoIterator<Item = (K, ObjectVal)>,
+        K: Into<String>,
+    {
+        self.start_with(instance, script, set, inputs)
+    }
+
+    // -----------------------------------------------------------------
+    // Driving the simulation.
+    // -----------------------------------------------------------------
+
+    /// Runs until the event queue drains (all instances settled).
+    pub fn run(&mut self) {
+        self.world.run();
+    }
+
+    /// Runs events up to the given virtual time.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.world.run_until(deadline);
+    }
+
+    /// Runs events for the given additional virtual duration.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.world.now() + duration;
+        self.world.run_until(deadline);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    fn pump(&mut self, done: impl Fn() -> bool) {
+        while !done() {
+            if !self.world.step() {
+                return;
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Monitoring (the paper's administrative applications).
+    // -----------------------------------------------------------------
+
+    /// Instance status.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownInstance`].
+    pub fn status(&self, instance: &str) -> Result<InstanceStatus, EngineError> {
+        self.coord.status(instance)
+    }
+
+    /// The final outcome, if the instance completed.
+    pub fn outcome(&self, instance: &str) -> Option<Outcome> {
+        match self.coord.status(instance) {
+            Ok(InstanceStatus::Completed(outcome)) => Some(outcome),
+            _ => None,
+        }
+    }
+
+    /// Every task's state, keyed by path.
+    pub fn task_states(&self, instance: &str) -> BTreeMap<String, CbState> {
+        self.coord.task_states(instance)
+    }
+
+    /// A published output fact (e.g. a root-level mark like `toPay`).
+    pub fn output_fact(
+        &self,
+        instance: &str,
+        path: &str,
+        output: &str,
+    ) -> Option<BTreeMap<String, ObjectVal>> {
+        self.coord.output_fact(instance, path, output)
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> CoordStats {
+        self.coord.stats()
+    }
+
+    /// Coordinator log size in bytes.
+    pub fn log_size(&self) -> u64 {
+        self.coord.log_size()
+    }
+
+    /// The simulation trace.
+    pub fn trace(&self) -> &flowscript_sim::Trace {
+        self.world.trace()
+    }
+
+    // -----------------------------------------------------------------
+    // Dynamic reconfiguration.
+    // -----------------------------------------------------------------
+
+    /// Applies a reconfiguration to a running instance atomically.
+    ///
+    /// # Errors
+    ///
+    /// Validation failures leave the instance untouched.
+    pub fn reconfigure(&mut self, instance: &str, op: Reconfig) -> Result<(), EngineError> {
+        let coord = self.coord.clone();
+        coord.reconfigure(&mut self.world, instance, op)
+    }
+
+    /// Aborts a *waiting* task with one of its declared abort outcomes
+    /// (the paper's user-forced abort from the wait state, Fig. 3).
+    ///
+    /// # Errors
+    ///
+    /// Unknown instance/task, non-waiting task, or undeclared outcome.
+    pub fn abort_waiting_task(
+        &mut self,
+        instance: &str,
+        path: &str,
+        outcome: &str,
+    ) -> Result<(), EngineError> {
+        let coord = self.coord.clone();
+        coord.abort_waiting_task(&mut self.world, instance, path, outcome)
+    }
+
+    /// Starts an instance of a *specific version* of a repository script.
+    ///
+    /// # Errors
+    ///
+    /// As for [`WorkflowSystem::start_with`], plus unknown versions.
+    pub fn start_version<I, K>(
+        &mut self,
+        instance: &str,
+        script: &str,
+        version: u32,
+        set: &str,
+        inputs: I,
+    ) -> Result<(), EngineError>
+    where
+        I: IntoIterator<Item = (K, ObjectVal)>,
+        K: Into<String>,
+    {
+        let inputs: BTreeMap<String, ObjectVal> =
+            inputs.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        let msg = EngineMsg::StartInstance {
+            instance: instance.to_string(),
+            script: script.to_string(),
+            version: Some(version),
+            set: set.to_string(),
+            inputs,
+        };
+        let result: Rc<RefCell<Option<Result<(), String>>>> = Rc::new(RefCell::new(None));
+        let result2 = result.clone();
+        self.world.rpc_call(
+            self.client,
+            self.coord_node,
+            flowscript_codec::to_bytes(&msg),
+            SimDuration::from_secs(10),
+            move |_, reply| {
+                let outcome = match reply {
+                    Err(err) => Err(err.to_string()),
+                    Ok(bytes) => match flowscript_codec::from_bytes::<EngineMsg>(&bytes) {
+                        Ok(EngineMsg::Ack { result }) => result,
+                        _ => Err("malformed coordinator reply".to_string()),
+                    },
+                };
+                *result2.borrow_mut() = Some(outcome);
+            },
+        );
+        self.pump(|| result.borrow().is_some());
+        let taken = result.borrow_mut().take();
+        match taken {
+            Some(Ok(())) => Ok(()),
+            Some(Err(err)) => Err(EngineError::BadInputs(err)),
+            None => Err(EngineError::Tx("start call never completed".into())),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Fault injection.
+    // -----------------------------------------------------------------
+
+    /// The coordinator node id.
+    pub fn coordinator_node(&self) -> NodeId {
+        self.coord_node
+    }
+
+    /// Executor node ids.
+    pub fn executor_nodes(&self) -> &[NodeId] {
+        &self.executors
+    }
+
+    /// Schedules a fault plan.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        plan.apply(&mut self.world);
+    }
+
+    /// Crashes a node immediately.
+    pub fn crash_now(&mut self, node: NodeId) {
+        self.world.crash(node);
+    }
+
+    /// Restarts a node immediately (the coordinator runs recovery).
+    pub fn restart_now(&mut self, node: NodeId) {
+        self.world.restart(node);
+    }
+
+    /// Direct world access for advanced scenarios.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The stable storage backing the coordinator (survives restarts).
+    pub fn storage(&self) -> SharedStorage {
+        self.storage.clone()
+    }
+}
+
+impl std::fmt::Debug for WorkflowSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkflowSystem")
+            .field("now", &self.world.now())
+            .field("executors", &self.executors.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowscript_core::samples;
+
+    fn text(class: &str, value: &str) -> ObjectVal {
+        ObjectVal::text(class, value)
+    }
+
+    #[test]
+    fn quickstart_pipeline_completes() {
+        let mut sys = WorkflowSystem::builder().executors(2).seed(1).build();
+        sys.register_script("q", samples::QUICKSTART, "pipeline")
+            .unwrap();
+        sys.bind_fn("refProduce", |ctx| {
+            TaskBehavior::outcome("produced").with_object(
+                "message",
+                ObjectVal::text("Message", format!("{}-made", ctx.input_text("seed"))),
+            )
+        });
+        sys.bind_fn("refConsume", |ctx| {
+            TaskBehavior::outcome("consumed")
+                .with_object("result", ObjectVal::text("Message", ctx.input_text("message")))
+        });
+        sys.start("i1", "q", "main", [("seed", text("Message", "s"))])
+            .unwrap();
+        sys.run();
+        let outcome = sys.outcome("i1").expect("completed");
+        assert_eq!(outcome.name, "done");
+        assert_eq!(outcome.objects["result"].as_text(), "s-made");
+        let states = sys.task_states("i1");
+        assert!(matches!(
+            states["pipeline/produce"],
+            CbState::Done { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_script_rejected() {
+        let mut sys = WorkflowSystem::builder().seed(2).build();
+        let err = sys
+            .start("i1", "ghost", "main", Vec::<(String, ObjectVal)>::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_instance_rejected() {
+        let mut sys = WorkflowSystem::builder().seed(3).build();
+        sys.register_script("q", samples::QUICKSTART, "pipeline")
+            .unwrap();
+        sys.bind_fn("refProduce", |_| TaskBehavior::outcome("produced"));
+        sys.bind_fn("refConsume", |_| TaskBehavior::outcome("consumed"));
+        sys.start("i1", "q", "main", [("seed", text("Message", "x"))])
+            .unwrap();
+        let err = sys
+            .start("i1", "q", "main", [("seed", text("Message", "x"))])
+            .unwrap_err();
+        assert!(err.to_string().contains("already exists"), "{err}");
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let mut sys = WorkflowSystem::builder().seed(4).build();
+        sys.register_script("q", samples::QUICKSTART, "pipeline")
+            .unwrap();
+        // Missing object.
+        let err = sys
+            .start("i1", "q", "main", Vec::<(String, ObjectVal)>::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("missing input object"), "{err}");
+        // Wrong class.
+        let err = sys
+            .start("i2", "q", "main", [("seed", text("Wrong", "x"))])
+            .unwrap_err();
+        assert!(err.to_string().contains("expected `Message`"), "{err}");
+        // Unknown set.
+        let err = sys
+            .start("i3", "q", "alt", [("seed", text("Message", "x"))])
+            .unwrap_err();
+        assert!(err.to_string().contains("no input set"), "{err}");
+    }
+
+    #[test]
+    fn invalid_script_rejected_by_repository() {
+        let mut sys = WorkflowSystem::builder().seed(5).build();
+        let err = sys.register_script("bad", "task broken", "x").unwrap_err();
+        assert!(matches!(err, EngineError::InvalidScript(_)));
+    }
+
+    #[test]
+    fn unbound_implementation_leads_to_stuck() {
+        let mut sys = WorkflowSystem::builder().seed(6).build();
+        sys.register_script("q", samples::QUICKSTART, "pipeline")
+            .unwrap();
+        // Bind only the producer; the consumer has no implementation.
+        sys.bind_fn("refProduce", |_| {
+            TaskBehavior::outcome("produced").with_object("message", ObjectVal::text("Message", "m"))
+        });
+        sys.start("i1", "q", "main", [("seed", text("Message", "x"))])
+            .unwrap();
+        sys.run();
+        match sys.status("i1").unwrap() {
+            InstanceStatus::Stuck { reason } => {
+                assert!(reason.contains("consume"), "{reason}");
+            }
+            other => panic!("expected stuck, got {other:?}"),
+        }
+        assert!(sys.stats().failures >= 1);
+        assert!(sys.stats().retries >= 1);
+    }
+}

@@ -1,0 +1,2059 @@
+//! The Workflow Execution Service.
+//!
+//! The coordinator owns every workflow instance's persistent state: task
+//! control blocks ([`crate::state::TaskCb`]) and dependency *facts*, all
+//! stored as objects in a [`TxManager`] so that each state transition is
+//! an atomic action and a coordinator crash loses nothing committed
+//! (paper §3, system-level fault tolerance). It:
+//!
+//! - evaluates input-set satisfaction and dispatches ready leaf tasks to
+//!   executor nodes (one-way `StartTask` / `TaskDone` messages with
+//!   watchdog timers — lost executors surface as timeouts),
+//! - applies outcomes/aborts/marks/repeats per the Fig. 3 lifecycle,
+//! - runs compound-task scopes: inward input propagation, outward output
+//!   mappings, scope-level repeat (the Fig. 8 loop) and cancellation,
+//! - retries system-level failures with exponential backoff, a bounded
+//!   number of times,
+//! - recovers all running instances from the write-ahead log after a
+//!   crash, re-dispatching whatever was in flight.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+use flowscript_core::ast::OutputKind;
+use flowscript_core::schema::{self, CompiledScope, CompiledTask, Schema, TaskBody};
+use flowscript_sim::{Envelope, EventId, NodeId, ReplyToken, SimDuration, World};
+use flowscript_tx::{ObjectUid, SharedStorage, TxManager};
+
+use crate::deps::{self, FactView};
+use crate::error::EngineError;
+use crate::msg::{EngineMsg, MarkMsg, StartTask, TaskDone, TaskResult};
+use crate::reconfig::{self, Reconfig};
+use crate::state::{CbState, TaskCb};
+use crate::value::ObjectVal;
+
+/// Tunable engine policy.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum automatic retries of a system-level failure (§3:
+    /// "automatic (finite number of) retries").
+    pub max_retries: u32,
+    /// Base backoff before the first retry (doubles per retry).
+    pub retry_backoff: SimDuration,
+    /// Watchdog timeout for a dispatched task (plus any `duration_ms` /
+    /// `deadline_ms` hints from the implementation clause).
+    pub dispatch_timeout: SimDuration,
+    /// Maximum times a task or compound may take a repeat outcome.
+    pub max_repeats: u32,
+    /// Write a checkpoint and compact the log every this many commits.
+    pub checkpoint_every: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            retry_backoff: SimDuration::from_millis(50),
+            dispatch_timeout: SimDuration::from_secs(30),
+            max_repeats: 32,
+            checkpoint_every: None,
+        }
+    }
+}
+
+/// A terminated instance's (or compound's) outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Outcome name.
+    pub name: String,
+    /// Its declared kind (outcome or abort outcome).
+    pub kind: OutputKind,
+    /// Objects produced with it.
+    pub objects: BTreeMap<String, ObjectVal>,
+}
+
+/// Where an instance stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceStatus {
+    /// Work remains (or is in flight).
+    Running,
+    /// The root compound terminated.
+    Completed(Outcome),
+    /// No task can run and the root cannot terminate — the paper's
+    /// "failure exceptions from the underlying system".
+    Stuck {
+        /// Human-readable explanation (failed/waiting tasks).
+        reason: String,
+    },
+}
+
+impl InstanceStatus {
+    /// Whether the instance reached a terminal status.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, InstanceStatus::Running)
+    }
+}
+
+fn kind_discriminant(kind: OutputKind) -> u8 {
+    match kind {
+        OutputKind::Outcome => 0,
+        OutputKind::AbortOutcome => 1,
+        OutputKind::RepeatOutcome => 2,
+        OutputKind::Mark => 3,
+    }
+}
+
+fn kind_from(discriminant: u8) -> Result<OutputKind, CodecError> {
+    Ok(match discriminant {
+        0 => OutputKind::Outcome,
+        1 => OutputKind::AbortOutcome,
+        2 => OutputKind::RepeatOutcome,
+        3 => OutputKind::Mark,
+        other => {
+            return Err(CodecError::InvalidDiscriminant {
+                ty: "OutputKind",
+                value: u64::from(other),
+            })
+        }
+    })
+}
+
+impl Encode for Outcome {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(&self.name);
+        w.put_u8(kind_discriminant(self.kind));
+        self.objects.encode(w);
+    }
+}
+
+impl Decode for Outcome {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Outcome {
+            name: r.get_str()?.to_owned(),
+            kind: kind_from(r.get_u8()?)?,
+            objects: BTreeMap::decode(r)?,
+        })
+    }
+}
+
+impl Encode for InstanceStatus {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            InstanceStatus::Running => w.put_u8(0),
+            InstanceStatus::Completed(outcome) => {
+                w.put_u8(1);
+                outcome.encode(w);
+            }
+            InstanceStatus::Stuck { reason } => {
+                w.put_u8(2);
+                w.put_str(reason);
+            }
+        }
+    }
+}
+
+impl Decode for InstanceStatus {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => InstanceStatus::Running,
+            1 => InstanceStatus::Completed(Outcome::decode(r)?),
+            2 => InstanceStatus::Stuck {
+                reason: r.get_str()?.to_owned(),
+            },
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    ty: "InstanceStatus",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// Persistent per-instance metadata.
+#[derive(Debug, Clone, PartialEq)]
+struct InstanceMeta {
+    script: String,
+    source: String,
+    root: String,
+    set: String,
+    inputs: BTreeMap<String, ObjectVal>,
+    status: InstanceStatus,
+    reconfig_count: u32,
+}
+
+impl Encode for InstanceMeta {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(&self.script);
+        w.put_str(&self.source);
+        w.put_str(&self.root);
+        w.put_str(&self.set);
+        self.inputs.encode(w);
+        self.status.encode(w);
+        w.put_u32(self.reconfig_count);
+    }
+}
+
+impl Decode for InstanceMeta {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(InstanceMeta {
+            script: r.get_str()?.to_owned(),
+            source: r.get_str()?.to_owned(),
+            root: r.get_str()?.to_owned(),
+            set: r.get_str()?.to_owned(),
+            inputs: BTreeMap::decode(r)?,
+            status: InstanceStatus::decode(r)?,
+            reconfig_count: r.get_u32()?,
+        })
+    }
+}
+
+/// Engine counters (diagnostics and benchmarks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordStats {
+    /// Task dispatches sent to executors.
+    pub dispatches: u64,
+    /// Automatic retries of system-level failures.
+    pub retries: u64,
+    /// Tasks that exhausted their retries.
+    pub failures: u64,
+    /// Marks published.
+    pub marks: u64,
+    /// Repeat outcomes taken (leaf + compound).
+    pub repeats: u64,
+    /// Reconfigurations applied.
+    pub reconfigs: u64,
+    /// Instances recovered after a coordinator restart.
+    pub recovered_instances: u64,
+}
+
+/// Volatile per-instance runtime state (rebuilt on recovery).
+struct InstanceRt {
+    schema: Rc<Schema>,
+    bindings: BTreeMap<String, String>,
+    watchdogs: BTreeMap<String, EventId>,
+    /// Paths with an outstanding dispatch, scheduled retry or pending
+    /// repeat re-execution.
+    in_flight: BTreeSet<String>,
+}
+
+// ---------------------------------------------------------------------
+// Object uid layout.
+// ---------------------------------------------------------------------
+
+fn meta_uid(instance: &str) -> ObjectUid {
+    ObjectUid::new(format!("inst/{instance}/meta"))
+}
+
+fn cb_uid(instance: &str, path: &str) -> ObjectUid {
+    ObjectUid::new(format!("inst/{instance}/cb/{path}"))
+}
+
+fn out_uid(instance: &str, path: &str, output: &str) -> ObjectUid {
+    ObjectUid::new(format!("inst/{instance}/fact/out/{path}/{output}"))
+}
+
+fn in_uid(instance: &str, path: &str, set: &str) -> ObjectUid {
+    ObjectUid::new(format!("inst/{instance}/fact/in/{path}/{set}"))
+}
+
+fn reconfig_uid(instance: &str, n: u32) -> ObjectUid {
+    ObjectUid::new(format!("inst/{instance}/reconfig/{n:08}"))
+}
+
+fn bind_uid(instance: &str, code: &str) -> ObjectUid {
+    ObjectUid::new(format!("inst/{instance}/bind/{code}"))
+}
+
+/// Committed-state fact view over the transaction manager.
+struct TxFacts<'a> {
+    mgr: &'a TxManager<SharedStorage>,
+    instance: &'a str,
+}
+
+impl FactView for TxFacts<'_> {
+    fn output_fact(&self, path: &str, output: &str) -> Option<BTreeMap<String, ObjectVal>> {
+        self.mgr
+            .read_committed(&out_uid(self.instance, path, output))
+            .ok()
+            .flatten()
+    }
+
+    fn input_fact(&self, path: &str, set: &str) -> Option<BTreeMap<String, ObjectVal>> {
+        self.mgr
+            .read_committed(&in_uid(self.instance, path, set))
+            .ok()
+            .flatten()
+    }
+}
+
+/// The execution service state. Use through [`CoordHandle`].
+pub struct Coordinator {
+    node: NodeId,
+    repo: NodeId,
+    executors: Vec<NodeId>,
+    config: EngineConfig,
+    mgr: TxManager<SharedStorage>,
+    storage: SharedStorage,
+    instances: BTreeMap<String, InstanceRt>,
+    commits: u64,
+    /// Counters, exposed via [`CoordHandle::stats`].
+    pub stats: CoordStats,
+}
+
+/// A cloneable handle to the coordinator, used by node handlers, timers
+/// and the [`crate::WorkflowSystem`] facade.
+#[derive(Clone)]
+pub struct CoordHandle {
+    inner: Rc<RefCell<Coordinator>>,
+}
+
+impl Coordinator {
+    /// Opens the coordinator over durable `storage` (recovering any
+    /// previous state).
+    ///
+    /// # Errors
+    ///
+    /// Corrupt storage.
+    pub fn open(
+        node: NodeId,
+        repo: NodeId,
+        executors: Vec<NodeId>,
+        config: EngineConfig,
+        storage: SharedStorage,
+    ) -> Result<Self, EngineError> {
+        let mgr = TxManager::open(node.index() as u32, storage.clone())?;
+        Ok(Self {
+            node,
+            repo,
+            executors,
+            config,
+            mgr,
+            storage,
+            instances: BTreeMap::new(),
+            commits: 0,
+            stats: CoordStats::default(),
+        })
+    }
+
+    fn commit(&mut self, action: flowscript_tx::AtomicAction) -> Result<(), EngineError> {
+        self.mgr.commit(action)?;
+        self.commits += 1;
+        if let Some(every) = self.config.checkpoint_every {
+            if self.commits.is_multiple_of(every) {
+                self.mgr.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn read_cb(&self, instance: &str, path: &str) -> Option<TaskCb> {
+        self.mgr
+            .read_committed(&cb_uid(instance, path))
+            .ok()
+            .flatten()
+    }
+
+    fn read_meta(&self, instance: &str) -> Option<InstanceMeta> {
+        self.mgr.read_committed(&meta_uid(instance)).ok().flatten()
+    }
+
+    /// Looks up a compiled task and its containing scope's path.
+    fn find_task<'a>(schema: &'a Schema, path: &str) -> Option<(&'a CompiledTask, String)> {
+        let mut segments = path.split('/');
+        let root_name = segments.next()?;
+        if root_name != schema.root.name {
+            return None;
+        }
+        let segments: Vec<&str> = segments.collect();
+        if segments.is_empty() {
+            return None;
+        }
+        let mut scope = &schema.root;
+        let mut scope_path = schema.root.name.clone();
+        for (i, segment) in segments.iter().enumerate() {
+            let task = scope.task(segment)?;
+            if i == segments.len() - 1 {
+                return Some((task, scope_path));
+            }
+            let TaskBody::Scope(inner) = &task.body else {
+                return None;
+            };
+            scope_path = format!("{scope_path}/{segment}");
+            scope = inner;
+        }
+        None
+    }
+}
+
+impl CoordHandle {
+    /// Wraps a coordinator.
+    pub fn new(coordinator: Coordinator) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(coordinator)),
+        }
+    }
+
+    /// Installs the message handler on the coordinator's node.
+    pub fn install(&self, world: &mut World) {
+        let node = self.inner.borrow().node;
+        let handle = self.clone();
+        world.set_handler(node, move |world, envelope| {
+            handle.handle_message(world, envelope);
+        });
+        let handle = self.clone();
+        world.set_restart_hook(node, move |world, _| {
+            handle.recover(world);
+        });
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> CoordStats {
+        self.inner.borrow().stats
+    }
+
+    /// Current log size in bytes (ablation measurements).
+    pub fn log_size(&self) -> u64 {
+        self.inner.borrow().mgr.log_size()
+    }
+
+    fn handle_message(&self, world: &mut World, envelope: &Envelope) {
+        let Ok(msg) = flowscript_codec::from_bytes::<EngineMsg>(&envelope.payload) else {
+            return; // corrupt message: drop, sender will time out / retry
+        };
+        match msg {
+            EngineMsg::Done(done) => self.on_task_done(world, done),
+            EngineMsg::Mark(mark) => self.on_mark(world, mark),
+            EngineMsg::StartInstance {
+                instance,
+                script,
+                version,
+                set,
+                inputs,
+            } => {
+                let Some(token) = envelope.reply_token() else {
+                    return;
+                };
+                self.on_start_instance(world, token, instance, script, version, set, inputs);
+            }
+            _ => {}
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Instance lifecycle.
+    // -----------------------------------------------------------------
+
+    /// Client request: start an instance of a repository script. Fetches
+    /// the script from the repository, then compiles and launches.
+    #[allow(clippy::too_many_arguments)]
+    fn on_start_instance(
+        &self,
+        world: &mut World,
+        token: ReplyToken,
+        instance: String,
+        script: String,
+        version: Option<u32>,
+        set: String,
+        inputs: BTreeMap<String, ObjectVal>,
+    ) {
+        let (node, repo) = {
+            let coordinator = self.inner.borrow();
+            (coordinator.node, coordinator.repo)
+        };
+        if self.inner.borrow().instances.contains_key(&instance)
+            || self.inner.borrow().read_meta(&instance).is_some()
+        {
+            let reply = EngineMsg::Ack {
+                result: Err(format!("instance `{instance}` already exists")),
+            };
+            world.rpc_reply_to(token, flowscript_codec::to_bytes(&reply));
+            return;
+        }
+        let get = EngineMsg::RepoGet {
+            name: script.clone(),
+            version,
+        };
+        let handle = self.clone();
+        world.rpc_call(
+            node,
+            repo,
+            flowscript_codec::to_bytes(&get),
+            SimDuration::from_secs(5),
+            move |world, reply| {
+                let result = match reply {
+                    Err(err) => Err(format!("repository unreachable: {err}")),
+                    Ok(bytes) => match flowscript_codec::from_bytes::<EngineMsg>(&bytes) {
+                        Ok(EngineMsg::RepoReply {
+                            result: Ok(_),
+                            source,
+                            root,
+                        }) => handle
+                            .start_instance(world, &instance, &script, &source, &root, &set, inputs.clone())
+                            .map_err(|e| e.to_string()),
+                        Ok(EngineMsg::RepoReply {
+                            result: Err(err), ..
+                        }) => Err(err),
+                        _ => Err("malformed repository reply".to_string()),
+                    },
+                };
+                let reply = EngineMsg::Ack { result };
+                world.rpc_reply_to(token, flowscript_codec::to_bytes(&reply));
+            },
+        );
+    }
+
+    /// Compiles and launches an instance (also used directly by tests).
+    ///
+    /// # Errors
+    ///
+    /// Invalid script, bad inputs or storage failure.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_instance(
+        &self,
+        world: &mut World,
+        instance: &str,
+        script_name: &str,
+        source: &str,
+        root: &str,
+        set: &str,
+        inputs: BTreeMap<String, ObjectVal>,
+    ) -> Result<(), EngineError> {
+        let schema = schema::compile_source(source, root)?;
+        // Validate the chosen input set against the root task class.
+        let root_class = schema
+            .task_class(&schema.root.class)
+            .ok_or_else(|| EngineError::InvalidScript("root class missing".into()))?;
+        let set_info = root_class.input_set(set).ok_or_else(|| {
+            EngineError::BadInputs(format!(
+                "taskclass `{}` has no input set `{set}`",
+                root_class.name
+            ))
+        })?;
+        for object in &set_info.objects {
+            match inputs.get(&object.name) {
+                None => {
+                    return Err(EngineError::BadInputs(format!(
+                        "missing input object `{}`",
+                        object.name
+                    )))
+                }
+                Some(value) if value.class != object.class => {
+                    return Err(EngineError::BadInputs(format!(
+                        "input `{}` has class `{}`, expected `{}`",
+                        object.name, value.class, object.class
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+
+        let mut coordinator = self.inner.borrow_mut();
+        if coordinator.instances.contains_key(instance) {
+            return Err(EngineError::DuplicateInstance(instance.to_string()));
+        }
+        let meta = InstanceMeta {
+            script: script_name.to_string(),
+            source: source.to_string(),
+            root: root.to_string(),
+            set: set.to_string(),
+            inputs: inputs.clone(),
+            status: InstanceStatus::Running,
+            reconfig_count: 0,
+        };
+        let action = coordinator.mgr.begin();
+        coordinator
+            .mgr
+            .write(&action, &meta_uid(instance), &meta)?;
+        // Root control block starts Active with the supplied inputs bound.
+        let mut root_cb = TaskCb::new(schema.root.name.clone());
+        root_cb.transition(CbState::Active {
+            set: set.to_string(),
+        });
+        coordinator
+            .mgr
+            .write(&action, &cb_uid(instance, &schema.root.name), &root_cb)?;
+        coordinator.mgr.write(
+            &action,
+            &in_uid(instance, &schema.root.name, set),
+            &inputs,
+        )?;
+        // Every descendant starts Waiting.
+        fn create_cbs(
+            mgr: &mut TxManager<SharedStorage>,
+            action: &flowscript_tx::AtomicAction,
+            instance: &str,
+            scope: &CompiledScope,
+            prefix: &str,
+        ) -> Result<(), EngineError> {
+            for task in &scope.tasks {
+                let path = format!("{prefix}/{}", task.name);
+                mgr.write(action, &cb_uid(instance, &path), &TaskCb::new(path.clone()))?;
+                if let TaskBody::Scope(inner) = &task.body {
+                    create_cbs(mgr, action, instance, inner, &path)?;
+                }
+            }
+            Ok(())
+        }
+        create_cbs(
+            &mut coordinator.mgr,
+            &action,
+            instance,
+            &schema.root,
+            &schema.root.name,
+        )?;
+        coordinator.commit(action)?;
+        coordinator.instances.insert(
+            instance.to_string(),
+            InstanceRt {
+                schema: Rc::new(schema),
+                bindings: BTreeMap::new(),
+                watchdogs: BTreeMap::new(),
+                in_flight: BTreeSet::new(),
+            },
+        );
+        drop(coordinator);
+        self.evaluate(world, instance);
+        Ok(())
+    }
+
+    /// Instance status (monitoring API).
+    pub fn status(&self, instance: &str) -> Result<InstanceStatus, EngineError> {
+        self.inner
+            .borrow()
+            .read_meta(instance)
+            .map(|meta| meta.status)
+            .ok_or_else(|| EngineError::UnknownInstance(instance.to_string()))
+    }
+
+    /// All task states of an instance, keyed by path.
+    pub fn task_states(&self, instance: &str) -> BTreeMap<String, CbState> {
+        let coordinator = self.inner.borrow();
+        let prefix = format!("inst/{instance}/cb/");
+        coordinator
+            .mgr
+            .uids_with_prefix(&prefix)
+            .into_iter()
+            .filter_map(|uid| {
+                let cb: TaskCb = coordinator.mgr.read_committed(&uid).ok().flatten()?;
+                Some((cb.path.clone(), cb.state))
+            })
+            .collect()
+    }
+
+    /// A published output fact (monitoring; e.g. root marks).
+    pub fn output_fact(
+        &self,
+        instance: &str,
+        path: &str,
+        output: &str,
+    ) -> Option<BTreeMap<String, ObjectVal>> {
+        let coordinator = self.inner.borrow();
+        coordinator
+            .mgr
+            .read_committed(&out_uid(instance, path, output))
+            .ok()
+            .flatten()
+    }
+
+    /// Names of instances known to the coordinator.
+    pub fn instance_names(&self) -> Vec<String> {
+        self.inner.borrow().instances.keys().cloned().collect()
+    }
+
+    // -----------------------------------------------------------------
+    // Evaluation.
+    // -----------------------------------------------------------------
+
+    /// Runs readiness evaluation to a fixpoint, then checks for
+    /// quiescence (stuck detection).
+    pub fn evaluate(&self, world: &mut World, instance: &str) {
+        loop {
+            let Some(meta) = self.inner.borrow().read_meta(instance) else {
+                return;
+            };
+            if meta.status.is_terminal() {
+                return;
+            }
+            let schema = {
+                let coordinator = self.inner.borrow();
+                let Some(rt) = coordinator.instances.get(instance) else {
+                    return;
+                };
+                rt.schema.clone()
+            };
+            let root_path = schema.root.name.clone();
+            if !self.evaluate_scope(world, instance, &schema, &schema.root, &root_path) {
+                break;
+            }
+        }
+        self.stuck_check(world, instance);
+    }
+
+    /// One pass over a scope tree; returns whether anything progressed.
+    fn evaluate_scope(
+        &self,
+        world: &mut World,
+        instance: &str,
+        schema: &Schema,
+        scope: &CompiledScope,
+        scope_path: &str,
+    ) -> bool {
+        let Some(scope_cb) = self.inner.borrow().read_cb(instance, scope_path) else {
+            return false;
+        };
+        if !matches!(scope_cb.state, CbState::Active { .. }) {
+            return false;
+        }
+        let scope_inc = scope_cb.scope_inc;
+
+        // 1. Try to start Waiting constituents.
+        for task in &scope.tasks {
+            let path = format!("{scope_path}/{}", task.name);
+            let Some(cb) = self.inner.borrow().read_cb(instance, &path) else {
+                continue;
+            };
+            if cb.state != CbState::Waiting || cb.incarnation != scope_inc {
+                continue;
+            }
+            let satisfied = {
+                let coordinator = self.inner.borrow();
+                let facts = TxFacts {
+                    mgr: &coordinator.mgr,
+                    instance,
+                };
+                deps::eval_task_inputs(scope_path, task, &facts)
+            };
+            if let Some((set, bound)) = satisfied {
+                if self.activate_task(world, instance, task, &path, &set, bound) {
+                    return true;
+                }
+            }
+        }
+
+        // 2. Recurse into active sub-scopes.
+        for task in &scope.tasks {
+            if let TaskBody::Scope(inner) = &task.body {
+                let path = format!("{scope_path}/{}", task.name);
+                if self.evaluate_scope(world, instance, schema, inner, &path) {
+                    return true;
+                }
+            }
+        }
+
+        // 3. Scope outputs: marks first (non-terminal), then the first
+        //    satisfied terminal output (or repeat).
+        let satisfied = {
+            let coordinator = self.inner.borrow();
+            let facts = TxFacts {
+                mgr: &coordinator.mgr,
+                instance,
+            };
+            deps::eval_scope_outputs(scope_path, scope, &facts)
+                .into_iter()
+                .map(|(output, objects)| (output.name.clone(), output.kind, objects))
+                .collect::<Vec<_>>()
+        };
+        for (name, kind, objects) in &satisfied {
+            if *kind == OutputKind::Mark
+                && !scope_cb.mark_emitted(name)
+                && self
+                    .emit_scope_mark(instance, scope_path, name, objects.clone())
+                    .is_ok()
+            {
+                return true;
+            }
+        }
+        for (name, kind, objects) in satisfied {
+            match kind {
+                OutputKind::Mark => {}
+                OutputKind::RepeatOutcome => {
+                    self.repeat_scope(world, instance, schema, scope, scope_path, &name, objects);
+                    return true;
+                }
+                OutputKind::Outcome | OutputKind::AbortOutcome => {
+                    self.terminate_scope(
+                        world, instance, scope, scope_path, &name, kind, objects,
+                    );
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Binds a satisfied input set and starts the task (dispatch for
+    /// leaves, activation for compounds). Returns whether progress was
+    /// made.
+    fn activate_task(
+        &self,
+        world: &mut World,
+        instance: &str,
+        task: &CompiledTask,
+        path: &str,
+        set: &str,
+        bound: BTreeMap<String, ObjectVal>,
+    ) -> bool {
+        let stamped: BTreeMap<String, ObjectVal> = bound;
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            let Some(mut cb) = coordinator.read_cb(instance, path) else {
+                return false;
+            };
+            let next = match task.body {
+                TaskBody::Leaf => CbState::Executing {
+                    set: set.to_string(),
+                },
+                TaskBody::Scope(_) => CbState::Active {
+                    set: set.to_string(),
+                },
+            };
+            cb.transition(next);
+            let action = coordinator.mgr.begin();
+            let write = coordinator
+                .mgr
+                .write(&action, &cb_uid(instance, path), &cb)
+                .and_then(|_| {
+                    coordinator
+                        .mgr
+                        .write(&action, &in_uid(instance, path, set), &stamped)
+                });
+            if write.is_err() {
+                coordinator.mgr.abort(action);
+                return false;
+            }
+            if coordinator.commit(action).is_err() {
+                return false;
+            }
+        }
+        if matches!(task.body, TaskBody::Leaf) {
+            self.dispatch(world, instance, path, 0, stamped, BTreeMap::new());
+        }
+        true
+    }
+
+    // -----------------------------------------------------------------
+    // Dispatch and executor replies.
+    // -----------------------------------------------------------------
+
+    /// Sends a `StartTask` to an executor and arms the watchdog.
+    fn dispatch(
+        &self,
+        world: &mut World,
+        instance: &str,
+        path: &str,
+        attempt: u32,
+        inputs: BTreeMap<String, ObjectVal>,
+        repeat_objects: BTreeMap<String, ObjectVal>,
+    ) {
+        // Gather everything under one borrow, then interact with the
+        // world outside it.
+        let prepared = {
+            let mut coordinator = self.inner.borrow_mut();
+            let Some(rt) = coordinator.instances.get(instance) else {
+                return;
+            };
+            let schema = rt.schema.clone();
+            let Some((task, _)) = Coordinator::find_task(&schema, path) else {
+                return;
+            };
+            let Some(cb) = coordinator.read_cb(instance, path) else {
+                return;
+            };
+            let CbState::Executing { set } = cb.state.clone() else {
+                return;
+            };
+            // Run-time binding: per-instance rebinding overrides the
+            // script's name.
+            let script_code = task.code().unwrap_or_default().to_string();
+            let rt = coordinator.instances.get(instance).expect("checked above");
+            let code = rt
+                .bindings
+                .get(&script_code)
+                .cloned()
+                .unwrap_or(script_code);
+            // Executor choice: stable hash of the path plus the attempt,
+            // so retries move to a different node (service relocation).
+            let mut hash = 0u64;
+            for byte in path.bytes() {
+                hash = hash.wrapping_mul(31).wrapping_add(u64::from(byte));
+            }
+            let executor = coordinator.executors[(hash.wrapping_add(u64::from(attempt))
+                % coordinator.executors.len() as u64)
+                as usize];
+            let msg = EngineMsg::Start(StartTask {
+                instance: instance.to_string(),
+                path: path.to_string(),
+                incarnation: cb.incarnation,
+                attempt,
+                code,
+                implementation: task.implementation.clone(),
+                set,
+                inputs,
+                repeat_objects,
+            });
+            // Watchdog: base timeout plus any declared duration/deadline
+            // hint from the implementation clause.
+            let mut timeout = coordinator.config.dispatch_timeout;
+            for key in ["duration_ms", "deadline_ms"] {
+                if let Some(extra) = task.implementation.get(key).and_then(|v| v.parse().ok()) {
+                    timeout = timeout + SimDuration::from_millis(extra);
+                }
+            }
+            coordinator.stats.dispatches += 1;
+            (
+                coordinator.node,
+                executor,
+                flowscript_codec::to_bytes(&msg),
+                timeout,
+                cb.incarnation,
+            )
+        };
+        let (node, executor, bytes, timeout, incarnation) = prepared;
+        let handle = self.clone();
+        let instance_owned = instance.to_string();
+        let path_owned = path.to_string();
+        let watchdog = world.schedule_node_after(node, timeout, move |world| {
+            handle.on_watchdog(world, &instance_owned, &path_owned, incarnation, attempt);
+        });
+        let stale = {
+            let mut coordinator = self.inner.borrow_mut();
+            coordinator.instances.get_mut(instance).and_then(|rt| {
+                rt.in_flight.insert(path.to_string());
+                rt.watchdogs.insert(path.to_string(), watchdog)
+            })
+        };
+        if let Some(stale) = stale {
+            world.cancel(stale);
+        }
+        world.send(node, executor, bytes);
+    }
+
+    fn on_task_done(&self, world: &mut World, msg: TaskDone) {
+        let current = self.inner.borrow().read_cb(&msg.instance, &msg.path);
+        let Some(cb) = current else {
+            return;
+        };
+        let CbState::Executing { .. } = cb.state else {
+            return; // stale (cancelled/terminated meanwhile)
+        };
+        if cb.incarnation != msg.incarnation || cb.attempt != msg.attempt {
+            return; // stale attempt or previous scope incarnation
+        }
+        self.clear_watch(world, &msg.instance, &msg.path);
+
+        match msg.result.clone() {
+            TaskResult::ExecError { reason } => {
+                self.retry_or_fail(world, &msg.instance, &msg.path, &reason);
+            }
+            TaskResult::Output {
+                name,
+                objects,
+                redo_after,
+            } => {
+                let kind = {
+                    let coordinator = self.inner.borrow();
+                    coordinator
+                        .instances
+                        .get(&msg.instance)
+                        .and_then(|rt| {
+                            let (task, _) = Coordinator::find_task(&rt.schema, &msg.path)?;
+                            let class = rt.schema.task_class(&task.class)?;
+                            class.output(&name).map(|o| o.kind)
+                        })
+                };
+                let Some(kind) = kind else {
+                    self.fail_task(
+                        world,
+                        &msg.instance,
+                        &msg.path,
+                        &format!("implementation produced undeclared output `{name}`"),
+                    );
+                    return;
+                };
+                match kind {
+                    OutputKind::Mark => {
+                        self.fail_task(
+                            world,
+                            &msg.instance,
+                            &msg.path,
+                            &format!("mark `{name}` cannot be a completion"),
+                        );
+                    }
+                    OutputKind::Outcome | OutputKind::AbortOutcome => {
+                        let stamped: BTreeMap<String, ObjectVal> = objects
+                            .into_iter()
+                            .map(|(k, v)| (k, v.produced_by(msg.path.clone())))
+                            .collect();
+                        let committed = {
+                            let mut coordinator = self.inner.borrow_mut();
+                            let mut cb = cb.clone();
+                            cb.transition(if kind == OutputKind::Outcome {
+                                CbState::Done {
+                                    outcome: name.clone(),
+                                }
+                            } else {
+                                CbState::Aborted {
+                                    outcome: name.clone(),
+                                }
+                            });
+                            let action = coordinator.mgr.begin();
+                            let write = coordinator
+                                .mgr
+                                .write(&action, &cb_uid(&msg.instance, &msg.path), &cb)
+                                .and_then(|_| {
+                                    coordinator.mgr.write(
+                                        &action,
+                                        &out_uid(&msg.instance, &msg.path, &name),
+                                        &stamped,
+                                    )
+                                });
+                            match write {
+                                Ok(()) => coordinator.commit(action).is_ok(),
+                                Err(_) => {
+                                    coordinator.mgr.abort(action);
+                                    false
+                                }
+                            }
+                        };
+                        if committed {
+                            self.evaluate(world, &msg.instance);
+                        }
+                    }
+                    OutputKind::RepeatOutcome => {
+                        self.leaf_repeat(world, &msg, &name, redo_after);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A leaf took a repeat outcome: publish the (private) repeat fact and
+    /// re-execute after the requested delay (Fig. 3's `Repeat1`).
+    fn leaf_repeat(&self, world: &mut World, msg: &TaskDone, name: &str, redo_after: SimDuration) {
+        let TaskResult::Output { objects, .. } = &msg.result else {
+            return;
+        };
+        let over_limit = {
+            let mut coordinator = self.inner.borrow_mut();
+            let Some(mut cb) = coordinator.read_cb(&msg.instance, &msg.path) else {
+                return;
+            };
+            cb.repeats += 1;
+            coordinator.stats.repeats += 1;
+            let over = cb.repeats > coordinator.config.max_repeats;
+            let action = coordinator.mgr.begin();
+            if over {
+                cb.transition(CbState::Failed {
+                    reason: format!("repeat limit exceeded via `{name}`"),
+                });
+            } else {
+                cb.attempt += 1;
+            }
+            let write = coordinator
+                .mgr
+                .write(&action, &cb_uid(&msg.instance, &msg.path), &cb)
+                .and_then(|_| {
+                    coordinator.mgr.write(
+                        &action,
+                        &out_uid(&msg.instance, &msg.path, name),
+                        objects,
+                    )
+                });
+            if write.is_ok() {
+                let _ = coordinator.commit(action);
+            } else {
+                coordinator.mgr.abort(action);
+            }
+            over
+        };
+        if over_limit {
+            self.remove_in_flight(&msg.instance, &msg.path);
+            self.evaluate(world, &msg.instance);
+            return;
+        }
+        // Re-dispatch with the repeat objects after the requested delay.
+        let inputs = {
+            let coordinator = self.inner.borrow();
+            let Some(cb) = coordinator.read_cb(&msg.instance, &msg.path) else {
+                return;
+            };
+            let CbState::Executing { set } = &cb.state else {
+                return;
+            };
+            coordinator
+                .mgr
+                .read_committed::<BTreeMap<String, ObjectVal>>(&in_uid(
+                    &msg.instance,
+                    &msg.path,
+                    set,
+                ))
+                .ok()
+                .flatten()
+                .unwrap_or_default()
+        };
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            if let Some(rt) = coordinator.instances.get_mut(&msg.instance) {
+                rt.in_flight.insert(msg.path.clone());
+            }
+        }
+        let handle = self.clone();
+        let node = self.inner.borrow().node;
+        let instance = msg.instance.clone();
+        let path = msg.path.clone();
+        let attempt = msg.attempt + 1;
+        let repeat_objects = objects.clone();
+        world.schedule_node_after(node, redo_after, move |world| {
+            handle.dispatch(world, &instance, &path, attempt, inputs, repeat_objects);
+        });
+    }
+
+    fn on_mark(&self, world: &mut World, msg: MarkMsg) {
+        let committed = {
+            let mut coordinator = self.inner.borrow_mut();
+            let Some(mut cb) = coordinator.read_cb(&msg.instance, &msg.path) else {
+                return;
+            };
+            if !matches!(cb.state, CbState::Executing { .. })
+                || cb.incarnation != msg.incarnation
+                || cb.attempt != msg.attempt
+                || cb.mark_emitted(&msg.mark)
+            {
+                return;
+            }
+            // The mark must be declared by the class.
+            let declared = coordinator.instances.get(&msg.instance).is_some_and(|rt| {
+                Coordinator::find_task(&rt.schema, &msg.path)
+                    .and_then(|(task, _)| rt.schema.task_class(&task.class))
+                    .and_then(|class| class.output(&msg.mark))
+                    .is_some_and(|output| output.kind == OutputKind::Mark)
+            });
+            if !declared {
+                return;
+            }
+            cb.marks_emitted.push(msg.mark.clone());
+            coordinator.stats.marks += 1;
+            let stamped: BTreeMap<String, ObjectVal> = msg
+                .objects
+                .clone()
+                .into_iter()
+                .map(|(k, v)| (k, v.produced_by(msg.path.clone())))
+                .collect();
+            let action = coordinator.mgr.begin();
+            let write = coordinator
+                .mgr
+                .write(&action, &cb_uid(&msg.instance, &msg.path), &cb)
+                .and_then(|_| {
+                    coordinator.mgr.write(
+                        &action,
+                        &out_uid(&msg.instance, &msg.path, &msg.mark),
+                        &stamped,
+                    )
+                });
+            match write {
+                Ok(()) => coordinator.commit(action).is_ok(),
+                Err(_) => {
+                    coordinator.mgr.abort(action);
+                    false
+                }
+            }
+        };
+        if committed {
+            self.evaluate(world, &msg.instance);
+        }
+    }
+
+    fn on_watchdog(
+        &self,
+        world: &mut World,
+        instance: &str,
+        path: &str,
+        incarnation: u32,
+        attempt: u32,
+    ) {
+        let Some(cb) = self.inner.borrow().read_cb(instance, path) else {
+            return;
+        };
+        if !matches!(cb.state, CbState::Executing { .. })
+            || cb.incarnation != incarnation
+            || cb.attempt != attempt
+        {
+            return;
+        }
+        self.retry_or_fail(world, instance, path, "dispatch timed out");
+    }
+
+    /// Bounded automatic retry of a system-level failure.
+    fn retry_or_fail(&self, world: &mut World, instance: &str, path: &str, reason: &str) {
+        let decision = {
+            let mut coordinator = self.inner.borrow_mut();
+            let Some(mut cb) = coordinator.read_cb(instance, path) else {
+                return;
+            };
+            if cb.attempt < coordinator.config.max_retries {
+                cb.attempt += 1;
+                coordinator.stats.retries += 1;
+                let backoff = coordinator
+                    .config
+                    .retry_backoff
+                    .saturating_mul(1 << (cb.attempt.min(16) - 1));
+                let action = coordinator.mgr.begin();
+                let ok = coordinator
+                    .mgr
+                    .write(&action, &cb_uid(instance, path), &cb)
+                    .is_ok()
+                    && coordinator.commit(action).is_ok();
+                if ok {
+                    Some((cb.attempt, backoff))
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        match decision {
+            Some((attempt, backoff)) => {
+                {
+                    let mut coordinator = self.inner.borrow_mut();
+                    if let Some(rt) = coordinator.instances.get_mut(instance) {
+                        rt.in_flight.insert(path.to_string());
+                    }
+                }
+                let handle = self.clone();
+                let node = self.inner.borrow().node;
+                let instance_owned = instance.to_string();
+                let path_owned = path.to_string();
+                world.schedule_node_after(node, backoff, move |world| {
+                    handle.redispatch(world, &instance_owned, &path_owned, attempt);
+                });
+            }
+            None => {
+                self.fail_task(world, instance, path, reason);
+            }
+        }
+    }
+
+    /// Re-dispatches from persisted facts (also the recovery path).
+    fn redispatch(&self, world: &mut World, instance: &str, path: &str, attempt: u32) {
+        let gathered = {
+            let coordinator = self.inner.borrow();
+            let Some(cb) = coordinator.read_cb(instance, path) else {
+                return;
+            };
+            let CbState::Executing { set } = &cb.state else {
+                return;
+            };
+            if cb.attempt != attempt {
+                return;
+            }
+            let inputs = coordinator
+                .mgr
+                .read_committed::<BTreeMap<String, ObjectVal>>(&in_uid(instance, path, set))
+                .ok()
+                .flatten()
+                .unwrap_or_default();
+            // Repeat objects (if the task had repeated) are re-readable
+            // from its repeat-outcome facts.
+            let mut repeat_objects = BTreeMap::new();
+            if let Some(rt) = coordinator.instances.get(instance) {
+                if let Some((task, _)) = Coordinator::find_task(&rt.schema, path) {
+                    if let Some(class) = rt.schema.task_class(&task.class) {
+                        for output in &class.outputs {
+                            if output.kind == OutputKind::RepeatOutcome {
+                                if let Ok(Some(objects)) = coordinator
+                                    .mgr
+                                    .read_committed::<BTreeMap<String, ObjectVal>>(&out_uid(
+                                        instance,
+                                        path,
+                                        &output.name,
+                                    ))
+                                {
+                                    repeat_objects.extend(objects);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Some((inputs, repeat_objects))
+        };
+        if let Some((inputs, repeat_objects)) = gathered {
+            self.dispatch(world, instance, path, attempt, inputs, repeat_objects);
+        }
+    }
+
+    /// Marks a task permanently failed (retries exhausted).
+    fn fail_task(&self, world: &mut World, instance: &str, path: &str, reason: &str) {
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            let Some(mut cb) = coordinator.read_cb(instance, path) else {
+                return;
+            };
+            if cb.state.is_terminal() {
+                return;
+            }
+            cb.transition(CbState::Failed {
+                reason: reason.to_string(),
+            });
+            coordinator.stats.failures += 1;
+            let action = coordinator.mgr.begin();
+            let ok = coordinator
+                .mgr
+                .write(&action, &cb_uid(instance, path), &cb)
+                .is_ok();
+            if ok {
+                let _ = coordinator.commit(action);
+            } else {
+                coordinator.mgr.abort(action);
+            }
+        }
+        self.remove_in_flight(instance, path);
+        self.evaluate(world, instance);
+    }
+
+    fn clear_watch(&self, world: &mut World, instance: &str, path: &str) {
+        let watchdog = {
+            let mut coordinator = self.inner.borrow_mut();
+            coordinator
+                .instances
+                .get_mut(instance)
+                .and_then(|rt| rt.watchdogs.remove(path))
+        };
+        if let Some(id) = watchdog {
+            world.cancel(id);
+        }
+        self.remove_in_flight(instance, path);
+    }
+
+    fn remove_in_flight(&self, instance: &str, path: &str) {
+        let mut coordinator = self.inner.borrow_mut();
+        if let Some(rt) = coordinator.instances.get_mut(instance) {
+            rt.in_flight.remove(path);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Compound scope termination / repeat.
+    // -----------------------------------------------------------------
+
+    fn emit_scope_mark(
+        &self,
+        instance: &str,
+        scope_path: &str,
+        mark: &str,
+        objects: BTreeMap<String, ObjectVal>,
+    ) -> Result<(), EngineError> {
+        let mut coordinator = self.inner.borrow_mut();
+        let Some(mut cb) = coordinator.read_cb(instance, scope_path) else {
+            return Err(EngineError::UnknownTask(scope_path.to_string()));
+        };
+        cb.marks_emitted.push(mark.to_string());
+        coordinator.stats.marks += 1;
+        let action = coordinator.mgr.begin();
+        coordinator
+            .mgr
+            .write(&action, &cb_uid(instance, scope_path), &cb)?;
+        coordinator
+            .mgr
+            .write(&action, &out_uid(instance, scope_path, mark), &objects)?;
+        coordinator.commit(action)?;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn terminate_scope(
+        &self,
+        world: &mut World,
+        instance: &str,
+        scope: &CompiledScope,
+        scope_path: &str,
+        outcome_name: &str,
+        kind: OutputKind,
+        objects: BTreeMap<String, ObjectVal>,
+    ) {
+        let is_root = !scope_path.contains('/');
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            let Some(mut cb) = coordinator.read_cb(instance, scope_path) else {
+                return;
+            };
+            cb.transition(if kind == OutputKind::Outcome {
+                CbState::Done {
+                    outcome: outcome_name.to_string(),
+                }
+            } else {
+                CbState::Aborted {
+                    outcome: outcome_name.to_string(),
+                }
+            });
+            let action = coordinator.mgr.begin();
+            let mut ok = coordinator
+                .mgr
+                .write(&action, &cb_uid(instance, scope_path), &cb)
+                .is_ok()
+                && coordinator
+                    .mgr
+                    .write(&action, &out_uid(instance, scope_path, outcome_name), &objects)
+                    .is_ok();
+            // Cancel every non-terminal descendant.
+            if ok {
+                ok = cancel_descendants(
+                    &mut coordinator.mgr,
+                    &action,
+                    instance,
+                    scope,
+                    scope_path,
+                )
+                .is_ok();
+            }
+            if ok && is_root {
+                if let Some(mut meta) = coordinator.read_meta(instance) {
+                    meta.status = InstanceStatus::Completed(Outcome {
+                        name: outcome_name.to_string(),
+                        kind,
+                        objects: objects.clone(),
+                    });
+                    ok = coordinator
+                        .mgr
+                        .write(&action, &meta_uid(instance), &meta)
+                        .is_ok();
+                }
+            }
+            if ok {
+                let _ = coordinator.commit(action);
+            } else {
+                coordinator.mgr.abort(action);
+            }
+        }
+        // Drop volatile tracking for the whole subtree.
+        let watchdogs = {
+            let mut coordinator = self.inner.borrow_mut();
+            let prefix = format!("{scope_path}/");
+            coordinator
+                .instances
+                .get_mut(instance)
+                .map(|rt| {
+                    let stale: Vec<(String, EventId)> = rt
+                        .watchdogs
+                        .iter()
+                        .filter(|(path, _)| path.starts_with(&prefix))
+                        .map(|(path, id)| (path.clone(), *id))
+                        .collect();
+                    for (path, _) in &stale {
+                        rt.watchdogs.remove(path);
+                        rt.in_flight.remove(path);
+                    }
+                    stale
+                })
+                .unwrap_or_default()
+        };
+        for (_, id) in watchdogs {
+            world.cancel(id);
+        }
+    }
+
+    /// Scope-level repeat (Fig. 8): publish the repeat fact, reset the
+    /// subtree and let the compound rebind its inputs.
+    #[allow(clippy::too_many_arguments)]
+    fn repeat_scope(
+        &self,
+        world: &mut World,
+        instance: &str,
+        _schema: &Schema,
+        scope: &CompiledScope,
+        scope_path: &str,
+        outcome_name: &str,
+        objects: BTreeMap<String, ObjectVal>,
+    ) {
+        let is_root = !scope_path.contains('/');
+        let over_limit = {
+            let mut coordinator = self.inner.borrow_mut();
+            let Some(mut cb) = coordinator.read_cb(instance, scope_path) else {
+                return;
+            };
+            cb.repeats += 1;
+            coordinator.stats.repeats += 1;
+            if cb.repeats > coordinator.config.max_repeats {
+                cb.transition(CbState::Failed {
+                    reason: format!("compound repeat limit exceeded via `{outcome_name}`"),
+                });
+                let action = coordinator.mgr.begin();
+                let ok = coordinator
+                    .mgr
+                    .write(&action, &cb_uid(instance, scope_path), &cb)
+                    .is_ok();
+                if ok {
+                    let _ = coordinator.commit(action);
+                } else {
+                    coordinator.mgr.abort(action);
+                }
+                true
+            } else {
+                // Reset: bump this scope's incarnation, clear own input
+                // facts and all descendant state, publish the repeat fact.
+                cb.scope_inc += 1;
+                let new_inc = cb.scope_inc;
+                let meta = coordinator.read_meta(instance);
+                let action = coordinator.mgr.begin();
+                let mut ok = coordinator
+                    .mgr
+                    .write(&action, &out_uid(instance, scope_path, outcome_name), &objects)
+                    .is_ok();
+                // The compound goes back to Waiting to rebind (the root,
+                // which has no bindings, reactivates with its original
+                // inputs).
+                if is_root {
+                    if let Some(meta) = &meta {
+                        cb.state = CbState::Active {
+                            set: meta.set.clone(),
+                        };
+                        ok = ok
+                            && coordinator
+                                .mgr
+                                .write(
+                                    &action,
+                                    &in_uid(instance, scope_path, &meta.set),
+                                    &meta.inputs,
+                                )
+                                .is_ok();
+                    }
+                } else {
+                    cb.state = CbState::Waiting;
+                    // Clear own input-binding facts so the new incarnation
+                    // rebinds afresh.
+                    let prefix = format!("inst/{instance}/fact/in/{scope_path}/");
+                    for uid in coordinator.mgr.uids_with_prefix(&prefix) {
+                        ok = ok && coordinator.mgr.delete(&action, &uid).is_ok();
+                    }
+                }
+                ok = ok
+                    && coordinator
+                        .mgr
+                        .write(&action, &cb_uid(instance, scope_path), &cb)
+                        .is_ok();
+                if ok {
+                    ok = reset_descendants(
+                        &mut coordinator.mgr,
+                        &action,
+                        instance,
+                        scope,
+                        scope_path,
+                        new_inc,
+                    )
+                    .is_ok();
+                }
+                if ok {
+                    let _ = coordinator.commit(action);
+                } else {
+                    coordinator.mgr.abort(action);
+                }
+                false
+            }
+        };
+        // Cancel volatile subtree tracking either way.
+        let watchdogs = {
+            let mut coordinator = self.inner.borrow_mut();
+            let prefix = format!("{scope_path}/");
+            coordinator
+                .instances
+                .get_mut(instance)
+                .map(|rt| {
+                    let stale: Vec<(String, EventId)> = rt
+                        .watchdogs
+                        .iter()
+                        .filter(|(path, _)| path.starts_with(&prefix))
+                        .map(|(path, id)| (path.clone(), *id))
+                        .collect();
+                    for (path, _) in &stale {
+                        rt.watchdogs.remove(path);
+                        rt.in_flight.remove(path);
+                    }
+                    stale
+                })
+                .unwrap_or_default()
+        };
+        for (_, id) in watchdogs {
+            world.cancel(id);
+        }
+        if over_limit {
+            self.evaluate(world, instance);
+        }
+        // Not over limit: the caller's evaluate loop continues and the
+        // compound rebinds in the next pass.
+    }
+
+    // -----------------------------------------------------------------
+    // Quiescence / stuck detection.
+    // -----------------------------------------------------------------
+
+    fn stuck_check(&self, world: &mut World, instance: &str) {
+        let _ = world;
+        let mut coordinator = self.inner.borrow_mut();
+        let Some(meta) = coordinator.read_meta(instance) else {
+            return;
+        };
+        if meta.status.is_terminal() {
+            return;
+        }
+        let Some(rt) = coordinator.instances.get(instance) else {
+            return;
+        };
+        if !rt.in_flight.is_empty() {
+            return;
+        }
+        // Quiescent but not terminated: stuck. Summarise why.
+        let prefix = format!("inst/{instance}/cb/");
+        let mut failed = Vec::new();
+        let mut waiting = Vec::new();
+        for uid in coordinator.mgr.uids_with_prefix(&prefix) {
+            if let Ok(Some(cb)) = coordinator.mgr.read_committed::<TaskCb>(&uid) {
+                match &cb.state {
+                    CbState::Failed { reason } => {
+                        failed.push(format!("{} ({reason})", cb.path));
+                    }
+                    CbState::Waiting => waiting.push(cb.path.clone()),
+                    _ => {}
+                }
+            }
+        }
+        let reason = format!(
+            "no runnable task and the root cannot terminate; failed: [{}]; waiting: [{}]",
+            failed.join(", "),
+            waiting.join(", ")
+        );
+        let mut meta = meta;
+        meta.status = InstanceStatus::Stuck { reason };
+        let action = coordinator.mgr.begin();
+        let ok = coordinator
+            .mgr
+            .write(&action, &meta_uid(instance), &meta)
+            .is_ok();
+        if ok {
+            let _ = coordinator.commit(action);
+        } else {
+            coordinator.mgr.abort(action);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Reconfiguration (paper §2/§3: transactional structure changes).
+    // -----------------------------------------------------------------
+
+    /// Applies a reconfiguration to a running instance atomically.
+    ///
+    /// # Errors
+    ///
+    /// Validation failures leave the instance untouched.
+    pub fn reconfigure(
+        &self,
+        world: &mut World,
+        instance: &str,
+        op: Reconfig,
+    ) -> Result<(), EngineError> {
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            let Some(mut meta) = coordinator.read_meta(instance) else {
+                return Err(EngineError::UnknownInstance(instance.to_string()));
+            };
+            // A reconfiguration can rescue a stuck instance (e.g. by adding
+            // an alternative source), so revive it for re-evaluation.
+            if matches!(meta.status, InstanceStatus::Stuck { .. }) {
+                meta.status = InstanceStatus::Running;
+            }
+            let Some(rt) = coordinator.instances.get(instance) else {
+                return Err(EngineError::UnknownInstance(instance.to_string()));
+            };
+            let mut schema = (*rt.schema).clone();
+            let effects = reconfig::apply(&mut schema, &op)?;
+
+            // Persist the op and its engine-side effects in one action.
+            let action = coordinator.mgr.begin();
+            let n = meta.reconfig_count;
+            meta.reconfig_count += 1;
+            coordinator
+                .mgr
+                .write(&action, &reconfig_uid(instance, n), &op)?;
+            coordinator.mgr.write(&action, &meta_uid(instance), &meta)?;
+            for path in &effects.new_tasks {
+                // New tasks join the current incarnation of their scope.
+                let scope_path = path.rsplit_once('/').map(|(s, _)| s).unwrap_or("");
+                let scope_inc = coordinator
+                    .read_cb(instance, scope_path)
+                    .map(|cb| cb.scope_inc)
+                    .unwrap_or(0);
+                let mut cb = TaskCb::new(path.clone());
+                cb.incarnation = scope_inc;
+                coordinator
+                    .mgr
+                    .write(&action, &cb_uid(instance, path), &cb)?;
+            }
+            for path in &effects.removed_tasks {
+                coordinator
+                    .mgr
+                    .delete(&action, &cb_uid(instance, path))?;
+                for uid in coordinator
+                    .mgr
+                    .uids_with_prefix(&format!("inst/{instance}/fact/out/{path}/"))
+                {
+                    coordinator.mgr.delete(&action, &uid)?;
+                }
+                for uid in coordinator
+                    .mgr
+                    .uids_with_prefix(&format!("inst/{instance}/fact/in/{path}/"))
+                {
+                    coordinator.mgr.delete(&action, &uid)?;
+                }
+            }
+            if let Reconfig::Rebind { code, to } = &op {
+                coordinator
+                    .mgr
+                    .write(&action, &bind_uid(instance, code), to)?;
+            }
+            coordinator.commit(action)?;
+            coordinator.stats.reconfigs += 1;
+            let rt = coordinator
+                .instances
+                .get_mut(instance)
+                .expect("checked above");
+            rt.schema = Rc::new(schema);
+            if let Reconfig::Rebind { code, to } = &op {
+                rt.bindings.insert(code.clone(), to.clone());
+            }
+        }
+        self.evaluate(world, instance);
+        Ok(())
+    }
+
+    /// Administrative abort of a *waiting* task (Fig. 3 permits
+    /// wait-state aborts for timer expiry or a user forcing an abort).
+    /// The named outcome must be a declared abort outcome of the task's
+    /// class; it is published like any other abort so dependents (e.g. a
+    /// compound's cancellation notification) observe it.
+    ///
+    /// # Errors
+    ///
+    /// Unknown instance/task, a non-waiting task, or an outcome that is
+    /// not a declared abort outcome.
+    pub fn abort_waiting_task(
+        &self,
+        world: &mut World,
+        instance: &str,
+        path: &str,
+        outcome: &str,
+    ) -> Result<(), EngineError> {
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            let Some(rt) = coordinator.instances.get(instance) else {
+                return Err(EngineError::UnknownInstance(instance.to_string()));
+            };
+            let Some((task, _)) = Coordinator::find_task(&rt.schema, path) else {
+                return Err(EngineError::UnknownTask(path.to_string()));
+            };
+            let declared_abort = rt
+                .schema
+                .task_class(&task.class)
+                .and_then(|class| class.output(outcome))
+                .is_some_and(|o| o.kind == OutputKind::AbortOutcome);
+            if !declared_abort {
+                return Err(EngineError::ReconfigRejected(format!(
+                    "`{outcome}` is not an abort outcome of `{}`",
+                    task.class
+                )));
+            }
+            let Some(mut cb) = coordinator.read_cb(instance, path) else {
+                return Err(EngineError::UnknownTask(path.to_string()));
+            };
+            if cb.state != CbState::Waiting {
+                return Err(EngineError::ReconfigRejected(format!(
+                    "task `{path}` is not waiting (state {:?})",
+                    cb.state
+                )));
+            }
+            cb.transition(CbState::Aborted {
+                outcome: outcome.to_string(),
+            });
+            let action = coordinator.mgr.begin();
+            coordinator
+                .mgr
+                .write(&action, &cb_uid(instance, path), &cb)?;
+            coordinator.mgr.write(
+                &action,
+                &out_uid(instance, path, outcome),
+                &BTreeMap::<String, ObjectVal>::new(),
+            )?;
+            coordinator.commit(action)?;
+        }
+        self.evaluate(world, instance);
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Recovery.
+    // -----------------------------------------------------------------
+
+    /// Rebuilds all state from the write-ahead log after a restart and
+    /// resumes every running instance (re-dispatching in-flight tasks).
+    pub fn recover(&self, world: &mut World) {
+        let instances: Vec<String> = {
+            let mut coordinator = self.inner.borrow_mut();
+            let (node, storage) = (coordinator.node, coordinator.storage.clone());
+            let mgr = match TxManager::open(node.index() as u32, storage) {
+                Ok(mgr) => mgr,
+                Err(_) => return,
+            };
+            coordinator.mgr = mgr;
+            coordinator.instances.clear();
+
+            // Enumerate instances by their meta objects.
+            let metas: Vec<ObjectUid> = coordinator
+                .mgr
+                .uids_with_prefix("inst/")
+                .into_iter()
+                .filter(|uid| uid.as_str().ends_with("/meta"))
+                .collect();
+            let mut names = Vec::new();
+            for uid in metas {
+                let Ok(Some(meta)) = coordinator.mgr.read_committed::<InstanceMeta>(&uid) else {
+                    continue;
+                };
+                let name = uid
+                    .as_str()
+                    .trim_start_matches("inst/")
+                    .trim_end_matches("/meta")
+                    .to_string();
+                let Ok(mut schema) = schema::compile_source(&meta.source, &meta.root) else {
+                    continue;
+                };
+                // Re-apply persisted reconfigurations in order.
+                for op_uid in coordinator
+                    .mgr
+                    .uids_with_prefix(&format!("inst/{name}/reconfig/"))
+                {
+                    if let Ok(Some(op)) = coordinator.mgr.read_committed::<Reconfig>(&op_uid) {
+                        let _ = reconfig::apply(&mut schema, &op);
+                    }
+                }
+                // Rebindings.
+                let mut bindings = BTreeMap::new();
+                for bind in coordinator
+                    .mgr
+                    .uids_with_prefix(&format!("inst/{name}/bind/"))
+                {
+                    if let Ok(Some(to)) = coordinator.mgr.read_committed::<String>(&bind) {
+                        let code = bind
+                            .as_str()
+                            .trim_start_matches(&format!("inst/{name}/bind/"))
+                            .to_string();
+                        bindings.insert(code, to);
+                    }
+                }
+                coordinator.instances.insert(
+                    name.clone(),
+                    InstanceRt {
+                        schema: Rc::new(schema),
+                        bindings,
+                        watchdogs: BTreeMap::new(),
+                        in_flight: BTreeSet::new(),
+                    },
+                );
+                if meta.status == InstanceStatus::Running {
+                    names.push(name);
+                }
+                coordinator.stats.recovered_instances += 1;
+            }
+            names
+        };
+
+        // Re-dispatch whatever was executing (at-least-once execution,
+        // exactly-once outcome application via attempt matching).
+        for instance in &instances {
+            let executing: Vec<(String, u32)> = {
+                let coordinator = self.inner.borrow();
+                let prefix = format!("inst/{instance}/cb/");
+                coordinator
+                    .mgr
+                    .uids_with_prefix(&prefix)
+                    .into_iter()
+                    .filter_map(|uid| {
+                        let cb: TaskCb = coordinator.mgr.read_committed(&uid).ok().flatten()?;
+                        matches!(cb.state, CbState::Executing { .. })
+                            .then(|| (cb.path.clone(), cb.attempt))
+                    })
+                    .collect()
+            };
+            for (path, attempt) in executing {
+                // Bump the attempt so a late pre-crash reply is ignored.
+                let bumped = {
+                    let mut coordinator = self.inner.borrow_mut();
+                    let Some(mut cb) = coordinator.read_cb(instance, &path) else {
+                        continue;
+                    };
+                    cb.attempt = attempt + 1;
+                    let new_attempt = cb.attempt;
+                    let action = coordinator.mgr.begin();
+                    let ok = coordinator
+                        .mgr
+                        .write(&action, &cb_uid(instance, &path), &cb)
+                        .is_ok();
+                    if ok {
+                        let _ = coordinator.commit(action);
+                        Some(new_attempt)
+                    } else {
+                        coordinator.mgr.abort(action);
+                        None
+                    }
+                };
+                if let Some(new_attempt) = bumped {
+                    self.redispatch(world, instance, &path, new_attempt);
+                }
+            }
+            self.evaluate(world, instance);
+        }
+    }
+}
+
+fn cancel_descendants(
+    mgr: &mut TxManager<SharedStorage>,
+    action: &flowscript_tx::AtomicAction,
+    instance: &str,
+    scope: &CompiledScope,
+    scope_path: &str,
+) -> Result<(), EngineError> {
+    for task in &scope.tasks {
+        let path = format!("{scope_path}/{}", task.name);
+        let uid = cb_uid(instance, &path);
+        if let Some(mut cb) = mgr.read::<TaskCb>(action, &uid)? {
+            if !cb.state.is_terminal() {
+                cb.transition(CbState::Cancelled);
+                mgr.write(action, &uid, &cb)?;
+            }
+        }
+        if let TaskBody::Scope(inner) = &task.body {
+            cancel_descendants(mgr, action, instance, inner, &path)?;
+        }
+    }
+    Ok(())
+}
+
+fn reset_descendants(
+    mgr: &mut TxManager<SharedStorage>,
+    action: &flowscript_tx::AtomicAction,
+    instance: &str,
+    scope: &CompiledScope,
+    scope_path: &str,
+    incarnation: u32,
+) -> Result<(), EngineError> {
+    for task in &scope.tasks {
+        let path = format!("{scope_path}/{}", task.name);
+        let uid = cb_uid(instance, &path);
+        let mut inner_inc = 0;
+        if let Some(mut cb) = mgr.read::<TaskCb>(action, &uid)? {
+            cb.reset_for_incarnation(incarnation);
+            if matches!(task.body, TaskBody::Scope(_)) {
+                // A nested compound's own scope advances too, so its
+                // children rebind consistently.
+                cb.scope_inc += 1;
+                inner_inc = cb.scope_inc;
+            }
+            mgr.write(action, &uid, &cb)?;
+        }
+        // Facts of the descendant are cleared (its outputs belong to the
+        // dead incarnation).
+        for fact in mgr.uids_with_prefix(&format!("inst/{instance}/fact/out/{path}/")) {
+            mgr.delete(action, &fact)?;
+        }
+        for fact in mgr.uids_with_prefix(&format!("inst/{instance}/fact/in/{path}/")) {
+            mgr.delete(action, &fact)?;
+        }
+        if let TaskBody::Scope(inner) = &task.body {
+            reset_descendants(mgr, action, instance, inner, &path, inner_inc)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let config = EngineConfig::default();
+        assert!(config.max_retries >= 1);
+        assert!(config.max_repeats > 1);
+        assert!(config.dispatch_timeout > config.retry_backoff);
+    }
+
+    #[test]
+    fn status_codec_roundtrip() {
+        let statuses = vec![
+            InstanceStatus::Running,
+            InstanceStatus::Completed(Outcome {
+                name: "done".into(),
+                kind: OutputKind::Outcome,
+                objects: BTreeMap::from([(
+                    "x".to_string(),
+                    ObjectVal::text("C", "v"),
+                )]),
+            }),
+            InstanceStatus::Stuck {
+                reason: "nothing to run".into(),
+            },
+        ];
+        for status in statuses {
+            let bytes = flowscript_codec::to_bytes(&status);
+            assert_eq!(
+                flowscript_codec::from_bytes::<InstanceStatus>(&bytes).unwrap(),
+                status
+            );
+            let _ = status.is_terminal();
+        }
+    }
+
+    #[test]
+    fn meta_codec_roundtrip() {
+        let meta = InstanceMeta {
+            script: "order".into(),
+            source: "class C;".into(),
+            root: "root".into(),
+            set: "main".into(),
+            inputs: BTreeMap::from([("seed".to_string(), ObjectVal::text("C", "s"))]),
+            status: InstanceStatus::Running,
+            reconfig_count: 2,
+        };
+        let bytes = flowscript_codec::to_bytes(&meta);
+        assert_eq!(
+            flowscript_codec::from_bytes::<InstanceMeta>(&bytes).unwrap(),
+            meta
+        );
+    }
+
+    #[test]
+    fn find_task_resolves_nested_paths() {
+        let schema = schema::compile_source(
+            flowscript_core::samples::BUSINESS_TRIP,
+            "tripReservation",
+        )
+        .unwrap();
+        let (task, scope_path) = Coordinator::find_task(
+            &schema,
+            "tripReservation/businessReservation/checkFlightReservation/airlineQueryB",
+        )
+        .unwrap();
+        assert_eq!(task.name, "airlineQueryB");
+        assert_eq!(
+            scope_path,
+            "tripReservation/businessReservation/checkFlightReservation"
+        );
+        let (task, scope_path) =
+            Coordinator::find_task(&schema, "tripReservation/printTickets").unwrap();
+        assert_eq!(task.name, "printTickets");
+        assert_eq!(scope_path, "tripReservation");
+        assert!(Coordinator::find_task(&schema, "tripReservation/ghost").is_none());
+        assert!(Coordinator::find_task(&schema, "wrong/printTickets").is_none());
+    }
+}

@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Errors surfaced by the workflow engine's public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A script failed to parse/check/compile; the message carries the
+    /// rendered diagnostics.
+    InvalidScript(String),
+    /// The named script (or version) is not in the repository.
+    UnknownScript(String),
+    /// The named instance does not exist.
+    UnknownInstance(String),
+    /// An instance with this name already exists.
+    DuplicateInstance(String),
+    /// The operation refers to a task path that does not exist.
+    UnknownTask(String),
+    /// A reconfiguration was rejected (validation failure).
+    ReconfigRejected(String),
+    /// The named input set does not exist on the root task class, or the
+    /// supplied objects do not match it.
+    BadInputs(String),
+    /// The transactional substrate failed.
+    Tx(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidScript(msg) => write!(f, "invalid script: {msg}"),
+            EngineError::UnknownScript(name) => write!(f, "unknown script `{name}`"),
+            EngineError::UnknownInstance(name) => write!(f, "unknown instance `{name}`"),
+            EngineError::DuplicateInstance(name) => {
+                write!(f, "instance `{name}` already exists")
+            }
+            EngineError::UnknownTask(path) => write!(f, "unknown task `{path}`"),
+            EngineError::ReconfigRejected(msg) => write!(f, "reconfiguration rejected: {msg}"),
+            EngineError::BadInputs(msg) => write!(f, "bad instance inputs: {msg}"),
+            EngineError::Tx(msg) => write!(f, "transactional failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<flowscript_tx::TxError> for EngineError {
+    fn from(err: flowscript_tx::TxError) -> Self {
+        EngineError::Tx(err.to_string())
+    }
+}
+
+impl From<flowscript_core::Diagnostics> for EngineError {
+    fn from(diags: flowscript_core::Diagnostics) -> Self {
+        EngineError::InvalidScript(diags.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(EngineError::UnknownScript("s".into())
+            .to_string()
+            .contains("`s`"));
+        assert!(EngineError::ReconfigRejected("nope".into())
+            .to_string()
+            .contains("nope"));
+    }
+
+    #[test]
+    fn conversions_carry_messages() {
+        let tx_err: EngineError = flowscript_tx::TxError::Storage("disk".into()).into();
+        assert!(tx_err.to_string().contains("disk"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Task executor nodes.
+//!
+//! An executor receives `StartTask` messages, binds the named
+//! implementation through the shared [`ImplRegistry`], plays the resulting
+//! [`crate::TaskBehavior`] out in simulated time (marks at their offsets,
+//! completion after the work duration) and reports back with one-way
+//! messages. Executors hold **no durable state**: a crash simply loses
+//! in-flight work, which the coordinator's watchdogs turn into bounded
+//! retries on another node.
+//!
+//! Per §4.3 an implementation name may refer to *a script*; such bindings
+//! run a complete nested workflow (own simulated world, same registry)
+//! and map its root outcome onto this task's completion.
+
+use std::cell::Cell;
+
+use flowscript_sim::{Envelope, NodeId, SimDuration, World};
+
+use crate::impl_registry::{ImplRegistry, Invocation, InvokeCtx, TaskBehavior};
+use crate::msg::{EngineMsg, MarkMsg, StartTask, TaskDone, TaskResult};
+
+thread_local! {
+    /// Nested-script recursion guard (a script bound as its own
+    /// implementation would otherwise recurse forever).
+    static NESTING: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Maximum depth of script-as-implementation nesting.
+pub const MAX_SCRIPT_NESTING: u32 = 8;
+
+/// Installs the executor handler on `node`, reporting to `coordinator`.
+pub fn install(world: &mut World, node: NodeId, coordinator: NodeId, registry: ImplRegistry) {
+    world.set_handler(node, move |world, envelope| {
+        handle(world, node, coordinator, &registry, envelope);
+    });
+}
+
+fn handle(
+    world: &mut World,
+    node: NodeId,
+    coordinator: NodeId,
+    registry: &ImplRegistry,
+    envelope: &Envelope,
+) {
+    let Ok(EngineMsg::Start(start)) = flowscript_codec::from_bytes::<EngineMsg>(&envelope.payload)
+    else {
+        return;
+    };
+    let ctx = InvokeCtx {
+        path: start.path.clone(),
+        attempt: start.attempt,
+        set: start.set.clone(),
+        inputs: start.inputs.clone(),
+        repeat_objects: start.repeat_objects.clone(),
+        implementation: start.implementation.clone(),
+    };
+    let behavior = match registry.invoke(&start.code, &ctx) {
+        Err(reason) => {
+            send_done(world, node, coordinator, &start, TaskResult::ExecError { reason });
+            return;
+        }
+        Ok(Invocation::Behavior(behavior)) => behavior,
+        Ok(Invocation::Script { source, root }) => {
+            match run_nested_script(registry, &source, &root, &start) {
+                Ok(behavior) => behavior,
+                Err(reason) => {
+                    send_done(world, node, coordinator, &start, TaskResult::ExecError { reason });
+                    return;
+                }
+            }
+        }
+    };
+    play_behavior(world, node, coordinator, &start, behavior);
+}
+
+/// Schedules the behaviour's marks and completion in simulated time.
+fn play_behavior(
+    world: &mut World,
+    node: NodeId,
+    coordinator: NodeId,
+    start: &StartTask,
+    behavior: TaskBehavior,
+) {
+    for mark in behavior.marks {
+        let msg = EngineMsg::Mark(MarkMsg {
+            instance: start.instance.clone(),
+            path: start.path.clone(),
+            incarnation: start.incarnation,
+            attempt: start.attempt,
+            mark: mark.name,
+            objects: mark.objects,
+        });
+        let at = mark.at.min(behavior.work);
+        world.schedule_node_after(node, at, move |world| {
+            world.send(node, coordinator, flowscript_codec::to_bytes(&msg));
+        });
+    }
+    let done = TaskResult::Output {
+        name: behavior.completion.outcome,
+        objects: behavior.completion.objects,
+        redo_after: behavior.redo_after,
+    };
+    let start = start.clone();
+    world.schedule_node_after(node, behavior.work, move |world| {
+        send_done(world, node, coordinator, &start, done);
+    });
+}
+
+fn send_done(
+    world: &mut World,
+    node: NodeId,
+    coordinator: NodeId,
+    start: &StartTask,
+    result: TaskResult,
+) {
+    let msg = EngineMsg::Done(TaskDone {
+        instance: start.instance.clone(),
+        path: start.path.clone(),
+        incarnation: start.incarnation,
+        attempt: start.attempt,
+        result,
+    });
+    world.send(node, coordinator, flowscript_codec::to_bytes(&msg));
+}
+
+/// Runs a nested workflow for a script-bound implementation and maps its
+/// root outcome onto this task's behaviour. The nested run uses its own
+/// simulated world; its virtual elapsed time becomes this task's `work`.
+fn run_nested_script(
+    registry: &ImplRegistry,
+    source: &str,
+    root: &str,
+    start: &StartTask,
+) -> Result<TaskBehavior, String> {
+    let depth = NESTING.with(|n| n.get());
+    if depth >= MAX_SCRIPT_NESTING {
+        return Err(format!(
+            "script nesting deeper than {MAX_SCRIPT_NESTING} (implementation cycle?)"
+        ));
+    }
+    NESTING.with(|n| n.set(depth + 1));
+    let result = (|| {
+        let mut nested = crate::api::WorkflowSystem::builder()
+            .executors(1)
+            .seed(u64::from(start.attempt).wrapping_add(0x5eed))
+            .registry(registry.clone())
+            .build();
+        nested
+            .register_script("nested", source, root)
+            .map_err(|e| format!("nested script invalid: {e}"))?;
+        let inputs: Vec<(String, crate::ObjectVal)> = start
+            .inputs
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        nested
+            .start_with("nested-run", "nested", &start.set, inputs)
+            .map_err(|e| format!("nested start failed: {e}"))?;
+        nested.run();
+        let elapsed = nested.now().since(flowscript_sim::SimTime::ZERO);
+        match nested.outcome("nested-run") {
+            Some(outcome) => {
+                let mut behavior = TaskBehavior::outcome(outcome.name).with_work(elapsed.max(
+                    SimDuration::from_millis(1),
+                ));
+                for (name, value) in outcome.objects {
+                    behavior = behavior.with_object(name, value);
+                }
+                Ok(behavior)
+            }
+            None => Err("nested workflow did not complete".to_string()),
+        }
+    })();
+    NESTING.with(|n| n.set(depth));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_counter_restores_after_guard() {
+        NESTING.with(|n| n.set(MAX_SCRIPT_NESTING));
+        let start = StartTask {
+            instance: "i".into(),
+            path: "p".into(),
+            incarnation: 0,
+            attempt: 0,
+            code: "c".into(),
+            implementation: Default::default(),
+            set: "main".into(),
+            inputs: Default::default(),
+            repeat_objects: Default::default(),
+        };
+        let registry = ImplRegistry::new();
+        let err = run_nested_script(&registry, "class C;", "root", &start).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        NESTING.with(|n| n.set(0));
+    }
+}

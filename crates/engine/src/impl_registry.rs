@@ -1,0 +1,424 @@
+//! Run-time implementation binding.
+//!
+//! A script names its implementations abstractly (`"code" is
+//! "refDispatch"`); the binding to executable behaviour happens at run
+//! time through this registry — the paper's route to online upgrade
+//! ("introducing online upgrade of an application without having to
+//! change the corresponding workflow script"). Implementations are:
+//!
+//! - [`TaskImpl`] trait objects or plain closures ([`ImplRegistry::bind_fn`]),
+//! - built-ins (`builtin:timer` reads `duration_ms` from the
+//!   implementation clause — the paper's timer-input idiom),
+//! - other *scripts*: §4.3 allows an implementation name to refer to a
+//!   script; bind with [`ImplRegistry::bind_script`] and the executor
+//!   runs a nested workflow synchronously in simulated time.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use flowscript_sim::SimDuration;
+
+use crate::value::ObjectVal;
+
+/// Context handed to an implementation invocation.
+#[derive(Debug)]
+pub struct InvokeCtx {
+    /// Task path within the instance.
+    pub path: String,
+    /// Dispatch attempt (0 for the first try; retries increment).
+    pub attempt: u32,
+    /// The bound input set's name.
+    pub set: String,
+    /// Bound input objects by slot name.
+    pub inputs: BTreeMap<String, ObjectVal>,
+    /// Objects from a previous repeat outcome of this task, if any.
+    pub repeat_objects: BTreeMap<String, ObjectVal>,
+    /// Implementation pairs from the script (deadline, priority, …).
+    pub implementation: BTreeMap<String, String>,
+}
+
+impl InvokeCtx {
+    /// The text payload of an input object (empty if missing).
+    pub fn input_text(&self, name: &str) -> String {
+        self.inputs
+            .get(name)
+            .map(ObjectVal::as_text)
+            .unwrap_or_default()
+    }
+
+    /// An implementation pair's value.
+    pub fn impl_value(&self, key: &str) -> Option<&str> {
+        self.implementation.get(key).map(String::as_str)
+    }
+}
+
+/// A mark emitted part-way through execution (early release, §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkEmission {
+    /// Offset into the execution at which the mark appears.
+    pub at: SimDuration,
+    /// Mark output name.
+    pub name: String,
+    /// Objects released.
+    pub objects: BTreeMap<String, ObjectVal>,
+}
+
+/// How an execution terminates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The declared output name (outcome, abort outcome or repeat
+    /// outcome of the task's class).
+    pub outcome: String,
+    /// Objects produced with it.
+    pub objects: BTreeMap<String, ObjectVal>,
+}
+
+/// The full behaviour of one execution attempt: simulated work time,
+/// marks along the way, and a terminal completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskBehavior {
+    /// Simulated execution time before the completion.
+    pub work: SimDuration,
+    /// Marks emitted during execution.
+    pub marks: Vec<MarkEmission>,
+    /// Terminal result.
+    pub completion: Completion,
+    /// Delay before re-execution when the completion is a repeat outcome.
+    pub redo_after: SimDuration,
+}
+
+impl TaskBehavior {
+    /// A behaviour terminating in `outcome` with no objects and default
+    /// work time (1ms simulated).
+    pub fn outcome(outcome: impl Into<String>) -> Self {
+        Self {
+            work: SimDuration::from_millis(1),
+            marks: Vec::new(),
+            completion: Completion {
+                outcome: outcome.into(),
+                objects: BTreeMap::new(),
+            },
+            redo_after: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets the delay before re-execution (repeat outcomes only).
+    pub fn with_redo_after(mut self, delay: SimDuration) -> Self {
+        self.redo_after = delay;
+        self
+    }
+
+    /// Adds an output object to the completion.
+    pub fn with_object(mut self, name: impl Into<String>, value: ObjectVal) -> Self {
+        self.completion.objects.insert(name.into(), value);
+        self
+    }
+
+    /// Sets the simulated work duration.
+    pub fn with_work(mut self, work: SimDuration) -> Self {
+        self.work = work;
+        self
+    }
+
+    /// Adds a mark emitted at `at` into the execution.
+    pub fn with_mark(
+        mut self,
+        at: SimDuration,
+        name: impl Into<String>,
+        objects: impl IntoIterator<Item = (&'static str, ObjectVal)>,
+    ) -> Self {
+        self.marks.push(MarkEmission {
+            at,
+            name: name.into(),
+            objects: objects
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        });
+        self
+    }
+}
+
+/// A task implementation bound to a `code` name.
+pub trait TaskImpl {
+    /// Decides this attempt's behaviour. Called once per dispatch; the
+    /// executor then plays the behaviour out in simulated time.
+    fn invoke(&self, ctx: &InvokeCtx) -> TaskBehavior;
+}
+
+/// A bound implementation entry.
+enum Binding {
+    Program(Rc<dyn TaskImpl>),
+    Script {
+        source: String,
+        root: String,
+    },
+}
+
+/// The registry mapping implementation names to behaviour.
+///
+/// Shared (via `Rc`) between the executor nodes — the paper's model of
+/// identical service binaries deployed per node.
+#[derive(Clone, Default)]
+pub struct ImplRegistry {
+    inner: Rc<RefCell<BTreeMap<String, Binding>>>,
+}
+
+impl ImplRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `name` to a [`TaskImpl`].
+    pub fn bind(&self, name: impl Into<String>, implementation: Rc<dyn TaskImpl>) {
+        self.inner
+            .borrow_mut()
+            .insert(name.into(), Binding::Program(implementation));
+    }
+
+    /// Binds `name` to a closure.
+    pub fn bind_fn<F>(&self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&InvokeCtx) -> TaskBehavior + 'static,
+    {
+        struct Closure<F>(F);
+        impl<F: Fn(&InvokeCtx) -> TaskBehavior> TaskImpl for Closure<F> {
+            fn invoke(&self, ctx: &InvokeCtx) -> TaskBehavior {
+                (self.0)(ctx)
+            }
+        }
+        self.bind(name, Rc::new(Closure(f)));
+    }
+
+    /// Binds `name` to a nested workflow script (§4.3: "the name of the
+    /// implementation can refer to either the code itself (executable),
+    /// or some script").
+    pub fn bind_script(
+        &self,
+        name: impl Into<String>,
+        source: impl Into<String>,
+        root: impl Into<String>,
+    ) {
+        self.inner.borrow_mut().insert(
+            name.into(),
+            Binding::Script {
+                source: source.into(),
+                root: root.into(),
+            },
+        );
+    }
+
+    /// Removes a binding (service withdrawn), returning whether it
+    /// existed.
+    pub fn unbind(&self, name: &str) -> bool {
+        self.inner.borrow_mut().remove(name).is_some()
+    }
+
+    /// Whether `name` is bound.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.inner.borrow().contains_key(name)
+            || name.starts_with("builtin:")
+    }
+
+    /// Resolves and invokes `name`, including built-ins.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the name is unbound or a built-in is
+    /// misconfigured.
+    pub fn invoke(&self, name: &str, ctx: &InvokeCtx) -> Result<Invocation, String> {
+        if let Some(rest) = name.strip_prefix("builtin:") {
+            return builtin(rest, ctx).map(Invocation::Behavior);
+        }
+        let inner = self.inner.borrow();
+        match inner.get(name) {
+            Some(Binding::Program(implementation)) => {
+                Ok(Invocation::Behavior(implementation.invoke(ctx)))
+            }
+            Some(Binding::Script { source, root }) => Ok(Invocation::Script {
+                source: source.clone(),
+                root: root.clone(),
+            }),
+            None => Err(format!("no implementation bound for `{name}`")),
+        }
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+}
+
+impl std::fmt::Debug for ImplRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ImplRegistry({} bindings)", self.len())
+    }
+}
+
+/// The result of resolving an implementation name.
+#[derive(Debug)]
+pub enum Invocation {
+    /// Run this behaviour.
+    Behavior(TaskBehavior),
+    /// Run this script as a nested workflow.
+    Script {
+        /// Script source.
+        source: String,
+        /// Root compound name.
+        root: String,
+    },
+}
+
+/// Built-in implementations.
+///
+/// - `builtin:timer`: waits `duration_ms` (from the implementation
+///   clause) and terminates in outcome `fired` — the paper's §4.2 idiom
+///   of an exceptional input set with a timer.
+/// - `builtin:emit:<outcome>`: terminates immediately in `<outcome>`,
+///   echoing its inputs as outputs (handy glue in tests/benches).
+fn builtin(name: &str, ctx: &InvokeCtx) -> Result<TaskBehavior, String> {
+    if name == "timer" {
+        let millis: u64 = ctx
+            .impl_value("duration_ms")
+            .ok_or_else(|| "builtin:timer needs a duration_ms implementation pair".to_string())?
+            .parse()
+            .map_err(|_| "builtin:timer duration_ms must be an integer".to_string())?;
+        return Ok(TaskBehavior::outcome("fired").with_work(SimDuration::from_millis(millis)));
+    }
+    if let Some(outcome) = name.strip_prefix("emit:") {
+        let mut behavior = TaskBehavior::outcome(outcome);
+        for (slot, value) in &ctx.inputs {
+            behavior = behavior.with_object(slot.clone(), value.clone());
+        }
+        return Ok(behavior);
+    }
+    Err(format!("unknown builtin `{name}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> InvokeCtx {
+        InvokeCtx {
+            path: "root/t".into(),
+            attempt: 0,
+            set: "main".into(),
+            inputs: BTreeMap::from([("x".to_string(), ObjectVal::text("C", "v"))]),
+            repeat_objects: BTreeMap::new(),
+            implementation: BTreeMap::from([(
+                "duration_ms".to_string(),
+                "250".to_string(),
+            )]),
+        }
+    }
+
+    #[test]
+    fn closure_binding_invokes() {
+        let registry = ImplRegistry::new();
+        registry.bind_fn("ref", |ctx: &InvokeCtx| {
+            TaskBehavior::outcome("done")
+                .with_object("y", ObjectVal::text("C", ctx.input_text("x")))
+        });
+        let Invocation::Behavior(behavior) = registry.invoke("ref", &ctx()).unwrap() else {
+            panic!("expected behaviour");
+        };
+        assert_eq!(behavior.completion.outcome, "done");
+        assert_eq!(behavior.completion.objects["y"].as_text(), "v");
+    }
+
+    #[test]
+    fn unbound_name_is_error() {
+        let registry = ImplRegistry::new();
+        let err = registry.invoke("ghost", &ctx()).unwrap_err();
+        assert!(err.contains("ghost"));
+        assert!(!registry.is_bound("ghost"));
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let registry = ImplRegistry::new();
+        registry.bind_fn("ref", |_: &InvokeCtx| TaskBehavior::outcome("v1"));
+        registry.bind_fn("ref", |_: &InvokeCtx| TaskBehavior::outcome("v2"));
+        let Invocation::Behavior(behavior) = registry.invoke("ref", &ctx()).unwrap() else {
+            panic!();
+        };
+        assert_eq!(behavior.completion.outcome, "v2");
+        assert_eq!(registry.len(), 1);
+        assert!(registry.unbind("ref"));
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn builtin_timer_reads_duration() {
+        let registry = ImplRegistry::new();
+        assert!(registry.is_bound("builtin:timer"));
+        let Invocation::Behavior(behavior) = registry.invoke("builtin:timer", &ctx()).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(behavior.work, SimDuration::from_millis(250));
+        assert_eq!(behavior.completion.outcome, "fired");
+    }
+
+    #[test]
+    fn builtin_timer_without_duration_errors() {
+        let registry = ImplRegistry::new();
+        let mut c = ctx();
+        c.implementation.clear();
+        assert!(registry.invoke("builtin:timer", &c).is_err());
+    }
+
+    #[test]
+    fn builtin_emit_echoes_inputs() {
+        let registry = ImplRegistry::new();
+        let Invocation::Behavior(behavior) =
+            registry.invoke("builtin:emit:ok", &ctx()).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(behavior.completion.outcome, "ok");
+        assert_eq!(behavior.completion.objects["x"].as_text(), "v");
+    }
+
+    #[test]
+    fn unknown_builtin_is_error() {
+        let registry = ImplRegistry::new();
+        assert!(registry.invoke("builtin:frobnicate", &ctx()).is_err());
+    }
+
+    #[test]
+    fn script_binding_resolves() {
+        let registry = ImplRegistry::new();
+        registry.bind_script("nested", "class C;", "root");
+        match registry.invoke("nested", &ctx()).unwrap() {
+            Invocation::Script { source, root } => {
+                assert_eq!(source, "class C;");
+                assert_eq!(root, "root");
+            }
+            other => panic!("expected script, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn behavior_builder_composes() {
+        let behavior = TaskBehavior::outcome("done")
+            .with_work(SimDuration::from_secs(1))
+            .with_mark(
+                SimDuration::from_millis(100),
+                "progress",
+                [("cost", ObjectVal::text("Cost", "12"))],
+            )
+            .with_object("out", ObjectVal::text("C", "x"));
+        assert_eq!(behavior.marks.len(), 1);
+        assert_eq!(behavior.marks[0].objects["cost"].as_text(), "12");
+        assert_eq!(behavior.work, SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+//! The flowscript execution environment: a transactional workflow system.
+//!
+//! This crate is the paper's §3 "execution environment", rebuilt on the
+//! crate stack below it:
+//!
+//! - a **Workflow Repository Service** ([`repository`]) that stores,
+//!   validates and versions scripts,
+//! - a **Workflow Execution Service** ([`coordinator`]) that records
+//!   inter-task dependencies in persistent atomic objects
+//!   (`flowscript-tx`), drives tasks through the Fig. 3 state machine,
+//!   propagates dataflow and notifications under atomic transactions,
+//!   retries system-level failures a bounded number of times, and
+//!   survives coordinator crashes by write-ahead-log recovery,
+//! - **task executors** ([`executor`]) on separate simulated nodes,
+//!   running implementations bound *at run time* by name
+//!   ([`ImplRegistry`]), including the built-in timer,
+//! - **dynamic reconfiguration** ([`reconfig`]): transactional
+//!   addition/removal of tasks and dependencies in a running instance,
+//!   and implementation rebinding (online upgrade),
+//! - a high-level facade, [`WorkflowSystem`], that wires all services
+//!   onto `flowscript-sim` nodes (the paper's Fig. 4 topology).
+//!
+//! # Examples
+//!
+//! ```
+//! use flowscript_engine::{ObjectVal, TaskBehavior, WorkflowSystem};
+//!
+//! let mut sys = WorkflowSystem::builder().executors(2).seed(7).build();
+//! sys.register_script("quickstart", flowscript_core::samples::QUICKSTART, "pipeline")
+//!     .expect("valid script");
+//! sys.bind_fn("refProduce", |ctx| {
+//!     let seed = ctx.input_text("seed");
+//!     TaskBehavior::outcome("produced")
+//!         .with_object("message", ObjectVal::text("Message", format!("{seed}!")))
+//! });
+//! sys.bind_fn("refConsume", |ctx| {
+//!     TaskBehavior::outcome("consumed")
+//!         .with_object("result", ObjectVal::text("Message", ctx.input_text("message")))
+//! });
+//! sys.start(
+//!     "run1",
+//!     "quickstart",
+//!     "main",
+//!     [("seed", ObjectVal::text("Message", "hello"))],
+//! )
+//! .expect("instance starts");
+//! sys.run();
+//! let outcome = sys.outcome("run1").expect("completed");
+//! assert_eq!(outcome.name, "done");
+//! assert_eq!(outcome.objects["result"].as_text(), "hello!");
+//! ```
+
+pub mod api;
+pub mod coordinator;
+pub mod deps;
+mod error;
+pub mod executor;
+pub mod impl_registry;
+mod msg;
+pub mod reconfig;
+pub mod repository;
+pub mod state;
+mod value;
+
+pub use api::{SystemBuilder, WorkflowSystem};
+pub use coordinator::{CoordStats, EngineConfig, InstanceStatus, Outcome};
+pub use error::EngineError;
+pub use impl_registry::{Completion, ImplRegistry, InvokeCtx, MarkEmission, TaskBehavior, TaskImpl};
+pub use reconfig::Reconfig;
+pub use state::{CbState, TaskCb};
+pub use value::ObjectVal;

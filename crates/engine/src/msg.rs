@@ -1,0 +1,439 @@
+//! Wire messages between the engine's services (codec-framed over the
+//! simulated network — the IIOP of our Fig. 4).
+
+use std::collections::BTreeMap;
+
+use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+use flowscript_sim::SimDuration;
+
+use crate::value::ObjectVal;
+
+/// Coordinator → executor: run a task implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StartTask {
+    /// Instance name.
+    pub instance: String,
+    /// Task path within the instance.
+    pub path: String,
+    /// Scope incarnation (stale replies are discarded by this).
+    pub incarnation: u32,
+    /// Dispatch attempt number.
+    pub attempt: u32,
+    /// Implementation name to bind (from the script or a rebinding).
+    pub code: String,
+    /// Extra implementation pairs (deadline, priority, …).
+    pub implementation: BTreeMap<String, String>,
+    /// The bound input set's name.
+    pub set: String,
+    /// The bound input objects.
+    pub inputs: BTreeMap<String, ObjectVal>,
+    /// Objects carried over from a repeat outcome, if re-executing.
+    pub repeat_objects: BTreeMap<String, ObjectVal>,
+}
+
+/// Executor → coordinator: a task finished (outcome or abort), or could
+/// not run at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskDone {
+    /// Instance name.
+    pub instance: String,
+    /// Task path.
+    pub path: String,
+    /// Scope incarnation the execution belonged to.
+    pub incarnation: u32,
+    /// Attempt that produced this result.
+    pub attempt: u32,
+    /// The result.
+    pub result: TaskResult,
+}
+
+/// The terminal result of one task execution attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskResult {
+    /// The implementation terminated in a declared output.
+    Output {
+        /// Output (outcome/abort/repeat) name.
+        name: String,
+        /// Objects produced with it.
+        objects: BTreeMap<String, ObjectVal>,
+        /// Requested re-execution delay for repeat outcomes.
+        redo_after: SimDuration,
+    },
+    /// The executor could not run the task (unbound implementation,
+    /// invariant violation). Treated as a system-level failure.
+    ExecError {
+        /// Why.
+        reason: String,
+    },
+}
+
+/// Executor → coordinator: an early-release mark produced mid-execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkMsg {
+    /// Instance name.
+    pub instance: String,
+    /// Task path.
+    pub path: String,
+    /// Scope incarnation.
+    pub incarnation: u32,
+    /// Attempt that produced the mark.
+    pub attempt: u32,
+    /// Mark output name.
+    pub mark: String,
+    /// Objects released with it.
+    pub objects: BTreeMap<String, ObjectVal>,
+}
+
+/// All engine messages, tagged for dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineMsg {
+    /// Run a task.
+    Start(StartTask),
+    /// A task finished.
+    Done(TaskDone),
+    /// A mark was produced.
+    Mark(MarkMsg),
+    /// Client → repository: store a script (already validated client-side,
+    /// revalidated server-side).
+    RepoRegister {
+        /// Script name.
+        name: String,
+        /// Canonical source text.
+        source: String,
+        /// Root compound task.
+        root: String,
+    },
+    /// Repository reply to a register/get.
+    RepoReply {
+        /// Ok(version) or an error description.
+        result: Result<u32, String>,
+        /// Source text for get replies.
+        source: String,
+        /// Root compound for get replies.
+        root: String,
+    },
+    /// Coordinator → repository: fetch a script.
+    RepoGet {
+        /// Script name.
+        name: String,
+        /// Specific version, or latest when `None`.
+        version: Option<u32>,
+    },
+    /// Client → coordinator: start an instance of a repository script.
+    StartInstance {
+        /// Unique instance name chosen by the client.
+        instance: String,
+        /// Repository script name.
+        script: String,
+        /// Script version (latest when `None`).
+        version: Option<u32>,
+        /// Root input set to bind.
+        set: String,
+        /// Root input objects.
+        inputs: BTreeMap<String, ObjectVal>,
+    },
+    /// Generic acknowledgement reply.
+    Ack {
+        /// Success or an error description.
+        result: Result<(), String>,
+    },
+}
+
+impl Encode for StartTask {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(&self.instance);
+        w.put_str(&self.path);
+        w.put_u32(self.incarnation);
+        w.put_u32(self.attempt);
+        w.put_str(&self.code);
+        self.implementation.encode(w);
+        w.put_str(&self.set);
+        self.inputs.encode(w);
+        self.repeat_objects.encode(w);
+    }
+}
+
+impl Decode for StartTask {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(StartTask {
+            instance: r.get_str()?.to_owned(),
+            path: r.get_str()?.to_owned(),
+            incarnation: r.get_u32()?,
+            attempt: r.get_u32()?,
+            code: r.get_str()?.to_owned(),
+            implementation: BTreeMap::decode(r)?,
+            set: r.get_str()?.to_owned(),
+            inputs: BTreeMap::decode(r)?,
+            repeat_objects: BTreeMap::decode(r)?,
+        })
+    }
+}
+
+impl Encode for TaskResult {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            TaskResult::Output {
+                name,
+                objects,
+                redo_after,
+            } => {
+                w.put_u8(0);
+                w.put_str(name);
+                objects.encode(w);
+                redo_after.encode(w);
+            }
+            TaskResult::ExecError { reason } => {
+                w.put_u8(1);
+                w.put_str(reason);
+            }
+        }
+    }
+}
+
+impl Decode for TaskResult {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => TaskResult::Output {
+                name: r.get_str()?.to_owned(),
+                objects: BTreeMap::decode(r)?,
+                redo_after: SimDuration::decode(r)?,
+            },
+            1 => TaskResult::ExecError {
+                reason: r.get_str()?.to_owned(),
+            },
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    ty: "TaskResult",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+impl Encode for TaskDone {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(&self.instance);
+        w.put_str(&self.path);
+        w.put_u32(self.incarnation);
+        w.put_u32(self.attempt);
+        self.result.encode(w);
+    }
+}
+
+impl Decode for TaskDone {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(TaskDone {
+            instance: r.get_str()?.to_owned(),
+            path: r.get_str()?.to_owned(),
+            incarnation: r.get_u32()?,
+            attempt: r.get_u32()?,
+            result: TaskResult::decode(r)?,
+        })
+    }
+}
+
+impl Encode for MarkMsg {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(&self.instance);
+        w.put_str(&self.path);
+        w.put_u32(self.incarnation);
+        w.put_u32(self.attempt);
+        w.put_str(&self.mark);
+        self.objects.encode(w);
+    }
+}
+
+impl Decode for MarkMsg {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(MarkMsg {
+            instance: r.get_str()?.to_owned(),
+            path: r.get_str()?.to_owned(),
+            incarnation: r.get_u32()?,
+            attempt: r.get_u32()?,
+            mark: r.get_str()?.to_owned(),
+            objects: BTreeMap::decode(r)?,
+        })
+    }
+}
+
+impl Encode for EngineMsg {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            EngineMsg::Start(msg) => {
+                w.put_u8(0);
+                msg.encode(w);
+            }
+            EngineMsg::Done(msg) => {
+                w.put_u8(1);
+                msg.encode(w);
+            }
+            EngineMsg::Mark(msg) => {
+                w.put_u8(2);
+                msg.encode(w);
+            }
+            EngineMsg::RepoRegister { name, source, root } => {
+                w.put_u8(3);
+                w.put_str(name);
+                w.put_str(source);
+                w.put_str(root);
+            }
+            EngineMsg::RepoReply {
+                result,
+                source,
+                root,
+            } => {
+                w.put_u8(4);
+                result.encode(w);
+                w.put_str(source);
+                w.put_str(root);
+            }
+            EngineMsg::RepoGet { name, version } => {
+                w.put_u8(5);
+                w.put_str(name);
+                version.encode(w);
+            }
+            EngineMsg::StartInstance {
+                instance,
+                script,
+                version,
+                set,
+                inputs,
+            } => {
+                w.put_u8(6);
+                w.put_str(instance);
+                w.put_str(script);
+                version.encode(w);
+                w.put_str(set);
+                inputs.encode(w);
+            }
+            EngineMsg::Ack { result } => {
+                w.put_u8(7);
+                result.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for EngineMsg {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => EngineMsg::Start(StartTask::decode(r)?),
+            1 => EngineMsg::Done(TaskDone::decode(r)?),
+            2 => EngineMsg::Mark(MarkMsg::decode(r)?),
+            3 => EngineMsg::RepoRegister {
+                name: r.get_str()?.to_owned(),
+                source: r.get_str()?.to_owned(),
+                root: r.get_str()?.to_owned(),
+            },
+            4 => EngineMsg::RepoReply {
+                result: Result::decode(r)?,
+                source: r.get_str()?.to_owned(),
+                root: r.get_str()?.to_owned(),
+            },
+            5 => EngineMsg::RepoGet {
+                name: r.get_str()?.to_owned(),
+                version: Option::decode(r)?,
+            },
+            6 => EngineMsg::StartInstance {
+                instance: r.get_str()?.to_owned(),
+                script: r.get_str()?.to_owned(),
+                version: Option::decode(r)?,
+                set: r.get_str()?.to_owned(),
+                inputs: BTreeMap::decode(r)?,
+            },
+            7 => EngineMsg::Ack {
+                result: Result::decode(r)?,
+            },
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    ty: "EngineMsg",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_messages_roundtrip() {
+        let mut inputs = BTreeMap::new();
+        inputs.insert("order".to_string(), ObjectVal::text("Order", "o1"));
+        let msgs = vec![
+            EngineMsg::Start(StartTask {
+                instance: "i1".into(),
+                path: "root/t1".into(),
+                incarnation: 1,
+                attempt: 2,
+                code: "refT1".into(),
+                implementation: BTreeMap::from([("priority".to_string(), "3".to_string())]),
+                set: "main".into(),
+                inputs: inputs.clone(),
+                repeat_objects: BTreeMap::new(),
+            }),
+            EngineMsg::Done(TaskDone {
+                instance: "i1".into(),
+                path: "root/t1".into(),
+                incarnation: 1,
+                attempt: 2,
+                result: TaskResult::Output {
+                    name: "done".into(),
+                    objects: inputs.clone(),
+                    redo_after: SimDuration::from_millis(5),
+                },
+            }),
+            EngineMsg::Done(TaskDone {
+                instance: "i1".into(),
+                path: "root/t1".into(),
+                incarnation: 0,
+                attempt: 0,
+                result: TaskResult::ExecError {
+                    reason: "no binding".into(),
+                },
+            }),
+            EngineMsg::Mark(MarkMsg {
+                instance: "i1".into(),
+                path: "root/t1".into(),
+                incarnation: 0,
+                attempt: 1,
+                mark: "toPay".into(),
+                objects: inputs,
+            }),
+            EngineMsg::RepoRegister {
+                name: "s".into(),
+                source: "class C;".into(),
+                root: "r".into(),
+            },
+            EngineMsg::RepoReply {
+                result: Ok(3),
+                source: String::new(),
+                root: String::new(),
+            },
+            EngineMsg::RepoGet {
+                name: "s".into(),
+                version: Some(2),
+            },
+            EngineMsg::StartInstance {
+                instance: "i1".into(),
+                script: "s".into(),
+                version: None,
+                set: "main".into(),
+                inputs: BTreeMap::new(),
+            },
+            EngineMsg::Ack {
+                result: Err("boom".into()),
+            },
+        ];
+        for msg in msgs {
+            let bytes = flowscript_codec::to_bytes(&msg);
+            assert_eq!(
+                flowscript_codec::from_bytes::<EngineMsg>(&bytes).unwrap(),
+                msg
+            );
+        }
+    }
+}

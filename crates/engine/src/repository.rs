@@ -1,0 +1,223 @@
+//! The Workflow Repository Service.
+//!
+//! Stores workflow scripts (schema, in the paper's terminology) with
+//! versioning, validates them on registration, and serves them to the
+//! execution service (paper §3, Fig. 4: "The repository service stores
+//! workflow scripts and provides operations for initializing, modifying
+//! and inspecting scripts"). Scripts are stored in the canonical
+//! formatter's normal form.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::collections::BTreeMap;
+
+use flowscript_core::{fmt as script_fmt, schema};
+use flowscript_sim::{Envelope, NodeId, World};
+
+use crate::error::EngineError;
+use crate::msg::EngineMsg;
+
+/// One stored script version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptVersion {
+    /// Canonical source text.
+    pub source: String,
+    /// Root compound task name.
+    pub root: String,
+}
+
+/// The repository state.
+#[derive(Debug, Default)]
+pub struct Repository {
+    scripts: BTreeMap<String, Vec<ScriptVersion>>,
+}
+
+impl Repository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validates and stores a script, returning its (1-based) version.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidScript`] when the script fails the front-end
+    /// pipeline (parse, templates, sema, compile for the given root).
+    pub fn register(
+        &mut self,
+        name: &str,
+        source: &str,
+        root: &str,
+    ) -> Result<u32, EngineError> {
+        // Validate through the complete front end.
+        let script = flowscript_core::parse(source)?;
+        let expanded = flowscript_core::template::expand(&script)?;
+        let checked = flowscript_core::sema::check(&expanded)?;
+        schema::compile(&checked, root)?;
+        // Store in canonical form (repository normal form).
+        let canonical = script_fmt::format_script(&script);
+        let versions = self.scripts.entry(name.to_string()).or_default();
+        versions.push(ScriptVersion {
+            source: canonical,
+            root: root.to_string(),
+        });
+        Ok(versions.len() as u32)
+    }
+
+    /// Fetches a script version (latest when `None`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownScript`] for missing names or versions.
+    pub fn get(&self, name: &str, version: Option<u32>) -> Result<&ScriptVersion, EngineError> {
+        let versions = self
+            .scripts
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownScript(name.to_string()))?;
+        let index = match version {
+            None => versions.len() - 1,
+            Some(v) if v >= 1 && (v as usize) <= versions.len() => (v - 1) as usize,
+            Some(v) => {
+                return Err(EngineError::UnknownScript(format!("{name} v{v}")));
+            }
+        };
+        Ok(&versions[index])
+    }
+
+    /// Number of versions stored for `name`.
+    pub fn version_count(&self, name: &str) -> u32 {
+        self.scripts.get(name).map(|v| v.len() as u32).unwrap_or(0)
+    }
+
+    /// Names of all stored scripts.
+    pub fn script_names(&self) -> Vec<String> {
+        self.scripts.keys().cloned().collect()
+    }
+}
+
+/// Shared handle to a repository installed on a sim node.
+#[derive(Clone, Default)]
+pub struct RepoHandle {
+    inner: Rc<RefCell<Repository>>,
+}
+
+impl RepoHandle {
+    /// Creates a handle over an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs the RPC handler on `node`.
+    pub fn install(&self, world: &mut World, node: NodeId) {
+        let handle = self.clone();
+        world.set_handler(node, move |world, envelope| {
+            handle.handle(world, envelope);
+        });
+    }
+
+    /// Direct (non-RPC) access for tests and monitoring.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Repository) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+
+    fn handle(&self, world: &mut World, envelope: &Envelope) {
+        let Ok(msg) = flowscript_codec::from_bytes::<EngineMsg>(&envelope.payload) else {
+            return;
+        };
+        if !envelope.is_request() {
+            return;
+        }
+        let reply = match msg {
+            EngineMsg::RepoRegister { name, source, root } => {
+                let result = self
+                    .inner
+                    .borrow_mut()
+                    .register(&name, &source, &root)
+                    .map_err(|e| e.to_string());
+                EngineMsg::RepoReply {
+                    result,
+                    source: String::new(),
+                    root: String::new(),
+                }
+            }
+            EngineMsg::RepoGet { name, version } => {
+                let repository = self.inner.borrow();
+                match repository.get(&name, version) {
+                    Ok(stored) => EngineMsg::RepoReply {
+                        result: Ok(version.unwrap_or_else(|| repository.version_count(&name))),
+                        source: stored.source.clone(),
+                        root: stored.root.clone(),
+                    },
+                    Err(err) => EngineMsg::RepoReply {
+                        result: Err(err.to_string()),
+                        source: String::new(),
+                        root: String::new(),
+                    },
+                }
+            }
+            _ => return,
+        };
+        world.rpc_reply(envelope, flowscript_codec::to_bytes(&reply));
+    }
+}
+
+impl std::fmt::Debug for RepoHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RepoHandle({} scripts)", self.inner.borrow().scripts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowscript_core::samples;
+
+    #[test]
+    fn register_validates_and_versions() {
+        let mut repo = Repository::new();
+        let v1 = repo
+            .register("order", samples::ORDER_PROCESSING, "processOrderApplication")
+            .unwrap();
+        assert_eq!(v1, 1);
+        let v2 = repo
+            .register("order", samples::ORDER_PROCESSING, "processOrderApplication")
+            .unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(repo.version_count("order"), 2);
+        assert_eq!(repo.script_names(), vec!["order".to_string()]);
+    }
+
+    #[test]
+    fn register_rejects_invalid_scripts() {
+        let mut repo = Repository::new();
+        let err = repo.register("bad", "class ;;", "x").unwrap_err();
+        assert!(matches!(err, EngineError::InvalidScript(_)));
+        // Valid script, wrong root.
+        let err = repo
+            .register("order", samples::ORDER_PROCESSING, "ghost")
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidScript(_)));
+    }
+
+    #[test]
+    fn get_latest_and_specific_versions() {
+        let mut repo = Repository::new();
+        repo.register("s", samples::QUICKSTART, "pipeline").unwrap();
+        repo.register("s", samples::FIG1_DIAMOND, "diamond").unwrap();
+        assert_eq!(repo.get("s", None).unwrap().root, "diamond");
+        assert_eq!(repo.get("s", Some(1)).unwrap().root, "pipeline");
+        assert!(repo.get("s", Some(3)).is_err());
+        assert!(repo.get("missing", None).is_err());
+    }
+
+    #[test]
+    fn stored_source_is_canonical() {
+        let mut repo = Repository::new();
+        repo.register("q", samples::QUICKSTART, "pipeline").unwrap();
+        let stored = repo.get("q", None).unwrap();
+        // Canonical form re-parses and re-formats to itself.
+        let script = flowscript_core::parse(&stored.source).unwrap();
+        assert_eq!(script_fmt::format_script(&script), stored.source);
+    }
+}

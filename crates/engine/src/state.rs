@@ -1,0 +1,381 @@
+//! Task control blocks and the Fig. 3 state machine.
+//!
+//! Every task instance (leaf or compound) has a persistent control block
+//! ([`TaskCb`]) recording where it is in the paper's lifecycle:
+//!
+//! ```text
+//!            bind inputs          outcome / abort
+//!  Waiting ──────────────▶ Executing ─────────────▶ Done / Aborted
+//!     │                     │     ▲
+//!     │ scope cancelled     │mark │ repeat
+//!     ▼                     ▼     │
+//!  Cancelled            (marks)───┘        Failed (system gave up)
+//! ```
+//!
+//! Compound tasks use `Active` in place of `Executing` (their "execution"
+//! is their constituents'). Transitions are validated by
+//! [`TaskCb::transition`]; illegal moves are programming errors and panic
+//! in debug tests via the checked constructor.
+
+use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+
+/// Where a task instance is in its lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CbState {
+    /// Awaiting input-set satisfaction (Fig. 3 "Wait").
+    Waiting,
+    /// A compound whose input set `set` is bound; constituents may run.
+    Active {
+        /// The bound input set.
+        set: String,
+    },
+    /// A leaf dispatched to an executor with input set `set`.
+    Executing {
+        /// The bound input set.
+        set: String,
+    },
+    /// Terminated in a non-abort outcome.
+    Done {
+        /// The outcome name.
+        outcome: String,
+    },
+    /// Terminated in an abort outcome (no side effects, §4.2).
+    Aborted {
+        /// The abort outcome name.
+        outcome: String,
+    },
+    /// The system exhausted its automatic retries (paper §3: "finite
+    /// number of retries") without the task completing.
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The enclosing scope terminated before this task did.
+    Cancelled,
+}
+
+impl CbState {
+    /// Whether no further transitions are possible.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            CbState::Done { .. }
+                | CbState::Aborted { .. }
+                | CbState::Failed { .. }
+                | CbState::Cancelled
+        )
+    }
+
+    /// Whether the task is running (leaf dispatched or compound active).
+    pub fn is_running(&self) -> bool {
+        matches!(self, CbState::Active { .. } | CbState::Executing { .. })
+    }
+
+    fn discriminant(&self) -> u8 {
+        match self {
+            CbState::Waiting => 0,
+            CbState::Active { .. } => 1,
+            CbState::Executing { .. } => 2,
+            CbState::Done { .. } => 3,
+            CbState::Aborted { .. } => 4,
+            CbState::Failed { .. } => 5,
+            CbState::Cancelled => 6,
+        }
+    }
+}
+
+impl Encode for CbState {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(self.discriminant());
+        match self {
+            CbState::Waiting | CbState::Cancelled => {}
+            CbState::Active { set } | CbState::Executing { set } => w.put_str(set),
+            CbState::Done { outcome } | CbState::Aborted { outcome } => w.put_str(outcome),
+            CbState::Failed { reason } => w.put_str(reason),
+        }
+    }
+}
+
+impl Decode for CbState {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => CbState::Waiting,
+            1 => CbState::Active {
+                set: r.get_str()?.to_owned(),
+            },
+            2 => CbState::Executing {
+                set: r.get_str()?.to_owned(),
+            },
+            3 => CbState::Done {
+                outcome: r.get_str()?.to_owned(),
+            },
+            4 => CbState::Aborted {
+                outcome: r.get_str()?.to_owned(),
+            },
+            5 => CbState::Failed {
+                reason: r.get_str()?.to_owned(),
+            },
+            6 => CbState::Cancelled,
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    ty: "CbState",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// The persistent control block of one task instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskCb {
+    /// Slash-joined instance path (e.g. `order/dispatch`).
+    pub path: String,
+    /// Lifecycle state.
+    pub state: CbState,
+    /// Which incarnation of the *parent* scope this task belongs to
+    /// (compared against the parent compound's [`TaskCb::scope_inc`];
+    /// stale executor replies are discarded by it).
+    pub incarnation: u32,
+    /// For compound tasks: the current incarnation of *its own*
+    /// constituents (bumped when this compound takes a repeat outcome).
+    pub scope_inc: u32,
+    /// Dispatch attempt within the current incarnation (bumped on retry).
+    pub attempt: u32,
+    /// Mark outputs already emitted (each mark fires at most once).
+    pub marks_emitted: Vec<String>,
+    /// Times this task produced a repeat outcome (bounded by policy).
+    pub repeats: u32,
+}
+
+impl TaskCb {
+    /// A fresh control block in `Waiting`.
+    pub fn new(path: impl Into<String>) -> Self {
+        Self {
+            path: path.into(),
+            state: CbState::Waiting,
+            incarnation: 0,
+            scope_inc: 0,
+            attempt: 0,
+            marks_emitted: Vec::new(),
+            repeats: 0,
+        }
+    }
+
+    /// Whether the Fig. 3 state machine permits `from → to`.
+    pub fn transition_allowed(from: &CbState, to: &CbState) -> bool {
+        use CbState::*;
+        match (from, to) {
+            // Bind inputs.
+            (Waiting, Executing { .. }) | (Waiting, Active { .. }) => true,
+            // Termination from execution.
+            (Executing { .. }, Done { .. })
+            | (Executing { .. }, Aborted { .. })
+            | (Executing { .. }, Failed { .. }) => true,
+            (Active { .. }, Done { .. })
+            | (Active { .. }, Aborted { .. })
+            | (Active { .. }, Failed { .. }) => true,
+            // Abort from wait (timer expiry / user abort, Fig. 3).
+            (Waiting, Aborted { .. }) | (Waiting, Failed { .. }) => true,
+            // Repeat: re-enter execution (same variant, new attempt).
+            (Executing { .. }, Executing { .. }) => true,
+            (Active { .. }, Active { .. }) => true,
+            // Scope reset sends a compound's constituents back to Waiting.
+            (Waiting, Waiting)
+            | (Executing { .. }, Waiting)
+            | (Active { .. }, Waiting)
+            | (Done { .. }, Waiting)
+            | (Aborted { .. }, Waiting)
+            | (Failed { .. }, Waiting)
+            | (Cancelled, Waiting) => true,
+            // Cancellation of anything non-terminal.
+            (from, Cancelled) => !from.is_terminal(),
+            _ => false,
+        }
+    }
+
+    /// Applies a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition is illegal — the coordinator's logic must
+    /// never attempt one, so this is an internal invariant.
+    pub fn transition(&mut self, to: CbState) {
+        assert!(
+            Self::transition_allowed(&self.state, &to),
+            "illegal task transition for {}: {:?} -> {:?}",
+            self.path,
+            self.state,
+            to
+        );
+        self.state = to;
+    }
+
+    /// Resets the block for a new scope incarnation (compound repeat).
+    pub fn reset_for_incarnation(&mut self, incarnation: u32) {
+        self.state = CbState::Waiting;
+        self.incarnation = incarnation;
+        self.attempt = 0;
+        self.marks_emitted.clear();
+    }
+
+    /// Whether this mark was already emitted in this incarnation.
+    pub fn mark_emitted(&self, mark: &str) -> bool {
+        self.marks_emitted.iter().any(|m| m == mark)
+    }
+}
+
+impl Encode for TaskCb {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(&self.path);
+        self.state.encode(w);
+        w.put_u32(self.incarnation);
+        w.put_u32(self.scope_inc);
+        w.put_u32(self.attempt);
+        self.marks_emitted.encode(w);
+        w.put_u32(self.repeats);
+    }
+}
+
+impl Decode for TaskCb {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(TaskCb {
+            path: r.get_str()?.to_owned(),
+            state: CbState::decode(r)?,
+            incarnation: r.get_u32()?,
+            scope_inc: r.get_u32()?,
+            attempt: r.get_u32()?,
+            marks_emitted: Vec::decode(r)?,
+            repeats: r.get_u32()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_states() -> Vec<CbState> {
+        vec![
+            CbState::Waiting,
+            CbState::Active { set: "main".into() },
+            CbState::Executing { set: "main".into() },
+            CbState::Done {
+                outcome: "done".into(),
+            },
+            CbState::Aborted {
+                outcome: "failed".into(),
+            },
+            CbState::Failed {
+                reason: "retries exhausted".into(),
+            },
+            CbState::Cancelled,
+        ]
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(!CbState::Waiting.is_terminal());
+        assert!(!CbState::Executing { set: "m".into() }.is_terminal());
+        assert!(CbState::Done { outcome: "d".into() }.is_terminal());
+        assert!(CbState::Cancelled.is_terminal());
+        assert!(CbState::Executing { set: "m".into() }.is_running());
+        assert!(!CbState::Waiting.is_running());
+    }
+
+    #[test]
+    fn fig3_legal_transitions() {
+        use CbState::*;
+        let exec = Executing { set: "main".into() };
+        let done = Done {
+            outcome: "ok".into(),
+        };
+        let aborted = Aborted {
+            outcome: "failed".into(),
+        };
+        assert!(TaskCb::transition_allowed(&Waiting, &exec));
+        assert!(TaskCb::transition_allowed(&exec, &done));
+        assert!(TaskCb::transition_allowed(&exec, &aborted));
+        // Abort from wait (timer / forced abort).
+        assert!(TaskCb::transition_allowed(&Waiting, &aborted));
+        // Repeat re-enters execution.
+        assert!(TaskCb::transition_allowed(&exec, &exec));
+    }
+
+    #[test]
+    fn fig3_illegal_transitions() {
+        use CbState::*;
+        let exec = Executing { set: "main".into() };
+        let done = Done {
+            outcome: "ok".into(),
+        };
+        // Terminated tasks cannot resume (except scope reset to Waiting).
+        assert!(!TaskCb::transition_allowed(&done, &exec));
+        assert!(!TaskCb::transition_allowed(&done, &done));
+        assert!(!TaskCb::transition_allowed(&Cancelled, &exec));
+        // Waiting cannot jump straight to Done.
+        assert!(!TaskCb::transition_allowed(&Waiting, &done));
+    }
+
+    #[test]
+    fn every_nonterminal_can_be_cancelled() {
+        for state in all_states() {
+            let allowed = TaskCb::transition_allowed(&state, &CbState::Cancelled);
+            assert_eq!(allowed, !state.is_terminal(), "{state:?}");
+        }
+    }
+
+    #[test]
+    fn every_state_can_reset_to_waiting() {
+        for state in all_states() {
+            assert!(
+                TaskCb::transition_allowed(&state, &CbState::Waiting),
+                "{state:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal task transition")]
+    fn transition_panics_on_illegal_move() {
+        let mut cb = TaskCb::new("x");
+        cb.transition(CbState::Done {
+            outcome: "nope".into(),
+        });
+    }
+
+    #[test]
+    fn reset_clears_marks_and_attempts() {
+        let mut cb = TaskCb::new("a/b");
+        cb.transition(CbState::Executing { set: "main".into() });
+        cb.attempt = 3;
+        cb.marks_emitted.push("toPay".into());
+        cb.repeats = 1;
+        cb.reset_for_incarnation(2);
+        assert_eq!(cb.state, CbState::Waiting);
+        assert_eq!(cb.incarnation, 2);
+        assert_eq!(cb.attempt, 0);
+        assert!(cb.marks_emitted.is_empty());
+        assert_eq!(cb.repeats, 1, "repeat count survives reset (bounded loop)");
+    }
+
+    #[test]
+    fn cb_codec_roundtrip_all_states() {
+        for state in all_states() {
+            let cb = TaskCb {
+                path: "root/task".into(),
+                state,
+                incarnation: 2,
+                scope_inc: 3,
+                attempt: 5,
+                marks_emitted: vec!["m1".into()],
+                repeats: 7,
+            };
+            let bytes = flowscript_codec::to_bytes(&cb);
+            assert_eq!(
+                flowscript_codec::from_bytes::<TaskCb>(&bytes).unwrap(),
+                cb
+            );
+        }
+    }
+}

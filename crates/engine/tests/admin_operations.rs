@@ -1,0 +1,137 @@
+//! Administrative operations (the paper's admin applications): forced
+//! aborts of waiting tasks (Fig. 3 wait-state abort) and versioned
+//! instantiation from the repository.
+
+use flowscript_core::samples;
+use flowscript_engine::{CbState, EngineError, ObjectVal, TaskBehavior, WorkflowSystem};
+use flowscript_sim::SimDuration;
+
+fn text(class: &str, value: &str) -> ObjectVal {
+    ObjectVal::text(class, value)
+}
+
+#[test]
+fn forced_abort_of_waiting_dispatch_cancels_order() {
+    let mut sys = WorkflowSystem::builder().executors(3).seed(81).build();
+    sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
+        .unwrap();
+    // Authorisation is slow; stock never returns, so dispatch waits.
+    sys.bind_fn("refPaymentAuthorisation", |_| {
+        TaskBehavior::outcome("authorised")
+            .with_work(SimDuration::from_secs(5))
+            .with_object("paymentInfo", ObjectVal::text("PaymentInfo", "p"))
+    });
+    sys.bind_fn("refCheckStock", |_| {
+        TaskBehavior::outcome("stockAvailable")
+            .with_work(SimDuration::from_secs(60))
+            .with_object("stockInfo", ObjectVal::text("StockInfo", "s"))
+    });
+    sys.bind_fn("refDispatch", |_| {
+        TaskBehavior::outcome("dispatchCompleted")
+            .with_object("dispatchNote", ObjectVal::text("DispatchNote", "n"))
+    });
+    sys.bind_fn("refPaymentCapture", |_| TaskBehavior::outcome("done"));
+    sys.start("o1", "order", "main", [("order", text("Order", "o"))])
+        .unwrap();
+    // Let the instance get going; dispatch is still waiting for stock.
+    sys.run_for(SimDuration::from_secs(1));
+    let states = sys.task_states("o1");
+    assert_eq!(
+        states["processOrderApplication/dispatch"],
+        CbState::Waiting
+    );
+    // A user forces the abort (Fig. 3's wait-state abort).
+    sys.abort_waiting_task("o1", "processOrderApplication/dispatch", "dispatchFailed")
+        .unwrap();
+    sys.run();
+    // The abort outcome notified orderCancelled.
+    let outcome = sys.outcome("o1").expect("instance settles");
+    assert_eq!(outcome.name, "orderCancelled");
+    let states = sys.task_states("o1");
+    assert_eq!(
+        states["processOrderApplication/dispatch"],
+        CbState::Aborted {
+            outcome: "dispatchFailed".into()
+        }
+    );
+}
+
+#[test]
+fn forced_abort_validates_outcome_kind_and_state() {
+    let mut sys = WorkflowSystem::builder().executors(2).seed(82).build();
+    sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
+        .unwrap();
+    sys.bind_fn("refPaymentAuthorisation", |_| {
+        TaskBehavior::outcome("authorised")
+            .with_work(SimDuration::from_secs(60))
+            .with_object("paymentInfo", ObjectVal::text("PaymentInfo", "p"))
+    });
+    sys.bind_fn("refCheckStock", |_| {
+        TaskBehavior::outcome("stockAvailable")
+            .with_work(SimDuration::from_secs(60))
+            .with_object("stockInfo", ObjectVal::text("StockInfo", "s"))
+    });
+    sys.start("o1", "order", "main", [("order", text("Order", "o"))])
+        .unwrap();
+    // `authorised` is not an abort outcome.
+    let err = sys
+        .abort_waiting_task("o1", "processOrderApplication/dispatch", "authorised")
+        .unwrap_err();
+    assert!(err.to_string().contains("not an abort outcome"), "{err}");
+    // checkStock is Executing, not Waiting.
+    let err = sys
+        .abort_waiting_task("o1", "processOrderApplication/checkStock", "dispatchFailed")
+        .unwrap_err();
+    assert!(err.to_string().contains("not an abort outcome") || err.to_string().contains("not waiting"));
+    // Unknown task.
+    assert!(matches!(
+        sys.abort_waiting_task("o1", "processOrderApplication/ghost", "x"),
+        Err(EngineError::UnknownTask(_))
+    ));
+}
+
+#[test]
+fn versioned_instantiation_uses_the_requested_script() {
+    // v1's pipeline root is `pipeline`; v2 is a different script whose
+    // root differs — version selection must pick the right one.
+    let mut sys = WorkflowSystem::builder().executors(2).seed(83).build();
+    sys.register_script("app", samples::QUICKSTART, "pipeline")
+        .unwrap();
+    sys.register_script("app", samples::FIG1_DIAMOND, "diamond")
+        .unwrap();
+
+    sys.bind_fn("refProduce", |_| {
+        TaskBehavior::outcome("produced")
+            .with_object("message", ObjectVal::text("Message", "m"))
+    });
+    sys.bind_fn("refConsume", |_| {
+        TaskBehavior::outcome("consumed")
+            .with_object("result", ObjectVal::text("Message", "r"))
+    });
+    for t in ["refT1", "refT2", "refT3", "refT4"] {
+        sys.bind_fn(t, |_| {
+            TaskBehavior::outcome("done").with_object("out", ObjectVal::text("Data", "d"))
+        });
+    }
+
+    // Explicit v1 runs the pipeline…
+    sys.start_version("v1-run", "app", 1, "main", [("seed", text("Message", "s"))])
+        .unwrap();
+    // …while the latest (v2) runs the diamond.
+    sys.start("latest-run", "app", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    sys.run();
+    assert_eq!(sys.outcome("v1-run").unwrap().name, "done");
+    assert!(sys
+        .task_states("v1-run")
+        .contains_key("pipeline/produce"));
+    assert!(sys
+        .task_states("latest-run")
+        .contains_key("diamond/t4"));
+
+    // Unknown version is rejected.
+    let err = sys
+        .start_version("v9-run", "app", 9, "main", [("seed", text("Message", "s"))])
+        .unwrap_err();
+    assert!(err.to_string().contains("v9"), "{err}");
+}

@@ -1,0 +1,143 @@
+//! Chaos property tests: under randomized fault schedules the engine
+//! must always reach a terminal verdict (Completed or Stuck) — never
+//! hang, never corrupt state, never double-apply an outcome — and runs
+//! must be deterministic per seed.
+
+use flowscript_core::samples;
+use flowscript_engine::coordinator::EngineConfig;
+use flowscript_engine::{CbState, InstanceStatus, ObjectVal, TaskBehavior, WorkflowSystem};
+use flowscript_sim::{FaultAction, FaultPlan, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn order_system(seed: u64, max_retries: u32) -> WorkflowSystem {
+    let config = EngineConfig {
+        max_retries,
+        dispatch_timeout: SimDuration::from_millis(250),
+        retry_backoff: SimDuration::from_millis(10),
+        ..EngineConfig::default()
+    };
+    let mut sys = WorkflowSystem::builder()
+        .executors(3)
+        .seed(seed)
+        .config(config)
+        .build();
+    sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
+        .unwrap();
+    sys.bind_fn("refPaymentAuthorisation", |_| {
+        TaskBehavior::outcome("authorised")
+            .with_work(SimDuration::from_millis(30))
+            .with_object("paymentInfo", ObjectVal::text("PaymentInfo", "p"))
+    });
+    sys.bind_fn("refCheckStock", |_| {
+        TaskBehavior::outcome("stockAvailable")
+            .with_work(SimDuration::from_millis(45))
+            .with_object("stockInfo", ObjectVal::text("StockInfo", "s"))
+    });
+    sys.bind_fn("refDispatch", |_| {
+        TaskBehavior::outcome("dispatchCompleted")
+            .with_work(SimDuration::from_millis(25))
+            .with_object("dispatchNote", ObjectVal::text("DispatchNote", "n"))
+    });
+    sys.bind_fn("refPaymentCapture", |_| TaskBehavior::outcome("done"));
+    sys
+}
+
+/// A randomized fault plan derived from proptest inputs.
+fn fault_plan(
+    sys: &WorkflowSystem,
+    crashes: &[(u8, u32, u32)],
+    partition_at: Option<u32>,
+) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    let nodes: Vec<_> = sys.executor_nodes().to_vec();
+    let coordinator = sys.coordinator_node();
+    for &(which, at_ms, down_ms) in crashes {
+        let node = if which == 0 {
+            coordinator
+        } else {
+            nodes[(which as usize - 1) % nodes.len()]
+        };
+        let at = SimTime::from_nanos(u64::from(at_ms % 400) * 1_000_000);
+        plan = plan
+            .at(at, FaultAction::Crash(node))
+            .at(
+                at + SimDuration::from_millis(u64::from(down_ms % 300) + 20),
+                FaultAction::Restart(node),
+            );
+    }
+    if let Some(at_ms) = partition_at {
+        let at = SimTime::from_nanos(u64::from(at_ms % 300) * 1_000_000);
+        plan = plan
+            .at(
+                at,
+                FaultAction::Partition(vec![coordinator], nodes.clone()),
+            )
+            .at(at + SimDuration::from_millis(400), FaultAction::HealAll);
+    }
+    plan
+}
+
+fn run_chaos(seed: u64, crashes: &[(u8, u32, u32)], partition_at: Option<u32>) -> (InstanceStatus, String) {
+    let mut sys = order_system(seed, 6);
+    let plan = fault_plan(&sys, crashes, partition_at);
+    plan.apply(sys.world_mut());
+    sys.start("o", "order", "main", [("order", ObjectVal::text("Order", "o"))])
+        .unwrap();
+    sys.run();
+    let status = sys.status("o").unwrap();
+    (status, sys.trace().render())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chaos_runs_always_reach_a_verdict(
+        seed: u64,
+        crashes in proptest::collection::vec((0u8..4, any::<u32>(), any::<u32>()), 0..3),
+        partition_at in proptest::option::of(any::<u32>()),
+    ) {
+        let (status, _) = run_chaos(seed, &crashes, partition_at);
+        // Terminal either way; never Running after the queue drains.
+        prop_assert!(status.is_terminal(), "non-terminal: {status:?}");
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic(
+        seed: u64,
+        crashes in proptest::collection::vec((0u8..4, any::<u32>(), any::<u32>()), 0..3),
+    ) {
+        let (status1, trace1) = run_chaos(seed, &crashes, None);
+        let (status2, trace2) = run_chaos(seed, &crashes, None);
+        prop_assert_eq!(status1, status2);
+        prop_assert_eq!(trace1, trace2);
+    }
+
+    #[test]
+    fn completed_chaos_runs_have_consistent_final_state(
+        seed: u64,
+        crashes in proptest::collection::vec((1u8..4, any::<u32>(), any::<u32>()), 0..2),
+    ) {
+        // Executor-only crashes with generous retries: the order should
+        // usually complete; when it does, the final state must be
+        // consistent (all tasks terminal, outcome objects present).
+        let mut sys = order_system(seed, 8);
+        let plan = fault_plan(&sys, &crashes, None);
+        plan.apply(sys.world_mut());
+        sys.start("o", "order", "main", [("order", ObjectVal::text("Order", "o"))]).unwrap();
+        sys.run();
+        if let InstanceStatus::Completed(outcome) = sys.status("o").unwrap() {
+            prop_assert_eq!(&outcome.name, "orderCompleted");
+            prop_assert!(outcome.objects.contains_key("dispatchNote"));
+            for (path, state) in sys.task_states("o") {
+                prop_assert!(state.is_terminal(), "{} not terminal: {:?}", path, state);
+                // No task may be Failed in a completed run of this script
+                // (every task feeds the outcome chain).
+                prop_assert!(
+                    !matches!(state, CbState::Failed { .. }),
+                    "{} failed in a completed run", path
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Leaf-level marks (early release during execution, Fig. 3) and
+//! leaf-level repeat outcomes — the non-compound halves of the output
+//! model, complementing the compound cases in `paper_scenarios.rs`.
+
+use flowscript_engine::{CbState, ObjectVal, TaskBehavior, WorkflowSystem};
+use flowscript_sim::{SimDuration, SimTime};
+
+const MARK_SCRIPT: &str = r#"
+class Data;
+class Cost;
+
+taskclass LongRunner {
+    inputs { input main { in of class Data } };
+    outputs {
+        outcome finished { out of class Data };
+        mark estimate { cost of class Cost }
+    }
+}
+
+taskclass EagerConsumer {
+    inputs { input main { cost of class Cost } };
+    outputs { outcome billed { } }
+}
+
+taskclass Root {
+    inputs { input main { in of class Data } };
+    outputs {
+        outcome done { out of class Data };
+        mark bill { cost of class Cost }
+    }
+}
+
+compoundtask root of taskclass Root {
+    task runner of taskclass LongRunner {
+        implementation { "code" is "refRunner" };
+        inputs { input main { inputobject in from { in of task root if input main } } }
+    };
+    task biller of taskclass EagerConsumer {
+        implementation { "code" is "refBiller" };
+        inputs { input main { inputobject cost from { cost of task runner if output estimate } } }
+    };
+    outputs {
+        outcome done {
+            outputobject out from { out of task runner if output finished };
+            notification from { task biller if output billed }
+        };
+        mark bill {
+            outputobject cost from { cost of task runner if output estimate }
+        }
+    }
+}
+"#;
+
+#[test]
+fn leaf_mark_released_while_task_still_executing() {
+    let mut sys = WorkflowSystem::builder().executors(2).seed(91).build();
+    sys.register_script("m", MARK_SCRIPT, "root").unwrap();
+    // The runner works for 10 seconds but releases its cost estimate
+    // after 1 second.
+    sys.bind_fn("refRunner", |ctx| {
+        TaskBehavior::outcome("finished")
+            .with_work(SimDuration::from_secs(10))
+            .with_mark(
+                SimDuration::from_secs(1),
+                "estimate",
+                [("cost", ObjectVal::text("Cost", "42"))],
+            )
+            .with_object("out", ObjectVal::text("Data", ctx.input_text("in")))
+    });
+    sys.bind_fn("refBiller", |ctx| {
+        assert_eq!(ctx.input_text("cost"), "42");
+        TaskBehavior::outcome("billed")
+    });
+    sys.start("m1", "m", "main", [("in", ObjectVal::text("Data", "x"))])
+        .unwrap();
+
+    // After 2 virtual seconds the mark is out, the biller has consumed
+    // it, and the runner is *still executing* — early release in action.
+    sys.run_until(SimTime::from_nanos(2_000_000_000));
+    let states = sys.task_states("m1");
+    assert!(matches!(states["root/runner"], CbState::Executing { .. }));
+    assert!(matches!(states["root/biller"], CbState::Done { .. }));
+    // The compound-level `bill` mark was propagated from the leaf mark.
+    assert_eq!(
+        sys.output_fact("m1", "root", "bill").unwrap()["cost"].as_text(),
+        "42"
+    );
+    assert!(sys.outcome("m1").is_none(), "root must still be running");
+
+    sys.run();
+    let outcome = sys.outcome("m1").expect("completes");
+    assert_eq!(outcome.name, "done");
+    assert_eq!(sys.stats().marks, 2, "leaf mark + compound mark");
+}
+
+#[test]
+fn duplicate_and_undeclared_marks_ignored() {
+    let mut sys = WorkflowSystem::builder().executors(2).seed(92).build();
+    sys.register_script("m", MARK_SCRIPT, "root").unwrap();
+    sys.bind_fn("refRunner", |ctx| {
+        TaskBehavior::outcome("finished")
+            .with_work(SimDuration::from_secs(2))
+            // The same mark twice plus one the class does not declare:
+            // only the first `estimate` may land.
+            .with_mark(
+                SimDuration::from_millis(100),
+                "estimate",
+                [("cost", ObjectVal::text("Cost", "1"))],
+            )
+            .with_mark(
+                SimDuration::from_millis(200),
+                "estimate",
+                [("cost", ObjectVal::text("Cost", "2"))],
+            )
+            .with_mark(
+                SimDuration::from_millis(300),
+                "undeclared",
+                [("cost", ObjectVal::text("Cost", "3"))],
+            )
+            .with_object("out", ObjectVal::text("Data", ctx.input_text("in")))
+    });
+    sys.bind_fn("refBiller", |ctx| {
+        assert_eq!(ctx.input_text("cost"), "1", "first mark wins");
+        TaskBehavior::outcome("billed")
+    });
+    sys.start("m1", "m", "main", [("in", ObjectVal::text("Data", "x"))])
+        .unwrap();
+    sys.run();
+    assert!(sys.outcome("m1").is_some());
+    let fact = sys.output_fact("m1", "root/runner", "estimate").unwrap();
+    assert_eq!(fact["cost"].as_text(), "1");
+    assert!(sys.output_fact("m1", "root/runner", "undeclared").is_none());
+}
+
+const LEAF_REPEAT_SCRIPT: &str = r#"
+class Data;
+
+taskclass Poller {
+    inputs { input main { in of class Data } };
+    outputs {
+        outcome ready { out of class Data };
+        repeat outcome poll { progress of class Data }
+    }
+}
+
+taskclass Root {
+    inputs { input main { in of class Data } };
+    outputs { outcome done { out of class Data } }
+}
+
+compoundtask root of taskclass Root {
+    task poller of taskclass Poller {
+        implementation { "code" is "refPoller" };
+        inputs { input main { inputobject in from { in of task root if input main } } }
+    };
+    outputs { outcome done { outputobject out from { out of task poller if output ready } } }
+}
+"#;
+
+#[test]
+fn leaf_repeat_reexecutes_with_carried_objects() {
+    let mut sys = WorkflowSystem::builder().executors(2).seed(93).build();
+    sys.register_script("p", LEAF_REPEAT_SCRIPT, "root").unwrap();
+    // Poll until the carried progress counter reaches 3 (Fig. 3's
+    // Repeat1 transition, state carried through repeat objects).
+    sys.bind_fn("refPoller", |ctx| {
+        let progress: u32 = ctx
+            .repeat_objects
+            .get("progress")
+            .map(|o| o.as_text().parse().unwrap_or(0))
+            .unwrap_or(0);
+        if progress < 3 {
+            TaskBehavior::outcome("poll")
+                .with_object("progress", ObjectVal::text("Data", (progress + 1).to_string()))
+                .with_redo_after(SimDuration::from_millis(50))
+        } else {
+            TaskBehavior::outcome("ready")
+                .with_object("out", ObjectVal::text("Data", format!("after-{progress}-polls")))
+        }
+    });
+    sys.start("p1", "p", "main", [("in", ObjectVal::text("Data", "x"))])
+        .unwrap();
+    sys.run();
+    let outcome = sys.outcome("p1").expect("poller converges");
+    assert_eq!(outcome.objects["out"].as_text(), "after-3-polls");
+    assert_eq!(sys.stats().repeats, 3);
+    // The redo delays are visible in virtual time (3 × 50ms + work).
+    assert!(sys.now() >= SimTime::from_nanos(150_000_000));
+}
+
+#[test]
+fn leaf_repeat_limit_enforced() {
+    use flowscript_engine::coordinator::EngineConfig;
+    let config = EngineConfig {
+        max_repeats: 5,
+        ..EngineConfig::default()
+    };
+    let mut sys = WorkflowSystem::builder()
+        .executors(2)
+        .seed(94)
+        .config(config)
+        .build();
+    sys.register_script("p", LEAF_REPEAT_SCRIPT, "root").unwrap();
+    // Never converges: the repeat bound must stop it.
+    sys.bind_fn("refPoller", |_| {
+        TaskBehavior::outcome("poll")
+            .with_object("progress", ObjectVal::text("Data", "0"))
+            .with_redo_after(SimDuration::from_millis(1))
+    });
+    sys.start("p1", "p", "main", [("in", ObjectVal::text("Data", "x"))])
+        .unwrap();
+    sys.run();
+    match sys.status("p1").unwrap() {
+        flowscript_engine::InstanceStatus::Stuck { reason } => {
+            assert!(reason.contains("repeat limit"), "{reason}");
+        }
+        other => panic!("expected repeat-limit stuck, got {other:?}"),
+    }
+}

@@ -1,0 +1,317 @@
+//! Dynamic reconfiguration of running instances (paper §2/§3): add or
+//! remove tasks and dependencies atomically, rebind implementations
+//! (online upgrade), and rescue stuck instances.
+
+use flowscript_core::samples;
+use flowscript_engine::{
+    CbState, InstanceStatus, ObjectVal, Reconfig, TaskBehavior, WorkflowSystem,
+};
+use flowscript_sim::SimDuration;
+
+fn text(class: &str, value: &str) -> ObjectVal {
+    ObjectVal::text(class, value)
+}
+
+fn diamond_system(seed: u64) -> WorkflowSystem {
+    let mut sys = WorkflowSystem::builder().executors(2).seed(seed).build();
+    sys.register_script("diamond", samples::FIG1_DIAMOND, "diamond")
+        .unwrap();
+    sys.bind_fn("refT1", |ctx| {
+        TaskBehavior::outcome("done")
+            .with_work(SimDuration::from_millis(10))
+            .with_object("out", ObjectVal::text("Data", format!("{}1", ctx.input_text("seed"))))
+    });
+    sys.bind_fn("refT2", |_| {
+        TaskBehavior::outcome("done")
+            .with_work(SimDuration::from_millis(10))
+            .with_object("out", text("Data", "two"))
+    });
+    sys.bind_fn("refT3", |ctx| {
+        TaskBehavior::outcome("done")
+            .with_work(SimDuration::from_millis(10))
+            .with_object("out", ObjectVal::text("Data", format!("{}3", ctx.input_text("in"))))
+    });
+    sys.bind_fn("refT4", |ctx| {
+        TaskBehavior::outcome("done")
+            .with_work(SimDuration::from_millis(10))
+            .with_object(
+                "out",
+                ObjectVal::text(
+                    "Data",
+                    format!("{}|{}", ctx.input_text("left"), ctx.input_text("right")),
+                ),
+            )
+    });
+    sys
+}
+
+#[test]
+fn paper_section2_add_t5_to_running_instance() {
+    // The paper's §2 scenario: while Fig. 1's diamond runs, add a task t5
+    // with dependencies from t2 and t4.
+    let mut sys = diamond_system(61);
+    sys.bind_fn("refT5", |ctx| {
+        TaskBehavior::outcome("done").with_object(
+            "out",
+            ObjectVal::text(
+                "Data",
+                format!("t5({},{})", ctx.input_text("left"), ctx.input_text("right")),
+            ),
+        )
+    });
+    sys.start("d1", "diamond", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    // Let t1 (and possibly t2/t3) finish, then reconfigure mid-flight.
+    sys.run_for(SimDuration::from_millis(15));
+    sys.reconfigure(
+        "d1",
+        Reconfig::AddTask {
+            scope_path: "diamond".into(),
+            task_source: r#"
+                task t5 of taskclass Join {
+                    implementation { "code" is "refT5" };
+                    inputs {
+                        input main {
+                            inputobject left from { out of task t2 if output done };
+                            inputobject right from { out of task t4 if output done }
+                        }
+                    }
+                }
+            "#
+            .into(),
+        },
+    )
+    .unwrap();
+    sys.run();
+    // The instance still completes (t5 feeds nothing, it just runs).
+    assert!(sys.outcome("d1").is_some());
+    let states = sys.task_states("d1");
+    assert!(
+        matches!(states.get("diamond/t5"), Some(CbState::Done { .. }) | Some(CbState::Cancelled)),
+        "t5 state: {:?}",
+        states.get("diamond/t5")
+    );
+    assert_eq!(sys.stats().reconfigs, 1);
+}
+
+#[test]
+fn added_task_sees_already_produced_outputs() {
+    // Watcher replay: t5 is added *after* t2 and t4 have completed; its
+    // dependencies must be satisfied from recorded facts, not just new
+    // events.
+    let mut sys = diamond_system(62);
+    sys.bind_fn("refT5", |_| {
+        TaskBehavior::outcome("done").with_object("out", text("Data", "late-joiner"))
+    });
+    sys.start("d1", "diamond", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    sys.run(); // the whole diamond completes
+    assert!(sys.outcome("d1").is_some());
+    sys.reconfigure(
+        "d1",
+        Reconfig::AddTask {
+            scope_path: "diamond".into(),
+            task_source: r#"
+                task t5 of taskclass Join {
+                    implementation { "code" is "refT5" };
+                    inputs {
+                        input main {
+                            inputobject left from { out of task t2 if output done };
+                            inputobject right from { out of task t4 if output done }
+                        }
+                    }
+                }
+            "#
+            .into(),
+        },
+    )
+    .unwrap();
+    sys.run();
+    // Root already terminated, so evaluation of t5 depends on the scope
+    // being Done — it stays Waiting/Cancelled. Assert it did not corrupt
+    // the completed instance.
+    assert!(sys.outcome("d1").is_some());
+}
+
+#[test]
+fn rebind_performs_online_upgrade() {
+    let mut sys = diamond_system(63);
+    // v2 of t3's implementation marks its output differently.
+    sys.bind_fn("refT3v2", |ctx| {
+        TaskBehavior::outcome("done").with_object(
+            "out",
+            ObjectVal::text("Data", format!("v2<{}>", ctx.input_text("in"))),
+        )
+    });
+    sys.start("d1", "diamond", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    // Rebind before t3 runs (t1 takes 10ms; do it immediately).
+    sys.reconfigure(
+        "d1",
+        Reconfig::Rebind {
+            code: "refT3".into(),
+            to: "refT3v2".into(),
+        },
+    )
+    .unwrap();
+    sys.run();
+    let outcome = sys.outcome("d1").unwrap();
+    assert_eq!(outcome.objects["out"].as_text(), "two|v2<s1>");
+}
+
+#[test]
+fn reconfiguration_rescues_stuck_instance() {
+    // A consumer whose sole producer has no implementation gets stuck;
+    // adding an alternative source rescues it.
+    const SCRIPT: &str = r#"
+        class Data;
+        taskclass Stage {
+            inputs { input main { in of class Data } };
+            outputs { outcome done { out of class Data } }
+        }
+        taskclass Root {
+            inputs { input main { seed of class Data } };
+            outputs { outcome done { out of class Data } }
+        }
+        compoundtask root of taskclass Root {
+            task broken of taskclass Stage {
+                implementation { "code" is "refBroken" };
+                inputs { input main { inputobject in from { seed of task root if input main } } }
+            };
+            task healthy of taskclass Stage {
+                implementation { "code" is "refHealthy" };
+                inputs { input main { inputobject in from { seed of task root if input main } } }
+            };
+            task consumer of taskclass Stage {
+                implementation { "code" is "refConsumer" };
+                inputs { input main { inputobject in from { out of task broken if output done } } }
+            };
+            outputs {
+                outcome done { outputobject out from { out of task consumer if output done } }
+            }
+        }
+    "#;
+    let config = flowscript_engine::coordinator::EngineConfig {
+        dispatch_timeout: SimDuration::from_millis(200),
+        retry_backoff: SimDuration::from_millis(10),
+        ..Default::default()
+    };
+    let mut sys = WorkflowSystem::builder()
+        .executors(2)
+        .seed(64)
+        .config(config)
+        .build();
+    sys.register_script("s", SCRIPT, "root").unwrap();
+    // refBroken is deliberately unbound.
+    sys.bind_fn("refHealthy", |ctx| {
+        TaskBehavior::outcome("done").with_object(
+            "out",
+            ObjectVal::text("Data", format!("healthy({})", ctx.input_text("in"))),
+        )
+    });
+    sys.bind_fn("refConsumer", |ctx| {
+        TaskBehavior::outcome("done")
+            .with_object("out", ObjectVal::text("Data", ctx.input_text("in")))
+    });
+    sys.start("r1", "s", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    sys.run();
+    assert!(matches!(
+        sys.status("r1").unwrap(),
+        InstanceStatus::Stuck { .. }
+    ));
+    // Rescue: give the consumer an alternative source from `healthy`.
+    sys.reconfigure(
+        "r1",
+        Reconfig::AddObjectSource {
+            task_path: "root/consumer".into(),
+            set: "main".into(),
+            object: "in".into(),
+            producer: "healthy".into(),
+            producer_object: "out".into(),
+            outcome: "done".into(),
+        },
+    )
+    .unwrap();
+    sys.run();
+    let outcome = sys.outcome("r1").expect("rescued instance completes");
+    assert_eq!(outcome.objects["out"].as_text(), "healthy(s)");
+}
+
+#[test]
+fn invalid_reconfigurations_rejected_without_damage() {
+    let mut sys = diamond_system(65);
+    sys.start("d1", "diamond", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    // Unknown scope.
+    assert!(sys
+        .reconfigure(
+            "d1",
+            Reconfig::AddTask {
+                scope_path: "diamond/ghost".into(),
+                task_source: "task x of taskclass Stage { }".into(),
+            },
+        )
+        .is_err());
+    // Removing t3 orphans t4's `right` slot.
+    assert!(sys
+        .reconfigure(
+            "d1",
+            Reconfig::RemoveTask {
+                task_path: "diamond/t3".into(),
+            },
+        )
+        .is_err());
+    // Unknown instance.
+    assert!(sys
+        .reconfigure(
+            "ghost",
+            Reconfig::Rebind {
+                code: "a".into(),
+                to: "b".into(),
+            },
+        )
+        .is_err());
+    // The instance is unharmed and completes.
+    sys.run();
+    assert!(sys.outcome("d1").is_some());
+    assert_eq!(sys.stats().reconfigs, 0);
+}
+
+#[test]
+fn reconfiguration_survives_coordinator_crash() {
+    // Reconfig ops are persisted and replayed during recovery.
+    let mut sys = diamond_system(66);
+    sys.bind_fn("refT5", |_| {
+        TaskBehavior::outcome("done").with_object("out", text("Data", "t5"))
+    });
+    sys.start("d1", "diamond", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    sys.reconfigure(
+        "d1",
+        Reconfig::AddTask {
+            scope_path: "diamond".into(),
+            task_source: r#"
+                task t5 of taskclass NotifiedStage {
+                    implementation { "code" is "refT5" };
+                    inputs { input main { notification from { task t1 if output done } } }
+                }
+            "#
+            .into(),
+        },
+    )
+    .unwrap();
+    // Crash + restart the coordinator immediately; on recovery the
+    // reconfigured schema (with t5) must be rebuilt from the log.
+    let coordinator = sys.coordinator_node();
+    sys.crash_now(coordinator);
+    sys.restart_now(coordinator);
+    sys.run();
+    assert!(sys.outcome("d1").is_some(), "{:?}", sys.status("d1"));
+    let states = sys.task_states("d1");
+    assert!(
+        matches!(states.get("diamond/t5"), Some(CbState::Done { .. }) | Some(CbState::Cancelled)),
+        "t5: {:?}",
+        states.get("diamond/t5")
+    );
+}

@@ -1,0 +1,12 @@
+use std::fmt;
+
+/// Identifies a scheduled event; returned by the scheduling calls on
+/// [`crate::World`] so the event can later be cancelled (timers, retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev{}", self.0)
+    }
+}

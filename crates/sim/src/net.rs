@@ -1,0 +1,236 @@
+//! The simulated network: latency, jitter, loss and partitions.
+//!
+//! The paper's fault model is "temporary network related failures" plus the
+//! pathological case of "a network partition that is not healing"; both are
+//! expressible here and driven either directly or via [`crate::FaultPlan`].
+
+use std::collections::{HashMap, HashSet};
+
+use crate::node::NodeId;
+use crate::time::SimDuration;
+
+/// Delivery characteristics of one direction of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Fixed transit latency component.
+    pub base_latency: SimDuration,
+    /// Maximum additional uniformly distributed jitter.
+    pub jitter: SimDuration,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_prob: f64,
+}
+
+impl Default for LinkConfig {
+    /// A LAN-ish default: 200µs ± 100µs, lossless.
+    fn default() -> Self {
+        Self {
+            base_latency: SimDuration::from_micros(200),
+            jitter: SimDuration::from_micros(100),
+            drop_prob: 0.0,
+        }
+    }
+}
+
+/// Why the network refused to carry a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryFailure {
+    /// The link randomly dropped the message.
+    Dropped,
+    /// Source and destination are in different partitions.
+    Partitioned,
+}
+
+/// The network fabric connecting nodes.
+///
+/// Local delivery (`src == dst`) bypasses the fabric entirely: it is always
+/// instantaneous and reliable, like a same-process call.
+#[derive(Debug, Default)]
+pub struct Network {
+    default_link: LinkConfig,
+    overrides: HashMap<(NodeId, NodeId), LinkConfig>,
+    /// Unordered pairs that cannot currently communicate.
+    blocked: HashSet<(NodeId, NodeId)>,
+}
+
+impl Network {
+    /// Creates a network with the default link configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the default link configuration for all unconfigured pairs.
+    pub fn set_default_link(&mut self, config: LinkConfig) {
+        self.default_link = config;
+    }
+
+    /// The default link configuration.
+    pub fn default_link(&self) -> LinkConfig {
+        self.default_link
+    }
+
+    /// Sets an override for messages from `src` to `dst` (directional).
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, config: LinkConfig) {
+        self.overrides.insert((src, dst), config);
+    }
+
+    /// The effective configuration for `src → dst`.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> LinkConfig {
+        self.overrides
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Splits the given nodes into two groups that cannot reach each other.
+    ///
+    /// Nodes not mentioned keep full connectivity with everyone.
+    pub fn partition(&mut self, side_a: &[NodeId], side_b: &[NodeId]) {
+        for &a in side_a {
+            for &b in side_b {
+                if a != b {
+                    self.blocked.insert(Self::pair(a, b));
+                }
+            }
+        }
+    }
+
+    /// Removes every partition, restoring full connectivity.
+    pub fn heal_all(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Restores connectivity between two specific nodes.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.remove(&Self::pair(a, b));
+    }
+
+    /// Whether `a` and `b` can currently exchange messages.
+    pub fn can_communicate(&self, a: NodeId, b: NodeId) -> bool {
+        a == b || !self.blocked.contains(&Self::pair(a, b))
+    }
+
+    /// Number of blocked node pairs (diagnostic).
+    pub fn blocked_pairs(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// Decides the fate of one message given a uniform random sample in
+    /// `[0, 1)` and a jitter sample in `[0, 1)`.
+    ///
+    /// Returns the transit latency on success. Pure function of its inputs,
+    /// keeping all randomness in the caller's seeded RNG.
+    pub fn route(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        drop_sample: f64,
+        jitter_sample: f64,
+    ) -> Result<SimDuration, DeliveryFailure> {
+        if src == dst {
+            return Ok(SimDuration::ZERO);
+        }
+        if !self.can_communicate(src, dst) {
+            return Err(DeliveryFailure::Partitioned);
+        }
+        let link = self.link(src, dst);
+        if drop_sample < link.drop_prob {
+            return Err(DeliveryFailure::Dropped);
+        }
+        let jitter_nanos = (link.jitter.as_nanos() as f64 * jitter_sample) as u64;
+        Ok(link.base_latency + SimDuration::from_nanos(jitter_nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn local_delivery_is_free_and_unblockable() {
+        let mut net = Network::new();
+        net.partition(&[n(0)], &[n(1)]);
+        assert_eq!(net.route(n(0), n(0), 0.99, 0.5), Ok(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let mut net = Network::new();
+        net.partition(&[n(0), n(1)], &[n(2)]);
+        assert!(!net.can_communicate(n(0), n(2)));
+        assert!(!net.can_communicate(n(2), n(1)));
+        assert!(net.can_communicate(n(0), n(1)));
+        assert_eq!(
+            net.route(n(0), n(2), 0.0, 0.0),
+            Err(DeliveryFailure::Partitioned)
+        );
+    }
+
+    #[test]
+    fn heal_restores_connectivity() {
+        let mut net = Network::new();
+        net.partition(&[n(0)], &[n(1), n(2)]);
+        net.heal(n(0), n(1));
+        assert!(net.can_communicate(n(0), n(1)));
+        assert!(!net.can_communicate(n(0), n(2)));
+        net.heal_all();
+        assert!(net.can_communicate(n(0), n(2)));
+        assert_eq!(net.blocked_pairs(), 0);
+    }
+
+    #[test]
+    fn drop_probability_uses_sample() {
+        let mut net = Network::new();
+        net.set_default_link(LinkConfig {
+            drop_prob: 0.5,
+            ..LinkConfig::default()
+        });
+        assert_eq!(
+            net.route(n(0), n(1), 0.49, 0.0),
+            Err(DeliveryFailure::Dropped)
+        );
+        assert!(net.route(n(0), n(1), 0.51, 0.0).is_ok());
+    }
+
+    #[test]
+    fn latency_includes_scaled_jitter() {
+        let mut net = Network::new();
+        net.set_default_link(LinkConfig {
+            base_latency: SimDuration::from_nanos(100),
+            jitter: SimDuration::from_nanos(50),
+            drop_prob: 0.0,
+        });
+        assert_eq!(
+            net.route(n(0), n(1), 1.0, 0.0),
+            Ok(SimDuration::from_nanos(100))
+        );
+        assert_eq!(
+            net.route(n(0), n(1), 1.0, 0.5),
+            Ok(SimDuration::from_nanos(125))
+        );
+    }
+
+    #[test]
+    fn per_link_override_is_directional() {
+        let mut net = Network::new();
+        let slow = LinkConfig {
+            base_latency: SimDuration::from_secs(1),
+            jitter: SimDuration::ZERO,
+            drop_prob: 0.0,
+        };
+        net.set_link(n(0), n(1), slow);
+        assert_eq!(net.link(n(0), n(1)), slow);
+        assert_eq!(net.link(n(1), n(0)), net.default_link());
+    }
+}

@@ -1,0 +1,81 @@
+use std::fmt;
+
+use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+
+/// Identifies a simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of the node within its [`crate::World`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl Encode for NodeId {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.0);
+    }
+}
+
+impl Decode for NodeId {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(NodeId(r.get_u32()?))
+    }
+}
+
+/// Whether a node is currently able to process messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Processing normally.
+    Up,
+    /// Crashed; in-flight messages to it are dropped on delivery, and its
+    /// volatile state is assumed lost (durable state survives in whatever
+    /// store the services keep — see `flowscript-tx`).
+    Crashed,
+}
+
+/// Per-node bookkeeping inside the [`crate::World`].
+pub(crate) struct NodeState {
+    pub(crate) name: String,
+    pub(crate) status: NodeStatus,
+    /// Incremented on every crash; deliveries scheduled during a previous
+    /// incarnation are discarded even if the node is back up (a restarted
+    /// process has fresh sockets — old packets do not arrive).
+    pub(crate) incarnation: u64,
+}
+
+impl NodeState {
+    pub(crate) fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            status: NodeStatus::Up,
+            incarnation: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NodeId(3).index(), 3);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let id = NodeId(77);
+        let bytes = flowscript_codec::to_bytes(&id);
+        assert_eq!(flowscript_codec::from_bytes::<NodeId>(&bytes).unwrap(), id);
+    }
+}

@@ -1,0 +1,191 @@
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::event::EventId;
+use crate::time::SimTime;
+use crate::world::World;
+
+/// A pending simulation event: a closure to run at a virtual instant.
+pub(crate) type EventFn = Box<dyn FnOnce(&mut World)>;
+
+struct Entry {
+    at: SimTime,
+    /// Monotonic tie-breaker: two events at the same instant run in the
+    /// order they were scheduled. This is the root of determinism.
+    seq: u64,
+    id: EventId,
+    run: EventFn,
+}
+
+/// Heap key ordering: earliest time first, then scheduling order.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Key(SimTime, u64);
+
+/// The event queue: a time-ordered heap of closures with stable ordering
+/// and tombstone-based cancellation.
+pub(crate) struct Scheduler {
+    heap: BinaryHeap<Reverse<(Key, u64)>>,
+    entries: std::collections::HashMap<u64, Entry>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    next_event: u64,
+    now: SimTime,
+}
+
+impl Scheduler {
+    pub(crate) fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            entries: std::collections::HashMap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            next_event: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `run` at `at`; times already in the past are clamped to
+    /// "now" (the event runs as soon as possible, after events already
+    /// queued for the current instant).
+    pub(crate) fn schedule_at(&mut self, at: SimTime, run: EventFn) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(self.next_event);
+        self.next_event += 1;
+        self.heap.push(Reverse((Key(at, seq), seq)));
+        self.entries.insert(seq, Entry { at, seq, id, run });
+        id
+    }
+
+    pub(crate) fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries
+            .values()
+            .all(|e| self.cancelled.contains(&e.id))
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| !self.cancelled.contains(&e.id))
+            .count()
+    }
+
+    /// Pops the next runnable event, advancing the clock to its time.
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, EventId, EventFn)> {
+        while let Some(Reverse((_, seq))) = self.heap.pop() {
+            let entry = self
+                .entries
+                .remove(&seq)
+                .expect("heap entry without table entry");
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "clock went backwards");
+            self.now = entry.at;
+            return Some((entry.at, entry.id, entry.run));
+        }
+        None
+    }
+
+    /// Time of the next runnable event, if any.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.entries
+            .values()
+            .filter(|e| !self.cancelled.contains(&e.id))
+            .map(|e| (e.at, e.seq))
+            .min()
+            .map(|(at, _)| at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn noop() -> EventFn {
+        Box::new(|_| {})
+    }
+
+    #[test]
+    fn pops_in_time_order_then_fifo() {
+        let mut s = Scheduler::new();
+        let t1 = SimTime::from_nanos(10);
+        let t2 = SimTime::from_nanos(20);
+        let a = s.schedule_at(t2, noop());
+        let b = s.schedule_at(t1, noop());
+        let c = s.schedule_at(t1, noop());
+        let (at1, id1, _) = s.pop().unwrap();
+        let (at2, id2, _) = s.pop().unwrap();
+        let (at3, id3, _) = s.pop().unwrap();
+        assert_eq!((at1, id1), (t1, b));
+        assert_eq!((at2, id2), (t1, c), "same-time events pop in FIFO order");
+        assert_eq!((at3, id3), (t2, a));
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(5), noop());
+        assert_eq!(s.now(), SimTime::ZERO);
+        let _ = s.pop().unwrap();
+        assert_eq!(s.now(), SimTime::from_nanos(5));
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut s = Scheduler::new();
+        let id = s.schedule_at(SimTime::from_nanos(1), noop());
+        let keep = s.schedule_at(SimTime::from_nanos(2), noop());
+        s.cancel(id);
+        assert_eq!(s.pending(), 1);
+        let (_, popped, _) = s.pop().unwrap();
+        assert_eq!(popped, keep);
+        assert!(s.pop().is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn peek_ignores_cancelled() {
+        let mut s = Scheduler::new();
+        let early = s.schedule_at(SimTime::from_nanos(1), noop());
+        s.schedule_at(SimTime::from_nanos(9), noop());
+        s.cancel(early);
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(9)));
+    }
+
+    #[test]
+    fn past_times_clamp_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(100), noop());
+        let _ = s.pop().unwrap();
+        assert_eq!(s.now(), SimTime::from_nanos(100));
+        // Scheduling "in the past" runs at the current instant instead.
+        let id = s.schedule_at(SimTime::from_nanos(5), noop());
+        let (at, popped, _) = s.pop().unwrap();
+        assert_eq!(at, SimTime::from_nanos(100));
+        assert_eq!(popped, id);
+        assert_eq!(s.now(), SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn zero_delay_events_preserve_order() {
+        let mut s = Scheduler::new();
+        let now = s.now();
+        let ids: Vec<_> = (0..10).map(|_| s.schedule_at(now, noop())).collect();
+        let popped: Vec<_> = std::iter::from_fn(|| s.pop().map(|(_, id, _)| id)).collect();
+        assert_eq!(ids, popped);
+        let _ = SimDuration::ZERO;
+    }
+}

@@ -1,0 +1,98 @@
+use std::fmt;
+
+use crate::id::{ObjectUid, TxId};
+use crate::lock::Conflict;
+
+/// Errors raised by the transaction substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// A lock could not be granted. The embedded [`Conflict`] tells the
+    /// caller whether wait-die policy says to retry later (`Wait`) or to
+    /// abort itself (`Die`).
+    Lock {
+        /// The contended object.
+        uid: ObjectUid,
+        /// The holder that blocked us.
+        holder: TxId,
+        /// Wait-die verdict for the requester.
+        conflict: Conflict,
+    },
+    /// The action id is unknown (already committed/aborted, or foreign).
+    UnknownAction(TxId),
+    /// A nested action's parent has already terminated.
+    ParentTerminated(TxId),
+    /// The log or a stored object failed to decode.
+    Corrupt(flowscript_codec::CodecError),
+    /// Underlying storage failed (file-backed logs only).
+    Storage(String),
+    /// A distributed transaction could not reach a commit decision.
+    DistAborted {
+        /// The distributed transaction.
+        tx: TxId,
+        /// Human-readable reason (vote no, timeout…).
+        reason: String,
+    },
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Lock {
+                uid,
+                holder,
+                conflict,
+            } => write!(
+                f,
+                "lock conflict on {uid}: held by {holder}, verdict {conflict:?}"
+            ),
+            TxError::UnknownAction(tx) => write!(f, "unknown or terminated action {tx}"),
+            TxError::ParentTerminated(tx) => write!(f, "parent action {tx} already terminated"),
+            TxError::Corrupt(err) => write!(f, "corrupt transactional state: {err}"),
+            TxError::Storage(msg) => write!(f, "storage failure: {msg}"),
+            TxError::DistAborted { tx, reason } => {
+                write!(f, "distributed transaction {tx} aborted: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TxError::Corrupt(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<flowscript_codec::CodecError> for TxError {
+    fn from(err: flowscript_codec::CodecError) -> Self {
+        TxError::Corrupt(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let lock = TxError::Lock {
+            uid: ObjectUid::new("o"),
+            holder: TxId::new(0, 1),
+            conflict: Conflict::Wait,
+        };
+        assert!(lock.to_string().contains("lock conflict"));
+        assert!(TxError::UnknownAction(TxId::new(0, 2))
+            .to_string()
+            .contains("unknown"));
+        assert!(TxError::Storage("disk".into()).to_string().contains("disk"));
+    }
+
+    #[test]
+    fn codec_error_converts_with_source() {
+        use std::error::Error as _;
+        let err: TxError = flowscript_codec::CodecError::InvalidUtf8.into();
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! Arjuna-style transaction substrate for the flowscript workflow system.
+//!
+//! The paper's execution environment "records inter-task dependencies in
+//! persistent shared objects and uses atomic transactions to implement
+//! notification and dataflow dependencies" (§3), on top of OTSArjuna. This
+//! crate rebuilds that substrate:
+//!
+//! - [`TxManager`]: atomic actions over a persistent object store —
+//!   begin / read / write / delete / commit / abort, with nesting,
+//! - [`lock`]: strict two-phase locking with wait-die deadlock avoidance,
+//! - [`log`]: a redo-only write-ahead log with checksummed frames,
+//! - [`storage`]: durable byte storage (in-memory for simulation — it
+//!   survives simulated node crashes — or file-backed),
+//! - recovery: replaying the log rebuilds the committed store exactly,
+//! - [`dist`]: presumed-abort two-phase commit for coordination state
+//!   sharded across nodes.
+//!
+//! # Examples
+//!
+//! ```
+//! use flowscript_tx::{ObjectUid, TxManager};
+//!
+//! # fn main() -> Result<(), flowscript_tx::TxError> {
+//! let mut mgr = TxManager::in_memory();
+//! let uid = ObjectUid::new("account/a");
+//!
+//! let a = mgr.begin();
+//! mgr.write(&a, &uid, &100u64)?;
+//! mgr.commit(a)?;
+//!
+//! let b = mgr.begin();
+//! let balance: u64 = mgr.read(&b, &uid)?.unwrap();
+//! assert_eq!(balance, 100);
+//! mgr.abort(b);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dist;
+mod error;
+mod id;
+pub mod lock;
+pub mod log;
+mod manager;
+pub mod storage;
+
+pub use error::TxError;
+pub use id::{Handle, ObjectUid, TxId};
+pub use lock::{Conflict, LockMode};
+pub use log::{LogRecord, Wal};
+pub use manager::{AtomicAction, TxManager};
+pub use storage::{FileStorage, MemStorage, SharedStorage, Storage};

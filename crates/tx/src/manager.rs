@@ -1,0 +1,935 @@
+use std::collections::HashMap;
+
+use flowscript_codec::{Decode, Encode};
+
+use crate::error::TxError;
+use crate::id::{Handle, ObjectUid, TxId};
+use crate::lock::{Acquired, LockManager, LockMode};
+use crate::log::{LogRecord, Wal};
+use crate::storage::{SharedStorage, Storage};
+
+/// A live atomic action (transaction).
+///
+/// Deliberately neither `Clone` nor `Copy`: an action is terminated exactly
+/// once, by passing it *by value* to [`TxManager::commit`] or
+/// [`TxManager::abort`].
+#[derive(Debug)]
+pub struct AtomicAction {
+    id: TxId,
+    parent: Option<TxId>,
+}
+
+impl AtomicAction {
+    /// This action's transaction id.
+    pub fn id(&self) -> TxId {
+        self.id
+    }
+
+    /// The enclosing action's id, when nested.
+    pub fn parent(&self) -> Option<TxId> {
+        self.parent
+    }
+
+    /// Whether this is a top-level action.
+    pub fn is_top_level(&self) -> bool {
+        self.parent.is_none()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Workspace {
+    /// Staged after-images; `None` marks a deletion.
+    writes: HashMap<ObjectUid, Option<Vec<u8>>>,
+    /// First-write order, for deterministic log records.
+    order: Vec<ObjectUid>,
+}
+
+impl Workspace {
+    fn stage(&mut self, uid: ObjectUid, value: Option<Vec<u8>>) {
+        if !self.writes.contains_key(&uid) {
+            self.order.push(uid.clone());
+        }
+        self.writes.insert(uid, value);
+    }
+
+    fn into_ordered(mut self) -> Vec<(ObjectUid, Option<Vec<u8>>)> {
+        self.order
+            .drain(..)
+            .map(|uid| {
+                let value = self.writes.remove(&uid).expect("ordered uid staged");
+                (uid, value)
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug)]
+struct ActiveTx {
+    parent: Option<TxId>,
+    children: Vec<TxId>,
+    workspace: Workspace,
+}
+
+#[derive(Debug)]
+struct PreparedTx {
+    coordinator: u32,
+    writes: Vec<(ObjectUid, Option<Vec<u8>>)>,
+}
+
+/// The transaction manager: atomic actions over a persistent object store.
+///
+/// One `TxManager` corresponds to one node's recoverable state (the paper's
+/// "persistent atomic objects"). All coordination data the engine keeps —
+/// task control blocks, dependency records, produced outputs — lives in
+/// objects managed here, so a crash between events loses nothing that was
+/// committed and everything that was not.
+#[derive(Debug)]
+pub struct TxManager<S = SharedStorage> {
+    node: u32,
+    wal: Wal<S>,
+    store: HashMap<ObjectUid, Vec<u8>>,
+    locks: LockManager,
+    active: HashMap<TxId, ActiveTx>,
+    prepared: HashMap<TxId, PreparedTx>,
+    /// Commit decisions this node made as a 2PC coordinator (presumed
+    /// abort: only commits are remembered durably).
+    coordinator_commits: HashMap<TxId, bool>,
+    next_seq: u64,
+    commits: u64,
+    aborts: u64,
+}
+
+impl TxManager<SharedStorage> {
+    /// A fresh manager over new in-memory shared storage (node id 0).
+    pub fn in_memory() -> Self {
+        Self::open(0, SharedStorage::new()).expect("empty storage cannot fail recovery")
+    }
+}
+
+impl<S: Storage> TxManager<S> {
+    /// Opens a manager over `storage`, replaying any existing log
+    /// (recovery). An empty log yields an empty store.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::Corrupt`] if the log is damaged beyond a torn tail,
+    /// [`TxError::Storage`] on I/O failure.
+    pub fn open(node: u32, storage: S) -> Result<Self, TxError> {
+        let wal = Wal::new(storage);
+        let records = wal.scan()?;
+        let mut store = HashMap::new();
+        let mut prepared: HashMap<TxId, PreparedTx> = HashMap::new();
+        let mut coordinator_commits = HashMap::new();
+        let mut max_seq = 0u64;
+        for record in records {
+            match record {
+                LogRecord::Checkpoint { states } => {
+                    store = states.into_iter().collect();
+                }
+                LogRecord::Commit { tx, writes } => {
+                    max_seq = max_seq.max(tx.seq());
+                    apply_writes(&mut store, &writes);
+                }
+                LogRecord::Prepare {
+                    tx,
+                    coordinator,
+                    writes,
+                } => {
+                    max_seq = max_seq.max(tx.seq());
+                    prepared.insert(
+                        tx,
+                        PreparedTx {
+                            coordinator,
+                            writes,
+                        },
+                    );
+                }
+                LogRecord::Resolve { tx, committed } => {
+                    max_seq = max_seq.max(tx.seq());
+                    if let Some(p) = prepared.remove(&tx) {
+                        if committed {
+                            apply_writes(&mut store, &p.writes);
+                        }
+                    } else {
+                        // A resolve without a local prepare is a
+                        // coordinator-side decision record.
+                        coordinator_commits.insert(tx, committed);
+                    }
+                }
+            }
+        }
+        let mut locks = LockManager::new();
+        // In-doubt transactions keep their write locks so nothing reads
+        // through them until the coordinator's verdict arrives.
+        for (tx, p) in &prepared {
+            for (uid, _) in &p.writes {
+                let acquired = locks.acquire(*tx, uid, LockMode::Write);
+                debug_assert_eq!(acquired, Acquired::Granted);
+            }
+        }
+        Ok(Self {
+            node,
+            wal,
+            store,
+            locks,
+            active: HashMap::new(),
+            prepared,
+            coordinator_commits,
+            next_seq: max_seq + 1,
+            commits: 0,
+            aborts: 0,
+        })
+    }
+
+    /// This manager's node id (used in [`TxId`]s it mints).
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    fn mint(&mut self) -> TxId {
+        let id = TxId::new(self.node, self.next_seq);
+        self.next_seq += 1;
+        id
+    }
+
+    /// Begins a top-level atomic action.
+    pub fn begin(&mut self) -> AtomicAction {
+        let id = self.mint();
+        self.active.insert(
+            id,
+            ActiveTx {
+                parent: None,
+                children: Vec::new(),
+                workspace: Workspace::default(),
+            },
+        );
+        AtomicAction { id, parent: None }
+    }
+
+    /// Begins an action nested inside `parent`. Its effects become
+    /// permanent only when every enclosing action commits.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::UnknownAction`] if the parent has already terminated.
+    pub fn begin_nested(&mut self, parent: &AtomicAction) -> Result<AtomicAction, TxError> {
+        if !self.active.contains_key(&parent.id) {
+            return Err(TxError::UnknownAction(parent.id));
+        }
+        let id = self.mint();
+        self.active.insert(
+            id,
+            ActiveTx {
+                parent: Some(parent.id),
+                children: Vec::new(),
+                workspace: Workspace::default(),
+            },
+        );
+        self.active
+            .get_mut(&parent.id)
+            .expect("checked above")
+            .children
+            .push(id);
+        Ok(AtomicAction {
+            id,
+            parent: Some(parent.id),
+        })
+    }
+
+    fn acquire(&mut self, tx: TxId, uid: &ObjectUid, mode: LockMode) -> Result<(), TxError> {
+        match self.locks.acquire(tx, uid, mode) {
+            Acquired::Granted => Ok(()),
+            Acquired::Conflicted { holder, verdict } => Err(TxError::Lock {
+                uid: uid.clone(),
+                holder,
+                conflict: verdict,
+            }),
+        }
+    }
+
+    /// Reads an object within an action, acquiring a read lock.
+    /// Returns `None` if the object does not exist.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::Lock`] on conflict, [`TxError::UnknownAction`] for a
+    /// terminated action, [`TxError::Corrupt`] if stored bytes fail to
+    /// decode as `T`.
+    pub fn read<T: Decode>(
+        &mut self,
+        action: &AtomicAction,
+        uid: &ObjectUid,
+    ) -> Result<Option<T>, TxError> {
+        let bytes = self.read_raw(action, uid)?;
+        match bytes {
+            None => Ok(None),
+            Some(b) => Ok(Some(flowscript_codec::from_bytes(&b)?)),
+        }
+    }
+
+    /// Reads raw object bytes within an action (see [`TxManager::read`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxManager::read`], minus decode failures.
+    pub fn read_raw(
+        &mut self,
+        action: &AtomicAction,
+        uid: &ObjectUid,
+    ) -> Result<Option<Vec<u8>>, TxError> {
+        if !self.active.contains_key(&action.id) {
+            return Err(TxError::UnknownAction(action.id));
+        }
+        self.acquire(action.id, uid, LockMode::Read)?;
+        // Nearest staged version wins: this action, then ancestors.
+        let mut cursor = Some(action.id);
+        while let Some(txid) = cursor {
+            let entry = self
+                .active
+                .get(&txid)
+                .expect("ancestor chain of active action");
+            if let Some(staged) = entry.workspace.writes.get(uid) {
+                return Ok(staged.clone());
+            }
+            cursor = entry.parent;
+        }
+        Ok(self.store.get(uid).cloned())
+    }
+
+    /// Writes an object within an action, acquiring a write lock. The
+    /// value is staged and reaches the store only on top-level commit.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::Lock`] on conflict, [`TxError::UnknownAction`] for a
+    /// terminated action.
+    pub fn write<T: Encode + ?Sized>(
+        &mut self,
+        action: &AtomicAction,
+        uid: &ObjectUid,
+        value: &T,
+    ) -> Result<(), TxError> {
+        self.write_raw(action, uid, flowscript_codec::to_bytes(value))
+    }
+
+    /// Writes raw object bytes within an action (see [`TxManager::write`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxManager::write`].
+    pub fn write_raw(
+        &mut self,
+        action: &AtomicAction,
+        uid: &ObjectUid,
+        bytes: Vec<u8>,
+    ) -> Result<(), TxError> {
+        if !self.active.contains_key(&action.id) {
+            return Err(TxError::UnknownAction(action.id));
+        }
+        self.acquire(action.id, uid, LockMode::Write)?;
+        self.active
+            .get_mut(&action.id)
+            .expect("checked above")
+            .workspace
+            .stage(uid.clone(), Some(bytes));
+        Ok(())
+    }
+
+    /// Deletes an object within an action.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxManager::write`].
+    pub fn delete(&mut self, action: &AtomicAction, uid: &ObjectUid) -> Result<(), TxError> {
+        if !self.active.contains_key(&action.id) {
+            return Err(TxError::UnknownAction(action.id));
+        }
+        self.acquire(action.id, uid, LockMode::Write)?;
+        self.active
+            .get_mut(&action.id)
+            .expect("checked above")
+            .workspace
+            .stage(uid.clone(), None);
+        Ok(())
+    }
+
+    /// Typed read through a [`Handle`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxManager::read`].
+    pub fn read_handle<T: Decode>(
+        &mut self,
+        action: &AtomicAction,
+        handle: &Handle<T>,
+    ) -> Result<Option<T>, TxError> {
+        self.read(action, handle.uid())
+    }
+
+    /// Typed write through a [`Handle`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxManager::write`].
+    pub fn write_handle<T: Encode>(
+        &mut self,
+        action: &AtomicAction,
+        handle: &Handle<T>,
+        value: &T,
+    ) -> Result<(), TxError> {
+        self.write(action, handle.uid(), value)
+    }
+
+    /// Commits an action.
+    ///
+    /// Top-level: the staged writes are logged durably, applied to the
+    /// store, and all locks released. Nested: the writes and locks are
+    /// inherited by the parent. Any still-open children are aborted first.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::UnknownAction`] if already terminated;
+    /// [`TxError::ParentTerminated`] if a nested action outlived its
+    /// parent; storage errors on log append.
+    pub fn commit(&mut self, action: AtomicAction) -> Result<(), TxError> {
+        self.abort_open_children(action.id);
+        let entry = self
+            .active
+            .remove(&action.id)
+            .ok_or(TxError::UnknownAction(action.id))?;
+        match entry.parent {
+            Some(parent_id) => {
+                let Some(parent) = self.active.get_mut(&parent_id) else {
+                    // Parent vanished: abandon the child's effects.
+                    self.locks.release_all(action.id);
+                    self.aborts += 1;
+                    return Err(TxError::ParentTerminated(parent_id));
+                };
+                for (uid, value) in entry.workspace.into_ordered() {
+                    parent.workspace.stage(uid, value);
+                }
+                parent.children.retain(|c| *c != action.id);
+                self.locks.transfer(action.id, parent_id);
+                self.commits += 1;
+                Ok(())
+            }
+            None => {
+                let writes = entry.workspace.into_ordered();
+                if !writes.is_empty() {
+                    self.wal.append(&LogRecord::Commit {
+                        tx: action.id,
+                        writes: writes.clone(),
+                    })?;
+                    apply_writes(&mut self.store, &writes);
+                }
+                self.locks.release_all(action.id);
+                self.commits += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Aborts an action, discarding its staged writes (and those of any
+    /// open children). Idempotent for already-terminated ids.
+    pub fn abort(&mut self, action: AtomicAction) {
+        self.abort_by_id(action.id);
+    }
+
+    fn abort_by_id(&mut self, id: TxId) {
+        self.abort_open_children(id);
+        if let Some(entry) = self.active.remove(&id) {
+            if let Some(parent_id) = entry.parent {
+                if let Some(parent) = self.active.get_mut(&parent_id) {
+                    parent.children.retain(|c| *c != id);
+                }
+            }
+            self.locks.release_all(id);
+            self.aborts += 1;
+        }
+    }
+
+    fn abort_open_children(&mut self, id: TxId) {
+        let children = match self.active.get(&id) {
+            Some(entry) => entry.children.clone(),
+            None => return,
+        };
+        for child in children {
+            self.abort_by_id(child);
+        }
+    }
+
+    /// Reads the committed state of an object outside any transaction
+    /// (dirty reads impossible: uncommitted data never reaches the store).
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::Corrupt`] if the stored bytes fail to decode as `T`.
+    pub fn read_committed<T: Decode>(&self, uid: &ObjectUid) -> Result<Option<T>, TxError> {
+        match self.store.get(uid) {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(flowscript_codec::from_bytes(bytes)?)),
+        }
+    }
+
+    /// Whether an object exists in committed state.
+    pub fn exists(&self, uid: &ObjectUid) -> bool {
+        self.store.contains_key(uid)
+    }
+
+    /// All committed uids with the given prefix, sorted (recovery
+    /// enumeration).
+    pub fn uids_with_prefix(&self, prefix: &str) -> Vec<ObjectUid> {
+        let mut uids: Vec<ObjectUid> = self
+            .store
+            .keys()
+            .filter(|uid| uid.as_str().starts_with(prefix))
+            .cloned()
+            .collect();
+        uids.sort();
+        uids
+    }
+
+    /// Writes a checkpoint and compacts the log to it.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors on rewrite.
+    pub fn checkpoint(&mut self) -> Result<(), TxError> {
+        let mut states: Vec<(ObjectUid, Vec<u8>)> = self
+            .store
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        states.sort_by(|a, b| a.0.cmp(&b.0));
+        // Prepared-but-unresolved transactions must survive compaction.
+        let mut pending: Vec<LogRecord> = self
+            .prepared
+            .iter()
+            .map(|(tx, p)| LogRecord::Prepare {
+                tx: *tx,
+                coordinator: p.coordinator,
+                writes: p.writes.clone(),
+            })
+            .collect();
+        pending.sort_by_key(|r| match r {
+            LogRecord::Prepare { tx, .. } => *tx,
+            _ => unreachable!("only prepares pending"),
+        });
+        for (tx, committed) in &self.coordinator_commits {
+            pending.push(LogRecord::Resolve {
+                tx: *tx,
+                committed: *committed,
+            });
+        }
+        self.wal.rewrite_with_checkpoint(states, pending)
+    }
+
+    /// Current log size in bytes.
+    pub fn log_size(&self) -> u64 {
+        self.wal.size_bytes()
+    }
+
+    /// `(commits, aborts)` since this manager was opened.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.commits, self.aborts)
+    }
+
+    /// Number of live (committed) objects.
+    pub fn object_count(&self) -> usize {
+        self.store.len()
+    }
+
+    // ------------------------------------------------------------------
+    // 2PC participant operations (see `crate::dist`).
+    // ------------------------------------------------------------------
+
+    /// Participant prepare: durably stages the writes of distributed
+    /// transaction `tx` and takes its write locks. After this returns the
+    /// node has voted "yes" and must await the coordinator's decision.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::Lock`] if any lock is unavailable (the caller votes
+    /// "no"); storage errors on log append.
+    pub fn prepare_remote(
+        &mut self,
+        tx: TxId,
+        coordinator: u32,
+        writes: Vec<(ObjectUid, Option<Vec<u8>>)>,
+    ) -> Result<(), TxError> {
+        for (uid, _) in &writes {
+            if let Acquired::Conflicted { holder, verdict } =
+                self.locks.acquire(tx, uid, LockMode::Write)
+            {
+                self.locks.release_all(tx);
+                return Err(TxError::Lock {
+                    uid: uid.clone(),
+                    holder,
+                    conflict: verdict,
+                });
+            }
+        }
+        self.wal.append(&LogRecord::Prepare {
+            tx,
+            coordinator,
+            writes: writes.clone(),
+        })?;
+        self.prepared.insert(
+            tx,
+            PreparedTx {
+                coordinator,
+                writes,
+            },
+        );
+        Ok(())
+    }
+
+    /// Participant resolve: applies or discards a prepared transaction per
+    /// the coordinator's decision. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors on log append.
+    pub fn resolve_remote(&mut self, tx: TxId, committed: bool) -> Result<(), TxError> {
+        let Some(prepared) = self.prepared.remove(&tx) else {
+            return Ok(());
+        };
+        self.wal.append(&LogRecord::Resolve { tx, committed })?;
+        if committed {
+            apply_writes(&mut self.store, &prepared.writes);
+            self.commits += 1;
+        } else {
+            self.aborts += 1;
+        }
+        self.locks.release_all(tx);
+        Ok(())
+    }
+
+    /// Distributed transactions prepared here but not yet resolved,
+    /// with their coordinator node ids (queried after recovery).
+    pub fn in_doubt(&self) -> Vec<(TxId, u32)> {
+        let mut out: Vec<(TxId, u32)> = self
+            .prepared
+            .iter()
+            .map(|(tx, p)| (*tx, p.coordinator))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Coordinator-side durable decision record (presumed abort: commits
+    /// *must* be logged before any participant learns of them; aborts may
+    /// be logged for bookkeeping but are also implied by absence).
+    ///
+    /// # Errors
+    ///
+    /// Storage errors on log append.
+    pub fn log_coordinator_decision(&mut self, tx: TxId, committed: bool) -> Result<(), TxError> {
+        self.wal.append(&LogRecord::Resolve { tx, committed })?;
+        self.coordinator_commits.insert(tx, committed);
+        Ok(())
+    }
+
+    /// A previously logged coordinator decision, if any.
+    pub fn coordinator_decision(&self, tx: TxId) -> Option<bool> {
+        self.coordinator_commits.get(&tx).copied()
+    }
+
+    /// Mints a fresh id for a distributed transaction coordinated here.
+    pub fn mint_dist_tx(&mut self) -> TxId {
+        self.mint()
+    }
+}
+
+fn apply_writes(store: &mut HashMap<ObjectUid, Vec<u8>>, writes: &[(ObjectUid, Option<Vec<u8>>)]) {
+    for (uid, value) in writes {
+        match value {
+            Some(bytes) => {
+                store.insert(uid.clone(), bytes.clone());
+            }
+            None => {
+                store.remove(uid);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::Conflict;
+
+    fn uid(s: &str) -> ObjectUid {
+        ObjectUid::new(s)
+    }
+
+    #[test]
+    fn committed_write_is_visible_later() {
+        let mut mgr = TxManager::in_memory();
+        let a = mgr.begin();
+        mgr.write(&a, &uid("x"), &41u32).unwrap();
+        mgr.commit(a).unwrap();
+        assert_eq!(mgr.read_committed::<u32>(&uid("x")).unwrap(), Some(41));
+        let b = mgr.begin();
+        assert_eq!(mgr.read::<u32>(&b, &uid("x")).unwrap(), Some(41));
+        mgr.abort(b);
+    }
+
+    #[test]
+    fn aborted_write_leaves_no_trace() {
+        let mut mgr = TxManager::in_memory();
+        let a = mgr.begin();
+        mgr.write(&a, &uid("x"), &1u8).unwrap();
+        mgr.abort(a);
+        assert_eq!(mgr.read_committed::<u8>(&uid("x")).unwrap(), None);
+        assert!(!mgr.exists(&uid("x")));
+        assert_eq!(mgr.stats(), (0, 1));
+    }
+
+    #[test]
+    fn own_writes_read_back_before_commit() {
+        let mut mgr = TxManager::in_memory();
+        let a = mgr.begin();
+        mgr.write(&a, &uid("x"), &7i64).unwrap();
+        assert_eq!(mgr.read::<i64>(&a, &uid("x")).unwrap(), Some(7));
+        mgr.delete(&a, &uid("x")).unwrap();
+        assert_eq!(mgr.read::<i64>(&a, &uid("x")).unwrap(), None);
+        mgr.commit(a).unwrap();
+    }
+
+    #[test]
+    fn write_conflict_gets_wait_die_verdict() {
+        let mut mgr = TxManager::in_memory();
+        let older = mgr.begin();
+        let younger = mgr.begin();
+        mgr.write(&younger, &uid("x"), &1u8).unwrap();
+        // Older requester is told to wait.
+        match mgr.write(&older, &uid("x"), &2u8) {
+            Err(TxError::Lock { conflict, .. }) => assert_eq!(conflict, Conflict::Wait),
+            other => panic!("expected lock conflict, got {other:?}"),
+        }
+        mgr.abort(younger);
+        // Now the lock is free.
+        mgr.write(&older, &uid("x"), &2u8).unwrap();
+        mgr.commit(older).unwrap();
+        assert_eq!(mgr.read_committed::<u8>(&uid("x")).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn younger_conflicting_writer_dies() {
+        let mut mgr = TxManager::in_memory();
+        let older = mgr.begin();
+        mgr.write(&older, &uid("x"), &1u8).unwrap();
+        let younger = mgr.begin();
+        match mgr.write(&younger, &uid("x"), &2u8) {
+            Err(TxError::Lock { conflict, .. }) => assert_eq!(conflict, Conflict::Die),
+            other => panic!("expected lock conflict, got {other:?}"),
+        }
+        mgr.abort(younger);
+        mgr.commit(older).unwrap();
+    }
+
+    #[test]
+    fn nested_commit_folds_into_parent() {
+        let mut mgr = TxManager::in_memory();
+        let parent = mgr.begin();
+        let child = mgr.begin_nested(&parent).unwrap();
+        mgr.write(&child, &uid("x"), &5u8).unwrap();
+        mgr.commit(child).unwrap();
+        // Not yet durable: only staged in the parent.
+        assert_eq!(mgr.read_committed::<u8>(&uid("x")).unwrap(), None);
+        assert_eq!(mgr.read::<u8>(&parent, &uid("x")).unwrap(), Some(5));
+        mgr.commit(parent).unwrap();
+        assert_eq!(mgr.read_committed::<u8>(&uid("x")).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn nested_abort_spares_parent() {
+        let mut mgr = TxManager::in_memory();
+        let parent = mgr.begin();
+        mgr.write(&parent, &uid("keep"), &1u8).unwrap();
+        let child = mgr.begin_nested(&parent).unwrap();
+        mgr.write(&child, &uid("discard"), &2u8).unwrap();
+        mgr.abort(child);
+        mgr.commit(parent).unwrap();
+        assert_eq!(mgr.read_committed::<u8>(&uid("keep")).unwrap(), Some(1));
+        assert_eq!(mgr.read_committed::<u8>(&uid("discard")).unwrap(), None);
+    }
+
+    #[test]
+    fn parent_commit_aborts_open_children() {
+        let mut mgr = TxManager::in_memory();
+        let parent = mgr.begin();
+        let child = mgr.begin_nested(&parent).unwrap();
+        mgr.write(&child, &uid("x"), &9u8).unwrap();
+        mgr.commit(parent).unwrap();
+        assert_eq!(
+            mgr.read_committed::<u8>(&uid("x")).unwrap(),
+            None,
+            "open child must be aborted by parent commit"
+        );
+        // The child action is now unknown.
+        assert!(matches!(
+            mgr.commit(child),
+            Err(TxError::UnknownAction(_))
+        ));
+    }
+
+    #[test]
+    fn recovery_replays_committed_state() {
+        let stable = SharedStorage::new();
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            let a = mgr.begin();
+            mgr.write(&a, &uid("x"), &String::from("durable")).unwrap();
+            mgr.write(&a, &uid("y"), &2u8).unwrap();
+            mgr.commit(a).unwrap();
+            let b = mgr.begin();
+            mgr.delete(&b, &uid("y")).unwrap();
+            mgr.commit(b).unwrap();
+            let c = mgr.begin();
+            mgr.write(&c, &uid("z"), &3u8).unwrap();
+            // c is never committed: crash here.
+        }
+        let mgr = TxManager::open(0, stable).unwrap();
+        assert_eq!(
+            mgr.read_committed::<String>(&uid("x")).unwrap(),
+            Some("durable".to_string())
+        );
+        assert_eq!(mgr.read_committed::<u8>(&uid("y")).unwrap(), None);
+        assert_eq!(mgr.read_committed::<u8>(&uid("z")).unwrap(), None);
+    }
+
+    #[test]
+    fn recovery_after_checkpoint() {
+        let stable = SharedStorage::new();
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            for i in 0..10u8 {
+                let a = mgr.begin();
+                mgr.write(&a, &uid(&format!("o{i}")), &i).unwrap();
+                mgr.commit(a).unwrap();
+            }
+            mgr.checkpoint().unwrap();
+            let a = mgr.begin();
+            mgr.write(&a, &uid("post"), &99u8).unwrap();
+            mgr.commit(a).unwrap();
+        }
+        let mgr = TxManager::open(0, stable).unwrap();
+        assert_eq!(mgr.object_count(), 11);
+        assert_eq!(mgr.read_committed::<u8>(&uid("o7")).unwrap(), Some(7));
+        assert_eq!(mgr.read_committed::<u8>(&uid("post")).unwrap(), Some(99));
+    }
+
+    #[test]
+    fn checkpoint_shrinks_log() {
+        let mut mgr = TxManager::in_memory();
+        for i in 0..100u32 {
+            let a = mgr.begin();
+            mgr.write(&a, &uid("hot"), &i).unwrap();
+            mgr.commit(a).unwrap();
+        }
+        let before = mgr.log_size();
+        mgr.checkpoint().unwrap();
+        assert!(mgr.log_size() < before / 10);
+        assert_eq!(mgr.read_committed::<u32>(&uid("hot")).unwrap(), Some(99));
+    }
+
+    #[test]
+    fn read_only_commit_appends_nothing() {
+        let mut mgr = TxManager::in_memory();
+        let a = mgr.begin();
+        mgr.write(&a, &uid("x"), &1u8).unwrap();
+        mgr.commit(a).unwrap();
+        let size = mgr.log_size();
+        let b = mgr.begin();
+        let _ = mgr.read::<u8>(&b, &uid("x")).unwrap();
+        mgr.commit(b).unwrap();
+        assert_eq!(mgr.log_size(), size);
+    }
+
+    #[test]
+    fn prefix_enumeration_sorted() {
+        let mut mgr = TxManager::in_memory();
+        let a = mgr.begin();
+        mgr.write(&a, &uid("inst/1/b"), &1u8).unwrap();
+        mgr.write(&a, &uid("inst/1/a"), &1u8).unwrap();
+        mgr.write(&a, &uid("inst/2/a"), &1u8).unwrap();
+        mgr.commit(a).unwrap();
+        let uids = mgr.uids_with_prefix("inst/1/");
+        assert_eq!(uids, vec![uid("inst/1/a"), uid("inst/1/b")]);
+    }
+
+    #[test]
+    fn prepared_transaction_survives_recovery_in_doubt() {
+        let stable = SharedStorage::new();
+        let dist_tx = TxId::new(9, 1000);
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            mgr.prepare_remote(dist_tx, 9, vec![(uid("x"), Some(vec![1]))])
+                .unwrap();
+        }
+        let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+        assert_eq!(mgr.in_doubt(), vec![(dist_tx, 9)]);
+        // The staged write is invisible and the object locked.
+        assert_eq!(mgr.read_committed::<u8>(&uid("x")).unwrap(), None);
+        let a = mgr.begin();
+        assert!(matches!(
+            mgr.read::<u8>(&a, &uid("x")),
+            Err(TxError::Lock { .. })
+        ));
+        mgr.abort(a);
+        // Resolution commits it.
+        mgr.resolve_remote(dist_tx, true).unwrap();
+        assert!(mgr.exists(&uid("x")));
+        assert!(mgr.in_doubt().is_empty());
+        // And is durable.
+        let mgr2 = TxManager::open(0, stable).unwrap();
+        assert!(mgr2.exists(&uid("x")));
+    }
+
+    #[test]
+    fn resolve_is_idempotent() {
+        let mut mgr = TxManager::in_memory();
+        let dist_tx = TxId::new(9, 1);
+        mgr.prepare_remote(dist_tx, 9, vec![(uid("x"), Some(vec![1]))])
+            .unwrap();
+        mgr.resolve_remote(dist_tx, false).unwrap();
+        mgr.resolve_remote(dist_tx, false).unwrap();
+        assert!(!mgr.exists(&uid("x")));
+        // Lock released after abort resolution.
+        let a = mgr.begin();
+        assert!(mgr.write(&a, &uid("x"), &2u8).is_ok());
+        mgr.abort(a);
+    }
+
+    #[test]
+    fn coordinator_decisions_survive_recovery() {
+        let stable = SharedStorage::new();
+        let dist_tx = TxId::new(0, 500);
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            mgr.log_coordinator_decision(dist_tx, true).unwrap();
+        }
+        let mgr = TxManager::open(0, stable).unwrap();
+        assert_eq!(mgr.coordinator_decision(dist_tx), Some(true));
+        assert_eq!(mgr.coordinator_decision(TxId::new(0, 501)), None);
+    }
+
+    #[test]
+    fn minted_ids_advance_after_recovery() {
+        let stable = SharedStorage::new();
+        let first;
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            let a = mgr.begin();
+            first = a.id();
+            mgr.write(&a, &uid("x"), &1u8).unwrap();
+            mgr.commit(a).unwrap();
+        }
+        let mut mgr = TxManager::open(0, stable).unwrap();
+        let b = mgr.begin();
+        assert!(first.is_older_than(b.id()), "ids must not repeat");
+        mgr.abort(b);
+    }
+}

@@ -1,0 +1,22 @@
+//! Renders the paper's three applications as Graphviz graphs in the
+//! paper's visual idiom (solid = dataflow, dashed = notification,
+//! double-bordered = abort outcome, dotted = repeat, dashed ellipse =
+//! mark).
+//!
+//! ```sh
+//! cargo run --example export_dot > figures.dot
+//! dot -Tsvg figures.dot -o figures.svg   # if graphviz is installed
+//! ```
+
+use flowscript::lang::dot;
+use flowscript::lang::schema::compile_source;
+use flowscript::samples;
+
+fn main() {
+    for (name, source) in samples::all() {
+        let root = samples::root_of(name);
+        let schema = compile_source(source, root).expect("sample compiles");
+        println!("// ==== {name} (root: {root}) ====");
+        println!("{}", dot::render(&schema));
+    }
+}

@@ -1,0 +1,89 @@
+//! §5.2 / Fig. 7: electronic order processing.
+//!
+//! `paymentAuthorisation` and `checkStock` run concurrently; `dispatch`
+//! starts only when payment is authorised (notification) *and* stock
+//! information arrives (dataflow); `paymentCapture` runs after dispatch.
+//! The `dispatchFailed` output is an **abort outcome**: dispatch is an
+//! atomic task, and an abort means no side effects escaped.
+//!
+//! ```sh
+//! cargo run --example order_processing
+//! ```
+
+use flowscript::prelude::*;
+
+fn run_order(order_id: &str, in_stock: bool, seed: u64) -> Outcome {
+    let mut sys = WorkflowSystem::builder().executors(4).seed(seed).build();
+    sys.register_script(
+        "order",
+        flowscript::samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .expect("sample script is valid");
+
+    sys.bind_fn("refPaymentAuthorisation", |ctx| {
+        TaskBehavior::outcome("authorised")
+            .with_work(SimDuration::from_millis(80))
+            .with_object(
+                "paymentInfo",
+                ObjectVal::text("PaymentInfo", format!("auth({})", ctx.input_text("order"))),
+            )
+    });
+    let stocked = in_stock;
+    sys.bind_fn("refCheckStock", move |ctx| {
+        if stocked {
+            TaskBehavior::outcome("stockAvailable")
+                .with_work(SimDuration::from_millis(40))
+                .with_object(
+                    "stockInfo",
+                    ObjectVal::text("StockInfo", format!("bin-C4 for {}", ctx.input_text("order"))),
+                )
+        } else {
+            TaskBehavior::outcome("stockNotAvailable").with_work(SimDuration::from_millis(40))
+        }
+    });
+    sys.bind_fn("refDispatch", |ctx| {
+        TaskBehavior::outcome("dispatchCompleted")
+            .with_work(SimDuration::from_millis(120))
+            .with_object(
+                "dispatchNote",
+                ObjectVal::text(
+                    "DispatchNote",
+                    format!("shipped from {}", ctx.input_text("stockInfo")),
+                ),
+            )
+    });
+    sys.bind_fn("refPaymentCapture", |_| {
+        TaskBehavior::outcome("done").with_work(SimDuration::from_millis(60))
+    });
+
+    sys.start(
+        order_id,
+        "order",
+        "main",
+        [("order", ObjectVal::text("Order", order_id))],
+    )
+    .expect("starts");
+    sys.run();
+
+    println!("order {order_id}:");
+    for (path, state) in sys.task_states(order_id) {
+        println!("  {path}: {state:?}");
+    }
+    let outcome = sys.outcome(order_id).expect("terminates");
+    println!("  → {} (virtual time {})\n", outcome.name, sys.now());
+    outcome
+}
+
+fn main() {
+    let completed = run_order("order-1001", true, 10);
+    assert_eq!(completed.name, "orderCompleted");
+    println!(
+        "dispatch note: {}",
+        completed.objects["dispatchNote"].as_text()
+    );
+
+    let cancelled = run_order("order-1002", false, 11);
+    assert_eq!(cancelled.name, "orderCancelled");
+    println!("order-1002 was cancelled (stock unavailable), as scripted.");
+}
