@@ -16,8 +16,13 @@ fn run_alternatives(seed: u64, k: usize) -> InstanceStatus {
     let mut sys = wl::bench_system(seed, 3);
     sys.register_script("alts", &source, "root").unwrap();
     wl::bind_alternatives(&sys, k, SimDuration::from_millis(3));
-    sys.start("a", "alts", "main", [("seed", ObjectVal::text("Data", "s"))])
-        .unwrap();
+    sys.start(
+        "a",
+        "alts",
+        "main",
+        [("seed", ObjectVal::text("Data", "s"))],
+    )
+    .unwrap();
     sys.run();
     sys.status("a").unwrap()
 }
@@ -36,8 +41,13 @@ fn run_all_failing(seed: u64, k: usize) -> InstanceStatus {
     sys.bind_fn("refConsumer", |_: &flowscript_engine::InvokeCtx| {
         flowscript_engine::TaskBehavior::outcome("done")
     });
-    sys.start("a", "alts", "main", [("seed", ObjectVal::text("Data", "s"))])
-        .unwrap();
+    sys.start(
+        "a",
+        "alts",
+        "main",
+        [("seed", ObjectVal::text("Data", "s"))],
+    )
+    .unwrap();
     sys.run();
     sys.status("a").unwrap()
 }

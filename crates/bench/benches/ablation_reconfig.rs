@@ -16,8 +16,13 @@ fn running_chain(seed: u64, n: usize, source: &str) -> WorkflowSystem {
     sys.bind_fn("refExtra", |_: &flowscript_engine::InvokeCtx| {
         TaskBehavior::outcome("done").with_object("out", ObjectVal::text("Data", "x"))
     });
-    sys.start("c", "chain", "main", [("seed", ObjectVal::text("Data", "s"))])
-        .unwrap();
+    sys.start(
+        "c",
+        "chain",
+        "main",
+        [("seed", ObjectVal::text("Data", "s"))],
+    )
+    .unwrap();
     sys
 }
 

@@ -33,8 +33,13 @@ fn run_chain_with_crash(seed: u64, max_retries: u32) -> bool {
     FaultPlan::new()
         .at(SimTime::from_nanos(15_000_000), FaultAction::Crash(victim))
         .apply(sys.world_mut());
-    sys.start("c", "chain", "main", [("seed", ObjectVal::text("Data", "s"))])
-        .unwrap();
+    sys.start(
+        "c",
+        "chain",
+        "main",
+        [("seed", ObjectVal::text("Data", "s"))],
+    )
+    .unwrap();
     sys.run();
     matches!(sys.status("c").unwrap(), InstanceStatus::Completed(_))
 }

@@ -103,8 +103,13 @@ fn alternative_sources(c: &mut Criterion) {
                 let mut sys = wl::bench_system(counter, 3);
                 sys.register_script("alts", &source, "root").unwrap();
                 wl::bind_alternatives(&sys, k, SimDuration::from_millis(3));
-                sys.start("a", "alts", "main", [("seed", ObjectVal::text("Data", "s"))])
-                    .unwrap();
+                sys.start(
+                    "a",
+                    "alts",
+                    "main",
+                    [("seed", ObjectVal::text("Data", "s"))],
+                )
+                .unwrap();
                 sys.run();
                 assert!(sys.outcome("a").is_some());
             })

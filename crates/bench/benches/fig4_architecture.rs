@@ -52,8 +52,13 @@ fn architecture(c: &mut Criterion) {
                 TaskBehavior::outcome("consumed")
                     .with_object("result", ObjectVal::text("Message", "r"))
             });
-            sys.start("i", "q", "main", [("seed", ObjectVal::text("Message", "s"))])
-                .unwrap();
+            sys.start(
+                "i",
+                "q",
+                "main",
+                [("seed", ObjectVal::text("Message", "s"))],
+            )
+            .unwrap();
             sys.run();
             assert!(sys.outcome("i").is_some());
         })

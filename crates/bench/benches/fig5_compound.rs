@@ -35,8 +35,13 @@ fn run_depth(c: &mut Criterion) {
                     TaskBehavior::outcome("done")
                         .with_object("out", ObjectVal::text("Data", ctx.input_text("in")))
                 });
-                sys.start("n", "nested", "main", [("in", ObjectVal::text("Data", "x"))])
-                    .unwrap();
+                sys.start(
+                    "n",
+                    "nested",
+                    "main",
+                    [("in", ObjectVal::text("Data", "x"))],
+                )
+                .unwrap();
                 sys.run();
                 assert!(sys.outcome("n").is_some());
             })

@@ -27,8 +27,12 @@ fn orders(c: &mut Criterion) {
         b.iter(|| {
             counter += 1;
             let mut sys = wl::bench_system(counter, 4);
-            sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
-                .unwrap();
+            sys.register_script(
+                "order",
+                samples::ORDER_PROCESSING,
+                "processOrderApplication",
+            )
+            .unwrap();
             sys.bind_fn("refPaymentAuthorisation", |_| {
                 TaskBehavior::outcome("authorised")
                     .with_object("paymentInfo", ObjectVal::text("PaymentInfo", "p"))
@@ -41,8 +45,13 @@ fn orders(c: &mut Criterion) {
                     .with_object("dispatchNote", ObjectVal::text("DispatchNote", "n"))
             });
             sys.bind_fn("refPaymentCapture", |_| TaskBehavior::outcome("done"));
-            sys.start("o", "order", "main", [("order", ObjectVal::text("Order", "o"))])
-                .unwrap();
+            sys.start(
+                "o",
+                "order",
+                "main",
+                [("order", ObjectVal::text("Order", "o"))],
+            )
+            .unwrap();
             sys.run();
             assert_eq!(sys.outcome("o").unwrap().name, "orderCancelled");
         })

@@ -24,11 +24,9 @@ fn front_end(c: &mut Criterion) {
                 sema::check(&script).unwrap();
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("full_compile", n),
-            &source,
-            |b, source| b.iter(|| compile_source(source, "root").unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("full_compile", n), &source, |b, source| {
+            b.iter(|| compile_source(source, "root").unwrap())
+        });
     }
     group.finish();
 }

@@ -1,0 +1,63 @@
+//! P1 — plan lowering: the compile-once cost of the execution-plan IR.
+//!
+//! Measures the three stages a repository registration pays: the full
+//! front end (parse → templates → sema → schema), the schema → plan
+//! lowering, and the plan's binary codec round-trip (what persisting
+//! through the WAL or serving over RPC costs). Lowering and codec cost
+//! are paid once per version; every instance start then reuses the
+//! cached plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowscript_bench as wl;
+use flowscript_core::samples;
+use flowscript_core::schema::compile_source;
+use flowscript_plan::Plan;
+
+fn compile_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_compile/samples");
+    for (name, source) in samples::all() {
+        let root = samples::root_of(name);
+        let schema = compile_source(source, root).expect("sample compiles");
+        group.bench_with_input(BenchmarkId::new("front_end", name), &source, |b, source| {
+            b.iter(|| compile_source(source, root).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lower", name), &schema, |b, schema| {
+            b.iter(|| Plan::lower(schema))
+        });
+    }
+    group.finish();
+}
+
+fn generated_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_compile/generated_chain");
+    for n in [10usize, 50, 200] {
+        let source = wl::generated_script(n);
+        let schema = compile_source(&source, "root").expect("generated compiles");
+        group.bench_with_input(BenchmarkId::new("front_end", n), &source, |b, source| {
+            b.iter(|| compile_source(source, "root").unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lower", n), &schema, |b, schema| {
+            b.iter(|| Plan::lower(schema))
+        });
+    }
+    group.finish();
+}
+
+fn codec_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_compile/codec");
+    let schema = compile_source(samples::BUSINESS_TRIP, "tripReservation").unwrap();
+    let plan = Plan::lower(&schema);
+    let bytes = flowscript_codec::to_bytes(&plan);
+    group.bench_function("encode_trip", |b| {
+        b.iter(|| flowscript_codec::to_bytes(&plan))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("decode_trip", bytes.len()),
+        &bytes,
+        |b, bytes| b.iter(|| flowscript_codec::from_bytes::<Plan>(bytes).unwrap()),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, compile_stages, generated_sizes, codec_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,238 @@
+//! P2 — dispatch decisions: schema-map evaluation vs the compiled plan.
+//!
+//! The coordinator's hottest loop is the ready-task scan: after every
+//! committed fact it re-evaluates input-set satisfaction for waiting
+//! tasks and output mappings for active scopes. This bench runs that
+//! exact scan over the fig. 7 (order processing) and fig. 8 (business
+//! trip) workloads at mid-run and end-of-run fact states, twice: once
+//! interpreting the name-keyed `Schema` (`flowscript_engine::deps`,
+//! string paths formatted per probe) and once off the compiled
+//! `flowscript_plan::Plan` (interned ids, precomputed producer paths).
+//! Both scans are asserted to agree before timing starts.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowscript_core::ast::OutputKind;
+use flowscript_core::samples;
+use flowscript_core::schema::{
+    compile_source, CompiledScope, CompiledTask, OutputInfo, Schema, TaskBody,
+};
+use flowscript_engine::deps::{self, FactView, MemFacts};
+use flowscript_engine::ObjectVal;
+use flowscript_plan::{eval as plan_eval, Plan, PlanFacts};
+
+/// Adapter: the engine's in-memory fact store viewed through the
+/// plan-eval trait.
+struct PlanMemFacts<'a>(&'a MemFacts);
+
+impl PlanFacts for PlanMemFacts<'_> {
+    type Value = ObjectVal;
+
+    fn output_object(&self, producer: &str, output: &str, object: &str) -> Option<ObjectVal> {
+        self.0
+            .output_fact(producer, output)
+            .and_then(|mut objects| objects.remove(object))
+    }
+
+    fn input_object(&self, producer: &str, set: &str, object: &str) -> Option<ObjectVal> {
+        self.0
+            .input_fact(producer, set)
+            .and_then(|mut objects| objects.remove(object))
+    }
+
+    fn output_fired(&self, producer: &str, output: &str) -> bool {
+        self.0.output_fact(producer, output).is_some()
+    }
+
+    fn input_fired(&self, producer: &str, set: &str) -> bool {
+        self.0.input_fact(producer, set).is_some()
+    }
+}
+
+/// Every `(enclosing scope path, task)` pair, depth first.
+fn all_tasks(schema: &Schema) -> Vec<(String, &CompiledTask)> {
+    fn walk<'a>(scope: &'a CompiledScope, path: &str, out: &mut Vec<(String, &'a CompiledTask)>) {
+        for task in &scope.tasks {
+            out.push((path.to_string(), task));
+            if let TaskBody::Scope(inner) = &task.body {
+                walk(inner, &format!("{path}/{}", task.name), out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(&schema.root, &schema.root.name, &mut out);
+    out
+}
+
+/// Every `(scope path, scope)` pair, root included.
+fn all_scopes(schema: &Schema) -> Vec<(String, &CompiledScope)> {
+    fn walk<'a>(scope: &'a CompiledScope, path: &str, out: &mut Vec<(String, &'a CompiledScope)>) {
+        out.push((path.to_string(), scope));
+        for task in &scope.tasks {
+            if let TaskBody::Scope(inner) = &task.body {
+                walk(inner, &format!("{path}/{}", task.name), out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(&schema.root, &schema.root.name, &mut out);
+    out
+}
+
+fn happy_objects(output: &OutputInfo) -> BTreeMap<String, ObjectVal> {
+    output
+        .objects
+        .iter()
+        .map(|o| (o.name.clone(), ObjectVal::text(o.class.clone(), "v")))
+        .collect()
+}
+
+/// Drives the fact store one "wavefront" forward, emulating what the
+/// coordinator commits: bind satisfied input sets, let leaves take
+/// their first declared outcome, map satisfied scope outputs. Returns
+/// whether anything new was published.
+fn advance(schema: &Schema, facts: &mut MemFacts) -> bool {
+    let mut progressed = false;
+    for (scope_path, task) in all_tasks(schema) {
+        let path = format!("{scope_path}/{}", task.name);
+        if let Some((set, bound)) = deps::eval_task_inputs(&scope_path, task, facts) {
+            if facts.input_fact(&path, &set).is_none() {
+                facts.add_input(path.clone(), set, bound);
+                progressed = true;
+            }
+            if matches!(task.body, TaskBody::Leaf) {
+                let class = schema.task_class(&task.class).expect("class exists");
+                if let Some(outcome) = class.outputs.iter().find(|o| o.kind == OutputKind::Outcome)
+                {
+                    if facts.output_fact(&path, &outcome.name).is_none() {
+                        facts.add_output(path, outcome.name.clone(), happy_objects(outcome));
+                        progressed = true;
+                    }
+                }
+            }
+        }
+    }
+    for (scope_path, scope) in all_scopes(schema) {
+        let satisfied: Vec<(String, BTreeMap<String, ObjectVal>)> =
+            deps::eval_scope_outputs(&scope_path, scope, facts)
+                .into_iter()
+                .filter(|(output, _)| output.kind == OutputKind::Outcome)
+                .map(|(output, objects)| (output.name.clone(), objects))
+                .collect();
+        for (name, objects) in satisfied {
+            if facts.output_fact(&scope_path, &name).is_none() {
+                facts.add_output(scope_path.clone(), name, objects);
+                progressed = true;
+            }
+        }
+    }
+    progressed
+}
+
+/// The coordinator's full ready-scan, interpreted over the schema.
+fn scan_schema(schema: &Schema, facts: &MemFacts) -> usize {
+    let mut satisfied = 0;
+    for (scope_path, task) in all_tasks(schema) {
+        if deps::eval_task_inputs(&scope_path, task, facts).is_some() {
+            satisfied += 1;
+        }
+    }
+    for (scope_path, scope) in all_scopes(schema) {
+        satisfied += deps::eval_scope_outputs(&scope_path, scope, facts).len();
+    }
+    satisfied
+}
+
+/// The same scan compiled: flat id iteration, interned paths.
+fn scan_plan(plan: &Plan, facts: &PlanMemFacts<'_>) -> usize {
+    let mut satisfied = 0;
+    for id in 1..plan.tasks.len() as u32 {
+        if plan_eval::eval_task_inputs(plan, id, facts).is_some() {
+            satisfied += 1;
+        }
+    }
+    for id in 0..plan.tasks.len() as u32 {
+        if plan.task(id).is_scope {
+            satisfied += plan_eval::eval_scope_outputs(plan, id, facts).len();
+        }
+    }
+    satisfied
+}
+
+struct Workload {
+    label: &'static str,
+    schema: Schema,
+    plan: Plan,
+    root_set: &'static str,
+    root_inputs: &'static [(&'static str, &'static str)],
+}
+
+fn workloads() -> Vec<Workload> {
+    let order = compile_source(samples::ORDER_PROCESSING, "processOrderApplication").unwrap();
+    let trip = compile_source(samples::BUSINESS_TRIP, "tripReservation").unwrap();
+    vec![
+        Workload {
+            label: "fig7_order",
+            plan: Plan::lower(&order),
+            schema: order,
+            root_set: "main",
+            root_inputs: &[("order", "Order")],
+        },
+        Workload {
+            label: "fig8_trip",
+            plan: Plan::lower(&trip),
+            schema: trip,
+            root_set: "main",
+            root_inputs: &[("user", "User")],
+        },
+    ]
+}
+
+fn facts_at(workload: &Workload, rounds: usize) -> MemFacts {
+    let mut facts = MemFacts::new();
+    facts.add_input(
+        workload.schema.root.name.clone(),
+        workload.root_set,
+        workload
+            .root_inputs
+            .iter()
+            .map(|(name, class)| ((*name).to_string(), ObjectVal::text(*class, "v")))
+            .collect(),
+    );
+    for _ in 0..rounds {
+        if !advance(&workload.schema, &mut facts) {
+            break;
+        }
+    }
+    facts
+}
+
+fn dispatch(c: &mut Criterion) {
+    for workload in workloads() {
+        let mut group = c.benchmark_group(format!("plan_dispatch/{}", workload.label));
+        for (stage, rounds) in [("mid_run", 1), ("end_of_run", 16)] {
+            let facts = facts_at(&workload, rounds);
+            let plan_facts = PlanMemFacts(&facts);
+            // The two evaluators must agree before we time them.
+            assert_eq!(
+                scan_schema(&workload.schema, &facts),
+                scan_plan(&workload.plan, &plan_facts),
+                "schema and plan scans disagree on {}/{stage}",
+                workload.label
+            );
+            group.bench_with_input(BenchmarkId::new("schema_map", stage), &facts, |b, facts| {
+                b.iter(|| scan_schema(&workload.schema, facts))
+            });
+            group.bench_with_input(
+                BenchmarkId::new("compiled_plan", stage),
+                &facts,
+                |b, facts| b.iter(|| scan_plan(&workload.plan, &PlanMemFacts(facts))),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, dispatch);
+criterion_main!(benches);

@@ -77,8 +77,7 @@ pub fn service_impact_system(seed: u64) -> WorkflowSystem {
     sys.register_script("si", samples::SERVICE_IMPACT, "serviceImpactApplication")
         .expect("sample valid");
     sys.bind_fn("refAlarmCorrelator", |_| {
-        TaskBehavior::outcome("foundFault")
-            .with_object("faultReport", text("FaultReport", "f"))
+        TaskBehavior::outcome("foundFault").with_object("faultReport", text("FaultReport", "f"))
     });
     sys.bind_fn("refServiceImpactAnalysis", |_| {
         TaskBehavior::outcome("foundImpacts")
@@ -107,15 +106,17 @@ pub fn run_service_impact(sys: &mut WorkflowSystem, instance: &str) {
 /// Registers and binds §5.2's order processing application.
 pub fn order_system(seed: u64) -> WorkflowSystem {
     let mut sys = bench_system(seed, 4);
-    sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
-        .expect("sample valid");
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .expect("sample valid");
     sys.bind_fn("refPaymentAuthorisation", |_| {
-        TaskBehavior::outcome("authorised")
-            .with_object("paymentInfo", text("PaymentInfo", "p"))
+        TaskBehavior::outcome("authorised").with_object("paymentInfo", text("PaymentInfo", "p"))
     });
     sys.bind_fn("refCheckStock", |_| {
-        TaskBehavior::outcome("stockAvailable")
-            .with_object("stockInfo", text("StockInfo", "st"))
+        TaskBehavior::outcome("stockAvailable").with_object("stockInfo", text("StockInfo", "st"))
     });
     sys.bind_fn("refDispatch", |_| {
         TaskBehavior::outcome("dispatchCompleted")
@@ -144,8 +145,7 @@ pub fn trip_system(seed: u64, hotel_failures: u32) -> WorkflowSystem {
     sys.register_script("trip", samples::BUSINESS_TRIP, "tripReservation")
         .expect("sample valid");
     sys.bind_fn("refDataAcquisition", |_| {
-        TaskBehavior::outcome("acquired")
-            .with_object("tripData", text("TripData", "t"))
+        TaskBehavior::outcome("acquired").with_object("tripData", text("TripData", "t"))
     });
     sys.bind_fn("refAirlineQueryA", |_| {
         TaskBehavior::outcome("notFound").with_work(SimDuration::from_millis(5))
@@ -174,10 +174,11 @@ pub fn trip_system(seed: u64, hotel_failures: u32) -> WorkflowSystem {
             TaskBehavior::outcome("hotelBooked").with_object("hotel", text("Hotel", "h"))
         }
     });
-    sys.bind_fn("refFlightCancellation", |_| TaskBehavior::outcome("cancelled"));
+    sys.bind_fn("refFlightCancellation", |_| {
+        TaskBehavior::outcome("cancelled")
+    });
     sys.bind_fn("refPrintTickets", |_| {
-        TaskBehavior::outcome("printed")
-            .with_object("tickets", text("Tickets", "tk"))
+        TaskBehavior::outcome("printed").with_object("tickets", text("Tickets", "tk"))
     });
     sys
 }
@@ -434,8 +435,13 @@ mod tests {
             TaskBehavior::outcome("done")
                 .with_object("out", ObjectVal::text("Data", ctx.input_text("in")))
         });
-        sys.start("n1", "nested", "main", [("in", ObjectVal::text("Data", "x"))])
-            .unwrap();
+        sys.start(
+            "n1",
+            "nested",
+            "main",
+            [("in", ObjectVal::text("Data", "x"))],
+        )
+        .unwrap();
         sys.run();
         assert!(sys.outcome("n1").is_some(), "{:?}", sys.status("n1"));
     }
@@ -447,8 +453,13 @@ mod tests {
             let mut sys = bench_system(10 + k as u64, 3);
             sys.register_script("alts", &source, "root").unwrap();
             bind_alternatives(&sys, k, SimDuration::from_millis(5));
-            sys.start("a1", "alts", "main", [("seed", ObjectVal::text("Data", "s"))])
-                .unwrap();
+            sys.start(
+                "a1",
+                "alts",
+                "main",
+                [("seed", ObjectVal::text("Data", "s"))],
+            )
+            .unwrap();
             sys.run();
             assert!(sys.outcome("a1").is_some(), "k={k}: {:?}", sys.status("a1"));
         }

@@ -251,7 +251,10 @@ mod tests {
         map.insert("a".to_string(), vec![1u8, 2]);
         map.insert("b".to_string(), vec![]);
         let bytes = to_bytes(&map);
-        assert_eq!(from_bytes::<BTreeMap<String, Vec<u8>>>(&bytes).unwrap(), map);
+        assert_eq!(
+            from_bytes::<BTreeMap<String, Vec<u8>>>(&bytes).unwrap(),
+            map
+        );
 
         let set: HashSet<u32> = [5, 9, 1].into_iter().collect();
         let bytes = to_bytes(&set);

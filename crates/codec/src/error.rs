@@ -111,7 +111,10 @@ mod tests {
             let text = case.to_string();
             assert!(!text.is_empty());
             let first = text.chars().next().unwrap();
-            assert!(!first.is_uppercase(), "message should not start capitalised: {text}");
+            assert!(
+                !first.is_uppercase(),
+                "message should not start capitalised: {text}"
+            );
         }
     }
 }

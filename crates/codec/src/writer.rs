@@ -1,5 +1,3 @@
-use bytes::{BufMut, BytesMut};
-
 /// An append-only binary writer with little-endian primitives and varints.
 ///
 /// `ByteWriter` is the sink for [`crate::Encode`]. All multi-byte integers
@@ -16,21 +14,19 @@ use bytes::{BufMut, BytesMut};
 /// ```
 #[derive(Debug, Default)]
 pub struct ByteWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl ByteWriter {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        Self {
-            buf: BytesMut::new(),
-        }
+        Self { buf: Vec::new() }
     }
 
     /// Creates a writer with `capacity` bytes pre-allocated.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            buf: BytesMut::with_capacity(capacity),
+            buf: Vec::with_capacity(capacity),
         }
     }
 
@@ -46,7 +42,7 @@ impl ByteWriter {
 
     /// Consumes the writer, returning the accumulated bytes.
     pub fn into_vec(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 
     /// Borrows the bytes written so far.
@@ -56,57 +52,57 @@ impl ByteWriter {
 
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Appends a little-endian `u16`.
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.put_u16_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `u32`.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `u64`.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `u128`.
     pub fn put_u128(&mut self, v: u128) {
-        self.buf.put_u128_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a signed byte.
     pub fn put_i8(&mut self, v: i8) {
-        self.buf.put_i8(v);
+        self.buf.push(v as u8);
     }
 
     /// Appends a little-endian `i16`.
     pub fn put_i16(&mut self, v: i16) {
-        self.buf.put_i16_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `i32`.
     pub fn put_i32(&mut self, v: i32) {
-        self.buf.put_i32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `i64`.
     pub fn put_i64(&mut self, v: i64) {
-        self.buf.put_i64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian IEEE-754 `f64`.
     pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_f64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends raw bytes with no length prefix.
     pub fn put_bytes(&mut self, bytes: &[u8]) {
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Appends a LEB128 varint.
@@ -117,7 +113,7 @@ impl ByteWriter {
             if v != 0 {
                 byte |= 0x80;
             }
-            self.buf.put_u8(byte);
+            self.buf.push(byte);
             if v == 0 {
                 break;
             }

@@ -438,7 +438,6 @@ pub struct TemplateInstanceDecl {
     pub span: Span,
 }
 
-
 /// Equality ignores `span` (structural comparison across reformatting).
 impl PartialEq for ClassDecl {
     fn eq(&self, other: &Self) -> bool {
@@ -446,38 +445,46 @@ impl PartialEq for ClassDecl {
     }
 }
 
-
 /// Equality ignores `span` (structural comparison across reformatting).
 impl PartialEq for TaskClassDecl {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name && self.input_sets == other.input_sets && self.outputs == other.outputs
+        self.name == other.name
+            && self.input_sets == other.input_sets
+            && self.outputs == other.outputs
     }
 }
-
 
 /// Equality ignores `span` (structural comparison across reformatting).
 impl PartialEq for TaskDecl {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name && self.class == other.class && self.implementation == other.implementation && self.input_sets == other.input_sets
+        self.name == other.name
+            && self.class == other.class
+            && self.implementation == other.implementation
+            && self.input_sets == other.input_sets
     }
 }
-
 
 /// Equality ignores `span` (structural comparison across reformatting).
 impl PartialEq for CompoundTaskDecl {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name && self.class == other.class && self.input_sets == other.input_sets && self.constituents == other.constituents && self.outputs == other.outputs
+        self.name == other.name
+            && self.class == other.class
+            && self.input_sets == other.input_sets
+            && self.constituents == other.constituents
+            && self.outputs == other.outputs
     }
 }
-
 
 /// Equality ignores `span` (structural comparison across reformatting).
 impl PartialEq for TemplateDecl {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name && self.class == other.class && self.params == other.params && self.implementation == other.implementation && self.input_sets == other.input_sets
+        self.name == other.name
+            && self.class == other.class
+            && self.params == other.params
+            && self.implementation == other.implementation
+            && self.input_sets == other.input_sets
     }
 }
-
 
 /// Equality ignores `span` (structural comparison across reformatting).
 impl PartialEq for TemplateInstanceDecl {

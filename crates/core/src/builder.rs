@@ -345,7 +345,12 @@ impl CompoundBuilder {
     }
 
     /// Adds a constituent task.
-    pub fn task(mut self, name: &str, class: &str, f: impl FnOnce(TaskBuilder) -> TaskBuilder) -> Self {
+    pub fn task(
+        mut self,
+        name: &str,
+        class: &str,
+        f: impl FnOnce(TaskBuilder) -> TaskBuilder,
+    ) -> Self {
         let builder = f(TaskBuilder::new(name, class));
         self.decl.constituents.push(Constituent::Task(builder.decl));
         self
@@ -436,10 +441,12 @@ impl OutputMappingB {
         let builder = f(SourcesB {
             sources: Vec::new(),
         });
-        self.mapping.elements.push(OutputElem::Object(ObjectBinding {
-            name: Ident::synthetic(name),
-            sources: builder.sources,
-        }));
+        self.mapping
+            .elements
+            .push(OutputElem::Object(ObjectBinding {
+                name: Ident::synthetic(name),
+                sources: builder.sources,
+            }));
         self
     }
 
@@ -494,7 +501,9 @@ pub fn chain(n: usize) -> Script {
                     if i == 0 {
                         s.object("in", |o| o.from_input("seed", "root", "main"))
                     } else {
-                        s.object("in", |o| o.from_output("out", &format!("s{}", i - 1), "done"))
+                        s.object("in", |o| {
+                            o.from_output("out", &format!("s{}", i - 1), "done")
+                        })
                     }
                 })
             });

@@ -113,9 +113,7 @@ impl Diagnostics {
 
     /// Only the errors.
     pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
-        self.items
-            .iter()
-            .filter(|d| d.severity == Severity::Error)
+        self.items.iter().filter(|d| d.severity == Severity::Error)
     }
 
     /// Only the warnings.

@@ -177,8 +177,7 @@ mod tests {
 
     #[test]
     fn renders_order_processing() {
-        let schema =
-            compile_source(samples::ORDER_PROCESSING, "processOrderApplication").unwrap();
+        let schema = compile_source(samples::ORDER_PROCESSING, "processOrderApplication").unwrap();
         let dot = render(&schema);
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("dispatch : Dispatch"));
@@ -212,8 +211,7 @@ mod tests {
         // order processing's compound outputs are plain outcomes, so check
         // the style table by rendering a synthetic scope instead.
         assert!(!dot.contains("peripheries=2"));
-        let schema =
-            compile_source(samples::ORDER_PROCESSING, "processOrderApplication").unwrap();
+        let schema = compile_source(samples::ORDER_PROCESSING, "processOrderApplication").unwrap();
         let dot = render(&schema);
         // The compound's own outputs are outcome-kind; abort outcomes exist
         // only on leaf task classes, which do not get output nodes.

@@ -227,8 +227,7 @@ fn format_compound(compound: &CompoundTaskDecl, level: usize, out: &mut String) 
         "compoundtask {} of taskclass {} {{",
         compound.name, compound.class
     );
-    let has_more =
-        !compound.constituents.is_empty() || !compound.outputs.is_empty();
+    let has_more = !compound.constituents.is_empty() || !compound.outputs.is_empty();
     if !compound.input_sets.is_empty() {
         indent(level + 1, out);
         out.push_str("inputs {\n");
@@ -347,8 +346,8 @@ mod tests {
     /// The canonical-form property: formatting is idempotent through a
     /// parse cycle.
     fn assert_roundtrip(name: &str, source: &str) {
-        let script = parse(source)
-            .unwrap_or_else(|d| panic!("{name}: parse failed\n{}", d.render(source)));
+        let script =
+            parse(source).unwrap_or_else(|d| panic!("{name}: parse failed\n{}", d.render(source)));
         let formatted = format_script(&script);
         let reparsed = parse(&formatted)
             .unwrap_or_else(|d| panic!("{name}: reparse failed\n{}", d.render(&formatted)));

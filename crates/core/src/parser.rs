@@ -123,7 +123,11 @@ impl Parser {
             Ok(self.bump())
         } else {
             self.diags.push(Diagnostic::error(
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
                 self.span(),
             ));
             Err(Recover)

@@ -644,8 +644,7 @@ mod tests {
 
     #[test]
     fn order_processing_shape() {
-        let schema =
-            compile_source(samples::ORDER_PROCESSING, "processOrderApplication").unwrap();
+        let schema = compile_source(samples::ORDER_PROCESSING, "processOrderApplication").unwrap();
         assert_eq!(schema.leaf_count(), 4);
         assert_eq!(schema.root.tasks.len(), 4);
         let dispatch = schema.root.task("dispatch").unwrap();
@@ -665,8 +664,9 @@ mod tests {
         let schema = compile_source(samples::BUSINESS_TRIP, "tripReservation").unwrap();
         let paths = schema.task_paths();
         assert!(paths.contains(&"tripReservation/businessReservation".to_string()));
-        assert!(paths
-            .contains(&"tripReservation/businessReservation/checkFlightReservation/airlineQueryB".to_string()));
+        assert!(paths.contains(
+            &"tripReservation/businessReservation/checkFlightReservation/airlineQueryB".to_string()
+        ));
         // Leaves: dataAcquisition, 3 airline queries, flightReservation,
         // hotelReservation, flightCancellation, printTickets.
         assert_eq!(schema.leaf_count(), 8, "{paths:?}");
@@ -675,8 +675,10 @@ mod tests {
         // The compound's own input binding has two alternatives: parent
         // input and its own repeat outcome.
         assert_eq!(br.input_sets[0].objects[0].sources.len(), 2);
-        assert!(br.input_sets[0].objects[0].sources[1].cond
-            == CompiledCond::Output("retry".to_string()));
+        assert!(
+            br.input_sets[0].objects[0].sources[1].cond
+                == CompiledCond::Output("retry".to_string())
+        );
     }
 
     #[test]

@@ -187,7 +187,10 @@ fn check_task_class(
     for set in &tc.input_sets {
         if !set_names.insert(set.name.as_str()) {
             diags.push(Diagnostic::error(
-                format!("duplicate input set `{}` in taskclass `{}`", set.name, tc.name),
+                format!(
+                    "duplicate input set `{}` in taskclass `{}`",
+                    set.name, tc.name
+                ),
                 set.name.span,
             ));
         }
@@ -216,7 +219,10 @@ fn check_task_class(
     for output in &tc.outputs {
         if !output_names.insert(output.name.as_str()) {
             diags.push(Diagnostic::error(
-                format!("duplicate output `{}` in taskclass `{}`", output.name, tc.name),
+                format!(
+                    "duplicate output `{}` in taskclass `{}`",
+                    output.name, tc.name
+                ),
                 output.name.span,
             ));
         }
@@ -242,7 +248,10 @@ fn check_task_class(
 
     // Atomicity: abort outcome ⇒ no marks (Fig. 3: an atomic task can
     // produce outputs only after it commits).
-    let has_abort = tc.outputs.iter().any(|o| o.kind == OutputKind::AbortOutcome);
+    let has_abort = tc
+        .outputs
+        .iter()
+        .any(|o| o.kind == OutputKind::AbortOutcome);
     if has_abort {
         for output in &tc.outputs {
             if output.kind == OutputKind::Mark {

@@ -144,9 +144,7 @@ fn check_scope(
         if let Some((compound, _)) = enclosing {
             if name.as_str() == compound.name.as_str() {
                 diags.push(Diagnostic::error(
-                    format!(
-                        "constituent `{name}` shadows its enclosing compound task"
-                    ),
+                    format!("constituent `{name}` shadows its enclosing compound task"),
                     name.span,
                 ));
             }
@@ -160,8 +158,7 @@ fn check_scope(
 
     // Check each constituent's bindings against the scope.
     for constituent in constituents {
-        let Some(Some(class)) = scope.siblings.get(constituent.name().as_str()).copied()
-        else {
+        let Some(Some(class)) = scope.siblings.get(constituent.name().as_str()).copied() else {
             continue;
         };
         check_bindings(
@@ -212,10 +209,7 @@ fn check_scope(
 
 /// Dependency edges `(consumer, producers…)` for cycle detection; repeat
 /// and self edges are excluded (legal loops).
-fn scope_edges<'a>(
-    constituent: &ConstituentRef<'a>,
-    scope: &Scope<'a>,
-) -> (&'a str, Vec<&'a str>) {
+fn scope_edges<'a>(constituent: &ConstituentRef<'a>, scope: &Scope<'a>) -> (&'a str, Vec<&'a str>) {
     let consumer = constituent.name().as_str();
     let mut producers = Vec::new();
     for set in constituent.input_sets() {
@@ -223,7 +217,13 @@ fn scope_edges<'a>(
             match element {
                 InputElem::Object(binding) => {
                     for source in &binding.sources {
-                        collect_edge(consumer, source.task.as_str(), &source.cond, scope, &mut producers);
+                        collect_edge(
+                            consumer,
+                            source.task.as_str(),
+                            &source.cond,
+                            scope,
+                            &mut producers,
+                        );
                     }
                 }
                 InputElem::Notification(binding) => {
@@ -334,13 +334,7 @@ fn check_bindings(
                         ));
                     }
                     for source in &object_binding.sources {
-                        check_object_source(
-                            task_name,
-                            source,
-                            &object_sig.class,
-                            scope,
-                            diags,
-                        );
+                        check_object_source(task_name, source, &object_sig.class, scope, diags);
                     }
                 }
                 InputElem::Notification(notification) => {
@@ -398,10 +392,7 @@ fn check_object_source(
         SourceCond::Input(set_name) => {
             let Some(set) = class.input_set(set_name.as_str()) else {
                 diags.push(Diagnostic::error(
-                    format!(
-                        "taskclass `{}` has no input set `{set_name}`",
-                        class.name
-                    ),
+                    format!("taskclass `{}` has no input set `{set_name}`", class.name),
                     set_name.span,
                 ));
                 return;
@@ -416,15 +407,18 @@ fn check_object_source(
                 ));
                 return;
             };
-            require_class_match(consumer, &source.object, &object.class, expected_class, diags);
+            require_class_match(
+                consumer,
+                &source.object,
+                &object.class,
+                expected_class,
+                diags,
+            );
         }
         SourceCond::Output(outcome_name) => {
             let Some(output) = class.output(outcome_name.as_str()) else {
                 diags.push(Diagnostic::error(
-                    format!(
-                        "taskclass `{}` has no output `{outcome_name}`",
-                        class.name
-                    ),
+                    format!("taskclass `{}` has no output `{outcome_name}`", class.name),
                     outcome_name.span,
                 ));
                 return;
@@ -453,7 +447,13 @@ fn check_object_source(
                 ));
                 return;
             };
-            require_class_match(consumer, &source.object, &object.class, expected_class, diags);
+            require_class_match(
+                consumer,
+                &source.object,
+                &object.class,
+                expected_class,
+                diags,
+            );
         }
         SourceCond::Any => {
             // Any non-repeat output of the producer carrying this object.
@@ -475,7 +475,13 @@ fn check_object_source(
                 return;
             }
             for candidate in candidates {
-                require_class_match(consumer, &source.object, &candidate.class, expected_class, diags);
+                require_class_match(
+                    consumer,
+                    &source.object,
+                    &candidate.class,
+                    expected_class,
+                    diags,
+                );
             }
         }
     }
@@ -590,11 +596,7 @@ fn check_output_mappings(
             diags.push(Diagnostic::error(
                 format!(
                     "compound `{}`: output `{}` is `{}` in taskclass `{}` but mapped as `{}`",
-                    compound.name,
-                    mapping.name,
-                    sig.kind,
-                    class.name,
-                    mapping.kind
+                    compound.name, mapping.name, sig.kind, class.name, mapping.kind
                 ),
                 mapping.name.span,
             ));
@@ -613,8 +615,7 @@ fn check_output_mappings(
         for element in &mapping.elements {
             match element {
                 OutputElem::Object(binding) => {
-                    let Some(object_sig) =
-                        sig.objects.iter().find(|o| o.name == binding.name)
+                    let Some(object_sig) = sig.objects.iter().find(|o| o.name == binding.name)
                     else {
                         diags.push(Diagnostic::error(
                             format!(
@@ -816,10 +817,7 @@ mod tests {
             }
             "#,
         ));
-        assert!(
-            err.to_string().contains("may only be used by"),
-            "{err}"
-        );
+        assert!(err.to_string().contains("may only be used by"), "{err}");
     }
 
     #[test]
@@ -922,7 +920,10 @@ mod tests {
             t of tasktemplate tt(p, p)
             "#,
         ));
-        assert!(err.to_string().contains("expects 1 argument(s), got 2"), "{err}");
+        assert!(
+            err.to_string().contains("expects 1 argument(s), got 2"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -281,8 +281,10 @@ mod tests {
 
     #[test]
     fn unknown_template_reported() {
-        let source =
-            TEMPLATE_SCRIPT.replace("j of tasktemplate joiner(p1, p2)", "j of tasktemplate ghost(p1, p2)");
+        let source = TEMPLATE_SCRIPT.replace(
+            "j of tasktemplate joiner(p1, p2)",
+            "j of tasktemplate ghost(p1, p2)",
+        );
         let script = parse(&source).unwrap();
         let err = expand(&script).unwrap_err();
         assert!(err.to_string().contains("unknown tasktemplate `ghost`"));

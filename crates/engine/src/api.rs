@@ -14,9 +14,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use flowscript_sim::{
-    net::LinkConfig, FaultPlan, NodeId, SimDuration, SimTime, World,
-};
+use flowscript_sim::{net::LinkConfig, FaultPlan, NodeId, SimDuration, SimTime, World};
 use flowscript_tx::SharedStorage;
 
 use crate::coordinator::{
@@ -559,8 +557,10 @@ mod tests {
             )
         });
         sys.bind_fn("refConsume", |ctx| {
-            TaskBehavior::outcome("consumed")
-                .with_object("result", ObjectVal::text("Message", ctx.input_text("message")))
+            TaskBehavior::outcome("consumed").with_object(
+                "result",
+                ObjectVal::text("Message", ctx.input_text("message")),
+            )
         });
         sys.start("i1", "q", "main", [("seed", text("Message", "s"))])
             .unwrap();
@@ -569,10 +569,7 @@ mod tests {
         assert_eq!(outcome.name, "done");
         assert_eq!(outcome.objects["result"].as_text(), "s-made");
         let states = sys.task_states("i1");
-        assert!(matches!(
-            states["pipeline/produce"],
-            CbState::Done { .. }
-        ));
+        assert!(matches!(states["pipeline/produce"], CbState::Done { .. }));
     }
 
     #[test]
@@ -635,7 +632,8 @@ mod tests {
             .unwrap();
         // Bind only the producer; the consumer has no implementation.
         sys.bind_fn("refProduce", |_| {
-            TaskBehavior::outcome("produced").with_object("message", ObjectVal::text("Message", "m"))
+            TaskBehavior::outcome("produced")
+                .with_object("message", ObjectVal::text("Message", "m"))
         });
         sys.start("i1", "q", "main", [("seed", text("Message", "x"))])
             .unwrap();

@@ -23,11 +23,12 @@ use std::rc::Rc;
 
 use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 use flowscript_core::ast::OutputKind;
-use flowscript_core::schema::{self, CompiledScope, CompiledTask, Schema, TaskBody};
+use flowscript_core::schema::{self, CompiledTask, Schema, TaskBody};
+use flowscript_plan::{eval as plan_eval, Plan, TaskId};
 use flowscript_sim::{Envelope, EventId, NodeId, ReplyToken, SimDuration, World};
 use flowscript_tx::{ObjectUid, SharedStorage, TxManager};
 
-use crate::deps::{self, FactView};
+use crate::deps::FactView;
 use crate::error::EngineError;
 use crate::msg::{EngineMsg, MarkMsg, StartTask, TaskDone, TaskResult};
 use crate::reconfig::{self, Reconfig};
@@ -231,7 +232,15 @@ pub struct CoordStats {
 
 /// Volatile per-instance runtime state (rebuilt on recovery).
 struct InstanceRt {
-    schema: Rc<Schema>,
+    /// The hierarchical schema — the input to dynamic reconfiguration.
+    /// `None` until first needed: instances started from a
+    /// repository-served plan skip the front end entirely, and the
+    /// schema is recompiled from the persisted source on demand.
+    schema: Option<Rc<Schema>>,
+    /// The compiled execution plan all hot paths run off (served by the
+    /// repository's plan cache, or lowered locally; re-lowered after
+    /// each reconfiguration).
+    plan: Rc<Plan>,
     bindings: BTreeMap<String, String>,
     watchdogs: BTreeMap<String, EventId>,
     /// Paths with an outstanding dispatch, scheduled retry or pending
@@ -287,6 +296,40 @@ impl FactView for TxFacts<'_> {
             .ok()
             .flatten()
     }
+}
+
+impl plan_eval::PlanFacts for TxFacts<'_> {
+    type Value = ObjectVal;
+
+    fn output_object(&self, producer: &str, output: &str, object: &str) -> Option<ObjectVal> {
+        self.output_fact(producer, output)
+            .and_then(|mut objects| objects.remove(object))
+    }
+
+    fn input_object(&self, producer: &str, set: &str, object: &str) -> Option<ObjectVal> {
+        self.input_fact(producer, set)
+            .and_then(|mut objects| objects.remove(object))
+    }
+
+    fn output_fired(&self, producer: &str, output: &str) -> bool {
+        self.output_fact(producer, output).is_some()
+    }
+
+    fn input_fired(&self, producer: &str, set: &str) -> bool {
+        self.input_fact(producer, set).is_some()
+    }
+}
+
+/// Interns a plan-eval binding list into the owned map the persistent
+/// facts store.
+fn bind_map(
+    plan: &Plan,
+    bound: Vec<(flowscript_plan::StrId, ObjectVal)>,
+) -> BTreeMap<String, ObjectVal> {
+    bound
+        .into_iter()
+        .map(|(name, value)| (plan.str(name).to_string(), value))
+        .collect()
 }
 
 /// The execution service state. Use through [`CoordHandle`].
@@ -360,7 +403,10 @@ impl Coordinator {
         self.mgr.read_committed(&meta_uid(instance)).ok().flatten()
     }
 
-    /// Looks up a compiled task and its containing scope's path.
+    /// Looks up a compiled task and its containing scope's path — the
+    /// schema-walking twin of `Plan::task_by_path`, kept as the
+    /// reference implementation (hot paths use the plan's index).
+    #[allow(dead_code)]
     fn find_task<'a>(schema: &'a Schema, path: &str) -> Option<(&'a CompiledTask, String)> {
         let mut segments = path.split('/');
         let root_name = segments.next()?;
@@ -490,9 +536,30 @@ impl CoordHandle {
                             result: Ok(_),
                             source,
                             root,
-                        }) => handle
-                            .start_instance(world, &instance, &script, &source, &root, &set, inputs.clone())
-                            .map_err(|e| e.to_string()),
+                            plan,
+                        }) => {
+                            // Use the repository's cached plan when it
+                            // decodes AND survives structural +
+                            // fingerprint validation (a corrupted plan
+                            // must fall back to local lowering, not
+                            // panic mid-evaluate).
+                            let served = (!plan.is_empty())
+                                .then(|| flowscript_codec::from_bytes::<Plan>(&plan).ok())
+                                .flatten()
+                                .filter(|plan| plan.is_well_formed() && plan.verify_fingerprint());
+                            handle
+                                .start_instance_with_plan(
+                                    world,
+                                    &instance,
+                                    &script,
+                                    &source,
+                                    &root,
+                                    &set,
+                                    inputs.clone(),
+                                    served,
+                                )
+                                .map_err(|e| e.to_string())
+                        }
                         Ok(EngineMsg::RepoReply {
                             result: Err(err), ..
                         }) => Err(err),
@@ -521,34 +588,72 @@ impl CoordHandle {
         set: &str,
         inputs: BTreeMap<String, ObjectVal>,
     ) -> Result<(), EngineError> {
-        let schema = schema::compile_source(source, root)?;
+        self.start_instance_with_plan(
+            world,
+            instance,
+            script_name,
+            source,
+            root,
+            set,
+            inputs,
+            None,
+        )
+    }
+
+    /// [`CoordHandle::start_instance`], optionally reusing a plan the
+    /// repository already compiled for this script version.
+    #[allow(clippy::too_many_arguments)]
+    fn start_instance_with_plan(
+        &self,
+        world: &mut World,
+        instance: &str,
+        script_name: &str,
+        source: &str,
+        root: &str,
+        set: &str,
+        inputs: BTreeMap<String, ObjectVal>,
+        served_plan: Option<Plan>,
+    ) -> Result<(), EngineError> {
+        // Compile-once, execute-many: a validated served plan skips the
+        // whole front end here. The hierarchical schema is materialized
+        // lazily (only reconfiguration needs it).
+        let (plan, schema) = match served_plan {
+            Some(plan) => (plan, None),
+            None => {
+                let schema = schema::compile_source(source, root)?;
+                let plan = Plan::lower(&schema);
+                (plan, Some(Rc::new(schema)))
+            }
+        };
         // Validate the chosen input set against the root task class.
-        let root_class = schema
-            .task_class(&schema.root.class)
+        let root_class = plan
+            .classes
+            .get(plan.root().class as usize)
             .ok_or_else(|| EngineError::InvalidScript("root class missing".into()))?;
-        let set_info = root_class.input_set(set).ok_or_else(|| {
+        let set_info = plan.class_set(root_class, set).ok_or_else(|| {
             EngineError::BadInputs(format!(
                 "taskclass `{}` has no input set `{set}`",
-                root_class.name
+                plan.str(root_class.name)
             ))
         })?;
-        for object in &set_info.objects {
-            match inputs.get(&object.name) {
+        for object in &plan.class_objects[set_info.objects.as_range()] {
+            let (name, class) = (plan.str(object.name), plan.str(object.class));
+            match inputs.get(name) {
                 None => {
                     return Err(EngineError::BadInputs(format!(
-                        "missing input object `{}`",
-                        object.name
+                        "missing input object `{name}`"
                     )))
                 }
-                Some(value) if value.class != object.class => {
+                Some(value) if value.class != class => {
                     return Err(EngineError::BadInputs(format!(
-                        "input `{}` has class `{}`, expected `{}`",
-                        object.name, value.class, object.class
+                        "input `{name}` has class `{}`, expected `{class}`",
+                        value.class
                     )))
                 }
                 Some(_) => {}
             }
         }
+        let root_path = plan.str(plan.root().path).to_string();
 
         let mut coordinator = self.inner.borrow_mut();
         if coordinator.instances.contains_key(instance) {
@@ -564,51 +669,34 @@ impl CoordHandle {
             reconfig_count: 0,
         };
         let action = coordinator.mgr.begin();
-        coordinator
-            .mgr
-            .write(&action, &meta_uid(instance), &meta)?;
+        coordinator.mgr.write(&action, &meta_uid(instance), &meta)?;
         // Root control block starts Active with the supplied inputs bound.
-        let mut root_cb = TaskCb::new(schema.root.name.clone());
+        let mut root_cb = TaskCb::new(root_path.clone());
         root_cb.transition(CbState::Active {
             set: set.to_string(),
         });
         coordinator
             .mgr
-            .write(&action, &cb_uid(instance, &schema.root.name), &root_cb)?;
-        coordinator.mgr.write(
-            &action,
-            &in_uid(instance, &schema.root.name, set),
-            &inputs,
-        )?;
-        // Every descendant starts Waiting.
-        fn create_cbs(
-            mgr: &mut TxManager<SharedStorage>,
-            action: &flowscript_tx::AtomicAction,
-            instance: &str,
-            scope: &CompiledScope,
-            prefix: &str,
-        ) -> Result<(), EngineError> {
-            for task in &scope.tasks {
-                let path = format!("{prefix}/{}", task.name);
-                mgr.write(action, &cb_uid(instance, &path), &TaskCb::new(path.clone()))?;
-                if let TaskBody::Scope(inner) = &task.body {
-                    create_cbs(mgr, action, instance, inner, &path)?;
-                }
-            }
-            Ok(())
+            .write(&action, &cb_uid(instance, &root_path), &root_cb)?;
+        coordinator
+            .mgr
+            .write(&action, &in_uid(instance, &root_path, set), &inputs)?;
+        // Every descendant starts Waiting — the plan's DFS order makes
+        // this one flat scan instead of a scope-tree recursion.
+        for task in &plan.tasks[1..] {
+            let path = plan.str(task.path);
+            coordinator.mgr.write(
+                &action,
+                &cb_uid(instance, path),
+                &TaskCb::new(path.to_string()),
+            )?;
         }
-        create_cbs(
-            &mut coordinator.mgr,
-            &action,
-            instance,
-            &schema.root,
-            &schema.root.name,
-        )?;
         coordinator.commit(action)?;
         coordinator.instances.insert(
             instance.to_string(),
             InstanceRt {
-                schema: Rc::new(schema),
+                schema,
+                plan: Rc::new(plan),
                 bindings: BTreeMap::new(),
                 watchdogs: BTreeMap::new(),
                 in_flight: BTreeSet::new(),
@@ -669,6 +757,10 @@ impl CoordHandle {
 
     /// Runs readiness evaluation to a fixpoint, then checks for
     /// quiescence (stuck detection).
+    ///
+    /// Evaluation runs entirely off the compiled [`Plan`]: readiness
+    /// probes are id-indexed with precomputed producer paths, and scope
+    /// traversal is flat-range iteration.
     pub fn evaluate(&self, world: &mut World, instance: &str) {
         loop {
             let Some(meta) = self.inner.borrow().read_meta(instance) else {
@@ -677,30 +769,30 @@ impl CoordHandle {
             if meta.status.is_terminal() {
                 return;
             }
-            let schema = {
+            let plan = {
                 let coordinator = self.inner.borrow();
                 let Some(rt) = coordinator.instances.get(instance) else {
                     return;
                 };
-                rt.schema.clone()
+                rt.plan.clone()
             };
-            let root_path = schema.root.name.clone();
-            if !self.evaluate_scope(world, instance, &schema, &schema.root, &root_path) {
+            if !self.evaluate_scope(world, instance, &plan, 0) {
                 break;
             }
         }
         self.stuck_check(world, instance);
     }
 
-    /// One pass over a scope tree; returns whether anything progressed.
+    /// One pass over a scope subtree; returns whether anything
+    /// progressed.
     fn evaluate_scope(
         &self,
         world: &mut World,
         instance: &str,
-        schema: &Schema,
-        scope: &CompiledScope,
-        scope_path: &str,
+        plan: &Plan,
+        scope_id: TaskId,
     ) -> bool {
+        let scope_path = plan.str(plan.task(scope_id).path);
         let Some(scope_cb) = self.inner.borrow().read_cb(instance, scope_path) else {
             return false;
         };
@@ -710,9 +802,9 @@ impl CoordHandle {
         let scope_inc = scope_cb.scope_inc;
 
         // 1. Try to start Waiting constituents.
-        for task in &scope.tasks {
-            let path = format!("{scope_path}/{}", task.name);
-            let Some(cb) = self.inner.borrow().read_cb(instance, &path) else {
+        for &child in plan.children(scope_id) {
+            let path = plan.str(plan.task(child).path);
+            let Some(cb) = self.inner.borrow().read_cb(instance, path) else {
                 continue;
             };
             if cb.state != CbState::Waiting || cb.incarnation != scope_inc {
@@ -724,22 +816,20 @@ impl CoordHandle {
                     mgr: &coordinator.mgr,
                     instance,
                 };
-                deps::eval_task_inputs(scope_path, task, &facts)
+                plan_eval::eval_task_inputs(plan, child, &facts)
+                    .map(|(set, bound)| (plan.str(set).to_string(), bind_map(plan, bound)))
             };
             if let Some((set, bound)) = satisfied {
-                if self.activate_task(world, instance, task, &path, &set, bound) {
+                if self.activate_task(world, instance, plan, child, &set, bound) {
                     return true;
                 }
             }
         }
 
         // 2. Recurse into active sub-scopes.
-        for task in &scope.tasks {
-            if let TaskBody::Scope(inner) = &task.body {
-                let path = format!("{scope_path}/{}", task.name);
-                if self.evaluate_scope(world, instance, schema, inner, &path) {
-                    return true;
-                }
+        for &child in plan.children(scope_id) {
+            if plan.task(child).is_scope && self.evaluate_scope(world, instance, plan, child) {
+                return true;
             }
         }
 
@@ -751,9 +841,16 @@ impl CoordHandle {
                 mgr: &coordinator.mgr,
                 instance,
             };
-            deps::eval_scope_outputs(scope_path, scope, &facts)
+            plan_eval::eval_scope_outputs(plan, scope_id, &facts)
                 .into_iter()
-                .map(|(output, objects)| (output.name.clone(), output.kind, objects))
+                .map(|(out_idx, mapped)| {
+                    let output = &plan.outputs[out_idx];
+                    (
+                        plan.str(output.name).to_string(),
+                        output.kind,
+                        bind_map(plan, mapped),
+                    )
+                })
                 .collect::<Vec<_>>()
         };
         for (name, kind, objects) in &satisfied {
@@ -770,13 +867,11 @@ impl CoordHandle {
             match kind {
                 OutputKind::Mark => {}
                 OutputKind::RepeatOutcome => {
-                    self.repeat_scope(world, instance, schema, scope, scope_path, &name, objects);
+                    self.repeat_scope(world, instance, plan, scope_id, &name, objects);
                     return true;
                 }
                 OutputKind::Outcome | OutputKind::AbortOutcome => {
-                    self.terminate_scope(
-                        world, instance, scope, scope_path, &name, kind, objects,
-                    );
+                    self.terminate_scope(world, instance, plan, scope_id, &name, kind, objects);
                     return true;
                 }
             }
@@ -791,24 +886,27 @@ impl CoordHandle {
         &self,
         world: &mut World,
         instance: &str,
-        task: &CompiledTask,
-        path: &str,
+        plan: &Plan,
+        task_id: TaskId,
         set: &str,
         bound: BTreeMap<String, ObjectVal>,
     ) -> bool {
+        let task = plan.task(task_id);
+        let path = plan.str(task.path);
         let stamped: BTreeMap<String, ObjectVal> = bound;
         {
             let mut coordinator = self.inner.borrow_mut();
             let Some(mut cb) = coordinator.read_cb(instance, path) else {
                 return false;
             };
-            let next = match task.body {
-                TaskBody::Leaf => CbState::Executing {
+            let next = if task.is_scope {
+                CbState::Active {
                     set: set.to_string(),
-                },
-                TaskBody::Scope(_) => CbState::Active {
+                }
+            } else {
+                CbState::Executing {
                     set: set.to_string(),
-                },
+                }
             };
             cb.transition(next);
             let action = coordinator.mgr.begin();
@@ -828,7 +926,7 @@ impl CoordHandle {
                 return false;
             }
         }
-        if matches!(task.body, TaskBody::Leaf) {
+        if !task.is_scope {
             self.dispatch(world, instance, path, 0, stamped, BTreeMap::new());
         }
         true
@@ -855,10 +953,11 @@ impl CoordHandle {
             let Some(rt) = coordinator.instances.get(instance) else {
                 return;
             };
-            let schema = rt.schema.clone();
-            let Some((task, _)) = Coordinator::find_task(&schema, path) else {
+            let plan = rt.plan.clone();
+            let Some(task_id) = plan.task_by_path(path) else {
                 return;
             };
+            let task = plan.task(task_id);
             let Some(cb) = coordinator.read_cb(instance, path) else {
                 return;
             };
@@ -867,7 +966,7 @@ impl CoordHandle {
             };
             // Run-time binding: per-instance rebinding overrides the
             // script's name.
-            let script_code = task.code().unwrap_or_default().to_string();
+            let script_code = plan.code(task).unwrap_or_default().to_string();
             let rt = coordinator.instances.get(instance).expect("checked above");
             let code = rt
                 .bindings
@@ -883,25 +982,26 @@ impl CoordHandle {
             let executor = coordinator.executors[(hash.wrapping_add(u64::from(attempt))
                 % coordinator.executors.len() as u64)
                 as usize];
+            let implementation = plan.implementation_map(task);
+            // Watchdog: base timeout plus any declared duration/deadline
+            // hint from the implementation clause.
+            let mut timeout = coordinator.config.dispatch_timeout;
+            for key in ["duration_ms", "deadline_ms"] {
+                if let Some(extra) = implementation.get(key).and_then(|v| v.parse().ok()) {
+                    timeout = timeout + SimDuration::from_millis(extra);
+                }
+            }
             let msg = EngineMsg::Start(StartTask {
                 instance: instance.to_string(),
                 path: path.to_string(),
                 incarnation: cb.incarnation,
                 attempt,
                 code,
-                implementation: task.implementation.clone(),
+                implementation,
                 set,
                 inputs,
                 repeat_objects,
             });
-            // Watchdog: base timeout plus any declared duration/deadline
-            // hint from the implementation clause.
-            let mut timeout = coordinator.config.dispatch_timeout;
-            for key in ["duration_ms", "deadline_ms"] {
-                if let Some(extra) = task.implementation.get(key).and_then(|v| v.parse().ok()) {
-                    timeout = timeout + SimDuration::from_millis(extra);
-                }
-            }
             coordinator.stats.dispatches += 1;
             (
                 coordinator.node,
@@ -955,14 +1055,12 @@ impl CoordHandle {
             } => {
                 let kind = {
                     let coordinator = self.inner.borrow();
-                    coordinator
-                        .instances
-                        .get(&msg.instance)
-                        .and_then(|rt| {
-                            let (task, _) = Coordinator::find_task(&rt.schema, &msg.path)?;
-                            let class = rt.schema.task_class(&task.class)?;
-                            class.output(&name).map(|o| o.kind)
-                        })
+                    coordinator.instances.get(&msg.instance).and_then(|rt| {
+                        let plan = &rt.plan;
+                        let task_id = plan.task_by_path(&msg.path)?;
+                        let class = plan.class_of(plan.task(task_id));
+                        plan.class_output(class, &name).map(|o| o.kind)
+                    })
                 };
                 let Some(kind) = kind else {
                     self.fail_task(
@@ -1126,9 +1224,10 @@ impl CoordHandle {
             }
             // The mark must be declared by the class.
             let declared = coordinator.instances.get(&msg.instance).is_some_and(|rt| {
-                Coordinator::find_task(&rt.schema, &msg.path)
-                    .and_then(|(task, _)| rt.schema.task_class(&task.class))
-                    .and_then(|class| class.output(&msg.mark))
+                let plan = &rt.plan;
+                plan.task_by_path(&msg.path)
+                    .map(|id| plan.class_of(plan.task(id)))
+                    .and_then(|class| plan.class_output(class, &msg.mark))
                     .is_some_and(|output| output.kind == OutputKind::Mark)
             });
             if !declared {
@@ -1260,20 +1359,20 @@ impl CoordHandle {
             // from its repeat-outcome facts.
             let mut repeat_objects = BTreeMap::new();
             if let Some(rt) = coordinator.instances.get(instance) {
-                if let Some((task, _)) = Coordinator::find_task(&rt.schema, path) {
-                    if let Some(class) = rt.schema.task_class(&task.class) {
-                        for output in &class.outputs {
-                            if output.kind == OutputKind::RepeatOutcome {
-                                if let Ok(Some(objects)) = coordinator
-                                    .mgr
-                                    .read_committed::<BTreeMap<String, ObjectVal>>(&out_uid(
-                                        instance,
-                                        path,
-                                        &output.name,
-                                    ))
-                                {
-                                    repeat_objects.extend(objects);
-                                }
+                let plan = &rt.plan;
+                if let Some(task_id) = plan.task_by_path(path) {
+                    let class = plan.class_of(plan.task(task_id));
+                    for output in &plan.class_outputs[class.outputs.as_range()] {
+                        if output.kind == OutputKind::RepeatOutcome {
+                            if let Ok(Some(objects)) = coordinator
+                                .mgr
+                                .read_committed::<BTreeMap<String, ObjectVal>>(&out_uid(
+                                    instance,
+                                    path,
+                                    plan.str(output.name),
+                                ))
+                            {
+                                repeat_objects.extend(objects);
                             }
                         }
                     }
@@ -1369,12 +1468,13 @@ impl CoordHandle {
         &self,
         world: &mut World,
         instance: &str,
-        scope: &CompiledScope,
-        scope_path: &str,
+        plan: &Plan,
+        scope_id: TaskId,
         outcome_name: &str,
         kind: OutputKind,
         objects: BTreeMap<String, ObjectVal>,
     ) {
+        let scope_path = plan.str(plan.task(scope_id).path);
         let is_root = !scope_path.contains('/');
         {
             let mut coordinator = self.inner.borrow_mut();
@@ -1397,18 +1497,17 @@ impl CoordHandle {
                 .is_ok()
                 && coordinator
                     .mgr
-                    .write(&action, &out_uid(instance, scope_path, outcome_name), &objects)
+                    .write(
+                        &action,
+                        &out_uid(instance, scope_path, outcome_name),
+                        &objects,
+                    )
                     .is_ok();
-            // Cancel every non-terminal descendant.
+            // Cancel every non-terminal descendant (one flat subtree
+            // scan — DFS pre-order keeps descendants contiguous).
             if ok {
-                ok = cancel_descendants(
-                    &mut coordinator.mgr,
-                    &action,
-                    instance,
-                    scope,
-                    scope_path,
-                )
-                .is_ok();
+                ok = cancel_descendants(&mut coordinator.mgr, &action, instance, plan, scope_id)
+                    .is_ok();
             }
             if ok && is_root {
                 if let Some(mut meta) = coordinator.read_meta(instance) {
@@ -1463,12 +1562,12 @@ impl CoordHandle {
         &self,
         world: &mut World,
         instance: &str,
-        _schema: &Schema,
-        scope: &CompiledScope,
-        scope_path: &str,
+        plan: &Plan,
+        scope_id: TaskId,
         outcome_name: &str,
         objects: BTreeMap<String, ObjectVal>,
     ) {
+        let scope_path = plan.str(plan.task(scope_id).path);
         let is_root = !scope_path.contains('/');
         let over_limit = {
             let mut coordinator = self.inner.borrow_mut();
@@ -1501,7 +1600,11 @@ impl CoordHandle {
                 let action = coordinator.mgr.begin();
                 let mut ok = coordinator
                     .mgr
-                    .write(&action, &out_uid(instance, scope_path, outcome_name), &objects)
+                    .write(
+                        &action,
+                        &out_uid(instance, scope_path, outcome_name),
+                        &objects,
+                    )
                     .is_ok();
                 // The compound goes back to Waiting to rebind (the root,
                 // which has no bindings, reactivates with its original
@@ -1540,8 +1643,8 @@ impl CoordHandle {
                         &mut coordinator.mgr,
                         &action,
                         instance,
-                        scope,
-                        scope_path,
+                        plan,
+                        scope_id,
                         new_inc,
                     )
                     .is_ok();
@@ -1605,7 +1708,10 @@ impl CoordHandle {
         if !rt.in_flight.is_empty() {
             return;
         }
-        // Quiescent but not terminated: stuck. Summarise why.
+        let plan = rt.plan.clone();
+        // Quiescent but not terminated: stuck. Summarise why, using the
+        // plan's satisfaction masks to say how close each waiting task
+        // got.
         let prefix = format!("inst/{instance}/cb/");
         let mut failed = Vec::new();
         let mut waiting = Vec::new();
@@ -1615,7 +1721,35 @@ impl CoordHandle {
                     CbState::Failed { reason } => {
                         failed.push(format!("{} ({reason})", cb.path));
                     }
-                    CbState::Waiting => waiting.push(cb.path.clone()),
+                    CbState::Waiting => {
+                        let facts = TxFacts {
+                            mgr: &coordinator.mgr,
+                            instance,
+                        };
+                        let pending = plan
+                            .task_by_path(&cb.path)
+                            .map(|id| plan.task(id))
+                            .map(|task| {
+                                plan.sets[task.sets.as_range()]
+                                    .iter()
+                                    .map(|set| {
+                                        let met = plan_eval::met_requirements(&plan, set, &facts);
+                                        format!(
+                                            "{} {met}/{}",
+                                            plan.str(set.name),
+                                            set.requirement_count()
+                                        )
+                                    })
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            })
+                            .unwrap_or_default();
+                        if pending.is_empty() {
+                            waiting.push(cb.path.clone());
+                        } else {
+                            waiting.push(format!("{} (deps met: {pending})", cb.path));
+                        }
+                    }
                     _ => {}
                 }
             }
@@ -1664,10 +1798,33 @@ impl CoordHandle {
             if matches!(meta.status, InstanceStatus::Stuck { .. }) {
                 meta.status = InstanceStatus::Running;
             }
-            let Some(rt) = coordinator.instances.get(instance) else {
+            if !coordinator.instances.contains_key(instance) {
                 return Err(EngineError::UnknownInstance(instance.to_string()));
+            }
+            // Materialize the schema on demand: an instance started
+            // from a served plan never compiled one. Replay any
+            // previously persisted reconfigurations so it is current.
+            let current = match coordinator
+                .instances
+                .get(instance)
+                .and_then(|rt| rt.schema.clone())
+            {
+                Some(schema) => schema,
+                None => {
+                    let mut schema = schema::compile_source(&meta.source, &meta.root)?;
+                    for op_uid in coordinator
+                        .mgr
+                        .uids_with_prefix(&format!("inst/{instance}/reconfig/"))
+                    {
+                        if let Ok(Some(past)) = coordinator.mgr.read_committed::<Reconfig>(&op_uid)
+                        {
+                            let _ = reconfig::apply(&mut schema, &past);
+                        }
+                    }
+                    Rc::new(schema)
+                }
             };
-            let mut schema = (*rt.schema).clone();
+            let mut schema = (*current).clone();
             let effects = reconfig::apply(&mut schema, &op)?;
 
             // Persist the op and its engine-side effects in one action.
@@ -1692,9 +1849,7 @@ impl CoordHandle {
                     .write(&action, &cb_uid(instance, path), &cb)?;
             }
             for path in &effects.removed_tasks {
-                coordinator
-                    .mgr
-                    .delete(&action, &cb_uid(instance, path))?;
+                coordinator.mgr.delete(&action, &cb_uid(instance, path))?;
                 for uid in coordinator
                     .mgr
                     .uids_with_prefix(&format!("inst/{instance}/fact/out/{path}/"))
@@ -1719,7 +1874,10 @@ impl CoordHandle {
                 .instances
                 .get_mut(instance)
                 .expect("checked above");
-            rt.schema = Rc::new(schema);
+            // Compile-once per structural change: the mutated schema is
+            // re-lowered and the plan swapped atomically with it.
+            rt.plan = Rc::new(Plan::lower(&schema));
+            rt.schema = Some(Rc::new(schema));
             if let Reconfig::Rebind { code, to } = &op {
                 rt.bindings.insert(code.clone(), to.clone());
             }
@@ -1750,18 +1908,18 @@ impl CoordHandle {
             let Some(rt) = coordinator.instances.get(instance) else {
                 return Err(EngineError::UnknownInstance(instance.to_string()));
             };
-            let Some((task, _)) = Coordinator::find_task(&rt.schema, path) else {
+            let plan = rt.plan.clone();
+            let Some(task_id) = plan.task_by_path(path) else {
                 return Err(EngineError::UnknownTask(path.to_string()));
             };
-            let declared_abort = rt
-                .schema
-                .task_class(&task.class)
-                .and_then(|class| class.output(outcome))
+            let class = plan.class_of(plan.task(task_id));
+            let declared_abort = plan
+                .class_output(class, outcome)
                 .is_some_and(|o| o.kind == OutputKind::AbortOutcome);
             if !declared_abort {
                 return Err(EngineError::ReconfigRejected(format!(
                     "`{outcome}` is not an abort outcome of `{}`",
-                    task.class
+                    plan.str(class.name)
                 )));
             }
             let Some(mut cb) = coordinator.read_cb(instance, path) else {
@@ -1854,7 +2012,8 @@ impl CoordHandle {
                 coordinator.instances.insert(
                     name.clone(),
                     InstanceRt {
-                        schema: Rc::new(schema),
+                        plan: Rc::new(Plan::lower(&schema)),
+                        schema: Some(Rc::new(schema)),
                         bindings,
                         watchdogs: BTreeMap::new(),
                         in_flight: BTreeSet::new(),
@@ -1916,44 +2075,47 @@ impl CoordHandle {
     }
 }
 
+/// Cancels every non-terminal descendant of a scope: one linear scan of
+/// the plan's contiguous subtree range.
 fn cancel_descendants(
     mgr: &mut TxManager<SharedStorage>,
     action: &flowscript_tx::AtomicAction,
     instance: &str,
-    scope: &CompiledScope,
-    scope_path: &str,
+    plan: &Plan,
+    scope_id: TaskId,
 ) -> Result<(), EngineError> {
-    for task in &scope.tasks {
-        let path = format!("{scope_path}/{}", task.name);
-        let uid = cb_uid(instance, &path);
+    for task_id in plan.subtree(scope_id) {
+        let path = plan.str(plan.task(task_id).path);
+        let uid = cb_uid(instance, path);
         if let Some(mut cb) = mgr.read::<TaskCb>(action, &uid)? {
             if !cb.state.is_terminal() {
                 cb.transition(CbState::Cancelled);
                 mgr.write(action, &uid, &cb)?;
             }
         }
-        if let TaskBody::Scope(inner) = &task.body {
-            cancel_descendants(mgr, action, instance, inner, &path)?;
-        }
     }
     Ok(())
 }
 
+/// Resets a scope's subtree for a new incarnation, bumping each nested
+/// compound's own scope incarnation so its children rebind
+/// consistently.
 fn reset_descendants(
     mgr: &mut TxManager<SharedStorage>,
     action: &flowscript_tx::AtomicAction,
     instance: &str,
-    scope: &CompiledScope,
-    scope_path: &str,
+    plan: &Plan,
+    scope_id: TaskId,
     incarnation: u32,
 ) -> Result<(), EngineError> {
-    for task in &scope.tasks {
-        let path = format!("{scope_path}/{}", task.name);
-        let uid = cb_uid(instance, &path);
+    for &child in plan.children(scope_id) {
+        let task = plan.task(child);
+        let path = plan.str(task.path);
+        let uid = cb_uid(instance, path);
         let mut inner_inc = 0;
         if let Some(mut cb) = mgr.read::<TaskCb>(action, &uid)? {
             cb.reset_for_incarnation(incarnation);
-            if matches!(task.body, TaskBody::Scope(_)) {
+            if task.is_scope {
                 // A nested compound's own scope advances too, so its
                 // children rebind consistently.
                 cb.scope_inc += 1;
@@ -1969,8 +2131,8 @@ fn reset_descendants(
         for fact in mgr.uids_with_prefix(&format!("inst/{instance}/fact/in/{path}/")) {
             mgr.delete(action, &fact)?;
         }
-        if let TaskBody::Scope(inner) = &task.body {
-            reset_descendants(mgr, action, instance, inner, &path, inner_inc)?;
+        if task.is_scope {
+            reset_descendants(mgr, action, instance, plan, child, inner_inc)?;
         }
     }
     Ok(())
@@ -1995,10 +2157,7 @@ mod tests {
             InstanceStatus::Completed(Outcome {
                 name: "done".into(),
                 kind: OutputKind::Outcome,
-                objects: BTreeMap::from([(
-                    "x".to_string(),
-                    ObjectVal::text("C", "v"),
-                )]),
+                objects: BTreeMap::from([("x".to_string(), ObjectVal::text("C", "v"))]),
             }),
             InstanceStatus::Stuck {
                 reason: "nothing to run".into(),
@@ -2034,11 +2193,9 @@ mod tests {
 
     #[test]
     fn find_task_resolves_nested_paths() {
-        let schema = schema::compile_source(
-            flowscript_core::samples::BUSINESS_TRIP,
-            "tripReservation",
-        )
-        .unwrap();
+        let schema =
+            schema::compile_source(flowscript_core::samples::BUSINESS_TRIP, "tripReservation")
+                .unwrap();
         let (task, scope_path) = Coordinator::find_task(
             &schema,
             "tripReservation/businessReservation/checkFlightReservation/airlineQueryB",

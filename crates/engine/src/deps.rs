@@ -111,11 +111,7 @@ pub fn resolve_object_source(
 }
 
 /// Resolves one notification source: has it fired?
-pub fn notification_fired(
-    scope_path: &str,
-    source: &CompiledSource,
-    facts: &dyn FactView,
-) -> bool {
+pub fn notification_fired(scope_path: &str, source: &CompiledSource, facts: &dyn FactView) -> bool {
     let producer = producer_path(scope_path, source);
     match &source.cond {
         CompiledCond::Input(set) => facts.input_fact(&producer, set).is_some(),
@@ -244,11 +240,7 @@ mod tests {
         assert!(eval_task_inputs(scope_path, auth, &facts).is_none());
 
         // Bind root inputs: auth and checkStock become ready.
-        facts.add_input(
-            scope_path,
-            "main",
-            objects(&[("order", "Order", "o-1")]),
-        );
+        facts.add_input(scope_path, "main", objects(&[("order", "Order", "o-1")]));
         let (set, bound) = eval_task_inputs(scope_path, auth, &facts).unwrap();
         assert_eq!(set, "main");
         assert_eq!(bound["order"].as_text(), "o-1");
@@ -340,7 +332,11 @@ mod tests {
         assert_eq!(bound["user"].as_text(), "retry-user");
 
         // Both available: first-declared (parent input) wins.
-        facts.add_input(scope_path, "main", objects(&[("user", "User", "fresh-user")]));
+        facts.add_input(
+            scope_path,
+            "main",
+            objects(&[("user", "User", "fresh-user")]),
+        );
         let (_, bound) = eval_task_inputs(scope_path, br, &facts).unwrap();
         assert_eq!(bound["user"].as_text(), "fresh-user");
     }
@@ -406,11 +402,7 @@ mod tests {
         let schema = compile_source(source, "root").unwrap();
         let two = schema.root.task("two").unwrap();
         let mut facts = MemFacts::new();
-        facts.add_output(
-            "root/p",
-            "ok",
-            objects(&[("a", "C", "A"), ("b", "C", "B")]),
-        );
+        facts.add_output("root/p", "ok", objects(&[("a", "C", "A"), ("b", "C", "B")]));
         let (set, bound) = eval_task_inputs("root", two, &facts).unwrap();
         assert_eq!(set, "primary");
         assert_eq!(bound["a"].as_text(), "A");

@@ -56,7 +56,13 @@ fn handle(
     };
     let behavior = match registry.invoke(&start.code, &ctx) {
         Err(reason) => {
-            send_done(world, node, coordinator, &start, TaskResult::ExecError { reason });
+            send_done(
+                world,
+                node,
+                coordinator,
+                &start,
+                TaskResult::ExecError { reason },
+            );
             return;
         }
         Ok(Invocation::Behavior(behavior)) => behavior,
@@ -64,7 +70,13 @@ fn handle(
             match run_nested_script(registry, &source, &root, &start) {
                 Ok(behavior) => behavior,
                 Err(reason) => {
-                    send_done(world, node, coordinator, &start, TaskResult::ExecError { reason });
+                    send_done(
+                        world,
+                        node,
+                        coordinator,
+                        &start,
+                        TaskResult::ExecError { reason },
+                    );
                     return;
                 }
             }
@@ -160,9 +172,8 @@ fn run_nested_script(
         let elapsed = nested.now().since(flowscript_sim::SimTime::ZERO);
         match nested.outcome("nested-run") {
             Some(outcome) => {
-                let mut behavior = TaskBehavior::outcome(outcome.name).with_work(elapsed.max(
-                    SimDuration::from_millis(1),
-                ));
+                let mut behavior = TaskBehavior::outcome(outcome.name)
+                    .with_work(elapsed.max(SimDuration::from_millis(1)));
                 for (name, value) in outcome.objects {
                     behavior = behavior.with_object(name, value);
                 }

@@ -150,10 +150,7 @@ pub trait TaskImpl {
 /// A bound implementation entry.
 enum Binding {
     Program(Rc<dyn TaskImpl>),
-    Script {
-        source: String,
-        root: String,
-    },
+    Script { source: String, root: String },
 }
 
 /// The registry mapping implementation names to behaviour.
@@ -218,8 +215,7 @@ impl ImplRegistry {
 
     /// Whether `name` is bound.
     pub fn is_bound(&self, name: &str) -> bool {
-        self.inner.borrow().contains_key(name)
-            || name.starts_with("builtin:")
+        self.inner.borrow().contains_key(name) || name.starts_with("builtin:")
     }
 
     /// Resolves and invokes `name`, including built-ins.
@@ -313,10 +309,7 @@ mod tests {
             set: "main".into(),
             inputs: BTreeMap::from([("x".to_string(), ObjectVal::text("C", "v"))]),
             repeat_objects: BTreeMap::new(),
-            implementation: BTreeMap::from([(
-                "duration_ms".to_string(),
-                "250".to_string(),
-            )]),
+            implementation: BTreeMap::from([("duration_ms".to_string(), "250".to_string())]),
         }
     }
 
@@ -379,8 +372,7 @@ mod tests {
     #[test]
     fn builtin_emit_echoes_inputs() {
         let registry = ImplRegistry::new();
-        let Invocation::Behavior(behavior) =
-            registry.invoke("builtin:emit:ok", &ctx()).unwrap()
+        let Invocation::Behavior(behavior) = registry.invoke("builtin:emit:ok", &ctx()).unwrap()
         else {
             panic!();
         };

@@ -66,7 +66,9 @@ mod value;
 pub use api::{SystemBuilder, WorkflowSystem};
 pub use coordinator::{CoordStats, EngineConfig, InstanceStatus, Outcome};
 pub use error::EngineError;
-pub use impl_registry::{Completion, ImplRegistry, InvokeCtx, MarkEmission, TaskBehavior, TaskImpl};
+pub use impl_registry::{
+    Completion, ImplRegistry, InvokeCtx, MarkEmission, TaskBehavior, TaskImpl,
+};
 pub use reconfig::Reconfig;
 pub use state::{CbState, TaskCb};
 pub use value::ObjectVal;

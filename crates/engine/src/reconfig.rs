@@ -9,14 +9,12 @@
 //! op (for recovery replay) and the control-block changes in a single
 //! atomic action.
 
-
-
 use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 use flowscript_core::schema::{
     compile_task_fragment, CompiledCond, CompiledNotification, CompiledScope, CompiledSource,
     Schema, TaskBody,
 };
-use flowscript_core::{parse_task_decl, ast::OutputKind};
+use flowscript_core::{ast::OutputKind, parse_task_decl};
 
 use crate::error::EngineError;
 
@@ -358,8 +356,7 @@ pub fn apply(schema: &mut Schema, op: &Reconfig) -> Result<ReconfigEffects, Engi
                 let scope = scope_mut(schema, &scope_path)?;
                 validate_source(scope, &scope_name, &source)?;
                 let task = task_mut(scope, &task_name, task_path)?;
-                let Some(input_set) = task.input_sets.iter_mut().find(|s| s.name == *set)
-                else {
+                let Some(input_set) = task.input_sets.iter_mut().find(|s| s.name == *set) else {
                     return Err(EngineError::ReconfigRejected(format!(
                         "task `{task_path}` binds no input set `{set}`"
                     )));
@@ -397,8 +394,7 @@ pub fn apply(schema: &mut Schema, op: &Reconfig) -> Result<ReconfigEffects, Engi
                     "task `{task_path}` binds no input set `{set}`"
                 )));
             };
-            let Some(slot) = input_set.objects.iter_mut().find(|o| o.name == *object)
-            else {
+            let Some(slot) = input_set.objects.iter_mut().find(|o| o.name == *object) else {
                 return Err(EngineError::ReconfigRejected(format!(
                     "task `{task_path}` has no input object `{object}` in set `{set}`"
                 )));
@@ -419,8 +415,7 @@ pub fn apply(schema: &mut Schema, op: &Reconfig) -> Result<ReconfigEffects, Engi
                     "task `{task_path}` binds no input set `{set}`"
                 )));
             };
-            let Some(slot) = input_set.objects.iter_mut().find(|o| o.name == *object)
-            else {
+            let Some(slot) = input_set.objects.iter_mut().find(|o| o.name == *object) else {
                 return Err(EngineError::ReconfigRejected(format!(
                     "task `{task_path}` has no input object `{object}` in set `{set}`"
                 )));

@@ -6,12 +6,18 @@
 //! workflow scripts and provides operations for initializing, modifying
 //! and inspecting scripts"). Scripts are stored in the canonical
 //! formatter's normal form.
+//!
+//! Registration also *compiles* each version once: the validated schema
+//! is lowered to a [`Plan`] and cached per version, and `RepoGet`
+//! replies carry the encoded plan so coordinators start instances
+//! without re-running the front end (compile-once, execute-many).
 
 use std::cell::RefCell;
-use std::rc::Rc;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use flowscript_core::{fmt as script_fmt, schema};
+use flowscript_plan::Plan;
 use flowscript_sim::{Envelope, NodeId, World};
 
 use crate::error::EngineError;
@@ -24,6 +30,8 @@ pub struct ScriptVersion {
     pub source: String,
     /// Root compound task name.
     pub root: String,
+    /// The compiled execution plan (lowered once at registration).
+    pub plan: Rc<Plan>,
 }
 
 /// The repository state.
@@ -44,23 +52,27 @@ impl Repository {
     ///
     /// [`EngineError::InvalidScript`] when the script fails the front-end
     /// pipeline (parse, templates, sema, compile for the given root).
-    pub fn register(
-        &mut self,
-        name: &str,
-        source: &str,
-        root: &str,
-    ) -> Result<u32, EngineError> {
+    pub fn register(&mut self, name: &str, source: &str, root: &str) -> Result<u32, EngineError> {
         // Validate through the complete front end.
         let script = flowscript_core::parse(source)?;
         let expanded = flowscript_core::template::expand(&script)?;
         let checked = flowscript_core::sema::check(&expanded)?;
-        schema::compile(&checked, root)?;
-        // Store in canonical form (repository normal form).
+        let compiled = schema::compile(&checked, root)?;
+        // Store in canonical form (repository normal form), and cache
+        // the plan lowered from the *canonical* text so it is exactly
+        // what a coordinator recompiling the stored source would get.
         let canonical = script_fmt::format_script(&script);
+        let plan = match schema::compile_source(&canonical, root) {
+            Ok(schema) => Plan::lower(&schema),
+            // The canonical form round-trips by construction; fall back
+            // to the original schema should the formatter ever regress.
+            Err(_) => Plan::lower(&compiled),
+        };
         let versions = self.scripts.entry(name.to_string()).or_default();
         versions.push(ScriptVersion {
             source: canonical,
             root: root.to_string(),
+            plan: Rc::new(plan),
         });
         Ok(versions.len() as u32)
     }
@@ -83,6 +95,16 @@ impl Repository {
             }
         };
         Ok(&versions[index])
+    }
+
+    /// The cached compiled plan of a script version (latest when
+    /// `None`) — the per-version plan cache serving coordinators.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownScript`] for missing names or versions.
+    pub fn plan(&self, name: &str, version: Option<u32>) -> Result<Rc<Plan>, EngineError> {
+        self.get(name, version).map(|stored| stored.plan.clone())
     }
 
     /// Number of versions stored for `name`.
@@ -139,6 +161,7 @@ impl RepoHandle {
                     result,
                     source: String::new(),
                     root: String::new(),
+                    plan: Vec::new(),
                 }
             }
             EngineMsg::RepoGet { name, version } => {
@@ -148,11 +171,13 @@ impl RepoHandle {
                         result: Ok(version.unwrap_or_else(|| repository.version_count(&name))),
                         source: stored.source.clone(),
                         root: stored.root.clone(),
+                        plan: flowscript_codec::to_bytes(stored.plan.as_ref()),
                     },
                     Err(err) => EngineMsg::RepoReply {
                         result: Err(err.to_string()),
                         source: String::new(),
                         root: String::new(),
+                        plan: Vec::new(),
                     },
                 }
             }
@@ -164,7 +189,11 @@ impl RepoHandle {
 
 impl std::fmt::Debug for RepoHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "RepoHandle({} scripts)", self.inner.borrow().scripts.len())
+        write!(
+            f,
+            "RepoHandle({} scripts)",
+            self.inner.borrow().scripts.len()
+        )
     }
 }
 
@@ -177,11 +206,19 @@ mod tests {
     fn register_validates_and_versions() {
         let mut repo = Repository::new();
         let v1 = repo
-            .register("order", samples::ORDER_PROCESSING, "processOrderApplication")
+            .register(
+                "order",
+                samples::ORDER_PROCESSING,
+                "processOrderApplication",
+            )
             .unwrap();
         assert_eq!(v1, 1);
         let v2 = repo
-            .register("order", samples::ORDER_PROCESSING, "processOrderApplication")
+            .register(
+                "order",
+                samples::ORDER_PROCESSING,
+                "processOrderApplication",
+            )
             .unwrap();
         assert_eq!(v2, 2);
         assert_eq!(repo.version_count("order"), 2);
@@ -204,11 +241,31 @@ mod tests {
     fn get_latest_and_specific_versions() {
         let mut repo = Repository::new();
         repo.register("s", samples::QUICKSTART, "pipeline").unwrap();
-        repo.register("s", samples::FIG1_DIAMOND, "diamond").unwrap();
+        repo.register("s", samples::FIG1_DIAMOND, "diamond")
+            .unwrap();
         assert_eq!(repo.get("s", None).unwrap().root, "diamond");
         assert_eq!(repo.get("s", Some(1)).unwrap().root, "pipeline");
         assert!(repo.get("s", Some(3)).is_err());
         assert!(repo.get("missing", None).is_err());
+    }
+
+    #[test]
+    fn plans_are_compiled_once_and_cached_per_version() {
+        let mut repo = Repository::new();
+        repo.register("s", samples::QUICKSTART, "pipeline").unwrap();
+        repo.register("s", samples::ORDER_PROCESSING, "processOrderApplication")
+            .unwrap();
+        let v1 = repo.plan("s", Some(1)).unwrap();
+        let v2 = repo.plan("s", None).unwrap();
+        assert_eq!(repo.get("s", Some(1)).unwrap().plan.as_ref(), v1.as_ref());
+        assert_eq!(v1.str(v1.root().name), "pipeline");
+        assert_eq!(v2.str(v2.root().name), "processOrderApplication");
+        // The cached plan equals a fresh lowering of the stored source.
+        let stored = repo.get("s", None).unwrap();
+        let fresh = Plan::lower(&schema::compile_source(&stored.source, &stored.root).unwrap());
+        assert_eq!(fresh, *v2);
+        assert_eq!(fresh.fingerprint, v2.fingerprint);
+        assert!(repo.plan("s", Some(3)).is_err());
     }
 
     #[test]

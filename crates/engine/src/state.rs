@@ -277,7 +277,10 @@ mod tests {
     fn terminal_classification() {
         assert!(!CbState::Waiting.is_terminal());
         assert!(!CbState::Executing { set: "m".into() }.is_terminal());
-        assert!(CbState::Done { outcome: "d".into() }.is_terminal());
+        assert!(CbState::Done {
+            outcome: "d".into()
+        }
+        .is_terminal());
         assert!(CbState::Cancelled.is_terminal());
         assert!(CbState::Executing { set: "m".into() }.is_running());
         assert!(!CbState::Waiting.is_running());
@@ -372,10 +375,7 @@ mod tests {
                 repeats: 7,
             };
             let bytes = flowscript_codec::to_bytes(&cb);
-            assert_eq!(
-                flowscript_codec::from_bytes::<TaskCb>(&bytes).unwrap(),
-                cb
-            );
+            assert_eq!(flowscript_codec::from_bytes::<TaskCb>(&bytes).unwrap(), cb);
         }
     }
 }

@@ -89,6 +89,9 @@ mod tests {
     fn codec_roundtrip() {
         let v = ObjectVal::new("Blob", vec![0, 159, 146, 150]).produced_by("a/b");
         let bytes = flowscript_codec::to_bytes(&v);
-        assert_eq!(flowscript_codec::from_bytes::<ObjectVal>(&bytes).unwrap(), v);
+        assert_eq!(
+            flowscript_codec::from_bytes::<ObjectVal>(&bytes).unwrap(),
+            v
+        );
     }
 }

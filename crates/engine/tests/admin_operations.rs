@@ -13,8 +13,12 @@ fn text(class: &str, value: &str) -> ObjectVal {
 #[test]
 fn forced_abort_of_waiting_dispatch_cancels_order() {
     let mut sys = WorkflowSystem::builder().executors(3).seed(81).build();
-    sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
-        .unwrap();
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
     // Authorisation is slow; stock never returns, so dispatch waits.
     sys.bind_fn("refPaymentAuthorisation", |_| {
         TaskBehavior::outcome("authorised")
@@ -36,10 +40,7 @@ fn forced_abort_of_waiting_dispatch_cancels_order() {
     // Let the instance get going; dispatch is still waiting for stock.
     sys.run_for(SimDuration::from_secs(1));
     let states = sys.task_states("o1");
-    assert_eq!(
-        states["processOrderApplication/dispatch"],
-        CbState::Waiting
-    );
+    assert_eq!(states["processOrderApplication/dispatch"], CbState::Waiting);
     // A user forces the abort (Fig. 3's wait-state abort).
     sys.abort_waiting_task("o1", "processOrderApplication/dispatch", "dispatchFailed")
         .unwrap();
@@ -59,8 +60,12 @@ fn forced_abort_of_waiting_dispatch_cancels_order() {
 #[test]
 fn forced_abort_validates_outcome_kind_and_state() {
     let mut sys = WorkflowSystem::builder().executors(2).seed(82).build();
-    sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
-        .unwrap();
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
     sys.bind_fn("refPaymentAuthorisation", |_| {
         TaskBehavior::outcome("authorised")
             .with_work(SimDuration::from_secs(60))
@@ -82,7 +87,9 @@ fn forced_abort_validates_outcome_kind_and_state() {
     let err = sys
         .abort_waiting_task("o1", "processOrderApplication/checkStock", "dispatchFailed")
         .unwrap_err();
-    assert!(err.to_string().contains("not an abort outcome") || err.to_string().contains("not waiting"));
+    assert!(
+        err.to_string().contains("not an abort outcome") || err.to_string().contains("not waiting")
+    );
     // Unknown task.
     assert!(matches!(
         sys.abort_waiting_task("o1", "processOrderApplication/ghost", "x"),
@@ -101,12 +108,10 @@ fn versioned_instantiation_uses_the_requested_script() {
         .unwrap();
 
     sys.bind_fn("refProduce", |_| {
-        TaskBehavior::outcome("produced")
-            .with_object("message", ObjectVal::text("Message", "m"))
+        TaskBehavior::outcome("produced").with_object("message", ObjectVal::text("Message", "m"))
     });
     sys.bind_fn("refConsume", |_| {
-        TaskBehavior::outcome("consumed")
-            .with_object("result", ObjectVal::text("Message", "r"))
+        TaskBehavior::outcome("consumed").with_object("result", ObjectVal::text("Message", "r"))
     });
     for t in ["refT1", "refT2", "refT3", "refT4"] {
         sys.bind_fn(t, |_| {
@@ -122,12 +127,8 @@ fn versioned_instantiation_uses_the_requested_script() {
         .unwrap();
     sys.run();
     assert_eq!(sys.outcome("v1-run").unwrap().name, "done");
-    assert!(sys
-        .task_states("v1-run")
-        .contains_key("pipeline/produce"));
-    assert!(sys
-        .task_states("latest-run")
-        .contains_key("diamond/t4"));
+    assert!(sys.task_states("v1-run").contains_key("pipeline/produce"));
+    assert!(sys.task_states("latest-run").contains_key("diamond/t4"));
 
     // Unknown version is rejected.
     let err = sys

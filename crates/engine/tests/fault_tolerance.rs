@@ -24,14 +24,17 @@ fn chain_system(n: usize, seed: u64, config: EngineConfig) -> WorkflowSystem {
         .build();
     sys.register_script("chain", &source, "root").unwrap();
     for i in 0..n {
-        sys.bind_fn(&format!("ref{i}"), move |ctx: &flowscript_engine::InvokeCtx| {
-            TaskBehavior::outcome("done")
-                .with_work(SimDuration::from_millis(20))
-                .with_object(
-                    "out",
-                    ObjectVal::text("Data", format!("{}+s{i}", ctx.input_text("in"))),
-                )
-        });
+        sys.bind_fn(
+            &format!("ref{i}"),
+            move |ctx: &flowscript_engine::InvokeCtx| {
+                TaskBehavior::outcome("done")
+                    .with_work(SimDuration::from_millis(20))
+                    .with_object(
+                        "out",
+                        ObjectVal::text("Data", format!("{}+s{i}", ctx.input_text("in"))),
+                    )
+            },
+        );
     }
     sys
 }
@@ -78,15 +81,16 @@ fn temporary_partition_heals_and_completes() {
             SimTime::from_nanos(5_000_000),
             FaultAction::Partition(vec![coordinator], executors),
         )
-        .at(
-            SimTime::from_nanos(1_200_000_000),
-            FaultAction::HealAll,
-        )
+        .at(SimTime::from_nanos(1_200_000_000), FaultAction::HealAll)
         .apply(sys.world_mut());
     sys.start("c1", "chain", "main", [("seed", text("Data", "s"))])
         .unwrap();
     sys.run();
-    assert!(sys.outcome("c1").is_some(), "status: {:?}", sys.status("c1"));
+    assert!(
+        sys.outcome("c1").is_some(),
+        "status: {:?}",
+        sys.status("c1")
+    );
 }
 
 #[test]
@@ -150,8 +154,12 @@ fn coordinator_crash_during_order_processing_preserves_exactly_one_outcome() {
         .seed(11)
         .config(snappy_config())
         .build();
-    sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
-        .unwrap();
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
     sys.bind_fn("refPaymentAuthorisation", |_| {
         TaskBehavior::outcome("authorised")
             .with_work(SimDuration::from_millis(30))
@@ -215,12 +223,15 @@ fn whole_system_restart_resumes_from_shared_storage() {
     // volatile, like redeploying service binaries).
     sys2.register_script("chain", &source, "root").unwrap();
     for i in 0..5 {
-        sys2.bind_fn(&format!("ref{i}"), move |ctx: &flowscript_engine::InvokeCtx| {
-            TaskBehavior::outcome("done").with_object(
-                "out",
-                ObjectVal::text("Data", format!("{}+s{i}", ctx.input_text("in"))),
-            )
-        });
+        sys2.bind_fn(
+            &format!("ref{i}"),
+            move |ctx: &flowscript_engine::InvokeCtx| {
+                TaskBehavior::outcome("done").with_object(
+                    "out",
+                    ObjectVal::text("Data", format!("{}+s{i}", ctx.input_text("in"))),
+                )
+            },
+        );
     }
     sys2.run();
     let outcome = sys2
@@ -243,12 +254,15 @@ fn lossy_network_still_completes_via_retries() {
         .build();
     sys.register_script("chain", &source, "root").unwrap();
     for i in 0..4 {
-        sys.bind_fn(&format!("ref{i}"), move |ctx: &flowscript_engine::InvokeCtx| {
-            TaskBehavior::outcome("done").with_object(
-                "out",
-                ObjectVal::text("Data", format!("{}+s{i}", ctx.input_text("in"))),
-            )
-        });
+        sys.bind_fn(
+            &format!("ref{i}"),
+            move |ctx: &flowscript_engine::InvokeCtx| {
+                TaskBehavior::outcome("done").with_object(
+                    "out",
+                    ObjectVal::text("Data", format!("{}+s{i}", ctx.input_text("in"))),
+                )
+            },
+        );
     }
     sys.start("c1", "chain", "main", [("seed", text("Data", "s"))])
         .unwrap();
@@ -278,8 +292,12 @@ fn abort_outcome_is_application_level_not_retried() {
         .seed(15)
         .config(snappy_config())
         .build();
-    sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
-        .unwrap();
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
     sys.bind_fn("refPaymentAuthorisation", |_| {
         TaskBehavior::outcome("authorised")
             .with_object("paymentInfo", ObjectVal::text("PaymentInfo", "p"))

@@ -160,7 +160,8 @@ compoundtask root of taskclass Root {
 #[test]
 fn leaf_repeat_reexecutes_with_carried_objects() {
     let mut sys = WorkflowSystem::builder().executors(2).seed(93).build();
-    sys.register_script("p", LEAF_REPEAT_SCRIPT, "root").unwrap();
+    sys.register_script("p", LEAF_REPEAT_SCRIPT, "root")
+        .unwrap();
     // Poll until the carried progress counter reaches 3 (Fig. 3's
     // Repeat1 transition, state carried through repeat objects).
     sys.bind_fn("refPoller", |ctx| {
@@ -171,11 +172,16 @@ fn leaf_repeat_reexecutes_with_carried_objects() {
             .unwrap_or(0);
         if progress < 3 {
             TaskBehavior::outcome("poll")
-                .with_object("progress", ObjectVal::text("Data", (progress + 1).to_string()))
+                .with_object(
+                    "progress",
+                    ObjectVal::text("Data", (progress + 1).to_string()),
+                )
                 .with_redo_after(SimDuration::from_millis(50))
         } else {
-            TaskBehavior::outcome("ready")
-                .with_object("out", ObjectVal::text("Data", format!("after-{progress}-polls")))
+            TaskBehavior::outcome("ready").with_object(
+                "out",
+                ObjectVal::text("Data", format!("after-{progress}-polls")),
+            )
         }
     });
     sys.start("p1", "p", "main", [("in", ObjectVal::text("Data", "x"))])
@@ -200,7 +206,8 @@ fn leaf_repeat_limit_enforced() {
         .seed(94)
         .config(config)
         .build();
-    sys.register_script("p", LEAF_REPEAT_SCRIPT, "root").unwrap();
+    sys.register_script("p", LEAF_REPEAT_SCRIPT, "root")
+        .unwrap();
     // Never converges: the repeat bound must stop it.
     sys.bind_fn("refPoller", |_| {
         TaskBehavior::outcome("poll")

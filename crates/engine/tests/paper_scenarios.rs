@@ -6,9 +6,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use flowscript_core::samples;
-use flowscript_engine::{
-    CbState, InstanceStatus, ObjectVal, TaskBehavior, WorkflowSystem,
-};
+use flowscript_engine::{CbState, InstanceStatus, ObjectVal, TaskBehavior, WorkflowSystem};
 use flowscript_sim::SimDuration;
 
 fn text(class: &str, value: &str) -> ObjectVal {
@@ -21,15 +19,19 @@ fn text(class: &str, value: &str) -> ObjectVal {
 
 fn bind_diamond(sys: &WorkflowSystem) {
     sys.bind_fn("refT1", |ctx| {
-        TaskBehavior::outcome("done")
-            .with_object("out", ObjectVal::text("Data", format!("{}+t1", ctx.input_text("seed"))))
+        TaskBehavior::outcome("done").with_object(
+            "out",
+            ObjectVal::text("Data", format!("{}+t1", ctx.input_text("seed"))),
+        )
     });
     sys.bind_fn("refT2", |_| {
         TaskBehavior::outcome("done").with_object("out", text("Data", "t2"))
     });
     sys.bind_fn("refT3", |ctx| {
-        TaskBehavior::outcome("done")
-            .with_object("out", ObjectVal::text("Data", format!("{}+t3", ctx.input_text("in"))))
+        TaskBehavior::outcome("done").with_object(
+            "out",
+            ObjectVal::text("Data", format!("{}+t3", ctx.input_text("in"))),
+        )
     });
     sys.bind_fn("refT4", |ctx| {
         TaskBehavior::outcome("done").with_object(
@@ -318,7 +320,9 @@ fn bind_order(sys: &WorkflowSystem, authorised: bool, in_stock: bool) {
             )
         });
     } else {
-        sys.bind_fn("refCheckStock", |_| TaskBehavior::outcome("stockNotAvailable"));
+        sys.bind_fn("refCheckStock", |_| {
+            TaskBehavior::outcome("stockNotAvailable")
+        });
     }
     sys.bind_fn("refDispatch", |ctx| {
         TaskBehavior::outcome("dispatchCompleted").with_object(
@@ -335,8 +339,12 @@ fn bind_order(sys: &WorkflowSystem, authorised: bool, in_stock: bool) {
 #[test]
 fn fig7_order_completes() {
     let mut sys = WorkflowSystem::builder().executors(4).seed(31).build();
-    sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
-        .unwrap();
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
     bind_order(&sys, true, true);
     sys.start("o1", "order", "main", [("order", text("Order", "order-7"))])
         .unwrap();
@@ -365,8 +373,12 @@ fn fig7_order_completes() {
 #[test]
 fn fig7_order_cancelled_on_no_stock() {
     let mut sys = WorkflowSystem::builder().executors(4).seed(32).build();
-    sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
-        .unwrap();
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
     bind_order(&sys, true, false);
     sys.start("o1", "order", "main", [("order", text("Order", "order-8"))])
         .unwrap();
@@ -387,8 +399,12 @@ fn fig7_order_cancelled_on_no_stock() {
 #[test]
 fn fig7_order_cancelled_on_payment_refusal() {
     let mut sys = WorkflowSystem::builder().executors(4).seed(33).build();
-    sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
-        .unwrap();
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
     bind_order(&sys, false, true);
     sys.start("o1", "order", "main", [("order", text("Order", "order-9"))])
         .unwrap();
@@ -417,7 +433,10 @@ fn bind_trip(sys: &WorkflowSystem, hotel_failures: u32) {
             .with_work(SimDuration::from_millis(12))
             .with_object(
                 "flightList",
-                ObjectVal::text("FlightList", format!("fl-B({})", ctx.input_text("tripData"))),
+                ObjectVal::text(
+                    "FlightList",
+                    format!("fl-B({})", ctx.input_text("tripData")),
+                ),
             )
     });
     sys.bind_fn("refAirlineQueryC", |ctx| {
@@ -425,7 +444,10 @@ fn bind_trip(sys: &WorkflowSystem, hotel_failures: u32) {
             .with_work(SimDuration::from_millis(30))
             .with_object(
                 "flightList",
-                ObjectVal::text("FlightList", format!("fl-C({})", ctx.input_text("tripData"))),
+                ObjectVal::text(
+                    "FlightList",
+                    format!("fl-C({})", ctx.input_text("tripData")),
+                ),
             )
     });
     sys.bind_fn("refFlightReservation", |ctx| {
@@ -446,13 +468,19 @@ fn bind_trip(sys: &WorkflowSystem, hotel_failures: u32) {
                 .with_object("hotel", ObjectVal::text("Hotel", "grand-hotel"))
         }
     });
-    sys.bind_fn("refFlightCancellation", |_| TaskBehavior::outcome("cancelled"));
+    sys.bind_fn("refFlightCancellation", |_| {
+        TaskBehavior::outcome("cancelled")
+    });
     sys.bind_fn("refPrintTickets", |ctx| {
         TaskBehavior::outcome("printed").with_object(
             "tickets",
             ObjectVal::text(
                 "Tickets",
-                format!("tickets({}, {})", ctx.input_text("plane"), ctx.input_text("hotel")),
+                format!(
+                    "tickets({}, {})",
+                    ctx.input_text("plane"),
+                    ctx.input_text("hotel")
+                ),
             ),
         )
     });
@@ -564,8 +592,10 @@ fn script_bound_as_implementation_runs_nested_workflow() {
     // pipeline whose producer/consumer are closures.
     sys.bind_script("refProduce", samples::QUICKSTART, "pipeline");
     sys.bind_fn("refConsume", |ctx| {
-        TaskBehavior::outcome("consumed")
-            .with_object("result", ObjectVal::text("Message", ctx.input_text("message")))
+        TaskBehavior::outcome("consumed").with_object(
+            "result",
+            ObjectVal::text("Message", ctx.input_text("message")),
+        )
     });
     // The nested pipeline needs its own leaf implementations; they share
     // the registry. Rebind refProduce inside the nested run would recurse,

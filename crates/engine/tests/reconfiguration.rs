@@ -19,7 +19,10 @@ fn diamond_system(seed: u64) -> WorkflowSystem {
     sys.bind_fn("refT1", |ctx| {
         TaskBehavior::outcome("done")
             .with_work(SimDuration::from_millis(10))
-            .with_object("out", ObjectVal::text("Data", format!("{}1", ctx.input_text("seed"))))
+            .with_object(
+                "out",
+                ObjectVal::text("Data", format!("{}1", ctx.input_text("seed"))),
+            )
     });
     sys.bind_fn("refT2", |_| {
         TaskBehavior::outcome("done")
@@ -29,7 +32,10 @@ fn diamond_system(seed: u64) -> WorkflowSystem {
     sys.bind_fn("refT3", |ctx| {
         TaskBehavior::outcome("done")
             .with_work(SimDuration::from_millis(10))
-            .with_object("out", ObjectVal::text("Data", format!("{}3", ctx.input_text("in"))))
+            .with_object(
+                "out",
+                ObjectVal::text("Data", format!("{}3", ctx.input_text("in"))),
+            )
     });
     sys.bind_fn("refT4", |ctx| {
         TaskBehavior::outcome("done")
@@ -87,7 +93,10 @@ fn paper_section2_add_t5_to_running_instance() {
     assert!(sys.outcome("d1").is_some());
     let states = sys.task_states("d1");
     assert!(
-        matches!(states.get("diamond/t5"), Some(CbState::Done { .. }) | Some(CbState::Cancelled)),
+        matches!(
+            states.get("diamond/t5"),
+            Some(CbState::Done { .. }) | Some(CbState::Cancelled)
+        ),
         "t5 state: {:?}",
         states.get("diamond/t5")
     );
@@ -310,7 +319,10 @@ fn reconfiguration_survives_coordinator_crash() {
     assert!(sys.outcome("d1").is_some(), "{:?}", sys.status("d1"));
     let states = sys.task_states("d1");
     assert!(
-        matches!(states.get("diamond/t5"), Some(CbState::Done { .. }) | Some(CbState::Cancelled)),
+        matches!(
+            states.get("diamond/t5"),
+            Some(CbState::Done { .. }) | Some(CbState::Cancelled)
+        ),
         "t5: {:?}",
         states.get("diamond/t5")
     );

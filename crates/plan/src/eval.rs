@@ -1,0 +1,384 @@
+//! Plan-based dependency evaluation.
+//!
+//! Semantics are identical to `flowscript_engine::deps` (property-tested
+//! against it): an input set is satisfied when every object slot has an
+//! available source and every notification has fired; alternatives are
+//! tried in declaration order; the first-declared satisfied input set
+//! wins; compound outputs are evaluated in declaration order and an
+//! empty mapping never fires. The difference is mechanical: every
+//! producer path is a precomputed interned string, so a readiness probe
+//! is id arithmetic plus fact lookups — no string formatting, no scope
+//! tree walking.
+
+use crate::ir::{Plan, PlanCond, PlanInputSet, PlanOutput, PlanSlot, StrId, TaskId};
+
+/// Bound objects: `(slot name id, value)` pairs in declaration order.
+pub type Bound<F> = Vec<(StrId, <F as PlanFacts>::Value)>;
+
+/// Read access to published facts, keyed by absolute producer path.
+///
+/// Mirrors the engine's `FactView`, but asks for one object at a time:
+/// an implementation *may* fetch just the requested entry. (The
+/// engine's tx-backed view still decodes the whole fact record and
+/// extracts one entry — teaching the store partial reads is a ROADMAP
+/// item; the plan's win here is eliminating the per-probe path
+/// formatting and scope walking around these calls.)
+pub trait PlanFacts {
+    /// The object value type (the engine's `ObjectVal`).
+    type Value;
+
+    /// The named object of an output fact, if that fact was published
+    /// and carries the object.
+    fn output_object(&self, producer: &str, output: &str, object: &str) -> Option<Self::Value>;
+
+    /// The named object of an input-binding fact.
+    fn input_object(&self, producer: &str, set: &str, object: &str) -> Option<Self::Value>;
+
+    /// Whether an output fact exists.
+    fn output_fired(&self, producer: &str, output: &str) -> bool;
+
+    /// Whether an input-binding fact exists.
+    fn input_fired(&self, producer: &str, set: &str) -> bool;
+}
+
+/// Resolves one slot: the first available alternative's value.
+pub fn resolve_slot<F: PlanFacts>(plan: &Plan, slot: &PlanSlot, facts: &F) -> Option<F::Value> {
+    for src_idx in slot.sources.iter() {
+        let source = &plan.sources[src_idx];
+        let producer = plan.str(source.producer_path);
+        let Some(object) = source.object else {
+            continue;
+        };
+        let object = plan.str(object);
+        let value = match &source.cond {
+            PlanCond::Input(set) => facts.input_object(producer, plan.str(*set), object),
+            PlanCond::Output(output) => facts.output_object(producer, plan.str(*output), object),
+            // Reference semantics (deps::resolve_object_source): the
+            // first *fired* candidate is committed to, even when that
+            // fact does not carry the object — later candidates must
+            // not be consulted.
+            PlanCond::AnyOf(candidates) => candidates
+                .iter()
+                .map(|cand_idx| plan.str(plan.any_pool[cand_idx]))
+                .find(|candidate| facts.output_fired(producer, candidate))
+                .and_then(|candidate| facts.output_object(producer, candidate, object)),
+        };
+        if value.is_some() {
+            return value;
+        }
+    }
+    None
+}
+
+/// Whether any source of a notification has fired.
+pub fn notification_fired<F: PlanFacts>(
+    plan: &Plan,
+    sources: crate::ir::Range32,
+    facts: &F,
+) -> bool {
+    sources.iter().any(|src_idx| {
+        let source = &plan.sources[src_idx];
+        let producer = plan.str(source.producer_path);
+        match &source.cond {
+            PlanCond::Input(set) => facts.input_fired(producer, plan.str(*set)),
+            PlanCond::Output(output) => facts.output_fired(producer, plan.str(*output)),
+            PlanCond::AnyOf(candidates) => candidates
+                .iter()
+                .any(|cand_idx| facts.output_fired(producer, plan.str(plan.any_pool[cand_idx]))),
+        }
+    })
+}
+
+/// Tries to satisfy one input set; `Some(bound (name, value) pairs)` on
+/// success (slot declaration order).
+pub fn eval_input_set<F: PlanFacts>(
+    plan: &Plan,
+    set: &PlanInputSet,
+    facts: &F,
+) -> Option<Bound<F>> {
+    let mut bound = Vec::with_capacity(set.slots.len());
+    for slot_idx in set.slots.iter() {
+        let slot = &plan.slots[slot_idx];
+        let value = resolve_slot(plan, slot, facts)?;
+        bound.push((slot.name, value));
+    }
+    for note_idx in set.notes.iter() {
+        if !notification_fired(plan, plan.notes[note_idx].sources, facts) {
+            return None;
+        }
+    }
+    Some(bound)
+}
+
+/// The first satisfied input set of a task, in declaration order.
+/// Returns the set's name id and bound objects.
+pub fn eval_task_inputs<F: PlanFacts>(
+    plan: &Plan,
+    task: TaskId,
+    facts: &F,
+) -> Option<(StrId, Bound<F>)> {
+    let task = plan.task(task);
+    for set_idx in task.sets.iter() {
+        let set = &plan.sets[set_idx];
+        if let Some(bound) = eval_input_set(plan, set, facts) {
+            return Some((set.name, bound));
+        }
+    }
+    None
+}
+
+/// The availability bitmask of an input set: bit `i` set when the
+/// `i`-th requirement (slots first, then notifications) is currently
+/// met. The set is satisfied **iff** this equals
+/// [`PlanInputSet::required_mask`]: for sets with more than 64
+/// requirements, bit 63 aggregates the conjunction of requirements
+/// `63..n`, keeping the equality contract exact. Unlike
+/// [`eval_input_set`] this does not short-circuit — it reports *which*
+/// requirements are pending, for diagnostics (the coordinator's stuck
+/// reports) and monitoring. For an exact met-count of a large set use
+/// [`met_requirements`].
+pub fn satisfaction_mask<F: PlanFacts>(plan: &Plan, set: &PlanInputSet, facts: &F) -> u64 {
+    let total = set.requirement_count();
+    let mut mask = 0u64;
+    let mut tail_all_met = true;
+    for (bit, met) in requirement_availability(plan, set, facts).enumerate() {
+        if total <= 64 || bit < 63 {
+            if met {
+                mask |= 1 << bit;
+            }
+        } else {
+            tail_all_met &= met;
+        }
+    }
+    if total > 64 && tail_all_met {
+        mask |= 1 << 63;
+    }
+    mask
+}
+
+/// How many of an input set's requirements are currently met, exactly
+/// (no 64-bit cap) — the diagnostics companion to
+/// [`satisfaction_mask`].
+pub fn met_requirements<F: PlanFacts>(plan: &Plan, set: &PlanInputSet, facts: &F) -> usize {
+    requirement_availability(plan, set, facts)
+        .filter(|met| *met)
+        .count()
+}
+
+/// Per-requirement availability (slots first, then notifications) in
+/// declaration order.
+fn requirement_availability<'a, F: PlanFacts>(
+    plan: &'a Plan,
+    set: &PlanInputSet,
+    facts: &'a F,
+) -> impl Iterator<Item = bool> + 'a {
+    let slots = set.slots;
+    let notes = set.notes;
+    slots
+        .iter()
+        .map(move |slot_idx| resolve_slot(plan, &plan.slots[slot_idx], facts).is_some())
+        .chain(
+            notes
+                .iter()
+                .map(move |note_idx| notification_fired(plan, plan.notes[note_idx].sources, facts)),
+        )
+}
+
+/// Evaluates one output mapping (an empty mapping never fires).
+pub fn eval_output<F: PlanFacts>(plan: &Plan, output: &PlanOutput, facts: &F) -> Option<Bound<F>> {
+    if output.slots.is_empty() && output.notes.is_empty() {
+        return None;
+    }
+    let mut mapped = Vec::with_capacity(output.slots.len());
+    for slot_idx in output.slots.iter() {
+        let slot = &plan.slots[slot_idx];
+        let value = resolve_slot(plan, slot, facts)?;
+        mapped.push((slot.name, value));
+    }
+    for note_idx in output.notes.iter() {
+        if !notification_fired(plan, plan.notes[note_idx].sources, facts) {
+            return None;
+        }
+    }
+    Some(mapped)
+}
+
+/// All currently satisfied outputs of a scope task, in declaration
+/// order, as `(output pool index, mapped objects)`.
+pub fn eval_scope_outputs<F: PlanFacts>(
+    plan: &Plan,
+    scope: TaskId,
+    facts: &F,
+) -> Vec<(usize, Bound<F>)> {
+    let scope = plan.task(scope);
+    scope
+        .outputs
+        .iter()
+        .filter_map(|out_idx| {
+            eval_output(plan, &plan.outputs[out_idx], facts).map(|mapped| (out_idx, mapped))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// A tiny string-keyed fact store for unit tests.
+    #[derive(Default)]
+    pub struct MemFacts {
+        outputs: BTreeMap<(String, String), BTreeMap<String, String>>,
+        inputs: BTreeMap<(String, String), BTreeMap<String, String>>,
+    }
+
+    impl MemFacts {
+        fn add_output(&mut self, path: &str, output: &str, objects: &[(&str, &str)]) {
+            self.outputs.insert(
+                (path.into(), output.into()),
+                objects
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                    .collect(),
+            );
+        }
+
+        fn add_input(&mut self, path: &str, set: &str, objects: &[(&str, &str)]) {
+            self.inputs.insert(
+                (path.into(), set.into()),
+                objects
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                    .collect(),
+            );
+        }
+    }
+
+    impl PlanFacts for MemFacts {
+        type Value = String;
+
+        fn output_object(&self, producer: &str, output: &str, object: &str) -> Option<String> {
+            self.outputs
+                .get(&(producer.to_string(), output.to_string()))
+                .and_then(|objects| objects.get(object).cloned())
+        }
+
+        fn input_object(&self, producer: &str, set: &str, object: &str) -> Option<String> {
+            self.inputs
+                .get(&(producer.to_string(), set.to_string()))
+                .and_then(|objects| objects.get(object).cloned())
+        }
+
+        fn output_fired(&self, producer: &str, output: &str) -> bool {
+            self.outputs
+                .contains_key(&(producer.to_string(), output.to_string()))
+        }
+
+        fn input_fired(&self, producer: &str, set: &str) -> bool {
+            self.inputs
+                .contains_key(&(producer.to_string(), set.to_string()))
+        }
+    }
+
+    fn order_plan() -> Plan {
+        let schema = flowscript_core::schema::compile_source(
+            flowscript_core::samples::ORDER_PROCESSING,
+            "processOrderApplication",
+        )
+        .unwrap();
+        Plan::lower(&schema)
+    }
+
+    #[test]
+    fn readiness_progression_matches_paper_pipeline() {
+        let plan = order_plan();
+        let scope = "processOrderApplication";
+        let auth = plan
+            .task_by_path(&format!("{scope}/paymentAuthorisation"))
+            .unwrap();
+        let dispatch = plan.task_by_path(&format!("{scope}/dispatch")).unwrap();
+        let mut facts = MemFacts::default();
+
+        assert!(eval_task_inputs(&plan, auth, &facts).is_none());
+        facts.add_input(scope, "main", &[("order", "o-1")]);
+        let (set, bound) = eval_task_inputs(&plan, auth, &facts).unwrap();
+        assert_eq!(plan.str(set), "main");
+        assert_eq!(bound.len(), 1);
+        assert_eq!(plan.str(bound[0].0), "order");
+        assert_eq!(bound[0].1, "o-1");
+
+        // dispatch needs checkStock's output AND auth's notification.
+        assert!(eval_task_inputs(&plan, dispatch, &facts).is_none());
+        facts.add_output(
+            "processOrderApplication/checkStock",
+            "stockAvailable",
+            &[("stockInfo", "s")],
+        );
+        assert!(eval_task_inputs(&plan, dispatch, &facts).is_none());
+        facts.add_output(
+            "processOrderApplication/paymentAuthorisation",
+            "authorised",
+            &[("paymentInfo", "p")],
+        );
+        let (_, bound) = eval_task_inputs(&plan, dispatch, &facts).unwrap();
+        assert_eq!(bound[0].1, "s");
+    }
+
+    #[test]
+    fn satisfaction_masks_report_partial_readiness() {
+        let plan = order_plan();
+        let scope = "processOrderApplication";
+        let dispatch = plan.task_by_path(&format!("{scope}/dispatch")).unwrap();
+        let task = plan.task(dispatch);
+        let set = &plan.sets[task.sets.as_range()][0];
+        // dispatch: 1 slot (stockInfo) + 1 notification (authorised).
+        assert_eq!(set.requirement_count(), 2);
+        assert_eq!(set.required_mask, 0b11);
+
+        let mut facts = MemFacts::default();
+        assert_eq!(satisfaction_mask(&plan, set, &facts), 0);
+        facts.add_output(
+            "processOrderApplication/checkStock",
+            "stockAvailable",
+            &[("stockInfo", "s")],
+        );
+        assert_eq!(satisfaction_mask(&plan, set, &facts), 0b01);
+        facts.add_output(
+            "processOrderApplication/paymentAuthorisation",
+            "authorised",
+            &[("paymentInfo", "p")],
+        );
+        assert_eq!(satisfaction_mask(&plan, set, &facts), set.required_mask);
+    }
+
+    #[test]
+    fn scope_outputs_in_declaration_order_and_empty_never_fires() {
+        let plan = order_plan();
+        let root = 0;
+        let mut facts = MemFacts::default();
+        facts.add_output(
+            "processOrderApplication/checkStock",
+            "stockNotAvailable",
+            &[],
+        );
+        let satisfied = eval_scope_outputs(&plan, root, &facts);
+        assert_eq!(satisfied.len(), 1);
+        assert_eq!(
+            plan.str(plan.outputs[satisfied[0].0].name),
+            "orderCancelled"
+        );
+    }
+
+    #[test]
+    fn reverse_edges_cover_the_dispatch_join() {
+        let plan = order_plan();
+        let scope = "processOrderApplication";
+        let check = plan.task_by_path(&format!("{scope}/checkStock")).unwrap();
+        let dispatch = plan.task_by_path(&format!("{scope}/dispatch")).unwrap();
+        // checkStock feeds dispatch (dataflow) and the root scope's
+        // cancellation output (notification).
+        let consumers = plan.consumers(check);
+        assert!(consumers.contains(&dispatch), "{consumers:?}");
+        assert!(consumers.contains(&0), "{consumers:?}");
+    }
+}

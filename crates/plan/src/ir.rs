@@ -1,0 +1,843 @@
+//! The plan data structures and their binary codec.
+
+use std::collections::BTreeMap;
+
+use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+use flowscript_core::ast::OutputKind;
+
+/// Index into the plan's interned string table.
+pub type StrId = u32;
+/// Index into [`Plan::tasks`].
+pub type TaskId = u32;
+/// Index into [`Plan::classes`].
+pub type ClassId = u32;
+
+/// A half-open `[start, end)` index range into one of the plan's flat
+/// pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Range32 {
+    /// First index.
+    pub start: u32,
+    /// One past the last index.
+    pub end: u32,
+}
+
+impl Range32 {
+    /// An empty range.
+    pub const EMPTY: Range32 = Range32 { start: 0, end: 0 };
+
+    /// Number of elements covered (0 for an inverted range, which only
+    /// a corrupted decode can produce — see [`Plan::is_well_formed`]).
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start) as usize
+    }
+
+    /// Whether the range covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterates the covered indices as `usize`.
+    pub fn iter(&self) -> impl Iterator<Item = usize> {
+        (self.start as usize)..(self.end as usize)
+    }
+
+    /// The covered `usize` range (for slicing pools).
+    pub fn as_range(&self) -> std::ops::Range<usize> {
+        (self.start as usize)..(self.end as usize)
+    }
+}
+
+/// One task instance (leaf or compound scope) in DFS pre-order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanTask {
+    /// Instance name within its scope.
+    pub name: StrId,
+    /// Absolute slash-joined path (e.g. `trip/booking/queryB`).
+    pub path: StrId,
+    /// The task's class.
+    pub class: ClassId,
+    /// Enclosing scope's task id (`None` for the root).
+    pub parent: Option<TaskId>,
+    /// Bound input sets, in binding order (range into [`Plan::sets`]).
+    pub sets: Range32,
+    /// Implementation pairs (range into [`Plan::impl_kv`]).
+    pub impl_kv: Range32,
+    /// Direct children (range into [`Plan::child_pool`]); empty for
+    /// leaves.
+    pub children: Range32,
+    /// All descendants: task ids `self+1 .. subtree_end` (DFS pre-order
+    /// makes the subtree contiguous).
+    pub subtree_end: TaskId,
+    /// Output mappings (range into [`Plan::outputs`]); empty for leaves.
+    pub outputs: Range32,
+    /// Consumers that may become ready when this task publishes a fact
+    /// (range into [`Plan::rdep_pool`]).
+    pub rdeps: Range32,
+    /// Whether this is a compound scope.
+    pub is_scope: bool,
+}
+
+/// A bound input set of a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanInputSet {
+    /// Set name.
+    pub name: StrId,
+    /// Dataflow slots (range into [`Plan::slots`]).
+    pub slots: Range32,
+    /// Notification dependencies (range into [`Plan::notes`]).
+    pub notes: Range32,
+    /// Bitmask with one bit per requirement (slots first, then
+    /// notifications); all-ones for 64+ requirements, where the
+    /// availability mask's bit 63 aggregates the tail conjunction
+    /// (see `eval::satisfaction_mask`). A set is satisfied iff the
+    /// availability mask equals this.
+    pub required_mask: u64,
+}
+
+impl PlanInputSet {
+    /// Number of requirements (slots + notifications).
+    pub fn requirement_count(&self) -> usize {
+        self.slots.len() + self.notes.len()
+    }
+}
+
+/// A dataflow slot: one required object and its ordered alternatives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSlot {
+    /// Object name in the consumer's signature.
+    pub name: StrId,
+    /// The object's class.
+    pub class: StrId,
+    /// Ordered alternative sources (range into [`Plan::sources`]);
+    /// first available wins.
+    pub sources: Range32,
+}
+
+/// A notification dependency: satisfied when any source fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNotification {
+    /// Ordered alternative sources (range into [`Plan::sources`]).
+    pub sources: Range32,
+}
+
+/// When a source's fact becomes available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanCond {
+    /// The producer bound the named input set.
+    Input(StrId),
+    /// The producer produced the named output.
+    Output(StrId),
+    /// The producer produced any of these outputs (range into
+    /// [`Plan::any_pool`]).
+    AnyOf(Range32),
+}
+
+/// One resolved alternative source with its producer's absolute path
+/// precomputed (no per-probe string building).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSource {
+    /// Absolute path of the producing task (the enclosing scope itself
+    /// for `self` sources).
+    pub producer_path: StrId,
+    /// Producing task's id, when it exists in the plan (a reconfig can
+    /// reference tasks that were since removed).
+    pub producer: Option<TaskId>,
+    /// The object taken (`None` for notifications).
+    pub object: Option<StrId>,
+    /// Availability condition.
+    pub cond: PlanCond,
+}
+
+/// One output mapping of a compound scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanOutput {
+    /// Output name.
+    pub name: StrId,
+    /// Output kind.
+    pub kind: OutputKind,
+    /// Object mappings (range into [`Plan::slots`]).
+    pub slots: Range32,
+    /// Notification conditions (range into [`Plan::notes`]).
+    pub notes: Range32,
+}
+
+/// A resolved task class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanClass {
+    /// Class name.
+    pub name: StrId,
+    /// Input-set signatures in declaration order (range into
+    /// [`Plan::class_sets`]).
+    pub sets: Range32,
+    /// Possible outputs (range into [`Plan::class_outputs`]).
+    pub outputs: Range32,
+    /// Whether the class declares an abort outcome.
+    pub atomic: bool,
+}
+
+/// An input-set signature of a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanClassSet {
+    /// Set name.
+    pub name: StrId,
+    /// Required objects (range into [`Plan::class_objects`]).
+    pub objects: Range32,
+}
+
+/// A declared output of a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanClassOutput {
+    /// Output name.
+    pub name: StrId,
+    /// Output kind.
+    pub kind: OutputKind,
+    /// Objects produced with it (range into [`Plan::class_objects`]).
+    pub objects: Range32,
+}
+
+/// An object signature: name and class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanObjectSig {
+    /// Object reference name.
+    pub name: StrId,
+    /// Its object class.
+    pub class: StrId,
+}
+
+/// A compiled, executable workflow plan. Built by [`Plan::lower`];
+/// addressed exclusively through `u32` ids into flat pools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Interned strings; every `StrId` indexes here.
+    pub strings: Vec<String>,
+    /// Object class names declared by the script.
+    pub object_classes: Vec<StrId>,
+    /// Task classes, sorted by name.
+    pub classes: Vec<PlanClass>,
+    /// Pool: class input-set signatures.
+    pub class_sets: Vec<PlanClassSet>,
+    /// Pool: class outputs.
+    pub class_outputs: Vec<PlanClassOutput>,
+    /// Pool: class object signatures.
+    pub class_objects: Vec<PlanObjectSig>,
+    /// Tasks in DFS pre-order; id 0 is the root scope.
+    pub tasks: Vec<PlanTask>,
+    /// Pool: bound input sets.
+    pub sets: Vec<PlanInputSet>,
+    /// Pool: dataflow slots (input sets and output mappings share it).
+    pub slots: Vec<PlanSlot>,
+    /// Pool: notification dependencies.
+    pub notes: Vec<PlanNotification>,
+    /// Pool: alternative sources.
+    pub sources: Vec<PlanSource>,
+    /// Pool: candidate output names of `AnyOf` conditions.
+    pub any_pool: Vec<StrId>,
+    /// Pool: compound output mappings.
+    pub outputs: Vec<PlanOutput>,
+    /// Pool: implementation key/value pairs.
+    pub impl_kv: Vec<(StrId, StrId)>,
+    /// Pool: direct-children task ids.
+    pub child_pool: Vec<TaskId>,
+    /// Pool: reverse-dependency consumer task ids.
+    pub rdep_pool: Vec<TaskId>,
+    /// Absolute path → task id.
+    pub path_index: BTreeMap<String, TaskId>,
+    /// Class name → class id.
+    pub class_index: BTreeMap<String, ClassId>,
+    /// FNV-64 fingerprint of the structural content (strings + pools),
+    /// for cheap identity checks between repository and coordinator.
+    pub fingerprint: u64,
+}
+
+impl Plan {
+    /// The interned string behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id not produced for this plan.
+    pub fn str(&self, id: StrId) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// The task behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id not produced for this plan.
+    pub fn task(&self, id: TaskId) -> &PlanTask {
+        &self.tasks[id as usize]
+    }
+
+    /// The root scope task.
+    pub fn root(&self) -> &PlanTask {
+        &self.tasks[0]
+    }
+
+    /// Resolves an absolute slash path to a task id.
+    pub fn task_by_path(&self, path: &str) -> Option<TaskId> {
+        self.path_index.get(path).copied()
+    }
+
+    /// The class of a task.
+    pub fn class_of(&self, task: &PlanTask) -> &PlanClass {
+        &self.classes[task.class as usize]
+    }
+
+    /// Looks up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<&PlanClass> {
+        self.class_index
+            .get(name)
+            .map(|id| &self.classes[*id as usize])
+    }
+
+    /// A class's declared output by name.
+    pub fn class_output(&self, class: &PlanClass, name: &str) -> Option<&PlanClassOutput> {
+        self.class_outputs[class.outputs.as_range()]
+            .iter()
+            .find(|output| self.str(output.name) == name)
+    }
+
+    /// A class's input-set signature by name.
+    pub fn class_set(&self, class: &PlanClass, name: &str) -> Option<&PlanClassSet> {
+        self.class_sets[class.sets.as_range()]
+            .iter()
+            .find(|set| self.str(set.name) == name)
+    }
+
+    /// Direct children of a scope task, in declaration order.
+    pub fn children(&self, id: TaskId) -> &[TaskId] {
+        &self.child_pool[self.tasks[id as usize].children.as_range()]
+    }
+
+    /// All descendants of a task (DFS pre-order, contiguous).
+    pub fn subtree(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        (id + 1)..self.tasks[id as usize].subtree_end
+    }
+
+    /// Tasks and scopes that may become ready when `producer` publishes
+    /// a fact (precomputed reverse dependency edges).
+    pub fn consumers(&self, producer: TaskId) -> &[TaskId] {
+        &self.rdep_pool[self.tasks[producer as usize].rdeps.as_range()]
+    }
+
+    /// The task's implementation pairs as owned strings (dispatch path).
+    pub fn implementation_map(&self, task: &PlanTask) -> BTreeMap<String, String> {
+        self.impl_kv[task.impl_kv.as_range()]
+            .iter()
+            .map(|(k, v)| (self.str(*k).to_string(), self.str(*v).to_string()))
+            .collect()
+    }
+
+    /// The task's `code` implementation binding, if present.
+    pub fn code(&self, task: &PlanTask) -> Option<&str> {
+        self.impl_kv[task.impl_kv.as_range()]
+            .iter()
+            .find(|(k, _)| self.str(*k) == "code")
+            .map(|(_, v)| self.str(*v))
+    }
+
+    /// Slash-joined paths of every task instance, depth first (same
+    /// order and content as `Schema::task_paths`).
+    pub fn task_paths(&self) -> Vec<String> {
+        self.tasks[1..]
+            .iter()
+            .map(|task| self.str(task.path).to_string())
+            .collect()
+    }
+
+    /// Number of leaf (externally implemented) tasks.
+    pub fn leaf_count(&self) -> usize {
+        self.tasks.iter().filter(|t| !t.is_scope).count()
+    }
+
+    /// Structural well-formedness of a (possibly untrusted, freshly
+    /// decoded) plan: every id and range stays inside its pool, so
+    /// evaluation cannot index out of bounds. `Decode` checks wire
+    /// syntax only; callers accepting plans from outside (the
+    /// coordinator taking a repository-served plan, WAL recovery) must
+    /// check this before executing and fall back to local lowering
+    /// otherwise.
+    pub fn is_well_formed(&self) -> bool {
+        let strings = self.strings.len() as u32;
+        let str_ok = |id: StrId| id < strings;
+        let range_ok = |r: Range32, pool: usize| r.start <= r.end && (r.end as usize) <= pool;
+        let task_ok = |id: TaskId| (id as usize) < self.tasks.len();
+        let source_ok = |source: &PlanSource| {
+            str_ok(source.producer_path)
+                && source.producer.is_none_or(task_ok)
+                && source.object.is_none_or(str_ok)
+                && match &source.cond {
+                    PlanCond::Input(set) => str_ok(*set),
+                    PlanCond::Output(output) => str_ok(*output),
+                    PlanCond::AnyOf(range) => {
+                        range_ok(*range, self.any_pool.len())
+                            && self.any_pool[range.as_range()].iter().copied().all(str_ok)
+                    }
+                }
+        };
+        !self.tasks.is_empty()
+            && self.tasks.iter().enumerate().all(|(id, task)| {
+                str_ok(task.name)
+                    && str_ok(task.path)
+                    && (task.class as usize) < self.classes.len()
+                    && task.parent.is_none_or(task_ok)
+                    && range_ok(task.sets, self.sets.len())
+                    && range_ok(task.impl_kv, self.impl_kv.len())
+                    && range_ok(task.children, self.child_pool.len())
+                    && task.subtree_end > id as TaskId
+                    && (task.subtree_end as usize) <= self.tasks.len()
+                    && range_ok(task.outputs, self.outputs.len())
+                    && range_ok(task.rdeps, self.rdep_pool.len())
+            })
+            && self.sets.iter().all(|set| {
+                str_ok(set.name)
+                    && range_ok(set.slots, self.slots.len())
+                    && range_ok(set.notes, self.notes.len())
+            })
+            && self.slots.iter().all(|slot| {
+                str_ok(slot.name)
+                    && str_ok(slot.class)
+                    && range_ok(slot.sources, self.sources.len())
+            })
+            && self
+                .notes
+                .iter()
+                .all(|note| range_ok(note.sources, self.sources.len()))
+            && self.sources.iter().all(source_ok)
+            && self.any_pool.iter().copied().all(str_ok)
+            && self.outputs.iter().all(|output| {
+                str_ok(output.name)
+                    && range_ok(output.slots, self.slots.len())
+                    && range_ok(output.notes, self.notes.len())
+            })
+            && self.classes.iter().all(|class| {
+                str_ok(class.name)
+                    && range_ok(class.sets, self.class_sets.len())
+                    && range_ok(class.outputs, self.class_outputs.len())
+            })
+            && self
+                .class_sets
+                .iter()
+                .all(|set| str_ok(set.name) && range_ok(set.objects, self.class_objects.len()))
+            && self.class_outputs.iter().all(|output| {
+                str_ok(output.name) && range_ok(output.objects, self.class_objects.len())
+            })
+            && self
+                .class_objects
+                .iter()
+                .all(|sig| str_ok(sig.name) && str_ok(sig.class))
+            && self.impl_kv.iter().all(|(k, v)| str_ok(*k) && str_ok(*v))
+            && self.child_pool.iter().copied().all(task_ok)
+            && self.rdep_pool.iter().copied().all(task_ok)
+            && self.object_classes.iter().copied().all(str_ok)
+            && self.path_index.values().copied().all(task_ok)
+            && self
+                .class_index
+                .values()
+                .all(|id| (*id as usize) < self.classes.len())
+    }
+
+    /// Whether the stored fingerprint matches a recomputation over the
+    /// structural content — detects tampered or corrupted plans whose
+    /// bytes still decode.
+    pub fn verify_fingerprint(&self) -> bool {
+        crate::lower::fingerprint_of(self) == self.fingerprint
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary codec.
+// ---------------------------------------------------------------------
+
+fn kind_discriminant(kind: OutputKind) -> u8 {
+    match kind {
+        OutputKind::Outcome => 0,
+        OutputKind::AbortOutcome => 1,
+        OutputKind::RepeatOutcome => 2,
+        OutputKind::Mark => 3,
+    }
+}
+
+fn kind_from(discriminant: u8) -> Result<OutputKind, CodecError> {
+    Ok(match discriminant {
+        0 => OutputKind::Outcome,
+        1 => OutputKind::AbortOutcome,
+        2 => OutputKind::RepeatOutcome,
+        3 => OutputKind::Mark,
+        other => {
+            return Err(CodecError::InvalidDiscriminant {
+                ty: "OutputKind",
+                value: u64::from(other),
+            })
+        }
+    })
+}
+
+impl Encode for Range32 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_var_u64(u64::from(self.start));
+        w.put_var_u64(u64::from(self.end));
+    }
+}
+
+impl Decode for Range32 {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let start = r.get_var_u64()? as u32;
+        let end = r.get_var_u64()? as u32;
+        Ok(Range32 { start, end })
+    }
+}
+
+impl Encode for PlanTask {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.name);
+        w.put_u32(self.path);
+        w.put_u32(self.class);
+        self.parent.encode(w);
+        self.sets.encode(w);
+        self.impl_kv.encode(w);
+        self.children.encode(w);
+        w.put_u32(self.subtree_end);
+        self.outputs.encode(w);
+        self.rdeps.encode(w);
+        w.put_bool(self.is_scope);
+    }
+}
+
+impl Decode for PlanTask {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PlanTask {
+            name: r.get_u32()?,
+            path: r.get_u32()?,
+            class: r.get_u32()?,
+            parent: Option::decode(r)?,
+            sets: Range32::decode(r)?,
+            impl_kv: Range32::decode(r)?,
+            children: Range32::decode(r)?,
+            subtree_end: r.get_u32()?,
+            outputs: Range32::decode(r)?,
+            rdeps: Range32::decode(r)?,
+            is_scope: r.get_bool()?,
+        })
+    }
+}
+
+impl Encode for PlanInputSet {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.name);
+        self.slots.encode(w);
+        self.notes.encode(w);
+        w.put_u64(self.required_mask);
+    }
+}
+
+impl Decode for PlanInputSet {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PlanInputSet {
+            name: r.get_u32()?,
+            slots: Range32::decode(r)?,
+            notes: Range32::decode(r)?,
+            required_mask: r.get_u64()?,
+        })
+    }
+}
+
+impl Encode for PlanSlot {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.name);
+        w.put_u32(self.class);
+        self.sources.encode(w);
+    }
+}
+
+impl Decode for PlanSlot {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PlanSlot {
+            name: r.get_u32()?,
+            class: r.get_u32()?,
+            sources: Range32::decode(r)?,
+        })
+    }
+}
+
+impl Encode for PlanNotification {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.sources.encode(w);
+    }
+}
+
+impl Decode for PlanNotification {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PlanNotification {
+            sources: Range32::decode(r)?,
+        })
+    }
+}
+
+impl Encode for PlanCond {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            PlanCond::Input(set) => {
+                w.put_u8(0);
+                w.put_u32(*set);
+            }
+            PlanCond::Output(output) => {
+                w.put_u8(1);
+                w.put_u32(*output);
+            }
+            PlanCond::AnyOf(range) => {
+                w.put_u8(2);
+                range.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for PlanCond {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => PlanCond::Input(r.get_u32()?),
+            1 => PlanCond::Output(r.get_u32()?),
+            2 => PlanCond::AnyOf(Range32::decode(r)?),
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    ty: "PlanCond",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+impl Encode for PlanSource {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.producer_path);
+        self.producer.encode(w);
+        self.object.encode(w);
+        self.cond.encode(w);
+    }
+}
+
+impl Decode for PlanSource {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PlanSource {
+            producer_path: r.get_u32()?,
+            producer: Option::decode(r)?,
+            object: Option::decode(r)?,
+            cond: PlanCond::decode(r)?,
+        })
+    }
+}
+
+impl Encode for PlanOutput {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.name);
+        w.put_u8(kind_discriminant(self.kind));
+        self.slots.encode(w);
+        self.notes.encode(w);
+    }
+}
+
+impl Decode for PlanOutput {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PlanOutput {
+            name: r.get_u32()?,
+            kind: kind_from(r.get_u8()?)?,
+            slots: Range32::decode(r)?,
+            notes: Range32::decode(r)?,
+        })
+    }
+}
+
+impl Encode for PlanClass {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.name);
+        self.sets.encode(w);
+        self.outputs.encode(w);
+        w.put_bool(self.atomic);
+    }
+}
+
+impl Decode for PlanClass {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PlanClass {
+            name: r.get_u32()?,
+            sets: Range32::decode(r)?,
+            outputs: Range32::decode(r)?,
+            atomic: r.get_bool()?,
+        })
+    }
+}
+
+impl Encode for PlanClassSet {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.name);
+        self.objects.encode(w);
+    }
+}
+
+impl Decode for PlanClassSet {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PlanClassSet {
+            name: r.get_u32()?,
+            objects: Range32::decode(r)?,
+        })
+    }
+}
+
+impl Encode for PlanClassOutput {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.name);
+        w.put_u8(kind_discriminant(self.kind));
+        self.objects.encode(w);
+    }
+}
+
+impl Decode for PlanClassOutput {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PlanClassOutput {
+            name: r.get_u32()?,
+            kind: kind_from(r.get_u8()?)?,
+            objects: Range32::decode(r)?,
+        })
+    }
+}
+
+impl Encode for PlanObjectSig {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.name);
+        w.put_u32(self.class);
+    }
+}
+
+impl Decode for PlanObjectSig {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PlanObjectSig {
+            name: r.get_u32()?,
+            class: r.get_u32()?,
+        })
+    }
+}
+
+impl Encode for Plan {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.strings.encode(w);
+        self.object_classes.encode(w);
+        self.classes.encode(w);
+        self.class_sets.encode(w);
+        self.class_outputs.encode(w);
+        self.class_objects.encode(w);
+        self.tasks.encode(w);
+        self.sets.encode(w);
+        self.slots.encode(w);
+        self.notes.encode(w);
+        self.sources.encode(w);
+        self.any_pool.encode(w);
+        self.outputs.encode(w);
+        self.impl_kv.encode(w);
+        self.child_pool.encode(w);
+        self.rdep_pool.encode(w);
+        self.path_index.encode(w);
+        self.class_index.encode(w);
+        w.put_u64(self.fingerprint);
+    }
+}
+
+impl Decode for Plan {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Plan {
+            strings: Vec::decode(r)?,
+            object_classes: Vec::decode(r)?,
+            classes: Vec::decode(r)?,
+            class_sets: Vec::decode(r)?,
+            class_outputs: Vec::decode(r)?,
+            class_objects: Vec::decode(r)?,
+            tasks: Vec::decode(r)?,
+            sets: Vec::decode(r)?,
+            slots: Vec::decode(r)?,
+            notes: Vec::decode(r)?,
+            sources: Vec::decode(r)?,
+            any_pool: Vec::decode(r)?,
+            outputs: Vec::decode(r)?,
+            impl_kv: Vec::decode(r)?,
+            child_pool: Vec::decode(r)?,
+            rdep_pool: Vec::decode(r)?,
+            path_index: BTreeMap::decode(r)?,
+            class_index: BTreeMap::decode(r)?,
+            fingerprint: r.get_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order_plan() -> Plan {
+        let schema = flowscript_core::schema::compile_source(
+            flowscript_core::samples::ORDER_PROCESSING,
+            "processOrderApplication",
+        )
+        .unwrap();
+        Plan::lower(&schema)
+    }
+
+    #[test]
+    fn lowered_plans_are_well_formed_and_fingerprinted() {
+        let plan = order_plan();
+        assert!(plan.is_well_formed());
+        assert!(plan.verify_fingerprint());
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked_on() {
+        // Out-of-range string id.
+        let mut plan = order_plan();
+        plan.tasks[2].name = plan.strings.len() as StrId + 7;
+        assert!(!plan.is_well_formed());
+
+        // Inverted range (would underflow a naive len / panic a slice).
+        let mut plan = order_plan();
+        plan.sets[0].slots = Range32 { start: 5, end: 2 };
+        assert_eq!(plan.sets[0].slots.len(), 0);
+        assert!(!plan.is_well_formed());
+
+        // Range running past its pool.
+        let mut plan = order_plan();
+        plan.tasks[1].sets.end = plan.sets.len() as u32 + 1;
+        assert!(!plan.is_well_formed());
+
+        // Tampered content with a stale fingerprint.
+        let mut plan = order_plan();
+        plan.strings[0] = "tampered".to_string();
+        assert!(!plan.verify_fingerprint());
+    }
+
+    #[test]
+    fn decoded_noise_fails_validation_cleanly() {
+        // A syntactically decodable but structurally bogus plan.
+        let plan = Plan {
+            strings: vec!["a".into()],
+            object_classes: vec![9],
+            classes: Vec::new(),
+            class_sets: Vec::new(),
+            class_outputs: Vec::new(),
+            class_objects: Vec::new(),
+            tasks: Vec::new(),
+            sets: Vec::new(),
+            slots: Vec::new(),
+            notes: Vec::new(),
+            sources: Vec::new(),
+            any_pool: Vec::new(),
+            outputs: Vec::new(),
+            impl_kv: Vec::new(),
+            child_pool: Vec::new(),
+            rdep_pool: Vec::new(),
+            path_index: std::collections::BTreeMap::new(),
+            class_index: std::collections::BTreeMap::new(),
+            fingerprint: 0,
+        };
+        assert!(!plan.is_well_formed());
+    }
+}

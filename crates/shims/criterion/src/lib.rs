@@ -1,0 +1,316 @@
+#![warn(missing_docs)]
+//! Offline drop-in shim for the subset of the `criterion` API this
+//! workspace's benches use.
+//!
+//! The build container has no crate-registry access, so `cargo bench`
+//! runs on this minimal harness instead: each benchmark is timed with
+//! `std::time::Instant` over a fixed number of samples (auto-batched
+//! when a single iteration is too fast to time), and a
+//! `group/benchmark: median .. mean ..` line is printed per benchmark.
+//! There is no statistical analysis, HTML report or regression
+//! detection — swapping the real crate back in later is a
+//! manifest-only change.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed samples when a group does not override it.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+/// Untimed warm-up iterations before sampling.
+const WARMUP_ITERS: usize = 2;
+/// Target duration for one auto-batched sample.
+const TARGET_SAMPLE: Duration = Duration::from_micros(250);
+
+/// The benchmark harness handle passed to every target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_benchmark(&id.into().label, sample_size, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a function against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (drop would do; mirrors the real API).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, possibly parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Declared per-iteration work for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored: setup is
+/// always run per iteration, untimed).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one per batch in real criterion.
+    LargeInput,
+    /// Exactly one input per batch.
+    PerIteration,
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+    /// Iterations represented by each recorded sample.
+    batch: u64,
+}
+
+impl Bencher {
+    /// Times `f`, auto-batching when one call is too fast to measure.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        // Calibrate: batch enough calls that a sample is measurable.
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed();
+        self.batch = if one >= TARGET_SAMPLE {
+            1
+        } else {
+            (TARGET_SAMPLE.as_nanos() / one.as_nanos().max(1)).clamp(1, 100_000) as u64
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over per-sample inputs built by the untimed
+    /// `setup` closure.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        self.batch = 1;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+        batch: 1,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench {label}: no samples recorded");
+        return;
+    }
+    let batch = bencher.batch.max(1);
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / batch as f64)
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(bytes) => {
+            format!(
+                " ({:.1} MiB/s)",
+                bytes as f64 / median * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+        Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / median * 1e9),
+    });
+    println!(
+        "bench {label}: median {} mean {} ({} samples x {batch} iters){}",
+        format_ns(median),
+        format_ns(mean),
+        per_iter.len(),
+        rate.unwrap_or_default(),
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a group of benchmark targets as a callable function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("chain", 8).label, "chain/8");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+
+    #[test]
+    fn harness_runs_and_records() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("input", 5), &5u64, |b, &n| {
+            b.iter_batched(|| n, |n| n * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

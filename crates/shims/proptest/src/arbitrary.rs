@@ -1,0 +1,167 @@
+//! The [`Arbitrary`] trait backing `any::<T>()` and `name: Type`
+//! bindings in [`crate::proptest!`].
+
+use std::marker::PhantomData;
+
+use crate::strategy::AnyStrategy;
+use crate::test_runner::TestRng;
+
+/// Types with a default generation recipe.
+pub trait Arbitrary: Sized {
+    /// Draws one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for an [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias towards boundary values now and then: without
+                // shrinking, edge cases must arrive by generation.
+                match rng.below(16) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => 1,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                match rng.below(16) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => -1,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(16) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => 1.0,
+            _ => {
+                // Finite values across magnitudes.
+                let mantissa = rng.unit_f64() * 2.0 - 1.0;
+                let exponent = rng.below(64) as i32 - 32;
+                mantissa * (2f64).powi(exponent)
+            }
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(8) {
+            // Mostly printable ASCII: the lexers under test see far more
+            // interesting collisions there than in astral planes.
+            0..=4 => (0x20 + rng.below(0x5F) as u32) as u8 as char,
+            5 => char::from_u32(rng.below(0xD800 - 1) as u32 + 1).unwrap_or('a'),
+            6 => ['\n', '\t', '\r', '\0', '{', '}', ';', '"'][rng.below(8) as usize],
+            _ => char::from_u32(0xE000 + rng.below(0x1000) as u32).unwrap_or('b'),
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.usize_inclusive(0, 24);
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.next_u64() & 1 == 1 {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.usize_inclusive(0, 16);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl<K, V> Arbitrary for std::collections::BTreeMap<K, V>
+where
+    K: Arbitrary + Ord,
+    V: Arbitrary,
+{
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.usize_inclusive(0, 12);
+        (0..len)
+            .map(|_| (K::arbitrary(rng), V::arbitrary(rng)))
+            .collect()
+    }
+}
+
+impl<K, V> Arbitrary for std::collections::HashMap<K, V>
+where
+    K: Arbitrary + std::hash::Hash + Eq,
+    V: Arbitrary,
+{
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.usize_inclusive(0, 12);
+        (0..len)
+            .map(|_| (K::arbitrary(rng), V::arbitrary(rng)))
+            .collect()
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}

@@ -1,0 +1,202 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax (everything the workspace's patterns use, plus a
+//! little headroom): literal characters, `.` (any printable
+//! non-newline), character classes `[a-z0-9_]` (ranges and literals, no
+//! negation), the quantifiers `*`, `+`, `?`, `{n}`, `{m,n}`, and `\`
+//! escapes for literals. Unsupported constructs (groups, alternation)
+//! are treated as literal characters — the workspace does not use them.
+
+use crate::test_runner::TestRng;
+
+/// Maximum repetitions chosen for open-ended quantifiers (`*`, `+`).
+const UNBOUNDED_MAX: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.`: any printable character except `\n`.
+    Any,
+    /// `[...]`: one of the listed inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = rng.usize_inclusive(piece.min, piece.max);
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Lit(c) => *c,
+        Atom::Any => {
+            // Mostly printable ASCII, occasionally further afield.
+            if rng.below(20) == 0 {
+                char::from_u32(0xA1 + rng.below(0x2000) as u32).unwrap_or('¤')
+            } else {
+                (0x20 + rng.below(0x5F) as u32) as u8 as char
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for (lo, hi) in ranges {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                }
+                pick -= span;
+            }
+            ranges.first().map(|(lo, _)| *lo).unwrap_or('a')
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1);
+                i = next;
+                class
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Lit(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Atom, usize) {
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            ranges.push((lo, hi.max(lo)));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    // Skip the closing bracket.
+    if i < chars.len() {
+        i += 1;
+    }
+    if ranges.is_empty() {
+        ranges.push(('a', 'a'));
+    }
+    (Atom::Class(ranges), i)
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('*') => (0, UNBOUNDED_MAX, i + 1),
+        Some('+') => (1, UNBOUNDED_MAX, i + 1),
+        Some('?') => (0, 1, i + 1),
+        Some('{') => {
+            let close = chars[i..].iter().position(|c| *c == '}').map(|off| i + off);
+            let Some(close) = close else {
+                return (1, 1, i);
+            };
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or(0),
+                    hi.trim().parse().unwrap_or(UNBOUNDED_MAX),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            };
+            (min, max.max(min), close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("string-tests")
+    }
+
+    #[test]
+    fn literal_patterns_reproduce_themselves() {
+        let mut rng = rng();
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+    }
+
+    #[test]
+    fn bounded_repetition_respected() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching(".{0,400}", &mut rng);
+            assert!(s.chars().count() <= 400);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn identifier_pattern_yields_identifiers() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z_][a-zA-Z0-9_]{0,12}", &mut rng);
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s}");
+            assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_'), "{s}");
+            assert!(s.chars().count() <= 13);
+        }
+    }
+
+    #[test]
+    fn escapes_are_literal() {
+        let mut rng = rng();
+        assert_eq!(generate_matching(r"a\.b", &mut rng), "a.b");
+    }
+}

@@ -246,7 +246,10 @@ mod tests {
         );
         world.crash(client);
         world.run();
-        assert!(!*ran.borrow(), "continuation of crashed caller must not run");
+        assert!(
+            !*ran.borrow(),
+            "continuation of crashed caller must not run"
+        );
         assert_eq!(in_flight(&world), 0);
     }
 

@@ -139,9 +139,9 @@ impl Trace {
 
     /// Whether any custom annotation with exactly this label was recorded.
     pub fn contains_custom(&self, label: &str) -> bool {
-        self.entries.iter().any(|(_, e)| {
-            matches!(e, TraceEvent::Custom { label: l, .. } if l == label)
-        })
+        self.entries
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::Custom { label: l, .. } if l == label))
     }
 
     /// All custom annotations, in order, as `(node, label)` pairs.
@@ -159,7 +159,9 @@ impl Trace {
     pub fn drops(&self, reason: DropReason) -> usize {
         self.entries
             .iter()
-            .filter(|(_, e)| matches!(e, TraceEvent::MessageDropped { reason: r, .. } if *r == reason))
+            .filter(
+                |(_, e)| matches!(e, TraceEvent::MessageDropped { reason: r, .. } if *r == reason),
+            )
             .count()
     }
 

@@ -377,7 +377,12 @@ impl World {
         let PayloadKind::Request(call_id) = request.kind else {
             panic!("rpc_reply on a non-request envelope");
         };
-        self.send_kind(request.dst, request.src, PayloadKind::Reply(call_id), payload);
+        self.send_kind(
+            request.dst,
+            request.src,
+            PayloadKind::Reply(call_id),
+            payload,
+        );
     }
 
     /// Replies to an RPC request via a stored [`ReplyToken`] (deferred

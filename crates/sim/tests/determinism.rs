@@ -35,10 +35,7 @@ fn run_scenario(seed: u64, drop_prob: f64, fanout: u8) -> String {
 
     FaultPlan::new()
         .at(SimTime::from_nanos(400_000), FaultAction::Crash(nodes[2]))
-        .at(
-            SimTime::from_nanos(900_000),
-            FaultAction::Restart(nodes[2]),
-        )
+        .at(SimTime::from_nanos(900_000), FaultAction::Restart(nodes[2]))
         .at(
             SimTime::from_nanos(600_000),
             FaultAction::Partition(vec![nodes[0]], vec![nodes[3]]),

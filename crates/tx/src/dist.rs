@@ -396,7 +396,13 @@ mod tests {
         let decision_sends = sends(&decision_actions);
         assert_eq!(decision_sends.len(), 2);
         for (_, msg) in decision_sends {
-            assert_eq!(msg, &DistMsg::Decision { tx: tx(), commit: true });
+            assert_eq!(
+                msg,
+                &DistMsg::Decision {
+                    tx: tx(),
+                    commit: true
+                }
+            );
         }
 
         assert!(c.on_ack(tx(), 1).is_empty());

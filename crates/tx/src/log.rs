@@ -6,9 +6,7 @@
 //! Prepared distributed transactions are additionally logged so in-doubt
 //! participants can be resolved after a crash (see [`crate::dist`]).
 
-use flowscript_codec::{
-    frame, ByteReader, ByteWriter, CodecError, Decode, Encode, FrameReader,
-};
+use flowscript_codec::{frame, ByteReader, ByteWriter, CodecError, Decode, Encode, FrameReader};
 
 use crate::error::TxError;
 use crate::id::{ObjectUid, TxId};
@@ -207,10 +205,7 @@ mod tests {
     fn sample_commit(seq: u64) -> LogRecord {
         LogRecord::Commit {
             tx: TxId::new(0, seq),
-            writes: vec![
-                (uid("a"), Some(vec![1, 2, 3])),
-                (uid("b"), None),
-            ],
+            writes: vec![(uid("a"), Some(vec![1, 2, 3])), (uid("b"), None)],
         }
     }
 

@@ -769,10 +769,7 @@ mod tests {
             "open child must be aborted by parent commit"
         );
         // The child action is now unknown.
-        assert!(matches!(
-            mgr.commit(child),
-            Err(TxError::UnknownAction(_))
-        ));
+        assert!(matches!(mgr.commit(child), Err(TxError::UnknownAction(_))));
     }
 
     #[test]

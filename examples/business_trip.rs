@@ -22,7 +22,11 @@ use flowscript_engine::TaskBehavior as TB;
 
 fn main() -> Result<(), EngineError> {
     let mut sys = WorkflowSystem::builder().executors(4).seed(99).build();
-    sys.register_script("trip", flowscript::samples::BUSINESS_TRIP, "tripReservation")?;
+    sys.register_script(
+        "trip",
+        flowscript::samples::BUSINESS_TRIP,
+        "tripReservation",
+    )?;
 
     sys.bind_fn("refDataAcquisition", |ctx| {
         TB::outcome("acquired").with_object(
@@ -43,7 +47,10 @@ fn main() -> Result<(), EngineError> {
             .with_work(SimDuration::from_millis(90))
             .with_object(
                 "flightList",
-                ObjectVal::text("FlightList", format!("KL-1234 [{}]", ctx.input_text("tripData"))),
+                ObjectVal::text(
+                    "FlightList",
+                    format!("KL-1234 [{}]", ctx.input_text("tripData")),
+                ),
             )
     });
     sys.bind_fn("refAirlineQueryC", |ctx| {
@@ -51,7 +58,10 @@ fn main() -> Result<(), EngineError> {
             .with_work(SimDuration::from_millis(150))
             .with_object(
                 "flightList",
-                ObjectVal::text("FlightList", format!("BA-5678 [{}]", ctx.input_text("tripData"))),
+                ObjectVal::text(
+                    "FlightList",
+                    format!("BA-5678 [{}]", ctx.input_text("tripData")),
+                ),
             )
     });
 
@@ -59,7 +69,10 @@ fn main() -> Result<(), EngineError> {
         TB::outcome("reserved")
             .with_object(
                 "plane",
-                ObjectVal::text("Plane", format!("seat 12A on {}", ctx.input_text("flightList"))),
+                ObjectVal::text(
+                    "Plane",
+                    format!("seat 12A on {}", ctx.input_text("flightList")),
+                ),
             )
             .with_object("cost", ObjectVal::text("Cost", "£432"))
     });

@@ -16,7 +16,10 @@ fn main() -> Result<(), EngineError> {
     sys.bind_fn("refT1", |ctx| {
         TaskBehavior::outcome("done")
             .with_work(SimDuration::from_millis(50))
-            .with_object("out", ObjectVal::text("Data", format!("{}·t1", ctx.input_text("seed"))))
+            .with_object(
+                "out",
+                ObjectVal::text("Data", format!("{}·t1", ctx.input_text("seed"))),
+            )
     });
     sys.bind_fn("refT2", |_| {
         TaskBehavior::outcome("done")
@@ -26,7 +29,10 @@ fn main() -> Result<(), EngineError> {
     sys.bind_fn("refT3", |ctx| {
         TaskBehavior::outcome("done")
             .with_work(SimDuration::from_millis(50))
-            .with_object("out", ObjectVal::text("Data", format!("{}·t3", ctx.input_text("in"))))
+            .with_object(
+                "out",
+                ObjectVal::text("Data", format!("{}·t3", ctx.input_text("in"))),
+            )
     });
     sys.bind_fn("refT4", |ctx| {
         TaskBehavior::outcome("done")
@@ -35,7 +41,11 @@ fn main() -> Result<(), EngineError> {
                 "out",
                 ObjectVal::text(
                     "Data",
-                    format!("join({}, {})", ctx.input_text("left"), ctx.input_text("right")),
+                    format!(
+                        "join({}, {})",
+                        ctx.input_text("left"),
+                        ctx.input_text("right")
+                    ),
                 ),
             )
     });
@@ -48,13 +58,20 @@ fn main() -> Result<(), EngineError> {
         TaskBehavior::outcome("done").with_object("out", ObjectVal::text("Data", "t5"))
     });
 
-    sys.start("d1", "diamond", "main", [("seed", ObjectVal::text("Data", "s"))])?;
+    sys.start(
+        "d1",
+        "diamond",
+        "main",
+        [("seed", ObjectVal::text("Data", "s"))],
+    )?;
 
     // Upgrade t3's implementation on the fly, before it is dispatched
     // (t1 is still executing at this point).
     sys.bind_fn("refT3v2", |ctx| {
-        TaskBehavior::outcome("done")
-            .with_object("out", ObjectVal::text("Data", format!("v2({})", ctx.input_text("in"))))
+        TaskBehavior::outcome("done").with_object(
+            "out",
+            ObjectVal::text("Data", format!("v2({})", ctx.input_text("in"))),
+        )
     });
     sys.reconfigure(
         "d1",

@@ -52,7 +52,10 @@ fn main() -> Result<(), EngineError> {
     let coordinator = sys.coordinator_node();
     let executors = sys.executor_nodes().to_vec();
     let plan = FaultPlan::new()
-        .at(SimTime::from_nanos(30_000_000), FaultAction::Crash(executor0))
+        .at(
+            SimTime::from_nanos(30_000_000),
+            FaultAction::Crash(executor0),
+        )
         .at(
             SimTime::from_nanos(120_000_000),
             FaultAction::Crash(coordinator),
@@ -69,7 +72,12 @@ fn main() -> Result<(), EngineError> {
     println!("fault plan: {} scheduled failures/repairs", plan.len());
     sys.apply_faults(&plan);
 
-    sys.start("o-1", "order", "main", [("order", ObjectVal::text("Order", "order-42"))])?;
+    sys.start(
+        "o-1",
+        "order",
+        "main",
+        [("order", ObjectVal::text("Order", "order-42"))],
+    )?;
     sys.run();
 
     let outcome = sys.outcome("o-1").expect("the order survives the faults");

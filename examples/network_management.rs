@@ -45,7 +45,10 @@ fn main() -> Result<(), EngineError> {
             "resolutionReport",
             ObjectVal::text(
                 "ResolutionReport",
-                format!("rescheduled bulk transfers; kept voice ({})", ctx.input_text("serviceImpactReports")),
+                format!(
+                    "rescheduled bulk transfers; kept voice ({})",
+                    ctx.input_text("serviceImpactReports")
+                ),
             ),
         )
     });
@@ -53,7 +56,10 @@ fn main() -> Result<(), EngineError> {
         "incident-17",
         "service-impact",
         "main",
-        [("alarmsSource", ObjectVal::text("AlarmsSource", "link-7 loss, bandwidth degradation"))],
+        [(
+            "alarmsSource",
+            ObjectVal::text("AlarmsSource", "link-7 loss, bandwidth degradation"),
+        )],
     )?;
     sys.run();
     let outcome = sys.outcome("incident-17").expect("application terminates");
@@ -77,7 +83,10 @@ fn main() -> Result<(), EngineError> {
         "incident-18",
         "service-impact",
         "main",
-        [("alarmsSource", ObjectVal::text("AlarmsSource", "core router down"))],
+        [(
+            "alarmsSource",
+            ObjectVal::text("AlarmsSource", "core router down"),
+        )],
     )?;
     sys.run();
     let outcome = sys.outcome("incident-18").expect("terminates");

@@ -36,7 +36,10 @@ fn run_order(order_id: &str, in_stock: bool, seed: u64) -> Outcome {
                 .with_work(SimDuration::from_millis(40))
                 .with_object(
                     "stockInfo",
-                    ObjectVal::text("StockInfo", format!("bin-C4 for {}", ctx.input_text("order"))),
+                    ObjectVal::text(
+                        "StockInfo",
+                        format!("bin-C4 for {}", ctx.input_text("order")),
+                    ),
                 )
         } else {
             TaskBehavior::outcome("stockNotAvailable").with_work(SimDuration::from_millis(40))

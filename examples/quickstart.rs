@@ -22,8 +22,10 @@ fn main() -> Result<(), EngineError> {
     //    the paper's route to online upgrades.
     sys.bind_fn("refProduce", |ctx| {
         let seed = ctx.input_text("seed");
-        TaskBehavior::outcome("produced")
-            .with_object("message", ObjectVal::text("Message", format!("{seed}, world")))
+        TaskBehavior::outcome("produced").with_object(
+            "message",
+            ObjectVal::text("Message", format!("{seed}, world")),
+        )
     });
     sys.bind_fn("refConsume", |ctx| {
         let message = ctx.input_text("message");
@@ -33,7 +35,12 @@ fn main() -> Result<(), EngineError> {
 
     // 4. Start an instance, bind the root input set, and run the
     //    simulation to quiescence.
-    sys.start("run-1", "hello", "main", [("seed", ObjectVal::text("Message", "hello"))])?;
+    sys.start(
+        "run-1",
+        "hello",
+        "main",
+        [("seed", ObjectVal::text("Message", "hello"))],
+    )?;
     sys.run();
 
     // 5. Inspect the result.

@@ -12,10 +12,14 @@
 //! | crate | role |
 //! |---|---|
 //! | [`flowscript_core`] | the language: parser, semantic analysis, templates, formatter, DOT export, compiled schemas |
+//! | [`flowscript_plan`] | compiled execution plans: the dense, index-based IR the coordinator's hot paths run off (lowered once per script version, cached by the repository) |
 //! | [`flowscript_engine`] | the execution environment: repository + execution services, Fig. 3 task lifecycle, compound scopes, retries, recovery, dynamic reconfiguration |
 //! | [`flowscript_tx`] | Arjuna-style transactions: atomic actions, 2PL, write-ahead log, recovery, 2PC |
 //! | [`flowscript_sim`] | deterministic discrete-event simulation: nodes, faulty network, RPC, virtual time |
 //! | [`flowscript_codec`] | binary encoding, framing, checksums |
+//!
+//! (`flowscript-bench`, the seventh workspace crate, holds the
+//! per-figure benchmark workloads.)
 //!
 //! # Quick start
 //!
@@ -41,6 +45,7 @@
 pub use flowscript_codec as codec;
 pub use flowscript_core as lang;
 pub use flowscript_engine as engine;
+pub use flowscript_plan as plan;
 pub use flowscript_sim as sim;
 pub use flowscript_tx as tx;
 
@@ -52,9 +57,8 @@ pub mod prelude {
     pub use flowscript_core::schema::{compile_source, Schema};
     pub use flowscript_core::{parse, sema, Diagnostics};
     pub use flowscript_engine::{
-        EngineConfig,
-        CbState, EngineError, InstanceStatus, ObjectVal, Outcome, Reconfig, TaskBehavior,
-        WorkflowSystem,
+        CbState, EngineConfig, EngineError, InstanceStatus, ObjectVal, Outcome, Reconfig,
+        TaskBehavior, WorkflowSystem,
     };
     pub use flowscript_sim::{FaultAction, FaultPlan, SimDuration, SimTime};
 }

@@ -13,29 +13,39 @@ fn text(class: &str, value: &str) -> ObjectVal {
 #[test]
 fn many_concurrent_instances_of_different_scripts() {
     let mut sys = WorkflowSystem::builder().executors(4).seed(77).build();
-    sys.register_script("order", samples::ORDER_PROCESSING, "processOrderApplication")
-        .unwrap();
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
     sys.register_script("si", samples::SERVICE_IMPACT, "serviceImpactApplication")
         .unwrap();
 
     sys.bind_fn("refPaymentAuthorisation", |ctx| {
-        TaskBehavior::outcome("authorised")
-            .with_object("paymentInfo", ObjectVal::text("PaymentInfo", ctx.input_text("order")))
+        TaskBehavior::outcome("authorised").with_object(
+            "paymentInfo",
+            ObjectVal::text("PaymentInfo", ctx.input_text("order")),
+        )
     });
     sys.bind_fn("refCheckStock", |ctx| {
-        TaskBehavior::outcome("stockAvailable")
-            .with_object("stockInfo", ObjectVal::text("StockInfo", ctx.input_text("order")))
+        TaskBehavior::outcome("stockAvailable").with_object(
+            "stockInfo",
+            ObjectVal::text("StockInfo", ctx.input_text("order")),
+        )
     });
     sys.bind_fn("refDispatch", |ctx| {
         TaskBehavior::outcome("dispatchCompleted").with_object(
             "dispatchNote",
-            ObjectVal::text("DispatchNote", format!("note-{}", ctx.input_text("stockInfo"))),
+            ObjectVal::text(
+                "DispatchNote",
+                format!("note-{}", ctx.input_text("stockInfo")),
+            ),
         )
     });
     sys.bind_fn("refPaymentCapture", |_| TaskBehavior::outcome("done"));
     sys.bind_fn("refAlarmCorrelator", |_| {
-        TaskBehavior::outcome("foundFault")
-            .with_object("faultReport", text("FaultReport", "f"))
+        TaskBehavior::outcome("foundFault").with_object("faultReport", text("FaultReport", "f"))
     });
     sys.bind_fn("refServiceImpactAnalysis", |_| {
         TaskBehavior::outcome("foundImpacts")
@@ -66,7 +76,10 @@ fn many_concurrent_instances_of_different_scripts() {
     for i in 0..10 {
         let order = sys.outcome(&format!("order-{i}")).expect("order completes");
         assert_eq!(order.name, "orderCompleted");
-        assert_eq!(order.objects["dispatchNote"].as_text(), format!("note-o{i}"));
+        assert_eq!(
+            order.objects["dispatchNote"].as_text(),
+            format!("note-o{i}")
+        );
         let incident = sys.outcome(&format!("incident-{i}")).expect("si completes");
         assert_eq!(incident.name, "resolved");
     }
@@ -84,10 +97,15 @@ fn wide_fan_out_fan_in_topology() {
             .with_object("out", ObjectVal::text("Data", ctx.input_text("in")))
     });
     for i in 0..width {
-        sys.bind_fn(&format!("refW{i}"), move |ctx: &flowscript::engine::InvokeCtx| {
-            TaskBehavior::outcome("done")
-                .with_object("out", ObjectVal::text("Data", format!("{}:{i}", ctx.input_text("in"))))
-        });
+        sys.bind_fn(
+            &format!("refW{i}"),
+            move |ctx: &flowscript::engine::InvokeCtx| {
+                TaskBehavior::outcome("done").with_object(
+                    "out",
+                    ObjectVal::text("Data", format!("{}:{i}", ctx.input_text("in"))),
+                )
+            },
+        );
     }
     sys.bind_fn("refJoin", |ctx| {
         let joined = ctx.inputs.len();

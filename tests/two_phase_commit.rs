@@ -10,9 +10,9 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use flowscript::tx::dist::{CoordAction, Coordinator, DistMsg};
-use flowscript::tx::{ObjectUid, SharedStorage, TxManager, TxId};
 use flowscript::sim::{NodeId, SimDuration, SimTime, World};
+use flowscript::tx::dist::{CoordAction, Coordinator, DistMsg};
+use flowscript::tx::{ObjectUid, SharedStorage, TxId, TxManager};
 
 /// A participant node: a TxManager plus its message handling.
 struct Participant {
@@ -76,9 +76,14 @@ fn setup(world: &mut World, n: usize) -> Cluster {
             let mut participant = participant.borrow_mut();
             match msg {
                 DistMsg::Prepare {
-                    tx, coordinator, writes,
+                    tx,
+                    coordinator,
+                    writes,
                 } => {
-                    let yes = participant.mgr.prepare_remote(tx, coordinator, writes).is_ok();
+                    let yes = participant
+                        .mgr
+                        .prepare_remote(tx, coordinator, writes)
+                        .is_ok();
                     let vote = DistMsg::Vote {
                         tx,
                         from: envelope.dst.index() as u32,
@@ -104,10 +109,7 @@ fn setup(world: &mut World, n: usize) -> Cluster {
     // Coordinator handler: routes votes/acks/queries through the state
     // machine and performs the emitted actions.
     let harness2 = harness.clone();
-    let node_table: BTreeMap<u32, NodeId> = nodes
-        .iter()
-        .map(|n| (n.index() as u32, *n))
-        .collect();
+    let node_table: BTreeMap<u32, NodeId> = nodes.iter().map(|n| (n.index() as u32, *n)).collect();
     world.set_handler(coord_node, move |world, envelope| {
         let Ok(msg) = flowscript::codec::from_bytes::<DistMsg>(&envelope.payload) else {
             return;
@@ -162,8 +164,7 @@ fn perform(
 fn two_participants_commit_atomically() {
     let mut world = World::new(1);
     let (coord_node, harness, nodes, participants, _) = setup(&mut world, 2);
-    let node_table: BTreeMap<u32, NodeId> =
-        nodes.iter().map(|n| (n.index() as u32, *n)).collect();
+    let node_table: BTreeMap<u32, NodeId> = nodes.iter().map(|n| (n.index() as u32, *n)).collect();
 
     let tx = harness.borrow_mut().coord_mgr.mint_dist_tx();
     let writes = vec![
@@ -176,11 +177,19 @@ fn two_participants_commit_atomically() {
 
     assert_eq!(harness.borrow().done, vec![(tx, true)]);
     assert_eq!(
-        participants[0].borrow().mgr.read_committed::<u8>(&uid("a")).unwrap(),
+        participants[0]
+            .borrow()
+            .mgr
+            .read_committed::<u8>(&uid("a"))
+            .unwrap(),
         Some(1)
     );
     assert_eq!(
-        participants[1].borrow().mgr.read_committed::<u8>(&uid("b")).unwrap(),
+        participants[1]
+            .borrow()
+            .mgr
+            .read_committed::<u8>(&uid("b"))
+            .unwrap(),
         Some(2)
     );
 }
@@ -189,8 +198,7 @@ fn two_participants_commit_atomically() {
 fn conflicting_participant_vetoes_whole_transaction() {
     let mut world = World::new(2);
     let (coord_node, harness, nodes, participants, _) = setup(&mut world, 2);
-    let node_table: BTreeMap<u32, NodeId> =
-        nodes.iter().map(|n| (n.index() as u32, *n)).collect();
+    let node_table: BTreeMap<u32, NodeId> = nodes.iter().map(|n| (n.index() as u32, *n)).collect();
 
     // Participant 1 already holds a lock on `b` via a local transaction:
     // its prepare will fail and it votes no.
@@ -213,11 +221,19 @@ fn conflicting_participant_vetoes_whole_transaction() {
     assert_eq!(harness.borrow().done, vec![(tx, false)]);
     // Atomicity: neither write applied.
     assert_eq!(
-        participants[0].borrow().mgr.read_committed::<u8>(&uid("a")).unwrap(),
+        participants[0]
+            .borrow()
+            .mgr
+            .read_committed::<u8>(&uid("a"))
+            .unwrap(),
         None
     );
     assert_eq!(
-        participants[1].borrow().mgr.read_committed::<u8>(&uid("b")).unwrap(),
+        participants[1]
+            .borrow()
+            .mgr
+            .read_committed::<u8>(&uid("b"))
+            .unwrap(),
         None
     );
     participants[1].borrow_mut().mgr.abort(blocker);
@@ -227,8 +243,7 @@ fn conflicting_participant_vetoes_whole_transaction() {
 fn prepared_participant_crash_recovers_in_doubt_and_queries() {
     let mut world = World::new(3);
     let (coord_node, harness, nodes, participants, storages) = setup(&mut world, 2);
-    let node_table: BTreeMap<u32, NodeId> =
-        nodes.iter().map(|n| (n.index() as u32, *n)).collect();
+    let node_table: BTreeMap<u32, NodeId> = nodes.iter().map(|n| (n.index() as u32, *n)).collect();
 
     let tx = harness.borrow_mut().coord_mgr.mint_dist_tx();
     let writes = vec![
@@ -268,7 +283,11 @@ fn prepared_participant_crash_recovers_in_doubt_and_queries() {
     // The decision (commit, since both voted yes and the coordinator
     // persisted before sending) reached the recovered participant.
     assert_eq!(
-        participants[1].borrow().mgr.read_committed::<u8>(&uid("b")).unwrap(),
+        participants[1]
+            .borrow()
+            .mgr
+            .read_committed::<u8>(&uid("b"))
+            .unwrap(),
         Some(2),
         "in-doubt participant must learn the commit"
     );
@@ -279,8 +298,7 @@ fn prepared_participant_crash_recovers_in_doubt_and_queries() {
 fn coordinator_timeout_aborts_unresponsive_vote() {
     let mut world = World::new(4);
     let (coord_node, harness, nodes, participants, _) = setup(&mut world, 2);
-    let node_table: BTreeMap<u32, NodeId> =
-        nodes.iter().map(|n| (n.index() as u32, *n)).collect();
+    let node_table: BTreeMap<u32, NodeId> = nodes.iter().map(|n| (n.index() as u32, *n)).collect();
 
     // Participant 1 is down before the prepare arrives.
     world.crash(nodes[1]);
@@ -317,6 +335,9 @@ fn coordinator_timeout_aborts_unresponsive_vote() {
     // Participant 0 prepared, then learned the abort: nothing applied,
     // nothing in doubt, lock released.
     let p0 = &participants[0];
-    assert_eq!(p0.borrow().mgr.read_committed::<u8>(&uid("a")).unwrap(), None);
+    assert_eq!(
+        p0.borrow().mgr.read_committed::<u8>(&uid("a")).unwrap(),
+        None
+    );
     assert!(p0.borrow().mgr.in_doubt().is_empty());
 }
