@@ -1,18 +1,30 @@
-//! P2 — dispatch decisions: schema-map evaluation vs the compiled plan.
+//! P2 — dispatch decisions: schema-map evaluation vs the compiled plan
+//! vs worklist re-evaluation.
 //!
-//! The coordinator's hottest loop is the ready-task scan: after every
-//! committed fact it re-evaluates input-set satisfaction for waiting
-//! tasks and output mappings for active scopes. This bench runs that
-//! exact scan over the fig. 7 (order processing) and fig. 8 (business
-//! trip) workloads at mid-run and end-of-run fact states, twice: once
-//! interpreting the name-keyed `Schema` (`flowscript_engine::deps`,
-//! string paths formatted per probe) and once off the compiled
-//! `flowscript_plan::Plan` (interned ids, precomputed producer paths).
-//! Both scans are asserted to agree before timing starts.
+//! The coordinator's hottest loop is deciding what became runnable
+//! after a committed fact. This bench runs that decision over the
+//! fig. 7 (order processing) and fig. 8 (business trip) workloads at
+//! mid-run and end-of-run fact states, three ways:
+//!
+//! - **schema_map** — interpreting the name-keyed `Schema`
+//!   (`flowscript_engine::deps`, string paths formatted per probe),
+//! - **compiled_plan** — the PR 1 full plan scan (interned ids,
+//!   precomputed producer paths, but still re-checking *every* task
+//!   after every commit),
+//! - **worklist** — the event-driven re-evaluation: seed only the
+//!   changed task's consumers off the plan's reverse dependency edges
+//!   and re-check those.
+//!
+//! All evaluators are asserted to agree before timing starts (the
+//! worklist via a coverage check: every task a commit newly satisfies
+//! must be on the seeded agenda). A `plan_dispatch_impact.csv`
+//! comparison table (full scan vs worklist, per workload/stage) is
+//! written next to the bench output.
 
 use std::collections::BTreeMap;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowscript_bench::report::{self, ComparisonRow};
 use flowscript_core::ast::OutputKind;
 use flowscript_core::samples;
 use flowscript_core::schema::{
@@ -20,7 +32,7 @@ use flowscript_core::schema::{
 };
 use flowscript_engine::deps::{self, FactView, MemFacts};
 use flowscript_engine::ObjectVal;
-use flowscript_plan::{eval as plan_eval, Plan, PlanFacts};
+use flowscript_plan::{eval as plan_eval, Plan, PlanFacts, Probe, TaskId, Worklist};
 
 /// Adapter: the engine's in-memory fact store viewed through the
 /// plan-eval trait.
@@ -29,24 +41,21 @@ struct PlanMemFacts<'a>(&'a MemFacts);
 impl PlanFacts for PlanMemFacts<'_> {
     type Value = ObjectVal;
 
-    fn output_object(&self, producer: &str, output: &str, object: &str) -> Option<ObjectVal> {
-        self.0
-            .output_fact(producer, output)
-            .and_then(|mut objects| objects.remove(object))
+    fn fact_object(&self, probe: Probe<'_>, object: &str) -> Option<ObjectVal> {
+        let fact = if probe.is_input {
+            self.0.input_fact(probe.producer, probe.name)
+        } else {
+            self.0.output_fact(probe.producer, probe.name)
+        };
+        fact.and_then(|mut objects| objects.remove(object))
     }
 
-    fn input_object(&self, producer: &str, set: &str, object: &str) -> Option<ObjectVal> {
-        self.0
-            .input_fact(producer, set)
-            .and_then(|mut objects| objects.remove(object))
-    }
-
-    fn output_fired(&self, producer: &str, output: &str) -> bool {
-        self.0.output_fact(producer, output).is_some()
-    }
-
-    fn input_fired(&self, producer: &str, set: &str) -> bool {
-        self.0.input_fact(producer, set).is_some()
+    fn fact_fired(&self, probe: Probe<'_>) -> bool {
+        if probe.is_input {
+            self.0.input_fact(probe.producer, probe.name).is_some()
+        } else {
+            self.0.output_fact(probe.producer, probe.name).is_some()
+        }
     }
 }
 
@@ -160,6 +169,23 @@ fn scan_plan(plan: &Plan, facts: &PlanMemFacts<'_>) -> usize {
     satisfied
 }
 
+/// Worklist re-evaluation after `changed` committed a fact: only the
+/// reverse-edge consumers are re-checked.
+fn scan_worklist(plan: &Plan, changed: TaskId, facts: &PlanMemFacts<'_>) -> usize {
+    let mut worklist = Worklist::new();
+    worklist.seed_commit(plan, changed);
+    let mut satisfied = 0;
+    while let Some(id) = worklist.pop_start() {
+        if plan_eval::eval_task_inputs(plan, id, facts).is_some() {
+            satisfied += 1;
+        }
+    }
+    while let Some(id) = worklist.pop_output(plan) {
+        satisfied += plan_eval::eval_scope_outputs(plan, id, facts).len();
+    }
+    satisfied
+}
+
 struct Workload {
     label: &'static str,
     schema: Schema,
@@ -208,19 +234,69 @@ fn facts_at(workload: &Workload, rounds: usize) -> MemFacts {
     facts
 }
 
+/// Task ids satisfiable in `after` but not in `before`.
+fn newly_satisfied(plan: &Plan, before: &MemFacts, after: &MemFacts) -> Vec<TaskId> {
+    (1..plan.tasks.len() as u32)
+        .filter(|&id| {
+            plan_eval::eval_task_inputs(plan, id, &PlanMemFacts(after)).is_some()
+                && plan_eval::eval_task_inputs(plan, id, &PlanMemFacts(before)).is_none()
+        })
+        .collect()
+}
+
+/// Verifies the reverse-edge seeding is complete: for every producer,
+/// committing its first declared outcome enables only tasks on the
+/// seeded agenda.
+fn assert_worklist_covers(workload: &Workload, facts: &MemFacts) {
+    let plan = &workload.plan;
+    for (scope_path, task) in all_tasks(&workload.schema) {
+        let path = format!("{scope_path}/{}", task.name);
+        let Some(task_id) = plan.task_by_path(&path) else {
+            continue;
+        };
+        let class = workload.schema.task_class(&task.class).expect("class");
+        let Some(outcome) = class.outputs.iter().find(|o| o.kind == OutputKind::Outcome) else {
+            continue;
+        };
+        if facts.output_fact(&path, &outcome.name).is_some() {
+            continue;
+        }
+        let mut after = facts.clone();
+        after.add_output(path.clone(), outcome.name.clone(), happy_objects(outcome));
+        let enabled = newly_satisfied(plan, facts, &after);
+        let mut worklist = Worklist::new();
+        worklist.seed_commit(plan, task_id);
+        let seeded: Vec<TaskId> = std::iter::from_fn(|| worklist.pop_start()).collect();
+        for id in enabled {
+            assert!(
+                seeded.contains(&id),
+                "{}: committing {path} enables task {} but the worklist never seeds it",
+                workload.label,
+                plan.str(plan.task(id).path)
+            );
+        }
+    }
+}
+
 fn dispatch(c: &mut Criterion) {
+    let mut impact: Vec<ComparisonRow> = Vec::new();
     for workload in workloads() {
         let mut group = c.benchmark_group(format!("plan_dispatch/{}", workload.label));
         for (stage, rounds) in [("mid_run", 1), ("end_of_run", 16)] {
             let facts = facts_at(&workload, rounds);
             let plan_facts = PlanMemFacts(&facts);
-            // The two evaluators must agree before we time them.
+            // The full-scan evaluators must agree before we time them,
+            // and the worklist seeding must cover every enablement.
             assert_eq!(
                 scan_schema(&workload.schema, &facts),
                 scan_plan(&workload.plan, &plan_facts),
                 "schema and plan scans disagree on {}/{stage}",
                 workload.label
             );
+            assert_worklist_covers(&workload, &facts);
+            // Per-commit re-evaluation: one round over every producer,
+            // as the coordinator would after each commit in turn.
+            let producers: Vec<TaskId> = (1..workload.plan.tasks.len() as TaskId).collect();
             group.bench_with_input(BenchmarkId::new("schema_map", stage), &facts, |b, facts| {
                 b.iter(|| scan_schema(&workload.schema, facts))
             });
@@ -229,9 +305,58 @@ fn dispatch(c: &mut Criterion) {
                 &facts,
                 |b, facts| b.iter(|| scan_plan(&workload.plan, &PlanMemFacts(facts))),
             );
+            // One per-commit re-evaluation per iteration (the changed
+            // task rotates), directly comparable to one full scan.
+            let rotor = std::cell::Cell::new(0usize);
+            group.bench_with_input(BenchmarkId::new("worklist", stage), &facts, |b, facts| {
+                b.iter(|| {
+                    let i = rotor.get();
+                    rotor.set(i + 1);
+                    let changed = producers[i % producers.len()];
+                    scan_worklist(&workload.plan, changed, &PlanMemFacts(facts))
+                })
+            });
+            // The impact table compares per-commit work directly:
+            // full plan scan vs worklist re-evaluation for one commit
+            // (averaged over every possible changed task).
+            let full_ns = report::median_ns(15, 8, || {
+                std::hint::black_box(scan_plan(&workload.plan, &PlanMemFacts(&facts)));
+            });
+            let worklist_ns = report::median_ns(15, 8, || {
+                let total: usize = producers
+                    .iter()
+                    .map(|&p| scan_worklist(&workload.plan, p, &PlanMemFacts(&facts)))
+                    .sum();
+                std::hint::black_box(total);
+            }) / producers.len() as f64;
+            impact.push(ComparisonRow {
+                workload: format!("{}/{stage}", workload.label),
+                baseline_ns: full_ns,
+                candidate_ns: worklist_ns,
+            });
         }
         group.finish();
     }
+    for row in &impact {
+        assert!(
+            row.speedup() > 1.0,
+            "worklist re-evaluation must beat the full plan scan on {}: {:.0}ns vs {:.0}ns",
+            row.workload,
+            row.baseline_ns,
+            row.candidate_ns
+        );
+    }
+    let path = report::write_comparison_csv(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/plan_dispatch_impact.csv"
+        ),
+        "full_plan_scan",
+        "worklist",
+        &impact,
+    )
+    .expect("impact table written");
+    println!("impact table: {}", path.display());
 }
 
 criterion_group!(benches, dispatch);

@@ -6,6 +6,8 @@
 //! paper's applications and parameterised generators (chains, fans,
 //! nesting depths, redundant-source counts, random scripts).
 
+pub mod report;
+
 use std::cell::Cell;
 use std::rc::Rc;
 

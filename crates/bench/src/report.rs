@@ -1,0 +1,153 @@
+//! Benchmark comparison tables (the paper's fig. 2/fig. 6 "impact"
+//! plots, as CSV).
+//!
+//! The criterion shim prints per-benchmark medians but produces no
+//! machine-readable artifact; this module is the comparison-table
+//! generator ROADMAP asked for: feed it paired measurements (baseline
+//! vs candidate per workload) and it emits a CSV with a speedup column,
+//! ready for plotting or regression tracking.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One paired measurement: the same workload under two strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Workload label (e.g. `fig7_order/mid_run`).
+    pub workload: String,
+    /// Median nanoseconds under the baseline strategy.
+    pub baseline_ns: f64,
+    /// Median nanoseconds under the candidate strategy.
+    pub candidate_ns: f64,
+}
+
+impl ComparisonRow {
+    /// Baseline time over candidate time (>1 means the candidate wins).
+    pub fn speedup(&self) -> f64 {
+        if self.candidate_ns > 0.0 {
+            self.baseline_ns / self.candidate_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Renders the comparison table as CSV: one header naming the two
+/// strategies, one row per workload, speedup column last.
+pub fn comparison_csv(baseline: &str, candidate: &str, rows: &[ComparisonRow]) -> String {
+    let mut out = format!("workload,{baseline}_ns,{candidate}_ns,speedup\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{},{:.1},{:.1},{:.2}\n",
+            row.workload,
+            row.baseline_ns,
+            row.candidate_ns,
+            row.speedup()
+        ));
+    }
+    out
+}
+
+/// Writes the CSV next to the other bench artifacts and returns the
+/// path (printed by the bench so the table is easy to find).
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_comparison_csv(
+    path: impl AsRef<Path>,
+    baseline: &str,
+    candidate: &str,
+    rows: &[ComparisonRow],
+) -> io::Result<PathBuf> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, comparison_csv(baseline, candidate, rows))?;
+    Ok(path.to_path_buf())
+}
+
+/// Median wall-clock nanoseconds of `f` over `samples` runs (each run
+/// batched `batch` times) — the direct measurement used to fill
+/// comparison rows, independent of the criterion shim's printing.
+pub fn median_ns(samples: usize, batch: usize, mut f: impl FnMut()) -> f64 {
+    let samples = samples.max(1);
+    let batch = batch.max(1);
+    // Warm up once outside timing.
+    f();
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    timings[timings.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_header_rows_and_speedup() {
+        let rows = vec![
+            ComparisonRow {
+                workload: "fig7/mid".into(),
+                baseline_ns: 1000.0,
+                candidate_ns: 250.0,
+            },
+            ComparisonRow {
+                workload: "fig8/end".into(),
+                baseline_ns: 900.0,
+                candidate_ns: 900.0,
+            },
+        ];
+        let csv = comparison_csv("full_scan", "worklist", &rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "workload,full_scan_ns,worklist_ns,speedup");
+        assert!(
+            lines[1].starts_with("fig7/mid,1000.0,250.0,4.00"),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].ends_with("1.00"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn zero_candidate_reports_infinite_speedup() {
+        let row = ComparisonRow {
+            workload: "w".into(),
+            baseline_ns: 10.0,
+            candidate_ns: 0.0,
+        };
+        assert!(row.speedup().is_infinite());
+    }
+
+    #[test]
+    fn median_is_positive_and_stable() {
+        let ns = median_ns(5, 4, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn write_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!("fs-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("impact.csv");
+        let written = write_comparison_csv(&path, "a", "b", &[]).unwrap();
+        assert_eq!(written, path);
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .starts_with("workload,a_ns,b_ns"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -394,6 +394,12 @@ impl WorkflowSystem {
         self.coord.stats()
     }
 
+    /// Ordered dispatch decisions (the worklist/full-scan equivalence
+    /// tests compare these verbatim across evaluation modes).
+    pub fn dispatch_trace(&self) -> Vec<crate::coordinator::DispatchRecord> {
+        self.coord.dispatch_trace()
+    }
+
     /// Coordinator log size in bytes.
     pub fn log_size(&self) -> u64 {
         self.coord.log_size()

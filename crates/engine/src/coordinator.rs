@@ -16,6 +16,16 @@
 //!   number of times,
 //! - recovers all running instances from the write-ahead log after a
 //!   crash, re-dispatching whatever was in flight.
+//!
+//! Re-evaluation is **event-driven**: each committed fact seeds a
+//! [`Worklist`] from the plan's reverse dependency edges, so per-commit
+//! work scales with the fan-out of the changed task, not the instance
+//! size. The full scan survives only for instance start, crash recovery
+//! and reconfiguration (where the plan itself changes), and — in debug
+//! builds — as a quiescence oracle asserted after every drain. All fact
+//! storage runs on dense [`FactKey`]s interned per instance
+//! (the `keys::InstanceKeys` table): no commit or probe on the dispatch
+//! hot path formats a string.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -24,12 +34,12 @@ use std::rc::Rc;
 use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 use flowscript_core::ast::OutputKind;
 use flowscript_core::schema::{self, CompiledTask, Schema, TaskBody};
-use flowscript_plan::{eval as plan_eval, Plan, TaskId};
+use flowscript_plan::{eval as plan_eval, Plan, Probe, TaskId, Worklist};
 use flowscript_sim::{Envelope, EventId, NodeId, ReplyToken, SimDuration, World};
-use flowscript_tx::{ObjectUid, SharedStorage, TxManager};
+use flowscript_tx::{FactKey, FactKind, ObjectUid, SharedStorage, StoreKey, TxManager};
 
-use crate::deps::FactView;
 use crate::error::EngineError;
+use crate::keys::{cb_uid, InstanceKeys};
 use crate::msg::{EngineMsg, MarkMsg, StartTask, TaskDone, TaskResult};
 use crate::reconfig::{self, Reconfig};
 use crate::state::{CbState, TaskCb};
@@ -50,6 +60,15 @@ pub struct EngineConfig {
     pub max_repeats: u32,
     /// Write a checkpoint and compact the log every this many commits.
     pub checkpoint_every: Option<u64>,
+    /// Re-evaluate the whole scope tree after every commit instead of
+    /// the reverse-edge worklist. This is the full-scan oracle the
+    /// worklist is property-tested against (identical dispatch traces);
+    /// production runs leave it off.
+    pub full_rescan: bool,
+    /// Record every dispatch decision in an in-memory trace
+    /// ([`CoordHandle::dispatch_trace`]). Unbounded — for equivalence
+    /// tests and diagnostics only; production runs leave it off.
+    pub record_dispatches: bool,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +79,8 @@ impl Default for EngineConfig {
             dispatch_timeout: SimDuration::from_secs(30),
             max_repeats: 32,
             checkpoint_every: None,
+            full_rescan: false,
+            record_dispatches: false,
         }
     }
 }
@@ -183,6 +204,15 @@ struct InstanceMeta {
     inputs: BTreeMap<String, ObjectVal>,
     status: InstanceStatus,
     reconfig_count: u32,
+    /// The dense numeric id all of this instance's fact keys carry.
+    instance_id: u32,
+    /// The repository version the instance was started from (its "repo
+    /// pointer", together with `script`), when started via RPC.
+    version: Option<u32>,
+    /// Fingerprint of the instance's current compiled plan. Crash
+    /// recovery fetches the plan persisted under this fingerprint and
+    /// skips the front end entirely.
+    plan_fingerprint: u64,
 }
 
 impl Encode for InstanceMeta {
@@ -194,6 +224,9 @@ impl Encode for InstanceMeta {
         self.inputs.encode(w);
         self.status.encode(w);
         w.put_u32(self.reconfig_count);
+        w.put_u32(self.instance_id);
+        self.version.encode(w);
+        w.put_u64(self.plan_fingerprint);
     }
 }
 
@@ -207,6 +240,9 @@ impl Decode for InstanceMeta {
             inputs: BTreeMap::decode(r)?,
             status: InstanceStatus::decode(r)?,
             reconfig_count: r.get_u32()?,
+            instance_id: r.get_u32()?,
+            version: Option::decode(r)?,
+            plan_fingerprint: r.get_u64()?,
         })
     }
 }
@@ -228,19 +264,40 @@ pub struct CoordStats {
     pub reconfigs: u64,
     /// Instances recovered after a coordinator restart.
     pub recovered_instances: u64,
+    /// Worklist entries processed (readiness/output re-checks). The
+    /// event-driven pipeline keeps this proportional to dependency
+    /// fan-out; the full-scan oracle makes it proportional to instance
+    /// size.
+    pub evaluations: u64,
+}
+
+/// One dispatch decision, in order of occurrence (used by the
+/// worklist/full-scan equivalence tests and as a diagnostic trace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchRecord {
+    /// Instance name.
+    pub instance: String,
+    /// Dispatched task path.
+    pub path: String,
+    /// Attempt number.
+    pub attempt: u32,
 }
 
 /// Volatile per-instance runtime state (rebuilt on recovery).
 struct InstanceRt {
     /// The hierarchical schema — the input to dynamic reconfiguration.
     /// `None` until first needed: instances started from a
-    /// repository-served plan skip the front end entirely, and the
-    /// schema is recompiled from the persisted source on demand.
+    /// repository-served plan (or recovered from a persisted plan) skip
+    /// the front end entirely, and the schema is recompiled from the
+    /// persisted source on demand.
     schema: Option<Rc<Schema>>,
     /// The compiled execution plan all hot paths run off (served by the
     /// repository's plan cache, or lowered locally; re-lowered after
     /// each reconfiguration).
     plan: Rc<Plan>,
+    /// Interned storage keys: control-block uids formatted once, fact
+    /// keys precomputed per plan source (rebuilt with the plan).
+    keys: Rc<InstanceKeys>,
     bindings: BTreeMap<String, String>,
     watchdogs: BTreeMap<String, EventId>,
     /// Paths with an outstanding dispatch, scheduled retry or pending
@@ -249,23 +306,11 @@ struct InstanceRt {
 }
 
 // ---------------------------------------------------------------------
-// Object uid layout.
+// Object uid layout (cold paths; facts use dense `FactKey`s).
 // ---------------------------------------------------------------------
 
 fn meta_uid(instance: &str) -> ObjectUid {
     ObjectUid::new(format!("inst/{instance}/meta"))
-}
-
-fn cb_uid(instance: &str, path: &str) -> ObjectUid {
-    ObjectUid::new(format!("inst/{instance}/cb/{path}"))
-}
-
-fn out_uid(instance: &str, path: &str, output: &str) -> ObjectUid {
-    ObjectUid::new(format!("inst/{instance}/fact/out/{path}/{output}"))
-}
-
-fn in_uid(instance: &str, path: &str, set: &str) -> ObjectUid {
-    ObjectUid::new(format!("inst/{instance}/fact/in/{path}/{set}"))
 }
 
 fn reconfig_uid(instance: &str, n: u32) -> ObjectUid {
@@ -276,47 +321,42 @@ fn bind_uid(instance: &str, code: &str) -> ObjectUid {
     ObjectUid::new(format!("inst/{instance}/bind/{code}"))
 }
 
-/// Committed-state fact view over the transaction manager.
-struct TxFacts<'a> {
-    mgr: &'a TxManager<SharedStorage>,
-    instance: &'a str,
+/// Compiled plans persist once per fingerprint, shared by every
+/// instance running that plan; recovery decodes instead of recompiling.
+fn plan_uid(fingerprint: u64) -> ObjectUid {
+    ObjectUid::new(format!("sys/plan/{fingerprint:016x}"))
 }
 
-impl FactView for TxFacts<'_> {
-    fn output_fact(&self, path: &str, output: &str) -> Option<BTreeMap<String, ObjectVal>> {
-        self.mgr
-            .read_committed(&out_uid(self.instance, path, output))
-            .ok()
-            .flatten()
-    }
+/// The persistent instance-id allocator.
+fn instance_seq_uid() -> ObjectUid {
+    ObjectUid::new("sys/instance_seq")
+}
 
-    fn input_fact(&self, path: &str, set: &str) -> Option<BTreeMap<String, ObjectVal>> {
-        self.mgr
-            .read_committed(&in_uid(self.instance, path, set))
-            .ok()
-            .flatten()
-    }
+/// Committed-state fact view over the transaction manager: every probe
+/// resolves through the instance's interned key table to one dense-key
+/// store lookup.
+struct TxFacts<'a> {
+    mgr: &'a TxManager<SharedStorage>,
+    keys: &'a InstanceKeys,
 }
 
 impl plan_eval::PlanFacts for TxFacts<'_> {
     type Value = ObjectVal;
 
-    fn output_object(&self, producer: &str, output: &str, object: &str) -> Option<ObjectVal> {
-        self.output_fact(producer, output)
-            .and_then(|mut objects| objects.remove(object))
+    fn fact_object(&self, probe: Probe<'_>, object: &str) -> Option<ObjectVal> {
+        let key = self.keys.probe_key(&probe)?;
+        let mut fact: BTreeMap<String, ObjectVal> = self
+            .mgr
+            .read_committed_key(&StoreKey::Fact(key))
+            .ok()
+            .flatten()?;
+        fact.remove(object)
     }
 
-    fn input_object(&self, producer: &str, set: &str, object: &str) -> Option<ObjectVal> {
-        self.input_fact(producer, set)
-            .and_then(|mut objects| objects.remove(object))
-    }
-
-    fn output_fired(&self, producer: &str, output: &str) -> bool {
-        self.output_fact(producer, output).is_some()
-    }
-
-    fn input_fired(&self, producer: &str, set: &str) -> bool {
-        self.input_fact(producer, set).is_some()
+    fn fact_fired(&self, probe: Probe<'_>) -> bool {
+        self.keys
+            .probe_key(&probe)
+            .is_some_and(|key| self.mgr.exists_key(&StoreKey::Fact(key)))
     }
 }
 
@@ -342,6 +382,8 @@ pub struct Coordinator {
     storage: SharedStorage,
     instances: BTreeMap<String, InstanceRt>,
     commits: u64,
+    /// Ordered dispatch decisions (equivalence tests, diagnostics).
+    dispatch_log: Vec<DispatchRecord>,
     /// Counters, exposed via [`CoordHandle::stats`].
     pub stats: CoordStats,
 }
@@ -377,6 +419,7 @@ impl Coordinator {
             storage,
             instances: BTreeMap::new(),
             commits: 0,
+            dispatch_log: Vec::new(),
             stats: CoordStats::default(),
         })
     }
@@ -397,6 +440,11 @@ impl Coordinator {
             .read_committed(&cb_uid(instance, path))
             .ok()
             .flatten()
+    }
+
+    /// Hot-path control-block read through the interned uid table.
+    fn read_cb_id(&self, keys: &InstanceKeys, task: TaskId) -> Option<TaskCb> {
+        self.mgr.read_committed(keys.cb(task)).ok().flatten()
     }
 
     fn read_meta(&self, instance: &str) -> Option<InstanceMeta> {
@@ -458,6 +506,13 @@ impl CoordHandle {
     /// Engine counters.
     pub fn stats(&self) -> CoordStats {
         self.inner.borrow().stats
+    }
+
+    /// Ordered dispatch decisions since the coordinator opened (the
+    /// worklist/full-scan equivalence tests compare these verbatim).
+    /// Empty unless [`EngineConfig::record_dispatches`] is set.
+    pub fn dispatch_trace(&self) -> Vec<DispatchRecord> {
+        self.inner.borrow().dispatch_log.clone()
     }
 
     /// Current log size in bytes (ablation measurements).
@@ -533,7 +588,7 @@ impl CoordHandle {
                     Err(err) => Err(format!("repository unreachable: {err}")),
                     Ok(bytes) => match flowscript_codec::from_bytes::<EngineMsg>(&bytes) {
                         Ok(EngineMsg::RepoReply {
-                            result: Ok(_),
+                            result: Ok(stored_version),
                             source,
                             root,
                             plan,
@@ -548,7 +603,7 @@ impl CoordHandle {
                                 .flatten()
                                 .filter(|plan| plan.is_well_formed() && plan.verify_fingerprint());
                             handle
-                                .start_instance_with_plan(
+                                .start_instance_full(
                                     world,
                                     &instance,
                                     &script,
@@ -557,6 +612,7 @@ impl CoordHandle {
                                     &set,
                                     inputs.clone(),
                                     served,
+                                    Some(stored_version),
                                 )
                                 .map_err(|e| e.to_string())
                         }
@@ -588,7 +644,7 @@ impl CoordHandle {
         set: &str,
         inputs: BTreeMap<String, ObjectVal>,
     ) -> Result<(), EngineError> {
-        self.start_instance_with_plan(
+        self.start_instance_full(
             world,
             instance,
             script_name,
@@ -597,13 +653,14 @@ impl CoordHandle {
             set,
             inputs,
             None,
+            None,
         )
     }
 
     /// [`CoordHandle::start_instance`], optionally reusing a plan the
     /// repository already compiled for this script version.
     #[allow(clippy::too_many_arguments)]
-    fn start_instance_with_plan(
+    fn start_instance_full(
         &self,
         world: &mut World,
         instance: &str,
@@ -613,6 +670,7 @@ impl CoordHandle {
         set: &str,
         inputs: BTreeMap<String, ObjectVal>,
         served_plan: Option<Plan>,
+        version: Option<u32>,
     ) -> Result<(), EngineError> {
         // Compile-once, execute-many: a validated served plan skips the
         // whole front end here. The hierarchical schema is materialized
@@ -659,6 +717,15 @@ impl CoordHandle {
         if coordinator.instances.contains_key(instance) {
             return Err(EngineError::DuplicateInstance(instance.to_string()));
         }
+        // Allocate the dense instance id from the persistent sequence.
+        let instance_id: u32 = coordinator
+            .mgr
+            .read_committed(&instance_seq_uid())?
+            .unwrap_or(0);
+        let keys = InstanceKeys::build(&plan, instance, instance_id);
+        let root_in = keys
+            .in_key(&plan, 0, set)
+            .ok_or_else(|| EngineError::BadInputs(format!("unmapped input set `{set}`")))?;
         let meta = InstanceMeta {
             script: script_name.to_string(),
             source: source.to_string(),
@@ -667,29 +734,38 @@ impl CoordHandle {
             inputs: inputs.clone(),
             status: InstanceStatus::Running,
             reconfig_count: 0,
+            instance_id,
+            version,
+            plan_fingerprint: plan.fingerprint,
         };
         let action = coordinator.mgr.begin();
+        coordinator
+            .mgr
+            .write(&action, &instance_seq_uid(), &(instance_id + 1))?;
         coordinator.mgr.write(&action, &meta_uid(instance), &meta)?;
+        // Persist the compiled plan once per fingerprint so crash
+        // recovery decodes it instead of recompiling from source.
+        if !coordinator.mgr.exists(&plan_uid(plan.fingerprint)) {
+            coordinator
+                .mgr
+                .write(&action, &plan_uid(plan.fingerprint), &plan)?;
+        }
         // Root control block starts Active with the supplied inputs bound.
         let mut root_cb = TaskCb::new(root_path.clone());
         root_cb.transition(CbState::Active {
             set: set.to_string(),
         });
+        coordinator.mgr.write(&action, keys.cb(0), &root_cb)?;
         coordinator
             .mgr
-            .write(&action, &cb_uid(instance, &root_path), &root_cb)?;
-        coordinator
-            .mgr
-            .write(&action, &in_uid(instance, &root_path, set), &inputs)?;
+            .write_key(&action, &StoreKey::Fact(root_in), &inputs)?;
         // Every descendant starts Waiting — the plan's DFS order makes
         // this one flat scan instead of a scope-tree recursion.
-        for task in &plan.tasks[1..] {
+        for (id, task) in plan.tasks.iter().enumerate().skip(1) {
             let path = plan.str(task.path);
-            coordinator.mgr.write(
-                &action,
-                &cb_uid(instance, path),
-                &TaskCb::new(path.to_string()),
-            )?;
+            coordinator
+                .mgr
+                .write(&action, keys.cb(id as TaskId), &TaskCb::new(path))?;
         }
         coordinator.commit(action)?;
         coordinator.instances.insert(
@@ -697,6 +773,7 @@ impl CoordHandle {
             InstanceRt {
                 schema,
                 plan: Rc::new(plan),
+                keys: Rc::new(keys),
                 bindings: BTreeMap::new(),
                 watchdogs: BTreeMap::new(),
                 in_flight: BTreeSet::new(),
@@ -739,9 +816,12 @@ impl CoordHandle {
         output: &str,
     ) -> Option<BTreeMap<String, ObjectVal>> {
         let coordinator = self.inner.borrow();
+        let rt = coordinator.instances.get(instance)?;
+        let task = rt.plan.task_by_path(path)?;
+        let key = rt.keys.out_key(&rt.plan, task, output)?;
         coordinator
             .mgr
-            .read_committed(&out_uid(instance, path, output))
+            .read_committed_key(&StoreKey::Fact(key))
             .ok()
             .flatten()
     }
@@ -752,16 +832,61 @@ impl CoordHandle {
     }
 
     // -----------------------------------------------------------------
-    // Evaluation.
+    // Evaluation: the event-driven commit pipeline.
     // -----------------------------------------------------------------
 
-    /// Runs readiness evaluation to a fixpoint, then checks for
-    /// quiescence (stuck detection).
-    ///
-    /// Evaluation runs entirely off the compiled [`Plan`]: readiness
-    /// probes are id-indexed with precomputed producer paths, and scope
-    /// traversal is flat-range iteration.
+    /// The instance's plan and interned key table.
+    fn instance_ctx(&self, instance: &str) -> Option<(Rc<Plan>, Rc<InstanceKeys>)> {
+        let coordinator = self.inner.borrow();
+        let rt = coordinator.instances.get(instance)?;
+        Some((rt.plan.clone(), rt.keys.clone()))
+    }
+
+    /// Full re-evaluation: seeds every task and drains. Survives for
+    /// instance start, crash recovery and reconfiguration re-entry —
+    /// the commit paths use [`CoordHandle::evaluate_from`].
     pub fn evaluate(&self, world: &mut World, instance: &str) {
+        let Some((plan, keys)) = self.instance_ctx(instance) else {
+            return;
+        };
+        let mut worklist = Worklist::new();
+        worklist.seed_all(&plan);
+        self.drain(world, instance, &plan, &keys, worklist);
+    }
+
+    /// Event-driven re-evaluation: seeds only the consumers of the
+    /// tasks whose facts just committed (reverse dependency +
+    /// notification edges) and drains. With
+    /// [`EngineConfig::full_rescan`] set, falls back to the full-scan
+    /// oracle — the equivalence tests assert both produce identical
+    /// dispatch traces.
+    pub fn evaluate_from(&self, world: &mut World, instance: &str, changed: &[TaskId]) {
+        let Some((plan, keys)) = self.instance_ctx(instance) else {
+            return;
+        };
+        let mut worklist = Worklist::new();
+        if self.inner.borrow().config.full_rescan {
+            worklist.seed_all(&plan);
+        } else {
+            for &task in changed {
+                worklist.seed_commit(&plan, task);
+            }
+        }
+        self.drain(world, instance, &plan, &keys, worklist);
+    }
+
+    /// Pops the worklist to quiescence: all startability re-checks
+    /// first (ascending id — declaration order), then scope outputs
+    /// deepest-first. Each progress step commits one atomic action and
+    /// seeds the consumers of whatever it published.
+    fn drain(
+        &self,
+        world: &mut World,
+        instance: &str,
+        plan: &Rc<Plan>,
+        keys: &Rc<InstanceKeys>,
+        mut worklist: Worklist,
+    ) {
         loop {
             let Some(meta) = self.inner.borrow().read_meta(instance) else {
                 return;
@@ -769,77 +894,156 @@ impl CoordHandle {
             if meta.status.is_terminal() {
                 return;
             }
-            let plan = {
-                let coordinator = self.inner.borrow();
-                let Some(rt) = coordinator.instances.get(instance) else {
-                    return;
-                };
-                rt.plan.clone()
-            };
-            if !self.evaluate_scope(world, instance, &plan, 0) {
-                break;
+            if let Some(task) = worklist.pop_start() {
+                self.inner.borrow_mut().stats.evaluations += 1;
+                self.try_start(world, instance, plan, keys, task, &mut worklist);
+                continue;
             }
+            if let Some(scope) = worklist.pop_output(plan) {
+                self.inner.borrow_mut().stats.evaluations += 1;
+                self.check_scope_outputs(world, instance, plan, keys, scope, &mut worklist);
+                continue;
+            }
+            break;
         }
+        #[cfg(debug_assertions)]
+        self.assert_quiescent(instance, plan, keys);
         self.stuck_check(world, instance);
     }
 
-    /// One pass over a scope subtree; returns whether anything
-    /// progressed.
-    fn evaluate_scope(
+    /// Re-tests one task's input sets and starts it when satisfied
+    /// (dispatch for leaves, activation + compound-boundary seeding for
+    /// scopes).
+    fn try_start(
         &self,
         world: &mut World,
         instance: &str,
         plan: &Plan,
-        scope_id: TaskId,
-    ) -> bool {
-        let scope_path = plan.str(plan.task(scope_id).path);
-        let Some(scope_cb) = self.inner.borrow().read_cb(instance, scope_path) else {
-            return false;
+        keys: &InstanceKeys,
+        task_id: TaskId,
+        worklist: &mut Worklist,
+    ) {
+        let task = plan.task(task_id);
+        let Some(parent) = task.parent else {
+            return; // the root never rebinds through the start agenda
         };
-        if !matches!(scope_cb.state, CbState::Active { .. }) {
-            return false;
-        }
-        let scope_inc = scope_cb.scope_inc;
-
-        // 1. Try to start Waiting constituents.
-        for &child in plan.children(scope_id) {
-            let path = plan.str(plan.task(child).path);
-            let Some(cb) = self.inner.borrow().read_cb(instance, path) else {
-                continue;
-            };
-            if cb.state != CbState::Waiting || cb.incarnation != scope_inc {
-                continue;
+        let activation = {
+            let coordinator = self.inner.borrow();
+            let parent_cb = coordinator.read_cb_id(keys, parent);
+            let cb = coordinator.read_cb_id(keys, task_id);
+            match (parent_cb, cb) {
+                (Some(parent_cb), Some(cb))
+                    if matches!(parent_cb.state, CbState::Active { .. })
+                        && cb.state == CbState::Waiting
+                        && cb.incarnation == parent_cb.scope_inc =>
+                {
+                    let facts = TxFacts {
+                        mgr: &coordinator.mgr,
+                        keys,
+                    };
+                    plan_eval::eval_task_inputs(plan, task_id, &facts)
+                        .map(|(set, bound)| (plan.str(set).to_string(), bind_map(plan, bound)))
+                }
+                _ => None,
             }
-            let satisfied = {
-                let coordinator = self.inner.borrow();
-                let facts = TxFacts {
-                    mgr: &coordinator.mgr,
-                    instance,
-                };
-                plan_eval::eval_task_inputs(plan, child, &facts)
-                    .map(|(set, bound)| (plan.str(set).to_string(), bind_map(plan, bound)))
-            };
-            if let Some((set, bound)) = satisfied {
-                if self.activate_task(world, instance, plan, child, &set, bound) {
-                    return true;
+        };
+        if let Some((set, bound)) = activation {
+            if self.activate_task(world, instance, plan, keys, task_id, &set, bound) {
+                // The binding itself is a committed fact: consumers of
+                // this task's input sets re-check, and a fresh compound
+                // enables its constituents (the compound boundary).
+                worklist.seed_commit(plan, task_id);
+                if task.is_scope {
+                    worklist.seed_children(plan, task_id);
                 }
             }
         }
+    }
 
-        // 2. Recurse into active sub-scopes.
-        for &child in plan.children(scope_id) {
-            if plan.task(child).is_scope && self.evaluate_scope(world, instance, plan, child) {
-                return true;
+    /// Binds a satisfied input set and starts the task (dispatch for
+    /// leaves, activation for compounds). Returns whether progress was
+    /// made.
+    #[allow(clippy::too_many_arguments)]
+    fn activate_task(
+        &self,
+        world: &mut World,
+        instance: &str,
+        plan: &Plan,
+        keys: &InstanceKeys,
+        task_id: TaskId,
+        set: &str,
+        bound: BTreeMap<String, ObjectVal>,
+    ) -> bool {
+        let task = plan.task(task_id);
+        let path = plan.str(task.path);
+        let Some(in_key) = keys.in_key(plan, task_id, set) else {
+            return false;
+        };
+        let stamped: BTreeMap<String, ObjectVal> = bound;
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            let Some(mut cb) = coordinator.read_cb_id(keys, task_id) else {
+                return false;
+            };
+            let next = if task.is_scope {
+                CbState::Active {
+                    set: set.to_string(),
+                }
+            } else {
+                CbState::Executing {
+                    set: set.to_string(),
+                }
+            };
+            cb.transition(next);
+            let action = coordinator.mgr.begin();
+            let write = coordinator
+                .mgr
+                .write(&action, keys.cb(task_id), &cb)
+                .and_then(|_| {
+                    coordinator
+                        .mgr
+                        .write_key(&action, &StoreKey::Fact(in_key), &stamped)
+                });
+            if write.is_err() {
+                coordinator.mgr.abort(action);
+                return false;
+            }
+            if coordinator.commit(action).is_err() {
+                return false;
             }
         }
+        if !task.is_scope {
+            self.dispatch(world, instance, path, 0, stamped, BTreeMap::new());
+        }
+        true
+    }
 
-        // 3. Scope outputs: marks first (non-terminal), then the first
-        //    satisfied terminal output (or repeat).
+    /// Re-tests one Active scope's output mappings: at most one
+    /// progress step (a mark, a repeat, or a terminal outcome), then
+    /// the scope re-queues itself if more may fire — starts seeded by
+    /// the step run first, preserving the fixpoint precedence.
+    fn check_scope_outputs(
+        &self,
+        world: &mut World,
+        instance: &str,
+        plan: &Plan,
+        keys: &InstanceKeys,
+        scope_id: TaskId,
+        worklist: &mut Worklist,
+    ) {
+        let Some(scope_cb) = self.inner.borrow().read_cb_id(keys, scope_id) else {
+            return;
+        };
+        if !matches!(scope_cb.state, CbState::Active { .. }) {
+            return;
+        }
+        // Marks first (non-terminal), then the first satisfied terminal
+        // output (or repeat) — both in declaration order.
         let satisfied = {
             let coordinator = self.inner.borrow();
             let facts = TxFacts {
                 mgr: &coordinator.mgr,
-                instance,
+                keys,
             };
             plan_eval::eval_scope_outputs(plan, scope_id, &facts)
                 .into_iter()
@@ -857,79 +1061,32 @@ impl CoordHandle {
             if *kind == OutputKind::Mark
                 && !scope_cb.mark_emitted(name)
                 && self
-                    .emit_scope_mark(instance, scope_path, name, objects.clone())
+                    .emit_scope_mark(plan, keys, scope_id, name, objects.clone())
                     .is_ok()
             {
-                return true;
+                worklist.seed_commit(plan, scope_id);
+                worklist.push_task(plan, scope_id); // more outputs may fire
+                return;
             }
         }
         for (name, kind, objects) in satisfied {
             match kind {
                 OutputKind::Mark => {}
                 OutputKind::RepeatOutcome => {
-                    self.repeat_scope(world, instance, plan, scope_id, &name, objects);
-                    return true;
+                    self.repeat_scope(
+                        world, instance, plan, keys, scope_id, &name, objects, worklist,
+                    );
+                    return;
                 }
                 OutputKind::Outcome | OutputKind::AbortOutcome => {
-                    self.terminate_scope(world, instance, plan, scope_id, &name, kind, objects);
-                    return true;
+                    self.terminate_scope(
+                        world, instance, plan, keys, scope_id, &name, kind, objects,
+                    );
+                    worklist.seed_commit(plan, scope_id);
+                    return;
                 }
             }
         }
-        false
-    }
-
-    /// Binds a satisfied input set and starts the task (dispatch for
-    /// leaves, activation for compounds). Returns whether progress was
-    /// made.
-    fn activate_task(
-        &self,
-        world: &mut World,
-        instance: &str,
-        plan: &Plan,
-        task_id: TaskId,
-        set: &str,
-        bound: BTreeMap<String, ObjectVal>,
-    ) -> bool {
-        let task = plan.task(task_id);
-        let path = plan.str(task.path);
-        let stamped: BTreeMap<String, ObjectVal> = bound;
-        {
-            let mut coordinator = self.inner.borrow_mut();
-            let Some(mut cb) = coordinator.read_cb(instance, path) else {
-                return false;
-            };
-            let next = if task.is_scope {
-                CbState::Active {
-                    set: set.to_string(),
-                }
-            } else {
-                CbState::Executing {
-                    set: set.to_string(),
-                }
-            };
-            cb.transition(next);
-            let action = coordinator.mgr.begin();
-            let write = coordinator
-                .mgr
-                .write(&action, &cb_uid(instance, path), &cb)
-                .and_then(|_| {
-                    coordinator
-                        .mgr
-                        .write(&action, &in_uid(instance, path, set), &stamped)
-                });
-            if write.is_err() {
-                coordinator.mgr.abort(action);
-                return false;
-            }
-            if coordinator.commit(action).is_err() {
-                return false;
-            }
-        }
-        if !task.is_scope {
-            self.dispatch(world, instance, path, 0, stamped, BTreeMap::new());
-        }
-        true
     }
 
     // -----------------------------------------------------------------
@@ -954,11 +1111,12 @@ impl CoordHandle {
                 return;
             };
             let plan = rt.plan.clone();
+            let keys = rt.keys.clone();
             let Some(task_id) = plan.task_by_path(path) else {
                 return;
             };
             let task = plan.task(task_id);
-            let Some(cb) = coordinator.read_cb(instance, path) else {
+            let Some(cb) = coordinator.read_cb_id(&keys, task_id) else {
                 return;
             };
             let CbState::Executing { set } = cb.state.clone() else {
@@ -1003,6 +1161,13 @@ impl CoordHandle {
                 repeat_objects,
             });
             coordinator.stats.dispatches += 1;
+            if coordinator.config.record_dispatches {
+                coordinator.dispatch_log.push(DispatchRecord {
+                    instance: instance.to_string(),
+                    path: path.to_string(),
+                    attempt,
+                });
+            }
             (
                 coordinator.node,
                 executor,
@@ -1032,7 +1197,13 @@ impl CoordHandle {
     }
 
     fn on_task_done(&self, world: &mut World, msg: TaskDone) {
-        let current = self.inner.borrow().read_cb(&msg.instance, &msg.path);
+        let Some((plan, keys)) = self.instance_ctx(&msg.instance) else {
+            return;
+        };
+        let Some(task_id) = plan.task_by_path(&msg.path) else {
+            return;
+        };
+        let current = self.inner.borrow().read_cb_id(&keys, task_id);
         let Some(cb) = current else {
             return;
         };
@@ -1053,15 +1224,8 @@ impl CoordHandle {
                 objects,
                 redo_after,
             } => {
-                let kind = {
-                    let coordinator = self.inner.borrow();
-                    coordinator.instances.get(&msg.instance).and_then(|rt| {
-                        let plan = &rt.plan;
-                        let task_id = plan.task_by_path(&msg.path)?;
-                        let class = plan.class_of(plan.task(task_id));
-                        plan.class_output(class, &name).map(|o| o.kind)
-                    })
-                };
+                let class = plan.class_of(plan.task(task_id));
+                let kind = plan.class_output(class, &name).map(|o| o.kind);
                 let Some(kind) = kind else {
                     self.fail_task(
                         world,
@@ -1081,6 +1245,9 @@ impl CoordHandle {
                         );
                     }
                     OutputKind::Outcome | OutputKind::AbortOutcome => {
+                        let Some(out_key) = keys.out_key(&plan, task_id, &name) else {
+                            return;
+                        };
                         let stamped: BTreeMap<String, ObjectVal> = objects
                             .into_iter()
                             .map(|(k, v)| (k, v.produced_by(msg.path.clone())))
@@ -1100,11 +1267,11 @@ impl CoordHandle {
                             let action = coordinator.mgr.begin();
                             let write = coordinator
                                 .mgr
-                                .write(&action, &cb_uid(&msg.instance, &msg.path), &cb)
+                                .write(&action, keys.cb(task_id), &cb)
                                 .and_then(|_| {
-                                    coordinator.mgr.write(
+                                    coordinator.mgr.write_key(
                                         &action,
-                                        &out_uid(&msg.instance, &msg.path, &name),
+                                        &StoreKey::Fact(out_key),
                                         &stamped,
                                     )
                                 });
@@ -1117,11 +1284,11 @@ impl CoordHandle {
                             }
                         };
                         if committed {
-                            self.evaluate(world, &msg.instance);
+                            self.evaluate_from(world, &msg.instance, &[task_id]);
                         }
                     }
                     OutputKind::RepeatOutcome => {
-                        self.leaf_repeat(world, &msg, &name, redo_after);
+                        self.leaf_repeat(world, &msg, task_id, &name, redo_after);
                     }
                 }
             }
@@ -1130,13 +1297,26 @@ impl CoordHandle {
 
     /// A leaf took a repeat outcome: publish the (private) repeat fact and
     /// re-execute after the requested delay (Fig. 3's `Repeat1`).
-    fn leaf_repeat(&self, world: &mut World, msg: &TaskDone, name: &str, redo_after: SimDuration) {
+    fn leaf_repeat(
+        &self,
+        world: &mut World,
+        msg: &TaskDone,
+        task_id: TaskId,
+        name: &str,
+        redo_after: SimDuration,
+    ) {
+        let Some((plan, keys)) = self.instance_ctx(&msg.instance) else {
+            return;
+        };
         let TaskResult::Output { objects, .. } = &msg.result else {
+            return;
+        };
+        let Some(out_key) = keys.out_key(&plan, task_id, name) else {
             return;
         };
         let over_limit = {
             let mut coordinator = self.inner.borrow_mut();
-            let Some(mut cb) = coordinator.read_cb(&msg.instance, &msg.path) else {
+            let Some(mut cb) = coordinator.read_cb_id(&keys, task_id) else {
                 return;
             };
             cb.repeats += 1;
@@ -1152,13 +1332,11 @@ impl CoordHandle {
             }
             let write = coordinator
                 .mgr
-                .write(&action, &cb_uid(&msg.instance, &msg.path), &cb)
+                .write(&action, keys.cb(task_id), &cb)
                 .and_then(|_| {
-                    coordinator.mgr.write(
-                        &action,
-                        &out_uid(&msg.instance, &msg.path, name),
-                        objects,
-                    )
+                    coordinator
+                        .mgr
+                        .write_key(&action, &StoreKey::Fact(out_key), objects)
                 });
             if write.is_ok() {
                 let _ = coordinator.commit(action);
@@ -1169,27 +1347,26 @@ impl CoordHandle {
         };
         if over_limit {
             self.remove_in_flight(&msg.instance, &msg.path);
-            self.evaluate(world, &msg.instance);
+            self.evaluate_from(world, &msg.instance, &[task_id]);
             return;
         }
         // Re-dispatch with the repeat objects after the requested delay.
         let inputs = {
             let coordinator = self.inner.borrow();
-            let Some(cb) = coordinator.read_cb(&msg.instance, &msg.path) else {
+            let Some(cb) = coordinator.read_cb_id(&keys, task_id) else {
                 return;
             };
             let CbState::Executing { set } = &cb.state else {
                 return;
             };
-            coordinator
-                .mgr
-                .read_committed::<BTreeMap<String, ObjectVal>>(&in_uid(
-                    &msg.instance,
-                    &msg.path,
-                    set,
-                ))
-                .ok()
-                .flatten()
+            keys.in_key(&plan, task_id, set)
+                .and_then(|key| {
+                    coordinator
+                        .mgr
+                        .read_committed_key::<BTreeMap<String, ObjectVal>>(&StoreKey::Fact(key))
+                        .ok()
+                        .flatten()
+                })
                 .unwrap_or_default()
         };
         {
@@ -1207,12 +1384,21 @@ impl CoordHandle {
         world.schedule_node_after(node, redo_after, move |world| {
             handle.dispatch(world, &instance, &path, attempt, inputs, repeat_objects);
         });
+        // The repeat fact is committed now — consumers drawing on it
+        // (e.g. `AnyOf` alternatives) re-check immediately.
+        self.evaluate_from(world, &msg.instance, &[task_id]);
     }
 
     fn on_mark(&self, world: &mut World, msg: MarkMsg) {
+        let Some((plan, keys)) = self.instance_ctx(&msg.instance) else {
+            return;
+        };
+        let Some(task_id) = plan.task_by_path(&msg.path) else {
+            return;
+        };
         let committed = {
             let mut coordinator = self.inner.borrow_mut();
-            let Some(mut cb) = coordinator.read_cb(&msg.instance, &msg.path) else {
+            let Some(mut cb) = coordinator.read_cb_id(&keys, task_id) else {
                 return;
             };
             if !matches!(cb.state, CbState::Executing { .. })
@@ -1223,16 +1409,16 @@ impl CoordHandle {
                 return;
             }
             // The mark must be declared by the class.
-            let declared = coordinator.instances.get(&msg.instance).is_some_and(|rt| {
-                let plan = &rt.plan;
-                plan.task_by_path(&msg.path)
-                    .map(|id| plan.class_of(plan.task(id)))
-                    .and_then(|class| plan.class_output(class, &msg.mark))
-                    .is_some_and(|output| output.kind == OutputKind::Mark)
-            });
+            let class = plan.class_of(plan.task(task_id));
+            let declared = plan
+                .class_output(class, &msg.mark)
+                .is_some_and(|output| output.kind == OutputKind::Mark);
             if !declared {
                 return;
             }
+            let Some(out_key) = keys.out_key(&plan, task_id, &msg.mark) else {
+                return;
+            };
             cb.marks_emitted.push(msg.mark.clone());
             coordinator.stats.marks += 1;
             let stamped: BTreeMap<String, ObjectVal> = msg
@@ -1244,13 +1430,11 @@ impl CoordHandle {
             let action = coordinator.mgr.begin();
             let write = coordinator
                 .mgr
-                .write(&action, &cb_uid(&msg.instance, &msg.path), &cb)
+                .write(&action, keys.cb(task_id), &cb)
                 .and_then(|_| {
-                    coordinator.mgr.write(
-                        &action,
-                        &out_uid(&msg.instance, &msg.path, &msg.mark),
-                        &stamped,
-                    )
+                    coordinator
+                        .mgr
+                        .write_key(&action, &StoreKey::Fact(out_key), &stamped)
                 });
             match write {
                 Ok(()) => coordinator.commit(action).is_ok(),
@@ -1261,7 +1445,7 @@ impl CoordHandle {
             }
         };
         if committed {
-            self.evaluate(world, &msg.instance);
+            self.evaluate_from(world, &msg.instance, &[task_id]);
         }
     }
 
@@ -1340,7 +1524,14 @@ impl CoordHandle {
     fn redispatch(&self, world: &mut World, instance: &str, path: &str, attempt: u32) {
         let gathered = {
             let coordinator = self.inner.borrow();
-            let Some(cb) = coordinator.read_cb(instance, path) else {
+            let Some(rt) = coordinator.instances.get(instance) else {
+                return;
+            };
+            let (plan, keys) = (rt.plan.clone(), rt.keys.clone());
+            let Some(task_id) = plan.task_by_path(path) else {
+                return;
+            };
+            let Some(cb) = coordinator.read_cb_id(&keys, task_id) else {
                 return;
             };
             let CbState::Executing { set } = &cb.state else {
@@ -1349,32 +1540,31 @@ impl CoordHandle {
             if cb.attempt != attempt {
                 return;
             }
-            let inputs = coordinator
-                .mgr
-                .read_committed::<BTreeMap<String, ObjectVal>>(&in_uid(instance, path, set))
-                .ok()
-                .flatten()
+            let inputs = keys
+                .in_key(&plan, task_id, set)
+                .and_then(|key| {
+                    coordinator
+                        .mgr
+                        .read_committed_key::<BTreeMap<String, ObjectVal>>(&StoreKey::Fact(key))
+                        .ok()
+                        .flatten()
+                })
                 .unwrap_or_default();
             // Repeat objects (if the task had repeated) are re-readable
             // from its repeat-outcome facts.
             let mut repeat_objects = BTreeMap::new();
-            if let Some(rt) = coordinator.instances.get(instance) {
-                let plan = &rt.plan;
-                if let Some(task_id) = plan.task_by_path(path) {
-                    let class = plan.class_of(plan.task(task_id));
-                    for output in &plan.class_outputs[class.outputs.as_range()] {
-                        if output.kind == OutputKind::RepeatOutcome {
-                            if let Ok(Some(objects)) = coordinator
-                                .mgr
-                                .read_committed::<BTreeMap<String, ObjectVal>>(&out_uid(
-                                    instance,
-                                    path,
-                                    plan.str(output.name),
-                                ))
-                            {
-                                repeat_objects.extend(objects);
-                            }
-                        }
+            let class = plan.class_of(plan.task(task_id));
+            for (ordinal, output) in plan.class_outputs[class.outputs.as_range()]
+                .iter()
+                .enumerate()
+            {
+                if output.kind == OutputKind::RepeatOutcome {
+                    let key = FactKey::output(keys.instance_id, task_id, ordinal as u32);
+                    if let Ok(Some(objects)) = coordinator
+                        .mgr
+                        .read_committed_key::<BTreeMap<String, ObjectVal>>(&StoreKey::Fact(key))
+                    {
+                        repeat_objects.extend(objects);
                     }
                 }
             }
@@ -1411,7 +1601,10 @@ impl CoordHandle {
             }
         }
         self.remove_in_flight(instance, path);
-        self.evaluate(world, instance);
+        // A failure publishes no facts: nothing new can become
+        // satisfied, but the instance may now be stuck (the drain's
+        // debug oracle re-verifies quiescence).
+        self.evaluate_from(world, instance, &[]);
     }
 
     fn clear_watch(&self, world: &mut World, instance: &str, path: &str) {
@@ -1441,24 +1634,27 @@ impl CoordHandle {
 
     fn emit_scope_mark(
         &self,
-        instance: &str,
-        scope_path: &str,
+        plan: &Plan,
+        keys: &InstanceKeys,
+        scope_id: TaskId,
         mark: &str,
         objects: BTreeMap<String, ObjectVal>,
     ) -> Result<(), EngineError> {
+        let scope_path = plan.str(plan.task(scope_id).path);
+        let out_key = keys
+            .out_key(plan, scope_id, mark)
+            .ok_or_else(|| EngineError::UnknownTask(scope_path.to_string()))?;
         let mut coordinator = self.inner.borrow_mut();
-        let Some(mut cb) = coordinator.read_cb(instance, scope_path) else {
+        let Some(mut cb) = coordinator.read_cb_id(keys, scope_id) else {
             return Err(EngineError::UnknownTask(scope_path.to_string()));
         };
         cb.marks_emitted.push(mark.to_string());
         coordinator.stats.marks += 1;
         let action = coordinator.mgr.begin();
+        coordinator.mgr.write(&action, keys.cb(scope_id), &cb)?;
         coordinator
             .mgr
-            .write(&action, &cb_uid(instance, scope_path), &cb)?;
-        coordinator
-            .mgr
-            .write(&action, &out_uid(instance, scope_path, mark), &objects)?;
+            .write_key(&action, &StoreKey::Fact(out_key), &objects)?;
         coordinator.commit(action)?;
         Ok(())
     }
@@ -1469,6 +1665,7 @@ impl CoordHandle {
         world: &mut World,
         instance: &str,
         plan: &Plan,
+        keys: &InstanceKeys,
         scope_id: TaskId,
         outcome_name: &str,
         kind: OutputKind,
@@ -1476,9 +1673,12 @@ impl CoordHandle {
     ) {
         let scope_path = plan.str(plan.task(scope_id).path);
         let is_root = !scope_path.contains('/');
+        let Some(out_key) = keys.out_key(plan, scope_id, outcome_name) else {
+            return;
+        };
         {
             let mut coordinator = self.inner.borrow_mut();
-            let Some(mut cb) = coordinator.read_cb(instance, scope_path) else {
+            let Some(mut cb) = coordinator.read_cb_id(keys, scope_id) else {
                 return;
             };
             cb.transition(if kind == OutputKind::Outcome {
@@ -1493,21 +1693,17 @@ impl CoordHandle {
             let action = coordinator.mgr.begin();
             let mut ok = coordinator
                 .mgr
-                .write(&action, &cb_uid(instance, scope_path), &cb)
+                .write(&action, keys.cb(scope_id), &cb)
                 .is_ok()
                 && coordinator
                     .mgr
-                    .write(
-                        &action,
-                        &out_uid(instance, scope_path, outcome_name),
-                        &objects,
-                    )
+                    .write_key(&action, &StoreKey::Fact(out_key), &objects)
                     .is_ok();
             // Cancel every non-terminal descendant (one flat subtree
             // scan — DFS pre-order keeps descendants contiguous).
             if ok {
-                ok = cancel_descendants(&mut coordinator.mgr, &action, instance, plan, scope_id)
-                    .is_ok();
+                ok =
+                    cancel_descendants(&mut coordinator.mgr, &action, keys, plan, scope_id).is_ok();
             }
             if ok && is_root {
                 if let Some(mut meta) = coordinator.read_meta(instance) {
@@ -1563,15 +1759,20 @@ impl CoordHandle {
         world: &mut World,
         instance: &str,
         plan: &Plan,
+        keys: &InstanceKeys,
         scope_id: TaskId,
         outcome_name: &str,
         objects: BTreeMap<String, ObjectVal>,
+        worklist: &mut Worklist,
     ) {
         let scope_path = plan.str(plan.task(scope_id).path);
         let is_root = !scope_path.contains('/');
+        let Some(out_key) = keys.out_key(plan, scope_id, outcome_name) else {
+            return;
+        };
         let over_limit = {
             let mut coordinator = self.inner.borrow_mut();
-            let Some(mut cb) = coordinator.read_cb(instance, scope_path) else {
+            let Some(mut cb) = coordinator.read_cb_id(keys, scope_id) else {
                 return;
             };
             cb.repeats += 1;
@@ -1583,7 +1784,7 @@ impl CoordHandle {
                 let action = coordinator.mgr.begin();
                 let ok = coordinator
                     .mgr
-                    .write(&action, &cb_uid(instance, scope_path), &cb)
+                    .write(&action, keys.cb(scope_id), &cb)
                     .is_ok();
                 if ok {
                     let _ = coordinator.commit(action);
@@ -1600,11 +1801,7 @@ impl CoordHandle {
                 let action = coordinator.mgr.begin();
                 let mut ok = coordinator
                     .mgr
-                    .write(
-                        &action,
-                        &out_uid(instance, scope_path, outcome_name),
-                        &objects,
-                    )
+                    .write_key(&action, &StoreKey::Fact(out_key), &objects)
                     .is_ok();
                 // The compound goes back to Waiting to rebind (the root,
                 // which has no bindings, reactivates with its original
@@ -1614,35 +1811,52 @@ impl CoordHandle {
                         cb.state = CbState::Active {
                             set: meta.set.clone(),
                         };
-                        ok = ok
-                            && coordinator
-                                .mgr
-                                .write(
-                                    &action,
-                                    &in_uid(instance, scope_path, &meta.set),
-                                    &meta.inputs,
-                                )
-                                .is_ok();
+                        if let Some(in_key) = keys.in_key(plan, scope_id, &meta.set) {
+                            ok = ok
+                                && coordinator
+                                    .mgr
+                                    .write_key(&action, &StoreKey::Fact(in_key), &meta.inputs)
+                                    .is_ok();
+                        } else {
+                            ok = false;
+                        }
                     }
                 } else {
                     cb.state = CbState::Waiting;
                     // Clear own input-binding facts so the new incarnation
-                    // rebinds afresh.
-                    let prefix = format!("inst/{instance}/fact/in/{scope_path}/");
-                    for uid in coordinator.mgr.uids_with_prefix(&prefix) {
-                        ok = ok && coordinator.mgr.delete(&action, &uid).is_ok();
+                    // rebinds afresh — one range scan over the dense keys.
+                    let (lo, hi) = keys.input_fact_range(scope_id);
+                    for fact in coordinator.mgr.fact_keys_in_range(lo, hi) {
+                        ok = ok
+                            && coordinator
+                                .mgr
+                                .delete_key(&action, &StoreKey::Fact(fact))
+                                .is_ok();
                     }
                 }
                 ok = ok
                     && coordinator
                         .mgr
-                        .write(&action, &cb_uid(instance, scope_path), &cb)
+                        .write(&action, keys.cb(scope_id), &cb)
                         .is_ok();
+                if ok {
+                    // All descendant facts die with the incarnation: the
+                    // whole DFS-contiguous subtree is one key range.
+                    if let Some((lo, hi)) = keys.subtree_fact_range(plan, scope_id) {
+                        for fact in coordinator.mgr.fact_keys_in_range(lo, hi) {
+                            ok = ok
+                                && coordinator
+                                    .mgr
+                                    .delete_key(&action, &StoreKey::Fact(fact))
+                                    .is_ok();
+                        }
+                    }
+                }
                 if ok {
                     ok = reset_descendants(
                         &mut coordinator.mgr,
                         &action,
-                        instance,
+                        keys,
                         plan,
                         scope_id,
                         new_inc,
@@ -1682,16 +1896,81 @@ impl CoordHandle {
         for (_, id) in watchdogs {
             world.cancel(id);
         }
+        // Seed the re-entry: the repeat fact is a fresh commit; a reset
+        // non-root compound rebinds through the start agenda; a reset
+        // root reactivates directly, enabling its constituents.
+        worklist.seed_commit(plan, scope_id);
         if over_limit {
-            self.evaluate(world, instance);
+            return;
         }
-        // Not over limit: the caller's evaluate loop continues and the
-        // compound rebinds in the next pass.
+        if is_root {
+            worklist.seed_children(plan, scope_id);
+        } else {
+            worklist.push_task(plan, scope_id);
+        }
     }
 
     // -----------------------------------------------------------------
     // Quiescence / stuck detection.
     // -----------------------------------------------------------------
+
+    /// The full-scan oracle (debug builds): after a worklist drain, no
+    /// startable task and no satisfied unprocessed scope output may
+    /// remain — if one does, the reverse-edge seeding missed it.
+    #[cfg(debug_assertions)]
+    fn assert_quiescent(&self, instance: &str, plan: &Plan, keys: &InstanceKeys) {
+        let coordinator = self.inner.borrow();
+        let facts = TxFacts {
+            mgr: &coordinator.mgr,
+            keys,
+        };
+        for id in 1..plan.tasks.len() as TaskId {
+            let task = plan.task(id);
+            let Some(parent) = task.parent else {
+                continue;
+            };
+            let (Some(parent_cb), Some(cb)) = (
+                coordinator.read_cb_id(keys, parent),
+                coordinator.read_cb_id(keys, id),
+            ) else {
+                continue;
+            };
+            if matches!(parent_cb.state, CbState::Active { .. })
+                && cb.state == CbState::Waiting
+                && cb.incarnation == parent_cb.scope_inc
+            {
+                debug_assert!(
+                    plan_eval::eval_task_inputs(plan, id, &facts).is_none(),
+                    "worklist missed a startable task `{}` of instance `{instance}`",
+                    plan.str(task.path)
+                );
+            }
+        }
+        for id in 0..plan.tasks.len() as TaskId {
+            if !plan.task(id).is_scope {
+                continue;
+            }
+            let Some(cb) = coordinator.read_cb_id(keys, id) else {
+                continue;
+            };
+            if !matches!(cb.state, CbState::Active { .. }) {
+                continue;
+            }
+            for (out_idx, _) in plan_eval::eval_scope_outputs(plan, id, &facts) {
+                let output = &plan.outputs[out_idx];
+                let name = plan.str(output.name);
+                let missed = match output.kind {
+                    OutputKind::Mark => !cb.mark_emitted(name),
+                    _ => true,
+                };
+                debug_assert!(
+                    !missed,
+                    "worklist missed a satisfied output `{name}` of scope `{}` in `{instance}`",
+                    plan.str(plan.task(id).path)
+                );
+            }
+        }
+    }
 
     fn stuck_check(&self, world: &mut World, instance: &str) {
         let _ = world;
@@ -1709,6 +1988,7 @@ impl CoordHandle {
             return;
         }
         let plan = rt.plan.clone();
+        let keys = rt.keys.clone();
         // Quiescent but not terminated: stuck. Summarise why, using the
         // plan's satisfaction masks to say how close each waiting task
         // got.
@@ -1724,7 +2004,7 @@ impl CoordHandle {
                     CbState::Waiting => {
                         let facts = TxFacts {
                             mgr: &coordinator.mgr,
-                            instance,
+                            keys: &keys,
                         };
                         let pending = plan
                             .task_by_path(&cb.path)
@@ -1779,6 +2059,13 @@ impl CoordHandle {
 
     /// Applies a reconfiguration to a running instance atomically.
     ///
+    /// The plan is re-lowered from the mutated schema, the instance's
+    /// persisted facts are **remapped** onto the new plan's dense ids
+    /// (task ids shift when tasks are added or removed; facts whose
+    /// task or declaration vanished are deleted), and the interned key
+    /// table is rebuilt — all in the same atomic action as the op
+    /// itself.
+    ///
     /// # Errors
     ///
     /// Validation failures leave the instance untouched.
@@ -1826,15 +2113,38 @@ impl CoordHandle {
             };
             let mut schema = (*current).clone();
             let effects = reconfig::apply(&mut schema, &op)?;
+            let (old_plan, old_keys) = {
+                let rt = coordinator.instances.get(instance).expect("checked above");
+                (rt.plan.clone(), rt.keys.clone())
+            };
+            // Compile-once per structural change: the mutated schema is
+            // re-lowered and swapped in atomically with the fact remap.
+            let new_plan = Plan::lower(&schema);
+            let new_keys = InstanceKeys::build(&new_plan, instance, meta.instance_id);
 
             // Persist the op and its engine-side effects in one action.
             let action = coordinator.mgr.begin();
             let n = meta.reconfig_count;
             meta.reconfig_count += 1;
+            meta.plan_fingerprint = new_plan.fingerprint;
             coordinator
                 .mgr
                 .write(&action, &reconfig_uid(instance, n), &op)?;
             coordinator.mgr.write(&action, &meta_uid(instance), &meta)?;
+            if !coordinator.mgr.exists(&plan_uid(new_plan.fingerprint)) {
+                coordinator
+                    .mgr
+                    .write(&action, &plan_uid(new_plan.fingerprint), &new_plan)?;
+            }
+            // Move every persisted fact onto the new plan's id space.
+            remap_facts(
+                &mut coordinator.mgr,
+                &action,
+                &old_plan,
+                &old_keys,
+                &new_plan,
+                meta.instance_id,
+            )?;
             for path in &effects.new_tasks {
                 // New tasks join the current incarnation of their scope.
                 let scope_path = path.rsplit_once('/').map(|(s, _)| s).unwrap_or("");
@@ -1850,18 +2160,6 @@ impl CoordHandle {
             }
             for path in &effects.removed_tasks {
                 coordinator.mgr.delete(&action, &cb_uid(instance, path))?;
-                for uid in coordinator
-                    .mgr
-                    .uids_with_prefix(&format!("inst/{instance}/fact/out/{path}/"))
-                {
-                    coordinator.mgr.delete(&action, &uid)?;
-                }
-                for uid in coordinator
-                    .mgr
-                    .uids_with_prefix(&format!("inst/{instance}/fact/in/{path}/"))
-                {
-                    coordinator.mgr.delete(&action, &uid)?;
-                }
             }
             if let Reconfig::Rebind { code, to } = &op {
                 coordinator
@@ -1874,14 +2172,16 @@ impl CoordHandle {
                 .instances
                 .get_mut(instance)
                 .expect("checked above");
-            // Compile-once per structural change: the mutated schema is
-            // re-lowered and the plan swapped atomically with it.
-            rt.plan = Rc::new(Plan::lower(&schema));
+            rt.plan = Rc::new(new_plan);
+            rt.keys = Rc::new(new_keys);
             rt.schema = Some(Rc::new(schema));
             if let Reconfig::Rebind { code, to } = &op {
                 rt.bindings.insert(code.clone(), to.clone());
             }
         }
+        // The plan changed under the instance: reconfiguration re-enters
+        // through the full scan (new tasks and new edges have no commit
+        // to seed from).
         self.evaluate(world, instance);
         Ok(())
     }
@@ -1903,12 +2203,12 @@ impl CoordHandle {
         path: &str,
         outcome: &str,
     ) -> Result<(), EngineError> {
-        {
+        let task_id = {
             let mut coordinator = self.inner.borrow_mut();
             let Some(rt) = coordinator.instances.get(instance) else {
                 return Err(EngineError::UnknownInstance(instance.to_string()));
             };
-            let plan = rt.plan.clone();
+            let (plan, keys) = (rt.plan.clone(), rt.keys.clone());
             let Some(task_id) = plan.task_by_path(path) else {
                 return Err(EngineError::UnknownTask(path.to_string()));
             };
@@ -1922,7 +2222,10 @@ impl CoordHandle {
                     plan.str(class.name)
                 )));
             }
-            let Some(mut cb) = coordinator.read_cb(instance, path) else {
+            let out_key = keys
+                .out_key(&plan, task_id, outcome)
+                .ok_or_else(|| EngineError::UnknownTask(path.to_string()))?;
+            let Some(mut cb) = coordinator.read_cb_id(&keys, task_id) else {
                 return Err(EngineError::UnknownTask(path.to_string()));
             };
             if cb.state != CbState::Waiting {
@@ -1935,17 +2238,16 @@ impl CoordHandle {
                 outcome: outcome.to_string(),
             });
             let action = coordinator.mgr.begin();
-            coordinator
-                .mgr
-                .write(&action, &cb_uid(instance, path), &cb)?;
-            coordinator.mgr.write(
+            coordinator.mgr.write(&action, keys.cb(task_id), &cb)?;
+            coordinator.mgr.write_key(
                 &action,
-                &out_uid(instance, path, outcome),
+                &StoreKey::Fact(out_key),
                 &BTreeMap::<String, ObjectVal>::new(),
             )?;
             coordinator.commit(action)?;
-        }
-        self.evaluate(world, instance);
+            task_id
+        };
+        self.evaluate_from(world, instance, &[task_id]);
         Ok(())
     }
 
@@ -1955,6 +2257,12 @@ impl CoordHandle {
 
     /// Rebuilds all state from the write-ahead log after a restart and
     /// resumes every running instance (re-dispatching in-flight tasks).
+    ///
+    /// The compiled plan is read back from its persisted, fingerprinted
+    /// blob (written at instance start and on every reconfiguration),
+    /// so recovery skips the whole front end; recompiling from source —
+    /// replaying persisted reconfigurations — survives only as the
+    /// fallback for a missing or corrupt blob.
     pub fn recover(&self, world: &mut World) {
         let instances: Vec<String> = {
             let mut coordinator = self.inner.borrow_mut();
@@ -1983,18 +2291,40 @@ impl CoordHandle {
                     .trim_start_matches("inst/")
                     .trim_end_matches("/meta")
                     .to_string();
-                let Ok(mut schema) = schema::compile_source(&meta.source, &meta.root) else {
-                    continue;
-                };
-                // Re-apply persisted reconfigurations in order.
-                for op_uid in coordinator
+                // Fast path: decode the persisted plan (validated like
+                // any other untrusted plan) and skip the front end.
+                let cached: Option<Plan> = coordinator
                     .mgr
-                    .uids_with_prefix(&format!("inst/{name}/reconfig/"))
-                {
-                    if let Ok(Some(op)) = coordinator.mgr.read_committed::<Reconfig>(&op_uid) {
-                        let _ = reconfig::apply(&mut schema, &op);
+                    .read_committed::<Plan>(&plan_uid(meta.plan_fingerprint))
+                    .ok()
+                    .flatten()
+                    .filter(|plan| {
+                        plan.fingerprint == meta.plan_fingerprint
+                            && plan.is_well_formed()
+                            && plan.verify_fingerprint()
+                    });
+                let (plan, schema) = match cached {
+                    Some(plan) => (plan, None),
+                    None => {
+                        // Fallback: recompile and replay persisted
+                        // reconfigurations in order.
+                        let Ok(mut schema) = schema::compile_source(&meta.source, &meta.root)
+                        else {
+                            continue;
+                        };
+                        for op_uid in coordinator
+                            .mgr
+                            .uids_with_prefix(&format!("inst/{name}/reconfig/"))
+                        {
+                            if let Ok(Some(op)) =
+                                coordinator.mgr.read_committed::<Reconfig>(&op_uid)
+                            {
+                                let _ = reconfig::apply(&mut schema, &op);
+                            }
+                        }
+                        (Plan::lower(&schema), Some(Rc::new(schema)))
                     }
-                }
+                };
                 // Rebindings.
                 let mut bindings = BTreeMap::new();
                 for bind in coordinator
@@ -2009,11 +2339,13 @@ impl CoordHandle {
                         bindings.insert(code, to);
                     }
                 }
+                let keys = InstanceKeys::build(&plan, &name, meta.instance_id);
                 coordinator.instances.insert(
                     name.clone(),
                     InstanceRt {
-                        plan: Rc::new(Plan::lower(&schema)),
-                        schema: Some(Rc::new(schema)),
+                        plan: Rc::new(plan),
+                        keys: Rc::new(keys),
+                        schema,
                         bindings,
                         watchdogs: BTreeMap::new(),
                         in_flight: BTreeSet::new(),
@@ -2076,21 +2408,20 @@ impl CoordHandle {
 }
 
 /// Cancels every non-terminal descendant of a scope: one linear scan of
-/// the plan's contiguous subtree range.
+/// the plan's contiguous subtree range, through the interned cb uids.
 fn cancel_descendants(
     mgr: &mut TxManager<SharedStorage>,
     action: &flowscript_tx::AtomicAction,
-    instance: &str,
+    keys: &InstanceKeys,
     plan: &Plan,
     scope_id: TaskId,
 ) -> Result<(), EngineError> {
     for task_id in plan.subtree(scope_id) {
-        let path = plan.str(plan.task(task_id).path);
-        let uid = cb_uid(instance, path);
-        if let Some(mut cb) = mgr.read::<TaskCb>(action, &uid)? {
+        let uid = keys.cb(task_id);
+        if let Some(mut cb) = mgr.read::<TaskCb>(action, uid)? {
             if !cb.state.is_terminal() {
                 cb.transition(CbState::Cancelled);
-                mgr.write(action, &uid, &cb)?;
+                mgr.write(action, uid, &cb)?;
             }
         }
     }
@@ -2099,21 +2430,21 @@ fn cancel_descendants(
 
 /// Resets a scope's subtree for a new incarnation, bumping each nested
 /// compound's own scope incarnation so its children rebind
-/// consistently.
+/// consistently. (The subtree's facts were already range-deleted by the
+/// caller.)
 fn reset_descendants(
     mgr: &mut TxManager<SharedStorage>,
     action: &flowscript_tx::AtomicAction,
-    instance: &str,
+    keys: &InstanceKeys,
     plan: &Plan,
     scope_id: TaskId,
     incarnation: u32,
 ) -> Result<(), EngineError> {
     for &child in plan.children(scope_id) {
         let task = plan.task(child);
-        let path = plan.str(task.path);
-        let uid = cb_uid(instance, path);
+        let uid = keys.cb(child);
         let mut inner_inc = 0;
-        if let Some(mut cb) = mgr.read::<TaskCb>(action, &uid)? {
+        if let Some(mut cb) = mgr.read::<TaskCb>(action, uid)? {
             cb.reset_for_incarnation(incarnation);
             if task.is_scope {
                 // A nested compound's own scope advances too, so its
@@ -2121,18 +2452,80 @@ fn reset_descendants(
                 cb.scope_inc += 1;
                 inner_inc = cb.scope_inc;
             }
-            mgr.write(action, &uid, &cb)?;
-        }
-        // Facts of the descendant are cleared (its outputs belong to the
-        // dead incarnation).
-        for fact in mgr.uids_with_prefix(&format!("inst/{instance}/fact/out/{path}/")) {
-            mgr.delete(action, &fact)?;
-        }
-        for fact in mgr.uids_with_prefix(&format!("inst/{instance}/fact/in/{path}/")) {
-            mgr.delete(action, &fact)?;
+            mgr.write(action, uid, &cb)?;
         }
         if task.is_scope {
-            reset_descendants(mgr, action, instance, plan, child, inner_inc)?;
+            reset_descendants(mgr, action, keys, plan, child, inner_inc)?;
+        }
+    }
+    Ok(())
+}
+
+/// Resolves one old-plan fact key to its identity (producer path, fact
+/// kind, set/output name) and re-keys it under the new plan. `None`
+/// when the task or its declaration no longer exists.
+fn remap_fact_key(
+    old_plan: &Plan,
+    new_plan: &Plan,
+    key: FactKey,
+    instance_id: u32,
+) -> Option<FactKey> {
+    let old_task = old_plan.tasks.get(key.task as usize)?;
+    let path = old_plan.str(old_task.path);
+    let old_class = old_plan.class_of(old_task);
+    let new_task = new_plan.task_by_path(path)?;
+    let new_class = new_plan.class_of(new_plan.task(new_task));
+    match key.kind {
+        FactKind::Input => {
+            let sets = &old_plan.class_sets[old_class.sets.as_range()];
+            let name = old_plan.str(sets.get(key.item as usize)?.name);
+            let item = new_plan.class_set_ordinal(new_class, name)?;
+            Some(FactKey::input(instance_id, new_task, item))
+        }
+        FactKind::Output => {
+            let outputs = &old_plan.class_outputs[old_class.outputs.as_range()];
+            let name = old_plan.str(outputs.get(key.item as usize)?.name);
+            let item = new_plan.class_output_ordinal(new_class, name)?;
+            Some(FactKey::output(instance_id, new_task, item))
+        }
+    }
+}
+
+/// Moves every persisted fact of an instance from the old plan's dense
+/// id space onto the new plan's (reconfiguration shifts task ids and
+/// can remove declarations). Facts with no home in the new plan are
+/// deleted. Deletes are staged before writes so a key vacated by one
+/// move can be reoccupied by another within the same action.
+/// One staged fact move: the old key, and (unless the fact dies) its
+/// new key with the carried bytes.
+type FactMove = (FactKey, Option<(FactKey, Vec<u8>)>);
+
+fn remap_facts(
+    mgr: &mut TxManager<SharedStorage>,
+    action: &flowscript_tx::AtomicAction,
+    old_plan: &Plan,
+    old_keys: &InstanceKeys,
+    new_plan: &Plan,
+    instance_id: u32,
+) -> Result<(), EngineError> {
+    let (lo, hi) = old_keys.instance_fact_range();
+    let mut moves: Vec<FactMove> = Vec::new();
+    for key in mgr.fact_keys_in_range(lo, hi) {
+        let target = remap_fact_key(old_plan, new_plan, key, instance_id);
+        if target == Some(key) {
+            continue; // identity: nothing to do
+        }
+        let bytes = mgr
+            .read_committed_bytes(&StoreKey::Fact(key))
+            .map(<[u8]>::to_vec);
+        moves.push((key, target.zip(bytes)));
+    }
+    for (old, _) in &moves {
+        mgr.delete_key(action, &StoreKey::Fact(*old))?;
+    }
+    for (_, target) in moves {
+        if let Some((new, bytes)) = target {
+            mgr.write_key_raw(action, &StoreKey::Fact(new), bytes)?;
         }
     }
     Ok(())
@@ -2148,6 +2541,7 @@ mod tests {
         assert!(config.max_retries >= 1);
         assert!(config.max_repeats > 1);
         assert!(config.dispatch_timeout > config.retry_backoff);
+        assert!(!config.full_rescan, "production default is event-driven");
     }
 
     #[test]
@@ -2183,6 +2577,9 @@ mod tests {
             inputs: BTreeMap::from([("seed".to_string(), ObjectVal::text("C", "s"))]),
             status: InstanceStatus::Running,
             reconfig_count: 2,
+            instance_id: 7,
+            version: Some(3),
+            plan_fingerprint: 0xDEAD_BEEF,
         };
         let bytes = flowscript_codec::to_bytes(&meta);
         assert_eq!(
@@ -2212,5 +2609,28 @@ mod tests {
         assert_eq!(scope_path, "tripReservation");
         assert!(Coordinator::find_task(&schema, "tripReservation/ghost").is_none());
         assert!(Coordinator::find_task(&schema, "wrong/printTickets").is_none());
+    }
+
+    #[test]
+    fn fact_keys_remap_across_replans() {
+        // Re-lowering the same schema yields identical ids (remap is the
+        // identity), and a structurally different plan re-keys by path.
+        let schema = schema::compile_source(
+            flowscript_core::samples::ORDER_PROCESSING,
+            "processOrderApplication",
+        )
+        .unwrap();
+        let plan_a = Plan::lower(&schema);
+        let plan_b = Plan::lower(&schema);
+        let check = plan_a
+            .task_by_path("processOrderApplication/checkStock")
+            .unwrap();
+        let key = FactKey::output(5, check, 0);
+        assert_eq!(remap_fact_key(&plan_a, &plan_b, key, 5), Some(key));
+        // A key pointing past the plan resolves to nothing.
+        let bogus = FactKey::output(5, 10_000, 0);
+        assert_eq!(remap_fact_key(&plan_a, &plan_b, bogus, 5), None);
+        let bad_item = FactKey::output(5, check, 10_000);
+        assert_eq!(remap_fact_key(&plan_a, &plan_b, bad_item, 5), None);
     }
 }

@@ -1,0 +1,217 @@
+//! Per-instance interned storage keys.
+//!
+//! A live instance resolves every hot-path storage access through an
+//! [`InstanceKeys`] table built **once** at instance start (and rebuilt
+//! on reconfiguration, when the plan itself changes): control-block
+//! uids are formatted exactly once per task, and every plan dependency
+//! source gets its probed fact's dense [`FactKey`] precomputed — so a
+//! readiness probe, an output commit, a subtree cancel/reset or a stuck
+//! diagnostic never formats a string.
+
+use flowscript_plan::{Plan, PlanCond, Probe, TaskId};
+use flowscript_tx::{FactKey, ObjectUid};
+
+/// Formats a control-block uid (used once per task at table build, and
+/// by cold administrative paths).
+pub(crate) fn cb_uid(instance: &str, path: &str) -> ObjectUid {
+    ObjectUid::new(format!("inst/{instance}/cb/{path}"))
+}
+
+/// The interned key table of one live instance.
+pub(crate) struct InstanceKeys {
+    /// The instance's dense numeric id (the fact key namespace).
+    pub instance_id: u32,
+    /// Per task id: its control-block uid.
+    cb: Vec<ObjectUid>,
+    /// Per plan source index: the probed fact's key (`None` when the
+    /// producer no longer exists or the named set/output is
+    /// undeclared — a probe that can never fire).
+    source: Vec<Option<FactKey>>,
+    /// Per `any_pool` index: the `AnyOf` candidate output's key.
+    any: Vec<Option<FactKey>>,
+}
+
+impl InstanceKeys {
+    /// Builds the table for `plan` (one pass over the source pool).
+    pub fn build(plan: &Plan, instance: &str, instance_id: u32) -> Self {
+        let cb = plan
+            .tasks
+            .iter()
+            .map(|task| cb_uid(instance, plan.str(task.path)))
+            .collect();
+        let mut source = vec![None; plan.sources.len()];
+        let mut any = vec![None; plan.any_pool.len()];
+        for (idx, src) in plan.sources.iter().enumerate() {
+            let Some(producer) = src.producer else {
+                continue;
+            };
+            let class = plan.class_of(plan.task(producer));
+            match &src.cond {
+                PlanCond::Input(set) => {
+                    source[idx] = plan
+                        .class_set_ordinal_by_id(class, *set)
+                        .map(|item| FactKey::input(instance_id, producer, item));
+                }
+                PlanCond::Output(output) => {
+                    source[idx] = plan
+                        .class_output_ordinal_by_id(class, *output)
+                        .map(|item| FactKey::output(instance_id, producer, item));
+                }
+                PlanCond::AnyOf(candidates) => {
+                    for cand_idx in candidates.iter() {
+                        any[cand_idx] = plan
+                            .class_output_ordinal_by_id(class, plan.any_pool[cand_idx])
+                            .map(|item| FactKey::output(instance_id, producer, item));
+                    }
+                }
+            }
+        }
+        Self {
+            instance_id,
+            cb,
+            source,
+            any,
+        }
+    }
+
+    /// The control-block uid of a task.
+    pub fn cb(&self, task: TaskId) -> &ObjectUid {
+        &self.cb[task as usize]
+    }
+
+    /// Resolves an evaluation probe to its interned fact key — pure
+    /// index lookups, no strings touched.
+    pub fn probe_key(&self, probe: &Probe<'_>) -> Option<FactKey> {
+        match probe.candidate {
+            Some(cand) => self.any[cand as usize],
+            None => self.source[probe.source as usize],
+        }
+    }
+
+    /// The key of `task`'s output fact named `name` (commit paths; the
+    /// name arrives from the wire, so one short scan over the class's
+    /// declared outputs compares interned strings — no allocation).
+    pub fn out_key(&self, plan: &Plan, task: TaskId, name: &str) -> Option<FactKey> {
+        let class = plan.class_of(plan.task(task));
+        plan.class_output_ordinal(class, name)
+            .map(|item| FactKey::output(self.instance_id, task, item))
+    }
+
+    /// The key of `task`'s input-binding fact for set `name`.
+    pub fn in_key(&self, plan: &Plan, task: TaskId, name: &str) -> Option<FactKey> {
+        let class = plan.class_of(plan.task(task));
+        plan.class_set_ordinal(class, name)
+            .map(|item| FactKey::input(self.instance_id, task, item))
+    }
+
+    /// The inclusive key range holding `task`'s input-binding facts.
+    pub fn input_fact_range(&self, task: TaskId) -> (FactKey, FactKey) {
+        (
+            FactKey::input(self.instance_id, task, 0),
+            FactKey::input(self.instance_id, task, u32::MAX),
+        )
+    }
+
+    /// The inclusive key range holding every fact of every *strict*
+    /// descendant of `scope` — one contiguous range, because plans
+    /// number tasks in DFS pre-order. `None` for childless scopes.
+    pub fn subtree_fact_range(&self, plan: &Plan, scope: TaskId) -> Option<(FactKey, FactKey)> {
+        let end = plan.task(scope).subtree_end;
+        if end <= scope + 1 {
+            return None;
+        }
+        Some((
+            FactKey::task_first(self.instance_id, scope + 1),
+            FactKey::task_last(self.instance_id, end - 1),
+        ))
+    }
+
+    /// The inclusive key range holding every fact of the instance.
+    pub fn instance_fact_range(&self) -> (FactKey, FactKey) {
+        (
+            FactKey::instance_first(self.instance_id),
+            FactKey::instance_last(self.instance_id),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowscript_core::schema::compile_source;
+    use flowscript_tx::FactKind;
+
+    fn order_plan() -> Plan {
+        let schema = compile_source(
+            flowscript_core::samples::ORDER_PROCESSING,
+            "processOrderApplication",
+        )
+        .unwrap();
+        Plan::lower(&schema)
+    }
+
+    #[test]
+    fn every_source_of_a_live_plan_resolves() {
+        let plan = order_plan();
+        let keys = InstanceKeys::build(&plan, "i1", 3);
+        for (idx, source) in plan.sources.iter().enumerate() {
+            match &source.cond {
+                PlanCond::AnyOf(range) => {
+                    for cand in range.iter() {
+                        assert!(keys.any[cand].is_some(), "candidate {cand} unresolved");
+                    }
+                }
+                _ => assert!(keys.source[idx].is_some(), "source {idx} unresolved"),
+            }
+        }
+        for key in keys.source.iter().flatten() {
+            assert_eq!(key.instance, 3);
+        }
+    }
+
+    #[test]
+    fn write_keys_match_probe_keys() {
+        let plan = order_plan();
+        let keys = InstanceKeys::build(&plan, "i1", 0);
+        let check = plan
+            .task_by_path("processOrderApplication/checkStock")
+            .unwrap();
+        // The key the commit path writes under must be the key probes
+        // read from: find the source probing checkStock/stockAvailable.
+        let written = keys.out_key(&plan, check, "stockAvailable").unwrap();
+        assert_eq!(written.kind, FactKind::Output);
+        let probed = plan
+            .sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.producer == Some(check))
+            .filter_map(|(idx, s)| match &s.cond {
+                PlanCond::Output(name) if plan.str(*name) == "stockAvailable" => keys.source[idx],
+                _ => None,
+            })
+            .next()
+            .expect("stockAvailable is probed");
+        assert_eq!(written, probed);
+    }
+
+    #[test]
+    fn subtree_range_is_contiguous() {
+        let schema =
+            compile_source(flowscript_core::samples::BUSINESS_TRIP, "tripReservation").unwrap();
+        let plan = Plan::lower(&schema);
+        let keys = InstanceKeys::build(&plan, "t", 1);
+        let scope = plan
+            .task_by_path("tripReservation/businessReservation")
+            .unwrap();
+        let (lo, hi) = keys.subtree_fact_range(&plan, scope).unwrap();
+        assert_eq!(lo.task, scope + 1);
+        assert_eq!(hi.task, plan.task(scope).subtree_end - 1);
+        // A leaf has no descendants.
+        let leaf = plan.task_by_path("tripReservation/printTickets").unwrap();
+        assert!(keys.subtree_fact_range(&plan, leaf).is_none());
+        let (ilo, ihi) = keys.instance_fact_range();
+        assert!(ilo <= lo && hi <= ihi);
+        let (nlo, nhi) = keys.input_fact_range(scope);
+        assert!(ilo <= nlo && nhi <= ihi);
+    }
+}

@@ -57,6 +57,7 @@ pub mod deps;
 mod error;
 pub mod executor;
 pub mod impl_registry;
+mod keys;
 mod msg;
 pub mod reconfig;
 pub mod repository;
@@ -64,7 +65,7 @@ pub mod state;
 mod value;
 
 pub use api::{SystemBuilder, WorkflowSystem};
-pub use coordinator::{CoordStats, EngineConfig, InstanceStatus, Outcome};
+pub use coordinator::{CoordStats, DispatchRecord, EngineConfig, InstanceStatus, Outcome};
 pub use error::EngineError;
 pub use impl_registry::{
     Completion, ImplRegistry, InvokeCtx, MarkEmission, TaskBehavior, TaskImpl,

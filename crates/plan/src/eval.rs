@@ -1,67 +1,114 @@
-//! Plan-based dependency evaluation.
+//! Plan-based dependency evaluation and the worklist evaluator.
 //!
 //! Semantics are identical to `flowscript_engine::deps` (property-tested
 //! against it): an input set is satisfied when every object slot has an
 //! available source and every notification has fired; alternatives are
 //! tried in declaration order; the first-declared satisfied input set
 //! wins; compound outputs are evaluated in declaration order and an
-//! empty mapping never fires. The difference is mechanical: every
-//! producer path is a precomputed interned string, so a readiness probe
-//! is id arithmetic plus fact lookups — no string formatting, no scope
-//! tree walking.
+//! empty mapping never fires. The difference is mechanical: every fact
+//! probe is identified by a *plan index* ([`Probe`]) with its producer
+//! path and fact name pre-interned, so an indexed fact store resolves
+//! probes with integer lookups and a name-keyed store with borrowed
+//! strings — neither formats a string or walks the scope tree.
+//!
+//! [`Worklist`] is the event-driven half: instead of re-scanning every
+//! task after each committed fact, the coordinator seeds a worklist
+//! from the plan's reverse dependency edges ([`Plan::consumers`]) plus
+//! the compound-boundary edges (a freshly activated scope enables its
+//! constituents), and drains it to quiescence. Per-commit work then
+//! scales with the fan-out of the changed task, not the instance size.
 
-use crate::ir::{Plan, PlanCond, PlanInputSet, PlanOutput, PlanSlot, StrId, TaskId};
+use std::collections::BTreeSet;
+
+use crate::ir::{Plan, PlanCond, PlanInputSet, PlanOutput, PlanSlot, Range32, StrId, TaskId};
 
 /// Bound objects: `(slot name id, value)` pairs in declaration order.
 pub type Bound<F> = Vec<(StrId, <F as PlanFacts>::Value)>;
 
-/// Read access to published facts, keyed by absolute producer path.
+/// One fact probe, identified both densely and by name.
+///
+/// `source` (and `candidate`, for `AnyOf` conditions) pin down exactly
+/// which plan dependency edge is being tested — an indexed fact store
+/// precomputes one storage key per source index and never touches the
+/// strings. `producer` and `name` carry the same identity for
+/// name-keyed stores (tests, benches, the schema-interpreting oracle);
+/// both are borrowed from the plan's intern table, never formatted.
+#[derive(Debug, Clone, Copy)]
+pub struct Probe<'p> {
+    /// Index into [`Plan::sources`] of the probed dependency edge.
+    pub source: u32,
+    /// Index into [`Plan::any_pool`] when probing one `AnyOf` candidate.
+    pub candidate: Option<u32>,
+    /// The producing task's absolute path (interned).
+    pub producer: &'p str,
+    /// The probed input-set or output name (interned).
+    pub name: &'p str,
+    /// `true` for an input-binding fact, `false` for an output fact.
+    pub is_input: bool,
+}
+
+/// Read access to published facts.
 ///
 /// Mirrors the engine's `FactView`, but asks for one object at a time:
 /// an implementation *may* fetch just the requested entry. (The
 /// engine's tx-backed view still decodes the whole fact record and
 /// extracts one entry — teaching the store partial reads is a ROADMAP
-/// item; the plan's win here is eliminating the per-probe path
-/// formatting and scope walking around these calls.)
+/// item; the plan's win here is that probes arrive pre-resolved, so
+/// the store can go straight to a dense key.)
 pub trait PlanFacts {
     /// The object value type (the engine's `ObjectVal`).
     type Value;
 
-    /// The named object of an output fact, if that fact was published
+    /// The named object of the probed fact, if that fact was published
     /// and carries the object.
-    fn output_object(&self, producer: &str, output: &str, object: &str) -> Option<Self::Value>;
+    fn fact_object(&self, probe: Probe<'_>, object: &str) -> Option<Self::Value>;
 
-    /// The named object of an input-binding fact.
-    fn input_object(&self, producer: &str, set: &str, object: &str) -> Option<Self::Value>;
+    /// Whether the probed fact exists.
+    fn fact_fired(&self, probe: Probe<'_>) -> bool;
+}
 
-    /// Whether an output fact exists.
-    fn output_fired(&self, producer: &str, output: &str) -> bool;
-
-    /// Whether an input-binding fact exists.
-    fn input_fired(&self, producer: &str, set: &str) -> bool;
+/// Builds the probe for one source (with no `AnyOf` candidate chosen).
+fn source_probe<'p>(plan: &'p Plan, src_idx: usize, name: StrId, is_input: bool) -> Probe<'p> {
+    let source = &plan.sources[src_idx];
+    Probe {
+        source: src_idx as u32,
+        candidate: None,
+        producer: plan.str(source.producer_path),
+        name: plan.str(name),
+        is_input,
+    }
 }
 
 /// Resolves one slot: the first available alternative's value.
 pub fn resolve_slot<F: PlanFacts>(plan: &Plan, slot: &PlanSlot, facts: &F) -> Option<F::Value> {
     for src_idx in slot.sources.iter() {
         let source = &plan.sources[src_idx];
-        let producer = plan.str(source.producer_path);
         let Some(object) = source.object else {
             continue;
         };
         let object = plan.str(object);
         let value = match &source.cond {
-            PlanCond::Input(set) => facts.input_object(producer, plan.str(*set), object),
-            PlanCond::Output(output) => facts.output_object(producer, plan.str(*output), object),
+            PlanCond::Input(set) => {
+                facts.fact_object(source_probe(plan, src_idx, *set, true), object)
+            }
+            PlanCond::Output(output) => {
+                facts.fact_object(source_probe(plan, src_idx, *output, false), object)
+            }
             // Reference semantics (deps::resolve_object_source): the
             // first *fired* candidate is committed to, even when that
             // fact does not carry the object — later candidates must
             // not be consulted.
             PlanCond::AnyOf(candidates) => candidates
                 .iter()
-                .map(|cand_idx| plan.str(plan.any_pool[cand_idx]))
-                .find(|candidate| facts.output_fired(producer, candidate))
-                .and_then(|candidate| facts.output_object(producer, candidate, object)),
+                .map(|cand_idx| Probe {
+                    source: src_idx as u32,
+                    candidate: Some(cand_idx as u32),
+                    producer: plan.str(source.producer_path),
+                    name: plan.str(plan.any_pool[cand_idx]),
+                    is_input: false,
+                })
+                .find(|probe| facts.fact_fired(*probe))
+                .and_then(|probe| facts.fact_object(probe, object)),
         };
         if value.is_some() {
             return value;
@@ -71,20 +118,23 @@ pub fn resolve_slot<F: PlanFacts>(plan: &Plan, slot: &PlanSlot, facts: &F) -> Op
 }
 
 /// Whether any source of a notification has fired.
-pub fn notification_fired<F: PlanFacts>(
-    plan: &Plan,
-    sources: crate::ir::Range32,
-    facts: &F,
-) -> bool {
+pub fn notification_fired<F: PlanFacts>(plan: &Plan, sources: Range32, facts: &F) -> bool {
     sources.iter().any(|src_idx| {
         let source = &plan.sources[src_idx];
-        let producer = plan.str(source.producer_path);
         match &source.cond {
-            PlanCond::Input(set) => facts.input_fired(producer, plan.str(*set)),
-            PlanCond::Output(output) => facts.output_fired(producer, plan.str(*output)),
-            PlanCond::AnyOf(candidates) => candidates
-                .iter()
-                .any(|cand_idx| facts.output_fired(producer, plan.str(plan.any_pool[cand_idx]))),
+            PlanCond::Input(set) => facts.fact_fired(source_probe(plan, src_idx, *set, true)),
+            PlanCond::Output(output) => {
+                facts.fact_fired(source_probe(plan, src_idx, *output, false))
+            }
+            PlanCond::AnyOf(candidates) => candidates.iter().any(|cand_idx| {
+                facts.fact_fired(Probe {
+                    source: src_idx as u32,
+                    candidate: Some(cand_idx as u32),
+                    producer: plan.str(source.producer_path),
+                    name: plan.str(plan.any_pool[cand_idx]),
+                    is_input: false,
+                })
+            }),
         }
     })
 }
@@ -220,6 +270,123 @@ pub fn eval_scope_outputs<F: PlanFacts>(
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Worklist re-evaluation.
+// ---------------------------------------------------------------------
+
+/// The re-evaluation worklist driving event-driven commits.
+///
+/// Two ordered agendas:
+///
+/// - **start**: task ids whose input-set satisfaction must be
+///   re-tested (they may have become startable),
+/// - **outputs**: scope ids whose output mappings must be re-tested
+///   (a mark, repeat or terminal outcome may have become satisfied).
+///
+/// Seeding rules encode the plan's dependency structure:
+///
+/// - [`Worklist::seed_commit`]: a task published a fact (bound an
+///   input set or produced an output) — every consumer on its reverse
+///   dependency edges is re-checked; consumers that are scopes also
+///   re-check their outputs (a scope consumes either through a
+///   constituent's input set or through its own output mapping, and
+///   the edges do not distinguish the two),
+/// - [`Worklist::seed_children`]: a compound activated (or
+///   re-activated after a repeat) — the compound boundary enables its
+///   direct constituents, including those with *empty* input sets
+///   that no reverse edge will ever point at; nested compounds enable
+///   their own constituents when they activate in turn,
+/// - [`Worklist::seed_all`]: the full scan, kept for instance start,
+///   crash recovery and reconfiguration re-entry (where the plan
+///   itself changed under the instance).
+///
+/// Draining pops **all** start work before any output work (a
+/// constituent that can start must start before its scope considers
+/// terminating, matching the engine's fixpoint precedence), and output
+/// work deepest-scope-first (an inner compound's outcome feeds outer
+/// mappings).
+#[derive(Debug, Default, Clone)]
+pub struct Worklist {
+    start: BTreeSet<TaskId>,
+    outputs: BTreeSet<TaskId>,
+}
+
+impl Worklist {
+    /// An empty worklist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether no work remains.
+    pub fn is_empty(&self) -> bool {
+        self.start.is_empty() && self.outputs.is_empty()
+    }
+
+    /// Queued entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.start.len() + self.outputs.len()
+    }
+
+    /// Re-check one task's input sets (and outputs, for a scope).
+    pub fn push_task(&mut self, plan: &Plan, task: TaskId) {
+        if plan.task(task).parent.is_some() {
+            self.start.insert(task);
+        }
+        if plan.task(task).is_scope {
+            self.outputs.insert(task);
+        }
+    }
+
+    /// Seeds every consumer that may become ready now that `changed`
+    /// has published a fact (reverse dependency + notification edges).
+    pub fn seed_commit(&mut self, plan: &Plan, changed: TaskId) {
+        for &consumer in plan.consumers(changed) {
+            self.push_task(plan, consumer);
+        }
+    }
+
+    /// Seeds the compound boundary of a freshly (re)activated scope:
+    /// its direct constituents, and the scope's own outputs.
+    pub fn seed_children(&mut self, plan: &Plan, scope: TaskId) {
+        for &child in plan.children(scope) {
+            self.start.insert(child);
+        }
+        self.outputs.insert(scope);
+    }
+
+    /// Seeds everything — the full scan for instance start, recovery
+    /// and reconfiguration.
+    pub fn seed_all(&mut self, plan: &Plan) {
+        for id in 0..plan.tasks.len() as TaskId {
+            self.push_task(plan, id);
+        }
+    }
+
+    /// Next task whose input sets need re-testing (ascending id — DFS
+    /// pre-order, so declaration order within a scope).
+    pub fn pop_start(&mut self) -> Option<TaskId> {
+        let id = *self.start.iter().next()?;
+        self.start.remove(&id);
+        Some(id)
+    }
+
+    /// Next scope whose outputs need re-testing, deepest first: a
+    /// scope is deferred while any queued scope lies inside its
+    /// subtree (DFS pre-order makes that one ordered range probe).
+    pub fn pop_output(&mut self, plan: &Plan) -> Option<TaskId> {
+        let mut current = *self.outputs.iter().next()?;
+        loop {
+            let end = plan.task(current).subtree_end;
+            match self.outputs.range(current + 1..end).next() {
+                Some(&deeper) => current = deeper,
+                None => break,
+            }
+        }
+        self.outputs.remove(&current);
+        Some(current)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,26 +424,23 @@ mod tests {
     impl PlanFacts for MemFacts {
         type Value = String;
 
-        fn output_object(&self, producer: &str, output: &str, object: &str) -> Option<String> {
-            self.outputs
-                .get(&(producer.to_string(), output.to_string()))
+        fn fact_object(&self, probe: Probe<'_>, object: &str) -> Option<String> {
+            let map = if probe.is_input {
+                &self.inputs
+            } else {
+                &self.outputs
+            };
+            map.get(&(probe.producer.to_string(), probe.name.to_string()))
                 .and_then(|objects| objects.get(object).cloned())
         }
 
-        fn input_object(&self, producer: &str, set: &str, object: &str) -> Option<String> {
-            self.inputs
-                .get(&(producer.to_string(), set.to_string()))
-                .and_then(|objects| objects.get(object).cloned())
-        }
-
-        fn output_fired(&self, producer: &str, output: &str) -> bool {
-            self.outputs
-                .contains_key(&(producer.to_string(), output.to_string()))
-        }
-
-        fn input_fired(&self, producer: &str, set: &str) -> bool {
-            self.inputs
-                .contains_key(&(producer.to_string(), set.to_string()))
+        fn fact_fired(&self, probe: Probe<'_>) -> bool {
+            let map = if probe.is_input {
+                &self.inputs
+            } else {
+                &self.outputs
+            };
+            map.contains_key(&(probe.producer.to_string(), probe.name.to_string()))
         }
     }
 
@@ -380,5 +544,78 @@ mod tests {
         let consumers = plan.consumers(check);
         assert!(consumers.contains(&dispatch), "{consumers:?}");
         assert!(consumers.contains(&0), "{consumers:?}");
+    }
+
+    #[test]
+    fn worklist_seeds_consumers_and_compound_boundary() {
+        let plan = order_plan();
+        let scope = "processOrderApplication";
+        let check = plan.task_by_path(&format!("{scope}/checkStock")).unwrap();
+        let dispatch = plan.task_by_path(&format!("{scope}/dispatch")).unwrap();
+
+        let mut worklist = Worklist::new();
+        assert!(worklist.is_empty());
+        worklist.seed_commit(&plan, check);
+        // dispatch is re-checked for starting; the root (a consumer via
+        // the cancellation notification) re-checks its outputs but never
+        // its (non-existent) parent-bound input sets.
+        let mut started = Vec::new();
+        while let Some(id) = worklist.pop_start() {
+            started.push(id);
+        }
+        assert!(started.contains(&dispatch));
+        assert!(!started.contains(&0));
+        assert_eq!(worklist.pop_output(&plan), Some(0));
+        assert!(worklist.is_empty());
+
+        // Compound boundary: activation enables every direct child.
+        worklist.seed_children(&plan, 0);
+        let children: Vec<TaskId> = std::iter::from_fn(|| worklist.pop_start()).collect();
+        assert_eq!(children, plan.children(0).to_vec());
+    }
+
+    #[test]
+    fn worklist_pops_deepest_scope_outputs_first() {
+        let schema = flowscript_core::schema::compile_source(
+            flowscript_core::samples::BUSINESS_TRIP,
+            "tripReservation",
+        )
+        .unwrap();
+        let plan = Plan::lower(&schema);
+        let inner = plan
+            .task_by_path("tripReservation/businessReservation/checkFlightReservation")
+            .unwrap();
+        let mid = plan
+            .task_by_path("tripReservation/businessReservation")
+            .unwrap();
+        let mut worklist = Worklist::new();
+        worklist.push_task(&plan, 0);
+        worklist.push_task(&plan, mid);
+        worklist.push_task(&plan, inner);
+        // Drain start agenda first; output order is inner → mid → root.
+        while worklist.pop_start().is_some() {}
+        assert_eq!(worklist.pop_output(&plan), Some(inner));
+        assert_eq!(worklist.pop_output(&plan), Some(mid));
+        assert_eq!(worklist.pop_output(&plan), Some(0));
+        assert_eq!(worklist.pop_output(&plan), None);
+        assert_eq!(worklist.len(), 0);
+    }
+
+    #[test]
+    fn seed_all_covers_every_task_once() {
+        let plan = order_plan();
+        let mut worklist = Worklist::new();
+        worklist.seed_all(&plan);
+        let mut starts = 0;
+        while worklist.pop_start().is_some() {
+            starts += 1;
+        }
+        // Every non-root task is a start candidate.
+        assert_eq!(starts, plan.tasks.len() - 1);
+        let mut outputs = 0;
+        while worklist.pop_output(&plan).is_some() {
+            outputs += 1;
+        }
+        assert_eq!(outputs, plan.tasks.iter().filter(|t| t.is_scope).count());
     }
 }

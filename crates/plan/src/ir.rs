@@ -305,6 +305,43 @@ impl Plan {
             .find(|set| self.str(set.name) == name)
     }
 
+    /// The ordinal of a class's declared output by name — the dense
+    /// `item` component of a structured fact key. Stable across tasks
+    /// of the same class and across plan re-lowerings that leave the
+    /// class declaration untouched.
+    pub fn class_output_ordinal(&self, class: &PlanClass, name: &str) -> Option<u32> {
+        self.class_outputs[class.outputs.as_range()]
+            .iter()
+            .position(|output| self.str(output.name) == name)
+            .map(|i| i as u32)
+    }
+
+    /// [`Plan::class_output_ordinal`] comparing by interned id instead
+    /// of by string (both ids must come from this plan's intern table).
+    pub fn class_output_ordinal_by_id(&self, class: &PlanClass, name: StrId) -> Option<u32> {
+        self.class_outputs[class.outputs.as_range()]
+            .iter()
+            .position(|output| output.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// The ordinal of a class's input-set signature by name — the dense
+    /// `item` component of an input-binding fact key.
+    pub fn class_set_ordinal(&self, class: &PlanClass, name: &str) -> Option<u32> {
+        self.class_sets[class.sets.as_range()]
+            .iter()
+            .position(|set| self.str(set.name) == name)
+            .map(|i| i as u32)
+    }
+
+    /// [`Plan::class_set_ordinal`] comparing by interned id.
+    pub fn class_set_ordinal_by_id(&self, class: &PlanClass, name: StrId) -> Option<u32> {
+        self.class_sets[class.sets.as_range()]
+            .iter()
+            .position(|set| set.name == name)
+            .map(|i| i as u32)
+    }
+
     /// Direct children of a scope task, in declaration order.
     pub fn children(&self, id: TaskId) -> &[TaskId] {
         &self.child_pool[self.tasks[id as usize].children.as_range()]

@@ -58,7 +58,7 @@ pub mod eval;
 mod ir;
 mod lower;
 
-pub use eval::PlanFacts;
+pub use eval::{PlanFacts, Probe, Worklist};
 pub use ir::{
     ClassId, Plan, PlanClass, PlanClassOutput, PlanClassSet, PlanCond, PlanInputSet,
     PlanNotification, PlanObjectSig, PlanOutput, PlanSlot, PlanSource, PlanTask, Range32, StrId,

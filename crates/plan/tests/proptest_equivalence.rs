@@ -18,7 +18,7 @@ use flowscript_core::samples;
 use flowscript_core::schema::{compile_source, CompiledScope, CompiledTask, Schema, TaskBody};
 use flowscript_engine::deps::{self, FactView, MemFacts};
 use flowscript_engine::ObjectVal;
-use flowscript_plan::{eval as plan_eval, Plan, PlanFacts};
+use flowscript_plan::{eval as plan_eval, Plan, PlanFacts, Probe};
 use proptest::prelude::*;
 
 struct PlanMemFacts<'a>(&'a MemFacts);
@@ -26,24 +26,21 @@ struct PlanMemFacts<'a>(&'a MemFacts);
 impl PlanFacts for PlanMemFacts<'_> {
     type Value = ObjectVal;
 
-    fn output_object(&self, producer: &str, output: &str, object: &str) -> Option<ObjectVal> {
-        self.0
-            .output_fact(producer, output)
-            .and_then(|mut objects| objects.remove(object))
+    fn fact_object(&self, probe: Probe<'_>, object: &str) -> Option<ObjectVal> {
+        let fact = if probe.is_input {
+            self.0.input_fact(probe.producer, probe.name)
+        } else {
+            self.0.output_fact(probe.producer, probe.name)
+        };
+        fact.and_then(|mut objects| objects.remove(object))
     }
 
-    fn input_object(&self, producer: &str, set: &str, object: &str) -> Option<ObjectVal> {
-        self.0
-            .input_fact(producer, set)
-            .and_then(|mut objects| objects.remove(object))
-    }
-
-    fn output_fired(&self, producer: &str, output: &str) -> bool {
-        self.0.output_fact(producer, output).is_some()
-    }
-
-    fn input_fired(&self, producer: &str, set: &str) -> bool {
-        self.0.input_fact(producer, set).is_some()
+    fn fact_fired(&self, probe: Probe<'_>) -> bool {
+        if probe.is_input {
+            self.0.input_fact(probe.producer, probe.name).is_some()
+        } else {
+            self.0.output_fact(probe.producer, probe.name).is_some()
+        }
     }
 }
 

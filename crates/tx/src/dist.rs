@@ -26,7 +26,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 
-use crate::id::{ObjectUid, TxId};
+use crate::id::TxId;
+use crate::key::StoreKey;
 
 /// Messages exchanged by the 2PC roles.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,7 +39,7 @@ pub enum DistMsg {
         /// Coordinator node id (for in-doubt queries).
         coordinator: u32,
         /// The participant's share of the writes.
-        writes: Vec<(ObjectUid, Option<Vec<u8>>)>,
+        writes: Vec<(StoreKey, Option<Vec<u8>>)>,
     },
     /// Participant → coordinator: prepare verdict.
     Vote {
@@ -186,7 +187,7 @@ struct TxState {
 
 /// One participant's share of a distributed transaction's writes:
 /// `(participant node, after-images)`.
-pub type ParticipantWrites = (u32, Vec<(ObjectUid, Option<Vec<u8>>)>);
+pub type ParticipantWrites = (u32, Vec<(StoreKey, Option<Vec<u8>>)>);
 
 /// The 2PC coordinator state machine.
 ///
@@ -355,8 +356,8 @@ impl Coordinator {
 mod tests {
     use super::*;
 
-    fn uid(s: &str) -> ObjectUid {
-        ObjectUid::new(s)
+    fn uid(s: &str) -> StoreKey {
+        StoreKey::Uid(crate::id::ObjectUid::new(s))
     }
 
     fn tx() -> TxId {

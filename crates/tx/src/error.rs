@@ -1,6 +1,7 @@
 use std::fmt;
 
-use crate::id::{ObjectUid, TxId};
+use crate::id::TxId;
+use crate::key::StoreKey;
 use crate::lock::Conflict;
 
 /// Errors raised by the transaction substrate.
@@ -10,8 +11,8 @@ pub enum TxError {
     /// caller whether wait-die policy says to retry later (`Wait`) or to
     /// abort itself (`Die`).
     Lock {
-        /// The contended object.
-        uid: ObjectUid,
+        /// The contended object's key.
+        key: StoreKey,
         /// The holder that blocked us.
         holder: TxId,
         /// Wait-die verdict for the requester.
@@ -38,12 +39,12 @@ impl fmt::Display for TxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TxError::Lock {
-                uid,
+                key,
                 holder,
                 conflict,
             } => write!(
                 f,
-                "lock conflict on {uid}: held by {holder}, verdict {conflict:?}"
+                "lock conflict on {key}: held by {holder}, verdict {conflict:?}"
             ),
             TxError::UnknownAction(tx) => write!(f, "unknown or terminated action {tx}"),
             TxError::ParentTerminated(tx) => write!(f, "parent action {tx} already terminated"),
@@ -78,7 +79,7 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         let lock = TxError::Lock {
-            uid: ObjectUid::new("o"),
+            key: StoreKey::Uid(crate::id::ObjectUid::new("o")),
             holder: TxId::new(0, 1),
             conflict: Conflict::Wait,
         };

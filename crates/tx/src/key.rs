@@ -1,0 +1,281 @@
+//! Structured storage keys.
+//!
+//! The engine's dependency *facts* (published outputs and bound input
+//! sets) are by far the hottest objects in the store: every readiness
+//! probe reads one. Naming them with path strings forces a `format!`
+//! per probe and a string compare per lookup. [`FactKey`] replaces that
+//! with a dense, `Copy`, fixed-size key — instance id × task id × fact
+//! kind × item ordinal — so a probe is integer comparison and a whole
+//! subtree of facts is one contiguous key range.
+//!
+//! [`StoreKey`] unifies the two key families the store accepts: the
+//! self-describing string [`ObjectUid`]s (metadata, control blocks,
+//! reconfiguration records — anything enumerated by prefix on cold
+//! paths) and the dense [`FactKey`]s of the commit hot path. Storage,
+//! locking and the write-ahead log are all keyed by `StoreKey`.
+
+use std::fmt;
+
+use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+
+use crate::id::ObjectUid;
+
+/// Which fact family a [`FactKey`] addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FactKind {
+    /// A bound input set (the consumer-side binding record).
+    Input,
+    /// A published output (outcome, abort outcome, repeat or mark).
+    Output,
+}
+
+/// Dense key of one dependency fact.
+///
+/// `task` is the producing task's plan id and `item` the ordinal of the
+/// set or output within the task's class declaration — both assigned by
+/// the compiled plan, so a live instance never builds a string to name
+/// a fact. Ordering is `(instance, task, kind, item)`: all facts of an
+/// instance are contiguous, as are all facts of a task and (because
+/// plans number tasks in DFS pre-order) all facts of a subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FactKey {
+    /// The owning instance's numeric id.
+    pub instance: u32,
+    /// The producing task's plan id.
+    pub task: u32,
+    /// Input-binding or published-output fact.
+    pub kind: FactKind,
+    /// Ordinal of the input set / output within the task's class.
+    pub item: u32,
+}
+
+impl FactKey {
+    /// The input-binding fact of `task`'s `item`-th declared input set.
+    pub fn input(instance: u32, task: u32, item: u32) -> Self {
+        Self {
+            instance,
+            task,
+            kind: FactKind::Input,
+            item,
+        }
+    }
+
+    /// The output fact of `task`'s `item`-th declared output.
+    pub fn output(instance: u32, task: u32, item: u32) -> Self {
+        Self {
+            instance,
+            task,
+            kind: FactKind::Output,
+            item,
+        }
+    }
+
+    /// The smallest key a fact of `task` can have (range scans).
+    pub fn task_first(instance: u32, task: u32) -> Self {
+        Self::input(instance, task, 0)
+    }
+
+    /// The largest key a fact of `task` can have (range scans).
+    pub fn task_last(instance: u32, task: u32) -> Self {
+        Self::output(instance, task, u32::MAX)
+    }
+
+    /// The smallest key any fact of `instance` can have.
+    pub fn instance_first(instance: u32) -> Self {
+        Self::task_first(instance, 0)
+    }
+
+    /// The largest key any fact of `instance` can have.
+    pub fn instance_last(instance: u32) -> Self {
+        Self::task_last(instance, u32::MAX)
+    }
+}
+
+impl fmt::Display for FactKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            FactKind::Input => "in",
+            FactKind::Output => "out",
+        };
+        write!(
+            f,
+            "fact/{}/{}/{kind}/{}",
+            self.instance, self.task, self.item
+        )
+    }
+}
+
+impl Encode for FactKey {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_var_u64(u64::from(self.instance));
+        w.put_var_u64(u64::from(self.task));
+        w.put_u8(match self.kind {
+            FactKind::Input => 0,
+            FactKind::Output => 1,
+        });
+        w.put_var_u64(u64::from(self.item));
+    }
+}
+
+impl Decode for FactKey {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let instance = r.get_var_u64()? as u32;
+        let task = r.get_var_u64()? as u32;
+        let kind = match r.get_u8()? {
+            0 => FactKind::Input,
+            1 => FactKind::Output,
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    ty: "FactKind",
+                    value: u64::from(other),
+                })
+            }
+        };
+        let item = r.get_var_u64()? as u32;
+        Ok(FactKey {
+            instance,
+            task,
+            kind,
+            item,
+        })
+    }
+}
+
+/// A key into the persistent object store: either a self-describing
+/// string uid or a dense fact key.
+///
+/// String uids order before fact keys, so prefix enumeration of uids and
+/// range scans over facts each stay within their own region of the
+/// store's key space.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StoreKey {
+    /// A path-like string key (metadata, control blocks, admin records).
+    Uid(ObjectUid),
+    /// A dense fact key (the commit hot path).
+    Fact(FactKey),
+}
+
+impl StoreKey {
+    /// The uid, when this is a string key.
+    pub fn as_uid(&self) -> Option<&ObjectUid> {
+        match self {
+            StoreKey::Uid(uid) => Some(uid),
+            StoreKey::Fact(_) => None,
+        }
+    }
+
+    /// The fact key, when this is one.
+    pub fn as_fact(&self) -> Option<FactKey> {
+        match self {
+            StoreKey::Uid(_) => None,
+            StoreKey::Fact(key) => Some(*key),
+        }
+    }
+}
+
+impl fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreKey::Uid(uid) => fmt::Display::fmt(uid, f),
+            StoreKey::Fact(key) => fmt::Display::fmt(key, f),
+        }
+    }
+}
+
+impl From<ObjectUid> for StoreKey {
+    fn from(uid: ObjectUid) -> Self {
+        StoreKey::Uid(uid)
+    }
+}
+
+impl From<&ObjectUid> for StoreKey {
+    fn from(uid: &ObjectUid) -> Self {
+        StoreKey::Uid(uid.clone())
+    }
+}
+
+impl From<FactKey> for StoreKey {
+    fn from(key: FactKey) -> Self {
+        StoreKey::Fact(key)
+    }
+}
+
+impl Encode for StoreKey {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            StoreKey::Uid(uid) => {
+                w.put_u8(0);
+                uid.encode(w);
+            }
+            StoreKey::Fact(key) => {
+                w.put_u8(1);
+                key.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for StoreKey {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => StoreKey::Uid(ObjectUid::decode(r)?),
+            1 => StoreKey::Fact(FactKey::decode(r)?),
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    ty: "StoreKey",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_key_ordering_groups_instance_then_task() {
+        let a = FactKey::input(1, 2, 0);
+        let b = FactKey::output(1, 2, 0);
+        let c = FactKey::input(1, 3, 0);
+        let d = FactKey::input(2, 0, 0);
+        assert!(a < b, "inputs order before outputs of the same task");
+        assert!(b < c, "all facts of a task are contiguous");
+        assert!(c < d, "all facts of an instance are contiguous");
+        assert!(FactKey::task_first(1, 2) <= a && b <= FactKey::task_last(1, 2));
+        assert!(FactKey::instance_first(1) <= a && c <= FactKey::instance_last(1));
+    }
+
+    #[test]
+    fn uids_order_before_facts() {
+        let uid = StoreKey::from(ObjectUid::new("zzz"));
+        let fact = StoreKey::from(FactKey::input(0, 0, 0));
+        assert!(uid < fact);
+    }
+
+    #[test]
+    fn keys_roundtrip_codec() {
+        let keys = [
+            StoreKey::from(ObjectUid::new("inst/a/meta")),
+            StoreKey::from(FactKey::input(7, 3, 1)),
+            StoreKey::from(FactKey::output(u32::MAX, u32::MAX, u32::MAX)),
+        ];
+        for key in keys {
+            let bytes = flowscript_codec::to_bytes(&key);
+            assert_eq!(
+                flowscript_codec::from_bytes::<StoreKey>(&bytes).unwrap(),
+                key
+            );
+        }
+    }
+
+    #[test]
+    fn display_is_path_like() {
+        assert_eq!(FactKey::output(1, 4, 2).to_string(), "fact/1/4/out/2");
+        assert_eq!(
+            StoreKey::from(ObjectUid::new("inst/i/meta")).to_string(),
+            "inst/i/meta"
+        );
+    }
+}

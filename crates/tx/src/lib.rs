@@ -40,6 +40,7 @@
 pub mod dist;
 mod error;
 mod id;
+mod key;
 pub mod lock;
 pub mod log;
 mod manager;
@@ -47,6 +48,7 @@ pub mod storage;
 
 pub use error::TxError;
 pub use id::{Handle, ObjectUid, TxId};
+pub use key::{FactKey, FactKind, StoreKey};
 pub use lock::{Conflict, LockMode};
 pub use log::{LogRecord, Wal};
 pub use manager::{AtomicAction, TxManager};

@@ -1,7 +1,7 @@
 //! Strict two-phase locking with wait-die deadlock avoidance.
 //!
 //! The lock manager grants read (shared) and write (exclusive) locks on
-//! [`ObjectUid`]s to transactions. Locks are held until the *top-level*
+//! [`StoreKey`]s to transactions. Locks are held until the *top-level*
 //! action commits or aborts (strict 2PL), which together with redo-only
 //! logging gives serialisable, recoverable histories.
 //!
@@ -12,7 +12,8 @@
 
 use std::collections::HashMap;
 
-use crate::id::{ObjectUid, TxId};
+use crate::id::TxId;
+use crate::key::StoreKey;
 
 /// Lock compatibility modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +43,7 @@ struct LockState {
 /// The lock table.
 #[derive(Debug, Default)]
 pub struct LockManager {
-    locks: HashMap<ObjectUid, LockState>,
+    locks: HashMap<StoreKey, LockState>,
 }
 
 /// Outcome of an acquisition attempt.
@@ -65,15 +66,15 @@ impl LockManager {
         Self::default()
     }
 
-    /// Attempts to acquire `uid` in `mode` for `tx`.
+    /// Attempts to acquire `key` in `mode` for `tx`.
     ///
     /// Re-acquisition by a current holder is granted, including a
     /// read→write upgrade when `tx` is the *sole* holder.
-    pub fn acquire(&mut self, tx: TxId, uid: &ObjectUid, mode: LockMode) -> Acquired {
-        match self.locks.get_mut(uid) {
+    pub fn acquire(&mut self, tx: TxId, key: &StoreKey, mode: LockMode) -> Acquired {
+        match self.locks.get_mut(key) {
             None => {
                 self.locks.insert(
-                    uid.clone(),
+                    key.clone(),
                     LockState {
                         mode,
                         holders: vec![tx],
@@ -150,9 +151,9 @@ impl LockManager {
         }
     }
 
-    /// Whether `tx` holds a lock on `uid` in a mode at least `mode`.
-    pub fn holds(&self, tx: TxId, uid: &ObjectUid, mode: LockMode) -> bool {
-        match self.locks.get(uid) {
+    /// Whether `tx` holds a lock on `key` in a mode at least `mode`.
+    pub fn holds(&self, tx: TxId, key: &StoreKey, mode: LockMode) -> bool {
+        match self.locks.get(key) {
             None => false,
             Some(state) => {
                 state.holders.contains(&tx)
@@ -175,8 +176,8 @@ impl LockManager {
 mod tests {
     use super::*;
 
-    fn uid(s: &str) -> ObjectUid {
-        ObjectUid::new(s)
+    fn uid(s: &str) -> StoreKey {
+        StoreKey::Uid(crate::id::ObjectUid::new(s))
     }
 
     #[test]

@@ -9,7 +9,8 @@
 use flowscript_codec::{frame, ByteReader, ByteWriter, CodecError, Decode, Encode, FrameReader};
 
 use crate::error::TxError;
-use crate::id::{ObjectUid, TxId};
+use crate::id::TxId;
+use crate::key::StoreKey;
 use crate::storage::Storage;
 
 /// One durable log record.
@@ -20,13 +21,13 @@ pub enum LogRecord {
     Commit {
         /// The committing transaction.
         tx: TxId,
-        /// After-images: uid → new bytes or deletion.
-        writes: Vec<(ObjectUid, Option<Vec<u8>>)>,
+        /// After-images: key → new bytes or deletion.
+        writes: Vec<(StoreKey, Option<Vec<u8>>)>,
     },
     /// Full store snapshot; earlier records are obsolete.
     Checkpoint {
         /// Every live object and its committed bytes.
-        states: Vec<(ObjectUid, Vec<u8>)>,
+        states: Vec<(StoreKey, Vec<u8>)>,
     },
     /// A 2PC participant prepared this transaction (vote "yes" is durable).
     Prepare {
@@ -35,7 +36,7 @@ pub enum LogRecord {
         /// Coordinator node, for in-doubt resolution after recovery.
         coordinator: u32,
         /// Staged after-images, applied only on a later `Resolve{commit}`.
-        writes: Vec<(ObjectUid, Option<Vec<u8>>)>,
+        writes: Vec<(StoreKey, Option<Vec<u8>>)>,
     },
     /// Outcome of a prepared transaction.
     Resolve {
@@ -161,7 +162,7 @@ impl<S: Storage> Wal<S> {
     /// Propagates storage failures.
     pub fn rewrite_with_checkpoint(
         &mut self,
-        states: Vec<(ObjectUid, Vec<u8>)>,
+        states: Vec<(StoreKey, Vec<u8>)>,
         pending: Vec<LogRecord>,
     ) -> Result<(), TxError> {
         let old_len = self.storage.len();
@@ -198,8 +199,8 @@ mod tests {
     use super::*;
     use crate::storage::MemStorage;
 
-    fn uid(s: &str) -> ObjectUid {
-        ObjectUid::new(s)
+    fn uid(s: &str) -> StoreKey {
+        StoreKey::Uid(crate::id::ObjectUid::new(s))
     }
 
     fn sample_commit(seq: u64) -> LogRecord {

@@ -1,9 +1,11 @@
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
 
 use flowscript_codec::{Decode, Encode};
 
 use crate::error::TxError;
 use crate::id::{Handle, ObjectUid, TxId};
+use crate::key::{FactKey, StoreKey};
 use crate::lock::{Acquired, LockManager, LockMode};
 use crate::log::{LogRecord, Wal};
 use crate::storage::{SharedStorage, Storage};
@@ -39,25 +41,25 @@ impl AtomicAction {
 #[derive(Debug, Default)]
 struct Workspace {
     /// Staged after-images; `None` marks a deletion.
-    writes: HashMap<ObjectUid, Option<Vec<u8>>>,
+    writes: HashMap<StoreKey, Option<Vec<u8>>>,
     /// First-write order, for deterministic log records.
-    order: Vec<ObjectUid>,
+    order: Vec<StoreKey>,
 }
 
 impl Workspace {
-    fn stage(&mut self, uid: ObjectUid, value: Option<Vec<u8>>) {
-        if !self.writes.contains_key(&uid) {
-            self.order.push(uid.clone());
+    fn stage(&mut self, key: StoreKey, value: Option<Vec<u8>>) {
+        if !self.writes.contains_key(&key) {
+            self.order.push(key.clone());
         }
-        self.writes.insert(uid, value);
+        self.writes.insert(key, value);
     }
 
-    fn into_ordered(mut self) -> Vec<(ObjectUid, Option<Vec<u8>>)> {
+    fn into_ordered(mut self) -> Vec<(StoreKey, Option<Vec<u8>>)> {
         self.order
             .drain(..)
-            .map(|uid| {
-                let value = self.writes.remove(&uid).expect("ordered uid staged");
-                (uid, value)
+            .map(|key| {
+                let value = self.writes.remove(&key).expect("ordered key staged");
+                (key, value)
             })
             .collect()
     }
@@ -73,7 +75,7 @@ struct ActiveTx {
 #[derive(Debug)]
 struct PreparedTx {
     coordinator: u32,
-    writes: Vec<(ObjectUid, Option<Vec<u8>>)>,
+    writes: Vec<(StoreKey, Option<Vec<u8>>)>,
 }
 
 /// The transaction manager: atomic actions over a persistent object store.
@@ -83,11 +85,16 @@ struct PreparedTx {
 /// task control blocks, dependency records, produced outputs — lives in
 /// objects managed here, so a crash between events loses nothing that was
 /// committed and everything that was not.
+///
+/// Objects are addressed by [`StoreKey`]: string [`ObjectUid`]s for the
+/// self-describing metadata, dense [`FactKey`]s for the dependency facts
+/// of the commit hot path. The store is ordered by key, so uid prefixes
+/// and fact ranges are both real range scans.
 #[derive(Debug)]
 pub struct TxManager<S = SharedStorage> {
     node: u32,
     wal: Wal<S>,
-    store: HashMap<ObjectUid, Vec<u8>>,
+    store: BTreeMap<StoreKey, Vec<u8>>,
     locks: LockManager,
     active: HashMap<TxId, ActiveTx>,
     prepared: HashMap<TxId, PreparedTx>,
@@ -117,7 +124,7 @@ impl<S: Storage> TxManager<S> {
     pub fn open(node: u32, storage: S) -> Result<Self, TxError> {
         let wal = Wal::new(storage);
         let records = wal.scan()?;
-        let mut store = HashMap::new();
+        let mut store = BTreeMap::new();
         let mut prepared: HashMap<TxId, PreparedTx> = HashMap::new();
         let mut coordinator_commits = HashMap::new();
         let mut max_seq = 0u64;
@@ -162,8 +169,8 @@ impl<S: Storage> TxManager<S> {
         // In-doubt transactions keep their write locks so nothing reads
         // through them until the coordinator's verdict arrives.
         for (tx, p) in &prepared {
-            for (uid, _) in &p.writes {
-                let acquired = locks.acquire(*tx, uid, LockMode::Write);
+            for (key, _) in &p.writes {
+                let acquired = locks.acquire(*tx, key, LockMode::Write);
                 debug_assert_eq!(acquired, Acquired::Granted);
             }
         }
@@ -236,11 +243,11 @@ impl<S: Storage> TxManager<S> {
         })
     }
 
-    fn acquire(&mut self, tx: TxId, uid: &ObjectUid, mode: LockMode) -> Result<(), TxError> {
-        match self.locks.acquire(tx, uid, mode) {
+    fn acquire(&mut self, tx: TxId, key: &StoreKey, mode: LockMode) -> Result<(), TxError> {
+        match self.locks.acquire(tx, key, mode) {
             Acquired::Granted => Ok(()),
             Acquired::Conflicted { holder, verdict } => Err(TxError::Lock {
-                uid: uid.clone(),
+                key: key.clone(),
                 holder,
                 conflict: verdict,
             }),
@@ -260,7 +267,20 @@ impl<S: Storage> TxManager<S> {
         action: &AtomicAction,
         uid: &ObjectUid,
     ) -> Result<Option<T>, TxError> {
-        let bytes = self.read_raw(action, uid)?;
+        self.read_key(action, &StoreKey::from(uid))
+    }
+
+    /// [`TxManager::read`] for any [`StoreKey`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxManager::read`].
+    pub fn read_key<T: Decode>(
+        &mut self,
+        action: &AtomicAction,
+        key: &StoreKey,
+    ) -> Result<Option<T>, TxError> {
+        let bytes = self.read_key_raw(action, key)?;
         match bytes {
             None => Ok(None),
             Some(b) => Ok(Some(flowscript_codec::from_bytes(&b)?)),
@@ -277,10 +297,23 @@ impl<S: Storage> TxManager<S> {
         action: &AtomicAction,
         uid: &ObjectUid,
     ) -> Result<Option<Vec<u8>>, TxError> {
+        self.read_key_raw(action, &StoreKey::from(uid))
+    }
+
+    /// [`TxManager::read_raw`] for any [`StoreKey`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxManager::read_raw`].
+    pub fn read_key_raw(
+        &mut self,
+        action: &AtomicAction,
+        key: &StoreKey,
+    ) -> Result<Option<Vec<u8>>, TxError> {
         if !self.active.contains_key(&action.id) {
             return Err(TxError::UnknownAction(action.id));
         }
-        self.acquire(action.id, uid, LockMode::Read)?;
+        self.acquire(action.id, key, LockMode::Read)?;
         // Nearest staged version wins: this action, then ancestors.
         let mut cursor = Some(action.id);
         while let Some(txid) = cursor {
@@ -288,12 +321,12 @@ impl<S: Storage> TxManager<S> {
                 .active
                 .get(&txid)
                 .expect("ancestor chain of active action");
-            if let Some(staged) = entry.workspace.writes.get(uid) {
+            if let Some(staged) = entry.workspace.writes.get(key) {
                 return Ok(staged.clone());
             }
             cursor = entry.parent;
         }
-        Ok(self.store.get(uid).cloned())
+        Ok(self.store.get(key).cloned())
     }
 
     /// Writes an object within an action, acquiring a write lock. The
@@ -309,7 +342,21 @@ impl<S: Storage> TxManager<S> {
         uid: &ObjectUid,
         value: &T,
     ) -> Result<(), TxError> {
-        self.write_raw(action, uid, flowscript_codec::to_bytes(value))
+        self.write_key(action, &StoreKey::from(uid), value)
+    }
+
+    /// [`TxManager::write`] for any [`StoreKey`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxManager::write`].
+    pub fn write_key<T: Encode + ?Sized>(
+        &mut self,
+        action: &AtomicAction,
+        key: &StoreKey,
+        value: &T,
+    ) -> Result<(), TxError> {
+        self.write_key_raw(action, key, flowscript_codec::to_bytes(value))
     }
 
     /// Writes raw object bytes within an action (see [`TxManager::write`]).
@@ -323,15 +370,29 @@ impl<S: Storage> TxManager<S> {
         uid: &ObjectUid,
         bytes: Vec<u8>,
     ) -> Result<(), TxError> {
+        self.write_key_raw(action, &StoreKey::from(uid), bytes)
+    }
+
+    /// [`TxManager::write_raw`] for any [`StoreKey`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxManager::write_raw`].
+    pub fn write_key_raw(
+        &mut self,
+        action: &AtomicAction,
+        key: &StoreKey,
+        bytes: Vec<u8>,
+    ) -> Result<(), TxError> {
         if !self.active.contains_key(&action.id) {
             return Err(TxError::UnknownAction(action.id));
         }
-        self.acquire(action.id, uid, LockMode::Write)?;
+        self.acquire(action.id, key, LockMode::Write)?;
         self.active
             .get_mut(&action.id)
             .expect("checked above")
             .workspace
-            .stage(uid.clone(), Some(bytes));
+            .stage(key.clone(), Some(bytes));
         Ok(())
     }
 
@@ -341,15 +402,24 @@ impl<S: Storage> TxManager<S> {
     ///
     /// As for [`TxManager::write`].
     pub fn delete(&mut self, action: &AtomicAction, uid: &ObjectUid) -> Result<(), TxError> {
+        self.delete_key(action, &StoreKey::from(uid))
+    }
+
+    /// [`TxManager::delete`] for any [`StoreKey`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxManager::delete`].
+    pub fn delete_key(&mut self, action: &AtomicAction, key: &StoreKey) -> Result<(), TxError> {
         if !self.active.contains_key(&action.id) {
             return Err(TxError::UnknownAction(action.id));
         }
-        self.acquire(action.id, uid, LockMode::Write)?;
+        self.acquire(action.id, key, LockMode::Write)?;
         self.active
             .get_mut(&action.id)
             .expect("checked above")
             .workspace
-            .stage(uid.clone(), None);
+            .stage(key.clone(), None);
         Ok(())
     }
 
@@ -405,8 +475,8 @@ impl<S: Storage> TxManager<S> {
                     self.aborts += 1;
                     return Err(TxError::ParentTerminated(parent_id));
                 };
-                for (uid, value) in entry.workspace.into_ordered() {
-                    parent.workspace.stage(uid, value);
+                for (key, value) in entry.workspace.into_ordered() {
+                    parent.workspace.stage(key, value);
                 }
                 parent.children.retain(|c| *c != action.id);
                 self.locks.transfer(action.id, parent_id);
@@ -465,28 +535,56 @@ impl<S: Storage> TxManager<S> {
     ///
     /// [`TxError::Corrupt`] if the stored bytes fail to decode as `T`.
     pub fn read_committed<T: Decode>(&self, uid: &ObjectUid) -> Result<Option<T>, TxError> {
-        match self.store.get(uid) {
+        self.read_committed_key(&StoreKey::from(uid))
+    }
+
+    /// [`TxManager::read_committed`] for any [`StoreKey`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxManager::read_committed`].
+    pub fn read_committed_key<T: Decode>(&self, key: &StoreKey) -> Result<Option<T>, TxError> {
+        match self.store.get(key) {
             None => Ok(None),
             Some(bytes) => Ok(Some(flowscript_codec::from_bytes(bytes)?)),
         }
     }
 
+    /// The committed raw bytes of an object (key remapping, diagnostics).
+    pub fn read_committed_bytes(&self, key: &StoreKey) -> Option<&[u8]> {
+        self.store.get(key).map(Vec::as_slice)
+    }
+
     /// Whether an object exists in committed state.
     pub fn exists(&self, uid: &ObjectUid) -> bool {
-        self.store.contains_key(uid)
+        self.store.contains_key(&StoreKey::from(uid))
+    }
+
+    /// Whether an object exists in committed state, for any key.
+    pub fn exists_key(&self, key: &StoreKey) -> bool {
+        self.store.contains_key(key)
     }
 
     /// All committed uids with the given prefix, sorted (recovery
-    /// enumeration).
+    /// enumeration). One range scan: uids order before fact keys.
     pub fn uids_with_prefix(&self, prefix: &str) -> Vec<ObjectUid> {
-        let mut uids: Vec<ObjectUid> = self
-            .store
-            .keys()
-            .filter(|uid| uid.as_str().starts_with(prefix))
+        let start = StoreKey::Uid(ObjectUid::new(prefix));
+        self.store
+            .range((Bound::Included(start), Bound::Unbounded))
+            .map_while(|(key, _)| key.as_uid())
+            .take_while(|uid| uid.as_str().starts_with(prefix))
             .cloned()
-            .collect();
-        uids.sort();
-        uids
+            .collect()
+    }
+
+    /// All committed fact keys in `lo..=hi`, in key order (subtree
+    /// cancel/reset, reconfiguration remapping). One range scan over the
+    /// dense fact index space.
+    pub fn fact_keys_in_range(&self, lo: FactKey, hi: FactKey) -> Vec<FactKey> {
+        self.store
+            .range(StoreKey::Fact(lo)..=StoreKey::Fact(hi))
+            .filter_map(|(key, _)| key.as_fact())
+            .collect()
     }
 
     /// Writes a checkpoint and compacts the log to it.
@@ -495,12 +593,12 @@ impl<S: Storage> TxManager<S> {
     ///
     /// Storage errors on rewrite.
     pub fn checkpoint(&mut self) -> Result<(), TxError> {
-        let mut states: Vec<(ObjectUid, Vec<u8>)> = self
+        // The store is ordered, so the snapshot is deterministic as-is.
+        let states: Vec<(StoreKey, Vec<u8>)> = self
             .store
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
-        states.sort_by(|a, b| a.0.cmp(&b.0));
         // Prepared-but-unresolved transactions must survive compaction.
         let mut pending: Vec<LogRecord> = self
             .prepared
@@ -555,15 +653,15 @@ impl<S: Storage> TxManager<S> {
         &mut self,
         tx: TxId,
         coordinator: u32,
-        writes: Vec<(ObjectUid, Option<Vec<u8>>)>,
+        writes: Vec<(StoreKey, Option<Vec<u8>>)>,
     ) -> Result<(), TxError> {
-        for (uid, _) in &writes {
+        for (key, _) in &writes {
             if let Acquired::Conflicted { holder, verdict } =
-                self.locks.acquire(tx, uid, LockMode::Write)
+                self.locks.acquire(tx, key, LockMode::Write)
             {
                 self.locks.release_all(tx);
                 return Err(TxError::Lock {
-                    uid: uid.clone(),
+                    key: key.clone(),
                     holder,
                     conflict: verdict,
                 });
@@ -641,14 +739,14 @@ impl<S: Storage> TxManager<S> {
     }
 }
 
-fn apply_writes(store: &mut HashMap<ObjectUid, Vec<u8>>, writes: &[(ObjectUid, Option<Vec<u8>>)]) {
-    for (uid, value) in writes {
+fn apply_writes(store: &mut BTreeMap<StoreKey, Vec<u8>>, writes: &[(StoreKey, Option<Vec<u8>>)]) {
+    for (key, value) in writes {
         match value {
             Some(bytes) => {
-                store.insert(uid.clone(), bytes.clone());
+                store.insert(key.clone(), bytes.clone());
             }
             None => {
-                store.remove(uid);
+                store.remove(key);
             }
         }
     }
@@ -661,6 +759,10 @@ mod tests {
 
     fn uid(s: &str) -> ObjectUid {
         ObjectUid::new(s)
+    }
+
+    fn key(s: &str) -> StoreKey {
+        StoreKey::from(ObjectUid::new(s))
     }
 
     #[test]
@@ -852,9 +954,55 @@ mod tests {
         mgr.write(&a, &uid("inst/1/b"), &1u8).unwrap();
         mgr.write(&a, &uid("inst/1/a"), &1u8).unwrap();
         mgr.write(&a, &uid("inst/2/a"), &1u8).unwrap();
+        // Fact keys never leak into uid prefix scans.
+        mgr.write_key(&a, &StoreKey::Fact(FactKey::output(1, 0, 0)), &1u8)
+            .unwrap();
         mgr.commit(a).unwrap();
         let uids = mgr.uids_with_prefix("inst/1/");
         assert_eq!(uids, vec![uid("inst/1/a"), uid("inst/1/b")]);
+    }
+
+    #[test]
+    fn fact_range_scans_cover_task_and_subtree() {
+        let mut mgr = TxManager::in_memory();
+        let a = mgr.begin();
+        for task in 1..4u32 {
+            mgr.write_key(&a, &StoreKey::Fact(FactKey::input(7, task, 0)), &task)
+                .unwrap();
+            mgr.write_key(&a, &StoreKey::Fact(FactKey::output(7, task, 1)), &task)
+                .unwrap();
+        }
+        // Another instance's facts must not appear.
+        mgr.write_key(&a, &StoreKey::Fact(FactKey::output(8, 2, 0)), &1u8)
+            .unwrap();
+        mgr.commit(a).unwrap();
+        let task2 = mgr.fact_keys_in_range(FactKey::task_first(7, 2), FactKey::task_last(7, 2));
+        assert_eq!(
+            task2,
+            vec![FactKey::input(7, 2, 0), FactKey::output(7, 2, 1)]
+        );
+        // DFS-contiguous subtree 2..=3 in one scan.
+        let subtree = mgr.fact_keys_in_range(FactKey::task_first(7, 2), FactKey::task_last(7, 3));
+        assert_eq!(subtree.len(), 4);
+        let all = mgr.fact_keys_in_range(FactKey::instance_first(7), FactKey::instance_last(7));
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn fact_writes_survive_recovery_and_checkpoint() {
+        let stable = SharedStorage::new();
+        let fact = StoreKey::Fact(FactKey::output(3, 1, 0));
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            let a = mgr.begin();
+            mgr.write_key(&a, &fact, &42u32).unwrap();
+            mgr.commit(a).unwrap();
+            mgr.checkpoint().unwrap();
+        }
+        let mgr = TxManager::open(0, stable).unwrap();
+        assert_eq!(mgr.read_committed_key::<u32>(&fact).unwrap(), Some(42));
+        assert!(mgr.exists_key(&fact));
+        assert!(mgr.read_committed_bytes(&fact).is_some());
     }
 
     #[test]
@@ -863,7 +1011,7 @@ mod tests {
         let dist_tx = TxId::new(9, 1000);
         {
             let mut mgr = TxManager::open(0, stable.clone()).unwrap();
-            mgr.prepare_remote(dist_tx, 9, vec![(uid("x"), Some(vec![1]))])
+            mgr.prepare_remote(dist_tx, 9, vec![(key("x"), Some(vec![1]))])
                 .unwrap();
         }
         let mut mgr = TxManager::open(0, stable.clone()).unwrap();
@@ -889,7 +1037,7 @@ mod tests {
     fn resolve_is_idempotent() {
         let mut mgr = TxManager::in_memory();
         let dist_tx = TxId::new(9, 1);
-        mgr.prepare_remote(dist_tx, 9, vec![(uid("x"), Some(vec![1]))])
+        mgr.prepare_remote(dist_tx, 9, vec![(key("x"), Some(vec![1]))])
             .unwrap();
         mgr.resolve_remote(dist_tx, false).unwrap();
         mgr.resolve_remote(dist_tx, false).unwrap();

@@ -12,7 +12,7 @@ use std::rc::Rc;
 
 use flowscript::sim::{NodeId, SimDuration, SimTime, World};
 use flowscript::tx::dist::{CoordAction, Coordinator, DistMsg};
-use flowscript::tx::{ObjectUid, SharedStorage, TxId, TxManager};
+use flowscript::tx::{ObjectUid, SharedStorage, StoreKey, TxId, TxManager};
 
 /// A participant node: a TxManager plus its message handling.
 struct Participant {
@@ -30,6 +30,11 @@ type Shared<T> = Rc<RefCell<T>>;
 
 fn uid(s: &str) -> ObjectUid {
     ObjectUid::new(s)
+}
+
+/// The same name as a 2PC write-set key.
+fn key(s: &str) -> StoreKey {
+    StoreKey::Uid(ObjectUid::new(s))
 }
 
 /// Everything `setup` wires: coordinator node + harness, participant
@@ -168,8 +173,8 @@ fn two_participants_commit_atomically() {
 
     let tx = harness.borrow_mut().coord_mgr.mint_dist_tx();
     let writes = vec![
-        (nodes[0].index() as u32, vec![(uid("a"), Some(vec![1]))]),
-        (nodes[1].index() as u32, vec![(uid("b"), Some(vec![2]))]),
+        (nodes[0].index() as u32, vec![(key("a"), Some(vec![1]))]),
+        (nodes[1].index() as u32, vec![(key("b"), Some(vec![2]))]),
     ];
     let actions = harness.borrow_mut().coordinator.begin(tx, writes);
     perform(&mut world, coord_node, &harness, &node_table, actions);
@@ -211,8 +216,8 @@ fn conflicting_participant_vetoes_whole_transaction() {
 
     let tx = harness.borrow_mut().coord_mgr.mint_dist_tx();
     let writes = vec![
-        (nodes[0].index() as u32, vec![(uid("a"), Some(vec![1]))]),
-        (nodes[1].index() as u32, vec![(uid("b"), Some(vec![2]))]),
+        (nodes[0].index() as u32, vec![(key("a"), Some(vec![1]))]),
+        (nodes[1].index() as u32, vec![(key("b"), Some(vec![2]))]),
     ];
     let actions = harness.borrow_mut().coordinator.begin(tx, writes);
     perform(&mut world, coord_node, &harness, &node_table, actions);
@@ -247,8 +252,8 @@ fn prepared_participant_crash_recovers_in_doubt_and_queries() {
 
     let tx = harness.borrow_mut().coord_mgr.mint_dist_tx();
     let writes = vec![
-        (nodes[0].index() as u32, vec![(uid("a"), Some(vec![1]))]),
-        (nodes[1].index() as u32, vec![(uid("b"), Some(vec![2]))]),
+        (nodes[0].index() as u32, vec![(key("a"), Some(vec![1]))]),
+        (nodes[1].index() as u32, vec![(key("b"), Some(vec![2]))]),
     ];
     let actions = harness.borrow_mut().coordinator.begin(tx, writes);
     perform(&mut world, coord_node, &harness, &node_table, actions);
@@ -305,8 +310,8 @@ fn coordinator_timeout_aborts_unresponsive_vote() {
 
     let tx = harness.borrow_mut().coord_mgr.mint_dist_tx();
     let writes = vec![
-        (nodes[0].index() as u32, vec![(uid("a"), Some(vec![1]))]),
-        (nodes[1].index() as u32, vec![(uid("b"), Some(vec![2]))]),
+        (nodes[0].index() as u32, vec![(key("a"), Some(vec![1]))]),
+        (nodes[1].index() as u32, vec![(key("b"), Some(vec![2]))]),
     ];
     let actions = harness.borrow_mut().coordinator.begin(tx, writes);
     perform(&mut world, coord_node, &harness, &node_table, actions);
