@@ -22,9 +22,11 @@
 //! written next to the bench output.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flowscript_bench::report::{self, ComparisonRow};
+use flowscript_bench::report::{self, ComparisonRow, ThroughputRow};
+use flowscript_bench::{run_instance_wave, sharded_diamond_system};
 use flowscript_core::ast::OutputKind;
 use flowscript_core::samples;
 use flowscript_core::schema::{
@@ -359,5 +361,62 @@ fn dispatch(c: &mut Criterion) {
     println!("impact table: {}", path.display());
 }
 
-criterion_group!(benches, dispatch);
+/// The `sharded` variant: instance ownership split across 1/2/4/8
+/// coordinator nodes, each wave 10 000 **concurrently in-flight**
+/// instances of the Fig. 1 diamond (30 virtual seconds of work per
+/// task, so the whole wave overlaps). One measured wall-clock run per
+/// shard count feeds the shards-vs-throughput CSV; a smaller
+/// criterion-timed wave tracks the trend per run.
+fn sharded(c: &mut Criterion) {
+    let wave = 10_000usize;
+    let mut rows: Vec<ThroughputRow> = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let mut sys = sharded_diamond_system(9, shards, 4);
+        let completed = run_instance_wave(&mut sys, wave);
+        let wall = start.elapsed();
+        assert_eq!(completed, wave, "{shards} shards: wave must complete");
+        rows.push(ThroughputRow {
+            workload: format!("{shards}_shards"),
+            items: wave as u64,
+            wall_ns: wall.as_nanos() as f64,
+        });
+    }
+    for row in &rows {
+        println!(
+            "plan_dispatch/sharded {}: {} instances in {:.0}ms ({:.0}/s)",
+            row.workload,
+            row.items,
+            row.wall_ns / 1e6,
+            row.per_second()
+        );
+    }
+    let path = report::write_throughput_csv(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/sharding_impact.csv"
+        ),
+        "instances",
+        &rows,
+    )
+    .expect("throughput table written");
+    println!("shards-vs-throughput table: {}", path.display());
+
+    let mut group = c.benchmark_group("plan_dispatch/sharded");
+    group.sample_size(2);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(
+            BenchmarkId::new("wave_512", format!("{shards}_shards")),
+            |b| {
+                b.iter(|| {
+                    let mut sys = sharded_diamond_system(9, shards, 4);
+                    assert_eq!(run_instance_wave(&mut sys, 512), 512);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dispatch, sharded);
 criterion_main!(benches);

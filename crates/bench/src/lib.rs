@@ -194,6 +194,61 @@ pub fn run_trip(sys: &mut WorkflowSystem, instance: &str) {
 }
 
 // ---------------------------------------------------------------------
+// Sharded-coordinator waves (the 10k-concurrent-instances workload).
+// ---------------------------------------------------------------------
+
+/// A sharded system bound to the Fig. 1 diamond with long virtual work
+/// per task, so a whole wave of instances is in flight simultaneously
+/// (the multi-instance scalability workload; see the `plan_dispatch`
+/// bench's `sharded` variant).
+pub fn sharded_diamond_system(seed: u64, coordinators: usize, executors: usize) -> WorkflowSystem {
+    let config = EngineConfig {
+        // Tasks deliberately take 30 virtual seconds; keep watchdogs out
+        // of the way (nothing fails in this workload).
+        dispatch_timeout: SimDuration::from_secs(300),
+        ..EngineConfig::default()
+    };
+    let sys = WorkflowSystem::builder()
+        .executors(executors)
+        .coordinators(coordinators)
+        .seed(seed)
+        .config(config)
+        .trace(false)
+        .build();
+    let mut sys = sys;
+    sys.register_script("diamond", samples::FIG1_DIAMOND, "diamond")
+        .expect("sample valid");
+    for code in ["refT1", "refT2", "refT3", "refT4"] {
+        sys.bind_fn(code, |_| {
+            TaskBehavior::outcome("done")
+                .with_work(SimDuration::from_secs(30))
+                .with_object("out", ObjectVal::text("Data", "d"))
+        });
+    }
+    sys
+}
+
+/// Starts `count` diamond instances (`wave-0` … `wave-{count-1}`), runs
+/// the world to quiescence and returns how many completed. The 30s
+/// virtual work per task dwarfs the start window, so the whole wave is
+/// concurrently in flight.
+pub fn run_instance_wave(sys: &mut WorkflowSystem, count: usize) -> usize {
+    for i in 0..count {
+        sys.start(
+            &format!("wave-{i}"),
+            "diamond",
+            "main",
+            [("seed", text("Data", "s"))],
+        )
+        .expect("wave instance starts");
+    }
+    sys.run();
+    (0..count)
+        .filter(|i| sys.outcome(&format!("wave-{i}")).is_some())
+        .count()
+}
+
+// ---------------------------------------------------------------------
 // Generated topologies.
 // ---------------------------------------------------------------------
 
@@ -416,6 +471,18 @@ mod tests {
         run_order(&mut sys, "o");
         let mut sys = trip_system(4, 1);
         run_trip(&mut sys, "t");
+    }
+
+    #[test]
+    fn sharded_wave_completes_on_every_shard() {
+        let mut sys = sharded_diamond_system(9, 2, 3);
+        assert_eq!(run_instance_wave(&mut sys, 40), 40);
+        let all = sys.stats();
+        assert_eq!(all.dispatches, 4 * 40);
+        // Both shards actually worked.
+        for shard in 0..sys.shard_count() {
+            assert!(sys.shard_stats(shard).dispatches > 0, "shard {shard} idle");
+        }
     }
 
     #[test]

@@ -69,6 +69,64 @@ pub fn write_comparison_csv(
     Ok(path.to_path_buf())
 }
 
+/// One throughput measurement: `items` units of work finished in
+/// `wall_ns` wall-clock nanoseconds under the labelled configuration
+/// (e.g. `4_shards`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// Configuration label (e.g. `4_shards`).
+    pub workload: String,
+    /// Units of work completed (e.g. workflow instances).
+    pub items: u64,
+    /// Wall-clock nanoseconds for the whole batch.
+    pub wall_ns: f64,
+}
+
+impl ThroughputRow {
+    /// Completed items per wall-clock second.
+    pub fn per_second(&self) -> f64 {
+        if self.wall_ns > 0.0 {
+            self.items as f64 * 1e9 / self.wall_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Renders throughput rows as CSV (the shards-vs-throughput table):
+/// one row per configuration with wall time and rate columns.
+pub fn throughput_csv(item_label: &str, rows: &[ThroughputRow]) -> String {
+    let mut out = format!("workload,{item_label},wall_ms,{item_label}_per_sec\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{:.1},{:.1}\n",
+            row.workload,
+            row.items,
+            row.wall_ns / 1e6,
+            row.per_second()
+        ));
+    }
+    out
+}
+
+/// Writes the throughput CSV and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_throughput_csv(
+    path: impl AsRef<Path>,
+    item_label: &str,
+    rows: &[ThroughputRow],
+) -> io::Result<PathBuf> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, throughput_csv(item_label, rows))?;
+    Ok(path.to_path_buf())
+}
+
 /// Median wall-clock nanoseconds of `f` over `samples` runs (each run
 /// batched `batch` times) — the direct measurement used to fill
 /// comparison rows, independent of the criterion shim's printing.
@@ -128,6 +186,50 @@ mod tests {
             candidate_ns: 0.0,
         };
         assert!(row.speedup().is_infinite());
+    }
+
+    #[test]
+    fn throughput_csv_has_rate_column() {
+        let rows = vec![
+            ThroughputRow {
+                workload: "1_shards".into(),
+                items: 10_000,
+                wall_ns: 2e9,
+            },
+            ThroughputRow {
+                workload: "8_shards".into(),
+                items: 10_000,
+                wall_ns: 1e9,
+            },
+        ];
+        assert!((rows[0].per_second() - 5000.0).abs() < 1e-6);
+        let csv = throughput_csv("instances", &rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "workload,instances,wall_ms,instances_per_sec");
+        assert_eq!(lines[1], "1_shards,10000,2000.0,5000.0");
+        assert_eq!(lines[2], "8_shards,10000,1000.0,10000.0");
+    }
+
+    #[test]
+    fn throughput_write_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("fs-throughput-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sharding_impact.csv");
+        let written = write_throughput_csv(
+            &path,
+            "instances",
+            &[ThroughputRow {
+                workload: "2_shards".into(),
+                items: 5,
+                wall_ns: 10.0,
+            }],
+        )
+        .unwrap();
+        assert_eq!(written, path);
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .contains("2_shards,5,"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,14 +1,23 @@
 //! The high-level facade: a complete workflow system on simulated nodes.
 //!
 //! [`WorkflowSystem`] wires the Fig. 4 topology: a client node, the
-//! repository service, the execution coordinator, and `n` executor nodes,
-//! all over the simulated network. Scripts are registered via repository
-//! RPC, instances started via coordinator RPC, and everything runs under
-//! the deterministic event loop ([`WorkflowSystem::run`]).
+//! repository service, `k` execution-coordinator nodes, and `n` executor
+//! nodes, all over the simulated network. Scripts are registered via
+//! repository RPC, instances started via coordinator RPC, and everything
+//! runs under the deterministic event loop ([`WorkflowSystem::run`]).
 //!
-//! Fault injection is first-class: crash/restart any node (the
-//! coordinator recovers from its write-ahead log), partition the network,
-//! or apply a scripted [`FaultPlan`].
+//! With [`SystemBuilder::coordinators`] the execution service scales
+//! out: instance ownership is sharded across the coordinator nodes by
+//! the rendezvous-hashed [`ShardMap`], each shard owning its instances'
+//! facts, control blocks and write-ahead log on its **own** stable
+//! storage, while the repository (and its plan cache) stays shared.
+//! Client calls route through the same map, and a request landing on
+//! the wrong shard is forwarded to the owner.
+//!
+//! Fault injection is first-class: crash/restart any node (a restarted
+//! coordinator recovers *its shard* from its own write-ahead log while
+//! the other shards keep committing), partition the network, or apply a
+//! scripted [`FaultPlan`].
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -26,6 +35,7 @@ use crate::impl_registry::{ImplRegistry, InvokeCtx, TaskBehavior, TaskImpl};
 use crate::msg::EngineMsg;
 use crate::reconfig::Reconfig;
 use crate::repository::RepoHandle;
+use crate::shard::ShardMap;
 use crate::state::CbState;
 use crate::value::ObjectVal;
 
@@ -33,11 +43,13 @@ use crate::value::ObjectVal;
 #[derive(Debug)]
 pub struct SystemBuilder {
     executors: usize,
+    coordinators: usize,
     seed: u64,
     config: EngineConfig,
     link: LinkConfig,
     registry: Option<ImplRegistry>,
     storage: Option<SharedStorage>,
+    shard_storages: Option<Vec<SharedStorage>>,
     trace_enabled: bool,
 }
 
@@ -45,11 +57,13 @@ impl Default for SystemBuilder {
     fn default() -> Self {
         Self {
             executors: 2,
+            coordinators: 1,
             seed: 0,
             config: EngineConfig::default(),
             link: LinkConfig::default(),
             registry: None,
             storage: None,
+            shard_storages: None,
             trace_enabled: true,
         }
     }
@@ -59,6 +73,15 @@ impl SystemBuilder {
     /// Number of executor nodes (≥ 1).
     pub fn executors(mut self, n: usize) -> Self {
         self.executors = n.max(1);
+        self
+    }
+
+    /// Number of coordinator nodes (≥ 1). Instances are sharded across
+    /// them by consistent (rendezvous) hash of the instance name; every
+    /// coordinator owns its shard's facts, WAL and worklists on its own
+    /// stable storage.
+    pub fn coordinators(mut self, n: usize) -> Self {
+        self.coordinators = n.max(1);
         self
     }
 
@@ -87,10 +110,20 @@ impl SystemBuilder {
         self
     }
 
-    /// Uses existing stable storage (to model restarting a whole system
-    /// over surviving disks).
+    /// Uses existing stable storage for shard 0 (to model restarting a
+    /// single-coordinator system over a surviving disk). For sharded
+    /// systems prefer [`SystemBuilder::shard_storages`].
     pub fn storage(mut self, storage: SharedStorage) -> Self {
         self.storage = Some(storage);
+        self
+    }
+
+    /// Uses existing per-shard stable storages (to model restarting a
+    /// whole sharded system over its surviving disks; see
+    /// [`WorkflowSystem::shard_storages`]). Missing entries get fresh
+    /// storage.
+    pub fn shard_storages(mut self, storages: Vec<SharedStorage>) -> Self {
+        self.shard_storages = Some(storages);
         self
     }
 
@@ -107,44 +140,74 @@ impl SystemBuilder {
         world.net_mut().set_default_link(self.link);
         let client = world.add_node("client");
         let repo_node = world.add_node("repository");
-        let coord_node = world.add_node("coordinator");
+        let coord_nodes: Vec<NodeId> = (0..self.coordinators)
+            .map(|i| {
+                world.add_node(if self.coordinators == 1 {
+                    "coordinator".to_string()
+                } else {
+                    format!("coordinator{i}")
+                })
+            })
+            .collect();
         let executors: Vec<NodeId> = (0..self.executors)
             .map(|i| world.add_node(format!("executor{i}")))
             .collect();
 
         let registry = self.registry.unwrap_or_default();
-        let storage = self.storage.unwrap_or_default();
+        let provided = self.shard_storages.unwrap_or_default();
+        let storages: Vec<SharedStorage> = (0..self.coordinators)
+            .map(|i| {
+                if i < provided.len() {
+                    provided[i].clone()
+                } else if i == 0 {
+                    self.storage.clone().unwrap_or_default()
+                } else {
+                    SharedStorage::default()
+                }
+            })
+            .collect();
 
         let repo = RepoHandle::new();
         repo.install(&mut world, repo_node);
 
-        let coordinator = Coordinator::open(
-            coord_node,
-            repo_node,
-            executors.clone(),
-            self.config,
-            storage.clone(),
-        )
-        .expect("fresh storage opens");
-        let coord = CoordHandle::new(coordinator);
-        coord.install(&mut world);
-        // If the storage carried previous state (system restart), recover.
-        coord.recover(&mut world);
+        let shard = ShardMap::new(coord_nodes.clone());
+        let coords: Vec<CoordHandle> = coord_nodes
+            .iter()
+            .zip(&storages)
+            .map(|(&node, storage)| {
+                let coordinator = Coordinator::open_sharded(
+                    node,
+                    repo_node,
+                    executors.clone(),
+                    self.config.clone(),
+                    storage.clone(),
+                    shard.clone(),
+                )
+                .expect("fresh storage opens");
+                let coord = CoordHandle::new(coordinator);
+                coord.install(&mut world);
+                // If the storage carried previous state (system
+                // restart), recover this shard.
+                coord.recover(&mut world);
+                coord
+            })
+            .collect();
 
         for &node in &executors {
-            executor::install(&mut world, node, coord_node, registry.clone());
+            executor::install(&mut world, node, registry.clone());
         }
 
         WorkflowSystem {
             world,
             client,
             repo_node,
-            coord_node,
+            coord_nodes,
             executors,
             registry,
             repo,
-            coord,
-            storage,
+            coords,
+            shard,
+            storages,
         }
     }
 }
@@ -154,18 +217,24 @@ pub struct WorkflowSystem {
     world: World,
     client: NodeId,
     repo_node: NodeId,
-    coord_node: NodeId,
+    coord_nodes: Vec<NodeId>,
     executors: Vec<NodeId>,
     registry: ImplRegistry,
     repo: RepoHandle,
-    coord: CoordHandle,
-    storage: SharedStorage,
+    coords: Vec<CoordHandle>,
+    shard: ShardMap,
+    storages: Vec<SharedStorage>,
 }
 
 impl WorkflowSystem {
     /// Starts building a system.
     pub fn builder() -> SystemBuilder {
         SystemBuilder::default()
+    }
+
+    /// The coordinator handle owning `instance` per the shard map.
+    fn coord_for(&self, instance: &str) -> &CoordHandle {
+        &self.coords[self.shard.shard_of(instance)]
     }
 
     // -----------------------------------------------------------------
@@ -247,39 +316,37 @@ impl WorkflowSystem {
     // Instances.
     // -----------------------------------------------------------------
 
-    /// Starts an instance of a registered script, binding the root's
-    /// `set` input set with `inputs`.
-    ///
-    /// # Errors
-    ///
-    /// Unknown script, duplicate instance, bad inputs, or unreachable
-    /// services.
-    pub fn start_with<I, K>(
-        &mut self,
+    /// The `StartInstance` wire message (one builder for every start
+    /// entry point, so the shapes cannot drift apart).
+    fn start_msg<I, K>(
         instance: &str,
         script: &str,
+        version: Option<u32>,
         set: &str,
         inputs: I,
-    ) -> Result<(), EngineError>
+    ) -> EngineMsg
     where
         I: IntoIterator<Item = (K, ObjectVal)>,
         K: Into<String>,
     {
-        let inputs: BTreeMap<String, ObjectVal> =
-            inputs.into_iter().map(|(k, v)| (k.into(), v)).collect();
-        let msg = EngineMsg::StartInstance {
+        EngineMsg::StartInstance {
             instance: instance.to_string(),
             script: script.to_string(),
-            version: None,
+            version,
             set: set.to_string(),
-            inputs,
-        };
+            inputs: inputs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// Sends a `StartInstance` RPC from the client to `target` and
+    /// awaits the acknowledgement.
+    fn rpc_start(&mut self, target: NodeId, msg: &EngineMsg) -> Result<(), EngineError> {
         let result: Rc<RefCell<Option<Result<(), String>>>> = Rc::new(RefCell::new(None));
         let result2 = result.clone();
         self.world.rpc_call(
             self.client,
-            self.coord_node,
-            flowscript_codec::to_bytes(&msg),
+            target,
+            flowscript_codec::to_bytes(msg),
             SimDuration::from_secs(10),
             move |_, reply| {
                 let outcome = match reply {
@@ -301,6 +368,30 @@ impl WorkflowSystem {
         }
     }
 
+    /// Starts an instance of a registered script, binding the root's
+    /// `set` input set with `inputs`. The request routes to the
+    /// coordinator shard owning the instance name.
+    ///
+    /// # Errors
+    ///
+    /// Unknown script, duplicate instance, bad inputs, or unreachable
+    /// services.
+    pub fn start_with<I, K>(
+        &mut self,
+        instance: &str,
+        script: &str,
+        set: &str,
+        inputs: I,
+    ) -> Result<(), EngineError>
+    where
+        I: IntoIterator<Item = (K, ObjectVal)>,
+        K: Into<String>,
+    {
+        let msg = Self::start_msg(instance, script, None, set, inputs);
+        let target = self.shard.node_of(instance);
+        self.rpc_start(target, &msg)
+    }
+
     /// [`WorkflowSystem::start_with`] for the common `main` input set.
     ///
     /// # Errors
@@ -318,6 +409,31 @@ impl WorkflowSystem {
         K: Into<String>,
     {
         self.start_with(instance, script, set, inputs)
+    }
+
+    /// [`WorkflowSystem::start_with`], deliberately routed through the
+    /// coordinator at shard index `via` — which may not be the owner.
+    /// A misdirected request is forwarded to the owning shard
+    /// (forwarding tests; real clients route via the shard map).
+    ///
+    /// # Errors
+    ///
+    /// As for [`WorkflowSystem::start_with`].
+    pub fn start_via_shard<I, K>(
+        &mut self,
+        via: usize,
+        instance: &str,
+        script: &str,
+        set: &str,
+        inputs: I,
+    ) -> Result<(), EngineError>
+    where
+        I: IntoIterator<Item = (K, ObjectVal)>,
+        K: Into<String>,
+    {
+        let msg = Self::start_msg(instance, script, None, set, inputs);
+        let target = self.coord_nodes[via % self.coord_nodes.len()];
+        self.rpc_start(target, &msg)
     }
 
     // -----------------------------------------------------------------
@@ -357,18 +473,18 @@ impl WorkflowSystem {
     // Monitoring (the paper's administrative applications).
     // -----------------------------------------------------------------
 
-    /// Instance status.
+    /// Instance status (answered by the owning shard).
     ///
     /// # Errors
     ///
     /// [`EngineError::UnknownInstance`].
     pub fn status(&self, instance: &str) -> Result<InstanceStatus, EngineError> {
-        self.coord.status(instance)
+        self.coord_for(instance).status(instance)
     }
 
     /// The final outcome, if the instance completed.
     pub fn outcome(&self, instance: &str) -> Option<Outcome> {
-        match self.coord.status(instance) {
+        match self.coord_for(instance).status(instance) {
             Ok(InstanceStatus::Completed(outcome)) => Some(outcome),
             _ => None,
         }
@@ -376,7 +492,7 @@ impl WorkflowSystem {
 
     /// Every task's state, keyed by path.
     pub fn task_states(&self, instance: &str) -> BTreeMap<String, CbState> {
-        self.coord.task_states(instance)
+        self.coord_for(instance).task_states(instance)
     }
 
     /// A published output fact (e.g. a root-level mark like `toPay`).
@@ -386,23 +502,59 @@ impl WorkflowSystem {
         path: &str,
         output: &str,
     ) -> Option<BTreeMap<String, ObjectVal>> {
-        self.coord.output_fact(instance, path, output)
+        self.coord_for(instance).output_fact(instance, path, output)
     }
 
-    /// Engine counters.
+    /// Engine counters, aggregated over every coordinator shard.
     pub fn stats(&self) -> CoordStats {
-        self.coord.stats()
+        let mut total = CoordStats::default();
+        for coord in &self.coords {
+            total += &coord.stats();
+        }
+        total
     }
 
-    /// Ordered dispatch decisions (the worklist/full-scan equivalence
-    /// tests compare these verbatim across evaluation modes).
+    /// Engine counters of one coordinator shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_stats(&self, shard: usize) -> CoordStats {
+        self.coords[shard].stats()
+    }
+
+    /// Ordered dispatch decisions, concatenated shard by shard (within
+    /// one shard — and hence within one instance — records keep their
+    /// order of occurrence; the equivalence tests compare per-instance
+    /// subsequences across shard counts).
     pub fn dispatch_trace(&self) -> Vec<crate::coordinator::DispatchRecord> {
-        self.coord.dispatch_trace()
+        self.coords
+            .iter()
+            .flat_map(|coord| coord.dispatch_trace())
+            .collect()
     }
 
-    /// Coordinator log size in bytes.
+    /// One instance's dispatch decisions, in order of occurrence.
+    pub fn dispatch_trace_of(&self, instance: &str) -> Vec<crate::coordinator::DispatchRecord> {
+        self.coord_for(instance)
+            .dispatch_trace()
+            .into_iter()
+            .filter(|record| record.instance == instance)
+            .collect()
+    }
+
+    /// Total coordinator log size in bytes (all shards).
     pub fn log_size(&self) -> u64 {
-        self.coord.log_size()
+        self.coords.iter().map(CoordHandle::log_size).sum()
+    }
+
+    /// Uid prefix scans served by every shard's store (regression
+    /// guard: normal runs perform none).
+    pub fn store_prefix_scans(&self) -> u64 {
+        self.coords
+            .iter()
+            .map(CoordHandle::store_prefix_scans)
+            .sum()
     }
 
     /// The simulation trace.
@@ -414,13 +566,14 @@ impl WorkflowSystem {
     // Dynamic reconfiguration.
     // -----------------------------------------------------------------
 
-    /// Applies a reconfiguration to a running instance atomically.
+    /// Applies a reconfiguration to a running instance atomically (on
+    /// the owning shard).
     ///
     /// # Errors
     ///
     /// Validation failures leave the instance untouched.
     pub fn reconfigure(&mut self, instance: &str, op: Reconfig) -> Result<(), EngineError> {
-        let coord = self.coord.clone();
+        let coord = self.coord_for(instance).clone();
         coord.reconfigure(&mut self.world, instance, op)
     }
 
@@ -436,7 +589,7 @@ impl WorkflowSystem {
         path: &str,
         outcome: &str,
     ) -> Result<(), EngineError> {
-        let coord = self.coord.clone();
+        let coord = self.coord_for(instance).clone();
         coord.abort_waiting_task(&mut self.world, instance, path, outcome)
     }
 
@@ -457,49 +610,44 @@ impl WorkflowSystem {
         I: IntoIterator<Item = (K, ObjectVal)>,
         K: Into<String>,
     {
-        let inputs: BTreeMap<String, ObjectVal> =
-            inputs.into_iter().map(|(k, v)| (k.into(), v)).collect();
-        let msg = EngineMsg::StartInstance {
-            instance: instance.to_string(),
-            script: script.to_string(),
-            version: Some(version),
-            set: set.to_string(),
-            inputs,
-        };
-        let result: Rc<RefCell<Option<Result<(), String>>>> = Rc::new(RefCell::new(None));
-        let result2 = result.clone();
-        self.world.rpc_call(
-            self.client,
-            self.coord_node,
-            flowscript_codec::to_bytes(&msg),
-            SimDuration::from_secs(10),
-            move |_, reply| {
-                let outcome = match reply {
-                    Err(err) => Err(err.to_string()),
-                    Ok(bytes) => match flowscript_codec::from_bytes::<EngineMsg>(&bytes) {
-                        Ok(EngineMsg::Ack { result }) => result,
-                        _ => Err("malformed coordinator reply".to_string()),
-                    },
-                };
-                *result2.borrow_mut() = Some(outcome);
-            },
-        );
-        self.pump(|| result.borrow().is_some());
-        let taken = result.borrow_mut().take();
-        match taken {
-            Some(Ok(())) => Ok(()),
-            Some(Err(err)) => Err(EngineError::BadInputs(err)),
-            None => Err(EngineError::Tx("start call never completed".into())),
-        }
+        let msg = Self::start_msg(instance, script, Some(version), set, inputs);
+        let target = self.shard.node_of(instance);
+        self.rpc_start(target, &msg)
     }
 
     // -----------------------------------------------------------------
-    // Fault injection.
+    // Fault injection and sharding topology.
     // -----------------------------------------------------------------
 
-    /// The coordinator node id.
+    /// The first coordinator node's id (shard 0; the whole service for
+    /// single-coordinator systems).
     pub fn coordinator_node(&self) -> NodeId {
-        self.coord_node
+        self.coord_nodes[0]
+    }
+
+    /// Every coordinator node, in shard order.
+    pub fn coordinator_nodes(&self) -> &[NodeId] {
+        &self.coord_nodes
+    }
+
+    /// The coordinator node owning `instance`.
+    pub fn coordinator_node_for(&self, instance: &str) -> NodeId {
+        self.shard.node_of(instance)
+    }
+
+    /// The shard index owning `instance`.
+    pub fn shard_of(&self, instance: &str) -> usize {
+        self.shard.shard_of(instance)
+    }
+
+    /// Number of coordinator shards.
+    pub fn shard_count(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The instance → coordinator assignment.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shard
     }
 
     /// Executor node ids.
@@ -517,7 +665,7 @@ impl WorkflowSystem {
         self.world.crash(node);
     }
 
-    /// Restarts a node immediately (the coordinator runs recovery).
+    /// Restarts a node immediately (a coordinator runs shard recovery).
     pub fn restart_now(&mut self, node: NodeId) {
         self.world.restart(node);
     }
@@ -527,9 +675,17 @@ impl WorkflowSystem {
         &mut self.world
     }
 
-    /// The stable storage backing the coordinator (survives restarts).
+    /// Shard 0's stable storage (the whole system's for
+    /// single-coordinator builds; survives restarts).
     pub fn storage(&self) -> SharedStorage {
-        self.storage.clone()
+        self.storages[0].clone()
+    }
+
+    /// Every shard's stable storage, in shard order (rebuild a sharded
+    /// system over its surviving disks via
+    /// [`SystemBuilder::shard_storages`]).
+    pub fn shard_storages(&self) -> Vec<SharedStorage> {
+        self.storages.clone()
     }
 }
 
@@ -537,6 +693,7 @@ impl std::fmt::Debug for WorkflowSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkflowSystem")
             .field("now", &self.world.now())
+            .field("coordinators", &self.coords.len())
             .field("executors", &self.executors.len())
             .finish()
     }
@@ -576,6 +733,42 @@ mod tests {
         assert_eq!(outcome.objects["result"].as_text(), "s-made");
         let states = sys.task_states("i1");
         assert!(matches!(states["pipeline/produce"], CbState::Done { .. }));
+    }
+
+    #[test]
+    fn quickstart_completes_on_every_shard_count() {
+        for coordinators in [1usize, 2, 4, 8] {
+            let mut sys = WorkflowSystem::builder()
+                .executors(2)
+                .coordinators(coordinators)
+                .seed(1)
+                .build();
+            assert_eq!(sys.shard_count(), coordinators);
+            assert_eq!(sys.coordinator_nodes().len(), coordinators);
+            sys.register_script("q", samples::QUICKSTART, "pipeline")
+                .unwrap();
+            sys.bind_fn("refProduce", |_| {
+                TaskBehavior::outcome("produced")
+                    .with_object("message", ObjectVal::text("Message", "m"))
+            });
+            sys.bind_fn("refConsume", |_| {
+                TaskBehavior::outcome("consumed")
+                    .with_object("result", ObjectVal::text("Message", "r"))
+            });
+            for i in 0..6 {
+                let name = format!("i{i}");
+                sys.start(&name, "q", "main", [("seed", text("Message", "s"))])
+                    .unwrap();
+                assert!(sys.shard_of(&name) < coordinators);
+            }
+            sys.run();
+            for i in 0..6 {
+                assert_eq!(
+                    sys.outcome(&format!("i{i}")).expect("completed").name,
+                    "done"
+                );
+            }
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ use crate::error::EngineError;
 use crate::keys::{cb_uid, InstanceKeys};
 use crate::msg::{EngineMsg, MarkMsg, StartTask, TaskDone, TaskResult};
 use crate::reconfig::{self, Reconfig};
+use crate::shard::ShardMap;
 use crate::state::{CbState, TaskCb};
 use crate::value::ObjectVal;
 
@@ -269,6 +270,36 @@ pub struct CoordStats {
     /// fan-out; the full-scan oracle makes it proportional to instance
     /// size.
     pub evaluations: u64,
+    /// Misdirected requests this coordinator forwarded to the owning
+    /// shard (clients that route via the shard map never cause one).
+    pub forwarded: u64,
+}
+
+impl std::ops::AddAssign<&CoordStats> for CoordStats {
+    fn add_assign(&mut self, other: &CoordStats) {
+        // Exhaustive destructuring: adding a counter without summing it
+        // here is a compile error, so sharded aggregates stay complete.
+        let CoordStats {
+            dispatches,
+            retries,
+            failures,
+            marks,
+            repeats,
+            reconfigs,
+            recovered_instances,
+            evaluations,
+            forwarded,
+        } = *other;
+        self.dispatches += dispatches;
+        self.retries += retries;
+        self.failures += failures;
+        self.marks += marks;
+        self.repeats += repeats;
+        self.reconfigs += reconfigs;
+        self.recovered_instances += recovered_instances;
+        self.evaluations += evaluations;
+        self.forwarded += forwarded;
+    }
 }
 
 /// One dispatch decision, in order of occurrence (used by the
@@ -303,6 +334,11 @@ struct InstanceRt {
     /// Paths with an outstanding dispatch, scheduled retry or pending
     /// repeat re-execution.
     in_flight: BTreeSet<String>,
+    /// Control blocks not yet in a terminal state, maintained
+    /// incrementally at every transition commit (recounted only on
+    /// recovery and reconfiguration). Stuck detection reads this
+    /// instead of enumerating the store.
+    nonterminal: usize,
 }
 
 // ---------------------------------------------------------------------
@@ -377,6 +413,10 @@ pub struct Coordinator {
     node: NodeId,
     repo: NodeId,
     executors: Vec<NodeId>,
+    /// Instance ownership across all coordinator nodes of the system
+    /// (shared verbatim by every shard; requests for instances this
+    /// node does not own are forwarded to the owner).
+    shard: ShardMap,
     config: EngineConfig,
     mgr: TxManager<SharedStorage>,
     storage: SharedStorage,
@@ -409,11 +449,42 @@ impl Coordinator {
         config: EngineConfig,
         storage: SharedStorage,
     ) -> Result<Self, EngineError> {
+        Self::open_sharded(
+            node,
+            repo,
+            executors,
+            config,
+            storage,
+            ShardMap::new(vec![node]),
+        )
+    }
+
+    /// [`Coordinator::open`] for one shard of a multi-coordinator
+    /// system: `shard` names every coordinator node (this one
+    /// included), and this coordinator serves only the instances the
+    /// map assigns to `node`, forwarding the rest.
+    ///
+    /// # Errors
+    ///
+    /// Corrupt storage.
+    pub fn open_sharded(
+        node: NodeId,
+        repo: NodeId,
+        executors: Vec<NodeId>,
+        config: EngineConfig,
+        storage: SharedStorage,
+        shard: ShardMap,
+    ) -> Result<Self, EngineError> {
+        debug_assert!(
+            shard.nodes().contains(&node),
+            "shard map must include the node"
+        );
         let mgr = TxManager::open(node.index() as u32, storage.clone())?;
         Ok(Self {
             node,
             repo,
             executors,
+            shard,
             config,
             mgr,
             storage,
@@ -449,6 +520,36 @@ impl Coordinator {
 
     fn read_meta(&self, instance: &str) -> Option<InstanceMeta> {
         self.mgr.read_committed(&meta_uid(instance)).ok().flatten()
+    }
+
+    /// Records `n` control blocks entering a terminal state (stuck
+    /// detection stays O(1) by never recounting).
+    fn note_terminals(&mut self, instance: &str, n: usize) {
+        if let Some(rt) = self.instances.get_mut(instance) {
+            rt.nonterminal = rt.nonterminal.saturating_sub(n);
+        }
+    }
+
+    /// Records `n` control blocks leaving a terminal state (scope
+    /// resets revive terminated constituents).
+    fn note_revived(&mut self, instance: &str, n: usize) {
+        if let Some(rt) = self.instances.get_mut(instance) {
+            rt.nonterminal += n;
+        }
+    }
+
+    /// Recounts an instance's non-terminal control blocks from the
+    /// committed store — point reads over the plan's dense ids, used
+    /// only where the plan itself changed (recovery, reconfiguration).
+    fn recount_nonterminal(&mut self, instance: &str) {
+        let Some(rt) = self.instances.get(instance) else {
+            return;
+        };
+        let (plan, keys) = (rt.plan.clone(), rt.keys.clone());
+        let count = count_nonterminal(&self.mgr, &plan, &keys);
+        if let Some(rt) = self.instances.get_mut(instance) {
+            rt.nonterminal = count;
+        }
     }
 
     /// Looks up a compiled task and its containing scope's path — the
@@ -520,13 +621,36 @@ impl CoordHandle {
         self.inner.borrow().mgr.log_size()
     }
 
+    /// Uid prefix scans this coordinator's store has served (the
+    /// stuck-diagnostics regression guard: zero during normal runs).
+    pub fn store_prefix_scans(&self) -> u64 {
+        self.inner.borrow().mgr.prefix_scan_count()
+    }
+
+    /// The node this coordinator runs on.
+    pub fn node(&self) -> NodeId {
+        self.inner.borrow().node
+    }
+
     fn handle_message(&self, world: &mut World, envelope: &Envelope) {
         let Ok(msg) = flowscript_codec::from_bytes::<EngineMsg>(&envelope.payload) else {
             return; // corrupt message: drop, sender will time out / retry
         };
         match msg {
-            EngineMsg::Done(done) => self.on_task_done(world, done),
-            EngineMsg::Mark(mark) => self.on_mark(world, mark),
+            EngineMsg::Done(done) => {
+                if let Some(owner) = self.misdirected(&done.instance) {
+                    self.forward_oneway(world, owner, envelope);
+                    return;
+                }
+                self.on_task_done(world, done);
+            }
+            EngineMsg::Mark(mark) => {
+                if let Some(owner) = self.misdirected(&mark.instance) {
+                    self.forward_oneway(world, owner, envelope);
+                    return;
+                }
+                self.on_mark(world, mark);
+            }
             EngineMsg::StartInstance {
                 instance,
                 script,
@@ -537,10 +661,63 @@ impl CoordHandle {
                 let Some(token) = envelope.reply_token() else {
                     return;
                 };
+                if let Some(owner) = self.misdirected(&instance) {
+                    self.forward_start(world, owner, token, envelope.payload.clone());
+                    return;
+                }
                 self.on_start_instance(world, token, instance, script, version, set, inputs);
             }
             _ => {}
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Shard routing.
+    // -----------------------------------------------------------------
+
+    /// `Some(owner)` when `instance` belongs to a *different*
+    /// coordinator per the shared shard map (the request must be
+    /// forwarded), `None` when this node owns it.
+    fn misdirected(&self, instance: &str) -> Option<NodeId> {
+        let coordinator = self.inner.borrow();
+        let owner = coordinator.shard.node_of(instance);
+        (owner != coordinator.node).then_some(owner)
+    }
+
+    /// Relays a misdirected one-way message (`Done`/`Mark`) verbatim to
+    /// the owning shard.
+    fn forward_oneway(&self, world: &mut World, owner: NodeId, envelope: &Envelope) {
+        let node = {
+            let mut coordinator = self.inner.borrow_mut();
+            coordinator.stats.forwarded += 1;
+            coordinator.node
+        };
+        world.send(node, owner, envelope.payload.clone());
+    }
+
+    /// Relays a misdirected `StartInstance` RPC to the owning shard and
+    /// pipes the owner's reply back to the original caller.
+    fn forward_start(&self, world: &mut World, owner: NodeId, token: ReplyToken, payload: Vec<u8>) {
+        let node = {
+            let mut coordinator = self.inner.borrow_mut();
+            coordinator.stats.forwarded += 1;
+            coordinator.node
+        };
+        world.rpc_call(
+            node,
+            owner,
+            payload,
+            SimDuration::from_secs(8),
+            move |world, reply| {
+                let bytes = match reply {
+                    Ok(bytes) => bytes,
+                    Err(err) => flowscript_codec::to_bytes(&EngineMsg::Ack {
+                        result: Err(format!("owning shard unreachable: {err}")),
+                    }),
+                };
+                world.rpc_reply_to(token, bytes);
+            },
+        );
     }
 
     // -----------------------------------------------------------------
@@ -768,6 +945,7 @@ impl CoordHandle {
                 .write(&action, keys.cb(id as TaskId), &TaskCb::new(path))?;
         }
         coordinator.commit(action)?;
+        let task_count = plan.tasks.len();
         coordinator.instances.insert(
             instance.to_string(),
             InstanceRt {
@@ -777,6 +955,8 @@ impl CoordHandle {
                 bindings: BTreeMap::new(),
                 watchdogs: BTreeMap::new(),
                 in_flight: BTreeSet::new(),
+                // Root Active + every descendant Waiting.
+                nonterminal: task_count,
             },
         );
         drop(coordinator);
@@ -793,9 +973,20 @@ impl CoordHandle {
             .ok_or_else(|| EngineError::UnknownInstance(instance.to_string()))
     }
 
-    /// All task states of an instance, keyed by path.
+    /// All task states of an instance, keyed by path. Live instances
+    /// resolve through the plan's interned uid table (point reads); the
+    /// uid prefix scan survives only for instances not resident in
+    /// memory (e.g. monitoring a crashed-but-unrecovered store).
     pub fn task_states(&self, instance: &str) -> BTreeMap<String, CbState> {
         let coordinator = self.inner.borrow();
+        if let Some(rt) = coordinator.instances.get(instance) {
+            return (0..rt.plan.tasks.len() as TaskId)
+                .filter_map(|id| {
+                    let cb = coordinator.read_cb_id(&rt.keys, id)?;
+                    Some((cb.path.clone(), cb.state))
+                })
+                .collect();
+        }
         let prefix = format!("inst/{instance}/cb/");
         coordinator
             .mgr
@@ -1284,6 +1475,7 @@ impl CoordHandle {
                             }
                         };
                         if committed {
+                            self.inner.borrow_mut().note_terminals(&msg.instance, 1);
                             self.evaluate_from(world, &msg.instance, &[task_id]);
                         }
                     }
@@ -1339,7 +1531,9 @@ impl CoordHandle {
                         .write_key(&action, &StoreKey::Fact(out_key), objects)
                 });
             if write.is_ok() {
-                let _ = coordinator.commit(action);
+                if coordinator.commit(action).is_ok() && over {
+                    coordinator.note_terminals(&msg.instance, 1);
+                }
             } else {
                 coordinator.mgr.abort(action);
             }
@@ -1595,7 +1789,9 @@ impl CoordHandle {
                 .write(&action, &cb_uid(instance, path), &cb)
                 .is_ok();
             if ok {
-                let _ = coordinator.commit(action);
+                if coordinator.commit(action).is_ok() {
+                    coordinator.note_terminals(instance, 1);
+                }
             } else {
                 coordinator.mgr.abort(action);
             }
@@ -1701,9 +1897,12 @@ impl CoordHandle {
                     .is_ok();
             // Cancel every non-terminal descendant (one flat subtree
             // scan — DFS pre-order keeps descendants contiguous).
+            let mut terminal_delta = 1; // the scope itself
             if ok {
-                ok =
-                    cancel_descendants(&mut coordinator.mgr, &action, keys, plan, scope_id).is_ok();
+                match cancel_descendants(&mut coordinator.mgr, &action, keys, plan, scope_id) {
+                    Ok(cancelled) => terminal_delta += cancelled,
+                    Err(_) => ok = false,
+                }
             }
             if ok && is_root {
                 if let Some(mut meta) = coordinator.read_meta(instance) {
@@ -1719,7 +1918,9 @@ impl CoordHandle {
                 }
             }
             if ok {
-                let _ = coordinator.commit(action);
+                if coordinator.commit(action).is_ok() {
+                    coordinator.note_terminals(instance, terminal_delta);
+                }
             } else {
                 coordinator.mgr.abort(action);
             }
@@ -1787,7 +1988,9 @@ impl CoordHandle {
                     .write(&action, keys.cb(scope_id), &cb)
                     .is_ok();
                 if ok {
-                    let _ = coordinator.commit(action);
+                    if coordinator.commit(action).is_ok() {
+                        coordinator.note_terminals(instance, 1);
+                    }
                 } else {
                     coordinator.mgr.abort(action);
                 }
@@ -1852,19 +2055,24 @@ impl CoordHandle {
                         }
                     }
                 }
+                let mut revived = 0;
                 if ok {
-                    ok = reset_descendants(
+                    match reset_descendants(
                         &mut coordinator.mgr,
                         &action,
                         keys,
                         plan,
                         scope_id,
                         new_inc,
-                    )
-                    .is_ok();
+                    ) {
+                        Ok(n) => revived = n,
+                        Err(_) => ok = false,
+                    }
                 }
                 if ok {
-                    let _ = coordinator.commit(action);
+                    if coordinator.commit(action).is_ok() {
+                        coordinator.note_revived(instance, revived);
+                    }
                 } else {
                     coordinator.mgr.abort(action);
                 }
@@ -1920,6 +2128,15 @@ impl CoordHandle {
     #[cfg(debug_assertions)]
     fn assert_quiescent(&self, instance: &str, plan: &Plan, keys: &InstanceKeys) {
         let coordinator = self.inner.borrow();
+        // The incremental non-terminal count must agree with a fresh
+        // recount (this is the bookkeeping stuck detection trusts).
+        if let Some(rt) = coordinator.instances.get(instance) {
+            debug_assert_eq!(
+                rt.nonterminal,
+                count_nonterminal(&coordinator.mgr, plan, keys),
+                "incremental non-terminal count of `{instance}` drifted"
+            );
+        }
         let facts = TxFacts {
             mgr: &coordinator.mgr,
             keys,
@@ -1972,6 +2189,13 @@ impl CoordHandle {
         }
     }
 
+    /// Stuck detection. O(1) on every drain: a running instance with
+    /// work in flight (or, in principle, no live control blocks) can
+    /// never be stuck, and both tests read volatile counters the drain
+    /// maintains incrementally — no control-block enumeration, no store
+    /// scan. Only the one-time transition *to* Stuck reads control
+    /// blocks (point reads through the interned uid table) to compose
+    /// the diagnostic reason.
     fn stuck_check(&self, world: &mut World, instance: &str) {
         let _ = world;
         let mut coordinator = self.inner.borrow_mut();
@@ -1989,53 +2213,49 @@ impl CoordHandle {
         }
         let plan = rt.plan.clone();
         let keys = rt.keys.clone();
-        // Quiescent but not terminated: stuck. Summarise why, using the
+        let nonterminal = rt.nonterminal;
+        // Quiescent but not terminated: stuck. Summarise why — one walk
+        // over the plan's dense task ids (point reads; this runs once
+        // per stuck instance, never on the commit path), using the
         // plan's satisfaction masks to say how close each waiting task
         // got.
-        let prefix = format!("inst/{instance}/cb/");
         let mut failed = Vec::new();
         let mut waiting = Vec::new();
-        for uid in coordinator.mgr.uids_with_prefix(&prefix) {
-            if let Ok(Some(cb)) = coordinator.mgr.read_committed::<TaskCb>(&uid) {
-                match &cb.state {
-                    CbState::Failed { reason } => {
-                        failed.push(format!("{} ({reason})", cb.path));
-                    }
-                    CbState::Waiting => {
-                        let facts = TxFacts {
-                            mgr: &coordinator.mgr,
-                            keys: &keys,
-                        };
-                        let pending = plan
-                            .task_by_path(&cb.path)
-                            .map(|id| plan.task(id))
-                            .map(|task| {
-                                plan.sets[task.sets.as_range()]
-                                    .iter()
-                                    .map(|set| {
-                                        let met = plan_eval::met_requirements(&plan, set, &facts);
-                                        format!(
-                                            "{} {met}/{}",
-                                            plan.str(set.name),
-                                            set.requirement_count()
-                                        )
-                                    })
-                                    .collect::<Vec<_>>()
-                                    .join(", ")
-                            })
-                            .unwrap_or_default();
-                        if pending.is_empty() {
-                            waiting.push(cb.path.clone());
-                        } else {
-                            waiting.push(format!("{} (deps met: {pending})", cb.path));
-                        }
-                    }
-                    _ => {}
+        for id in 0..plan.tasks.len() as TaskId {
+            let Some(cb) = coordinator.read_cb_id(&keys, id) else {
+                continue;
+            };
+            match &cb.state {
+                CbState::Failed { reason } => {
+                    failed.push(format!("{} ({reason})", cb.path));
                 }
+                CbState::Waiting => {
+                    let facts = TxFacts {
+                        mgr: &coordinator.mgr,
+                        keys: &keys,
+                    };
+                    let task = plan.task(id);
+                    let pending = plan.sets[task.sets.as_range()]
+                        .iter()
+                        .map(|set| {
+                            let met = plan_eval::met_requirements(&plan, set, &facts);
+                            format!("{} {met}/{}", plan.str(set.name), set.requirement_count())
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    if pending.is_empty() {
+                        waiting.push(cb.path.clone());
+                    } else {
+                        waiting.push(format!("{} (deps met: {pending})", cb.path));
+                    }
+                }
+                _ => {}
             }
         }
         let reason = format!(
-            "no runnable task and the root cannot terminate; failed: [{}]; waiting: [{}]",
+            "no runnable task and the root cannot terminate ({nonterminal} of {} tasks \
+             non-terminal); failed: [{}]; waiting: [{}]",
+            plan.tasks.len(),
             failed.join(", "),
             waiting.join(", ")
         );
@@ -2178,6 +2398,9 @@ impl CoordHandle {
             if let Reconfig::Rebind { code, to } = &op {
                 rt.bindings.insert(code.clone(), to.clone());
             }
+            // The plan (and possibly the task set) changed: recount the
+            // non-terminal blocks instead of patching deltas.
+            coordinator.recount_nonterminal(instance);
         }
         // The plan changed under the instance: reconfiguration re-enters
         // through the full scan (new tasks and new edges have no commit
@@ -2245,6 +2468,7 @@ impl CoordHandle {
                 &BTreeMap::<String, ObjectVal>::new(),
             )?;
             coordinator.commit(action)?;
+            coordinator.note_terminals(instance, 1);
             task_id
         };
         self.evaluate_from(world, instance, &[task_id]);
@@ -2340,6 +2564,7 @@ impl CoordHandle {
                     }
                 }
                 let keys = InstanceKeys::build(&plan, &name, meta.instance_id);
+                let nonterminal = count_nonterminal(&coordinator.mgr, &plan, &keys);
                 coordinator.instances.insert(
                     name.clone(),
                     InstanceRt {
@@ -2349,6 +2574,7 @@ impl CoordHandle {
                         bindings,
                         watchdogs: BTreeMap::new(),
                         in_flight: BTreeSet::new(),
+                        nonterminal,
                     },
                 );
                 if meta.status == InstanceStatus::Running {
@@ -2364,13 +2590,13 @@ impl CoordHandle {
         for instance in &instances {
             let executing: Vec<(String, u32)> = {
                 let coordinator = self.inner.borrow();
-                let prefix = format!("inst/{instance}/cb/");
-                coordinator
-                    .mgr
-                    .uids_with_prefix(&prefix)
-                    .into_iter()
-                    .filter_map(|uid| {
-                        let cb: TaskCb = coordinator.mgr.read_committed(&uid).ok().flatten()?;
+                let Some(rt) = coordinator.instances.get(instance) else {
+                    continue;
+                };
+                let (plan, keys) = (rt.plan.clone(), rt.keys.clone());
+                (0..plan.tasks.len() as TaskId)
+                    .filter_map(|id| {
+                        let cb = coordinator.read_cb_id(&keys, id)?;
                         matches!(cb.state, CbState::Executing { .. })
                             .then(|| (cb.path.clone(), cb.attempt))
                     })
@@ -2407,31 +2633,49 @@ impl CoordHandle {
     }
 }
 
+/// Counts an instance's non-terminal control blocks in committed state
+/// (point reads over the plan's dense ids — no store scan). Seeds and
+/// cross-checks the incrementally maintained `InstanceRt::nonterminal`.
+fn count_nonterminal(mgr: &TxManager<SharedStorage>, plan: &Plan, keys: &InstanceKeys) -> usize {
+    (0..plan.tasks.len() as TaskId)
+        .filter(|&id| {
+            mgr.read_committed::<TaskCb>(keys.cb(id))
+                .ok()
+                .flatten()
+                .is_some_and(|cb| !cb.state.is_terminal())
+        })
+        .count()
+}
+
 /// Cancels every non-terminal descendant of a scope: one linear scan of
 /// the plan's contiguous subtree range, through the interned cb uids.
+/// Returns how many blocks it cancelled.
 fn cancel_descendants(
     mgr: &mut TxManager<SharedStorage>,
     action: &flowscript_tx::AtomicAction,
     keys: &InstanceKeys,
     plan: &Plan,
     scope_id: TaskId,
-) -> Result<(), EngineError> {
+) -> Result<usize, EngineError> {
+    let mut cancelled = 0;
     for task_id in plan.subtree(scope_id) {
         let uid = keys.cb(task_id);
         if let Some(mut cb) = mgr.read::<TaskCb>(action, uid)? {
             if !cb.state.is_terminal() {
                 cb.transition(CbState::Cancelled);
                 mgr.write(action, uid, &cb)?;
+                cancelled += 1;
             }
         }
     }
-    Ok(())
+    Ok(cancelled)
 }
 
 /// Resets a scope's subtree for a new incarnation, bumping each nested
 /// compound's own scope incarnation so its children rebind
 /// consistently. (The subtree's facts were already range-deleted by the
-/// caller.)
+/// caller.) Returns how many previously *terminal* blocks the reset
+/// revived to `Waiting`.
 fn reset_descendants(
     mgr: &mut TxManager<SharedStorage>,
     action: &flowscript_tx::AtomicAction,
@@ -2439,12 +2683,16 @@ fn reset_descendants(
     plan: &Plan,
     scope_id: TaskId,
     incarnation: u32,
-) -> Result<(), EngineError> {
+) -> Result<usize, EngineError> {
+    let mut revived = 0;
     for &child in plan.children(scope_id) {
         let task = plan.task(child);
         let uid = keys.cb(child);
         let mut inner_inc = 0;
         if let Some(mut cb) = mgr.read::<TaskCb>(action, uid)? {
+            if cb.state.is_terminal() {
+                revived += 1;
+            }
             cb.reset_for_incarnation(incarnation);
             if task.is_scope {
                 // A nested compound's own scope advances too, so its
@@ -2455,10 +2703,10 @@ fn reset_descendants(
             mgr.write(action, uid, &cb)?;
         }
         if task.is_scope {
-            reset_descendants(mgr, action, keys, plan, child, inner_inc)?;
+            revived += reset_descendants(mgr, action, keys, plan, child, inner_inc)?;
         }
     }
-    Ok(())
+    Ok(revived)
 }
 
 /// Resolves one old-plan fact key to its identity (producer path, fact

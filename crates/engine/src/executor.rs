@@ -28,26 +28,25 @@ thread_local! {
 /// Maximum depth of script-as-implementation nesting.
 pub const MAX_SCRIPT_NESTING: u32 = 8;
 
-/// Installs the executor handler on `node`, reporting to `coordinator`.
-pub fn install(world: &mut World, node: NodeId, coordinator: NodeId, registry: ImplRegistry) {
+/// Installs the executor handler on `node`. Results are reported to
+/// whichever coordinator dispatched the task (executors are shared by
+/// every shard of a multi-coordinator system).
+pub fn install(world: &mut World, node: NodeId, registry: ImplRegistry) {
     world.set_handler(node, move |world, envelope| {
-        handle(world, node, coordinator, &registry, envelope);
+        handle(world, node, &registry, envelope);
     });
 }
 
-fn handle(
-    world: &mut World,
-    node: NodeId,
-    coordinator: NodeId,
-    registry: &ImplRegistry,
-    envelope: &Envelope,
-) {
+fn handle(world: &mut World, node: NodeId, registry: &ImplRegistry, envelope: &Envelope) {
     let Ok(EngineMsg::Start(start)) = flowscript_codec::from_bytes::<EngineMsg>(&envelope.payload)
     else {
         return;
     };
+    // Reply to the shard that dispatched this task, not a fixed node.
+    let coordinator = envelope.src;
     let ctx = InvokeCtx {
         path: start.path.clone(),
+        incarnation: start.incarnation,
         attempt: start.attempt,
         set: start.set.clone(),
         inputs: start.inputs.clone(),

@@ -26,6 +26,11 @@ use crate::value::ObjectVal;
 pub struct InvokeCtx {
     /// Task path within the instance.
     pub path: String,
+    /// The enclosing scope's incarnation this execution belongs to
+    /// (0 initially; a compound repeat resets its subtree into a new
+    /// incarnation — pure-function implementations can key retry
+    /// behaviour on it instead of hidden state).
+    pub incarnation: u32,
     /// Dispatch attempt (0 for the first try; retries increment).
     pub attempt: u32,
     /// The bound input set's name.
@@ -305,6 +310,7 @@ mod tests {
     fn ctx() -> InvokeCtx {
         InvokeCtx {
             path: "root/t".into(),
+            incarnation: 0,
             attempt: 0,
             set: "main".into(),
             inputs: BTreeMap::from([("x".to_string(), ObjectVal::text("C", "v"))]),

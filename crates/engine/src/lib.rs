@@ -18,6 +18,10 @@
 //! - **dynamic reconfiguration** ([`reconfig`]): transactional
 //!   addition/removal of tasks and dependencies in a running instance,
 //!   and implementation rebinding (online upgrade),
+//! - **sharded coordinators** ([`shard`]): instance ownership split
+//!   across multiple execution-service nodes by rendezvous hash of the
+//!   instance name, each shard owning its facts, WAL and worklists,
+//!   with misdirected requests forwarded and per-shard crash recovery,
 //! - a high-level facade, [`WorkflowSystem`], that wires all services
 //!   onto `flowscript-sim` nodes (the paper's Fig. 4 topology).
 //!
@@ -61,6 +65,7 @@ mod keys;
 mod msg;
 pub mod reconfig;
 pub mod repository;
+pub mod shard;
 pub mod state;
 mod value;
 
@@ -71,5 +76,6 @@ pub use impl_registry::{
     Completion, ImplRegistry, InvokeCtx, MarkEmission, TaskBehavior, TaskImpl,
 };
 pub use reconfig::Reconfig;
+pub use shard::ShardMap;
 pub use state::{CbState, TaskCb};
 pub use value::ObjectVal;

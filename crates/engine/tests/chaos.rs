@@ -1,7 +1,8 @@
-//! Chaos property tests: under randomized fault schedules the engine
-//! must always reach a terminal verdict (Completed or Stuck) — never
-//! hang, never corrupt state, never double-apply an outcome — and runs
-//! must be deterministic per seed.
+//! Chaos property tests: under randomized fault schedules — processor
+//! crashes of executors *and* coordinator shards, partitions, repeated
+//! shard restarts — the engine must always reach a terminal verdict
+//! (Completed or Stuck) — never hang, never corrupt state, never
+//! double-apply an outcome — and runs must be deterministic per seed.
 
 use flowscript_core::samples;
 use flowscript_engine::coordinator::EngineConfig;
@@ -10,6 +11,10 @@ use flowscript_sim::{FaultAction, FaultPlan, SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn order_system(seed: u64, max_retries: u32) -> WorkflowSystem {
+    sharded_order_system(seed, 1, max_retries)
+}
+
+fn sharded_order_system(seed: u64, coordinators: usize, max_retries: u32) -> WorkflowSystem {
     let config = EngineConfig {
         max_retries,
         dispatch_timeout: SimDuration::from_millis(250),
@@ -18,6 +23,7 @@ fn order_system(seed: u64, max_retries: u32) -> WorkflowSystem {
     };
     let mut sys = WorkflowSystem::builder()
         .executors(3)
+        .coordinators(coordinators)
         .seed(seed)
         .config(config)
         .build();
@@ -111,6 +117,161 @@ fn run_chaos(
     sys.run();
     let status = sys.status("o").unwrap();
     Some((status, sys.trace().render()))
+}
+
+// ---------------------------------------------------------------------
+// Sharded chaos: fault injection picks coordinator nodes too.
+// ---------------------------------------------------------------------
+
+/// Instance names for the sharded runs (several, so rendezvous hashing
+/// spreads them over the coordinator shards).
+fn sharded_instances() -> Vec<String> {
+    (0..4).map(|i| format!("wf-{i}")).collect()
+}
+
+/// A randomized fault plan over the *whole* node population:
+/// `which` indexes coordinators first, then executors.
+fn sharded_fault_plan(sys: &WorkflowSystem, crashes: &[(u8, u32, u32)]) -> FaultPlan {
+    let mut victims: Vec<_> = sys.coordinator_nodes().to_vec();
+    victims.extend_from_slice(sys.executor_nodes());
+    let mut plan = FaultPlan::new();
+    for &(which, at_ms, down_ms) in crashes {
+        let node = victims[which as usize % victims.len()];
+        let at = SimTime::from_nanos(u64::from(at_ms % 400) * 1_000_000);
+        plan = plan.at(at, FaultAction::Crash(node)).at(
+            at + SimDuration::from_millis(u64::from(down_ms % 300) + 20),
+            FaultAction::Restart(node),
+        );
+    }
+    plan
+}
+
+/// Starts every instance (skipping any whose owning shard was down when
+/// the call landed — legitimate only when a coordinator fault was
+/// scheduled), runs to quiescence, and returns per-instance statuses
+/// plus the trace.
+fn run_sharded_chaos(
+    seed: u64,
+    coordinators: usize,
+    crashes: &[(u8, u32, u32)],
+) -> (Vec<(String, InstanceStatus)>, String) {
+    let mut sys = sharded_order_system(seed, coordinators, 6);
+    let plan = sharded_fault_plan(&sys, crashes);
+    // Same victim-list arithmetic as `sharded_fault_plan`: coordinators
+    // first, then executors.
+    let victim_count = sys.coordinator_nodes().len() + sys.executor_nodes().len();
+    let coordinator_fault_scheduled = crashes
+        .iter()
+        .any(|&(which, _, _)| (which as usize % victim_count) < sys.coordinator_nodes().len());
+    plan.apply(sys.world_mut());
+    let mut started = Vec::new();
+    for name in sharded_instances() {
+        match sys.start(
+            &name,
+            "order",
+            "main",
+            [("order", ObjectVal::text("Order", &name))],
+        ) {
+            Ok(()) => started.push(name),
+            Err(err) => {
+                let message = err.to_string();
+                assert!(
+                    coordinator_fault_scheduled
+                        && (message.contains("timed out")
+                            || message.contains("unreachable")
+                            || message.contains("never completed")),
+                    "unexpected start failure for {name}: {message} (crashes: {crashes:?})"
+                );
+            }
+        }
+    }
+    sys.run();
+    let statuses = started
+        .into_iter()
+        .map(|name| {
+            let status = sys.status(&name).unwrap();
+            (name, status)
+        })
+        .collect();
+    (statuses, sys.trace().render())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sharded_chaos_always_reaches_verdicts(
+        seed: u64,
+        coordinators in 2usize..5,
+        crashes in proptest::collection::vec((0u8..8, any::<u32>(), any::<u32>()), 0..3),
+    ) {
+        let (statuses, _) = run_sharded_chaos(seed, coordinators, &crashes);
+        for (name, status) in statuses {
+            prop_assert!(status.is_terminal(), "{}: non-terminal {:?}", name, status);
+        }
+    }
+
+    #[test]
+    fn sharded_chaos_is_deterministic(
+        seed: u64,
+        coordinators in 2usize..5,
+        crashes in proptest::collection::vec((0u8..8, any::<u32>(), any::<u32>()), 0..3),
+    ) {
+        let run1 = run_sharded_chaos(seed, coordinators, &crashes);
+        let run2 = run_sharded_chaos(seed, coordinators, &crashes);
+        prop_assert_eq!(run1, run2);
+    }
+}
+
+/// Shard-local recovery under *repeated* crashes: one coordinator shard
+/// crashes and restarts three times mid-run; its instances complete
+/// through WAL replay every time, and no other shard ever runs
+/// recovery.
+#[test]
+fn repeated_shard_crashes_recover_shard_locally() {
+    let mut sys = sharded_order_system(5, 3, 8);
+    for name in sharded_instances() {
+        sys.start(
+            &name,
+            "order",
+            "main",
+            [("order", ObjectVal::text("Order", &name))],
+        )
+        .unwrap();
+    }
+    let victim_name = sharded_instances().remove(0);
+    let victim_shard = sys.shard_of(&victim_name);
+    let victim_node = sys.coordinator_node_for(&victim_name);
+    let mut plan = FaultPlan::new();
+    for at_ms in [30u64, 120, 210] {
+        plan = plan
+            .at(
+                SimTime::from_nanos(at_ms * 1_000_000),
+                FaultAction::Crash(victim_node),
+            )
+            .at(
+                SimTime::from_nanos((at_ms + 40) * 1_000_000),
+                FaultAction::Restart(victim_node),
+            );
+    }
+    plan.apply(sys.world_mut());
+    sys.run();
+    for name in sharded_instances() {
+        assert_eq!(
+            sys.outcome(&name)
+                .unwrap_or_else(|| panic!("{name}: {:?}", sys.status(&name)))
+                .name,
+            "orderCompleted"
+        );
+    }
+    for shard in 0..sys.shard_count() {
+        let recovered = sys.shard_stats(shard).recovered_instances;
+        if shard == victim_shard {
+            assert!(recovered >= 3, "three restarts must replay: {recovered}");
+        } else {
+            assert_eq!(recovered, 0, "shard {shard} recovered spuriously");
+        }
+    }
 }
 
 proptest! {

@@ -104,6 +104,11 @@ pub struct TxManager<S = SharedStorage> {
     next_seq: u64,
     commits: u64,
     aborts: u64,
+    /// Uid prefix scans served ([`TxManager::uids_with_prefix`]). Scans
+    /// are O(matches) range walks, fine for recovery and cold admin
+    /// paths — but the engine's per-commit paths must never need one,
+    /// and regression tests assert this counter stays flat during runs.
+    prefix_scans: std::cell::Cell<u64>,
 }
 
 impl TxManager<SharedStorage> {
@@ -185,6 +190,7 @@ impl<S: Storage> TxManager<S> {
             next_seq: max_seq + 1,
             commits: 0,
             aborts: 0,
+            prefix_scans: std::cell::Cell::new(0),
         })
     }
 
@@ -568,6 +574,7 @@ impl<S: Storage> TxManager<S> {
     /// All committed uids with the given prefix, sorted (recovery
     /// enumeration). One range scan: uids order before fact keys.
     pub fn uids_with_prefix(&self, prefix: &str) -> Vec<ObjectUid> {
+        self.prefix_scans.set(self.prefix_scans.get() + 1);
         let start = StoreKey::Uid(ObjectUid::new(prefix));
         self.store
             .range((Bound::Included(start), Bound::Unbounded))
@@ -630,6 +637,13 @@ impl<S: Storage> TxManager<S> {
     /// `(commits, aborts)` since this manager was opened.
     pub fn stats(&self) -> (u64, u64) {
         (self.commits, self.aborts)
+    }
+
+    /// Uid prefix scans served since this manager was opened (the
+    /// stuck-diagnostics regression guard: commit-path work must be
+    /// point reads and dense-key range scans, never a prefix walk).
+    pub fn prefix_scan_count(&self) -> u64 {
+        self.prefix_scans.get()
     }
 
     /// Number of live (committed) objects.
@@ -960,6 +974,24 @@ mod tests {
         mgr.commit(a).unwrap();
         let uids = mgr.uids_with_prefix("inst/1/");
         assert_eq!(uids, vec![uid("inst/1/a"), uid("inst/1/b")]);
+    }
+
+    #[test]
+    fn prefix_scan_counter_tracks_only_prefix_walks() {
+        let mut mgr = TxManager::in_memory();
+        assert_eq!(mgr.prefix_scan_count(), 0);
+        let a = mgr.begin();
+        mgr.write(&a, &uid("inst/1/a"), &1u8).unwrap();
+        mgr.write_key(&a, &StoreKey::Fact(FactKey::output(1, 0, 0)), &1u8)
+            .unwrap();
+        mgr.commit(a).unwrap();
+        // Point reads and dense-key range scans are not prefix scans.
+        let _ = mgr.read_committed::<u8>(&uid("inst/1/a")).unwrap();
+        let _ = mgr.fact_keys_in_range(FactKey::instance_first(1), FactKey::instance_last(1));
+        assert_eq!(mgr.prefix_scan_count(), 0);
+        let _ = mgr.uids_with_prefix("inst/");
+        let _ = mgr.uids_with_prefix("inst/1/");
+        assert_eq!(mgr.prefix_scan_count(), 2);
     }
 
     #[test]
