@@ -26,7 +26,9 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flowscript_bench::report::{self, ComparisonRow, ThroughputRow};
-use flowscript_bench::{run_instance_wave, sharded_diamond_system};
+use flowscript_bench::{
+    run_instance_wave, run_skew_wave, sharded_diamond_system, skewed_fan_system,
+};
 use flowscript_core::ast::OutputKind;
 use flowscript_core::samples;
 use flowscript_core::schema::{
@@ -34,6 +36,7 @@ use flowscript_core::schema::{
 };
 use flowscript_engine::deps::{self, FactView, MemFacts};
 use flowscript_engine::ObjectVal;
+use flowscript_engine::SchedPolicy;
 use flowscript_plan::{eval as plan_eval, Plan, PlanFacts, Probe, TaskId, Worklist};
 
 /// Adapter: the engine's in-memory fact store viewed through the
@@ -418,5 +421,69 @@ fn sharded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, dispatch, sharded);
+/// The `scheduled` variant: skewed task durations (one 400ms worker,
+/// five 50ms workers per instance) on 4 **serial** executors, under
+/// the legacy path-hash dispatch vs the load-aware scheduler. The
+/// comparison is made in deterministic *virtual* time — the makespan
+/// of the whole wave — because that is exactly what executor queueing
+/// under a bad placement costs; wall-clock criterion samples track the
+/// simulation overhead trend per run. A `scheduling_impact.csv`
+/// comparison table (hash vs scheduled per wave size) lands next to
+/// the other impact artifacts.
+fn scheduled(c: &mut Criterion) {
+    let mut impact: Vec<ComparisonRow> = Vec::new();
+    for wave in [64usize, 256] {
+        let mut hash_sys = skewed_fan_system(7, 4, SchedPolicy::PathHash);
+        let hash_makespan = run_skew_wave(&mut hash_sys, wave);
+        let mut sched_sys = skewed_fan_system(7, 4, SchedPolicy::LeastLoaded);
+        let sched_makespan = run_skew_wave(&mut sched_sys, wave);
+        println!(
+            "plan_dispatch/scheduled wave_{wave}: path_hash {:.0}ms vs scheduled {:.0}ms virtual \
+             makespan ({:.1} vs {:.1} instances/virtual-s)",
+            hash_makespan.as_nanos() as f64 / 1e6,
+            sched_makespan.as_nanos() as f64 / 1e6,
+            wave as f64 * 1e9 / hash_makespan.as_nanos() as f64,
+            wave as f64 * 1e9 / sched_makespan.as_nanos() as f64,
+        );
+        impact.push(ComparisonRow {
+            workload: format!("skewed_fan/wave_{wave}"),
+            baseline_ns: hash_makespan.as_nanos() as f64,
+            candidate_ns: sched_makespan.as_nanos() as f64,
+        });
+    }
+    for row in &impact {
+        assert!(
+            row.speedup() > 1.0,
+            "the load-aware scheduler must beat the hash baseline on {}: {:.0}ms vs {:.0}ms",
+            row.workload,
+            row.baseline_ns / 1e6,
+            row.candidate_ns / 1e6
+        );
+    }
+    let path = report::write_comparison_csv(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/scheduling_impact.csv"
+        ),
+        "path_hash",
+        "scheduled",
+        &impact,
+    )
+    .expect("impact table written");
+    println!("scheduling impact table: {}", path.display());
+
+    let mut group = c.benchmark_group("plan_dispatch/scheduled");
+    group.sample_size(2);
+    for policy in [SchedPolicy::PathHash, SchedPolicy::LeastLoaded] {
+        group.bench_function(BenchmarkId::new("wave_64", format!("{policy:?}")), |b| {
+            b.iter(|| {
+                let mut sys = skewed_fan_system(7, 4, policy);
+                std::hint::black_box(run_skew_wave(&mut sys, 64));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dispatch, sharded, scheduled);
 criterion_main!(benches);

@@ -15,8 +15,8 @@ use flowscript_core::builder;
 use flowscript_core::fmt::format_script;
 use flowscript_core::samples;
 use flowscript_engine::coordinator::EngineConfig;
-use flowscript_engine::{InvokeCtx, ObjectVal, TaskBehavior, WorkflowSystem};
-use flowscript_sim::SimDuration;
+use flowscript_engine::{InvokeCtx, ObjectVal, SchedPolicy, TaskBehavior, WorkflowSystem};
+use flowscript_sim::{SimDuration, SimTime};
 
 /// A workflow system with benchmarking defaults (trace off).
 pub fn bench_system(seed: u64, executors: usize) -> WorkflowSystem {
@@ -246,6 +246,105 @@ pub fn run_instance_wave(sys: &mut WorkflowSystem, count: usize) -> usize {
     (0..count)
         .filter(|i| sys.outcome(&format!("wave-{i}")).is_some())
         .count()
+}
+
+// ---------------------------------------------------------------------
+// Skewed-duration scheduling waves (the `scheduled` bench variant).
+// ---------------------------------------------------------------------
+
+/// Width of the skewed fan (one long worker, the rest short).
+pub const SKEW_WIDTH: usize = 6;
+
+/// Source of a fan of [`SKEW_WIDTH`] independent workers per instance.
+pub fn skewed_fan_source() -> String {
+    let mut source = String::from(
+        r#"
+class Data;
+taskclass Work {
+    inputs { input main { in of class Data } };
+    outputs { outcome done { } }
+}
+taskclass Root {
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { } }
+}
+compoundtask root of taskclass Root {
+"#,
+    );
+    for i in 0..SKEW_WIDTH {
+        source.push_str(&format!(
+            r#"    task w{i} of taskclass Work {{
+        implementation {{ "code" is "refW{i}" }};
+        inputs {{ input main {{ inputobject in from {{ seed of task root if input main }} }} }}
+    }};
+"#
+        ));
+    }
+    source.push_str("    outputs { outcome done {\n");
+    for i in 0..SKEW_WIDTH {
+        let sep = if i + 1 < SKEW_WIDTH { ";" } else { "" };
+        source.push_str(&format!(
+            "        notification from {{ task w{i} if output done }}{sep}\n"
+        ));
+    }
+    source.push_str("    } }\n}\n");
+    source
+}
+
+/// A system for the scheduling comparison: `executors` **serial**
+/// executor nodes (one task at a time, so load shows up as virtual
+/// latency), dispatch under `policy`, and the skewed fan bound —
+/// worker 0 takes 400ms of virtual work, the rest 50ms.
+pub fn skewed_fan_system(seed: u64, executors: usize, policy: SchedPolicy) -> WorkflowSystem {
+    let config = EngineConfig {
+        scheduler: policy,
+        // Serial queues stretch latency; watchdogs stay out of the way.
+        dispatch_timeout: SimDuration::from_secs(3600),
+        ..EngineConfig::default()
+    };
+    let mut sys = WorkflowSystem::builder()
+        .executors(executors)
+        .serial_executors(true)
+        .seed(seed)
+        .config(config)
+        .trace(false)
+        .build();
+    sys.register_script("skew", &skewed_fan_source(), "root")
+        .expect("skew source valid");
+    for i in 0..SKEW_WIDTH {
+        let work = if i == 0 {
+            SimDuration::from_millis(400)
+        } else {
+            SimDuration::from_millis(50)
+        };
+        sys.bind_fn(&format!("refW{i}"), move |_| {
+            TaskBehavior::outcome("done").with_work(work)
+        });
+    }
+    sys
+}
+
+/// Starts `count` skewed fans, runs to quiescence, asserts they all
+/// complete and returns the **virtual makespan** — the deterministic
+/// measure the scheduling comparison is made on.
+pub fn run_skew_wave(sys: &mut WorkflowSystem, count: usize) -> SimDuration {
+    for i in 0..count {
+        sys.start(
+            &format!("wave-{i}"),
+            "skew",
+            "main",
+            [("seed", text("Data", "s"))],
+        )
+        .expect("wave instance starts");
+    }
+    sys.run();
+    for i in 0..count {
+        assert!(
+            sys.outcome(&format!("wave-{i}")).is_some(),
+            "skew wave instance {i} must complete"
+        );
+    }
+    sys.now().since(SimTime::ZERO)
 }
 
 // ---------------------------------------------------------------------
@@ -483,6 +582,18 @@ mod tests {
         for shard in 0..sys.shard_count() {
             assert!(sys.shard_stats(shard).dispatches > 0, "shard {shard} idle");
         }
+    }
+
+    #[test]
+    fn skewed_fan_completes_and_least_loaded_wins() {
+        let mut hash = skewed_fan_system(5, 4, SchedPolicy::PathHash);
+        let hash_makespan = run_skew_wave(&mut hash, 16);
+        let mut scheduled = skewed_fan_system(5, 4, SchedPolicy::LeastLoaded);
+        let sched_makespan = run_skew_wave(&mut scheduled, 16);
+        assert!(
+            sched_makespan < hash_makespan,
+            "least-loaded {sched_makespan:?} vs hash {hash_makespan:?}"
+        );
     }
 
     #[test]

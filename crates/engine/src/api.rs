@@ -43,6 +43,10 @@ use crate::value::ObjectVal;
 #[derive(Debug)]
 pub struct SystemBuilder {
     executors: usize,
+    /// Additional executors with an explicit node name and location
+    /// label (the scheduler's placement constraint).
+    placed_executors: Vec<(String, String)>,
+    serial_executors: bool,
     coordinators: usize,
     seed: u64,
     config: EngineConfig,
@@ -57,6 +61,8 @@ impl Default for SystemBuilder {
     fn default() -> Self {
         Self {
             executors: 2,
+            placed_executors: Vec::new(),
+            serial_executors: false,
             coordinators: 1,
             seed: 0,
             config: EngineConfig::default(),
@@ -70,9 +76,33 @@ impl Default for SystemBuilder {
 }
 
 impl SystemBuilder {
-    /// Number of executor nodes (≥ 1).
+    /// Number of location-less executor nodes. `executors(0)` is
+    /// honored when [`SystemBuilder::executor_at`] adds placed ones
+    /// (a placed-only fleet); with no placed executors either, build
+    /// falls back to one location-less node — a system always has an
+    /// executor.
     pub fn executors(mut self, n: usize) -> Self {
-        self.executors = n.max(1);
+        self.executors = n;
+        self
+    }
+
+    /// Adds one executor node named `node` registered at `location`.
+    /// Tasks whose implementation clause pins that location dispatch
+    /// only to matching executors; placed executors also serve
+    /// unpinned tasks. Placed nodes come after the
+    /// [`SystemBuilder::executors`] fleet in
+    /// [`WorkflowSystem::executor_nodes`] order.
+    pub fn executor_at(mut self, node: impl Into<String>, location: impl Into<String>) -> Self {
+        self.placed_executors.push((node.into(), location.into()));
+        self
+    }
+
+    /// Gives every executor **serial capacity**: one task at a time,
+    /// later arrivals queueing in virtual time. Off by default (the
+    /// legacy infinitely-parallel nodes); the `scheduled` bench runs
+    /// with it on so executor load shows up as latency.
+    pub fn serial_executors(mut self, serial: bool) -> Self {
+        self.serial_executors = serial;
         self
     }
 
@@ -149,9 +179,21 @@ impl SystemBuilder {
                 })
             })
             .collect();
-        let executors: Vec<NodeId> = (0..self.executors)
-            .map(|i| world.add_node(format!("executor{i}")))
+        // The executor fleet: the location-less pool first, then every
+        // placed executor with its label. An entirely empty fleet gets
+        // one default node — a system always has an executor.
+        let unlabeled = if self.executors == 0 && self.placed_executors.is_empty() {
+            1
+        } else {
+            self.executors
+        };
+        let mut executor_specs: Vec<(NodeId, Option<String>)> = (0..unlabeled)
+            .map(|i| (world.add_node(format!("executor{i}")), None))
             .collect();
+        for (name, location) in &self.placed_executors {
+            executor_specs.push((world.add_node(name.clone()), Some(location.clone())));
+        }
+        let executors: Vec<NodeId> = executor_specs.iter().map(|(node, _)| *node).collect();
 
         let registry = self.registry.unwrap_or_default();
         let provided = self.shard_storages.unwrap_or_default();
@@ -178,7 +220,7 @@ impl SystemBuilder {
                 let coordinator = Coordinator::open_sharded(
                     node,
                     repo_node,
-                    executors.clone(),
+                    executor_specs.clone(),
                     self.config.clone(),
                     storage.clone(),
                     shard.clone(),
@@ -193,8 +235,16 @@ impl SystemBuilder {
             })
             .collect();
 
-        for &node in &executors {
-            executor::install(&mut world, node, registry.clone());
+        for (node, location) in &executor_specs {
+            executor::install_with(
+                &mut world,
+                *node,
+                registry.clone(),
+                executor::ExecutorProfile {
+                    location: location.clone(),
+                    serial: self.serial_executors,
+                },
+            );
         }
 
         WorkflowSystem {
@@ -555,6 +605,18 @@ impl WorkflowSystem {
             .iter()
             .map(CoordHandle::store_prefix_scans)
             .sum()
+    }
+
+    /// One shard's current view of the executor fleet: per-executor
+    /// location label and in-flight dispatch count. Load views are per
+    /// shard (each coordinator schedules over the shared fleet with
+    /// its own counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn executor_loads(&self, shard: usize) -> Vec<crate::sched::ExecutorSlot> {
+        self.coords[shard].executor_loads()
     }
 
     /// The simulation trace.

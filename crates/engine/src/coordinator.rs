@@ -42,6 +42,7 @@ use crate::error::EngineError;
 use crate::keys::{cb_uid, InstanceKeys};
 use crate::msg::{EngineMsg, MarkMsg, StartTask, TaskDone, TaskResult};
 use crate::reconfig::{self, Reconfig};
+use crate::sched::{ExecutorSlot, ImplHints, SchedPolicy, Scheduler};
 use crate::shard::ShardMap;
 use crate::state::{CbState, TaskCb};
 use crate::value::ObjectVal;
@@ -70,6 +71,11 @@ pub struct EngineConfig {
     /// ([`CoordHandle::dispatch_trace`]). Unbounded — for equivalence
     /// tests and diagnostics only; production runs leave it off.
     pub record_dispatches: bool,
+    /// How dispatch picks executors. The default honors the
+    /// implementation clause's `location`/`priority` hints and tracks
+    /// per-executor load; [`SchedPolicy::PathHash`] is the legacy
+    /// baseline kept for the `scheduled` bench comparison.
+    pub scheduler: SchedPolicy,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +88,7 @@ impl Default for EngineConfig {
             checkpoint_every: None,
             full_rescan: false,
             record_dispatches: false,
+            scheduler: SchedPolicy::default(),
         }
     }
 }
@@ -273,6 +280,14 @@ pub struct CoordStats {
     /// Misdirected requests this coordinator forwarded to the owning
     /// shard (clients that route via the shard map never cause one).
     pub forwarded: u64,
+    /// Retries that had to land back on the node the previous attempt
+    /// failed on because no eligible alternative existed (a single
+    /// executor, or a `location` pin matching only the failed node).
+    pub no_alternative_retries: u64,
+    /// Dispatches dropped because the task or its control block
+    /// vanished between scheduling and sending (only a mid-flight
+    /// reconfiguration can legitimately cause one).
+    pub dropped_dispatches: u64,
 }
 
 impl std::ops::AddAssign<&CoordStats> for CoordStats {
@@ -289,6 +304,8 @@ impl std::ops::AddAssign<&CoordStats> for CoordStats {
             recovered_instances,
             evaluations,
             forwarded,
+            no_alternative_retries,
+            dropped_dispatches,
         } = *other;
         self.dispatches += dispatches;
         self.retries += retries;
@@ -299,6 +316,8 @@ impl std::ops::AddAssign<&CoordStats> for CoordStats {
         self.recovered_instances += recovered_instances;
         self.evaluations += evaluations;
         self.forwarded += forwarded;
+        self.no_alternative_retries += no_alternative_retries;
+        self.dropped_dispatches += dropped_dispatches;
     }
 }
 
@@ -312,6 +331,11 @@ pub struct DispatchRecord {
     pub path: String,
     /// Attempt number.
     pub attempt: u32,
+    /// The executor node the dispatch was sent to. (The shard/worklist
+    /// equivalence tests project this away: per-shard load views make
+    /// the *placement* legitimately differ across shard counts while
+    /// the `(path, attempt)` sequence stays identical.)
+    pub executor: NodeId,
 }
 
 /// Volatile per-instance runtime state (rebuilt on recovery).
@@ -334,6 +358,14 @@ struct InstanceRt {
     /// Paths with an outstanding dispatch, scheduled retry or pending
     /// repeat re-execution.
     in_flight: BTreeSet<String>,
+    /// The executor each outstanding dispatch was sent to — the unit
+    /// of the scheduler's load accounting (entry inserted when the
+    /// dispatch counts, removed exactly when the load is released).
+    dispatched_to: BTreeMap<String, NodeId>,
+    /// The node the most recent *failed* attempt of a path ran on;
+    /// consumed by the next dispatch so the retry relocates whenever
+    /// an eligible alternative exists.
+    retry_from: BTreeMap<String, NodeId>,
     /// Control blocks not yet in a terminal state, maintained
     /// incrementally at every transition commit (recounted only on
     /// recovery and reconfiguration). Stuck detection reads this
@@ -412,7 +444,10 @@ fn bind_map(
 pub struct Coordinator {
     node: NodeId,
     repo: NodeId,
-    executors: Vec<NodeId>,
+    /// Load-aware executor selection over the shared fleet (each shard
+    /// keeps its own load view; no cross-shard coordination on the
+    /// dispatch hot path).
+    sched: Scheduler,
     /// Instance ownership across all coordinator nodes of the system
     /// (shared verbatim by every shard; requests for instances this
     /// node does not own are forwarded to the owner).
@@ -452,7 +487,7 @@ impl Coordinator {
         Self::open_sharded(
             node,
             repo,
-            executors,
+            executors.into_iter().map(|node| (node, None)).collect(),
             config,
             storage,
             ShardMap::new(vec![node]),
@@ -462,7 +497,9 @@ impl Coordinator {
     /// [`Coordinator::open`] for one shard of a multi-coordinator
     /// system: `shard` names every coordinator node (this one
     /// included), and this coordinator serves only the instances the
-    /// map assigns to `node`, forwarding the rest.
+    /// map assigns to `node`, forwarding the rest. Each executor comes
+    /// with its optional `location` label — the scheduler's hard
+    /// placement constraint.
     ///
     /// # Errors
     ///
@@ -470,7 +507,7 @@ impl Coordinator {
     pub fn open_sharded(
         node: NodeId,
         repo: NodeId,
-        executors: Vec<NodeId>,
+        executors: Vec<(NodeId, Option<String>)>,
         config: EngineConfig,
         storage: SharedStorage,
         shard: ShardMap,
@@ -480,10 +517,11 @@ impl Coordinator {
             "shard map must include the node"
         );
         let mgr = TxManager::open(node.index() as u32, storage.clone())?;
+        let sched = Scheduler::new(executors, config.scheduler);
         Ok(Self {
             node,
             repo,
-            executors,
+            sched,
             shard,
             config,
             mgr,
@@ -536,6 +574,64 @@ impl Coordinator {
         if let Some(rt) = self.instances.get_mut(instance) {
             rt.nonterminal += n;
         }
+    }
+
+    /// Ends the load accounting of an outstanding dispatch: removes the
+    /// path's `dispatched_to` entry and decrements that executor's
+    /// in-flight count. Idempotent (the entry gates the decrement);
+    /// returns the executor the dispatch ran on, if one was counted.
+    fn release_dispatch(&mut self, instance: &str, path: &str) -> Option<NodeId> {
+        let node = self
+            .instances
+            .get_mut(instance)
+            .and_then(|rt| rt.dispatched_to.remove(path))?;
+        self.sched.note_release(node);
+        Some(node)
+    }
+
+    /// Drops every piece of volatile tracking under `scope_path` —
+    /// armed watchdogs, in-flight markers, retry origins and the
+    /// dispatch load accounting — when the subtree is cancelled or
+    /// reset. Returns the disarmed watchdog events for the caller to
+    /// cancel outside the borrow.
+    fn sweep_subtree(&mut self, instance: &str, scope_path: &str) -> Vec<(String, EventId)> {
+        let prefix = format!("{scope_path}/");
+        let stale: Vec<(String, EventId)> = self
+            .instances
+            .get_mut(instance)
+            .map(|rt| {
+                let stale: Vec<(String, EventId)> = rt
+                    .watchdogs
+                    .iter()
+                    .filter(|(path, _)| path.starts_with(&prefix))
+                    .map(|(path, id)| (path.clone(), *id))
+                    .collect();
+                for (path, _) in &stale {
+                    rt.watchdogs.remove(path);
+                }
+                rt.in_flight.retain(|path| !path.starts_with(&prefix));
+                rt.retry_from.retain(|path, _| !path.starts_with(&prefix));
+                stale
+            })
+            .unwrap_or_default();
+        // Release every outstanding dispatch under the subtree (a
+        // fired watchdog can outlive its load entry and vice versa, so
+        // sweep the accounting map itself).
+        let dispatched: Vec<String> = self
+            .instances
+            .get(instance)
+            .map(|rt| {
+                rt.dispatched_to
+                    .keys()
+                    .filter(|path| path.starts_with(&prefix))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        for path in dispatched {
+            let _ = self.release_dispatch(instance, &path);
+        }
+        stale
     }
 
     /// Recounts an instance's non-terminal control blocks from the
@@ -630,6 +726,13 @@ impl CoordHandle {
     /// The node this coordinator runs on.
     pub fn node(&self) -> NodeId {
         self.inner.borrow().node
+    }
+
+    /// This shard's current view of the executor fleet: per-executor
+    /// location label and in-flight dispatch count (monitoring; the
+    /// scheduling tests assert the counts drain to zero).
+    pub fn executor_loads(&self) -> Vec<ExecutorSlot> {
+        self.inner.borrow().sched.snapshot()
     }
 
     fn handle_message(&self, world: &mut World, envelope: &Envelope) {
@@ -955,6 +1058,8 @@ impl CoordHandle {
                 bindings: BTreeMap::new(),
                 watchdogs: BTreeMap::new(),
                 in_flight: BTreeSet::new(),
+                dispatched_to: BTreeMap::new(),
+                retry_from: BTreeMap::new(),
                 // Root Active + every descendant Waiting.
                 nonterminal: task_count,
             },
@@ -1067,7 +1172,8 @@ impl CoordHandle {
     }
 
     /// Pops the worklist to quiescence: all startability re-checks
-    /// first (ascending id — declaration order), then scope outputs
+    /// first (highest declared priority, ties by ascending id —
+    /// declaration order), then scope outputs
     /// deepest-first. Each progress step commits one atomic action and
     /// seeds the consumers of whatever it published.
     fn drain(
@@ -1284,7 +1390,12 @@ impl CoordHandle {
     // Dispatch and executor replies.
     // -----------------------------------------------------------------
 
-    /// Sends a `StartTask` to an executor and arms the watchdog.
+    /// Sends a `StartTask` to an executor and arms the watchdog. The
+    /// executor is chosen by the load-aware scheduler: `location` pins
+    /// are hard constraints (an unsatisfiable pin fails the task with
+    /// the diagnosable reason), a retry avoids the node the previous
+    /// attempt failed on whenever an alternative is eligible, and the
+    /// remainder goes least-loaded.
     fn dispatch(
         &self,
         world: &mut World,
@@ -1294,6 +1405,17 @@ impl CoordHandle {
         inputs: BTreeMap<String, ObjectVal>,
         repeat_objects: BTreeMap<String, ObjectVal>,
     ) {
+        enum Prepared {
+            Send {
+                node: NodeId,
+                executor: NodeId,
+                bytes: Vec<u8>,
+                timeout: SimDuration,
+                incarnation: u32,
+            },
+            /// The task cannot run anywhere (unsatisfiable location).
+            Unplaceable(String),
+        }
         // Gather everything under one borrow, then interact with the
         // world outside it.
         let prepared = {
@@ -1303,15 +1425,34 @@ impl CoordHandle {
             };
             let plan = rt.plan.clone();
             let keys = rt.keys.clone();
-            let Some(task_id) = plan.task_by_path(path) else {
-                return;
+            let (task_id, cb) = match plan.task_by_path(path) {
+                Some(task_id) => match coordinator.read_cb_id(&keys, task_id) {
+                    Some(cb) => (task_id, cb),
+                    None => {
+                        // Only a mid-flight reconfiguration can drop the
+                        // control block of a scheduled dispatch.
+                        coordinator.stats.dropped_dispatches += 1;
+                        debug_assert!(
+                            coordinator.stats.reconfigs > 0,
+                            "dispatch dropped `{path}` of `{instance}`: control block \
+                             missing without any reconfiguration"
+                        );
+                        return;
+                    }
+                },
+                None => {
+                    coordinator.stats.dropped_dispatches += 1;
+                    debug_assert!(
+                        coordinator.stats.reconfigs > 0,
+                        "dispatch dropped `{path}` of `{instance}`: task missing from \
+                         the plan without any reconfiguration"
+                    );
+                    return;
+                }
             };
             let task = plan.task(task_id);
-            let Some(cb) = coordinator.read_cb_id(&keys, task_id) else {
-                return;
-            };
             let CbState::Executing { set } = cb.state.clone() else {
-                return;
+                return; // stale (cancelled/terminated meanwhile): not a drop
             };
             // Run-time binding: per-instance rebinding overrides the
             // script's name.
@@ -1322,69 +1463,93 @@ impl CoordHandle {
                 .get(&script_code)
                 .cloned()
                 .unwrap_or(script_code);
-            // Executor choice: stable hash of the path plus the attempt,
-            // so retries move to a different node (service relocation).
-            let mut hash = 0u64;
-            for byte in path.bytes() {
-                hash = hash.wrapping_mul(31).wrapping_add(u64::from(byte));
-            }
-            let executor = coordinator.executors[(hash.wrapping_add(u64::from(attempt))
-                % coordinator.executors.len() as u64)
-                as usize];
             let implementation = plan.implementation_map(task);
-            // Watchdog: base timeout plus any declared duration/deadline
-            // hint from the implementation clause.
-            let mut timeout = coordinator.config.dispatch_timeout;
-            for key in ["duration_ms", "deadline_ms"] {
-                if let Some(extra) = implementation.get(key).and_then(|v| v.parse().ok()) {
-                    timeout = timeout + SimDuration::from_millis(extra);
+            let hints = ImplHints::from_map(&implementation);
+            // A failed attempt recorded the node it died on; consume it
+            // so the retry relocates whenever an alternative exists
+            // (service relocation, §3).
+            let avoid = coordinator
+                .instances
+                .get_mut(instance)
+                .and_then(|rt| rt.retry_from.remove(path));
+            match coordinator.sched.pick(path, attempt, &hints, avoid) {
+                Err(err) => Prepared::Unplaceable(err.to_string()),
+                Ok(placement) => {
+                    if placement.no_alternative {
+                        coordinator.stats.no_alternative_retries += 1;
+                    }
+                    // Watchdog: base timeout extended by the declared
+                    // duration, capped by the declared deadline.
+                    let timeout = hints.watchdog_timeout(coordinator.config.dispatch_timeout);
+                    let msg = EngineMsg::Start(StartTask {
+                        instance: instance.to_string(),
+                        path: path.to_string(),
+                        incarnation: cb.incarnation,
+                        attempt,
+                        code,
+                        implementation,
+                        set,
+                        inputs,
+                        repeat_objects,
+                    });
+                    coordinator.stats.dispatches += 1;
+                    if coordinator.config.record_dispatches {
+                        coordinator.dispatch_log.push(DispatchRecord {
+                            instance: instance.to_string(),
+                            path: path.to_string(),
+                            attempt,
+                            executor: placement.node,
+                        });
+                    }
+                    // Count the load now, releasing any stale entry a
+                    // defensive re-dispatch might have left behind.
+                    let _ = coordinator.release_dispatch(instance, path);
+                    coordinator.sched.note_dispatch(placement.node);
+                    if let Some(rt) = coordinator.instances.get_mut(instance) {
+                        rt.dispatched_to.insert(path.to_string(), placement.node);
+                    }
+                    Prepared::Send {
+                        node: coordinator.node,
+                        executor: placement.node,
+                        bytes: flowscript_codec::to_bytes(&msg),
+                        timeout,
+                        incarnation: cb.incarnation,
+                    }
                 }
             }
-            let msg = EngineMsg::Start(StartTask {
-                instance: instance.to_string(),
-                path: path.to_string(),
-                incarnation: cb.incarnation,
-                attempt,
-                code,
-                implementation,
-                set,
-                inputs,
-                repeat_objects,
-            });
-            coordinator.stats.dispatches += 1;
-            if coordinator.config.record_dispatches {
-                coordinator.dispatch_log.push(DispatchRecord {
-                    instance: instance.to_string(),
-                    path: path.to_string(),
-                    attempt,
-                });
+        };
+        match prepared {
+            Prepared::Unplaceable(reason) => {
+                // No amount of retrying places an unsatisfiable pin:
+                // fail the task immediately with the diagnosable reason.
+                self.fail_task(world, instance, path, &reason);
             }
-            (
-                coordinator.node,
+            Prepared::Send {
+                node,
                 executor,
-                flowscript_codec::to_bytes(&msg),
+                bytes,
                 timeout,
-                cb.incarnation,
-            )
-        };
-        let (node, executor, bytes, timeout, incarnation) = prepared;
-        let handle = self.clone();
-        let instance_owned = instance.to_string();
-        let path_owned = path.to_string();
-        let watchdog = world.schedule_node_after(node, timeout, move |world| {
-            handle.on_watchdog(world, &instance_owned, &path_owned, incarnation, attempt);
-        });
-        let stale = {
-            let mut coordinator = self.inner.borrow_mut();
-            coordinator.instances.get_mut(instance).and_then(|rt| {
-                rt.in_flight.insert(path.to_string());
-                rt.watchdogs.insert(path.to_string(), watchdog)
-            })
-        };
-        if let Some(stale) = stale {
-            world.cancel(stale);
+                incarnation,
+            } => {
+                let handle = self.clone();
+                let instance_owned = instance.to_string();
+                let path_owned = path.to_string();
+                let watchdog = world.schedule_node_after(node, timeout, move |world| {
+                    handle.on_watchdog(world, &instance_owned, &path_owned, incarnation, attempt);
+                });
+                let stale = {
+                    let mut coordinator = self.inner.borrow_mut();
+                    coordinator.instances.get_mut(instance).and_then(|rt| {
+                        rt.in_flight.insert(path.to_string());
+                        rt.watchdogs.insert(path.to_string(), watchdog)
+                    })
+                };
+                if let Some(stale) = stale {
+                    world.cancel(stale);
+                }
+                world.send(node, executor, bytes);
+            }
         }
-        world.send(node, executor, bytes);
     }
 
     fn on_task_done(&self, world: &mut World, msg: TaskDone) {
@@ -1404,10 +1569,18 @@ impl CoordHandle {
         if cb.incarnation != msg.incarnation || cb.attempt != msg.attempt {
             return; // stale attempt or previous scope incarnation
         }
-        self.clear_watch(world, &msg.instance, &msg.path);
+        let released = self.clear_watch(world, &msg.instance, &msg.path);
 
         match msg.result.clone() {
             TaskResult::ExecError { reason } => {
+                // Remember the node the attempt died on so the retry
+                // relocates whenever an alternative is eligible.
+                if let Some(node) = released {
+                    let mut coordinator = self.inner.borrow_mut();
+                    if let Some(rt) = coordinator.instances.get_mut(&msg.instance) {
+                        rt.retry_from.insert(msg.path.clone(), node);
+                    }
+                }
                 self.retry_or_fail(world, &msg.instance, &msg.path, &reason);
             }
             TaskResult::Output {
@@ -1660,6 +1833,16 @@ impl CoordHandle {
         {
             return;
         }
+        // The executor is presumed lost: stop counting the dispatch
+        // against it and remember the node so the retry relocates.
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            if let Some(node) = coordinator.release_dispatch(instance, path) {
+                if let Some(rt) = coordinator.instances.get_mut(instance) {
+                    rt.retry_from.insert(path.to_string(), node);
+                }
+            }
+        }
         self.retry_or_fail(world, instance, path, "dispatch timed out");
     }
 
@@ -1773,6 +1956,11 @@ impl CoordHandle {
     fn fail_task(&self, world: &mut World, instance: &str, path: &str, reason: &str) {
         {
             let mut coordinator = self.inner.borrow_mut();
+            // End any outstanding load accounting for the path.
+            let _ = coordinator.release_dispatch(instance, path);
+            if let Some(rt) = coordinator.instances.get_mut(instance) {
+                rt.retry_from.remove(path);
+            }
             let Some(mut cb) = coordinator.read_cb(instance, path) else {
                 return;
             };
@@ -1803,18 +1991,23 @@ impl CoordHandle {
         self.evaluate_from(world, instance, &[]);
     }
 
-    fn clear_watch(&self, world: &mut World, instance: &str, path: &str) {
-        let watchdog = {
+    /// Disarms a dispatch's watchdog and releases its load accounting;
+    /// returns the executor the dispatch ran on, if one was counted.
+    fn clear_watch(&self, world: &mut World, instance: &str, path: &str) -> Option<NodeId> {
+        let (watchdog, released) = {
             let mut coordinator = self.inner.borrow_mut();
-            coordinator
+            let watchdog = coordinator
                 .instances
                 .get_mut(instance)
-                .and_then(|rt| rt.watchdogs.remove(path))
+                .and_then(|rt| rt.watchdogs.remove(path));
+            let released = coordinator.release_dispatch(instance, path);
+            (watchdog, released)
         };
         if let Some(id) = watchdog {
             world.cancel(id);
         }
         self.remove_in_flight(instance, path);
+        released
     }
 
     fn remove_in_flight(&self, instance: &str, path: &str) {
@@ -1926,27 +2119,7 @@ impl CoordHandle {
             }
         }
         // Drop volatile tracking for the whole subtree.
-        let watchdogs = {
-            let mut coordinator = self.inner.borrow_mut();
-            let prefix = format!("{scope_path}/");
-            coordinator
-                .instances
-                .get_mut(instance)
-                .map(|rt| {
-                    let stale: Vec<(String, EventId)> = rt
-                        .watchdogs
-                        .iter()
-                        .filter(|(path, _)| path.starts_with(&prefix))
-                        .map(|(path, id)| (path.clone(), *id))
-                        .collect();
-                    for (path, _) in &stale {
-                        rt.watchdogs.remove(path);
-                        rt.in_flight.remove(path);
-                    }
-                    stale
-                })
-                .unwrap_or_default()
-        };
+        let watchdogs = self.inner.borrow_mut().sweep_subtree(instance, scope_path);
         for (_, id) in watchdogs {
             world.cancel(id);
         }
@@ -2080,27 +2253,7 @@ impl CoordHandle {
             }
         };
         // Cancel volatile subtree tracking either way.
-        let watchdogs = {
-            let mut coordinator = self.inner.borrow_mut();
-            let prefix = format!("{scope_path}/");
-            coordinator
-                .instances
-                .get_mut(instance)
-                .map(|rt| {
-                    let stale: Vec<(String, EventId)> = rt
-                        .watchdogs
-                        .iter()
-                        .filter(|(path, _)| path.starts_with(&prefix))
-                        .map(|(path, id)| (path.clone(), *id))
-                        .collect();
-                    for (path, _) in &stale {
-                        rt.watchdogs.remove(path);
-                        rt.in_flight.remove(path);
-                    }
-                    stale
-                })
-                .unwrap_or_default()
-        };
+        let watchdogs = self.inner.borrow_mut().sweep_subtree(instance, scope_path);
         for (_, id) in watchdogs {
             world.cancel(id);
         }
@@ -2497,6 +2650,9 @@ impl CoordHandle {
             };
             coordinator.mgr = mgr;
             coordinator.instances.clear();
+            // The in-flight view died with the process; re-dispatches
+            // below rebuild it.
+            coordinator.sched.reset_loads();
 
             // Enumerate instances by their meta objects.
             let metas: Vec<ObjectUid> = coordinator
@@ -2574,6 +2730,8 @@ impl CoordHandle {
                         bindings,
                         watchdogs: BTreeMap::new(),
                         in_flight: BTreeSet::new(),
+                        dispatched_to: BTreeMap::new(),
+                        retry_from: BTreeMap::new(),
                         nonterminal,
                     },
                 );

@@ -11,10 +11,21 @@
 //! Per §4.3 an implementation name may refer to *a script*; such bindings
 //! run a complete nested workflow (own simulated world, same registry)
 //! and map its root outcome onto this task's completion.
+//!
+//! An executor registers a **location label** at install time
+//! ([`ExecutorProfile::location`]): the coordinators' schedulers treat
+//! a task's `location` hint as a hard placement constraint, and the
+//! executor itself double-checks the pin on arrival (a mispinned task
+//! is rejected as an execution error instead of silently running in
+//! the wrong place). A profile can also declare **serial capacity**:
+//! one task at a time, later arrivals queueing behind it in virtual
+//! time — the queueing model that makes executor load observable (the
+//! `scheduled` bench variant runs on it).
 
 use std::cell::Cell;
+use std::rc::Rc;
 
-use flowscript_sim::{Envelope, NodeId, SimDuration, World};
+use flowscript_sim::{Envelope, NodeId, SimDuration, SimTime, World};
 
 use crate::impl_registry::{ImplRegistry, Invocation, InvokeCtx, TaskBehavior};
 use crate::msg::{EngineMsg, MarkMsg, StartTask, TaskDone, TaskResult};
@@ -28,22 +39,87 @@ thread_local! {
 /// Maximum depth of script-as-implementation nesting.
 pub const MAX_SCRIPT_NESTING: u32 = 8;
 
-/// Installs the executor handler on `node`. Results are reported to
+/// How one executor node is deployed.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutorProfile {
+    /// The node's location label. Registered with every coordinator's
+    /// scheduler and re-checked on arrival against the task's
+    /// `location` hint.
+    pub location: Option<String>,
+    /// Run one task at a time, queueing later arrivals in virtual time
+    /// (FIFO by arrival). The default keeps the legacy
+    /// infinitely-parallel node: load then only shows in the
+    /// coordinator's in-flight counters, never in virtual latency.
+    ///
+    /// Caveat: the queue reservation is made at arrival and there is
+    /// no cancel protocol, so an attempt the coordinator abandons (a
+    /// watchdog firing while the task is still queued) keeps its slot
+    /// and the retry queues *behind* it. Serial fleets should pair
+    /// with watchdog timeouts generous relative to the expected queue
+    /// depth (as the `scheduled` bench and tests do) — tight
+    /// `deadline_ms` pins on a saturated serial node retry into an
+    /// ever-longer queue until retries exhaust.
+    pub serial: bool,
+}
+
+/// Installs the executor handler on `node` with the default profile
+/// (no location label, parallel capacity). Results are reported to
 /// whichever coordinator dispatched the task (executors are shared by
 /// every shard of a multi-coordinator system).
 pub fn install(world: &mut World, node: NodeId, registry: ImplRegistry) {
+    install_with(world, node, registry, ExecutorProfile::default());
+}
+
+/// [`install`] with an explicit deployment profile (location label,
+/// capacity model).
+pub fn install_with(
+    world: &mut World,
+    node: NodeId,
+    registry: ImplRegistry,
+    profile: ExecutorProfile,
+) {
+    // The serial queue tail: next free moment in virtual time.
+    let busy_until = Rc::new(Cell::new(SimTime::ZERO));
     world.set_handler(node, move |world, envelope| {
-        handle(world, node, &registry, envelope);
+        handle(world, node, &registry, &profile, &busy_until, envelope);
     });
 }
 
-fn handle(world: &mut World, node: NodeId, registry: &ImplRegistry, envelope: &Envelope) {
+fn handle(
+    world: &mut World,
+    node: NodeId,
+    registry: &ImplRegistry,
+    profile: &ExecutorProfile,
+    busy_until: &Rc<Cell<SimTime>>,
+    envelope: &Envelope,
+) {
     let Ok(EngineMsg::Start(start)) = flowscript_codec::from_bytes::<EngineMsg>(&envelope.payload)
     else {
         return;
     };
     // Reply to the shard that dispatched this task, not a fixed node.
     let coordinator = envelope.src;
+    // Location guard: the scheduler should never mispin, but a task
+    // arriving at the wrong place must fail loudly, not run quietly.
+    if let Some(pinned) = start.hints().location {
+        if profile.location.as_deref() != Some(pinned.as_str()) {
+            let reason = format!(
+                "task pinned to location `{pinned}` arrived at an executor registered {}",
+                match &profile.location {
+                    Some(label) => format!("at `{label}`"),
+                    None => "without a location".to_string(),
+                }
+            );
+            send_done(
+                world,
+                node,
+                coordinator,
+                &start,
+                TaskResult::ExecError { reason },
+            );
+            return;
+        }
+    }
     let ctx = InvokeCtx {
         path: start.path.clone(),
         incarnation: start.incarnation,
@@ -81,16 +157,30 @@ fn handle(world: &mut World, node: NodeId, registry: &ImplRegistry, envelope: &E
             }
         }
     };
-    play_behavior(world, node, coordinator, &start, behavior);
+    // Serial capacity: the task waits for the queue tail before its
+    // work (and marks) begin; the tail advances by its work time.
+    let queue_delay = if profile.serial {
+        let now = world.now();
+        let tail = busy_until.get().max(now);
+        let delay = tail.since(now);
+        busy_until.set(tail + behavior.work);
+        delay
+    } else {
+        SimDuration::ZERO
+    };
+    play_behavior(world, node, coordinator, &start, behavior, queue_delay);
 }
 
-/// Schedules the behaviour's marks and completion in simulated time.
+/// Schedules the behaviour's marks and completion in simulated time,
+/// `queue_delay` after now (the node's serial queue, zero on parallel
+/// nodes).
 fn play_behavior(
     world: &mut World,
     node: NodeId,
     coordinator: NodeId,
     start: &StartTask,
     behavior: TaskBehavior,
+    queue_delay: SimDuration,
 ) {
     for mark in behavior.marks {
         let msg = EngineMsg::Mark(MarkMsg {
@@ -101,7 +191,7 @@ fn play_behavior(
             mark: mark.name,
             objects: mark.objects,
         });
-        let at = mark.at.min(behavior.work);
+        let at = queue_delay + mark.at.min(behavior.work);
         world.schedule_node_after(node, at, move |world| {
             world.send(node, coordinator, flowscript_codec::to_bytes(&msg));
         });
@@ -112,7 +202,7 @@ fn play_behavior(
         redo_after: behavior.redo_after,
     };
     let start = start.clone();
-    world.schedule_node_after(node, behavior.work, move |world| {
+    world.schedule_node_after(node, queue_delay + behavior.work, move |world| {
         send_done(world, node, coordinator, &start, done);
     });
 }

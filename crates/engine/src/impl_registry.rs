@@ -56,6 +56,13 @@ impl InvokeCtx {
     pub fn impl_value(&self, key: &str) -> Option<&str> {
         self.implementation.get(key).map(String::as_str)
     }
+
+    /// The typed scheduling hints of the implementation clause
+    /// (location, priority, duration, deadline) — one extraction
+    /// instead of ad-hoc string parsing per consumer.
+    pub fn hints(&self) -> crate::sched::ImplHints {
+        crate::sched::ImplHints::from_map(&self.implementation)
+    }
 }
 
 /// A mark emitted part-way through execution (early release, §4.2).
@@ -286,11 +293,13 @@ pub enum Invocation {
 ///   echoing its inputs as outputs (handy glue in tests/benches).
 fn builtin(name: &str, ctx: &InvokeCtx) -> Result<TaskBehavior, String> {
     if name == "timer" {
-        let millis: u64 = ctx
-            .impl_value("duration_ms")
-            .ok_or_else(|| "builtin:timer needs a duration_ms implementation pair".to_string())?
-            .parse()
-            .map_err(|_| "builtin:timer duration_ms must be an integer".to_string())?;
+        if ctx.impl_value("duration_ms").is_none() {
+            return Err("builtin:timer needs a duration_ms implementation pair".to_string());
+        }
+        let millis = ctx
+            .hints()
+            .duration_ms
+            .ok_or_else(|| "builtin:timer duration_ms must be an integer".to_string())?;
         return Ok(TaskBehavior::outcome("fired").with_work(SimDuration::from_millis(millis)));
     }
     if let Some(outcome) = name.strip_prefix("emit:") {

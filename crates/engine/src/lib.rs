@@ -15,6 +15,11 @@
 //! - **task executors** ([`executor`]) on separate simulated nodes,
 //!   running implementations bound *at run time* by name
 //!   ([`ImplRegistry`]), including the built-in timer,
+//! - **load-aware scheduling** ([`sched`]): dispatch honors the
+//!   implementation clause's typed hints — `location` as a hard
+//!   placement constraint, `priority` ordering ready tasks, declared
+//!   durations/deadlines shaping the watchdog — and picks the least
+//!   loaded eligible executor, relocating retries off failed nodes,
 //! - **dynamic reconfiguration** ([`reconfig`]): transactional
 //!   addition/removal of tasks and dependencies in a running instance,
 //!   and implementation rebinding (online upgrade),
@@ -65,6 +70,7 @@ mod keys;
 mod msg;
 pub mod reconfig;
 pub mod repository;
+pub mod sched;
 pub mod shard;
 pub mod state;
 mod value;
@@ -76,6 +82,7 @@ pub use impl_registry::{
     Completion, ImplRegistry, InvokeCtx, MarkEmission, TaskBehavior, TaskImpl,
 };
 pub use reconfig::Reconfig;
+pub use sched::{ExecutorSlot, ImplHints, SchedPolicy, Scheduler};
 pub use shard::ShardMap;
 pub use state::{CbState, TaskCb};
 pub use value::ObjectVal;

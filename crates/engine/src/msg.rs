@@ -31,6 +31,15 @@ pub struct StartTask {
     pub repeat_objects: BTreeMap<String, ObjectVal>,
 }
 
+impl StartTask {
+    /// The typed scheduling hints carried in the implementation clause
+    /// (the executor's location guard reads these instead of parsing
+    /// strings itself).
+    pub fn hints(&self) -> crate::sched::ImplHints {
+        crate::sched::ImplHints::from_map(&self.implementation)
+    }
+}
+
 /// Executor → coordinator: a task finished (outcome or abort), or could
 /// not run at all.
 #[derive(Debug, Clone, PartialEq)]

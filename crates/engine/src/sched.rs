@@ -1,0 +1,469 @@
+//! Load-aware executor scheduling.
+//!
+//! The composition language lets every task declare an `implementation`
+//! clause — `"location"`, `"priority"`, `"duration_ms"`, `"deadline_ms"`
+//! pairs — precisely so the runtime can *place* (and, under failure,
+//! *re-place*) the service that runs it (the paper's service-relocation
+//! story, §3/§4). This module turns those hints from parsed-but-ignored
+//! strings into scheduling decisions:
+//!
+//! - [`ImplHints`] is the typed view of the clause, extracted once per
+//!   dispatch instead of ad-hoc string parsing at every consumer,
+//! - [`Scheduler`] tracks per-executor in-flight load (incremented at
+//!   dispatch, decremented when the task completes, fails or times
+//!   out) and picks the target node: `location` is a **hard
+//!   constraint** (only matching executors are eligible; a location no
+//!   executor carries fails the task with a diagnosable error), retries
+//!   avoid the node that just failed whenever any alternative is
+//!   eligible, and the remainder is decided **least-loaded** (ties
+//!   break by executor order, keeping runs deterministic).
+//!
+//! Each coordinator shard owns a scheduler over the *shared* executor
+//! fleet: load views are per shard, so no cross-shard coordination sits
+//! on the dispatch hot path. The legacy path-hash policy survives as
+//! [`SchedPolicy::PathHash`] — the baseline the `plan_dispatch`
+//! `scheduled` bench variant (and the regression tests) compare
+//! against.
+
+use std::collections::BTreeMap;
+
+use flowscript_sim::{NodeId, SimDuration};
+
+/// Typed view of a task's `implementation` clause. Unparsable values
+/// degrade to `None`/default rather than failing dispatch — the clause
+/// doubles as a free-form key/value store (`"code"` lives there too).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImplHints {
+    /// Placement constraint: only executors registered at this
+    /// location may run the task.
+    pub location: Option<String>,
+    /// Scheduling priority (higher runs first when ready tasks contend
+    /// for busy executors; absent or unparsable means 0).
+    pub priority: i64,
+    /// Declared expected execution time, added to the watchdog base.
+    pub duration_ms: Option<u64>,
+    /// Declared deadline: a **cap** on the watchdog timeout, never a
+    /// summand.
+    pub deadline_ms: Option<u64>,
+}
+
+impl ImplHints {
+    /// Extracts the typed hints from an implementation key/value map.
+    pub fn from_map(implementation: &BTreeMap<String, String>) -> Self {
+        Self {
+            location: implementation.get("location").cloned(),
+            priority: implementation
+                .get("priority")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            duration_ms: implementation
+                .get("duration_ms")
+                .and_then(|v| v.parse().ok()),
+            deadline_ms: implementation
+                .get("deadline_ms")
+                .and_then(|v| v.parse().ok()),
+        }
+    }
+
+    /// The watchdog timeout for one dispatch: the engine's base
+    /// timeout, extended by the declared `duration_ms` (the task *said*
+    /// it needs that long), the whole thing capped by `deadline_ms`
+    /// when declared — a deadline bounds how long the task may take, it
+    /// never extends the watchdog.
+    pub fn watchdog_timeout(&self, base: SimDuration) -> SimDuration {
+        let mut timeout = base;
+        if let Some(extra) = self.duration_ms {
+            timeout = timeout + SimDuration::from_millis(extra);
+        }
+        if let Some(cap) = self.deadline_ms {
+            timeout = timeout.min(SimDuration::from_millis(cap));
+        }
+        timeout
+    }
+}
+
+/// How dispatch picks an executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Load-aware: location hard constraint, avoid the failed node on
+    /// retry, least in-flight load among the eligible remainder.
+    #[default]
+    LeastLoaded,
+    /// The legacy baseline: stable hash of the task path plus the
+    /// attempt, ignoring hints and load (kept for the `scheduled`
+    /// bench comparison and as a regression oracle).
+    PathHash,
+}
+
+/// One executor as the scheduler sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutorSlot {
+    /// The executor's node.
+    pub node: NodeId,
+    /// Its registered location label, if any.
+    pub location: Option<String>,
+    /// Dispatches currently in flight on it *from this coordinator*.
+    pub in_flight: u32,
+}
+
+/// Why the scheduler could not place a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The task pins a location no registered executor carries. The
+    /// offending location is carried for the diagnostic.
+    NoExecutorAt(String),
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::NoExecutorAt(location) => {
+                write!(f, "no executor registered at location `{location}`")
+            }
+        }
+    }
+}
+
+/// A placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The chosen executor node.
+    pub node: NodeId,
+    /// True when the dispatch had to re-use the node it was asked to
+    /// avoid (a retry with no eligible alternative — e.g. a single
+    /// executor, or a location pin matching exactly the failed node).
+    pub no_alternative: bool,
+}
+
+/// Per-coordinator executor scheduler (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    slots: Vec<ExecutorSlot>,
+    policy: SchedPolicy,
+}
+
+impl Scheduler {
+    /// Builds a scheduler over the executor fleet. `slots` order is the
+    /// deterministic tie-break order.
+    pub fn new(executors: Vec<(NodeId, Option<String>)>, policy: SchedPolicy) -> Self {
+        Self {
+            slots: executors
+                .into_iter()
+                .map(|(node, location)| ExecutorSlot {
+                    node,
+                    location,
+                    in_flight: 0,
+                })
+                .collect(),
+            policy,
+        }
+    }
+
+    /// The legacy stable path hash (FNV-free multiplicative hash kept
+    /// byte-compatible with the pre-scheduler dispatch).
+    fn path_hash(path: &str) -> u64 {
+        let mut hash = 0u64;
+        for byte in path.bytes() {
+            hash = hash.wrapping_mul(31).wrapping_add(u64::from(byte));
+        }
+        hash
+    }
+
+    /// Picks the executor for one dispatch.
+    ///
+    /// `avoid` names the node the previous attempt died on (retries
+    /// must relocate whenever an eligible alternative exists).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::NoExecutorAt`] when the task's `location` pin
+    /// matches no registered executor — the task cannot run anywhere,
+    /// so the caller fails it with the diagnosable reason instead of
+    /// burning retries.
+    pub fn pick(
+        &self,
+        path: &str,
+        attempt: u32,
+        hints: &ImplHints,
+        avoid: Option<NodeId>,
+    ) -> Result<Placement, SchedError> {
+        assert!(!self.slots.is_empty(), "a system always has an executor");
+        if self.policy == SchedPolicy::PathHash {
+            // Baseline: hash of the path plus the attempt over the
+            // whole fleet, hints and load ignored.
+            let index = (Self::path_hash(path).wrapping_add(u64::from(attempt))
+                % self.slots.len() as u64) as usize;
+            let node = self.slots[index].node;
+            return Ok(Placement {
+                node,
+                no_alternative: avoid == Some(node) && self.slots.len() == 1,
+            });
+        }
+        let eligible = |slot: &&ExecutorSlot| match &hints.location {
+            Some(location) => slot.location.as_deref() == Some(location.as_str()),
+            None => true,
+        };
+        if !self.slots.iter().any(|slot| eligible(&slot)) {
+            return Err(SchedError::NoExecutorAt(
+                hints.location.clone().unwrap_or_default(),
+            ));
+        }
+        // Least-loaded among the eligible, preferring nodes other than
+        // `avoid`; ties break by slot order (deterministic runs).
+        let best = |skip_avoided: bool| {
+            self.slots
+                .iter()
+                .filter(eligible)
+                .filter(|slot| !skip_avoided || avoid != Some(slot.node))
+                .min_by_key(|slot| slot.in_flight)
+        };
+        if let Some(slot) = best(true) {
+            return Ok(Placement {
+                node: slot.node,
+                no_alternative: false,
+            });
+        }
+        let slot = best(false).expect("eligibility checked above");
+        Ok(Placement {
+            node: slot.node,
+            // Only a retry can set `avoid`; landing back on it means no
+            // alternative was eligible.
+            no_alternative: avoid.is_some(),
+        })
+    }
+
+    /// Records a dispatch landing on `node`.
+    pub fn note_dispatch(&mut self, node: NodeId) {
+        if let Some(slot) = self.slots.iter_mut().find(|slot| slot.node == node) {
+            slot.in_flight += 1;
+        }
+    }
+
+    /// Records the dispatch on `node` ending (completion, failure,
+    /// watchdog, or subtree cancellation).
+    pub fn note_release(&mut self, node: NodeId) {
+        if let Some(slot) = self.slots.iter_mut().find(|slot| slot.node == node) {
+            slot.in_flight = slot.in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Zeroes every load counter (coordinator recovery rebuilds its
+    /// in-flight view from scratch).
+    pub fn reset_loads(&mut self) {
+        for slot in &mut self.slots {
+            slot.in_flight = 0;
+        }
+    }
+
+    /// The current per-executor view (monitoring / tests).
+    pub fn snapshot(&self) -> Vec<ExecutorSlot> {
+        self.slots.clone()
+    }
+
+    /// The in-flight count of `node` (0 for unknown nodes).
+    pub fn load_of(&self, node: NodeId) -> u32 {
+        self.slots
+            .iter()
+            .find(|slot| slot.node == node)
+            .map_or(0, |slot| slot.in_flight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        let mut world = flowscript_sim::World::new(0);
+        (0..n).map(|i| world.add_node(format!("e{i}"))).collect()
+    }
+
+    fn hints(pairs: &[(&str, &str)]) -> ImplHints {
+        ImplHints::from_map(
+            &pairs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn hints_extract_typed_values() {
+        let h = hints(&[
+            ("location", "paris"),
+            ("priority", "7"),
+            ("duration_ms", "250"),
+            ("deadline_ms", "900"),
+            ("code", "refX"),
+        ]);
+        assert_eq!(h.location.as_deref(), Some("paris"));
+        assert_eq!(h.priority, 7);
+        assert_eq!(h.duration_ms, Some(250));
+        assert_eq!(h.deadline_ms, Some(900));
+        // Unparsable values degrade instead of failing dispatch.
+        let h = hints(&[("priority", "high"), ("duration_ms", "soon")]);
+        assert_eq!(h.priority, 0);
+        assert_eq!(h.duration_ms, None);
+    }
+
+    #[test]
+    fn deadline_caps_the_watchdog_instead_of_extending_it() {
+        let base = SimDuration::from_millis(1000);
+        // duration extends…
+        assert_eq!(
+            hints(&[("duration_ms", "500")]).watchdog_timeout(base),
+            SimDuration::from_millis(1500)
+        );
+        // …deadline caps…
+        assert_eq!(
+            hints(&[("deadline_ms", "700")]).watchdog_timeout(base),
+            SimDuration::from_millis(700)
+        );
+        // …and with both set the deadline bounds the extended timeout
+        // (the old code summed all three: 1000 + 500 + 1200).
+        assert_eq!(
+            hints(&[("duration_ms", "500"), ("deadline_ms", "1200")]).watchdog_timeout(base),
+            SimDuration::from_millis(1200)
+        );
+        // A generous deadline leaves the extension alone.
+        assert_eq!(
+            hints(&[("duration_ms", "500"), ("deadline_ms", "60000")]).watchdog_timeout(base),
+            SimDuration::from_millis(1500)
+        );
+    }
+
+    #[test]
+    fn least_loaded_spreads_and_ties_break_deterministically() {
+        let ids = nodes(3);
+        let mut sched = Scheduler::new(
+            ids.iter().map(|&n| (n, None)).collect(),
+            SchedPolicy::LeastLoaded,
+        );
+        // All empty: first slot wins the tie.
+        let first = sched
+            .pick("root/t", 0, &ImplHints::default(), None)
+            .unwrap();
+        assert_eq!(first.node, ids[0]);
+        sched.note_dispatch(first.node);
+        // Next dispatch moves to the (now less loaded) second slot.
+        let second = sched
+            .pick("root/t", 0, &ImplHints::default(), None)
+            .unwrap();
+        assert_eq!(second.node, ids[1]);
+        sched.note_dispatch(second.node);
+        let third = sched
+            .pick("root/t", 0, &ImplHints::default(), None)
+            .unwrap();
+        assert_eq!(third.node, ids[2]);
+        sched.note_dispatch(third.node);
+        // Releasing the middle one makes it least loaded again.
+        sched.note_release(ids[1]);
+        let again = sched
+            .pick("root/t", 0, &ImplHints::default(), None)
+            .unwrap();
+        assert_eq!(again.node, ids[1]);
+    }
+
+    #[test]
+    fn location_is_a_hard_constraint() {
+        let ids = nodes(3);
+        let sched = Scheduler::new(
+            vec![
+                (ids[0], None),
+                (ids[1], Some("paris".into())),
+                (ids[2], Some("tokyo".into())),
+            ],
+            SchedPolicy::LeastLoaded,
+        );
+        let paris = hints(&[("location", "paris")]);
+        assert_eq!(sched.pick("p", 0, &paris, None).unwrap().node, ids[1]);
+        // Even when the pinned node is more loaded than the others.
+        let mut sched = sched;
+        for _ in 0..5 {
+            sched.note_dispatch(ids[1]);
+        }
+        assert_eq!(sched.pick("p", 0, &paris, None).unwrap().node, ids[1]);
+        // A location nobody carries is a diagnosable error.
+        let mars = hints(&[("location", "mars")]);
+        assert_eq!(
+            sched.pick("p", 0, &mars, None),
+            Err(SchedError::NoExecutorAt("mars".into()))
+        );
+    }
+
+    #[test]
+    fn retries_relocate_when_an_alternative_exists() {
+        let ids = nodes(2);
+        let sched = Scheduler::new(
+            ids.iter().map(|&n| (n, None)).collect(),
+            SchedPolicy::LeastLoaded,
+        );
+        let placed = sched
+            .pick("root/t", 1, &ImplHints::default(), Some(ids[0]))
+            .unwrap();
+        assert_eq!(placed.node, ids[1]);
+        assert!(!placed.no_alternative);
+    }
+
+    #[test]
+    fn single_executor_retry_is_flagged_no_alternative() {
+        let ids = nodes(1);
+        let sched = Scheduler::new(vec![(ids[0], None)], SchedPolicy::LeastLoaded);
+        let placed = sched
+            .pick("root/t", 1, &ImplHints::default(), Some(ids[0]))
+            .unwrap();
+        assert_eq!(placed.node, ids[0]);
+        assert!(placed.no_alternative, "single executor cannot relocate");
+        // A pinned retry whose location matches only the failed node is
+        // flagged too.
+        let ids = nodes(2);
+        let sched = Scheduler::new(
+            vec![(ids[0], Some("edge".into())), (ids[1], None)],
+            SchedPolicy::LeastLoaded,
+        );
+        let placed = sched
+            .pick("root/t", 2, &hints(&[("location", "edge")]), Some(ids[0]))
+            .unwrap();
+        assert_eq!(placed.node, ids[0]);
+        assert!(placed.no_alternative);
+    }
+
+    #[test]
+    fn path_hash_policy_reproduces_the_legacy_choice() {
+        let ids = nodes(4);
+        let sched = Scheduler::new(
+            ids.iter().map(|&n| (n, None)).collect(),
+            SchedPolicy::PathHash,
+        );
+        let path = "root/task";
+        let mut hash = 0u64;
+        for byte in path.bytes() {
+            hash = hash.wrapping_mul(31).wrapping_add(u64::from(byte));
+        }
+        for attempt in 0..6 {
+            let expected = ids[(hash.wrapping_add(u64::from(attempt)) % 4) as usize];
+            assert_eq!(
+                sched
+                    .pick(path, attempt, &ImplHints::default(), None)
+                    .unwrap()
+                    .node,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn release_never_underflows_and_reset_zeroes() {
+        let ids = nodes(2);
+        let mut sched = Scheduler::new(
+            ids.iter().map(|&n| (n, None)).collect(),
+            SchedPolicy::LeastLoaded,
+        );
+        sched.note_release(ids[0]);
+        assert_eq!(sched.load_of(ids[0]), 0);
+        sched.note_dispatch(ids[0]);
+        sched.note_dispatch(ids[1]);
+        sched.reset_loads();
+        assert!(sched.snapshot().iter().all(|slot| slot.in_flight == 0));
+    }
+}

@@ -304,10 +304,15 @@ pub fn eval_scope_outputs<F: PlanFacts>(
 /// constituent that can start must start before its scope considers
 /// terminating, matching the engine's fixpoint precedence), and output
 /// work deepest-scope-first (an inner compound's outcome feeds outer
-/// mappings).
+/// mappings). Start work is ordered by declared **priority** (highest
+/// first; the implementation clause's `"priority"` pair), ties by
+/// ascending id — so when several ready tasks contend for busy
+/// executors, the high-priority one dispatches first.
 #[derive(Debug, Default, Clone)]
 pub struct Worklist {
-    start: BTreeSet<TaskId>,
+    /// Keyed `(Reverse(priority), id)`: iteration order is the
+    /// dispatch order.
+    start: BTreeSet<(std::cmp::Reverse<i64>, TaskId)>,
     outputs: BTreeSet<TaskId>,
 }
 
@@ -330,7 +335,8 @@ impl Worklist {
     /// Re-check one task's input sets (and outputs, for a scope).
     pub fn push_task(&mut self, plan: &Plan, task: TaskId) {
         if plan.task(task).parent.is_some() {
-            self.start.insert(task);
+            self.start
+                .insert((std::cmp::Reverse(plan.task_priority(task)), task));
         }
         if plan.task(task).is_scope {
             self.outputs.insert(task);
@@ -349,7 +355,8 @@ impl Worklist {
     /// its direct constituents, and the scope's own outputs.
     pub fn seed_children(&mut self, plan: &Plan, scope: TaskId) {
         for &child in plan.children(scope) {
-            self.start.insert(child);
+            self.start
+                .insert((std::cmp::Reverse(plan.task_priority(child)), child));
         }
         self.outputs.insert(scope);
     }
@@ -362,12 +369,13 @@ impl Worklist {
         }
     }
 
-    /// Next task whose input sets need re-testing (ascending id — DFS
-    /// pre-order, so declaration order within a scope).
+    /// Next task whose input sets need re-testing: highest declared
+    /// priority first, ties by ascending id (DFS pre-order, so
+    /// declaration order within a scope).
     pub fn pop_start(&mut self) -> Option<TaskId> {
-        let id = *self.start.iter().next()?;
-        self.start.remove(&id);
-        Some(id)
+        let key = *self.start.iter().next()?;
+        self.start.remove(&key);
+        Some(key.1)
     }
 
     /// Next scope whose outputs need re-testing, deepest first: a

@@ -76,6 +76,12 @@ pub struct PlanTask {
     pub rdeps: Range32,
     /// Whether this is a compound scope.
     pub is_scope: bool,
+    /// Derived: the parsed `"priority"` implementation pair (0 when
+    /// absent or unparsable), precomputed so the worklist's hot path
+    /// never re-scans `impl_kv`. Not wire content — recomputed at
+    /// lowering and after decode, excluded from the codec so
+    /// fingerprints are unaffected.
+    pub priority: i64,
 }
 
 /// A bound input set of a task.
@@ -374,6 +380,41 @@ impl Plan {
             .map(|(_, v)| self.str(*v))
     }
 
+    /// The task's declared scheduling priority (`"priority"` in the
+    /// implementation clause): higher-priority ready tasks dispatch
+    /// first when contending for busy executors. Absent or unparsable
+    /// values mean 0, so undeclared tasks keep declaration order.
+    pub fn task_priority(&self, id: TaskId) -> i64 {
+        self.tasks[id as usize].priority
+    }
+
+    /// Recomputes one task's derived priority from its implementation
+    /// pairs. Bounds-tolerant rather than panicking: decode runs this
+    /// *before* the caller gets to [`Plan::is_well_formed`], so a
+    /// hostile range must degrade to the default.
+    fn derived_priority(&self, task: &PlanTask) -> i64 {
+        self.impl_kv
+            .get(task.impl_kv.as_range())
+            .into_iter()
+            .flatten()
+            .find(|(k, _)| self.strings.get(*k as usize).map(String::as_str) == Some("priority"))
+            .and_then(|(_, v)| self.strings.get(*v as usize)?.parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// Fills every task's derived [`PlanTask::priority`] (lowering and
+    /// decode both end with this).
+    pub(crate) fn finish_priorities(&mut self) {
+        let priorities: Vec<i64> = self
+            .tasks
+            .iter()
+            .map(|task| self.derived_priority(task))
+            .collect();
+        for (task, priority) in self.tasks.iter_mut().zip(priorities) {
+            task.priority = priority;
+        }
+    }
+
     /// Slash-joined paths of every task instance, depth first (same
     /// order and content as `Schema::task_paths`).
     pub fn task_paths(&self) -> Vec<String> {
@@ -556,6 +597,8 @@ impl Decode for PlanTask {
             outputs: Range32::decode(r)?,
             rdeps: Range32::decode(r)?,
             is_scope: r.get_bool()?,
+            // Derived, not wire content: Plan::decode recomputes it.
+            priority: 0,
         })
     }
 }
@@ -783,7 +826,7 @@ impl Encode for Plan {
 
 impl Decode for Plan {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
-        Ok(Plan {
+        let mut plan = Plan {
             strings: Vec::decode(r)?,
             object_classes: Vec::decode(r)?,
             classes: Vec::decode(r)?,
@@ -803,7 +846,9 @@ impl Decode for Plan {
             path_index: BTreeMap::decode(r)?,
             class_index: BTreeMap::decode(r)?,
             fingerprint: r.get_u64()?,
-        })
+        };
+        plan.finish_priorities();
+        Ok(plan)
     }
 }
 

@@ -76,6 +76,7 @@ impl Plan {
         lowerer.link_rdeps();
         let mut plan = lowerer.plan;
         plan.strings = lowerer.interner.strings;
+        plan.finish_priorities();
         plan.fingerprint = fingerprint_of(&plan);
         plan
     }
@@ -162,6 +163,7 @@ impl Lowerer {
             outputs: Range32::EMPTY,
             rdeps: Range32::EMPTY,
             is_scope: true,
+            priority: 0, // derived; filled by finish_priorities
         });
         self.plan.path_index.insert(root.name.clone(), 0);
         self.lower_scope_body(0, root, &root.name.clone());
@@ -233,6 +235,7 @@ impl Lowerer {
             outputs: Range32::EMPTY,
             rdeps: Range32::EMPTY,
             is_scope: matches!(task.body, TaskBody::Scope(_)),
+            priority: 0, // derived; filled by finish_priorities
         });
         self.plan.path_index.insert(path.clone(), id);
         if let TaskBody::Scope(inner) = &task.body {
