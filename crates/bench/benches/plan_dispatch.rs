@@ -27,7 +27,8 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flowscript_bench::report::{self, ComparisonRow, ThroughputRow};
 use flowscript_bench::{
-    run_instance_wave, run_skew_wave, sharded_diamond_system, skewed_fan_system,
+    fat_fan_source, repeat_probe_source, run_instance_wave, run_skew_wave, sharded_diamond_system,
+    skewed_fan_system,
 };
 use flowscript_core::ast::OutputKind;
 use flowscript_core::samples;
@@ -37,7 +38,9 @@ use flowscript_core::schema::{
 use flowscript_engine::deps::{self, FactView, MemFacts};
 use flowscript_engine::ObjectVal;
 use flowscript_engine::SchedPolicy;
+use flowscript_engine::{facts as engine_facts, InstanceKeys, StoreFacts};
 use flowscript_plan::{eval as plan_eval, Plan, PlanFacts, Probe, TaskId, Worklist};
+use flowscript_tx::TxManager;
 
 /// Adapter: the engine's in-memory fact store viewed through the
 /// plan-eval trait.
@@ -485,5 +488,205 @@ fn scheduled(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, dispatch, sharded, scheduled);
+/// The `fact_reads` variant: per-commit readiness evaluation over a
+/// real transactional store, whole-record fact layout vs per-object
+/// sub-keys. Wide fan-in joins (a consumer taking one object from each
+/// of `width` producers whose facts carry `objects` objects apiece) are
+/// where wholesale record decoding hurts the most: the baseline decodes
+/// `objects` values per probe to use one, the per-object layout point
+/// reads exactly the bytes it needs. A high-degree repeat loop (an
+/// `AnyOf` consumer over a producer that rewrote its fat repeat fact 64
+/// times) covers the repeat-probe path. The whole-record/per-object
+/// comparison lands in `fact_reads_impact.csv`; the wide fan-in rows
+/// must show at least a 1.5× per-commit evaluation speedup.
+fn fact_reads(c: &mut Criterion) {
+    /// Builds a store holding one instance's facts for `plan` under the
+    /// chosen layout: the given root input binding plus `objects` per
+    /// producer output fact (rewritten `rewrites` times, as a repeat
+    /// loop would), each object carrying a 64-byte payload.
+    fn populate(
+        plan: &Plan,
+        root_inputs: &BTreeMap<String, ObjectVal>,
+        producers: &[(TaskId, &str)],
+        objects: usize,
+        rewrites: usize,
+        whole: bool,
+    ) -> (TxManager, InstanceKeys) {
+        let mut mgr = TxManager::in_memory();
+        let keys = InstanceKeys::build(plan, "bench", 0);
+        let root_in = keys.in_key(plan, 0, "main").expect("root set");
+        let action = mgr.begin();
+        engine_facts::write_fact_map(&mut mgr, &action, plan, root_in, root_inputs, whole)
+            .expect("root input");
+        for &(task, output) in producers {
+            let out = keys.out_key(plan, task, output).expect("declared output");
+            for round in 0..rewrites.max(1) {
+                let fact: BTreeMap<String, ObjectVal> = (0..objects)
+                    .map(|j| {
+                        (
+                            format!("o{j}"),
+                            ObjectVal::new("Data", vec![(round + j) as u8; 64]),
+                        )
+                    })
+                    .collect();
+                engine_facts::write_fact_map(&mut mgr, &action, plan, out, &fact, whole)
+                    .expect("producer output");
+            }
+        }
+        mgr.commit(action).expect("population commits");
+        (mgr, keys)
+    }
+
+    let mut impact: Vec<ComparisonRow> = Vec::new();
+    let mut group = c.benchmark_group("plan_dispatch/fact_reads");
+
+    // Wide fan-in joins.
+    for (width, objects) in [(16usize, 8usize), (32, 16)] {
+        let schema = compile_source(&fat_fan_source(width, objects), "root").unwrap();
+        let plan = Plan::lower(&schema);
+        let join = plan.task_by_path("root/join").unwrap();
+        let producers: Vec<(TaskId, String)> = (0..width)
+            .map(|i| {
+                (
+                    plan.task_by_path(&format!("root/w{i}")).unwrap(),
+                    "done".to_string(),
+                )
+            })
+            .collect();
+        let producers: Vec<(TaskId, &str)> = producers
+            .iter()
+            .map(|(task, output)| (*task, output.as_str()))
+            .collect();
+        let seed: BTreeMap<String, ObjectVal> =
+            [("seed".to_string(), ObjectVal::new("Data", vec![7u8; 64]))].into();
+        let (whole_mgr, whole_keys) = populate(&plan, &seed, &producers, objects, 1, true);
+        let (po_mgr, po_keys) = populate(&plan, &seed, &producers, objects, 1, false);
+        // Both layouts must agree on the evaluation before timing.
+        let whole_eval = plan_eval::eval_task_inputs(
+            &plan,
+            join,
+            &StoreFacts::new(&whole_mgr, &whole_keys, true),
+        )
+        .expect("join satisfiable");
+        let po_eval =
+            plan_eval::eval_task_inputs(&plan, join, &StoreFacts::new(&po_mgr, &po_keys, false))
+                .expect("join satisfiable");
+        assert_eq!(
+            whole_eval, po_eval,
+            "layouts disagree on w{width}x{objects}"
+        );
+        let label = format!("w{width}x{objects}");
+        group.bench_function(BenchmarkId::new("whole_record", &label), |b| {
+            b.iter(|| {
+                let facts = StoreFacts::new(&whole_mgr, &whole_keys, true);
+                std::hint::black_box(plan_eval::eval_task_inputs(&plan, join, &facts))
+            })
+        });
+        group.bench_function(BenchmarkId::new("per_object", &label), |b| {
+            b.iter(|| {
+                let facts = StoreFacts::new(&po_mgr, &po_keys, false);
+                std::hint::black_box(plan_eval::eval_task_inputs(&plan, join, &facts))
+            })
+        });
+        let baseline_ns = report::median_ns(15, 32, || {
+            let facts = StoreFacts::new(&whole_mgr, &whole_keys, true);
+            std::hint::black_box(plan_eval::eval_task_inputs(&plan, join, &facts));
+        });
+        let candidate_ns = report::median_ns(15, 32, || {
+            let facts = StoreFacts::new(&po_mgr, &po_keys, false);
+            std::hint::black_box(plan_eval::eval_task_inputs(&plan, join, &facts));
+        });
+        impact.push(ComparisonRow {
+            workload: format!("wide_fan/{label}"),
+            baseline_ns,
+            candidate_ns,
+        });
+    }
+
+    // High-degree repeat loop, mid-iteration: the producer's fat
+    // `again` fact has been rewritten 64 times and its `done` fact is
+    // still absent, so the consumer's probe misses and falls back to
+    // one object of the fat root input binding.
+    {
+        let objects = 16usize;
+        let schema = compile_source(&repeat_probe_source(objects), "root").unwrap();
+        let plan = Plan::lower(&schema);
+        let producer = plan.task_by_path("root/t").unwrap();
+        let consumer = plan.task_by_path("root/c").unwrap();
+        let producers = [(producer, "again")];
+        let root_inputs: BTreeMap<String, ObjectVal> = (0..objects)
+            .map(|j| (format!("s{j}"), ObjectVal::new("Data", vec![j as u8; 64])))
+            .collect();
+        let (whole_mgr, whole_keys) = populate(&plan, &root_inputs, &producers, 1, 64, true);
+        let (po_mgr, po_keys) = populate(&plan, &root_inputs, &producers, 1, 64, false);
+        let whole_eval = plan_eval::eval_task_inputs(
+            &plan,
+            consumer,
+            &StoreFacts::new(&whole_mgr, &whole_keys, true),
+        )
+        .expect("consumer satisfiable via the root-input fallback");
+        let po_eval = plan_eval::eval_task_inputs(
+            &plan,
+            consumer,
+            &StoreFacts::new(&po_mgr, &po_keys, false),
+        )
+        .expect("consumer satisfiable via the root-input fallback");
+        assert_eq!(whole_eval, po_eval, "layouts disagree on the repeat probe");
+        let baseline_ns = report::median_ns(15, 64, || {
+            let facts = StoreFacts::new(&whole_mgr, &whole_keys, true);
+            std::hint::black_box(plan_eval::eval_task_inputs(&plan, consumer, &facts));
+        });
+        let candidate_ns = report::median_ns(15, 64, || {
+            let facts = StoreFacts::new(&po_mgr, &po_keys, false);
+            std::hint::black_box(plan_eval::eval_task_inputs(&plan, consumer, &facts));
+        });
+        impact.push(ComparisonRow {
+            workload: format!("repeat_loop/x{objects}r64"),
+            baseline_ns,
+            candidate_ns,
+        });
+    }
+    group.finish();
+
+    for row in &impact {
+        println!(
+            "plan_dispatch/fact_reads {}: whole_record {:.0}ns vs per_object {:.0}ns ({:.2}x)",
+            row.workload,
+            row.baseline_ns,
+            row.candidate_ns,
+            row.speedup()
+        );
+        if row.workload.starts_with("wide_fan/") {
+            assert!(
+                row.speedup() >= 1.5,
+                "per-object reads must give >=1.5x per-commit evaluation on {}: \
+                 {:.0}ns vs {:.0}ns",
+                row.workload,
+                row.baseline_ns,
+                row.candidate_ns
+            );
+        } else {
+            assert!(
+                row.speedup() > 1.0,
+                "per-object reads must not regress {}: {:.0}ns vs {:.0}ns",
+                row.workload,
+                row.baseline_ns,
+                row.candidate_ns
+            );
+        }
+    }
+    let path = report::write_comparison_csv(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/fact_reads_impact.csv"
+        ),
+        "whole_record",
+        "per_object",
+        &impact,
+    )
+    .expect("impact table written");
+    println!("fact-reads impact table: {}", path.display());
+}
+
+criterion_group!(benches, dispatch, sharded, scheduled, fact_reads);
 criterion_main!(benches);

@@ -514,6 +514,119 @@ pub fn bind_alternatives(sys: &WorkflowSystem, k: usize, winner_delay: SimDurati
     sys.bind_fn("refConsumer", |_: &InvokeCtx| TaskBehavior::outcome("done"));
 }
 
+// ---------------------------------------------------------------------
+// Fact-read workloads (the `fact_reads` bench variant).
+// ---------------------------------------------------------------------
+
+/// A `width`-way fan of workers whose `done` outputs each carry
+/// `objects` objects, joined by one wide consumer taking a single
+/// object from every worker. Every readiness probe of the join touches
+/// exactly one object of a fat fact — the workload where whole-record
+/// decoding pays for all the bytes it does not need.
+pub fn fat_fan_source(width: usize, objects: usize) -> String {
+    let decl: Vec<String> = (0..objects)
+        .map(|j| format!("o{j} of class Data"))
+        .collect();
+    let join_sig: Vec<String> = (0..width).map(|i| format!("x{i} of class Data")).collect();
+    let mut source = format!(
+        r#"
+class Data;
+taskclass Work {{
+    inputs {{ input main {{ in of class Data }} }};
+    outputs {{ outcome done {{ {decl} }} }}
+}}
+taskclass Join {{
+    inputs {{ input main {{ {join_sig} }} }};
+    outputs {{ outcome done {{ }} }}
+}}
+taskclass Root {{
+    inputs {{ input main {{ seed of class Data }} }};
+    outputs {{ outcome done {{ }} }}
+}}
+compoundtask root of taskclass Root {{
+"#,
+        decl = decl.join("; "),
+        join_sig = join_sig.join("; "),
+    );
+    for i in 0..width {
+        source.push_str(&format!(
+            r#"    task w{i} of taskclass Work {{
+        implementation {{ "code" is "refW{i}" }};
+        inputs {{ input main {{ inputobject in from {{ seed of task root if input main }} }} }}
+    }};
+"#
+        ));
+    }
+    source.push_str(
+        r#"    task join of taskclass Join {
+        implementation { "code" is "refJoin" };
+        inputs { input main {
+"#,
+    );
+    for i in 0..width {
+        let sep = if i + 1 < width { ";" } else { "" };
+        source.push_str(&format!(
+            "            inputobject x{i} from {{ o{obj} of task w{i} if output done }}{sep}\n",
+            obj = i % objects
+        ));
+    }
+    source.push_str(
+        r#"        } }
+    };
+    outputs { outcome done { notification from { task join if output done } } }
+}
+"#,
+    );
+    source
+}
+
+/// The mid-loop readiness shape of a high-degree repeat loop: task `t`
+/// is still looping (its `done` fact absent, its fat `again` fact
+/// rewritten once per iteration), and consumer `c`'s slot falls back
+/// from `t`'s missing outcome to the root's fat input binding (which
+/// carries `objects` objects). Every loop iteration re-evaluates `c`:
+/// one miss probe plus one object fetched out of a fat record.
+pub fn repeat_probe_source(objects: usize) -> String {
+    let root_sig: Vec<String> = (0..objects)
+        .map(|j| format!("s{j} of class Data"))
+        .collect();
+    format!(
+        r#"
+class Data;
+taskclass Stage {{
+    inputs {{ input main {{ in of class Data }} }};
+    outputs {{
+        outcome done {{ o0 of class Data }};
+        repeat outcome again {{ o0 of class Data }}
+    }}
+}}
+taskclass Consumer {{
+    inputs {{ input main {{ x of class Data }} }};
+    outputs {{ outcome done {{ }} }}
+}}
+taskclass Root {{
+    inputs {{ input main {{ {root_sig} }} }};
+    outputs {{ outcome done {{ }} }}
+}}
+compoundtask root of taskclass Root {{
+    task t of taskclass Stage {{
+        implementation {{ "code" is "refT" }};
+        inputs {{ input main {{ inputobject in from {{ s0 of task root if input main }} }} }}
+    }};
+    task c of taskclass Consumer {{
+        implementation {{ "code" is "refC" }};
+        inputs {{ input main {{ inputobject x from {{
+            o0 of task t if output done;
+            s1 of task root if input main
+        }} }} }}
+    }};
+    outputs {{ outcome done {{ notification from {{ task c if output done }} }} }}
+}}
+"#,
+        root_sig = root_sig.join("; "),
+    )
+}
+
 /// Generates a valid script with `n` chained tasks (each also falling
 /// back to the root input) for parser/sema/compile throughput
 /// measurements.
@@ -643,6 +756,19 @@ mod tests {
             sys.run();
             assert!(sys.outcome("a1").is_some(), "k={k}: {:?}", sys.status("a1"));
         }
+    }
+
+    #[test]
+    fn fact_read_workloads_compile() {
+        for (width, objects) in [(2, 2), (16, 8), (32, 16)] {
+            let source = fat_fan_source(width, objects);
+            let schema = flowscript_core::schema::compile_source(&source, "root")
+                .unwrap_or_else(|d| panic!("w{width}x{objects}: {d}"));
+            assert_eq!(schema.leaf_count(), width + 1);
+        }
+        let source = repeat_probe_source(8);
+        let schema = flowscript_core::schema::compile_source(&source, "root").unwrap();
+        assert_eq!(schema.leaf_count(), 2);
     }
 
     #[test]

@@ -607,6 +607,34 @@ impl WorkflowSystem {
             .sum()
     }
 
+    /// Fact range scans served by every shard's store (regression
+    /// guard: per-object readiness probes are point reads, so a clean
+    /// run performs none — only repeats, cancellations, recovery and
+    /// reconfiguration legitimately scan).
+    pub fn store_fact_range_scans(&self) -> u64 {
+        self.coords
+            .iter()
+            .map(CoordHandle::store_fact_range_scans)
+            .sum()
+    }
+
+    /// Fingerprints of the compiled-plan blobs persisted on one shard
+    /// (`sys/plan/…`) — observability for checkpoint-time plan GC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn persisted_plans(&self, shard: usize) -> Vec<u64> {
+        self.coords[shard].persisted_plan_fingerprints()
+    }
+
+    /// Corrupts one published output fact in place (fault injection for
+    /// the corrupt-record tests).
+    #[doc(hidden)]
+    pub fn poison_fact(&self, instance: &str, path: &str, output: &str) -> bool {
+        self.coord_for(instance).poison_fact(instance, path, output)
+    }
+
     /// One shard's current view of the executor fleet: per-executor
     /// location label and in-flight dispatch count. Load views are per
     /// shard (each coordinator schedules over the shared fleet with

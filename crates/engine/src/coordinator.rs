@@ -23,9 +23,11 @@
 //! size. The full scan survives only for instance start, crash recovery
 //! and reconfiguration (where the plan itself changes), and — in debug
 //! builds — as a quiescence oracle asserted after every drain. All fact
-//! storage runs on dense [`FactKey`]s interned per instance
-//! (the `keys::InstanceKeys` table): no commit or probe on the dispatch
-//! hot path formats a string.
+//! storage runs on dense per-object sub-keys interned per instance (the
+//! [`crate::keys::InstanceKeys`] table over the [`crate::facts`]
+//! layout): a readiness probe is one point read of exactly the bytes it
+//! needs, and no commit or probe on the dispatch hot path decodes a
+//! whole record or formats a string.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -34,11 +36,12 @@ use std::rc::Rc;
 use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 use flowscript_core::ast::OutputKind;
 use flowscript_core::schema::{self, CompiledTask, Schema, TaskBody};
-use flowscript_plan::{eval as plan_eval, Plan, Probe, TaskId, Worklist};
+use flowscript_plan::{eval as plan_eval, Plan, TaskId, Worklist};
 use flowscript_sim::{Envelope, EventId, NodeId, ReplyToken, SimDuration, World};
-use flowscript_tx::{FactKey, FactKind, ObjectUid, SharedStorage, StoreKey, TxManager};
+use flowscript_tx::{ObjectUid, SharedStorage, StoreKey, TxManager};
 
 use crate::error::EngineError;
+use crate::facts::{self, StoreFacts};
 use crate::keys::{cb_uid, InstanceKeys};
 use crate::msg::{EngineMsg, MarkMsg, StartTask, TaskDone, TaskResult};
 use crate::reconfig::{self, Reconfig};
@@ -76,6 +79,12 @@ pub struct EngineConfig {
     /// per-executor load; [`SchedPolicy::PathHash`] is the legacy
     /// baseline kept for the `scheduled` bench comparison.
     pub scheduler: SchedPolicy,
+    /// Store dependency facts as one encoded record per fact instead of
+    /// per-object sub-keys. This is the pre-split baseline the
+    /// per-object layout is property-tested against (identical
+    /// per-instance outcomes and dispatch traces) and the `fact_reads`
+    /// bench baseline; production runs leave it off.
+    pub whole_record_facts: bool,
 }
 
 impl Default for EngineConfig {
@@ -89,6 +98,7 @@ impl Default for EngineConfig {
             full_rescan: false,
             record_dispatches: false,
             scheduler: SchedPolicy::default(),
+            whole_record_facts: false,
         }
     }
 }
@@ -358,10 +368,11 @@ struct InstanceRt {
     /// Paths with an outstanding dispatch, scheduled retry or pending
     /// repeat re-execution.
     in_flight: BTreeSet<String>,
-    /// The executor each outstanding dispatch was sent to — the unit
-    /// of the scheduler's load accounting (entry inserted when the
-    /// dispatch counts, removed exactly when the load is released).
-    dispatched_to: BTreeMap<String, NodeId>,
+    /// The executor each outstanding dispatch was sent to, with the
+    /// load cost it was charged at — the unit of the scheduler's
+    /// remaining-work accounting (entry inserted when the dispatch
+    /// counts, removed exactly when the load is released).
+    dispatched_to: BTreeMap<String, (NodeId, u64)>,
     /// The node the most recent *failed* attempt of a path ran on;
     /// consumed by the next dispatch so the retry relocates whenever
     /// an eligible alternative exists.
@@ -395,49 +406,16 @@ fn plan_uid(fingerprint: u64) -> ObjectUid {
     ObjectUid::new(format!("sys/plan/{fingerprint:016x}"))
 }
 
+/// Inverse of [`plan_uid`]: the fingerprint a persisted-plan uid names.
+fn plan_uid_fingerprint(uid: &ObjectUid) -> Option<u64> {
+    uid.as_str()
+        .strip_prefix("sys/plan/")
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+}
+
 /// The persistent instance-id allocator.
 fn instance_seq_uid() -> ObjectUid {
     ObjectUid::new("sys/instance_seq")
-}
-
-/// Committed-state fact view over the transaction manager: every probe
-/// resolves through the instance's interned key table to one dense-key
-/// store lookup.
-struct TxFacts<'a> {
-    mgr: &'a TxManager<SharedStorage>,
-    keys: &'a InstanceKeys,
-}
-
-impl plan_eval::PlanFacts for TxFacts<'_> {
-    type Value = ObjectVal;
-
-    fn fact_object(&self, probe: Probe<'_>, object: &str) -> Option<ObjectVal> {
-        let key = self.keys.probe_key(&probe)?;
-        let mut fact: BTreeMap<String, ObjectVal> = self
-            .mgr
-            .read_committed_key(&StoreKey::Fact(key))
-            .ok()
-            .flatten()?;
-        fact.remove(object)
-    }
-
-    fn fact_fired(&self, probe: Probe<'_>) -> bool {
-        self.keys
-            .probe_key(&probe)
-            .is_some_and(|key| self.mgr.exists_key(&StoreKey::Fact(key)))
-    }
-}
-
-/// Interns a plan-eval binding list into the owned map the persistent
-/// facts store.
-fn bind_map(
-    plan: &Plan,
-    bound: Vec<(flowscript_plan::StrId, ObjectVal)>,
-) -> BTreeMap<String, ObjectVal> {
-    bound
-        .into_iter()
-        .map(|(name, value)| (plan.str(name).to_string(), value))
-        .collect()
 }
 
 /// The execution service state. Use through [`CoordHandle`].
@@ -538,9 +516,48 @@ impl Coordinator {
         self.commits += 1;
         if let Some(every) = self.config.checkpoint_every {
             if self.commits.is_multiple_of(every) {
+                self.gc_plans()?;
                 self.mgr.checkpoint()?;
             }
         }
+        Ok(())
+    }
+
+    /// Drops persisted plan blobs (`sys/plan/…`) no instance references
+    /// any more. Plans persist once per fingerprint; every
+    /// reconfiguration re-fingerprints, so without this a reconfigured
+    /// instance strands its old blobs forever. Runs at checkpoint time
+    /// (cold path): the reference set is every resident instance's
+    /// current plan plus every persisted meta's fingerprint — covering
+    /// instances the shard has not (re)loaded.
+    fn gc_plans(&mut self) -> Result<(), EngineError> {
+        let mut live: BTreeSet<u64> = self
+            .instances
+            .values()
+            .map(|rt| rt.plan.fingerprint)
+            .collect();
+        for uid in self.mgr.uids_matching("inst/", "/meta") {
+            if let Ok(Some(meta)) = self.mgr.read_committed::<InstanceMeta>(&uid) {
+                live.insert(meta.plan_fingerprint);
+            }
+        }
+        let stale: Vec<ObjectUid> = self
+            .mgr
+            .uids_with_prefix("sys/plan/")
+            .into_iter()
+            .filter(|uid| plan_uid_fingerprint(uid).is_none_or(|fp| !live.contains(&fp)))
+            .collect();
+        if stale.is_empty() {
+            return Ok(());
+        }
+        let action = self.mgr.begin();
+        for uid in &stale {
+            self.mgr.delete(&action, uid)?;
+        }
+        // Straight to the manager: the checkpoint that follows compacts
+        // this commit away, and routing through `Self::commit` would
+        // re-trigger the checkpoint counter.
+        self.mgr.commit(action)?;
         Ok(())
     }
 
@@ -577,15 +594,15 @@ impl Coordinator {
     }
 
     /// Ends the load accounting of an outstanding dispatch: removes the
-    /// path's `dispatched_to` entry and decrements that executor's
-    /// in-flight count. Idempotent (the entry gates the decrement);
-    /// returns the executor the dispatch ran on, if one was counted.
+    /// path's `dispatched_to` entry and releases the cost it was
+    /// charged at. Idempotent (the entry gates the release); returns
+    /// the executor the dispatch ran on, if one was counted.
     fn release_dispatch(&mut self, instance: &str, path: &str) -> Option<NodeId> {
-        let node = self
+        let (node, cost) = self
             .instances
             .get_mut(instance)
             .and_then(|rt| rt.dispatched_to.remove(path))?;
-        self.sched.note_release(node);
+        self.sched.note_release(node, cost);
         Some(node)
     }
 
@@ -721,6 +738,61 @@ impl CoordHandle {
     /// stuck-diagnostics regression guard: zero during normal runs).
     pub fn store_prefix_scans(&self) -> u64 {
         self.inner.borrow().mgr.prefix_scan_count()
+    }
+
+    /// Fact range scans this coordinator's store has served (the
+    /// per-object regression guard: readiness probes are point reads,
+    /// so a clean run performs none — only repeats, cancellations,
+    /// recovery and reconfiguration legitimately scan).
+    pub fn store_fact_range_scans(&self) -> u64 {
+        self.inner.borrow().mgr.fact_range_scan_count()
+    }
+
+    /// Fingerprints of the compiled-plan blobs persisted in this
+    /// shard's store (`sys/plan/…`) — the plan-GC observability hook.
+    /// Performs a uid prefix scan: admin/monitoring only.
+    pub fn persisted_plan_fingerprints(&self) -> Vec<u64> {
+        self.inner
+            .borrow()
+            .mgr
+            .uids_with_prefix("sys/plan/")
+            .into_iter()
+            .filter_map(|uid| plan_uid_fingerprint(&uid))
+            .collect()
+    }
+
+    /// Overwrites every stored sub-key of one published output fact
+    /// with undecodable bytes — fault injection for the corrupt-record
+    /// tests (a probe must surface the fault, not read "absent").
+    #[doc(hidden)]
+    pub fn poison_fact(&self, instance: &str, path: &str, output: &str) -> bool {
+        let mut coordinator = self.inner.borrow_mut();
+        let Some(rt) = coordinator.instances.get(instance) else {
+            return false;
+        };
+        let (plan, keys) = (rt.plan.clone(), rt.keys.clone());
+        let Some(task) = plan.task_by_path(path) else {
+            return false;
+        };
+        let Some(base) = keys.out_key(&plan, task, output) else {
+            return false;
+        };
+        let mut targets = coordinator.mgr.fact_keys_in_range(base, base.fact_last());
+        if targets.is_empty() {
+            targets.push(base);
+        }
+        let action = coordinator.mgr.begin();
+        for key in targets {
+            if coordinator
+                .mgr
+                .write_key_raw(&action, &StoreKey::Fact(key), vec![0xFF, 0xFF, 0xFF])
+                .is_err()
+            {
+                coordinator.mgr.abort(action);
+                return false;
+            }
+        }
+        coordinator.mgr.commit(action).is_ok()
     }
 
     /// The node this coordinator runs on.
@@ -1036,9 +1108,17 @@ impl CoordHandle {
             set: set.to_string(),
         });
         coordinator.mgr.write(&action, keys.cb(0), &root_cb)?;
-        coordinator
-            .mgr
-            .write_key(&action, &StoreKey::Fact(root_in), &inputs)?;
+        // The root's input binding goes through the fact layout like
+        // every other fact, so root-input fallbacks probe per object.
+        let whole = coordinator.config.whole_record_facts;
+        facts::write_fact_map(
+            &mut coordinator.mgr,
+            &action,
+            &plan,
+            root_in,
+            &inputs,
+            whole,
+        )?;
         // Every descendant starts Waiting — the plan's DFS order makes
         // this one flat scan instead of a scope-tree recursion.
         for (id, task) in plan.tasks.iter().enumerate().skip(1) {
@@ -1115,11 +1195,14 @@ impl CoordHandle {
         let rt = coordinator.instances.get(instance)?;
         let task = rt.plan.task_by_path(path)?;
         let key = rt.keys.out_key(&rt.plan, task, output)?;
-        coordinator
-            .mgr
-            .read_committed_key(&StoreKey::Fact(key))
-            .ok()
-            .flatten()
+        facts::read_fact_map(
+            &coordinator.mgr,
+            &rt.plan,
+            key,
+            coordinator.config.whole_record_facts,
+        )
+        .ok()
+        .flatten()
     }
 
     /// Names of instances known to the coordinator.
@@ -1234,18 +1317,31 @@ impl CoordHandle {
                         && cb.state == CbState::Waiting
                         && cb.incarnation == parent_cb.scope_inc =>
                 {
-                    let facts = TxFacts {
-                        mgr: &coordinator.mgr,
+                    let facts = StoreFacts::new(
+                        &coordinator.mgr,
                         keys,
-                    };
-                    plan_eval::eval_task_inputs(plan, task_id, &facts)
-                        .map(|(set, bound)| (plan.str(set).to_string(), bind_map(plan, bound)))
+                        coordinator.config.whole_record_facts,
+                    );
+                    let satisfied = plan_eval::eval_task_inputs(plan, task_id, &facts);
+                    match facts.take_fault() {
+                        Some(fault) => Err(fault),
+                        None => Ok(satisfied),
+                    }
                 }
-                _ => None,
+                _ => Ok(None),
             }
         };
+        let activation = match activation {
+            Err(fault) => {
+                // A corrupt fact record must not read as "fact absent"
+                // and silently mis-evaluate readiness.
+                self.fail_instance_storage(instance, &fault);
+                return;
+            }
+            Ok(activation) => activation,
+        };
         if let Some((set, bound)) = activation {
-            if self.activate_task(world, instance, plan, keys, task_id, &set, bound) {
+            if self.activate_task(world, instance, plan, keys, task_id, set, bound) {
                 // The binding itself is a committed fact: consumers of
                 // this task's input sets re-check, and a fresh compound
                 // enables its constituents (the compound boundary).
@@ -1257,9 +1353,39 @@ impl CoordHandle {
         }
     }
 
+    /// Fails an instance on a storage/decode fault: the fact store can
+    /// no longer answer readiness soundly, so instead of silently
+    /// treating the fact as absent the drain parks the instance with
+    /// the diagnosable reason (a reconfiguration or administrative
+    /// repair can revive it).
+    fn fail_instance_storage(&self, instance: &str, fault: &str) {
+        let mut coordinator = self.inner.borrow_mut();
+        let Some(mut meta) = coordinator.read_meta(instance) else {
+            return;
+        };
+        if meta.status.is_terminal() {
+            return;
+        }
+        meta.status = InstanceStatus::Stuck {
+            reason: format!("fact storage fault: {fault}"),
+        };
+        let action = coordinator.mgr.begin();
+        let ok = coordinator
+            .mgr
+            .write(&action, &meta_uid(instance), &meta)
+            .is_ok();
+        if ok {
+            let _ = coordinator.commit(action);
+        } else {
+            coordinator.mgr.abort(action);
+        }
+    }
+
     /// Binds a satisfied input set and starts the task (dispatch for
     /// leaves, activation for compounds). Returns whether progress was
-    /// made.
+    /// made. The binding arrives slot-aligned from the evaluator, so
+    /// the per-object fact write needs no name-keyed map — only a leaf
+    /// dispatch materializes one (the executor wire format).
     #[allow(clippy::too_many_arguments)]
     fn activate_task(
         &self,
@@ -1268,15 +1394,22 @@ impl CoordHandle {
         plan: &Plan,
         keys: &InstanceKeys,
         task_id: TaskId,
-        set: &str,
-        bound: BTreeMap<String, ObjectVal>,
+        set_id: flowscript_plan::StrId,
+        bound: Vec<(flowscript_plan::StrId, ObjectVal)>,
     ) -> bool {
         let task = plan.task(task_id);
         let path = plan.str(task.path);
+        let set = plan.str(set_id);
         let Some(in_key) = keys.in_key(plan, task_id, set) else {
             return false;
         };
-        let stamped: BTreeMap<String, ObjectVal> = bound;
+        let Some(slots) = plan.sets[task.sets.as_range()]
+            .iter()
+            .find(|s| s.name == set_id)
+            .map(|s| s.slots)
+        else {
+            return false;
+        };
         {
             let mut coordinator = self.inner.borrow_mut();
             let Some(mut cb) = coordinator.read_cb_id(keys, task_id) else {
@@ -1292,14 +1425,21 @@ impl CoordHandle {
                 }
             };
             cb.transition(next);
+            let whole = coordinator.config.whole_record_facts;
             let action = coordinator.mgr.begin();
             let write = coordinator
                 .mgr
                 .write(&action, keys.cb(task_id), &cb)
                 .and_then(|_| {
-                    coordinator
-                        .mgr
-                        .write_key(&action, &StoreKey::Fact(in_key), &stamped)
+                    facts::write_fact_bound(
+                        &mut coordinator.mgr,
+                        &action,
+                        plan,
+                        in_key,
+                        slots,
+                        &bound,
+                        whole,
+                    )
                 });
             if write.is_err() {
                 coordinator.mgr.abort(action);
@@ -1310,6 +1450,7 @@ impl CoordHandle {
             }
         }
         if !task.is_scope {
+            let stamped = facts::bound_map(plan, &bound);
             self.dispatch(world, instance, path, 0, stamped, BTreeMap::new());
         }
         true
@@ -1338,27 +1479,30 @@ impl CoordHandle {
         // output (or repeat) — both in declaration order.
         let satisfied = {
             let coordinator = self.inner.borrow();
-            let facts = TxFacts {
-                mgr: &coordinator.mgr,
+            let facts = StoreFacts::new(
+                &coordinator.mgr,
                 keys,
-            };
-            plan_eval::eval_scope_outputs(plan, scope_id, &facts)
-                .into_iter()
-                .map(|(out_idx, mapped)| {
-                    let output = &plan.outputs[out_idx];
-                    (
-                        plan.str(output.name).to_string(),
-                        output.kind,
-                        bind_map(plan, mapped),
-                    )
-                })
-                .collect::<Vec<_>>()
+                coordinator.config.whole_record_facts,
+            );
+            let satisfied = plan_eval::eval_scope_outputs(plan, scope_id, &facts);
+            match facts.take_fault() {
+                Some(fault) => Err(fault),
+                None => Ok(satisfied),
+            }
         };
-        for (name, kind, objects) in &satisfied {
-            if *kind == OutputKind::Mark
-                && !scope_cb.mark_emitted(name)
+        let satisfied = match satisfied {
+            Err(fault) => {
+                self.fail_instance_storage(instance, &fault);
+                return;
+            }
+            Ok(satisfied) => satisfied,
+        };
+        for (out_idx, mapped) in &satisfied {
+            let output = &plan.outputs[*out_idx];
+            if output.kind == OutputKind::Mark
+                && !scope_cb.mark_emitted(plan.str(output.name))
                 && self
-                    .emit_scope_mark(plan, keys, scope_id, name, objects.clone())
+                    .emit_scope_mark(plan, keys, scope_id, *out_idx, mapped)
                     .is_ok()
             {
                 worklist.seed_commit(plan, scope_id);
@@ -1366,18 +1510,18 @@ impl CoordHandle {
                 return;
             }
         }
-        for (name, kind, objects) in satisfied {
-            match kind {
+        for (out_idx, mapped) in satisfied {
+            match plan.outputs[out_idx].kind {
                 OutputKind::Mark => {}
                 OutputKind::RepeatOutcome => {
                     self.repeat_scope(
-                        world, instance, plan, keys, scope_id, &name, objects, worklist,
+                        world, instance, plan, keys, scope_id, out_idx, mapped, worklist,
                     );
                     return;
                 }
-                OutputKind::Outcome | OutputKind::AbortOutcome => {
+                kind @ (OutputKind::Outcome | OutputKind::AbortOutcome) => {
                     self.terminate_scope(
-                        world, instance, plan, keys, scope_id, &name, kind, objects,
+                        world, instance, plan, keys, scope_id, out_idx, kind, mapped,
                     );
                     worklist.seed_commit(plan, scope_id);
                     return;
@@ -1501,12 +1645,15 @@ impl CoordHandle {
                             executor: placement.node,
                         });
                     }
-                    // Count the load now, releasing any stale entry a
+                    // Count the load now (at the remaining-work cost the
+                    // hints declare), releasing any stale entry a
                     // defensive re-dispatch might have left behind.
+                    let cost = hints.load_cost();
                     let _ = coordinator.release_dispatch(instance, path);
-                    coordinator.sched.note_dispatch(placement.node);
+                    coordinator.sched.note_dispatch(placement.node, cost);
                     if let Some(rt) = coordinator.instances.get_mut(instance) {
-                        rt.dispatched_to.insert(path.to_string(), placement.node);
+                        rt.dispatched_to
+                            .insert(path.to_string(), (placement.node, cost));
                     }
                     Prepared::Send {
                         node: coordinator.node,
@@ -1628,15 +1775,19 @@ impl CoordHandle {
                                     outcome: name.clone(),
                                 }
                             });
+                            let whole = coordinator.config.whole_record_facts;
                             let action = coordinator.mgr.begin();
                             let write = coordinator
                                 .mgr
                                 .write(&action, keys.cb(task_id), &cb)
                                 .and_then(|_| {
-                                    coordinator.mgr.write_key(
+                                    facts::write_fact_map(
+                                        &mut coordinator.mgr,
                                         &action,
-                                        &StoreKey::Fact(out_key),
+                                        &plan,
+                                        out_key,
                                         &stamped,
+                                        whole,
                                     )
                                 });
                             match write {
@@ -1687,6 +1838,7 @@ impl CoordHandle {
             cb.repeats += 1;
             coordinator.stats.repeats += 1;
             let over = cb.repeats > coordinator.config.max_repeats;
+            let whole = coordinator.config.whole_record_facts;
             let action = coordinator.mgr.begin();
             if over {
                 cb.transition(CbState::Failed {
@@ -1699,9 +1851,14 @@ impl CoordHandle {
                 .mgr
                 .write(&action, keys.cb(task_id), &cb)
                 .and_then(|_| {
-                    coordinator
-                        .mgr
-                        .write_key(&action, &StoreKey::Fact(out_key), objects)
+                    facts::write_fact_map(
+                        &mut coordinator.mgr,
+                        &action,
+                        &plan,
+                        out_key,
+                        objects,
+                        whole,
+                    )
                 });
             if write.is_ok() {
                 if coordinator.commit(action).is_ok() && over {
@@ -1728,11 +1885,14 @@ impl CoordHandle {
             };
             keys.in_key(&plan, task_id, set)
                 .and_then(|key| {
-                    coordinator
-                        .mgr
-                        .read_committed_key::<BTreeMap<String, ObjectVal>>(&StoreKey::Fact(key))
-                        .ok()
-                        .flatten()
+                    facts::read_fact_map(
+                        &coordinator.mgr,
+                        &plan,
+                        key,
+                        coordinator.config.whole_record_facts,
+                    )
+                    .ok()
+                    .flatten()
                 })
                 .unwrap_or_default()
         };
@@ -1794,14 +1954,20 @@ impl CoordHandle {
                 .into_iter()
                 .map(|(k, v)| (k, v.produced_by(msg.path.clone())))
                 .collect();
+            let whole = coordinator.config.whole_record_facts;
             let action = coordinator.mgr.begin();
             let write = coordinator
                 .mgr
                 .write(&action, keys.cb(task_id), &cb)
                 .and_then(|_| {
-                    coordinator
-                        .mgr
-                        .write_key(&action, &StoreKey::Fact(out_key), &stamped)
+                    facts::write_fact_map(
+                        &mut coordinator.mgr,
+                        &action,
+                        &plan,
+                        out_key,
+                        &stamped,
+                        whole,
+                    )
                 });
             match write {
                 Ok(()) => coordinator.commit(action).is_ok(),
@@ -1917,12 +2083,11 @@ impl CoordHandle {
             if cb.attempt != attempt {
                 return;
             }
+            let whole = coordinator.config.whole_record_facts;
             let inputs = keys
                 .in_key(&plan, task_id, set)
                 .and_then(|key| {
-                    coordinator
-                        .mgr
-                        .read_committed_key::<BTreeMap<String, ObjectVal>>(&StoreKey::Fact(key))
+                    facts::read_fact_map(&coordinator.mgr, &plan, key, whole)
                         .ok()
                         .flatten()
                 })
@@ -1936,10 +2101,10 @@ impl CoordHandle {
                 .enumerate()
             {
                 if output.kind == OutputKind::RepeatOutcome {
-                    let key = FactKey::output(keys.instance_id, task_id, ordinal as u32);
-                    if let Ok(Some(objects)) = coordinator
-                        .mgr
-                        .read_committed_key::<BTreeMap<String, ObjectVal>>(&StoreKey::Fact(key))
+                    let key =
+                        flowscript_tx::FactKey::output(keys.instance_id, task_id, ordinal as u32);
+                    if let Ok(Some(objects)) =
+                        facts::read_fact_map(&coordinator.mgr, &plan, key, whole)
                     {
                         repeat_objects.extend(objects);
                     }
@@ -2026,9 +2191,11 @@ impl CoordHandle {
         plan: &Plan,
         keys: &InstanceKeys,
         scope_id: TaskId,
-        mark: &str,
-        objects: BTreeMap<String, ObjectVal>,
+        out_idx: usize,
+        mapped: &[(flowscript_plan::StrId, ObjectVal)],
     ) -> Result<(), EngineError> {
+        let output = &plan.outputs[out_idx];
+        let mark = plan.str(output.name);
         let scope_path = plan.str(plan.task(scope_id).path);
         let out_key = keys
             .out_key(plan, scope_id, mark)
@@ -2039,11 +2206,18 @@ impl CoordHandle {
         };
         cb.marks_emitted.push(mark.to_string());
         coordinator.stats.marks += 1;
+        let whole = coordinator.config.whole_record_facts;
         let action = coordinator.mgr.begin();
         coordinator.mgr.write(&action, keys.cb(scope_id), &cb)?;
-        coordinator
-            .mgr
-            .write_key(&action, &StoreKey::Fact(out_key), &objects)?;
+        facts::write_fact_bound(
+            &mut coordinator.mgr,
+            &action,
+            plan,
+            out_key,
+            output.slots,
+            mapped,
+            whole,
+        )?;
         coordinator.commit(action)?;
         Ok(())
     }
@@ -2056,10 +2230,12 @@ impl CoordHandle {
         plan: &Plan,
         keys: &InstanceKeys,
         scope_id: TaskId,
-        outcome_name: &str,
+        out_idx: usize,
         kind: OutputKind,
-        objects: BTreeMap<String, ObjectVal>,
+        mapped: Vec<(flowscript_plan::StrId, ObjectVal)>,
     ) {
+        let output = &plan.outputs[out_idx];
+        let outcome_name = plan.str(output.name);
         let scope_path = plan.str(plan.task(scope_id).path);
         let is_root = !scope_path.contains('/');
         let Some(out_key) = keys.out_key(plan, scope_id, outcome_name) else {
@@ -2079,15 +2255,22 @@ impl CoordHandle {
                     outcome: outcome_name.to_string(),
                 }
             });
+            let whole = coordinator.config.whole_record_facts;
             let action = coordinator.mgr.begin();
             let mut ok = coordinator
                 .mgr
                 .write(&action, keys.cb(scope_id), &cb)
                 .is_ok()
-                && coordinator
-                    .mgr
-                    .write_key(&action, &StoreKey::Fact(out_key), &objects)
-                    .is_ok();
+                && facts::write_fact_bound(
+                    &mut coordinator.mgr,
+                    &action,
+                    plan,
+                    out_key,
+                    output.slots,
+                    &mapped,
+                    whole,
+                )
+                .is_ok();
             // Cancel every non-terminal descendant (one flat subtree
             // scan — DFS pre-order keeps descendants contiguous).
             let mut terminal_delta = 1; // the scope itself
@@ -2102,7 +2285,7 @@ impl CoordHandle {
                     meta.status = InstanceStatus::Completed(Outcome {
                         name: outcome_name.to_string(),
                         kind,
-                        objects: objects.clone(),
+                        objects: facts::bound_map(plan, &mapped),
                     });
                     ok = coordinator
                         .mgr
@@ -2135,10 +2318,12 @@ impl CoordHandle {
         plan: &Plan,
         keys: &InstanceKeys,
         scope_id: TaskId,
-        outcome_name: &str,
-        objects: BTreeMap<String, ObjectVal>,
+        out_idx: usize,
+        mapped: Vec<(flowscript_plan::StrId, ObjectVal)>,
         worklist: &mut Worklist,
     ) {
+        let output = &plan.outputs[out_idx];
+        let outcome_name = plan.str(output.name);
         let scope_path = plan.str(plan.task(scope_id).path);
         let is_root = !scope_path.contains('/');
         let Some(out_key) = keys.out_key(plan, scope_id, outcome_name) else {
@@ -2174,11 +2359,18 @@ impl CoordHandle {
                 cb.scope_inc += 1;
                 let new_inc = cb.scope_inc;
                 let meta = coordinator.read_meta(instance);
+                let whole = coordinator.config.whole_record_facts;
                 let action = coordinator.mgr.begin();
-                let mut ok = coordinator
-                    .mgr
-                    .write_key(&action, &StoreKey::Fact(out_key), &objects)
-                    .is_ok();
+                let mut ok = facts::write_fact_bound(
+                    &mut coordinator.mgr,
+                    &action,
+                    plan,
+                    out_key,
+                    output.slots,
+                    &mapped,
+                    whole,
+                )
+                .is_ok();
                 // The compound goes back to Waiting to rebind (the root,
                 // which has no bindings, reactivates with its original
                 // inputs).
@@ -2189,10 +2381,15 @@ impl CoordHandle {
                         };
                         if let Some(in_key) = keys.in_key(plan, scope_id, &meta.set) {
                             ok = ok
-                                && coordinator
-                                    .mgr
-                                    .write_key(&action, &StoreKey::Fact(in_key), &meta.inputs)
-                                    .is_ok();
+                                && facts::write_fact_map(
+                                    &mut coordinator.mgr,
+                                    &action,
+                                    plan,
+                                    in_key,
+                                    &meta.inputs,
+                                    whole,
+                                )
+                                .is_ok();
                         } else {
                             ok = false;
                         }
@@ -2290,10 +2487,11 @@ impl CoordHandle {
                 "incremental non-terminal count of `{instance}` drifted"
             );
         }
-        let facts = TxFacts {
-            mgr: &coordinator.mgr,
+        let facts = StoreFacts::new(
+            &coordinator.mgr,
             keys,
-        };
+            coordinator.config.whole_record_facts,
+        );
         for id in 1..plan.tasks.len() as TaskId {
             let task = plan.task(id);
             let Some(parent) = task.parent else {
@@ -2383,10 +2581,11 @@ impl CoordHandle {
                     failed.push(format!("{} ({reason})", cb.path));
                 }
                 CbState::Waiting => {
-                    let facts = TxFacts {
-                        mgr: &coordinator.mgr,
-                        keys: &keys,
-                    };
+                    let facts = StoreFacts::new(
+                        &coordinator.mgr,
+                        &keys,
+                        coordinator.config.whole_record_facts,
+                    );
                     let task = plan.task(id);
                     let pending = plan.sets[task.sets.as_range()]
                         .iter()
@@ -2510,13 +2709,15 @@ impl CoordHandle {
                     .write(&action, &plan_uid(new_plan.fingerprint), &new_plan)?;
             }
             // Move every persisted fact onto the new plan's id space.
-            remap_facts(
+            let whole = coordinator.config.whole_record_facts;
+            facts::remap_instance_facts(
                 &mut coordinator.mgr,
                 &action,
                 &old_plan,
                 &old_keys,
                 &new_plan,
                 meta.instance_id,
+                whole,
             )?;
             for path in &effects.new_tasks {
                 // New tasks join the current incarnation of their scope.
@@ -2554,6 +2755,10 @@ impl CoordHandle {
             // The plan (and possibly the task set) changed: recount the
             // non-terminal blocks instead of patching deltas.
             coordinator.recount_nonterminal(instance);
+            // The old fingerprint may now be orphaned — reclaim it
+            // right away rather than waiting for the next checkpoint
+            // (an idle instance would strand it forever).
+            coordinator.gc_plans()?;
         }
         // The plan changed under the instance: reconfiguration re-enters
         // through the full scan (new tasks and new edges have no commit
@@ -2613,12 +2818,16 @@ impl CoordHandle {
             cb.transition(CbState::Aborted {
                 outcome: outcome.to_string(),
             });
+            let whole = coordinator.config.whole_record_facts;
             let action = coordinator.mgr.begin();
             coordinator.mgr.write(&action, keys.cb(task_id), &cb)?;
-            coordinator.mgr.write_key(
+            facts::write_fact_map(
+                &mut coordinator.mgr,
                 &action,
-                &StoreKey::Fact(out_key),
-                &BTreeMap::<String, ObjectVal>::new(),
+                &plan,
+                out_key,
+                &BTreeMap::new(),
+                whole,
             )?;
             coordinator.commit(action)?;
             coordinator.note_terminals(instance, 1);
@@ -2655,12 +2864,7 @@ impl CoordHandle {
             coordinator.sched.reset_loads();
 
             // Enumerate instances by their meta objects.
-            let metas: Vec<ObjectUid> = coordinator
-                .mgr
-                .uids_with_prefix("inst/")
-                .into_iter()
-                .filter(|uid| uid.as_str().ends_with("/meta"))
-                .collect();
+            let metas: Vec<ObjectUid> = coordinator.mgr.uids_matching("inst/", "/meta");
             let mut names = Vec::new();
             for uid in metas {
                 let Ok(Some(meta)) = coordinator.mgr.read_committed::<InstanceMeta>(&uid) else {
@@ -2867,76 +3071,6 @@ fn reset_descendants(
     Ok(revived)
 }
 
-/// Resolves one old-plan fact key to its identity (producer path, fact
-/// kind, set/output name) and re-keys it under the new plan. `None`
-/// when the task or its declaration no longer exists.
-fn remap_fact_key(
-    old_plan: &Plan,
-    new_plan: &Plan,
-    key: FactKey,
-    instance_id: u32,
-) -> Option<FactKey> {
-    let old_task = old_plan.tasks.get(key.task as usize)?;
-    let path = old_plan.str(old_task.path);
-    let old_class = old_plan.class_of(old_task);
-    let new_task = new_plan.task_by_path(path)?;
-    let new_class = new_plan.class_of(new_plan.task(new_task));
-    match key.kind {
-        FactKind::Input => {
-            let sets = &old_plan.class_sets[old_class.sets.as_range()];
-            let name = old_plan.str(sets.get(key.item as usize)?.name);
-            let item = new_plan.class_set_ordinal(new_class, name)?;
-            Some(FactKey::input(instance_id, new_task, item))
-        }
-        FactKind::Output => {
-            let outputs = &old_plan.class_outputs[old_class.outputs.as_range()];
-            let name = old_plan.str(outputs.get(key.item as usize)?.name);
-            let item = new_plan.class_output_ordinal(new_class, name)?;
-            Some(FactKey::output(instance_id, new_task, item))
-        }
-    }
-}
-
-/// Moves every persisted fact of an instance from the old plan's dense
-/// id space onto the new plan's (reconfiguration shifts task ids and
-/// can remove declarations). Facts with no home in the new plan are
-/// deleted. Deletes are staged before writes so a key vacated by one
-/// move can be reoccupied by another within the same action.
-/// One staged fact move: the old key, and (unless the fact dies) its
-/// new key with the carried bytes.
-type FactMove = (FactKey, Option<(FactKey, Vec<u8>)>);
-
-fn remap_facts(
-    mgr: &mut TxManager<SharedStorage>,
-    action: &flowscript_tx::AtomicAction,
-    old_plan: &Plan,
-    old_keys: &InstanceKeys,
-    new_plan: &Plan,
-    instance_id: u32,
-) -> Result<(), EngineError> {
-    let (lo, hi) = old_keys.instance_fact_range();
-    let mut moves: Vec<FactMove> = Vec::new();
-    for key in mgr.fact_keys_in_range(lo, hi) {
-        let target = remap_fact_key(old_plan, new_plan, key, instance_id);
-        if target == Some(key) {
-            continue; // identity: nothing to do
-        }
-        let bytes = mgr
-            .read_committed_bytes(&StoreKey::Fact(key))
-            .map(<[u8]>::to_vec);
-        moves.push((key, target.zip(bytes)));
-    }
-    for (old, _) in &moves {
-        mgr.delete_key(action, &StoreKey::Fact(*old))?;
-    }
-    for (_, target) in moves {
-        if let Some((new, bytes)) = target {
-            mgr.write_key_raw(action, &StoreKey::Fact(new), bytes)?;
-        }
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -3015,28 +3149,5 @@ mod tests {
         assert_eq!(scope_path, "tripReservation");
         assert!(Coordinator::find_task(&schema, "tripReservation/ghost").is_none());
         assert!(Coordinator::find_task(&schema, "wrong/printTickets").is_none());
-    }
-
-    #[test]
-    fn fact_keys_remap_across_replans() {
-        // Re-lowering the same schema yields identical ids (remap is the
-        // identity), and a structurally different plan re-keys by path.
-        let schema = schema::compile_source(
-            flowscript_core::samples::ORDER_PROCESSING,
-            "processOrderApplication",
-        )
-        .unwrap();
-        let plan_a = Plan::lower(&schema);
-        let plan_b = Plan::lower(&schema);
-        let check = plan_a
-            .task_by_path("processOrderApplication/checkStock")
-            .unwrap();
-        let key = FactKey::output(5, check, 0);
-        assert_eq!(remap_fact_key(&plan_a, &plan_b, key, 5), Some(key));
-        // A key pointing past the plan resolves to nothing.
-        let bogus = FactKey::output(5, 10_000, 0);
-        assert_eq!(remap_fact_key(&plan_a, &plan_b, bogus, 5), None);
-        let bad_item = FactKey::output(5, check, 10_000);
-        assert_eq!(remap_fact_key(&plan_a, &plan_b, bad_item, 5), None);
     }
 }

@@ -4,9 +4,13 @@
 //! [`InstanceKeys`] table built **once** at instance start (and rebuilt
 //! on reconfiguration, when the plan itself changes): control-block
 //! uids are formatted exactly once per task, and every plan dependency
-//! source gets its probed fact's dense [`FactKey`] precomputed — so a
-//! readiness probe, an output commit, a subtree cancel/reset or a stuck
-//! diagnostic never formats a string.
+//! source gets its probed fact's dense [`FactKey`]s precomputed — both
+//! the fact's *presence* sub-key (`obj = 0`, existence answers
+//! "fired?") and the *data* sub-key of the one object the source takes
+//! (`obj = ordinal + 1`, holding exactly that object's bytes) — so a
+//! readiness probe is a single point read with zero record decode, and
+//! an output commit, a subtree cancel/reset or a stuck diagnostic never
+//! formats a string.
 
 use flowscript_plan::{Plan, PlanCond, Probe, TaskId};
 use flowscript_tx::{FactKey, ObjectUid};
@@ -17,18 +21,32 @@ pub(crate) fn cb_uid(instance: &str, path: &str) -> ObjectUid {
     ObjectUid::new(format!("inst/{instance}/cb/{path}"))
 }
 
+/// The two dense keys one dependency probe resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeKeys {
+    /// The probed fact's presence sub-key (`obj = 0`): it exists iff
+    /// the fact fired, and its payload carries only objects with no
+    /// declared ordinal.
+    pub presence: FactKey,
+    /// The sub-key holding the probed object's value alone (`None` for
+    /// notifications, or when the object is undeclared at the producer
+    /// — such a value, if published at all, lives in the presence
+    /// record).
+    pub data: Option<FactKey>,
+}
+
 /// The interned key table of one live instance.
-pub(crate) struct InstanceKeys {
+pub struct InstanceKeys {
     /// The instance's dense numeric id (the fact key namespace).
     pub instance_id: u32,
     /// Per task id: its control-block uid.
     cb: Vec<ObjectUid>,
-    /// Per plan source index: the probed fact's key (`None` when the
+    /// Per plan source index: the probed fact's keys (`None` when the
     /// producer no longer exists or the named set/output is
     /// undeclared — a probe that can never fire).
-    source: Vec<Option<FactKey>>,
-    /// Per `any_pool` index: the `AnyOf` candidate output's key.
-    any: Vec<Option<FactKey>>,
+    source: Vec<Option<ProbeKeys>>,
+    /// Per `any_pool` index: the `AnyOf` candidate output's keys.
+    any: Vec<Option<ProbeKeys>>,
 }
 
 impl InstanceKeys {
@@ -46,22 +64,33 @@ impl InstanceKeys {
                 continue;
             };
             let class = plan.class_of(plan.task(producer));
+            let with_data = |base: FactKey| ProbeKeys {
+                presence: base,
+                data: src.object_ordinal.map(|ordinal| base.object(ordinal)),
+            };
             match &src.cond {
                 PlanCond::Input(set) => {
                     source[idx] = plan
                         .class_set_ordinal_by_id(class, *set)
-                        .map(|item| FactKey::input(instance_id, producer, item));
+                        .map(|item| with_data(FactKey::input(instance_id, producer, item)));
                 }
                 PlanCond::Output(output) => {
                     source[idx] = plan
                         .class_output_ordinal_by_id(class, *output)
-                        .map(|item| FactKey::output(instance_id, producer, item));
+                        .map(|item| with_data(FactKey::output(instance_id, producer, item)));
                 }
                 PlanCond::AnyOf(candidates) => {
                     for cand_idx in candidates.iter() {
                         any[cand_idx] = plan
                             .class_output_ordinal_by_id(class, plan.any_pool[cand_idx])
-                            .map(|item| FactKey::output(instance_id, producer, item));
+                            .map(|item| {
+                                let base = FactKey::output(instance_id, producer, item);
+                                ProbeKeys {
+                                    presence: base,
+                                    data: plan.any_obj_ordinals[cand_idx]
+                                        .map(|ordinal| base.object(ordinal)),
+                                }
+                            });
                     }
                 }
             }
@@ -79,36 +108,39 @@ impl InstanceKeys {
         &self.cb[task as usize]
     }
 
-    /// Resolves an evaluation probe to its interned fact key — pure
+    /// Resolves an evaluation probe to its interned fact keys — pure
     /// index lookups, no strings touched.
-    pub fn probe_key(&self, probe: &Probe<'_>) -> Option<FactKey> {
+    pub fn probe_keys(&self, probe: &Probe<'_>) -> Option<ProbeKeys> {
         match probe.candidate {
             Some(cand) => self.any[cand as usize],
             None => self.source[probe.source as usize],
         }
     }
 
-    /// The key of `task`'s output fact named `name` (commit paths; the
-    /// name arrives from the wire, so one short scan over the class's
-    /// declared outputs compares interned strings — no allocation).
+    /// The presence sub-key of `task`'s output fact named `name`
+    /// (commit paths; the name arrives from the wire, so one short scan
+    /// over the class's declared outputs compares interned strings — no
+    /// allocation).
     pub fn out_key(&self, plan: &Plan, task: TaskId, name: &str) -> Option<FactKey> {
         let class = plan.class_of(plan.task(task));
         plan.class_output_ordinal(class, name)
             .map(|item| FactKey::output(self.instance_id, task, item))
     }
 
-    /// The key of `task`'s input-binding fact for set `name`.
+    /// The presence sub-key of `task`'s input-binding fact for set
+    /// `name`.
     pub fn in_key(&self, plan: &Plan, task: TaskId, name: &str) -> Option<FactKey> {
         let class = plan.class_of(plan.task(task));
         plan.class_set_ordinal(class, name)
             .map(|item| FactKey::input(self.instance_id, task, item))
     }
 
-    /// The inclusive key range holding `task`'s input-binding facts.
+    /// The inclusive key range holding `task`'s input-binding facts
+    /// (all items, all object sub-keys).
     pub fn input_fact_range(&self, task: TaskId) -> (FactKey, FactKey) {
         (
             FactKey::input(self.instance_id, task, 0),
-            FactKey::input(self.instance_id, task, u32::MAX),
+            FactKey::input(self.instance_id, task, u32::MAX).fact_last(),
         )
     }
 
@@ -163,9 +195,21 @@ mod tests {
                 }
                 _ => assert!(keys.source[idx].is_some(), "source {idx} unresolved"),
             }
+            // Dataflow sources resolve their object's data sub-key too.
+            if source.object.is_some() && !matches!(source.cond, PlanCond::AnyOf(_)) {
+                assert!(
+                    keys.source[idx].unwrap().data.is_some(),
+                    "source {idx} lost its object sub-key"
+                );
+            }
         }
-        for key in keys.source.iter().flatten() {
-            assert_eq!(key.instance, 3);
+        for probe in keys.source.iter().flatten() {
+            assert_eq!(probe.presence.instance, 3);
+            assert_eq!(probe.presence.obj, 0, "presence keys address sub-object 0");
+            if let Some(data) = probe.data {
+                assert!(data.obj >= 1, "data keys address declared sub-objects");
+                assert_eq!(data.with_obj(0), probe.presence);
+            }
         }
     }
 
@@ -191,7 +235,9 @@ mod tests {
             })
             .next()
             .expect("stockAvailable is probed");
-        assert_eq!(written, probed);
+        assert_eq!(written, probed.presence);
+        // The data sub-key addresses stockInfo — declared ordinal 0.
+        assert_eq!(probed.data, Some(written.object(0)));
     }
 
     #[test]
@@ -206,6 +252,7 @@ mod tests {
         let (lo, hi) = keys.subtree_fact_range(&plan, scope).unwrap();
         assert_eq!(lo.task, scope + 1);
         assert_eq!(hi.task, plan.task(scope).subtree_end - 1);
+        assert_eq!(hi.obj, u32::MAX, "ranges span every object sub-key");
         // A leaf has no descendants.
         let leaf = plan.task_by_path("tripReservation/printTickets").unwrap();
         assert!(keys.subtree_fact_range(&plan, leaf).is_none());

@@ -65,8 +65,9 @@ pub mod coordinator;
 pub mod deps;
 mod error;
 pub mod executor;
+pub mod facts;
 pub mod impl_registry;
-mod keys;
+pub mod keys;
 mod msg;
 pub mod reconfig;
 pub mod repository;
@@ -78,9 +79,11 @@ mod value;
 pub use api::{SystemBuilder, WorkflowSystem};
 pub use coordinator::{CoordStats, DispatchRecord, EngineConfig, InstanceStatus, Outcome};
 pub use error::EngineError;
+pub use facts::StoreFacts;
 pub use impl_registry::{
     Completion, ImplRegistry, InvokeCtx, MarkEmission, TaskBehavior, TaskImpl,
 };
+pub use keys::InstanceKeys;
 pub use reconfig::Reconfig;
 pub use sched::{ExecutorSlot, ImplHints, SchedPolicy, Scheduler};
 pub use shard::ShardMap;

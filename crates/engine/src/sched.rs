@@ -80,15 +80,33 @@ impl ImplHints {
         }
         timeout
     }
+
+    /// The load the scheduler charges one dispatch of this task at: a
+    /// remaining-time estimate of `1 + duration_ms`. The constant term
+    /// makes undeclared tasks cost exactly one unit — a fleet with no
+    /// duration hints degenerates to bare in-flight counting — while
+    /// declared durations dominate whenever they exist, so one 400 ms
+    /// task outweighs several 50 ms ones.
+    pub fn load_cost(&self) -> u64 {
+        self.duration_ms.unwrap_or(0).saturating_add(1)
+    }
 }
 
 /// How dispatch picks an executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedPolicy {
     /// Load-aware: location hard constraint, avoid the failed node on
-    /// retry, least in-flight load among the eligible remainder.
+    /// retry, least **remaining work** among the eligible remainder —
+    /// each in-flight dispatch weighs `1 + duration_ms`
+    /// ([`ImplHints::load_cost`]), so declared durations shape
+    /// placement and hintless fleets degenerate to in-flight counting.
     #[default]
     LeastLoaded,
+    /// Count-based least-loaded: like [`SchedPolicy::LeastLoaded`] but
+    /// every dispatch weighs one unit regardless of declared duration
+    /// (the pre-remaining-work behaviour, kept as the comparison
+    /// baseline for the skewed-duration tests).
+    InFlightCount,
     /// The legacy baseline: stable hash of the task path plus the
     /// attempt, ignoring hints and load (kept for the `scheduled`
     /// bench comparison and as a regression oracle).
@@ -104,6 +122,9 @@ pub struct ExecutorSlot {
     pub location: Option<String>,
     /// Dispatches currently in flight on it *from this coordinator*.
     pub in_flight: u32,
+    /// Remaining-work estimate of those dispatches: the sum of their
+    /// [`ImplHints::load_cost`] charges.
+    pub remaining: u64,
 }
 
 /// Why the scheduler could not place a task.
@@ -153,6 +174,7 @@ impl Scheduler {
                     node,
                     location,
                     in_flight: 0,
+                    remaining: 0,
                 })
                 .collect(),
             policy,
@@ -209,13 +231,19 @@ impl Scheduler {
             ));
         }
         // Least-loaded among the eligible, preferring nodes other than
-        // `avoid`; ties break by slot order (deterministic runs).
+        // `avoid`; ties break by slot order (deterministic runs). The
+        // default metric is the remaining-work estimate; the
+        // `InFlightCount` baseline weighs every dispatch equally.
+        let load = |slot: &ExecutorSlot| match self.policy {
+            SchedPolicy::InFlightCount => u64::from(slot.in_flight),
+            _ => slot.remaining,
+        };
         let best = |skip_avoided: bool| {
             self.slots
                 .iter()
                 .filter(eligible)
                 .filter(|slot| !skip_avoided || avoid != Some(slot.node))
-                .min_by_key(|slot| slot.in_flight)
+                .min_by_key(|slot| load(slot))
         };
         if let Some(slot) = best(true) {
             return Ok(Placement {
@@ -232,18 +260,22 @@ impl Scheduler {
         })
     }
 
-    /// Records a dispatch landing on `node`.
-    pub fn note_dispatch(&mut self, node: NodeId) {
+    /// Records a dispatch landing on `node`, charged at `cost`
+    /// remaining-work units ([`ImplHints::load_cost`]).
+    pub fn note_dispatch(&mut self, node: NodeId, cost: u64) {
         if let Some(slot) = self.slots.iter_mut().find(|slot| slot.node == node) {
             slot.in_flight += 1;
+            slot.remaining = slot.remaining.saturating_add(cost);
         }
     }
 
     /// Records the dispatch on `node` ending (completion, failure,
-    /// watchdog, or subtree cancellation).
-    pub fn note_release(&mut self, node: NodeId) {
+    /// watchdog, or subtree cancellation), releasing the `cost` it was
+    /// charged at.
+    pub fn note_release(&mut self, node: NodeId, cost: u64) {
         if let Some(slot) = self.slots.iter_mut().find(|slot| slot.node == node) {
             slot.in_flight = slot.in_flight.saturating_sub(1);
+            slot.remaining = slot.remaining.saturating_sub(cost);
         }
     }
 
@@ -252,6 +284,7 @@ impl Scheduler {
     pub fn reset_loads(&mut self) {
         for slot in &mut self.slots {
             slot.in_flight = 0;
+            slot.remaining = 0;
         }
     }
 
@@ -344,24 +377,59 @@ mod tests {
             .pick("root/t", 0, &ImplHints::default(), None)
             .unwrap();
         assert_eq!(first.node, ids[0]);
-        sched.note_dispatch(first.node);
+        sched.note_dispatch(first.node, 1);
         // Next dispatch moves to the (now less loaded) second slot.
         let second = sched
             .pick("root/t", 0, &ImplHints::default(), None)
             .unwrap();
         assert_eq!(second.node, ids[1]);
-        sched.note_dispatch(second.node);
+        sched.note_dispatch(second.node, 1);
         let third = sched
             .pick("root/t", 0, &ImplHints::default(), None)
             .unwrap();
         assert_eq!(third.node, ids[2]);
-        sched.note_dispatch(third.node);
+        sched.note_dispatch(third.node, 1);
         // Releasing the middle one makes it least loaded again.
-        sched.note_release(ids[1]);
+        sched.note_release(ids[1], 1);
         let again = sched
             .pick("root/t", 0, &ImplHints::default(), None)
             .unwrap();
         assert_eq!(again.node, ids[1]);
+    }
+
+    #[test]
+    fn remaining_work_outweighs_bare_counts() {
+        let ids = nodes(2);
+        let long = hints(&[("duration_ms", "400")]);
+        let short = hints(&[("duration_ms", "50")]);
+        // Remaining-work: one 400ms task on node 0 outweighs two 50ms
+        // tasks on node 1, so the next short task lands on node 1 even
+        // though node 1 has more dispatches in flight.
+        let mut sched = Scheduler::new(
+            ids.iter().map(|&n| (n, None)).collect(),
+            SchedPolicy::LeastLoaded,
+        );
+        sched.note_dispatch(ids[0], long.load_cost());
+        sched.note_dispatch(ids[1], short.load_cost());
+        sched.note_dispatch(ids[1], short.load_cost());
+        assert_eq!(sched.pick("p", 0, &short, None).unwrap().node, ids[1]);
+        // The count-based baseline picks the node with fewer dispatches
+        // regardless of their declared durations.
+        let mut count = Scheduler::new(
+            ids.iter().map(|&n| (n, None)).collect(),
+            SchedPolicy::InFlightCount,
+        );
+        count.note_dispatch(ids[0], long.load_cost());
+        count.note_dispatch(ids[1], short.load_cost());
+        count.note_dispatch(ids[1], short.load_cost());
+        assert_eq!(count.pick("p", 0, &short, None).unwrap().node, ids[0]);
+        // Releases restore the estimate exactly.
+        sched.note_release(ids[0], long.load_cost());
+        assert_eq!(sched.load_of(ids[0]), 0);
+        assert_eq!(sched.pick("p", 0, &short, None).unwrap().node, ids[0]);
+        // Hintless tasks cost one unit: remaining-work degenerates to
+        // in-flight counting when nothing declares a duration.
+        assert_eq!(ImplHints::default().load_cost(), 1);
     }
 
     #[test]
@@ -380,7 +448,7 @@ mod tests {
         // Even when the pinned node is more loaded than the others.
         let mut sched = sched;
         for _ in 0..5 {
-            sched.note_dispatch(ids[1]);
+            sched.note_dispatch(ids[1], 1);
         }
         assert_eq!(sched.pick("p", 0, &paris, None).unwrap().node, ids[1]);
         // A location nobody carries is a diagnosable error.
@@ -459,10 +527,10 @@ mod tests {
             ids.iter().map(|&n| (n, None)).collect(),
             SchedPolicy::LeastLoaded,
         );
-        sched.note_release(ids[0]);
+        sched.note_release(ids[0], 1);
         assert_eq!(sched.load_of(ids[0]), 0);
-        sched.note_dispatch(ids[0]);
-        sched.note_dispatch(ids[1]);
+        sched.note_dispatch(ids[0], 1);
+        sched.note_dispatch(ids[1], 1);
         sched.reset_loads();
         assert!(sched.snapshot().iter().all(|slot| slot.in_flight == 0));
     }

@@ -520,6 +520,117 @@ fn least_loaded_beats_the_hash_baseline_under_skewed_durations() {
 }
 
 // ---------------------------------------------------------------------
+// Remaining-work vs count-based least-loaded (declared durations).
+// ---------------------------------------------------------------------
+
+/// The skewed fan with the durations *declared* in the implementation
+/// clause — the remaining-work scheduler's input signal.
+fn hinted_skew_source(width: usize) -> String {
+    let mut source = String::from(
+        r#"
+class Data;
+taskclass Work {
+    inputs { input main { in of class Data } };
+    outputs { outcome done { } }
+}
+taskclass Root {
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { } }
+}
+compoundtask root of taskclass Root {
+"#,
+    );
+    for i in 0..width {
+        let duration = if i == 0 { 400 } else { 50 };
+        source.push_str(&format!(
+            r#"    task w{i} of taskclass Work {{
+        implementation {{ "code" is "refW{i}"; "duration_ms" is "{duration}" }};
+        inputs {{ input main {{ inputobject in from {{ seed of task root if input main }} }} }}
+    }};
+"#
+        ));
+    }
+    source.push_str("    outputs { outcome done {\n");
+    for i in 0..width {
+        let sep = if i + 1 < width { ";" } else { "" };
+        source.push_str(&format!(
+            "        notification from {{ task w{i} if output done }}{sep}\n"
+        ));
+    }
+    source.push_str("    } }\n}\n");
+    source
+}
+
+/// Runs `instances` duration-hinted skewed fans on 2 serial executors
+/// under `policy` and returns the virtual makespan.
+fn hinted_skew_makespan(policy: SchedPolicy, instances: usize) -> SimDuration {
+    let width = 6;
+    let config = EngineConfig {
+        scheduler: policy,
+        dispatch_timeout: SimDuration::from_secs(3600),
+        ..EngineConfig::default()
+    };
+    let mut sys = WorkflowSystem::builder()
+        .executors(2)
+        .serial_executors(true)
+        .seed(52)
+        .config(config)
+        .trace(false)
+        .build();
+    sys.register_script("skew", &hinted_skew_source(width), "root")
+        .unwrap();
+    for i in 0..width {
+        let work = if i == 0 {
+            SimDuration::from_millis(400)
+        } else {
+            SimDuration::from_millis(50)
+        };
+        sys.bind_fn(&format!("refW{i}"), move |_| {
+            TaskBehavior::outcome("done").with_work(work)
+        });
+    }
+    for i in 0..instances {
+        sys.start(
+            &format!("wave-{i}"),
+            "skew",
+            "main",
+            [("seed", text("Data", "d"))],
+        )
+        .unwrap();
+    }
+    sys.run();
+    for i in 0..instances {
+        assert_eq!(
+            sys.outcome(&format!("wave-{i}")).expect("completes").name,
+            "done",
+            "{policy:?}"
+        );
+    }
+    for shard in 0..sys.shard_count() {
+        assert!(
+            sys.executor_loads(shard)
+                .iter()
+                .all(|s| s.in_flight == 0 && s.remaining == 0),
+            "{policy:?}: load and remaining-work counters must drain"
+        );
+    }
+    sys.now().since(SimTime::ZERO)
+}
+
+#[test]
+fn remaining_work_beats_count_based_least_loaded_on_skewed_durations() {
+    // Both policies see the same declared durations; only the weighted
+    // one uses them. Counting dispatches alike piles 400ms work next to
+    // 50ms work, which serial executors pay for in virtual makespan.
+    let count = hinted_skew_makespan(SchedPolicy::InFlightCount, 8);
+    let weighted = hinted_skew_makespan(SchedPolicy::LeastLoaded, 8);
+    assert!(
+        weighted < count,
+        "remaining-work ({weighted:?}) must beat count-based ({count:?}) on skewed durations"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Executor-side location guard.
 // ---------------------------------------------------------------------
 

@@ -118,6 +118,15 @@ pub struct PlanSlot {
     /// Ordered alternative sources (range into [`Plan::sources`]);
     /// first available wins.
     pub sources: Range32,
+    /// Derived: the ordinal of `name` among the declared objects of the
+    /// fact this slot's value is stored under — the owning task's class
+    /// input-set signature for binding slots, the owning scope's class
+    /// output for mapping slots (`None` when the name is undeclared
+    /// there, so the value lands in the fact's presence record). This
+    /// is the dense sub-key the engine writes bound objects at. Not
+    /// wire content — recomputed at lowering and after decode, excluded
+    /// from the codec so fingerprints are unaffected.
+    pub obj_ordinal: Option<u32>,
 }
 
 /// A notification dependency: satisfied when any source fires.
@@ -153,6 +162,16 @@ pub struct PlanSource {
     pub object: Option<StrId>,
     /// Availability condition.
     pub cond: PlanCond,
+    /// Derived: the ordinal of `object` among the declared objects of
+    /// the probed fact (the producer class's input-set signature for
+    /// [`PlanCond::Input`], its output declaration for
+    /// [`PlanCond::Output`]; per-candidate ordinals of `AnyOf`
+    /// conditions live in [`Plan::any_obj_ordinals`]). `None` when the
+    /// producer is gone, the source is a notification, or the object is
+    /// undeclared there. A fact store with per-object sub-keys probes
+    /// `(producer, fact, ordinal)` as one dense key. Not wire content —
+    /// recomputed at lowering and after decode.
+    pub object_ordinal: Option<u32>,
 }
 
 /// One output mapping of a compound scope.
@@ -239,6 +258,11 @@ pub struct Plan {
     pub sources: Vec<PlanSource>,
     /// Pool: candidate output names of `AnyOf` conditions.
     pub any_pool: Vec<StrId>,
+    /// Derived, parallel to [`Plan::any_pool`]: the owning source's
+    /// object ordinal within each candidate output's declared objects
+    /// (see [`PlanSource::object_ordinal`]). Not wire content —
+    /// recomputed at lowering and after decode.
+    pub any_obj_ordinals: Vec<Option<u32>>,
     /// Pool: compound output mappings.
     pub outputs: Vec<PlanOutput>,
     /// Pool: implementation key/value pairs.
@@ -348,6 +372,56 @@ impl Plan {
             .map(|i| i as u32)
     }
 
+    /// The declared objects of a class's input-set signature, by
+    /// interned set name (bounds-tolerant: callers run before
+    /// [`Plan::is_well_formed`] during decode).
+    fn decl_objects_of_set(&self, class: &PlanClass, name: StrId) -> Option<Range32> {
+        self.class_sets
+            .get(class.sets.as_range())?
+            .iter()
+            .find(|set| set.name == name)
+            .map(|set| set.objects)
+    }
+
+    /// The declared objects of a class's output, by interned name.
+    fn decl_objects_of_output(&self, class: &PlanClass, name: StrId) -> Option<Range32> {
+        self.class_outputs
+            .get(class.outputs.as_range())?
+            .iter()
+            .find(|output| output.name == name)
+            .map(|output| output.objects)
+    }
+
+    /// The ordinal of an interned object name within a declared-objects
+    /// range (the dense sub-key component of a per-object fact store).
+    pub fn object_ordinal_in(&self, objects: Range32, name: StrId) -> Option<u32> {
+        self.class_objects
+            .get(objects.as_range())?
+            .iter()
+            .position(|sig| sig.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// The declared objects of the fact `(task, kind, item)` — the
+    /// input-binding fact of `task`'s `item`-th declared input set when
+    /// `is_input`, its `item`-th declared output's fact otherwise.
+    /// Per-object fact stores name sub-keys by position in this range.
+    pub fn fact_decl_objects(&self, task: TaskId, is_input: bool, item: u32) -> Option<Range32> {
+        let task = self.tasks.get(task as usize)?;
+        let class = self.classes.get(task.class as usize)?;
+        if is_input {
+            self.class_sets
+                .get(class.sets.as_range())?
+                .get(item as usize)
+                .map(|set| set.objects)
+        } else {
+            self.class_outputs
+                .get(class.outputs.as_range())?
+                .get(item as usize)
+                .map(|output| output.objects)
+        }
+    }
+
     /// Direct children of a scope task, in declaration order.
     pub fn children(&self, id: TaskId) -> &[TaskId] {
         &self.child_pool[self.tasks[id as usize].children.as_range()]
@@ -412,6 +486,87 @@ impl Plan {
             .collect();
         for (task, priority) in self.tasks.iter_mut().zip(priorities) {
             task.priority = priority;
+        }
+    }
+
+    /// Interns every dependency source's and every dataflow slot's
+    /// object name to its dense declared-object ordinal
+    /// ([`PlanSource::object_ordinal`], [`Plan::any_obj_ordinals`],
+    /// [`PlanSlot::obj_ordinal`]). Lowering and decode both end with
+    /// this; like the priorities it is bounds-tolerant, because decode
+    /// runs it before the caller gets to [`Plan::is_well_formed`].
+    pub(crate) fn finish_object_ordinals(&mut self) {
+        let mut src_ordinals: Vec<Option<u32>> = vec![None; self.sources.len()];
+        let mut any_ordinals: Vec<Option<u32>> = vec![None; self.any_pool.len()];
+        for (idx, source) in self.sources.iter().enumerate() {
+            let (Some(producer), Some(object)) = (source.producer, source.object) else {
+                continue;
+            };
+            let Some(class) = self
+                .tasks
+                .get(producer as usize)
+                .and_then(|task| self.classes.get(task.class as usize))
+            else {
+                continue;
+            };
+            match &source.cond {
+                PlanCond::Input(set) => {
+                    src_ordinals[idx] = self
+                        .decl_objects_of_set(class, *set)
+                        .and_then(|objects| self.object_ordinal_in(objects, object));
+                }
+                PlanCond::Output(output) => {
+                    src_ordinals[idx] = self
+                        .decl_objects_of_output(class, *output)
+                        .and_then(|objects| self.object_ordinal_in(objects, object));
+                }
+                PlanCond::AnyOf(range) => {
+                    for cand in range.iter().filter(|&c| c < self.any_pool.len()) {
+                        let name = self.any_pool[cand];
+                        any_ordinals[cand] = self
+                            .decl_objects_of_output(class, name)
+                            .and_then(|objects| self.object_ordinal_in(objects, object));
+                    }
+                }
+            }
+        }
+        for (source, ordinal) in self.sources.iter_mut().zip(src_ordinals) {
+            source.object_ordinal = ordinal;
+        }
+        self.any_obj_ordinals = any_ordinals;
+
+        // Slots: binding slots resolve against the owning task's class
+        // input-set signature, mapping slots against the owning scope's
+        // class output declaration.
+        let mut slot_ordinals: Vec<Option<u32>> = vec![None; self.slots.len()];
+        for task in &self.tasks {
+            let Some(class) = self.classes.get(task.class as usize) else {
+                continue;
+            };
+            for set in self.sets.get(task.sets.as_range()).into_iter().flatten() {
+                let decl = self.decl_objects_of_set(class, set.name);
+                for slot_idx in set.slots.iter().filter(|&s| s < self.slots.len()) {
+                    slot_ordinals[slot_idx] = decl.and_then(|objects| {
+                        self.object_ordinal_in(objects, self.slots[slot_idx].name)
+                    });
+                }
+            }
+            for output in self
+                .outputs
+                .get(task.outputs.as_range())
+                .into_iter()
+                .flatten()
+            {
+                let decl = self.decl_objects_of_output(class, output.name);
+                for slot_idx in output.slots.iter().filter(|&s| s < self.slots.len()) {
+                    slot_ordinals[slot_idx] = decl.and_then(|objects| {
+                        self.object_ordinal_in(objects, self.slots[slot_idx].name)
+                    });
+                }
+            }
+        }
+        for (slot, ordinal) in self.slots.iter_mut().zip(slot_ordinals) {
+            slot.obj_ordinal = ordinal;
         }
     }
 
@@ -637,6 +792,8 @@ impl Decode for PlanSlot {
             name: r.get_u32()?,
             class: r.get_u32()?,
             sources: Range32::decode(r)?,
+            // Derived, not wire content: Plan::decode recomputes it.
+            obj_ordinal: None,
         })
     }
 }
@@ -706,6 +863,8 @@ impl Decode for PlanSource {
             producer: Option::decode(r)?,
             object: Option::decode(r)?,
             cond: PlanCond::decode(r)?,
+            // Derived, not wire content: Plan::decode recomputes it.
+            object_ordinal: None,
         })
     }
 }
@@ -839,6 +998,8 @@ impl Decode for Plan {
             notes: Vec::decode(r)?,
             sources: Vec::decode(r)?,
             any_pool: Vec::decode(r)?,
+            // Derived, not wire content: recomputed below.
+            any_obj_ordinals: Vec::new(),
             outputs: Vec::decode(r)?,
             impl_kv: Vec::decode(r)?,
             child_pool: Vec::decode(r)?,
@@ -848,6 +1009,7 @@ impl Decode for Plan {
             fingerprint: r.get_u64()?,
         };
         plan.finish_priorities();
+        plan.finish_object_ordinals();
         Ok(plan)
     }
 }
@@ -870,6 +1032,56 @@ mod tests {
         let plan = order_plan();
         assert!(plan.is_well_formed());
         assert!(plan.verify_fingerprint());
+    }
+
+    #[test]
+    fn lowering_interns_object_ordinals() {
+        let plan = order_plan();
+        // Every dataflow source that survives to a live producer has its
+        // probed object interned to a declared ordinal; notifications
+        // never do.
+        for source in &plan.sources {
+            match (&source.cond, source.object, source.producer) {
+                (PlanCond::AnyOf(_), _, _) => {}
+                (_, Some(_), Some(_)) => assert!(
+                    source.object_ordinal.is_some(),
+                    "unresolved ordinal for {}",
+                    plan.str(source.producer_path)
+                ),
+                (_, None, _) => assert_eq!(source.object_ordinal, None),
+                _ => {}
+            }
+        }
+        assert_eq!(plan.any_obj_ordinals.len(), plan.any_pool.len());
+        // Binding/mapping slots intern too, and the ordinal names the
+        // same object the declaration does.
+        for slot in &plan.slots {
+            let ordinal = slot.obj_ordinal.expect("slot names a declared object");
+            let _ = ordinal;
+        }
+        // A decoded plan recomputes identical ordinals.
+        let decoded =
+            flowscript_codec::from_bytes::<Plan>(&flowscript_codec::to_bytes(&plan)).unwrap();
+        assert_eq!(decoded, plan);
+    }
+
+    #[test]
+    fn fact_decl_objects_names_sub_keys() {
+        let plan = order_plan();
+        let check = plan
+            .task_by_path("processOrderApplication/checkStock")
+            .unwrap();
+        let class = plan.class_of(plan.task(check));
+        let item = plan.class_output_ordinal(class, "stockAvailable").unwrap();
+        let objects = plan.fact_decl_objects(check, false, item).unwrap();
+        let names: Vec<&str> = objects
+            .iter()
+            .map(|i| plan.str(plan.class_objects[i].name))
+            .collect();
+        assert_eq!(names, vec!["stockInfo"]);
+        // Out-of-range queries degrade to None instead of panicking.
+        assert_eq!(plan.fact_decl_objects(check, false, 10_000), None);
+        assert_eq!(plan.fact_decl_objects(10_000, true, 0), None);
     }
 
     #[test]
@@ -912,6 +1124,7 @@ mod tests {
             notes: Vec::new(),
             sources: Vec::new(),
             any_pool: Vec::new(),
+            any_obj_ordinals: Vec::new(),
             outputs: Vec::new(),
             impl_kv: Vec::new(),
             child_pool: Vec::new(),

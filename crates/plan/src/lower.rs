@@ -62,6 +62,7 @@ impl Plan {
                 notes: Vec::new(),
                 sources: Vec::new(),
                 any_pool: Vec::new(),
+                any_obj_ordinals: Vec::new(),
                 outputs: Vec::new(),
                 impl_kv: Vec::new(),
                 child_pool: Vec::new(),
@@ -77,6 +78,7 @@ impl Plan {
         let mut plan = lowerer.plan;
         plan.strings = lowerer.interner.strings;
         plan.finish_priorities();
+        plan.finish_object_ordinals();
         plan.fingerprint = fingerprint_of(&plan);
         plan
     }
@@ -278,6 +280,7 @@ impl Lowerer {
                 name,
                 class,
                 sources,
+                obj_ordinal: None, // derived; filled by finish_object_ordinals
             });
         }
         let start = self.plan.slots.len() as u32;
@@ -333,6 +336,7 @@ impl Lowerer {
                 producer: None,
                 object,
                 cond,
+                object_ordinal: None, // derived; filled by finish_object_ordinals
             });
         }
         Range32 {

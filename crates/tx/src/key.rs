@@ -29,14 +29,20 @@ pub enum FactKind {
     Output,
 }
 
-/// Dense key of one dependency fact.
+/// Dense key of one dependency-fact **sub-object**.
 ///
 /// `task` is the producing task's plan id and `item` the ordinal of the
 /// set or output within the task's class declaration — both assigned by
 /// the compiled plan, so a live instance never builds a string to name
-/// a fact. Ordering is `(instance, task, kind, item)`: all facts of an
-/// instance are contiguous, as are all facts of a task and (because
-/// plans number tasks in DFS pre-order) all facts of a subtree.
+/// a fact. `obj` addresses *within* one fact: sub-key `0` is the fact's
+/// presence record (it exists iff the fact fired; its payload carries
+/// only objects with no declared ordinal), and sub-key `i + 1` holds
+/// the value of the declaration's `i`-th object alone — so a readiness
+/// probe reads exactly the bytes of the one object it needs.
+///
+/// Ordering is `(instance, task, kind, item, obj)`: all sub-objects of
+/// a fact are contiguous, as are all facts of a task, of an instance,
+/// and (because plans number tasks in DFS pre-order) of a subtree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FactKey {
     /// The owning instance's numeric id.
@@ -47,27 +53,49 @@ pub struct FactKey {
     pub kind: FactKind,
     /// Ordinal of the input set / output within the task's class.
     pub item: u32,
+    /// Sub-object ordinal: `0` = presence record, `i + 1` = the value
+    /// of the declaration's `i`-th object.
+    pub obj: u32,
 }
 
 impl FactKey {
-    /// The input-binding fact of `task`'s `item`-th declared input set.
+    /// The presence sub-key of `task`'s `item`-th declared input set.
     pub fn input(instance: u32, task: u32, item: u32) -> Self {
         Self {
             instance,
             task,
             kind: FactKind::Input,
             item,
+            obj: 0,
         }
     }
 
-    /// The output fact of `task`'s `item`-th declared output.
+    /// The presence sub-key of `task`'s `item`-th declared output.
     pub fn output(instance: u32, task: u32, item: u32) -> Self {
         Self {
             instance,
             task,
             kind: FactKind::Output,
             item,
+            obj: 0,
         }
+    }
+
+    /// This fact's sub-key for sub-object ordinal `obj`.
+    pub fn with_obj(mut self, obj: u32) -> Self {
+        self.obj = obj;
+        self
+    }
+
+    /// The sub-key holding the declaration's `ordinal`-th object value.
+    pub fn object(self, ordinal: u32) -> Self {
+        self.with_obj(ordinal + 1)
+    }
+
+    /// The largest sub-key this fact can have (the presence key is the
+    /// smallest): `self..=self.fact_last()` spans one whole fact.
+    pub fn fact_last(self) -> Self {
+        self.with_obj(u32::MAX)
     }
 
     /// The smallest key a fact of `task` can have (range scans).
@@ -77,7 +105,7 @@ impl FactKey {
 
     /// The largest key a fact of `task` can have (range scans).
     pub fn task_last(instance: u32, task: u32) -> Self {
-        Self::output(instance, task, u32::MAX)
+        Self::output(instance, task, u32::MAX).fact_last()
     }
 
     /// The smallest key any fact of `instance` can have.
@@ -99,8 +127,8 @@ impl fmt::Display for FactKey {
         };
         write!(
             f,
-            "fact/{}/{}/{kind}/{}",
-            self.instance, self.task, self.item
+            "fact/{}/{}/{kind}/{}/{}",
+            self.instance, self.task, self.item, self.obj
         )
     }
 }
@@ -114,6 +142,7 @@ impl Encode for FactKey {
             FactKind::Output => 1,
         });
         w.put_var_u64(u64::from(self.item));
+        w.put_var_u64(u64::from(self.obj));
     }
 }
 
@@ -132,11 +161,13 @@ impl Decode for FactKey {
             }
         };
         let item = r.get_var_u64()? as u32;
+        let obj = r.get_var_u64()? as u32;
         Ok(FactKey {
             instance,
             task,
             kind,
             item,
+            obj,
         })
     }
 }
@@ -248,6 +279,20 @@ mod tests {
     }
 
     #[test]
+    fn object_sub_keys_stay_inside_their_fact() {
+        let base = FactKey::output(1, 2, 3);
+        let first = base.object(0);
+        let second = base.object(1);
+        assert!(base < first, "the presence key is the fact's smallest");
+        assert!(first < second, "object ordinals order the sub-keys");
+        assert!(second <= base.fact_last());
+        // The next fact of the same task starts past the sub-range.
+        assert!(base.fact_last() < FactKey::output(1, 2, 4));
+        // And the whole sub-range stays inside the task range.
+        assert!(base.fact_last() <= FactKey::task_last(1, 2));
+    }
+
+    #[test]
     fn uids_order_before_facts() {
         let uid = StoreKey::from(ObjectUid::new("zzz"));
         let fact = StoreKey::from(FactKey::input(0, 0, 0));
@@ -259,7 +304,8 @@ mod tests {
         let keys = [
             StoreKey::from(ObjectUid::new("inst/a/meta")),
             StoreKey::from(FactKey::input(7, 3, 1)),
-            StoreKey::from(FactKey::output(u32::MAX, u32::MAX, u32::MAX)),
+            StoreKey::from(FactKey::input(7, 3, 1).object(4)),
+            StoreKey::from(FactKey::output(u32::MAX, u32::MAX, u32::MAX).fact_last()),
         ];
         for key in keys {
             let bytes = flowscript_codec::to_bytes(&key);
@@ -272,7 +318,11 @@ mod tests {
 
     #[test]
     fn display_is_path_like() {
-        assert_eq!(FactKey::output(1, 4, 2).to_string(), "fact/1/4/out/2");
+        assert_eq!(FactKey::output(1, 4, 2).to_string(), "fact/1/4/out/2/0");
+        assert_eq!(
+            FactKey::output(1, 4, 2).object(3).to_string(),
+            "fact/1/4/out/2/4"
+        );
         assert_eq!(
             StoreKey::from(ObjectUid::new("inst/i/meta")).to_string(),
             "inst/i/meta"

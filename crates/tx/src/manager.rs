@@ -109,6 +109,12 @@ pub struct TxManager<S = SharedStorage> {
     /// paths — but the engine's per-commit paths must never need one,
     /// and regression tests assert this counter stays flat during runs.
     prefix_scans: std::cell::Cell<u64>,
+    /// Fact range scans served ([`TxManager::fact_keys_in_range`] and
+    /// [`TxManager::facts_in_range`]). Legitimate on subtree
+    /// cancel/reset, whole-fact reconstruction and reconfiguration —
+    /// but a readiness *probe* must be a point read, and regression
+    /// tests assert clean runs keep this counter flat.
+    fact_range_scans: std::cell::Cell<u64>,
 }
 
 impl TxManager<SharedStorage> {
@@ -191,6 +197,7 @@ impl<S: Storage> TxManager<S> {
             commits: 0,
             aborts: 0,
             prefix_scans: std::cell::Cell::new(0),
+            fact_range_scans: std::cell::Cell::new(0),
         })
     }
 
@@ -574,12 +581,21 @@ impl<S: Storage> TxManager<S> {
     /// All committed uids with the given prefix, sorted (recovery
     /// enumeration). One range scan: uids order before fact keys.
     pub fn uids_with_prefix(&self, prefix: &str) -> Vec<ObjectUid> {
+        self.uids_matching(prefix, "")
+    }
+
+    /// [`TxManager::uids_with_prefix`] keeping only uids that also end
+    /// with `suffix` — the filter runs before any clone, so enumerating
+    /// the few `inst/…/meta` objects among many control blocks does not
+    /// materialize the rest.
+    pub fn uids_matching(&self, prefix: &str, suffix: &str) -> Vec<ObjectUid> {
         self.prefix_scans.set(self.prefix_scans.get() + 1);
         let start = StoreKey::Uid(ObjectUid::new(prefix));
         self.store
             .range((Bound::Included(start), Bound::Unbounded))
             .map_while(|(key, _)| key.as_uid())
             .take_while(|uid| uid.as_str().starts_with(prefix))
+            .filter(|uid| uid.as_str().ends_with(suffix))
             .cloned()
             .collect()
     }
@@ -588,9 +604,21 @@ impl<S: Storage> TxManager<S> {
     /// cancel/reset, reconfiguration remapping). One range scan over the
     /// dense fact index space.
     pub fn fact_keys_in_range(&self, lo: FactKey, hi: FactKey) -> Vec<FactKey> {
+        self.fact_range_scans.set(self.fact_range_scans.get() + 1);
         self.store
             .range(StoreKey::Fact(lo)..=StoreKey::Fact(hi))
             .filter_map(|(key, _)| key.as_fact())
+            .collect()
+    }
+
+    /// All committed fact keys in `lo..=hi` with their raw payloads
+    /// (whole-fact reconstruction on cold paths: monitoring, recovery
+    /// re-dispatch, reconfiguration remapping). One range scan.
+    pub fn facts_in_range(&self, lo: FactKey, hi: FactKey) -> Vec<(FactKey, Vec<u8>)> {
+        self.fact_range_scans.set(self.fact_range_scans.get() + 1);
+        self.store
+            .range(StoreKey::Fact(lo)..=StoreKey::Fact(hi))
+            .filter_map(|(key, bytes)| key.as_fact().map(|key| (key, bytes.clone())))
             .collect()
     }
 
@@ -644,6 +672,14 @@ impl<S: Storage> TxManager<S> {
     /// point reads and dense-key range scans, never a prefix walk).
     pub fn prefix_scan_count(&self) -> u64 {
         self.prefix_scans.get()
+    }
+
+    /// Fact range scans served since this manager was opened (per-object
+    /// probes are point reads: a clean run performs none of these
+    /// either — only subtree cancel/reset, whole-fact reconstruction
+    /// and reconfiguration do).
+    pub fn fact_range_scan_count(&self) -> u64 {
+        self.fact_range_scans.get()
     }
 
     /// Number of live (committed) objects.

@@ -9,12 +9,13 @@
 use flowscript_tx::{FactKey, FactKind, ObjectUid, StoreKey};
 use proptest::prelude::*;
 
-fn fact_key(instance: u32, task: u32, kind_bit: bool, item: u32) -> FactKey {
-    if kind_bit {
+fn fact_key(instance: u32, task: u32, kind_bit: bool, item: u32, obj: u32) -> FactKey {
+    let base = if kind_bit {
         FactKey::output(instance, task, item)
     } else {
         FactKey::input(instance, task, item)
-    }
+    };
+    base.with_obj(obj)
 }
 
 proptest! {
@@ -26,8 +27,9 @@ proptest! {
         task in 0u32..=u32::MAX,
         kind_bit: bool,
         item in 0u32..=u32::MAX,
+        obj in 0u32..=u32::MAX,
     ) {
-        let key = fact_key(instance, task, kind_bit, item);
+        let key = fact_key(instance, task, kind_bit, item, obj);
         let bytes = flowscript_codec::to_bytes(&key);
         prop_assert_eq!(flowscript_codec::from_bytes::<FactKey>(&bytes).unwrap(), key);
 
@@ -44,13 +46,25 @@ proptest! {
     }
 
     #[test]
-    fn ordering_keeps_instances_and_tasks_contiguous(
+    fn ordering_keeps_instances_tasks_and_facts_contiguous(
         instance in 0u32..1000,
         task in 0u32..1000,
         kind_bit: bool,
         item in 0u32..1000,
+        obj in 0u32..1000,
     ) {
-        let key = fact_key(instance, task, kind_bit, item);
+        let key = fact_key(instance, task, kind_bit, item, obj);
+        // Ordering matches the tuple order (instance, task, kind, item,
+        // obj) — the contract every range bound below builds on.
+        let tuple = |k: &FactKey| (k.instance, k.task, k.kind, k.item, k.obj);
+        let other = fact_key(
+            instance.wrapping_add(obj), task.wrapping_add(1), !kind_bit, item, obj / 2,
+        );
+        prop_assert_eq!(key.cmp(&other), tuple(&key).cmp(&tuple(&other)));
+        // Within the fact's own sub-range.
+        let base = key.with_obj(0);
+        prop_assert!(base <= key);
+        prop_assert!(key <= base.fact_last());
         // Within the task range.
         prop_assert!(FactKey::task_first(instance, task) <= key);
         prop_assert!(key <= FactKey::task_last(instance, task));
@@ -63,21 +77,24 @@ proptest! {
         prop_assert!(
             FactKey::input(instance, task, item) < FactKey::output(instance, task, item)
         );
+        // Object sub-keys stay inside their fact: the next item's
+        // presence key is past this fact's whole sub-range.
+        prop_assert!(base.fact_last() < fact_key(instance, task, kind_bit, item + 1, 0));
         // Uids and facts never interleave.
         prop_assert!(StoreKey::from(ObjectUid::new("zzzz")) < StoreKey::from(key));
     }
 
     #[test]
     fn codec_preserves_ordering(
-        a_task in 0u32..64, a_item in 0u32..64,
-        b_task in 0u32..64, b_item in 0u32..64,
+        a_task in 0u32..64, a_item in 0u32..64, a_obj in 0u32..8,
+        b_task in 0u32..64, b_item in 0u32..64, b_obj in 0u32..8,
         kinds: (bool, bool),
     ) {
         // Decode(encode(x)) preserves comparisons — the WAL can replay
         // checkpoints into the ordered store without re-sorting
         // surprises.
-        let a = fact_key(1, a_task, kinds.0, a_item);
-        let b = fact_key(1, b_task, kinds.1, b_item);
+        let a = fact_key(1, a_task, kinds.0, a_item, a_obj);
+        let b = fact_key(1, b_task, kinds.1, b_item, b_obj);
         let a2 = flowscript_codec::from_bytes::<FactKey>(&flowscript_codec::to_bytes(&a)).unwrap();
         let b2 = flowscript_codec::from_bytes::<FactKey>(&flowscript_codec::to_bytes(&b)).unwrap();
         prop_assert_eq!(a.cmp(&b), a2.cmp(&b2));
