@@ -15,7 +15,9 @@ use flowscript_core::builder;
 use flowscript_core::fmt::format_script;
 use flowscript_core::samples;
 use flowscript_engine::coordinator::EngineConfig;
-use flowscript_engine::{InvokeCtx, ObjectVal, SchedPolicy, TaskBehavior, WorkflowSystem};
+use flowscript_engine::{
+    InvokeCtx, ObjectVal, ObserveLevel, SchedPolicy, TaskBehavior, WorkflowSystem,
+};
 use flowscript_sim::{SimDuration, SimTime};
 
 /// A workflow system with benchmarking defaults (trace off).
@@ -202,10 +204,22 @@ pub fn run_trip(sys: &mut WorkflowSystem, instance: &str) {
 /// (the multi-instance scalability workload; see the `plan_dispatch`
 /// bench's `sharded` variant).
 pub fn sharded_diamond_system(seed: u64, coordinators: usize, executors: usize) -> WorkflowSystem {
+    observed_diamond_system(seed, coordinators, executors, ObserveLevel::Off)
+}
+
+/// [`sharded_diamond_system`] with an explicit observability level (the
+/// `obs_overhead` bench variant times the same wave at every level).
+pub fn observed_diamond_system(
+    seed: u64,
+    coordinators: usize,
+    executors: usize,
+    observe: ObserveLevel,
+) -> WorkflowSystem {
     let config = EngineConfig {
         // Tasks deliberately take 30 virtual seconds; keep watchdogs out
         // of the way (nothing fails in this workload).
         dispatch_timeout: SimDuration::from_secs(300),
+        observe,
         ..EngineConfig::default()
     };
     let sys = WorkflowSystem::builder()

@@ -23,6 +23,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use flowscript_obs::{ObsEvent, ObserveLevel, Registry, Snapshot};
 use flowscript_sim::{net::LinkConfig, FaultPlan, NodeId, SimDuration, SimTime, World};
 use flowscript_tx::SharedStorage;
 
@@ -160,6 +161,13 @@ impl SystemBuilder {
     /// Disables trace recording (benchmarks).
     pub fn trace(mut self, enabled: bool) -> Self {
         self.trace_enabled = enabled;
+        self
+    }
+
+    /// Observability level (shorthand for setting
+    /// [`EngineConfig::observe`] on the current config).
+    pub fn observe(mut self, level: ObserveLevel) -> Self {
+        self.config.observe = level;
         self
     }
 
@@ -635,6 +643,41 @@ impl WorkflowSystem {
         self.coord_for(instance).poison_fact(instance, path, output)
     }
 
+    /// Sends a forged `Mark` message for `instance` *via* shard `via`
+    /// (possibly not the owner) — test hook for the cross-shard
+    /// forwarding path of one-way messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `via` is out of range.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_mark_via_shard<I, K>(
+        &mut self,
+        via: usize,
+        instance: &str,
+        path: &str,
+        incarnation: u32,
+        attempt: u32,
+        mark: &str,
+        objects: I,
+    ) where
+        I: IntoIterator<Item = (K, ObjectVal)>,
+        K: Into<String>,
+    {
+        let msg = EngineMsg::Mark(crate::msg::MarkMsg {
+            instance: instance.to_string(),
+            path: path.to_string(),
+            incarnation,
+            attempt,
+            mark: mark.to_string(),
+            objects: objects.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        });
+        let target = self.coord_nodes[via];
+        self.world
+            .send(self.client, target, flowscript_codec::to_bytes(&msg));
+    }
+
     /// One shard's current view of the executor fleet: per-executor
     /// location label and in-flight dispatch count. Load views are per
     /// shard (each coordinator schedules over the shared fleet with
@@ -647,9 +690,79 @@ impl WorkflowSystem {
         self.coords[shard].executor_loads()
     }
 
-    /// The simulation trace.
-    pub fn trace(&self) -> &flowscript_sim::Trace {
+    /// The simulation trace (network/scheduler events of the simulated
+    /// world — for the engine-level lifecycle trace of one instance see
+    /// [`WorkflowSystem::trace`]).
+    pub fn sim_trace(&self) -> &flowscript_sim::Trace {
         self.world.trace()
+    }
+
+    /// One instance's full lifecycle from the flight recorders: every
+    /// shard's events for `instance` (the owner's, plus any relay's
+    /// `forward` events), merged in virtual-time order. Empty unless
+    /// the system runs with [`ObserveLevel::Trace`].
+    ///
+    /// The recorders survive coordinator crash-recovery (they model an
+    /// external telemetry sink), so the trace spans crashes: the
+    /// pre-crash events stay, a `recovery` event marks the reload, and
+    /// post-recovery re-dispatches follow.
+    pub fn trace(&self, instance: &str) -> Vec<ObsEvent> {
+        let mut events: Vec<ObsEvent> = self
+            .coords
+            .iter()
+            .flat_map(|coord| coord.recorder().events_for(instance))
+            .collect();
+        events.sort_by_key(|event| (event.at_ns, event.shard, event.seq));
+        events
+    }
+
+    /// A point-in-time metrics snapshot, merged over every shard's
+    /// registry: counters and gauges sum, histograms merge bucket-wise.
+    /// Exportable as JSON ([`Snapshot::to_json`]) or CSV
+    /// ([`Snapshot::to_csv`]).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut merged = Snapshot::default();
+        for coord in &self.coords {
+            merged.merge(&coord.registry().snapshot());
+        }
+        merged
+    }
+
+    /// One shard's metric registry (single-shard introspection; for the
+    /// aggregate view use [`WorkflowSystem::metrics_snapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_registry(&self, shard: usize) -> Registry {
+        self.coords[shard].registry()
+    }
+
+    /// Administrative fact repair on the owning shard: re-publishes
+    /// `output` of `path` with `objects` (replacing corrupt bytes),
+    /// force-completing the task if `output` is a terminal outcome it
+    /// never reached, and revives the instance from
+    /// `Stuck{fact storage fault}`. See [`CoordHandle::repair_fact`].
+    ///
+    /// # Errors
+    ///
+    /// Unknown instance/task, an undeclared output name, or a failed
+    /// commit.
+    pub fn repair_fact<I, K>(
+        &mut self,
+        instance: &str,
+        path: &str,
+        output: &str,
+        objects: I,
+    ) -> Result<(), EngineError>
+    where
+        I: IntoIterator<Item = (K, ObjectVal)>,
+        K: Into<String>,
+    {
+        let objects: BTreeMap<String, ObjectVal> =
+            objects.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        let coord = self.coord_for(instance).clone();
+        coord.repair_fact(&mut self.world, instance, path, output, objects)
     }
 
     // -----------------------------------------------------------------

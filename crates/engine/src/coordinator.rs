@@ -36,6 +36,7 @@ use std::rc::Rc;
 use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 use flowscript_core::ast::OutputKind;
 use flowscript_core::schema::{self, CompiledTask, Schema, TaskBody};
+use flowscript_obs::{Counter, FlightRecorder, Histogram, ObsEventKind, ObserveLevel, Registry};
 use flowscript_plan::{eval as plan_eval, Plan, TaskId, Worklist};
 use flowscript_sim::{Envelope, EventId, NodeId, ReplyToken, SimDuration, World};
 use flowscript_tx::{ObjectUid, SharedStorage, StoreKey, TxManager};
@@ -85,6 +86,19 @@ pub struct EngineConfig {
     /// per-instance outcomes and dispatch traces) and the `fact_reads`
     /// bench baseline; production runs leave it off.
     pub whole_record_facts: bool,
+    /// How much the engine observes itself. `Off` (the default) keeps
+    /// only the always-on counters behind the public stats getters;
+    /// `Metrics` adds the optional histograms (commit-drain length,
+    /// dispatch latency, WAL frames per commit, scheduler pick load);
+    /// `Trace` adds the per-shard flight recorder of lifecycle events
+    /// queryable via [`crate::WorkflowSystem::trace`]. Every hook point
+    /// is a branch on this enum, so `Off` costs one compare.
+    pub observe: ObserveLevel,
+    /// Flight-recorder capacity: the bounded ring keeps at most this
+    /// many lifecycle events per shard, evicting oldest-first (the
+    /// newest events of every instance survive). Only read when
+    /// [`EngineConfig::observe`] is [`ObserveLevel::Trace`].
+    pub recorder_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +113,8 @@ impl Default for EngineConfig {
             record_dispatches: false,
             scheduler: SchedPolicy::default(),
             whole_record_facts: false,
+            observe: ObserveLevel::Off,
+            recorder_capacity: 4096,
         }
     }
 }
@@ -266,6 +282,12 @@ impl Decode for InstanceMeta {
 }
 
 /// Engine counters (diagnostics and benchmarks).
+///
+/// Since the metrics registry landed this is a *view*: the live values
+/// are `coord.*` counters in the shard's [`Registry`], and
+/// [`CoordHandle::stats`] materialises them into this struct. The
+/// exhaustive-construction there plus the exhaustive destructuring in
+/// `AddAssign` keep the view complete by compile error.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoordStats {
     /// Task dispatches sent to executors.
@@ -331,6 +353,73 @@ impl std::ops::AddAssign<&CoordStats> for CoordStats {
     }
 }
 
+/// The coordinator's handles into the shard [`Registry`]: always-on
+/// `coord.*` counters (one per [`CoordStats`] field) plus the optional
+/// histograms gated on [`EngineConfig::observe`].
+#[derive(Clone)]
+struct CoordMetrics {
+    dispatches: Counter,
+    retries: Counter,
+    failures: Counter,
+    marks: Counter,
+    repeats: Counter,
+    reconfigs: Counter,
+    recovered_instances: Counter,
+    evaluations: Counter,
+    forwarded: Counter,
+    no_alternative_retries: Counter,
+    dropped_dispatches: Counter,
+    /// Worklist steps per drain-to-quiescence (`coord.commit_drain_len`).
+    commit_drain_len: Histogram,
+    /// Virtual nanoseconds from dispatch send to the executor's
+    /// `TaskDone` reply (`coord.dispatch_latency_ns`; timeouts and
+    /// cancellations are not replies and do not sample).
+    dispatch_latency_ns: Histogram,
+    /// The chosen executor's load at each placement decision
+    /// (`sched.pick_load`).
+    sched_pick_load: Histogram,
+}
+
+impl CoordMetrics {
+    fn register(registry: &Registry) -> Self {
+        CoordMetrics {
+            dispatches: registry.counter("coord.dispatches"),
+            retries: registry.counter("coord.retries"),
+            failures: registry.counter("coord.failures"),
+            marks: registry.counter("coord.marks"),
+            repeats: registry.counter("coord.repeats"),
+            reconfigs: registry.counter("coord.reconfigs"),
+            recovered_instances: registry.counter("coord.recovered_instances"),
+            evaluations: registry.counter("coord.evaluations"),
+            forwarded: registry.counter("coord.forwarded"),
+            no_alternative_retries: registry.counter("coord.no_alternative_retries"),
+            dropped_dispatches: registry.counter("coord.dropped_dispatches"),
+            commit_drain_len: registry.histogram("coord.commit_drain_len"),
+            dispatch_latency_ns: registry.histogram("coord.dispatch_latency_ns"),
+            sched_pick_load: registry.histogram("sched.pick_load"),
+        }
+    }
+
+    /// The [`CoordStats`] view of the counters. Exhaustive struct
+    /// construction: a new counter that is not wired through here is a
+    /// compile error.
+    fn stats(&self) -> CoordStats {
+        CoordStats {
+            dispatches: self.dispatches.get(),
+            retries: self.retries.get(),
+            failures: self.failures.get(),
+            marks: self.marks.get(),
+            repeats: self.repeats.get(),
+            reconfigs: self.reconfigs.get(),
+            recovered_instances: self.recovered_instances.get(),
+            evaluations: self.evaluations.get(),
+            forwarded: self.forwarded.get(),
+            no_alternative_retries: self.no_alternative_retries.get(),
+            dropped_dispatches: self.dropped_dispatches.get(),
+        }
+    }
+}
+
 /// One dispatch decision, in order of occurrence (used by the
 /// worklist/full-scan equivalence tests and as a diagnostic trace).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -371,8 +460,9 @@ struct InstanceRt {
     /// The executor each outstanding dispatch was sent to, with the
     /// load cost it was charged at — the unit of the scheduler's
     /// remaining-work accounting (entry inserted when the dispatch
-    /// counts, removed exactly when the load is released).
-    dispatched_to: BTreeMap<String, (NodeId, u64)>,
+    /// counts, removed exactly when the load is released) — and the
+    /// virtual send time in nanoseconds (dispatch-latency metric).
+    dispatched_to: BTreeMap<String, (NodeId, u64, u64)>,
     /// The node the most recent *failed* attempt of a path ran on;
     /// consumed by the next dispatch so the retry relocates whenever
     /// an eligible alternative exists.
@@ -437,8 +527,16 @@ pub struct Coordinator {
     commits: u64,
     /// Ordered dispatch decisions (equivalence tests, diagnostics).
     dispatch_log: Vec<DispatchRecord>,
-    /// Counters, exposed via [`CoordHandle::stats`].
-    pub stats: CoordStats,
+    /// This shard's metric registry: `coord.*`, `sched.*`, `tx.*` and
+    /// `wal.*` live here. Shared with the [`TxManager`], surviving
+    /// crash-recovery reopens.
+    registry: Registry,
+    /// Counter/histogram handles into `registry`.
+    metrics: CoordMetrics,
+    /// The shard's flight recorder. Intentionally NOT reset by
+    /// [`Coordinator::recover`]: it models an external telemetry sink,
+    /// so a trace spans crashes of the coordinator it describes.
+    recorder: FlightRecorder,
 }
 
 /// A cloneable handle to the coordinator, used by node handlers, timers
@@ -494,7 +592,15 @@ impl Coordinator {
             shard.nodes().contains(&node),
             "shard map must include the node"
         );
-        let mgr = TxManager::open(node.index() as u32, storage.clone())?;
+        let registry = Registry::new();
+        let metrics = CoordMetrics::register(&registry);
+        let recorder = FlightRecorder::new(node.index() as u32, config.recorder_capacity);
+        let mgr = TxManager::open_with_metrics(
+            node.index() as u32,
+            storage.clone(),
+            &registry,
+            config.observe,
+        )?;
         let sched = Scheduler::new(executors, config.scheduler);
         Ok(Self {
             node,
@@ -507,8 +613,25 @@ impl Coordinator {
             instances: BTreeMap::new(),
             commits: 0,
             dispatch_log: Vec::new(),
-            stats: CoordStats::default(),
+            registry,
+            metrics,
+            recorder,
         })
+    }
+
+    /// Appends a lifecycle event to the flight recorder (no-op below
+    /// [`ObserveLevel::Trace`]).
+    fn record_event(
+        &self,
+        at_ns: u64,
+        instance: &str,
+        task: Option<&str>,
+        attempt: u32,
+        kind: ObsEventKind,
+    ) {
+        if self.config.observe.trace() {
+            self.recorder.record(at_ns, instance, task, attempt, kind);
+        }
     }
 
     fn commit(&mut self, action: flowscript_tx::AtomicAction) -> Result<(), EngineError> {
@@ -597,12 +720,19 @@ impl Coordinator {
     /// path's `dispatched_to` entry and releases the cost it was
     /// charged at. Idempotent (the entry gates the release); returns
     /// the executor the dispatch ran on, if one was counted.
-    fn release_dispatch(&mut self, instance: &str, path: &str) -> Option<NodeId> {
-        let (node, cost) = self
+    ///
+    /// `now_ns` is the completion time for the `coord.dispatch_latency_ns`
+    /// histogram; pass 0 on non-completion paths (timeouts, failures,
+    /// subtree sweeps) so they don't skew the latency distribution.
+    fn release_dispatch(&mut self, instance: &str, path: &str, now_ns: u64) -> Option<NodeId> {
+        let (node, cost, sent_ns) = self
             .instances
             .get_mut(instance)
             .and_then(|rt| rt.dispatched_to.remove(path))?;
         self.sched.note_release(node, cost);
+        if self.config.observe.metrics() && now_ns >= sent_ns && now_ns > 0 {
+            self.metrics.dispatch_latency_ns.record(now_ns - sent_ns);
+        }
         Some(node)
     }
 
@@ -646,7 +776,7 @@ impl Coordinator {
             })
             .unwrap_or_default();
         for path in dispatched {
-            let _ = self.release_dispatch(instance, &path);
+            let _ = self.release_dispatch(instance, &path, 0);
         }
         stale
     }
@@ -717,9 +847,22 @@ impl CoordHandle {
         });
     }
 
-    /// Engine counters.
+    /// Engine counters, materialized from the `coord.*` registry
+    /// entries.
     pub fn stats(&self) -> CoordStats {
-        self.inner.borrow().stats
+        self.inner.borrow().metrics.stats()
+    }
+
+    /// This shard's metric registry (counters, gauges, histograms for
+    /// the coordinator, scheduler, transaction manager and WAL).
+    pub fn registry(&self) -> Registry {
+        self.inner.borrow().registry.clone()
+    }
+
+    /// This shard's flight recorder. Empty unless
+    /// [`EngineConfig::observe`] is [`ObserveLevel::Trace`].
+    pub fn recorder(&self) -> FlightRecorder {
+        self.inner.borrow().recorder.clone()
     }
 
     /// Ordered dispatch decisions since the coordinator opened (the
@@ -795,6 +938,115 @@ impl CoordHandle {
         coordinator.mgr.commit(action).is_ok()
     }
 
+    /// Administrative fact repair: atomically replaces whatever is
+    /// stored for `output` of `path` (including undecodable bytes a
+    /// storage fault left behind) with `objects`, revives the instance
+    /// if it was parked `Stuck`, and re-enters evaluation through the
+    /// full scan — the repaired fact has no commit to seed from, so
+    /// this mirrors reconfiguration re-entry.
+    ///
+    /// When `output` is a terminal outcome (`completion`/`abort`) and
+    /// the task has not yet terminated, the task is **force-completed**
+    /// with it, exactly as if the executor had replied — the escape
+    /// hatch for a task whose real reply was lost to the fault.
+    ///
+    /// # Errors
+    ///
+    /// Unknown instance/task, an undeclared output name, or a failed
+    /// commit. Validation failures leave the instance untouched.
+    pub fn repair_fact(
+        &self,
+        world: &mut World,
+        instance: &str,
+        path: &str,
+        output: &str,
+        objects: BTreeMap<String, ObjectVal>,
+    ) -> Result<(), EngineError> {
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            let Some(rt) = coordinator.instances.get(instance) else {
+                return Err(EngineError::UnknownInstance(instance.to_string()));
+            };
+            let (plan, keys) = (rt.plan.clone(), rt.keys.clone());
+            let Some(task_id) = plan.task_by_path(path) else {
+                return Err(EngineError::UnknownTask(path.to_string()));
+            };
+            let class = plan.class_of(plan.task(task_id));
+            let kind = plan
+                .class_output(class, output)
+                .map(|decl| decl.kind)
+                .ok_or_else(|| {
+                    EngineError::BadInputs(format!("task `{path}` declares no output `{output}`"))
+                })?;
+            let Some(out_key) = keys.out_key(&plan, task_id, output) else {
+                return Err(EngineError::UnknownTask(path.to_string()));
+            };
+            let Some(mut cb) = coordinator.read_cb_id(&keys, task_id) else {
+                return Err(EngineError::UnknownTask(path.to_string()));
+            };
+            let force = matches!(kind, OutputKind::Outcome | OutputKind::AbortOutcome)
+                && !cb.state.is_terminal();
+            let stamped: BTreeMap<String, ObjectVal> = objects
+                .into_iter()
+                .map(|(k, v)| (k, v.produced_by(path.to_string())))
+                .collect();
+            let whole = coordinator.config.whole_record_facts;
+            let action = coordinator.mgr.begin();
+            // Drop the stored sub-keys first: a corrupt record may use a
+            // different layout than the rewrite below.
+            for fact in coordinator
+                .mgr
+                .fact_keys_in_range(out_key, out_key.fact_last())
+            {
+                coordinator.mgr.delete_key(&action, &StoreKey::Fact(fact))?;
+            }
+            facts::write_fact_map(
+                &mut coordinator.mgr,
+                &action,
+                &plan,
+                out_key,
+                &stamped,
+                whole,
+            )?;
+            if force {
+                cb.transition(if kind == OutputKind::Outcome {
+                    CbState::Done {
+                        outcome: output.to_string(),
+                    }
+                } else {
+                    CbState::Aborted {
+                        outcome: output.to_string(),
+                    }
+                });
+                coordinator.mgr.write(&action, keys.cb(task_id), &cb)?;
+            }
+            if let Some(mut meta) = coordinator.read_meta(instance) {
+                if matches!(meta.status, InstanceStatus::Stuck { .. }) {
+                    meta.status = InstanceStatus::Running;
+                    coordinator.mgr.write(&action, &meta_uid(instance), &meta)?;
+                }
+            }
+            coordinator.commit(action)?;
+            if force {
+                coordinator.note_terminals(instance, 1);
+            }
+            let what = if force {
+                format!("forced `{output}` of `{path}`")
+            } else {
+                format!("republished `{output}` of `{path}`")
+            };
+            coordinator.record_event(
+                world.now().as_nanos(),
+                instance,
+                Some(path),
+                cb.attempt,
+                ObsEventKind::Repair { what },
+            );
+        }
+        self.evaluate(world, instance);
+        Ok(())
+    }
+
     /// The node this coordinator runs on.
     pub fn node(&self) -> NodeId {
         self.inner.borrow().node
@@ -814,14 +1066,14 @@ impl CoordHandle {
         match msg {
             EngineMsg::Done(done) => {
                 if let Some(owner) = self.misdirected(&done.instance) {
-                    self.forward_oneway(world, owner, envelope);
+                    self.forward_oneway(world, owner, &done.instance, envelope);
                     return;
                 }
                 self.on_task_done(world, done);
             }
             EngineMsg::Mark(mark) => {
                 if let Some(owner) = self.misdirected(&mark.instance) {
-                    self.forward_oneway(world, owner, envelope);
+                    self.forward_oneway(world, owner, &mark.instance, envelope);
                     return;
                 }
                 self.on_mark(world, mark);
@@ -837,7 +1089,7 @@ impl CoordHandle {
                     return;
                 };
                 if let Some(owner) = self.misdirected(&instance) {
-                    self.forward_start(world, owner, token, envelope.payload.clone());
+                    self.forward_start(world, owner, &instance, token, envelope.payload.clone());
                     return;
                 }
                 self.on_start_instance(world, token, instance, script, version, set, inputs);
@@ -860,11 +1112,27 @@ impl CoordHandle {
     }
 
     /// Relays a misdirected one-way message (`Done`/`Mark`) verbatim to
-    /// the owning shard.
-    fn forward_oneway(&self, world: &mut World, owner: NodeId, envelope: &Envelope) {
+    /// the owning shard. The relay charges only `forwarded`; the owner
+    /// counts the operation itself exactly once.
+    fn forward_oneway(
+        &self,
+        world: &mut World,
+        owner: NodeId,
+        instance: &str,
+        envelope: &Envelope,
+    ) {
         let node = {
-            let mut coordinator = self.inner.borrow_mut();
-            coordinator.stats.forwarded += 1;
+            let coordinator = self.inner.borrow();
+            coordinator.metrics.forwarded.inc();
+            coordinator.record_event(
+                world.now().as_nanos(),
+                instance,
+                None,
+                0,
+                ObsEventKind::Forward {
+                    to: owner.index() as u32,
+                },
+            );
             coordinator.node
         };
         world.send(node, owner, envelope.payload.clone());
@@ -872,10 +1140,26 @@ impl CoordHandle {
 
     /// Relays a misdirected `StartInstance` RPC to the owning shard and
     /// pipes the owner's reply back to the original caller.
-    fn forward_start(&self, world: &mut World, owner: NodeId, token: ReplyToken, payload: Vec<u8>) {
+    fn forward_start(
+        &self,
+        world: &mut World,
+        owner: NodeId,
+        instance: &str,
+        token: ReplyToken,
+        payload: Vec<u8>,
+    ) {
         let node = {
-            let mut coordinator = self.inner.borrow_mut();
-            coordinator.stats.forwarded += 1;
+            let coordinator = self.inner.borrow();
+            coordinator.metrics.forwarded.inc();
+            coordinator.record_event(
+                world.now().as_nanos(),
+                instance,
+                None,
+                0,
+                ObsEventKind::Forward {
+                    to: owner.index() as u32,
+                },
+            );
             coordinator.node
         };
         world.rpc_call(
@@ -1144,6 +1428,13 @@ impl CoordHandle {
                 nonterminal: task_count,
             },
         );
+        coordinator.record_event(
+            world.now().as_nanos(),
+            instance,
+            Some(&root_path),
+            0,
+            ObsEventKind::InstanceStart,
+        );
         drop(coordinator);
         self.evaluate(world, instance);
         Ok(())
@@ -1267,6 +1558,7 @@ impl CoordHandle {
         keys: &Rc<InstanceKeys>,
         mut worklist: Worklist,
     ) {
+        let mut steps: u64 = 0;
         loop {
             let Some(meta) = self.inner.borrow().read_meta(instance) else {
                 return;
@@ -1275,16 +1567,24 @@ impl CoordHandle {
                 return;
             }
             if let Some(task) = worklist.pop_start() {
-                self.inner.borrow_mut().stats.evaluations += 1;
+                steps += 1;
+                self.inner.borrow().metrics.evaluations.inc();
                 self.try_start(world, instance, plan, keys, task, &mut worklist);
                 continue;
             }
             if let Some(scope) = worklist.pop_output(plan) {
-                self.inner.borrow_mut().stats.evaluations += 1;
+                steps += 1;
+                self.inner.borrow().metrics.evaluations.inc();
                 self.check_scope_outputs(world, instance, plan, keys, scope, &mut worklist);
                 continue;
             }
             break;
+        }
+        {
+            let coordinator = self.inner.borrow();
+            if coordinator.config.observe.metrics() {
+                coordinator.metrics.commit_drain_len.record(steps);
+            }
         }
         #[cfg(debug_assertions)]
         self.assert_quiescent(instance, plan, keys);
@@ -1335,7 +1635,7 @@ impl CoordHandle {
             Err(fault) => {
                 // A corrupt fact record must not read as "fact absent"
                 // and silently mis-evaluate readiness.
-                self.fail_instance_storage(instance, &fault);
+                self.fail_instance_storage(world, instance, &fault);
                 return;
             }
             Ok(activation) => activation,
@@ -1358,7 +1658,7 @@ impl CoordHandle {
     /// treating the fact as absent the drain parks the instance with
     /// the diagnosable reason (a reconfiguration or administrative
     /// repair can revive it).
-    fn fail_instance_storage(&self, instance: &str, fault: &str) {
+    fn fail_instance_storage(&self, world: &World, instance: &str, fault: &str) {
         let mut coordinator = self.inner.borrow_mut();
         let Some(mut meta) = coordinator.read_meta(instance) else {
             return;
@@ -1366,8 +1666,9 @@ impl CoordHandle {
         if meta.status.is_terminal() {
             return;
         }
+        let reason = format!("fact storage fault: {fault}");
         meta.status = InstanceStatus::Stuck {
-            reason: format!("fact storage fault: {fault}"),
+            reason: reason.clone(),
         };
         let action = coordinator.mgr.begin();
         let ok = coordinator
@@ -1375,7 +1676,15 @@ impl CoordHandle {
             .write(&action, &meta_uid(instance), &meta)
             .is_ok();
         if ok {
-            let _ = coordinator.commit(action);
+            if coordinator.commit(action).is_ok() {
+                coordinator.record_event(
+                    world.now().as_nanos(),
+                    instance,
+                    None,
+                    0,
+                    ObsEventKind::Stuck { reason },
+                );
+            }
         } else {
             coordinator.mgr.abort(action);
         }
@@ -1492,7 +1801,7 @@ impl CoordHandle {
         };
         let satisfied = match satisfied {
             Err(fault) => {
-                self.fail_instance_storage(instance, &fault);
+                self.fail_instance_storage(world, instance, &fault);
                 return;
             }
             Ok(satisfied) => satisfied,
@@ -1502,7 +1811,15 @@ impl CoordHandle {
             if output.kind == OutputKind::Mark
                 && !scope_cb.mark_emitted(plan.str(output.name))
                 && self
-                    .emit_scope_mark(plan, keys, scope_id, *out_idx, mapped)
+                    .emit_scope_mark(
+                        world.now().as_nanos(),
+                        instance,
+                        plan,
+                        keys,
+                        scope_id,
+                        *out_idx,
+                        mapped,
+                    )
                     .is_ok()
             {
                 worklist.seed_commit(plan, scope_id);
@@ -1562,6 +1879,7 @@ impl CoordHandle {
         }
         // Gather everything under one borrow, then interact with the
         // world outside it.
+        let now_ns = world.now().as_nanos();
         let prepared = {
             let mut coordinator = self.inner.borrow_mut();
             let Some(rt) = coordinator.instances.get(instance) else {
@@ -1575,9 +1893,9 @@ impl CoordHandle {
                     None => {
                         // Only a mid-flight reconfiguration can drop the
                         // control block of a scheduled dispatch.
-                        coordinator.stats.dropped_dispatches += 1;
+                        coordinator.metrics.dropped_dispatches.inc();
                         debug_assert!(
-                            coordinator.stats.reconfigs > 0,
+                            coordinator.metrics.reconfigs.get() > 0,
                             "dispatch dropped `{path}` of `{instance}`: control block \
                              missing without any reconfiguration"
                         );
@@ -1585,9 +1903,9 @@ impl CoordHandle {
                     }
                 },
                 None => {
-                    coordinator.stats.dropped_dispatches += 1;
+                    coordinator.metrics.dropped_dispatches.inc();
                     debug_assert!(
-                        coordinator.stats.reconfigs > 0,
+                        coordinator.metrics.reconfigs.get() > 0,
                         "dispatch dropped `{path}` of `{instance}`: task missing from \
                          the plan without any reconfiguration"
                     );
@@ -1620,7 +1938,10 @@ impl CoordHandle {
                 Err(err) => Prepared::Unplaceable(err.to_string()),
                 Ok(placement) => {
                     if placement.no_alternative {
-                        coordinator.stats.no_alternative_retries += 1;
+                        coordinator.metrics.no_alternative_retries.inc();
+                    }
+                    if coordinator.config.observe.metrics() {
+                        coordinator.metrics.sched_pick_load.record(placement.load);
                     }
                     // Watchdog: base timeout extended by the declared
                     // duration, capped by the declared deadline.
@@ -1636,7 +1957,16 @@ impl CoordHandle {
                         inputs,
                         repeat_objects,
                     });
-                    coordinator.stats.dispatches += 1;
+                    coordinator.metrics.dispatches.inc();
+                    coordinator.record_event(
+                        now_ns,
+                        instance,
+                        Some(path),
+                        attempt,
+                        ObsEventKind::Dispatch {
+                            executor: placement.node.index() as u32,
+                        },
+                    );
                     if coordinator.config.record_dispatches {
                         coordinator.dispatch_log.push(DispatchRecord {
                             instance: instance.to_string(),
@@ -1649,11 +1979,11 @@ impl CoordHandle {
                     // hints declare), releasing any stale entry a
                     // defensive re-dispatch might have left behind.
                     let cost = hints.load_cost();
-                    let _ = coordinator.release_dispatch(instance, path);
+                    let _ = coordinator.release_dispatch(instance, path, 0);
                     coordinator.sched.note_dispatch(placement.node, cost);
                     if let Some(rt) = coordinator.instances.get_mut(instance) {
                         rt.dispatched_to
-                            .insert(path.to_string(), (placement.node, cost));
+                            .insert(path.to_string(), (placement.node, cost, now_ns));
                     }
                     Prepared::Send {
                         node: coordinator.node,
@@ -1799,7 +2129,22 @@ impl CoordHandle {
                             }
                         };
                         if committed {
-                            self.inner.borrow_mut().note_terminals(&msg.instance, 1);
+                            {
+                                let mut coordinator = self.inner.borrow_mut();
+                                coordinator.note_terminals(&msg.instance, 1);
+                                let what = if kind == OutputKind::Outcome {
+                                    format!("done `{name}`")
+                                } else {
+                                    format!("aborted `{name}`")
+                                };
+                                coordinator.record_event(
+                                    world.now().as_nanos(),
+                                    &msg.instance,
+                                    Some(&msg.path),
+                                    msg.attempt,
+                                    ObsEventKind::Commit { what },
+                                );
+                            }
                             self.evaluate_from(world, &msg.instance, &[task_id]);
                         }
                     }
@@ -1836,7 +2181,6 @@ impl CoordHandle {
                 return;
             };
             cb.repeats += 1;
-            coordinator.stats.repeats += 1;
             let over = cb.repeats > coordinator.config.max_repeats;
             let whole = coordinator.config.whole_record_facts;
             let action = coordinator.mgr.begin();
@@ -1861,8 +2205,22 @@ impl CoordHandle {
                     )
                 });
             if write.is_ok() {
-                if coordinator.commit(action).is_ok() && over {
-                    coordinator.note_terminals(&msg.instance, 1);
+                // Counters move only on commit success: an aborted
+                // action must not register as a repeat.
+                if coordinator.commit(action).is_ok() {
+                    coordinator.metrics.repeats.inc();
+                    coordinator.record_event(
+                        world.now().as_nanos(),
+                        &msg.instance,
+                        Some(&msg.path),
+                        msg.attempt,
+                        ObsEventKind::Commit {
+                            what: format!("repeat `{name}`"),
+                        },
+                    );
+                    if over {
+                        coordinator.note_terminals(&msg.instance, 1);
+                    }
                 }
             } else {
                 coordinator.mgr.abort(action);
@@ -1947,7 +2305,6 @@ impl CoordHandle {
                 return;
             };
             cb.marks_emitted.push(msg.mark.clone());
-            coordinator.stats.marks += 1;
             let stamped: BTreeMap<String, ObjectVal> = msg
                 .objects
                 .clone()
@@ -1970,7 +2327,23 @@ impl CoordHandle {
                     )
                 });
             match write {
-                Ok(()) => coordinator.commit(action).is_ok(),
+                // The mark counts only once its action commits.
+                Ok(()) => {
+                    let ok = coordinator.commit(action).is_ok();
+                    if ok {
+                        coordinator.metrics.marks.inc();
+                        coordinator.record_event(
+                            world.now().as_nanos(),
+                            &msg.instance,
+                            Some(&msg.path),
+                            msg.attempt,
+                            ObsEventKind::Commit {
+                                what: format!("mark `{}`", msg.mark),
+                            },
+                        );
+                    }
+                    ok
+                }
                 Err(_) => {
                     coordinator.mgr.abort(action);
                     false
@@ -2003,7 +2376,7 @@ impl CoordHandle {
         // against it and remember the node so the retry relocates.
         {
             let mut coordinator = self.inner.borrow_mut();
-            if let Some(node) = coordinator.release_dispatch(instance, path) {
+            if let Some(node) = coordinator.release_dispatch(instance, path, 0) {
                 if let Some(rt) = coordinator.instances.get_mut(instance) {
                     rt.retry_from.insert(path.to_string(), node);
                 }
@@ -2021,7 +2394,6 @@ impl CoordHandle {
             };
             if cb.attempt < coordinator.config.max_retries {
                 cb.attempt += 1;
-                coordinator.stats.retries += 1;
                 let backoff = coordinator
                     .config
                     .retry_backoff
@@ -2033,6 +2405,18 @@ impl CoordHandle {
                     .is_ok()
                     && coordinator.commit(action).is_ok();
                 if ok {
+                    // The retry counts only once its bumped attempt
+                    // committed.
+                    coordinator.metrics.retries.inc();
+                    coordinator.record_event(
+                        world.now().as_nanos(),
+                        instance,
+                        Some(path),
+                        cb.attempt,
+                        ObsEventKind::Retry {
+                            reason: reason.to_string(),
+                        },
+                    );
                     Some((cb.attempt, backoff))
                 } else {
                     None
@@ -2122,7 +2506,7 @@ impl CoordHandle {
         {
             let mut coordinator = self.inner.borrow_mut();
             // End any outstanding load accounting for the path.
-            let _ = coordinator.release_dispatch(instance, path);
+            let _ = coordinator.release_dispatch(instance, path, 0);
             if let Some(rt) = coordinator.instances.get_mut(instance) {
                 rt.retry_from.remove(path);
             }
@@ -2135,14 +2519,24 @@ impl CoordHandle {
             cb.transition(CbState::Failed {
                 reason: reason.to_string(),
             });
-            coordinator.stats.failures += 1;
             let action = coordinator.mgr.begin();
             let ok = coordinator
                 .mgr
                 .write(&action, &cb_uid(instance, path), &cb)
                 .is_ok();
             if ok {
+                // The failure counts only once its transition committed.
                 if coordinator.commit(action).is_ok() {
+                    coordinator.metrics.failures.inc();
+                    coordinator.record_event(
+                        world.now().as_nanos(),
+                        instance,
+                        Some(path),
+                        cb.attempt,
+                        ObsEventKind::Commit {
+                            what: format!("failed: {reason}"),
+                        },
+                    );
                     coordinator.note_terminals(instance, 1);
                 }
             } else {
@@ -2165,7 +2559,7 @@ impl CoordHandle {
                 .instances
                 .get_mut(instance)
                 .and_then(|rt| rt.watchdogs.remove(path));
-            let released = coordinator.release_dispatch(instance, path);
+            let released = coordinator.release_dispatch(instance, path, world.now().as_nanos());
             (watchdog, released)
         };
         if let Some(id) = watchdog {
@@ -2186,8 +2580,11 @@ impl CoordHandle {
     // Compound scope termination / repeat.
     // -----------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn emit_scope_mark(
         &self,
+        now_ns: u64,
+        instance: &str,
         plan: &Plan,
         keys: &InstanceKeys,
         scope_id: TaskId,
@@ -2205,7 +2602,6 @@ impl CoordHandle {
             return Err(EngineError::UnknownTask(scope_path.to_string()));
         };
         cb.marks_emitted.push(mark.to_string());
-        coordinator.stats.marks += 1;
         let whole = coordinator.config.whole_record_facts;
         let action = coordinator.mgr.begin();
         coordinator.mgr.write(&action, keys.cb(scope_id), &cb)?;
@@ -2219,6 +2615,17 @@ impl CoordHandle {
             whole,
         )?;
         coordinator.commit(action)?;
+        // Count the mark only now that it committed.
+        coordinator.metrics.marks.inc();
+        coordinator.record_event(
+            now_ns,
+            instance,
+            Some(scope_path),
+            cb.attempt,
+            ObsEventKind::Commit {
+                what: format!("mark `{mark}`"),
+            },
+        );
         Ok(())
     }
 
@@ -2296,6 +2703,27 @@ impl CoordHandle {
             if ok {
                 if coordinator.commit(action).is_ok() {
                     coordinator.note_terminals(instance, terminal_delta);
+                    let verb = if kind == OutputKind::Outcome {
+                        "done"
+                    } else {
+                        "aborted"
+                    };
+                    let event = if is_root {
+                        ObsEventKind::Terminal {
+                            outcome: format!("{verb} `{outcome_name}`"),
+                        }
+                    } else {
+                        ObsEventKind::Commit {
+                            what: format!("{verb} `{outcome_name}`"),
+                        }
+                    };
+                    coordinator.record_event(
+                        world.now().as_nanos(),
+                        instance,
+                        Some(scope_path),
+                        0,
+                        event,
+                    );
                 }
             } else {
                 coordinator.mgr.abort(action);
@@ -2335,7 +2763,6 @@ impl CoordHandle {
                 return;
             };
             cb.repeats += 1;
-            coordinator.stats.repeats += 1;
             if cb.repeats > coordinator.config.max_repeats {
                 cb.transition(CbState::Failed {
                     reason: format!("compound repeat limit exceeded via `{outcome_name}`"),
@@ -2346,7 +2773,18 @@ impl CoordHandle {
                     .write(&action, keys.cb(scope_id), &cb)
                     .is_ok();
                 if ok {
+                    // The repeat counts only on commit success.
                     if coordinator.commit(action).is_ok() {
+                        coordinator.metrics.repeats.inc();
+                        coordinator.record_event(
+                            world.now().as_nanos(),
+                            instance,
+                            Some(scope_path),
+                            cb.attempt,
+                            ObsEventKind::Commit {
+                                what: format!("repeat `{outcome_name}`"),
+                            },
+                        );
                         coordinator.note_terminals(instance, 1);
                     }
                 } else {
@@ -2441,6 +2879,16 @@ impl CoordHandle {
                 }
                 if ok {
                     if coordinator.commit(action).is_ok() {
+                        coordinator.metrics.repeats.inc();
+                        coordinator.record_event(
+                            world.now().as_nanos(),
+                            instance,
+                            Some(scope_path),
+                            cb.attempt,
+                            ObsEventKind::Commit {
+                                what: format!("repeat `{outcome_name}`"),
+                            },
+                        );
                         coordinator.note_revived(instance, revived);
                     }
                 } else {
@@ -2548,7 +2996,6 @@ impl CoordHandle {
     /// blocks (point reads through the interned uid table) to compose
     /// the diagnostic reason.
     fn stuck_check(&self, world: &mut World, instance: &str) {
-        let _ = world;
         let mut coordinator = self.inner.borrow_mut();
         let Some(meta) = coordinator.read_meta(instance) else {
             return;
@@ -2612,14 +3059,24 @@ impl CoordHandle {
             waiting.join(", ")
         );
         let mut meta = meta;
-        meta.status = InstanceStatus::Stuck { reason };
+        meta.status = InstanceStatus::Stuck {
+            reason: reason.clone(),
+        };
         let action = coordinator.mgr.begin();
         let ok = coordinator
             .mgr
             .write(&action, &meta_uid(instance), &meta)
             .is_ok();
         if ok {
-            let _ = coordinator.commit(action);
+            if coordinator.commit(action).is_ok() {
+                coordinator.record_event(
+                    world.now().as_nanos(),
+                    instance,
+                    None,
+                    0,
+                    ObsEventKind::Stuck { reason },
+                );
+            }
         } else {
             coordinator.mgr.abort(action);
         }
@@ -2741,7 +3198,7 @@ impl CoordHandle {
                     .write(&action, &bind_uid(instance, code), to)?;
             }
             coordinator.commit(action)?;
-            coordinator.stats.reconfigs += 1;
+            coordinator.metrics.reconfigs.inc();
             let rt = coordinator
                 .instances
                 .get_mut(instance)
@@ -2853,7 +3310,14 @@ impl CoordHandle {
         let instances: Vec<String> = {
             let mut coordinator = self.inner.borrow_mut();
             let (node, storage) = (coordinator.node, coordinator.storage.clone());
-            let mgr = match TxManager::open(node.index() as u32, storage) {
+            // Reopen the store against the same registry: metric
+            // history (like the flight recorder's) spans the crash.
+            let mgr = match TxManager::open_with_metrics(
+                node.index() as u32,
+                storage,
+                &coordinator.registry,
+                coordinator.config.observe,
+            ) {
                 Ok(mgr) => mgr,
                 Err(_) => return,
             };
@@ -2939,10 +3403,17 @@ impl CoordHandle {
                         nonterminal,
                     },
                 );
+                coordinator.metrics.recovered_instances.inc();
+                coordinator.record_event(
+                    world.now().as_nanos(),
+                    &name,
+                    None,
+                    0,
+                    ObsEventKind::Recovery,
+                );
                 if meta.status == InstanceStatus::Running {
                     names.push(name);
                 }
-                coordinator.stats.recovered_instances += 1;
             }
             names
         };

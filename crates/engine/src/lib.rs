@@ -80,6 +80,9 @@ pub use api::{SystemBuilder, WorkflowSystem};
 pub use coordinator::{CoordStats, DispatchRecord, EngineConfig, InstanceStatus, Outcome};
 pub use error::EngineError;
 pub use facts::StoreFacts;
+pub use flowscript_obs::{
+    FlightRecorder, ObsEvent, ObsEventKind, ObserveLevel, Registry, Snapshot,
+};
 pub use impl_registry::{
     Completion, ImplRegistry, InvokeCtx, MarkEmission, TaskBehavior, TaskImpl,
 };

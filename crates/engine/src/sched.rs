@@ -154,6 +154,10 @@ pub struct Placement {
     /// avoid (a retry with no eligible alternative — e.g. a single
     /// executor, or a location pin matching exactly the failed node).
     pub no_alternative: bool,
+    /// The chosen executor's load (in the active policy's metric) at
+    /// decision time, *before* this dispatch is charged — what the
+    /// `sched.pick_load` histogram samples.
+    pub load: u64,
 }
 
 /// Per-coordinator executor scheduler (see the module docs).
@@ -219,6 +223,7 @@ impl Scheduler {
             return Ok(Placement {
                 node,
                 no_alternative: avoid == Some(node) && self.slots.len() == 1,
+                load: self.slots[index].remaining,
             });
         }
         let eligible = |slot: &&ExecutorSlot| match &hints.location {
@@ -249,6 +254,7 @@ impl Scheduler {
             return Ok(Placement {
                 node: slot.node,
                 no_alternative: false,
+                load: load(slot),
             });
         }
         let slot = best(false).expect("eligibility checked above");
@@ -257,6 +263,7 @@ impl Scheduler {
             // Only a retry can set `avoid`; landing back on it means no
             // alternative was eligible.
             no_alternative: avoid.is_some(),
+            load: load(slot),
         })
     }
 

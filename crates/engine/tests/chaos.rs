@@ -116,7 +116,7 @@ fn run_chaos(
     }
     sys.run();
     let status = sys.status("o").unwrap();
-    Some((status, sys.trace().render()))
+    Some((status, sys.sim_trace().render()))
 }
 
 // ---------------------------------------------------------------------
@@ -193,7 +193,7 @@ fn run_sharded_chaos(
             (name, status)
         })
         .collect();
-    (statuses, sys.trace().render())
+    (statuses, sys.sim_trace().render())
 }
 
 proptest! {

@@ -336,7 +336,7 @@ fn determinism_under_faults() {
         sys.start("c1", "chain", "main", [("seed", text("Data", "s"))])
             .unwrap();
         sys.run();
-        sys.trace().render()
+        sys.sim_trace().render()
     }
     assert_eq!(run(99), run(99), "same seed, same fault plan ⇒ same trace");
 }

@@ -78,7 +78,7 @@ fn fig1_determinism_same_seed_same_trace() {
         sys.start("d1", "diamond", "main", [("seed", text("Data", "s"))])
             .unwrap();
         sys.run();
-        sys.trace().render()
+        sys.sim_trace().render()
     }
     assert_eq!(run(42), run(42));
 }

@@ -1,0 +1,878 @@
+#![warn(missing_docs)]
+//! Low-overhead observability for the flowscript engine.
+//!
+//! Two cooperating pieces, both single-threaded (`Rc`/`Cell` — the
+//! whole system runs inside one deterministic simulation thread):
+//!
+//! - a **metrics [`Registry`]** of typed [`Counter`]s, [`Gauge`]s and
+//!   [`Histogram`]s. Handles are cheap clones of shared cells, so hot
+//!   paths increment without a registry lookup; [`Registry::snapshot`]
+//!   materialises everything into a [`Snapshot`] that merges across
+//!   shards and exports as JSON or CSV,
+//! - a **[`FlightRecorder`]**: a bounded ring buffer of structured
+//!   lifecycle [`ObsEvent`]s (instance start, commit, dispatch, retry,
+//!   forward, stuck, recovery…), each carrying the instance id, task
+//!   path, shard, attempt and a monotonic virtual timestamp. The
+//!   engine queries it per instance to reconstruct a causal history.
+//!
+//! How much the engine feeds these is a branch on [`ObserveLevel`]:
+//! `Off` costs one enum compare per hook point.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+/// How much the engine observes itself.
+///
+/// Checked at every hook point; `Off` reduces a hook to a branch on
+/// this enum. Levels are cumulative: `Trace` implies `Metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum ObserveLevel {
+    /// No optional instrumentation. Always-on counters (the ones the
+    /// public stats getters are built from) still tick.
+    #[default]
+    Off,
+    /// Record optional metrics (histograms: drain lengths, dispatch
+    /// latency, WAL frames per commit, scheduler load…).
+    Metrics,
+    /// `Metrics` plus the flight recorder of lifecycle events.
+    Trace,
+}
+
+impl ObserveLevel {
+    /// True when optional metrics (histograms, gauges) should tick.
+    #[inline]
+    pub fn metrics(self) -> bool {
+        self >= ObserveLevel::Metrics
+    }
+
+    /// True when lifecycle events should be recorded.
+    #[inline]
+    pub fn trace(self) -> bool {
+        self >= ObserveLevel::Trace
+    }
+}
+
+/// A monotonically increasing `u64` counter.
+///
+/// Clones share the same cell — register once, clone the handle into
+/// the hot path, and increment without any lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    /// Overwrites the value (used when recovery re-derives a count).
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.set(value);
+    }
+}
+
+/// A signed instantaneous value (queue depths, in-flight counts).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Rc<Cell<i64>>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.set(value);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.set(self.0.get().wrapping_add(delta));
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.get()
+    }
+}
+
+/// Number of power-of-two buckets a histogram tracks: bucket `i`
+/// counts samples with `ilog2(value) == i` (bucket 0 also takes 0).
+const HIST_BUCKETS: usize = 64;
+
+#[derive(Debug, Clone)]
+struct HistState {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistState {
+    fn default() -> Self {
+        HistState {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// Recording is O(1); quantiles are estimated from the bucket upper
+/// bounds (good to a factor of two, which is plenty for latency
+/// distributions in a simulated clock).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Rc<RefCell<HistState>>);
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let mut state = self.0.borrow_mut();
+        state.count += 1;
+        state.sum = state.sum.saturating_add(value);
+        state.min = state.min.min(value);
+        state.max = state.max.max(value);
+        let bucket = if value == 0 {
+            0
+        } else {
+            value.ilog2() as usize
+        };
+        state.buckets[bucket] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.borrow().count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.0.borrow().sum
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.0.borrow().max
+    }
+
+    /// Mean of recorded samples, or 0 if empty.
+    pub fn mean(&self) -> u64 {
+        let state = self.0.borrow();
+        state.sum.checked_div(state.count).unwrap_or(0)
+    }
+
+    /// Estimated quantile (`q` in `0.0..=1.0`): the upper bound of the
+    /// bucket holding the q-th sample, clamped to the observed max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let state = self.0.borrow();
+        if state.count == 0 {
+            return 0;
+        }
+        let rank = ((state.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in state.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i + 1 >= HIST_BUCKETS {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(state.max);
+            }
+        }
+        state.max
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        let state = self.0.borrow();
+        HistogramSummary {
+            count: state.count,
+            sum: state.sum,
+            min: if state.count == 0 { 0 } else { state.min },
+            max: state.max,
+            p50: self.quantile(0.5),
+            p99: self.quantile(0.99),
+            buckets: state.buckets,
+        }
+    }
+}
+
+/// An exported histogram: totals plus the raw power-of-two buckets so
+/// merged snapshots can still estimate quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 if empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Power-of-two bucket counts (`buckets[i]` holds samples whose
+    /// `ilog2` is `i`).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistogramSummary {
+    /// Mean sample, or 0 if empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    fn merge(&mut self, other: &HistogramSummary) {
+        let had = self.count > 0;
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = if had {
+                self.min.min(other.min)
+            } else {
+                other.min
+            };
+            self.max = self.max.max(other.max);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        // Re-estimate quantiles from the merged buckets.
+        let (p50, p99) = quantiles_from_buckets(&self.buckets, self.count, self.max);
+        self.p50 = p50;
+        self.p99 = p99;
+    }
+}
+
+fn quantiles_from_buckets(buckets: &[u64; HIST_BUCKETS], count: u64, max: u64) -> (u64, u64) {
+    let at = |q: f64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i + 1 >= HIST_BUCKETS {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(max);
+            }
+        }
+        max
+    };
+    (at(0.5), at(0.99))
+}
+
+/// One exported metric value inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(i64),
+    /// A histogram summary (boxed: it carries the full bucket array).
+    Histogram(Box<HistogramSummary>),
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A registry of named metrics for one shard (or one subsystem).
+///
+/// Cloning shares the underlying table. `counter`/`gauge`/`histogram`
+/// get-or-register by name and hand back a clone-cheap handle;
+/// re-registering the same name with the same type returns the same
+/// underlying cell (so the engine and tests can both reach it).
+#[derive(Clone, Default)]
+pub struct Registry {
+    metrics: Rc<RefCell<BTreeMap<String, Metric>>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.metrics.borrow().len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or registers the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.borrow_mut();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(counter) => counter.clone(),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Gets or registers the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.borrow_mut();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(gauge) => gauge.clone(),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Gets or registers the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.metrics.borrow_mut();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(histogram) => histogram.clone(),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Materialises every registered metric into a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.borrow();
+        let entries = metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(counter) => MetricValue::Counter(counter.get()),
+                    Metric::Gauge(gauge) => MetricValue::Gauge(gauge.get()),
+                    Metric::Histogram(histogram) => {
+                        MetricValue::Histogram(Box::new(histogram.summary()))
+                    }
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+/// A point-in-time export of a [`Registry`], mergeable across shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Metric name → exported value, sorted by name.
+    pub entries: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// Folds another snapshot in: counters and gauges add, histograms
+    /// merge bucket-wise. Type mismatches keep `self`'s entry.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, value) in &other.entries {
+            match (self.entries.get_mut(name), value) {
+                (Some(MetricValue::Counter(mine)), MetricValue::Counter(theirs)) => {
+                    *mine += theirs;
+                }
+                (Some(MetricValue::Gauge(mine)), MetricValue::Gauge(theirs)) => {
+                    *mine += theirs;
+                }
+                (Some(MetricValue::Histogram(mine)), MetricValue::Histogram(theirs)) => {
+                    mine.merge(theirs);
+                }
+                (Some(_), _) => {}
+                (None, value) => {
+                    self.entries.insert(name.clone(), value.clone());
+                }
+            }
+        }
+    }
+
+    /// Counter total by name (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(value)) => *value,
+            _ => 0,
+        }
+    }
+
+    /// Gauge reading by name (0 when absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Gauge(value)) => *value,
+            _ => 0,
+        }
+    }
+
+    /// Histogram summary by name, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.entries.get(name) {
+            Some(MetricValue::Histogram(summary)) => Some(summary.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot as a JSON object keyed by metric name.
+    ///
+    /// Counters/gauges become numbers; histograms become objects with
+    /// `count`/`sum`/`min`/`max`/`mean`/`p50`/`p99`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (name, value) in &self.entries {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!("  {}: ", json_string(name)));
+            match value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                         \"mean\": {}, \"p50\": {}, \"p99\": {}}}",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        h.mean(),
+                        h.p50,
+                        h.p99
+                    ));
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Renders the snapshot as CSV with a fixed header:
+    /// `metric,kind,count,sum,min,max,mean,p50,p99`. Counters and
+    /// gauges fill only `count` (their value); histograms fill all
+    /// columns.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,kind,count,sum,min,max,mean,p50,p99\n");
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{name},counter,{v},,,,,,\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{name},gauge,{v},,,,,,\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{name},histogram,{},{},{},{},{},{},{}\n",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        h.mean(),
+                        h.p50,
+                        h.p99
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// What happened, in a flight-recorder event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsEventKind {
+    /// The instance was started (its metadata committed).
+    InstanceStart,
+    /// A state change committed; `what` names it (e.g. `done`,
+    /// `executing`, `mark via=approve`).
+    Commit {
+        /// Short description of the committed change.
+        what: String,
+    },
+    /// A task was dispatched to `executor`.
+    Dispatch {
+        /// Executor node index the task went to.
+        executor: u32,
+    },
+    /// A failed or timed-out task was scheduled for retry.
+    Retry {
+        /// Why the previous attempt ended.
+        reason: String,
+    },
+    /// A misdirected request was forwarded to the owning shard.
+    Forward {
+        /// Owning shard the request was relayed to.
+        to: u32,
+    },
+    /// The instance became stuck; `reason` is the diagnosis.
+    Stuck {
+        /// Stuck diagnosis (same text as [`InstanceStatus::Stuck`]).
+        ///
+        /// [`InstanceStatus::Stuck`]: https://docs.rs/flowscript-engine
+        reason: String,
+    },
+    /// The owning shard recovered this instance from its WAL.
+    Recovery,
+    /// The instance reached a terminal outcome.
+    Terminal {
+        /// `done` or `aborted`.
+        outcome: String,
+    },
+    /// An operator repair op was applied (e.g. `repair_fact`).
+    Repair {
+        /// What was repaired.
+        what: String,
+    },
+}
+
+impl ObsEventKind {
+    /// Stable lowercase tag for filtering and display.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ObsEventKind::InstanceStart => "start",
+            ObsEventKind::Commit { .. } => "commit",
+            ObsEventKind::Dispatch { .. } => "dispatch",
+            ObsEventKind::Retry { .. } => "retry",
+            ObsEventKind::Forward { .. } => "forward",
+            ObsEventKind::Stuck { .. } => "stuck",
+            ObsEventKind::Recovery => "recovery",
+            ObsEventKind::Terminal { .. } => "terminal",
+            ObsEventKind::Repair { .. } => "repair",
+        }
+    }
+}
+
+/// One structured lifecycle event in the flight recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// Per-recorder monotonic sequence number (total order within a
+    /// shard, survives ring eviction).
+    pub seq: u64,
+    /// Virtual timestamp (simulation nanoseconds).
+    pub at_ns: u64,
+    /// Shard that recorded the event.
+    pub shard: u32,
+    /// Instance the event concerns.
+    pub instance: String,
+    /// Task path within the instance, when task-scoped.
+    pub task: Option<String>,
+    /// Dispatch attempt number, when task-scoped (0 otherwise).
+    pub attempt: u32,
+    /// What happened.
+    pub kind: ObsEventKind,
+}
+
+impl fmt::Display for ObsEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12} ns] shard {} {:<9} {}",
+            self.at_ns,
+            self.shard,
+            self.kind.tag(),
+            self.instance
+        )?;
+        if let Some(task) = &self.task {
+            write!(f, " {task}")?;
+            if self.attempt > 0 {
+                write!(f, "#{}", self.attempt)?;
+            }
+        }
+        match &self.kind {
+            ObsEventKind::Commit { what } => write!(f, ": {what}"),
+            ObsEventKind::Dispatch { executor } => write!(f, " -> executor node {executor}"),
+            ObsEventKind::Retry { reason } => write!(f, ": {reason}"),
+            ObsEventKind::Forward { to } => write!(f, " -> shard {to}"),
+            ObsEventKind::Stuck { reason } => write!(f, ": {reason}"),
+            ObsEventKind::Terminal { outcome } => write!(f, ": {outcome}"),
+            ObsEventKind::Repair { what } => write!(f, ": {what}"),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A bounded ring buffer of [`ObsEvent`]s for one shard.
+///
+/// When full, the oldest events are evicted first, so the recorder
+/// always keeps the *newest* events per instance. Cloning shares the
+/// ring (handle semantics, like the metric types).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Rc<RefCell<RecorderState>>,
+}
+
+#[derive(Debug)]
+struct RecorderState {
+    shard: u32,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    ring: VecDeque<ObsEvent>,
+}
+
+impl FlightRecorder {
+    /// A recorder for `shard` holding at most `capacity` events
+    /// (clamped to at least 1).
+    pub fn new(shard: u32, capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Rc::new(RefCell::new(RecorderState {
+                shard,
+                capacity: capacity.max(1),
+                next_seq: 0,
+                dropped: 0,
+                ring: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Records one event. `task`/`attempt` scope it to a dispatch when
+    /// applicable.
+    pub fn record(
+        &self,
+        at_ns: u64,
+        instance: &str,
+        task: Option<&str>,
+        attempt: u32,
+        kind: ObsEventKind,
+    ) {
+        let mut state = self.inner.borrow_mut();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.ring.len() == state.capacity {
+            state.ring.pop_front();
+            state.dropped += 1;
+        }
+        let shard = state.shard;
+        state.ring.push_back(ObsEvent {
+            seq,
+            at_ns,
+            shard,
+            instance: instance.to_string(),
+            task: task.map(str::to_string),
+            attempt,
+            kind,
+        });
+    }
+
+    /// Every retained event, oldest first.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.inner.borrow().ring.iter().cloned().collect()
+    }
+
+    /// Retained events concerning `instance`, oldest first.
+    pub fn events_for(&self, instance: &str) -> Vec<ObsEvent> {
+        self.inner
+            .borrow()
+            .ring
+            .iter()
+            .filter(|event| event.instance == instance)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().ring.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().ring.is_empty()
+    }
+
+    /// Number of events evicted by the ring bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_level_ordering() {
+        assert!(!ObserveLevel::Off.metrics());
+        assert!(!ObserveLevel::Off.trace());
+        assert!(ObserveLevel::Metrics.metrics());
+        assert!(!ObserveLevel::Metrics.trace());
+        assert!(ObserveLevel::Trace.metrics());
+        assert!(ObserveLevel::Trace.trace());
+    }
+
+    #[test]
+    fn counter_handles_share_state() {
+        let registry = Registry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(registry.snapshot().counter("x"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("x");
+        registry.histogram("x");
+    }
+
+    #[test]
+    fn histogram_quantiles_and_merge() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat");
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.max(), 1000);
+        assert!(h.quantile(0.5) >= 3);
+        assert!(h.quantile(1.0) <= 1000);
+
+        let other = Registry::new();
+        let g = other.histogram("lat");
+        g.record(5000);
+        let mut snap = registry.snapshot();
+        snap.merge(&other.snapshot());
+        let merged = snap.histogram("lat").expect("histogram survives merge");
+        assert_eq!(merged.count, 6);
+        assert_eq!(merged.max, 5000);
+        assert_eq!(merged.min, 1);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters() {
+        let a = Registry::new();
+        a.counter("n").add(2);
+        let b = Registry::new();
+        b.counter("n").add(3);
+        b.counter("only_b").inc();
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("n"), 5);
+        assert_eq!(snap.counter("only_b"), 1);
+    }
+
+    #[test]
+    fn snapshot_exports() {
+        let registry = Registry::new();
+        registry.counter("c").add(7);
+        registry.gauge("g").set(-2);
+        registry.histogram("h").record(10);
+        let snap = registry.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"c\": 7"));
+        assert!(json.contains("\"g\": -2"));
+        assert!(json.contains("\"count\": 1"));
+        let csv = snap.to_csv();
+        assert!(csv.starts_with("metric,kind,"));
+        assert!(csv.contains("c,counter,7"));
+        assert!(csv.contains("h,histogram,1"));
+    }
+
+    #[test]
+    fn recorder_evicts_oldest_first() {
+        let rec = FlightRecorder::new(0, 3);
+        for i in 0..5u64 {
+            rec.record(i, "inst", None, 0, ObsEventKind::InstanceStart);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        // Oldest evicted: the newest three survive, in order.
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn recorder_filters_per_instance() {
+        let rec = FlightRecorder::new(1, 16);
+        rec.record(1, "a", None, 0, ObsEventKind::InstanceStart);
+        rec.record(2, "b", Some("t"), 1, ObsEventKind::Dispatch { executor: 4 });
+        rec.record(
+            3,
+            "a",
+            None,
+            0,
+            ObsEventKind::Terminal {
+                outcome: "done".into(),
+            },
+        );
+        let a = rec.events_for("a");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].kind, ObsEventKind::InstanceStart);
+        assert_eq!(a[1].kind.tag(), "terminal");
+        assert_eq!(rec.events_for("b")[0].shard, 1);
+    }
+}

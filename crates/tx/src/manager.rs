@@ -2,6 +2,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 
 use flowscript_codec::{Decode, Encode};
+use flowscript_obs::{Counter, Histogram, ObserveLevel, Registry};
 
 use crate::error::TxError;
 use crate::id::{Handle, ObjectUid, TxId};
@@ -78,6 +79,56 @@ struct PreparedTx {
     writes: Vec<(StoreKey, Option<Vec<u8>>)>,
 }
 
+/// The manager's metric handles, registered under `tx.*`/`wal.*` in
+/// whatever [`Registry`] the manager was opened with (a private one
+/// for [`TxManager::open`], the shard's for
+/// [`TxManager::open_with_metrics`]). The legacy getters
+/// ([`TxManager::prefix_scan_count`] and friends) are thin wrappers
+/// over these handles.
+#[derive(Debug, Clone)]
+struct TxMetrics {
+    /// Top-level and nested commits (`tx.commits`).
+    commits: Counter,
+    /// Aborts, explicit or cascading (`tx.aborts`).
+    aborts: Counter,
+    /// Uid prefix scans served (`tx.prefix_scans`). Scans are
+    /// O(matches) range walks, fine for recovery and cold admin paths —
+    /// but the engine's per-commit paths must never need one, and
+    /// regression tests assert this counter stays flat during runs.
+    prefix_scans: Counter,
+    /// Fact range scans served (`tx.fact_range_scans`). Legitimate on
+    /// subtree cancel/reset, whole-fact reconstruction and
+    /// reconfiguration — but a readiness *probe* must be a point read,
+    /// and regression tests assert clean runs keep this counter flat.
+    fact_range_scans: Counter,
+    /// Committed-state point reads of fact keys (`tx.fact_point_reads`)
+    /// — the cheap side of the point-read-vs-range-scan split above.
+    fact_point_reads: Counter,
+    /// Lock requests denied with a wait-die verdict (`tx.lock_waits`).
+    lock_waits: Counter,
+    /// 2PC protocol steps processed here — prepares, resolves and
+    /// coordinator decision records (`tx.two_pc_rounds`).
+    two_pc_rounds: Counter,
+    /// Write frames per top-level commit record
+    /// (`wal.frames_per_commit`); only fed when observing metrics.
+    wal_frames_per_commit: Histogram,
+}
+
+impl TxMetrics {
+    fn register(registry: &Registry) -> Self {
+        TxMetrics {
+            commits: registry.counter("tx.commits"),
+            aborts: registry.counter("tx.aborts"),
+            prefix_scans: registry.counter("tx.prefix_scans"),
+            fact_range_scans: registry.counter("tx.fact_range_scans"),
+            fact_point_reads: registry.counter("tx.fact_point_reads"),
+            lock_waits: registry.counter("tx.lock_waits"),
+            two_pc_rounds: registry.counter("tx.two_pc_rounds"),
+            wal_frames_per_commit: registry.histogram("wal.frames_per_commit"),
+        }
+    }
+}
+
 /// The transaction manager: atomic actions over a persistent object store.
 ///
 /// One `TxManager` corresponds to one node's recoverable state (the paper's
@@ -102,19 +153,8 @@ pub struct TxManager<S = SharedStorage> {
     /// abort: only commits are remembered durably).
     coordinator_commits: HashMap<TxId, bool>,
     next_seq: u64,
-    commits: u64,
-    aborts: u64,
-    /// Uid prefix scans served ([`TxManager::uids_with_prefix`]). Scans
-    /// are O(matches) range walks, fine for recovery and cold admin
-    /// paths — but the engine's per-commit paths must never need one,
-    /// and regression tests assert this counter stays flat during runs.
-    prefix_scans: std::cell::Cell<u64>,
-    /// Fact range scans served ([`TxManager::fact_keys_in_range`] and
-    /// [`TxManager::facts_in_range`]). Legitimate on subtree
-    /// cancel/reset, whole-fact reconstruction and reconfiguration —
-    /// but a readiness *probe* must be a point read, and regression
-    /// tests assert clean runs keep this counter flat.
-    fact_range_scans: std::cell::Cell<u64>,
+    metrics: TxMetrics,
+    observe: ObserveLevel,
 }
 
 impl TxManager<SharedStorage> {
@@ -133,6 +173,23 @@ impl<S: Storage> TxManager<S> {
     /// [`TxError::Corrupt`] if the log is damaged beyond a torn tail,
     /// [`TxError::Storage`] on I/O failure.
     pub fn open(node: u32, storage: S) -> Result<Self, TxError> {
+        Self::open_with_metrics(node, storage, &Registry::new(), ObserveLevel::Off)
+    }
+
+    /// [`TxManager::open`] registering this manager's metrics
+    /// (`tx.*`/`wal.*`) in the caller's `registry` instead of a private
+    /// one, observing at `observe` (gates the optional histograms; the
+    /// always-on counters behind the legacy getters tick regardless).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TxManager::open`].
+    pub fn open_with_metrics(
+        node: u32,
+        storage: S,
+        registry: &Registry,
+        observe: ObserveLevel,
+    ) -> Result<Self, TxError> {
         let wal = Wal::new(storage);
         let records = wal.scan()?;
         let mut store = BTreeMap::new();
@@ -194,10 +251,8 @@ impl<S: Storage> TxManager<S> {
             prepared,
             coordinator_commits,
             next_seq: max_seq + 1,
-            commits: 0,
-            aborts: 0,
-            prefix_scans: std::cell::Cell::new(0),
-            fact_range_scans: std::cell::Cell::new(0),
+            metrics: TxMetrics::register(registry),
+            observe,
         })
     }
 
@@ -259,11 +314,14 @@ impl<S: Storage> TxManager<S> {
     fn acquire(&mut self, tx: TxId, key: &StoreKey, mode: LockMode) -> Result<(), TxError> {
         match self.locks.acquire(tx, key, mode) {
             Acquired::Granted => Ok(()),
-            Acquired::Conflicted { holder, verdict } => Err(TxError::Lock {
-                key: key.clone(),
-                holder,
-                conflict: verdict,
-            }),
+            Acquired::Conflicted { holder, verdict } => {
+                self.metrics.lock_waits.inc();
+                Err(TxError::Lock {
+                    key: key.clone(),
+                    holder,
+                    conflict: verdict,
+                })
+            }
         }
     }
 
@@ -485,7 +543,7 @@ impl<S: Storage> TxManager<S> {
                 let Some(parent) = self.active.get_mut(&parent_id) else {
                     // Parent vanished: abandon the child's effects.
                     self.locks.release_all(action.id);
-                    self.aborts += 1;
+                    self.metrics.aborts.inc();
                     return Err(TxError::ParentTerminated(parent_id));
                 };
                 for (key, value) in entry.workspace.into_ordered() {
@@ -493,11 +551,16 @@ impl<S: Storage> TxManager<S> {
                 }
                 parent.children.retain(|c| *c != action.id);
                 self.locks.transfer(action.id, parent_id);
-                self.commits += 1;
+                self.metrics.commits.inc();
                 Ok(())
             }
             None => {
                 let writes = entry.workspace.into_ordered();
+                if self.observe.metrics() {
+                    self.metrics
+                        .wal_frames_per_commit
+                        .record(writes.len() as u64);
+                }
                 if !writes.is_empty() {
                     self.wal.append(&LogRecord::Commit {
                         tx: action.id,
@@ -506,7 +569,7 @@ impl<S: Storage> TxManager<S> {
                     apply_writes(&mut self.store, &writes);
                 }
                 self.locks.release_all(action.id);
-                self.commits += 1;
+                self.metrics.commits.inc();
                 Ok(())
             }
         }
@@ -527,7 +590,7 @@ impl<S: Storage> TxManager<S> {
                 }
             }
             self.locks.release_all(id);
-            self.aborts += 1;
+            self.metrics.aborts.inc();
         }
     }
 
@@ -557,6 +620,9 @@ impl<S: Storage> TxManager<S> {
     ///
     /// As for [`TxManager::read_committed`].
     pub fn read_committed_key<T: Decode>(&self, key: &StoreKey) -> Result<Option<T>, TxError> {
+        if matches!(key, StoreKey::Fact(_)) {
+            self.metrics.fact_point_reads.inc();
+        }
         match self.store.get(key) {
             None => Ok(None),
             Some(bytes) => Ok(Some(flowscript_codec::from_bytes(bytes)?)),
@@ -575,6 +641,9 @@ impl<S: Storage> TxManager<S> {
 
     /// Whether an object exists in committed state, for any key.
     pub fn exists_key(&self, key: &StoreKey) -> bool {
+        if matches!(key, StoreKey::Fact(_)) {
+            self.metrics.fact_point_reads.inc();
+        }
         self.store.contains_key(key)
     }
 
@@ -589,7 +658,7 @@ impl<S: Storage> TxManager<S> {
     /// the few `inst/…/meta` objects among many control blocks does not
     /// materialize the rest.
     pub fn uids_matching(&self, prefix: &str, suffix: &str) -> Vec<ObjectUid> {
-        self.prefix_scans.set(self.prefix_scans.get() + 1);
+        self.metrics.prefix_scans.inc();
         let start = StoreKey::Uid(ObjectUid::new(prefix));
         self.store
             .range((Bound::Included(start), Bound::Unbounded))
@@ -604,7 +673,7 @@ impl<S: Storage> TxManager<S> {
     /// cancel/reset, reconfiguration remapping). One range scan over the
     /// dense fact index space.
     pub fn fact_keys_in_range(&self, lo: FactKey, hi: FactKey) -> Vec<FactKey> {
-        self.fact_range_scans.set(self.fact_range_scans.get() + 1);
+        self.metrics.fact_range_scans.inc();
         self.store
             .range(StoreKey::Fact(lo)..=StoreKey::Fact(hi))
             .filter_map(|(key, _)| key.as_fact())
@@ -615,7 +684,7 @@ impl<S: Storage> TxManager<S> {
     /// (whole-fact reconstruction on cold paths: monitoring, recovery
     /// re-dispatch, reconfiguration remapping). One range scan.
     pub fn facts_in_range(&self, lo: FactKey, hi: FactKey) -> Vec<(FactKey, Vec<u8>)> {
-        self.fact_range_scans.set(self.fact_range_scans.get() + 1);
+        self.metrics.fact_range_scans.inc();
         self.store
             .range(StoreKey::Fact(lo)..=StoreKey::Fact(hi))
             .filter_map(|(key, bytes)| key.as_fact().map(|key| (key, bytes.clone())))
@@ -662,24 +731,34 @@ impl<S: Storage> TxManager<S> {
         self.wal.size_bytes()
     }
 
-    /// `(commits, aborts)` since this manager was opened.
+    /// `(commits, aborts)` — thin wrapper over the `tx.commits` /
+    /// `tx.aborts` registry counters.
     pub fn stats(&self) -> (u64, u64) {
-        (self.commits, self.aborts)
+        (self.metrics.commits.get(), self.metrics.aborts.get())
     }
 
-    /// Uid prefix scans served since this manager was opened (the
-    /// stuck-diagnostics regression guard: commit-path work must be
-    /// point reads and dense-key range scans, never a prefix walk).
+    /// Uid prefix scans served (the stuck-diagnostics regression
+    /// guard: commit-path work must be point reads and dense-key range
+    /// scans, never a prefix walk). Thin wrapper over the
+    /// `tx.prefix_scans` registry counter.
     pub fn prefix_scan_count(&self) -> u64 {
-        self.prefix_scans.get()
+        self.metrics.prefix_scans.get()
     }
 
-    /// Fact range scans served since this manager was opened (per-object
-    /// probes are point reads: a clean run performs none of these
-    /// either — only subtree cancel/reset, whole-fact reconstruction
-    /// and reconfiguration do).
+    /// Fact range scans served (per-object probes are point reads: a
+    /// clean run performs none of these either — only subtree
+    /// cancel/reset, whole-fact reconstruction and reconfiguration
+    /// do). Thin wrapper over the `tx.fact_range_scans` registry
+    /// counter.
     pub fn fact_range_scan_count(&self) -> u64 {
-        self.fact_range_scans.get()
+        self.metrics.fact_range_scans.get()
+    }
+
+    /// Committed-state fact point reads served — the cheap complement
+    /// the two scan guards above are measured against. Thin wrapper
+    /// over the `tx.fact_point_reads` registry counter.
+    pub fn fact_point_read_count(&self) -> u64 {
+        self.metrics.fact_point_reads.get()
     }
 
     /// Number of live (committed) objects.
@@ -705,11 +784,13 @@ impl<S: Storage> TxManager<S> {
         coordinator: u32,
         writes: Vec<(StoreKey, Option<Vec<u8>>)>,
     ) -> Result<(), TxError> {
+        self.metrics.two_pc_rounds.inc();
         for (key, _) in &writes {
             if let Acquired::Conflicted { holder, verdict } =
                 self.locks.acquire(tx, key, LockMode::Write)
             {
                 self.locks.release_all(tx);
+                self.metrics.lock_waits.inc();
                 return Err(TxError::Lock {
                     key: key.clone(),
                     holder,
@@ -742,12 +823,13 @@ impl<S: Storage> TxManager<S> {
         let Some(prepared) = self.prepared.remove(&tx) else {
             return Ok(());
         };
+        self.metrics.two_pc_rounds.inc();
         self.wal.append(&LogRecord::Resolve { tx, committed })?;
         if committed {
             apply_writes(&mut self.store, &prepared.writes);
-            self.commits += 1;
+            self.metrics.commits.inc();
         } else {
-            self.aborts += 1;
+            self.metrics.aborts.inc();
         }
         self.locks.release_all(tx);
         Ok(())
@@ -773,6 +855,7 @@ impl<S: Storage> TxManager<S> {
     ///
     /// Storage errors on log append.
     pub fn log_coordinator_decision(&mut self, tx: TxId, committed: bool) -> Result<(), TxError> {
+        self.metrics.two_pc_rounds.inc();
         self.wal.append(&LogRecord::Resolve { tx, committed })?;
         self.coordinator_commits.insert(tx, committed);
         Ok(())

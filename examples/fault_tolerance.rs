@@ -87,7 +87,7 @@ fn main() -> Result<(), EngineError> {
         "dispatches: {}, retries: {}, recovered instances: {}",
         stats.dispatches, stats.retries, stats.recovered_instances
     );
-    let trace = sys.trace();
+    let trace = sys.sim_trace();
     println!(
         "trace: {} events, {} deliveries, {} drops to down nodes",
         trace.len(),

@@ -57,8 +57,8 @@ pub mod prelude {
     pub use flowscript_core::schema::{compile_source, Schema};
     pub use flowscript_core::{parse, sema, Diagnostics};
     pub use flowscript_engine::{
-        CbState, EngineConfig, EngineError, InstanceStatus, ObjectVal, Outcome, Reconfig,
-        TaskBehavior, WorkflowSystem,
+        CbState, EngineConfig, EngineError, InstanceStatus, ObjectVal, ObsEvent, ObsEventKind,
+        ObserveLevel, Outcome, Reconfig, Snapshot, TaskBehavior, WorkflowSystem,
     };
     pub use flowscript_sim::{FaultAction, FaultPlan, SimDuration, SimTime};
 }
