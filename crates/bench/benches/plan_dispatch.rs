@@ -27,8 +27,8 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flowscript_bench::report::{self, ComparisonRow, ThroughputRow};
 use flowscript_bench::{
-    fat_fan_source, repeat_probe_source, run_instance_wave, run_skew_wave, sharded_diamond_system,
-    skewed_fan_system,
+    durable_diamond_system, fat_fan_source, repeat_probe_source, run_instance_wave, run_skew_wave,
+    sharded_diamond_system, skewed_fan_system,
 };
 use flowscript_core::ast::OutputKind;
 use flowscript_core::samples;
@@ -36,11 +36,13 @@ use flowscript_core::schema::{
     compile_source, CompiledScope, CompiledTask, OutputInfo, Schema, TaskBody,
 };
 use flowscript_engine::deps::{self, FactView, MemFacts};
+use flowscript_engine::CommitBatch;
 use flowscript_engine::ObjectVal;
 use flowscript_engine::ObserveLevel;
 use flowscript_engine::SchedPolicy;
 use flowscript_engine::{facts as engine_facts, InstanceKeys, StoreFacts};
 use flowscript_plan::{eval as plan_eval, Plan, PlanFacts, Probe, TaskId, Worklist};
+use flowscript_sim::SimDuration;
 use flowscript_tx::TxManager;
 
 /// Adapter: the engine's in-memory fact store viewed through the
@@ -425,6 +427,97 @@ fn sharded(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `batched` variant: the same 10 000-instance diamond wave per
+/// shard count on a **durable file-backed WAL** (every frame is an
+/// `fdatasync`ed write), group-commit batching off vs on. Every task
+/// takes 30 virtual seconds, so thousands of `Done` reports land in
+/// the same simulated instant; the unbatched arm pays one synced frame
+/// per commit (~10 per instance), the batched arm coalesces whole
+/// drains into shared lock passes and single `GroupCommit` frames. The
+/// batched arm widens the window to 20 virtual ms — the classic group
+/// commit trade: bounded virtual-time commit latency bought for an
+/// order of magnitude fewer log syncs. One measured wall-clock run per
+/// arm feeds `batching_impact.csv`; the batched pipeline must clear 2x
+/// the unbatched throughput at 4 shards.
+fn batched(c: &mut Criterion) {
+    let wave = 10_000usize;
+    let arms = [
+        ("unbatched", CommitBatch::disabled()),
+        (
+            "batched",
+            CommitBatch {
+                max_events: 256,
+                max_window: SimDuration::from_millis(20),
+            },
+        ),
+    ];
+    let wal_dir = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/batched_wal"
+    ));
+    let mut rows: Vec<ThroughputRow> = Vec::new();
+    let mut per_s: BTreeMap<String, f64> = BTreeMap::new();
+    for shards in [1usize, 2, 4, 8] {
+        for (label, batch) in arms {
+            let start = Instant::now();
+            let mut sys = durable_diamond_system(9, shards, 4, batch, wal_dir);
+            let completed = run_instance_wave(&mut sys, wave);
+            let wall = start.elapsed();
+            assert_eq!(
+                completed, wave,
+                "{shards} shards/{label}: wave must complete"
+            );
+            let row = ThroughputRow {
+                workload: format!("{shards}_shards_{label}"),
+                items: wave as u64,
+                wall_ns: wall.as_nanos() as f64,
+            };
+            per_s.insert(row.workload.clone(), row.per_second());
+            rows.push(row);
+        }
+    }
+    for row in &rows {
+        println!(
+            "plan_dispatch/batched {}: {} instances in {:.0}ms ({:.0}/s)",
+            row.workload,
+            row.items,
+            row.wall_ns / 1e6,
+            row.per_second()
+        );
+    }
+    let baseline = per_s["4_shards_unbatched"];
+    let candidate = per_s["4_shards_batched"];
+    assert!(
+        candidate >= 2.0 * baseline,
+        "group commit must clear 2x unbatched throughput at 4 shards: \
+         {baseline:.0}/s unbatched vs {candidate:.0}/s batched ({:.2}x)",
+        candidate / baseline
+    );
+    let path = report::write_throughput_csv(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/batching_impact.csv"
+        ),
+        "instances",
+        &rows,
+    )
+    .expect("throughput table written");
+    println!("batching-vs-throughput table: {}", path.display());
+
+    let mut group = c.benchmark_group("plan_dispatch/batched");
+    group.sample_size(2);
+    for (label, batch) in arms {
+        group.bench_function(BenchmarkId::new("wave_512", label), |b| {
+            b.iter(|| {
+                let mut sys = durable_diamond_system(9, 4, 4, batch, wal_dir);
+                assert_eq!(run_instance_wave(&mut sys, 512), 512);
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(wal_dir);
+}
+
 /// The `scheduled` variant: skewed task durations (one 400ms worker,
 /// five 50ms workers per instance) on 4 **serial** executors, under
 /// the legacy path-hash dispatch vs the load-aware scheduler. The
@@ -781,6 +874,7 @@ criterion_group!(
     benches,
     dispatch,
     sharded,
+    batched,
     scheduled,
     fact_reads,
     obs_overhead

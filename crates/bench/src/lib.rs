@@ -16,7 +16,7 @@ use flowscript_core::fmt::format_script;
 use flowscript_core::samples;
 use flowscript_engine::coordinator::EngineConfig;
 use flowscript_engine::{
-    InvokeCtx, ObjectVal, ObserveLevel, SchedPolicy, TaskBehavior, WorkflowSystem,
+    CommitBatch, InvokeCtx, ObjectVal, ObserveLevel, SchedPolicy, TaskBehavior, WorkflowSystem,
 };
 use flowscript_sim::{SimDuration, SimTime};
 
@@ -222,13 +222,64 @@ pub fn observed_diamond_system(
         observe,
         ..EngineConfig::default()
     };
-    let sys = WorkflowSystem::builder()
+    diamond_wave_system(seed, coordinators, executors, config, None)
+}
+
+/// [`sharded_diamond_system`] with explicit group-commit batching knobs
+/// (the `batched` bench variant compares the batched pipeline against
+/// the [`CommitBatch::disabled`] one-frame-per-commit baseline arm).
+pub fn batched_diamond_system(
+    seed: u64,
+    coordinators: usize,
+    executors: usize,
+    batch: CommitBatch,
+) -> WorkflowSystem {
+    let config = EngineConfig {
+        dispatch_timeout: SimDuration::from_secs(300),
+        commit_batch: batch,
+        ..EngineConfig::default()
+    };
+    diamond_wave_system(seed, coordinators, executors, config, None)
+}
+
+/// [`batched_diamond_system`] on a durable file-backed WAL: every shard
+/// logs to a fresh `shard{i}.wal` under `wal_dir`, and every log frame
+/// is an `fdatasync`ed file write. This is the configuration where group
+/// commit earns its keep — the per-frame sync cost is real, so folding a
+/// whole drain's worth of commits into one frame amortizes it (the
+/// `batched` bench variant runs both arms on this storage class).
+pub fn durable_diamond_system(
+    seed: u64,
+    coordinators: usize,
+    executors: usize,
+    batch: CommitBatch,
+    wal_dir: &std::path::Path,
+) -> WorkflowSystem {
+    let config = EngineConfig {
+        dispatch_timeout: SimDuration::from_secs(300),
+        commit_batch: batch,
+        ..EngineConfig::default()
+    };
+    diamond_wave_system(seed, coordinators, executors, config, Some(wal_dir))
+}
+
+fn diamond_wave_system(
+    seed: u64,
+    coordinators: usize,
+    executors: usize,
+    config: EngineConfig,
+    wal_dir: Option<&std::path::Path>,
+) -> WorkflowSystem {
+    let mut builder = WorkflowSystem::builder()
         .executors(executors)
         .coordinators(coordinators)
         .seed(seed)
         .config(config)
-        .trace(false)
-        .build();
+        .trace(false);
+    if let Some(dir) = wal_dir {
+        builder = builder.wal_dir(dir);
+    }
+    let sys = builder.build();
     let mut sys = sys;
     sys.register_script("diamond", samples::FIG1_DIAMOND, "diamond")
         .expect("sample valid");

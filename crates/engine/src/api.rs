@@ -25,10 +25,10 @@ use std::rc::Rc;
 
 use flowscript_obs::{ObsEvent, ObserveLevel, Registry, Snapshot};
 use flowscript_sim::{net::LinkConfig, FaultPlan, NodeId, SimDuration, SimTime, World};
-use flowscript_tx::SharedStorage;
+use flowscript_tx::{SharedFileStorage, StableStore};
 
 use crate::coordinator::{
-    CoordHandle, CoordStats, Coordinator, EngineConfig, InstanceStatus, Outcome,
+    CommitBatch, CoordHandle, CoordStats, Coordinator, EngineConfig, InstanceStatus, Outcome,
 };
 use crate::error::EngineError;
 use crate::executor;
@@ -53,8 +53,9 @@ pub struct SystemBuilder {
     config: EngineConfig,
     link: LinkConfig,
     registry: Option<ImplRegistry>,
-    storage: Option<SharedStorage>,
-    shard_storages: Option<Vec<SharedStorage>>,
+    storage: Option<StableStore>,
+    shard_storages: Option<Vec<StableStore>>,
+    wal_dir: Option<std::path::PathBuf>,
     trace_enabled: bool,
 }
 
@@ -71,6 +72,7 @@ impl Default for SystemBuilder {
             registry: None,
             storage: None,
             shard_storages: None,
+            wal_dir: None,
             trace_enabled: true,
         }
     }
@@ -144,8 +146,8 @@ impl SystemBuilder {
     /// Uses existing stable storage for shard 0 (to model restarting a
     /// single-coordinator system over a surviving disk). For sharded
     /// systems prefer [`SystemBuilder::shard_storages`].
-    pub fn storage(mut self, storage: SharedStorage) -> Self {
-        self.storage = Some(storage);
+    pub fn storage(mut self, storage: impl Into<StableStore>) -> Self {
+        self.storage = Some(storage.into());
         self
     }
 
@@ -153,8 +155,27 @@ impl SystemBuilder {
     /// whole sharded system over its surviving disks; see
     /// [`WorkflowSystem::shard_storages`]). Missing entries get fresh
     /// storage.
-    pub fn shard_storages(mut self, storages: Vec<SharedStorage>) -> Self {
-        self.shard_storages = Some(storages);
+    pub fn shard_storages<S: Into<StableStore>>(mut self, storages: Vec<S>) -> Self {
+        self.shard_storages = Some(storages.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Journals every shard to a real synced log file under `dir`
+    /// (`shard0.wal`, `shard1.wal`, ...), created fresh — truncating
+    /// leftovers from previous runs. Each WAL frame append becomes a
+    /// `write` + `fdatasync`, so commits pay the durable-log cost that
+    /// group commit amortizes; the in-memory default keeps simulated
+    /// crash-survival without touching the disk. Explicit
+    /// [`SystemBuilder::storage`]/[`SystemBuilder::shard_storages`]
+    /// entries take precedence per shard (restart-over-surviving-disk
+    /// scenarios pass reopened [`SharedFileStorage`] handles there).
+    ///
+    /// # Panics
+    ///
+    /// [`SystemBuilder::build`] panics if `dir` cannot be created or a
+    /// log file cannot be opened.
+    pub fn wal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
         self
     }
 
@@ -168,6 +189,15 @@ impl SystemBuilder {
     /// [`EngineConfig::observe`] on the current config).
     pub fn observe(mut self, level: ObserveLevel) -> Self {
         self.config.observe = level;
+        self
+    }
+
+    /// Group-commit batching knobs (shorthand for setting
+    /// [`EngineConfig::commit_batch`] on the current config). Pass
+    /// [`CommitBatch::disabled`] for the one-commit-per-report
+    /// baseline arm.
+    pub fn commit_batch(mut self, batch: CommitBatch) -> Self {
+        self.config.commit_batch = batch;
         self
     }
 
@@ -205,14 +235,20 @@ impl SystemBuilder {
 
         let registry = self.registry.unwrap_or_default();
         let provided = self.shard_storages.unwrap_or_default();
-        let storages: Vec<SharedStorage> = (0..self.coordinators)
+        let storages: Vec<StableStore> = (0..self.coordinators)
             .map(|i| {
                 if i < provided.len() {
                     provided[i].clone()
-                } else if i == 0 {
-                    self.storage.clone().unwrap_or_default()
+                } else if i == 0 && self.storage.is_some() {
+                    self.storage.clone().expect("checked above")
+                } else if let Some(dir) = &self.wal_dir {
+                    std::fs::create_dir_all(dir).expect("wal dir creatable");
+                    let path = dir.join(format!("shard{i}.wal"));
+                    StableStore::File(
+                        SharedFileStorage::create(&path).expect("wal file opens fresh"),
+                    )
                 } else {
-                    SharedStorage::default()
+                    StableStore::default()
                 }
             })
             .collect();
@@ -281,7 +317,7 @@ pub struct WorkflowSystem {
     repo: RepoHandle,
     coords: Vec<CoordHandle>,
     shard: ShardMap,
-    storages: Vec<SharedStorage>,
+    storages: Vec<StableStore>,
 }
 
 impl WorkflowSystem {
@@ -880,14 +916,14 @@ impl WorkflowSystem {
 
     /// Shard 0's stable storage (the whole system's for
     /// single-coordinator builds; survives restarts).
-    pub fn storage(&self) -> SharedStorage {
+    pub fn storage(&self) -> StableStore {
         self.storages[0].clone()
     }
 
     /// Every shard's stable storage, in shard order (rebuild a sharded
     /// system over its surviving disks via
     /// [`SystemBuilder::shard_storages`]).
-    pub fn shard_storages(&self) -> Vec<SharedStorage> {
+    pub fn shard_storages(&self) -> Vec<StableStore> {
         self.storages.clone()
     }
 }

@@ -39,7 +39,7 @@ use flowscript_core::schema::{self, CompiledTask, Schema, TaskBody};
 use flowscript_obs::{Counter, FlightRecorder, Histogram, ObsEventKind, ObserveLevel, Registry};
 use flowscript_plan::{eval as plan_eval, Plan, TaskId, Worklist};
 use flowscript_sim::{Envelope, EventId, NodeId, ReplyToken, SimDuration, World};
-use flowscript_tx::{ObjectUid, SharedStorage, StoreKey, TxManager};
+use flowscript_tx::{ObjectUid, StableStore, StoreKey, TxManager};
 
 use crate::error::EngineError;
 use crate::facts::{self, StoreFacts};
@@ -99,6 +99,10 @@ pub struct EngineConfig {
     /// newest events of every instance survive). Only read when
     /// [`EngineConfig::observe`] is [`ObserveLevel::Trace`].
     pub recorder_capacity: usize,
+    /// Group-commit batching of executor reports (see [`CommitBatch`]).
+    /// Defaults on; [`CommitBatch::disabled`] reproduces the
+    /// one-transaction-per-event pipeline as the baseline arm.
+    pub commit_batch: CommitBatch,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +119,52 @@ impl Default for EngineConfig {
             whole_record_facts: false,
             observe: ObserveLevel::Off,
             recorder_capacity: 4096,
+            commit_batch: CommitBatch::default(),
+        }
+    }
+}
+
+/// Knobs of the batched commit pipeline.
+///
+/// Executor `Done`/`Mark` reports (including ones forwarded from relay
+/// shards) buffer in a per-shard window and commit as **one** atomic
+/// action: one lock pass over the union of touched keys, one WAL frame
+/// ([`flowscript_tx::LogRecord::GroupCommit`]), one readiness
+/// re-evaluation seeded from every completed task's consumers. Batching
+/// is placement, not semantics — each report still applies exactly the
+/// transition it would have alone, and the equivalence suite
+/// (`engine/tests/batching.rs`) proves per-instance outcomes identical
+/// to the unbatched pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitBatch {
+    /// Flush when this many reports are pending. `1` disables batching.
+    pub max_events: usize,
+    /// Flush at most this long (virtual time) after the first buffered
+    /// report. `0` disables batching.
+    pub max_window: SimDuration,
+}
+
+impl CommitBatch {
+    /// The unbatched baseline: every report pays its own transaction,
+    /// exactly the pre-batching pipeline.
+    pub fn disabled() -> Self {
+        Self {
+            max_events: 1,
+            max_window: SimDuration::ZERO,
+        }
+    }
+
+    /// Whether reports actually buffer under these knobs.
+    pub fn enabled(&self) -> bool {
+        self.max_events > 1 && self.max_window > SimDuration::ZERO
+    }
+}
+
+impl Default for CommitBatch {
+    fn default() -> Self {
+        Self {
+            max_events: 64,
+            max_window: SimDuration::from_millis(1),
         }
     }
 }
@@ -371,6 +421,8 @@ struct CoordMetrics {
     dropped_dispatches: Counter,
     /// Worklist steps per drain-to-quiescence (`coord.commit_drain_len`).
     commit_drain_len: Histogram,
+    /// Executor reports coalesced per batch flush (`coord.batch_size`).
+    batch_size: Histogram,
     /// Virtual nanoseconds from dispatch send to the executor's
     /// `TaskDone` reply (`coord.dispatch_latency_ns`; timeouts and
     /// cancellations are not replies and do not sample).
@@ -395,6 +447,7 @@ impl CoordMetrics {
             no_alternative_retries: registry.counter("coord.no_alternative_retries"),
             dropped_dispatches: registry.counter("coord.dropped_dispatches"),
             commit_drain_len: registry.histogram("coord.commit_drain_len"),
+            batch_size: registry.histogram("coord.batch_size"),
             dispatch_latency_ns: registry.histogram("coord.dispatch_latency_ns"),
             sched_pick_load: registry.histogram("sched.pick_load"),
         }
@@ -435,6 +488,44 @@ pub struct DispatchRecord {
     /// the *placement* legitimately differ across shard counts while
     /// the `(path, attempt)` sequence stays identical.)
     pub executor: NodeId,
+}
+
+/// An executor report buffered in the batch window.
+#[derive(Debug)]
+enum PendingEvent {
+    /// A `TaskDone` report (completion, error or repeat).
+    Done(TaskDone),
+    /// A mid-task mark emission.
+    Mark(MarkMsg),
+}
+
+/// The post-commit bookkeeping owed for one report staged into a batch
+/// flush: trace event, terminal accounting, watchdog clearance and the
+/// readiness seed.
+struct StagedEffect {
+    instance: String,
+    path: String,
+    attempt: u32,
+    task_id: TaskId,
+    /// Trace-event payload (``done `x```, ``aborted `x```, ``mark `x```).
+    what: String,
+    is_mark: bool,
+}
+
+/// What staging one buffered report into the shared batch action
+/// concluded.
+enum Staging {
+    /// Fast path: the transition and its facts are staged in the action.
+    Staged(StagedEffect),
+    /// The report is stale or a duplicate — exactly what the one-event
+    /// path drops on the floor.
+    Consumed,
+    /// Valid but not batchable (error retries, repeats, undeclared
+    /// outputs): run the one-event handler after the batch commits.
+    Slow,
+    /// A storage fault: abort the whole batch action and fall back to
+    /// the one-event pipeline for the entire window.
+    Error,
 }
 
 /// Volatile per-instance runtime state (rebuilt on recovery).
@@ -521,10 +612,25 @@ pub struct Coordinator {
     /// node does not own are forwarded to the owner).
     shard: ShardMap,
     config: EngineConfig,
-    mgr: TxManager<SharedStorage>,
-    storage: SharedStorage,
+    mgr: TxManager<StableStore>,
+    storage: StableStore,
     instances: BTreeMap<String, InstanceRt>,
     commits: u64,
+    /// `commits` as of the last checkpoint — the once-per-drain
+    /// threshold check works off the delta (see
+    /// [`Coordinator::maybe_checkpoint`]).
+    commits_at_checkpoint: u64,
+    /// Executor reports buffered in the current batch window, in
+    /// arrival order. Volatile by design: a crash loses the open window
+    /// as a unit, exactly as if the messages were still in the network.
+    pending: Vec<PendingEvent>,
+    /// Whether a batch-window flush timer is outstanding.
+    window_armed: bool,
+    /// Next batch id (per-shard; trace events carry it so coalesced
+    /// completions are visible in `WorkflowSystem::trace`).
+    batch_seq: u64,
+    /// The batch id commits currently run under, if a flush is active.
+    current_batch: Option<u64>,
     /// Ordered dispatch decisions (equivalence tests, diagnostics).
     dispatch_log: Vec<DispatchRecord>,
     /// This shard's metric registry: `coord.*`, `sched.*`, `tx.*` and
@@ -558,7 +664,7 @@ impl Coordinator {
         repo: NodeId,
         executors: Vec<NodeId>,
         config: EngineConfig,
-        storage: SharedStorage,
+        storage: impl Into<StableStore>,
     ) -> Result<Self, EngineError> {
         Self::open_sharded(
             node,
@@ -585,9 +691,10 @@ impl Coordinator {
         repo: NodeId,
         executors: Vec<(NodeId, Option<String>)>,
         config: EngineConfig,
-        storage: SharedStorage,
+        storage: impl Into<StableStore>,
         shard: ShardMap,
     ) -> Result<Self, EngineError> {
+        let storage = storage.into();
         debug_assert!(
             shard.nodes().contains(&node),
             "shard map must include the node"
@@ -612,6 +719,11 @@ impl Coordinator {
             storage,
             instances: BTreeMap::new(),
             commits: 0,
+            commits_at_checkpoint: 0,
+            pending: Vec::new(),
+            window_armed: false,
+            batch_seq: 0,
+            current_batch: None,
             dispatch_log: Vec::new(),
             registry,
             metrics,
@@ -637,13 +749,158 @@ impl Coordinator {
     fn commit(&mut self, action: flowscript_tx::AtomicAction) -> Result<(), EngineError> {
         self.mgr.commit(action)?;
         self.commits += 1;
-        if let Some(every) = self.config.checkpoint_every {
-            if self.commits.is_multiple_of(every) {
-                self.gc_plans()?;
-                self.mgr.checkpoint()?;
+        Ok(())
+    }
+
+    /// Checkpoints when the threshold of commits has accumulated since
+    /// the last one. Evaluated once per drain (and after each batch
+    /// flush) rather than per commit, so a group commit can never stall
+    /// mid-batch on a `rewrite_with_checkpoint` — and never while a
+    /// commit group is open.
+    fn maybe_checkpoint(&mut self) -> Result<(), EngineError> {
+        let Some(every) = self.config.checkpoint_every else {
+            return Ok(());
+        };
+        if self.mgr.in_group() || self.commits - self.commits_at_checkpoint < every {
+            return Ok(());
+        }
+        self.commits_at_checkpoint = self.commits;
+        self.gc_plans()?;
+        self.mgr.checkpoint()?;
+        Ok(())
+    }
+
+    /// A `Commit` trace event stamped with the active batch id, so
+    /// traces show which completions coalesced into one flush.
+    fn commit_event(&self, what: String) -> ObsEventKind {
+        ObsEventKind::Commit {
+            what,
+            batch: self.current_batch,
+        }
+    }
+
+    /// Stages one buffered report's fast-path transition into the shared
+    /// batch `action`. The control block is read *through the action* so
+    /// a transition staged by an earlier report in the same batch is
+    /// visible — duplicates and stale attempts are consumed exactly as
+    /// the one-event path would drop them.
+    fn stage_event(
+        &mut self,
+        action: &flowscript_tx::AtomicAction,
+        event: &PendingEvent,
+        plan: &Plan,
+        keys: &InstanceKeys,
+        task_id: TaskId,
+    ) -> Staging {
+        match event {
+            PendingEvent::Done(msg) => {
+                let cb = match self.mgr.read::<TaskCb>(action, keys.cb(task_id)) {
+                    Ok(Some(cb)) => cb,
+                    Ok(None) => return Staging::Consumed,
+                    Err(_) => return Staging::Error,
+                };
+                if !matches!(cb.state, CbState::Executing { .. })
+                    || cb.incarnation != msg.incarnation
+                    || cb.attempt != msg.attempt
+                {
+                    return Staging::Consumed;
+                }
+                let TaskResult::Output { name, objects, .. } = &msg.result else {
+                    return Staging::Slow; // error retry: per-event bookkeeping
+                };
+                let class = plan.class_of(plan.task(task_id));
+                let kind = match plan.class_output(class, name).map(|output| output.kind) {
+                    Some(kind @ (OutputKind::Outcome | OutputKind::AbortOutcome)) => kind,
+                    // Undeclared outputs, mark-as-completion and repeats
+                    // take their failure/retry paths post-commit.
+                    _ => return Staging::Slow,
+                };
+                let Some(out_key) = keys.out_key(plan, task_id, name) else {
+                    return Staging::Consumed;
+                };
+                let stamped: BTreeMap<String, ObjectVal> = objects
+                    .clone()
+                    .into_iter()
+                    .map(|(k, v)| (k, v.produced_by(msg.path.clone())))
+                    .collect();
+                let mut cb = cb;
+                cb.transition(if kind == OutputKind::Outcome {
+                    CbState::Done {
+                        outcome: name.clone(),
+                    }
+                } else {
+                    CbState::Aborted {
+                        outcome: name.clone(),
+                    }
+                });
+                let whole = self.config.whole_record_facts;
+                let write = self.mgr.write(action, keys.cb(task_id), &cb).and_then(|_| {
+                    facts::write_fact_map(&mut self.mgr, action, plan, out_key, &stamped, whole)
+                });
+                match write {
+                    Ok(()) => Staging::Staged(StagedEffect {
+                        instance: msg.instance.clone(),
+                        path: msg.path.clone(),
+                        attempt: msg.attempt,
+                        task_id,
+                        what: if kind == OutputKind::Outcome {
+                            format!("done `{name}`")
+                        } else {
+                            format!("aborted `{name}`")
+                        },
+                        is_mark: false,
+                    }),
+                    Err(_) => Staging::Error,
+                }
+            }
+            PendingEvent::Mark(msg) => {
+                let cb = match self.mgr.read::<TaskCb>(action, keys.cb(task_id)) {
+                    Ok(Some(cb)) => cb,
+                    Ok(None) => return Staging::Consumed,
+                    Err(_) => return Staging::Error,
+                };
+                if !matches!(cb.state, CbState::Executing { .. })
+                    || cb.incarnation != msg.incarnation
+                    || cb.attempt != msg.attempt
+                    || cb.mark_emitted(&msg.mark)
+                {
+                    return Staging::Consumed;
+                }
+                let class = plan.class_of(plan.task(task_id));
+                let declared = plan
+                    .class_output(class, &msg.mark)
+                    .is_some_and(|output| output.kind == OutputKind::Mark);
+                if !declared {
+                    return Staging::Consumed;
+                }
+                let Some(out_key) = keys.out_key(plan, task_id, &msg.mark) else {
+                    return Staging::Consumed;
+                };
+                let mut cb = cb;
+                cb.marks_emitted.push(msg.mark.clone());
+                let stamped: BTreeMap<String, ObjectVal> = msg
+                    .objects
+                    .clone()
+                    .into_iter()
+                    .map(|(k, v)| (k, v.produced_by(msg.path.clone())))
+                    .collect();
+                let whole = self.config.whole_record_facts;
+                let write = self.mgr.write(action, keys.cb(task_id), &cb).and_then(|_| {
+                    facts::write_fact_map(&mut self.mgr, action, plan, out_key, &stamped, whole)
+                });
+                match write {
+                    Ok(()) => Staging::Staged(StagedEffect {
+                        instance: msg.instance.clone(),
+                        path: msg.path.clone(),
+                        attempt: msg.attempt,
+                        task_id,
+                        what: format!("mark `{}`", msg.mark),
+                        is_mark: true,
+                    }),
+                    Err(_) => Staging::Error,
+                }
             }
         }
-        Ok(())
     }
 
     /// Drops persisted plan blobs (`sys/plan/…`) no instance references
@@ -962,6 +1219,8 @@ impl CoordHandle {
         output: &str,
         objects: BTreeMap<String, ObjectVal>,
     ) -> Result<(), EngineError> {
+        // Repair reads current state: absorb the batch window first.
+        self.flush_pending(world);
         {
             let mut coordinator = self.inner.borrow_mut();
             let Some(rt) = coordinator.instances.get(instance) else {
@@ -1069,14 +1328,22 @@ impl CoordHandle {
                     self.forward_oneway(world, owner, &done.instance, envelope);
                     return;
                 }
-                self.on_task_done(world, done);
+                if self.batching_enabled() {
+                    self.enqueue_event(world, PendingEvent::Done(done));
+                } else {
+                    self.on_task_done(world, done);
+                }
             }
             EngineMsg::Mark(mark) => {
                 if let Some(owner) = self.misdirected(&mark.instance) {
                     self.forward_oneway(world, owner, &mark.instance, envelope);
                     return;
                 }
-                self.on_mark(world, mark);
+                if self.batching_enabled() {
+                    self.enqueue_event(world, PendingEvent::Mark(mark));
+                } else {
+                    self.on_mark(world, mark);
+                }
             }
             EngineMsg::StartInstance {
                 instance,
@@ -1096,6 +1363,220 @@ impl CoordHandle {
             }
             _ => {}
         }
+    }
+
+    // -----------------------------------------------------------------
+    // The batch window: group commit over executor reports.
+    // -----------------------------------------------------------------
+
+    fn batching_enabled(&self) -> bool {
+        self.inner.borrow().config.commit_batch.enabled()
+    }
+
+    /// Buffers an executor report into the open batch window, flushing
+    /// when the window fills. The first report of a window arms a
+    /// one-shot timer so a lone report still commits within
+    /// `max_window` of sim time.
+    fn enqueue_event(&self, world: &mut World, event: PendingEvent) {
+        enum Next {
+            Flush,
+            Arm(NodeId, SimDuration),
+            Wait,
+        }
+        let next = {
+            let mut coordinator = self.inner.borrow_mut();
+            coordinator.pending.push(event);
+            if coordinator.pending.len() >= coordinator.config.commit_batch.max_events {
+                Next::Flush
+            } else if coordinator.window_armed {
+                Next::Wait
+            } else {
+                coordinator.window_armed = true;
+                Next::Arm(coordinator.node, coordinator.config.commit_batch.max_window)
+            }
+        };
+        match next {
+            Next::Flush => self.flush_batch(world),
+            Next::Arm(node, window) => {
+                let handle = self.clone();
+                world.schedule_node_after(node, window, move |world| {
+                    handle.on_batch_window(world);
+                });
+            }
+            Next::Wait => {}
+        }
+    }
+
+    /// The batch window elapsed: flush whatever accumulated. A window
+    /// whose reports were already flushed by the count trigger is a
+    /// no-op (the stale timer fires on an empty buffer).
+    fn on_batch_window(&self, world: &mut World) {
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            coordinator.window_armed = false;
+            if coordinator.pending.is_empty() {
+                return;
+            }
+        }
+        self.flush_batch(world);
+    }
+
+    /// Drains the batch window immediately, if it holds any reports.
+    /// Admin entry points (reconfiguration, operator abort, fact
+    /// repair) call this first so their reads and cascades see every
+    /// report that already arrived.
+    fn flush_pending(&self, world: &mut World) {
+        if self.inner.borrow().pending.is_empty() {
+            return;
+        }
+        self.flush_batch(world);
+    }
+
+    /// Commits every report buffered in the window as one batch: a
+    /// single atomic action over the union of touched control blocks
+    /// (locks taken in deterministic [`StoreKey`] order), a single WAL
+    /// group frame covering the batch *and* the readiness cascade it
+    /// triggers, and one consumer-seeded re-evaluation per touched
+    /// instance. Reports the shared action cannot absorb (error
+    /// retries, repeats, undeclared outputs) run through their
+    /// one-event handlers after the batch commits — still inside the
+    /// WAL group, serialized as if they had arrived just after it.
+    fn flush_batch(&self, world: &mut World) {
+        let events = std::mem::take(&mut self.inner.borrow_mut().pending);
+        if events.is_empty() {
+            return;
+        }
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            let id = coordinator.batch_seq;
+            coordinator.batch_seq += 1;
+            coordinator.current_batch = Some(id);
+            if coordinator.config.observe.metrics() {
+                coordinator.metrics.batch_size.record(events.len() as u64);
+            }
+            coordinator.mgr.begin_group();
+        }
+
+        // Per-event plan context, and the key union for the lock
+        // pre-pass.
+        type EventCtx = Option<(Rc<Plan>, Rc<InstanceKeys>, TaskId)>;
+        let mut contexts: Vec<EventCtx> = Vec::with_capacity(events.len());
+        let mut cb_keys: BTreeSet<StoreKey> = BTreeSet::new();
+        for event in &events {
+            let (instance, path) = match event {
+                PendingEvent::Done(msg) => (&msg.instance, &msg.path),
+                PendingEvent::Mark(msg) => (&msg.instance, &msg.path),
+            };
+            let ctx = self.instance_ctx(instance).and_then(|(plan, keys)| {
+                let task = plan.task_by_path(path)?;
+                Some((plan, keys, task))
+            });
+            if let Some((_, keys, task)) = &ctx {
+                cb_keys.insert(StoreKey::from(keys.cb(*task)));
+            }
+            contexts.push(ctx);
+        }
+
+        let mut staged: Vec<StagedEffect> = Vec::new();
+        let mut slow: BTreeSet<usize> = BTreeSet::new();
+        let committed = {
+            let mut coordinator = self.inner.borrow_mut();
+            let action = coordinator.mgr.begin();
+            // One ordered pass acquires every control-block lock before
+            // any transition stages.
+            let mut ok = cb_keys
+                .iter()
+                .all(|key| coordinator.mgr.read_key_raw(&action, key).is_ok());
+            if ok {
+                for (idx, (event, ctx)) in events.iter().zip(&contexts).enumerate() {
+                    let Some((plan, keys, task)) = ctx else {
+                        continue; // unknown instance or path: dropped, as ever
+                    };
+                    match coordinator.stage_event(&action, event, plan, keys, *task) {
+                        Staging::Staged(effect) => staged.push(effect),
+                        Staging::Consumed => {}
+                        Staging::Slow => {
+                            slow.insert(idx);
+                        }
+                        Staging::Error => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ok {
+                coordinator.commit(action).is_ok()
+            } else {
+                coordinator.mgr.abort(action);
+                false
+            }
+        };
+
+        if committed {
+            let now_ns = world.now().as_nanos();
+            let mut touched: Vec<(String, Vec<TaskId>)> = Vec::new();
+            {
+                let mut coordinator = self.inner.borrow_mut();
+                for effect in &staged {
+                    if effect.is_mark {
+                        coordinator.metrics.marks.inc();
+                    } else {
+                        coordinator.note_terminals(&effect.instance, 1);
+                    }
+                    let kind = coordinator.commit_event(effect.what.clone());
+                    coordinator.record_event(
+                        now_ns,
+                        &effect.instance,
+                        Some(&effect.path),
+                        effect.attempt,
+                        kind,
+                    );
+                    match touched
+                        .iter_mut()
+                        .find(|(name, _)| name == &effect.instance)
+                    {
+                        Some((_, tasks)) => tasks.push(effect.task_id),
+                        None => touched.push((effect.instance.clone(), vec![effect.task_id])),
+                    }
+                }
+            }
+            // Completed dispatches release their watchdogs and load
+            // *before* the cascade dispatches anything new.
+            for effect in &staged {
+                if !effect.is_mark {
+                    let _ = self.clear_watch(world, &effect.instance, &effect.path);
+                }
+            }
+            // One readiness pass per touched instance, seeded from the
+            // union of its completions (first-touch arrival order).
+            for (instance, tasks) in &touched {
+                self.evaluate_from(world, instance, tasks);
+            }
+        } else {
+            // The shared action rolled back, so committed state is
+            // untouched: replay the whole window through the one-event
+            // pipeline instead.
+            slow = (0..events.len()).collect();
+        }
+
+        // The leftovers run inside the same WAL group, as if they had
+        // arrived right after the batch.
+        for (idx, event) in events.into_iter().enumerate() {
+            if slow.contains(&idx) {
+                match event {
+                    PendingEvent::Done(msg) => self.on_task_done(world, msg),
+                    PendingEvent::Mark(msg) => self.on_mark(world, msg),
+                }
+            }
+        }
+
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            let _ = coordinator.mgr.end_group();
+            coordinator.current_batch = None;
+        }
+        let _ = self.inner.borrow_mut().maybe_checkpoint();
     }
 
     // -----------------------------------------------------------------
@@ -1551,6 +2032,38 @@ impl CoordHandle {
     /// deepest-first. Each progress step commits one atomic action and
     /// seeds the consumers of whatever it published.
     fn drain(
+        &self,
+        world: &mut World,
+        instance: &str,
+        plan: &Rc<Plan>,
+        keys: &Rc<InstanceKeys>,
+        worklist: Worklist,
+    ) {
+        // Under batching, the whole drain commits as one WAL group:
+        // every action the cascade below commits buffers into a single
+        // frame flushed at the outermost `end_group` (nested drains —
+        // e.g. a fail_task inside a scope cascade — fold into the
+        // enclosing group via the depth counter). The unbatched arm
+        // takes today's one-frame-per-commit path untouched.
+        let group = {
+            let mut coordinator = self.inner.borrow_mut();
+            let group = coordinator.config.commit_batch.enabled();
+            if group {
+                coordinator.mgr.begin_group();
+            }
+            group
+        };
+        self.drain_inner(world, instance, plan, keys, worklist);
+        if group {
+            let mut coordinator = self.inner.borrow_mut();
+            // Flush failures surface on the next commit's storage ops;
+            // the drain itself has no error channel.
+            let _ = coordinator.mgr.end_group();
+        }
+        let _ = self.inner.borrow_mut().maybe_checkpoint();
+    }
+
+    fn drain_inner(
         &self,
         world: &mut World,
         instance: &str,
@@ -2142,7 +2655,7 @@ impl CoordHandle {
                                     &msg.instance,
                                     Some(&msg.path),
                                     msg.attempt,
-                                    ObsEventKind::Commit { what },
+                                    coordinator.commit_event(what),
                                 );
                             }
                             self.evaluate_from(world, &msg.instance, &[task_id]);
@@ -2214,9 +2727,7 @@ impl CoordHandle {
                         &msg.instance,
                         Some(&msg.path),
                         msg.attempt,
-                        ObsEventKind::Commit {
-                            what: format!("repeat `{name}`"),
-                        },
+                        coordinator.commit_event(format!("repeat `{name}`")),
                     );
                     if over {
                         coordinator.note_terminals(&msg.instance, 1);
@@ -2337,9 +2848,7 @@ impl CoordHandle {
                             &msg.instance,
                             Some(&msg.path),
                             msg.attempt,
-                            ObsEventKind::Commit {
-                                what: format!("mark `{}`", msg.mark),
-                            },
+                            coordinator.commit_event(format!("mark `{}`", msg.mark)),
                         );
                     }
                     ok
@@ -2363,6 +2872,24 @@ impl CoordHandle {
         incarnation: u32,
         attempt: u32,
     ) {
+        // The completion may already be sitting in the batch window:
+        // its transition just hasn't committed yet, and the watchdog
+        // must not turn a report-in-flight into a spurious retry.
+        {
+            let coordinator = self.inner.borrow();
+            let buffered = coordinator.pending.iter().any(|event| match event {
+                PendingEvent::Done(msg) => {
+                    msg.instance == instance
+                        && msg.path == path
+                        && msg.incarnation == incarnation
+                        && msg.attempt == attempt
+                }
+                PendingEvent::Mark(_) => false,
+            });
+            if buffered {
+                return;
+            }
+        }
         let Some(cb) = self.inner.borrow().read_cb(instance, path) else {
             return;
         };
@@ -2533,9 +3060,7 @@ impl CoordHandle {
                         instance,
                         Some(path),
                         cb.attempt,
-                        ObsEventKind::Commit {
-                            what: format!("failed: {reason}"),
-                        },
+                        coordinator.commit_event(format!("failed: {reason}")),
                     );
                     coordinator.note_terminals(instance, 1);
                 }
@@ -2622,9 +3147,7 @@ impl CoordHandle {
             instance,
             Some(scope_path),
             cb.attempt,
-            ObsEventKind::Commit {
-                what: format!("mark `{mark}`"),
-            },
+            coordinator.commit_event(format!("mark `{mark}`")),
         );
         Ok(())
     }
@@ -2713,9 +3236,7 @@ impl CoordHandle {
                             outcome: format!("{verb} `{outcome_name}`"),
                         }
                     } else {
-                        ObsEventKind::Commit {
-                            what: format!("{verb} `{outcome_name}`"),
-                        }
+                        coordinator.commit_event(format!("{verb} `{outcome_name}`"))
                     };
                     coordinator.record_event(
                         world.now().as_nanos(),
@@ -2781,9 +3302,7 @@ impl CoordHandle {
                             instance,
                             Some(scope_path),
                             cb.attempt,
-                            ObsEventKind::Commit {
-                                what: format!("repeat `{outcome_name}`"),
-                            },
+                            coordinator.commit_event(format!("repeat `{outcome_name}`")),
                         );
                         coordinator.note_terminals(instance, 1);
                     }
@@ -2885,9 +3404,7 @@ impl CoordHandle {
                             instance,
                             Some(scope_path),
                             cb.attempt,
-                            ObsEventKind::Commit {
-                                what: format!("repeat `{outcome_name}`"),
-                            },
+                            coordinator.commit_event(format!("repeat `{outcome_name}`")),
                         );
                         coordinator.note_revived(instance, revived);
                     }
@@ -3104,6 +3621,9 @@ impl CoordHandle {
         instance: &str,
         op: Reconfig,
     ) -> Result<(), EngineError> {
+        // Reconfiguration rebuilds the plan and rebinding state from
+        // committed truth: absorb the batch window first.
+        self.flush_pending(world);
         {
             let mut coordinator = self.inner.borrow_mut();
             let Some(mut meta) = coordinator.read_meta(instance) else {
@@ -3241,6 +3761,9 @@ impl CoordHandle {
         path: &str,
         outcome: &str,
     ) -> Result<(), EngineError> {
+        // The operator decision is against current state: absorb the
+        // batch window first.
+        self.flush_pending(world);
         let task_id = {
             let mut coordinator = self.inner.borrow_mut();
             let Some(rt) = coordinator.instances.get(instance) else {
@@ -3323,6 +3846,13 @@ impl CoordHandle {
             };
             coordinator.mgr = mgr;
             coordinator.instances.clear();
+            // The batch window died with the process: unflushed reports
+            // are lost as a unit (executors re-report via watchdog
+            // retries), and the reopened manager starts outside any
+            // group.
+            coordinator.pending.clear();
+            coordinator.window_armed = false;
+            coordinator.current_batch = None;
             // The in-flight view died with the process; re-dispatches
             // below rebuild it.
             coordinator.sched.reset_loads();
@@ -3469,7 +3999,7 @@ impl CoordHandle {
 /// Counts an instance's non-terminal control blocks in committed state
 /// (point reads over the plan's dense ids — no store scan). Seeds and
 /// cross-checks the incrementally maintained `InstanceRt::nonterminal`.
-fn count_nonterminal(mgr: &TxManager<SharedStorage>, plan: &Plan, keys: &InstanceKeys) -> usize {
+fn count_nonterminal(mgr: &TxManager<StableStore>, plan: &Plan, keys: &InstanceKeys) -> usize {
     (0..plan.tasks.len() as TaskId)
         .filter(|&id| {
             mgr.read_committed::<TaskCb>(keys.cb(id))
@@ -3484,7 +4014,7 @@ fn count_nonterminal(mgr: &TxManager<SharedStorage>, plan: &Plan, keys: &Instanc
 /// the plan's contiguous subtree range, through the interned cb uids.
 /// Returns how many blocks it cancelled.
 fn cancel_descendants(
-    mgr: &mut TxManager<SharedStorage>,
+    mgr: &mut TxManager<StableStore>,
     action: &flowscript_tx::AtomicAction,
     keys: &InstanceKeys,
     plan: &Plan,
@@ -3510,7 +4040,7 @@ fn cancel_descendants(
 /// caller.) Returns how many previously *terminal* blocks the reset
 /// revived to `Waiting`.
 fn reset_descendants(
-    mgr: &mut TxManager<SharedStorage>,
+    mgr: &mut TxManager<StableStore>,
     action: &flowscript_tx::AtomicAction,
     keys: &InstanceKeys,
     plan: &Plan,

@@ -32,7 +32,9 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use flowscript_plan::{eval as plan_eval, Plan, Probe, Range32, StrId};
-use flowscript_tx::{AtomicAction, FactKey, FactKind, SharedStorage, StoreKey, TxError, TxManager};
+use flowscript_tx::{
+    AtomicAction, FactKey, FactKind, SharedStorage, Storage, StoreKey, TxError, TxManager,
+};
 
 use crate::keys::InstanceKeys;
 use crate::value::ObjectVal;
@@ -46,20 +48,16 @@ use crate::value::ObjectVal;
 /// latched and surfaced to the caller via [`StoreFacts::take_fault`] —
 /// the coordinator's drain checks it after every evaluation and fails
 /// the instance diagnosably.
-pub struct StoreFacts<'a> {
-    mgr: &'a TxManager<SharedStorage>,
+pub struct StoreFacts<'a, S: Storage = SharedStorage> {
+    mgr: &'a TxManager<S>,
     keys: &'a InstanceKeys,
     whole_record: bool,
     fault: RefCell<Option<String>>,
 }
 
-impl<'a> StoreFacts<'a> {
+impl<'a, S: Storage> StoreFacts<'a, S> {
     /// A fact view over `mgr` resolving probes through `keys`.
-    pub fn new(
-        mgr: &'a TxManager<SharedStorage>,
-        keys: &'a InstanceKeys,
-        whole_record: bool,
-    ) -> Self {
+    pub fn new(mgr: &'a TxManager<S>, keys: &'a InstanceKeys, whole_record: bool) -> Self {
         Self {
             mgr,
             keys,
@@ -89,7 +87,7 @@ impl<'a> StoreFacts<'a> {
     }
 }
 
-impl plan_eval::PlanFacts for StoreFacts<'_> {
+impl<S: Storage> plan_eval::PlanFacts for StoreFacts<'_, S> {
     type Value = ObjectVal;
 
     fn fact_object(&self, probe: Probe<'_>, object: &str) -> Option<ObjectVal> {
@@ -146,8 +144,8 @@ pub fn bound_map(plan: &Plan, bound: &[(StrId, ObjectVal)]) -> BTreeMap<String, 
 /// # Errors
 ///
 /// Lock conflicts or storage failures.
-pub fn write_fact_map(
-    mgr: &mut TxManager<SharedStorage>,
+pub fn write_fact_map<S: Storage>(
+    mgr: &mut TxManager<S>,
     action: &AtomicAction,
     plan: &Plan,
     base: FactKey,
@@ -199,8 +197,8 @@ pub fn write_fact_map(
 /// Lock conflicts or storage failures.
 ///
 /// [`PlanSlot::obj_ordinal`]: flowscript_plan::PlanSlot::obj_ordinal
-pub fn write_fact_bound(
-    mgr: &mut TxManager<SharedStorage>,
+pub fn write_fact_bound<S: Storage>(
+    mgr: &mut TxManager<S>,
     action: &AtomicAction,
     plan: &Plan,
     base: FactKey,
@@ -258,8 +256,8 @@ pub fn write_fact_bound(
 /// # Errors
 ///
 /// Decode failures (corrupt storage).
-pub fn read_fact_map(
-    mgr: &TxManager<SharedStorage>,
+pub fn read_fact_map<S: Storage>(
+    mgr: &TxManager<S>,
     plan: &Plan,
     base: FactKey,
     whole_record: bool,
@@ -352,8 +350,8 @@ type FactMove = (Vec<FactKey>, Option<(FactKey, BTreeMap<String, ObjectVal>)>);
 /// # Errors
 ///
 /// Lock conflicts, storage failures, or corrupt records.
-pub fn remap_instance_facts(
-    mgr: &mut TxManager<SharedStorage>,
+pub fn remap_instance_facts<S: Storage>(
+    mgr: &mut TxManager<S>,
     action: &AtomicAction,
     old_plan: &Plan,
     old_keys: &InstanceKeys,

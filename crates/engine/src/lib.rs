@@ -77,12 +77,15 @@ pub mod state;
 mod value;
 
 pub use api::{SystemBuilder, WorkflowSystem};
-pub use coordinator::{CoordStats, DispatchRecord, EngineConfig, InstanceStatus, Outcome};
+pub use coordinator::{
+    CommitBatch, CoordStats, DispatchRecord, EngineConfig, InstanceStatus, Outcome,
+};
 pub use error::EngineError;
 pub use facts::StoreFacts;
 pub use flowscript_obs::{
     FlightRecorder, ObsEvent, ObsEventKind, ObserveLevel, Registry, Snapshot,
 };
+pub use flowscript_tx::{SharedFileStorage, SharedStorage, StableStore};
 pub use impl_registry::{
     Completion, ImplRegistry, InvokeCtx, MarkEmission, TaskBehavior, TaskImpl,
 };

@@ -1,0 +1,610 @@
+//! Group-commit batching must be **behaviour-preserving and
+//! observable**: for the fig. 7 (order processing) and fig. 8 (business
+//! trip) workloads across shard counts, per-instance outcomes, dispatch
+//! traces and task states must be byte-identical between the batched
+//! (default) and unbatched (`CommitBatch::disabled`, today's
+//! one-frame-per-commit) arms; randomized scripts must agree too; the
+//! batch metrics (`coord.batch_size`, `wal.bytes_per_frame`,
+//! `tx.group_commits`) must flow through the registry and exports;
+//! `Commit` trace events must carry the batch id; and a coordinator
+//! crash in the middle of an open batch window must lose the unflushed
+//! window **as a unit** — no partial batch ever visible — while
+//! committed group frames replay fully.
+
+use std::collections::BTreeMap;
+
+use flowscript_core::samples;
+use flowscript_engine::coordinator::EngineConfig;
+use flowscript_engine::{
+    CbState, CommitBatch, InstanceStatus, ObjectVal, ObsEventKind, ObserveLevel, TaskBehavior,
+    WorkflowSystem,
+};
+use flowscript_sim::net::LinkConfig;
+use flowscript_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A fully deterministic link: batched-vs-unbatched comparisons must
+/// not depend on shared-RNG jitter draws, only on the pipeline.
+fn det_link() -> LinkConfig {
+    LinkConfig {
+        base_latency: SimDuration::from_micros(200),
+        jitter: SimDuration::ZERO,
+        drop_prob: 0.0,
+    }
+}
+
+fn arm_config(batch: CommitBatch) -> EngineConfig {
+    EngineConfig {
+        dispatch_timeout: SimDuration::from_millis(400),
+        retry_backoff: SimDuration::from_millis(20),
+        record_dispatches: true,
+        observe: ObserveLevel::Metrics,
+        commit_batch: batch,
+        ..EngineConfig::default()
+    }
+}
+
+fn text(class: &str, value: &str) -> ObjectVal {
+    ObjectVal::text(class, value)
+}
+
+/// Fig. 7 bindings (pure functions of the invocation).
+fn bind_order(sys: &WorkflowSystem) {
+    sys.bind_fn("refPaymentAuthorisation", |_| {
+        TaskBehavior::outcome("authorised")
+            .with_work(SimDuration::from_millis(30))
+            .with_object("paymentInfo", ObjectVal::text("PaymentInfo", "p"))
+    });
+    sys.bind_fn("refCheckStock", |_| {
+        TaskBehavior::outcome("stockAvailable")
+            .with_work(SimDuration::from_millis(45))
+            .with_object("stockInfo", ObjectVal::text("StockInfo", "s"))
+    });
+    sys.bind_fn("refDispatch", |_| {
+        TaskBehavior::outcome("dispatchCompleted")
+            .with_work(SimDuration::from_millis(25))
+            .with_object("dispatchNote", ObjectVal::text("DispatchNote", "n"))
+    });
+    sys.bind_fn("refPaymentCapture", |_| TaskBehavior::outcome("done"));
+}
+
+/// Fig. 8 bindings; a `retry` marker in the instance's `user` input
+/// makes the hotel fail in incarnation 0, driving the Fig. 8
+/// compensate-and-repeat loop exactly once for that instance.
+fn bind_trip(sys: &WorkflowSystem) {
+    sys.bind_fn("refDataAcquisition", |ctx| {
+        TaskBehavior::outcome("acquired").with_object(
+            "tripData",
+            ObjectVal::text("TripData", ctx.input_text("user")),
+        )
+    });
+    sys.bind_fn("refAirlineQueryA", |_| {
+        TaskBehavior::outcome("notFound").with_work(SimDuration::from_millis(5))
+    });
+    sys.bind_fn("refAirlineQueryB", |ctx| {
+        TaskBehavior::outcome("found")
+            .with_work(SimDuration::from_millis(12))
+            .with_object(
+                "flightList",
+                ObjectVal::text("FlightList", ctx.input_text("tripData")),
+            )
+    });
+    sys.bind_fn("refAirlineQueryC", |ctx| {
+        TaskBehavior::outcome("found")
+            .with_work(SimDuration::from_millis(30))
+            .with_object(
+                "flightList",
+                ObjectVal::text("FlightList", ctx.input_text("tripData")),
+            )
+    });
+    sys.bind_fn("refFlightReservation", |ctx| {
+        TaskBehavior::outcome("reserved")
+            .with_object(
+                "plane",
+                ObjectVal::text("Plane", ctx.input_text("flightList")),
+            )
+            .with_object("cost", ObjectVal::text("Cost", "c"))
+    });
+    sys.bind_fn("refHotelReservation", |ctx| {
+        let wants_retry = ctx.input_text("plane").contains("retry");
+        if wants_retry && ctx.incarnation == 0 {
+            TaskBehavior::outcome("failed")
+        } else {
+            TaskBehavior::outcome("hotelBooked").with_object("hotel", ObjectVal::text("Hotel", "h"))
+        }
+    });
+    sys.bind_fn("refFlightCancellation", |_| {
+        TaskBehavior::outcome("cancelled")
+    });
+    sys.bind_fn("refPrintTickets", |_| {
+        TaskBehavior::outcome("printed").with_object("tickets", ObjectVal::text("Tickets", "tk"))
+    });
+}
+
+fn build(coordinators: usize, config: EngineConfig) -> WorkflowSystem {
+    let mut sys = WorkflowSystem::builder()
+        .executors(3)
+        .coordinators(coordinators)
+        .seed(7)
+        .link(det_link())
+        .config(config)
+        .build();
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
+    sys.register_script("trip", samples::BUSINESS_TRIP, "tripReservation")
+        .unwrap();
+    bind_order(&sys);
+    bind_trip(&sys);
+    sys
+}
+
+/// `(name, script)` for a mixed fig. 7 / fig. 8 population, including
+/// one fig. 8 instance that takes the compensate-and-repeat loop.
+fn population() -> Vec<(String, &'static str)> {
+    let mut all = Vec::new();
+    for i in 0..8 {
+        all.push((format!("order-{i}"), "order"));
+    }
+    for i in 0..3 {
+        all.push((format!("trip-{i}"), "trip"));
+    }
+    all.push(("trip-retry-x".to_string(), "trip"));
+    all
+}
+
+fn start_population(sys: &mut WorkflowSystem) {
+    for (name, script) in population() {
+        match script {
+            "order" => sys
+                .start(&name, "order", "main", [("order", text("Order", &name))])
+                .unwrap(),
+            _ => sys
+                .start(&name, "trip", "main", [("user", text("User", &name))])
+                .unwrap(),
+        }
+    }
+}
+
+/// Per-instance fingerprint: encoded terminal status bytes, the ordered
+/// dispatch trace, and every task state.
+type Fingerprint = (Vec<u8>, Vec<(String, u32)>, BTreeMap<String, CbState>);
+
+fn fingerprint(sys: &WorkflowSystem, instance: &str) -> Fingerprint {
+    let status = sys.status(instance).expect("instance known");
+    assert!(status.is_terminal(), "{instance} not terminal: {status:?}");
+    let status_bytes = flowscript_codec::to_bytes(&status);
+    let trace = sys
+        .dispatch_trace_of(instance)
+        .into_iter()
+        .map(|d| (d.path, d.attempt))
+        .collect();
+    (status_bytes, trace, sys.task_states(instance))
+}
+
+fn run_arm(coordinators: usize, batch: CommitBatch) -> BTreeMap<String, Fingerprint> {
+    let mut sys = build(coordinators, arm_config(batch));
+    start_population(&mut sys);
+    sys.run();
+    population()
+        .into_iter()
+        .map(|(name, _)| {
+            let print = fingerprint(&sys, &name);
+            (name, print)
+        })
+        .collect()
+}
+
+#[test]
+fn batched_matches_unbatched_on_fig7_fig8_across_shards() {
+    for coordinators in [1usize, 4] {
+        let unbatched = run_arm(coordinators, CommitBatch::disabled());
+        let batched = run_arm(coordinators, CommitBatch::default());
+        // Sanity: the baseline actually ran everything.
+        for (name, (status_bytes, trace, _)) in &unbatched {
+            assert!(!trace.is_empty(), "{name} never dispatched");
+            assert!(!status_bytes.is_empty());
+        }
+        assert_eq!(
+            unbatched, batched,
+            "batched arm diverged at {coordinators} shard(s)"
+        );
+    }
+}
+
+#[test]
+fn batch_metrics_flow_through_registry_and_exports() {
+    let mut sys = build(1, arm_config(CommitBatch::default()));
+    start_population(&mut sys);
+    sys.run();
+    let snapshot = sys.metrics_snapshot();
+    assert!(
+        snapshot.counter("tx.group_commits") > 0,
+        "multi-record WAL group frames must have been written"
+    );
+    let batch_size = snapshot
+        .histogram("coord.batch_size")
+        .expect("batch-size histogram present");
+    assert!(batch_size.count > 0, "flushes must sample their size");
+    assert!(
+        batch_size.max > 1,
+        "concurrent completions must have coalesced into one flush"
+    );
+    let frame_bytes = snapshot
+        .histogram("wal.bytes_per_frame")
+        .expect("frame-size histogram present");
+    assert!(frame_bytes.count > 0, "appends must sample frame sizes");
+    // Export formats carry the new series.
+    let json = snapshot.to_json();
+    assert!(json.contains("\"coord.batch_size\""));
+    assert!(json.contains("\"tx.group_commits\""));
+    let csv = snapshot.to_csv();
+    assert!(csv.contains("tx.group_commits,counter"));
+    assert!(csv.contains("coord.batch_size,histogram"));
+}
+
+#[test]
+fn unbatched_arm_writes_no_group_frames() {
+    let mut sys = build(1, arm_config(CommitBatch::disabled()));
+    start_population(&mut sys);
+    sys.run();
+    let snapshot = sys.metrics_snapshot();
+    assert_eq!(
+        snapshot.counter("tx.group_commits"),
+        0,
+        "the baseline arm must reproduce one-frame-per-commit exactly"
+    );
+    assert_eq!(
+        snapshot
+            .histogram("coord.batch_size")
+            .map(|h| h.count)
+            .unwrap_or(0),
+        0,
+        "no batch ever forms with batching off"
+    );
+}
+
+#[test]
+fn commit_trace_events_carry_batch_ids() {
+    let run = |batch: CommitBatch| -> Vec<Option<u64>> {
+        let mut config = arm_config(batch);
+        config.observe = ObserveLevel::Trace;
+        let mut sys = build(1, config);
+        start_population(&mut sys);
+        sys.run();
+        population()
+            .into_iter()
+            .flat_map(|(name, _)| sys.trace(&name))
+            .filter_map(|event| match event.kind {
+                ObsEventKind::Commit { batch, .. } => Some(batch),
+                _ => None,
+            })
+            .collect()
+    };
+    let batched = run(CommitBatch::default());
+    assert!(!batched.is_empty(), "commits must be traced");
+    assert!(
+        batched.iter().any(|batch| batch.is_some()),
+        "batched commits must be stamped with their flush's id"
+    );
+    let stamped: Vec<u64> = batched.into_iter().flatten().collect();
+    assert!(
+        stamped.windows(2).any(|w| w[0] == w[1]),
+        "some batch id must cover more than one commit (coalescing visible in traces)"
+    );
+    let unbatched = run(CommitBatch::disabled());
+    assert!(!unbatched.is_empty(), "commits must be traced");
+    assert!(
+        unbatched.iter().all(|batch| batch.is_none()),
+        "the baseline arm has no batches to stamp"
+    );
+}
+
+#[test]
+fn crash_mid_window_loses_the_batch_as_a_unit_and_recovers() {
+    // A huge window so reports sit buffered: the first fig. 7
+    // completion lands at ~30 ms and would not flush until ~5 s.
+    let window = CommitBatch {
+        max_events: 10_000,
+        max_window: SimDuration::from_secs(5),
+    };
+    let mut sys = build(1, arm_config(window));
+    sys.start(
+        "crash-order",
+        "order",
+        "main",
+        [("order", text("Order", "crash-order"))],
+    )
+    .unwrap();
+    // Pause mid-window: completions have reported, nothing flushed.
+    sys.run_until(SimTime::from_nanos(200 * 1_000_000));
+    let states = sys.task_states("crash-order");
+    assert!(
+        !states.is_empty(),
+        "dispatch commits (outside the window) must be durable"
+    );
+    assert!(
+        states
+            .values()
+            .all(|state| !matches!(state, CbState::Done { .. } | CbState::Aborted { .. })),
+        "no buffered report may be partially applied before its batch commits: {states:?}"
+    );
+    // The coordinator dies with the window open: the unflushed reports
+    // vanish as a unit, committed frames replay fully.
+    let coordinator = sys.coordinator_node();
+    sys.crash_now(coordinator);
+    sys.restart_now(coordinator);
+    sys.run();
+    let status = sys.status("crash-order").expect("instance recovered");
+    assert!(
+        matches!(status, InstanceStatus::Completed(_)),
+        "recovery must re-dispatch and complete: {status:?}"
+    );
+    // The crashed-and-recovered run converges to the same terminal task
+    // states as an undisturbed unbatched run.
+    let mut clean = build(1, arm_config(CommitBatch::disabled()));
+    clean
+        .start(
+            "crash-order",
+            "order",
+            "main",
+            [("order", text("Order", "crash-order"))],
+        )
+        .unwrap();
+    clean.run();
+    assert_eq!(
+        sys.task_states("crash-order"),
+        clean.task_states("crash-order"),
+        "exactly-once outcome application across the crash"
+    );
+}
+
+#[test]
+fn durable_file_wal_survives_crash_and_replays_group_frames() {
+    // Same crash-and-recover contract, but on the file-backed stable
+    // store: every flushed frame is an fdatasync'ed write to
+    // `shard0.wal`, and recovery replays the on-disk log.
+    let dir = std::env::temp_dir().join(format!("fs-batch-durable-{}", std::process::id()));
+    let mut sys = WorkflowSystem::builder()
+        .executors(3)
+        .coordinators(1)
+        .seed(7)
+        .link(det_link())
+        .config(arm_config(CommitBatch::default()))
+        .wal_dir(&dir)
+        .build();
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
+    bind_order(&sys);
+    sys.start(
+        "durable-order",
+        "order",
+        "main",
+        [("order", text("Order", "durable-order"))],
+    )
+    .unwrap();
+    // Crash mid-run: dispatches and early completions are on disk,
+    // whatever sat in an open batch window is lost as a unit.
+    sys.run_until(SimTime::from_nanos(60 * 1_000_000));
+    let coordinator = sys.coordinator_node();
+    sys.crash_now(coordinator);
+    sys.restart_now(coordinator);
+    sys.run();
+    let status = sys.status("durable-order").expect("instance recovered");
+    assert!(
+        matches!(status, InstanceStatus::Completed(_)),
+        "recovery over the file log must re-dispatch and complete: {status:?}"
+    );
+    let wal = std::fs::metadata(dir.join("shard0.wal")).expect("shard log exists on disk");
+    assert!(wal.len() > 0, "synced frames must be on disk");
+    // Converges to the same terminal states as an undisturbed
+    // in-memory unbatched run.
+    let mut clean = build(1, arm_config(CommitBatch::disabled()));
+    clean
+        .start(
+            "durable-order",
+            "order",
+            "main",
+            [("order", text("Order", "durable-order"))],
+        )
+        .unwrap();
+    clean.run();
+    assert_eq!(
+        sys.task_states("durable-order"),
+        clean.task_states("durable-order"),
+        "file-backed recovery must agree with the in-memory baseline"
+    );
+    drop(sys);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Randomized equivalence: batched vs unbatched on generated scripts.
+// ---------------------------------------------------------------------
+
+/// Per-stage behaviour parameters, derived from the case seed.
+#[derive(Debug, Clone, Copy)]
+struct StageParams {
+    repeats: u32,
+    any_of: bool,
+    alt: bool,
+    abort: bool,
+}
+
+fn stage_params(seed: u64, i: usize) -> StageParams {
+    let bits = seed >> ((i * 6) % 58);
+    StageParams {
+        repeats: (bits & 0b11) as u32 % 3,
+        any_of: bits & 0b100 != 0,
+        alt: bits & 0b1000 != 0,
+        abort: bits & 0b11_0000 == 0b11_0000,
+    }
+}
+
+/// A chain of `n` stages plus a nested compound, all feeding the root's
+/// `done` notification (the worklist-equivalence proptest's shape).
+fn generated_script(n: usize, seed: u64) -> String {
+    let mut source = String::from(
+        r#"class Data;
+taskclass Stage {
+    inputs { input main { in of class Data } };
+    outputs {
+        outcome done { out of class Data };
+        outcome alt { out of class Data };
+        abort outcome failed { };
+        repeat outcome again { p of class Data }
+    }
+}
+taskclass Inner {
+    inputs { input main { in of class Data } };
+    outputs { outcome done { out of class Data } }
+}
+taskclass Root {
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { } }
+}
+compoundtask root of taskclass Root {
+"#,
+    );
+    for i in 0..n {
+        let from = if i == 0 {
+            "inputobject in from { seed of task root if input main }".to_string()
+        } else if stage_params(seed, i).any_of {
+            format!(
+                "inputobject in from {{ out of task t{prev}; seed of task root if input main }}",
+                prev = i - 1
+            )
+        } else {
+            format!(
+                "inputobject in from {{ out of task t{prev} if output done; seed of task root if input main }}",
+                prev = i - 1
+            )
+        };
+        source.push_str(&format!(
+            "    task t{i} of taskclass Stage {{\n        implementation {{ \"code\" is \"ref{i}\" }};\n        inputs {{ input main {{ {from} }} }}\n    }};\n"
+        ));
+    }
+    source.push_str(&format!(
+        r#"    compoundtask comp of taskclass Inner {{
+        inputs {{ input main {{ inputobject in from {{ seed of task root if input main }} }} }};
+        task inner of taskclass Inner {{
+            implementation {{ "code" is "refInner" }};
+            inputs {{ input main {{ inputobject in from {{ in of task comp if input main }} }} }}
+        }};
+        outputs {{
+            outcome done {{ outputobject out from {{ out of task inner if output done }} }}
+        }}
+    }};
+    outputs {{ outcome done {{ notification from {{ task t{last} if output done }}; notification from {{ task comp if output done }} }} }}
+}}
+"#,
+        last = n - 1
+    ));
+    source
+}
+
+fn bind_stages(sys: &WorkflowSystem, n: usize, seed: u64) {
+    for i in 0..n {
+        let params = stage_params(seed, i);
+        sys.bind_fn(&format!("ref{i}"), move |ctx| {
+            if ctx.attempt < params.repeats {
+                TaskBehavior::outcome("again")
+                    .with_object("p", ObjectVal::text("Data", ctx.attempt.to_string()))
+                    .with_redo_after(SimDuration::from_millis(20))
+            } else if params.abort {
+                TaskBehavior::outcome("failed")
+            } else if params.alt {
+                TaskBehavior::outcome("alt").with_object("out", ObjectVal::text("Data", "alt"))
+            } else {
+                TaskBehavior::outcome("done").with_object("out", ObjectVal::text("Data", "done"))
+            }
+        });
+    }
+    sys.bind_fn("refInner", |ctx| {
+        TaskBehavior::outcome("done")
+            .with_object("out", ObjectVal::text("Data", ctx.input_text("in")))
+    });
+}
+
+type GenFingerprint = (
+    InstanceStatus,
+    Vec<(String, u32)>,
+    BTreeMap<String, CbState>,
+);
+
+fn run_generated(
+    coordinators: usize,
+    n: usize,
+    seed: u64,
+    script: &str,
+    names: &[String],
+    batch: CommitBatch,
+) -> BTreeMap<String, GenFingerprint> {
+    let config = EngineConfig {
+        dispatch_timeout: SimDuration::from_millis(500),
+        retry_backoff: SimDuration::from_millis(10),
+        record_dispatches: true,
+        commit_batch: batch,
+        ..Default::default()
+    };
+    let mut sys = WorkflowSystem::builder()
+        .executors(3)
+        .coordinators(coordinators)
+        .seed(42)
+        .link(det_link())
+        .config(config)
+        .build();
+    sys.register_script("g", script, "root")
+        .expect("generated script compiles");
+    bind_stages(&sys, n, seed);
+    for name in names {
+        sys.start(name, "g", "main", [("seed", ObjectVal::text("Data", "s"))])
+            .expect("instance starts");
+    }
+    sys.run();
+    names
+        .iter()
+        .map(|name| {
+            let status = sys.status(name).expect("instance known");
+            let trace = sys
+                .dispatch_trace_of(name)
+                .into_iter()
+                .map(|d| (d.path, d.attempt))
+                .collect();
+            (name.clone(), (status, trace, sys.task_states(name)))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn batched_matches_unbatched_on_generated_scripts(
+        k in 1usize..5,
+        n in 1usize..4,
+        seed in any::<u64>(),
+        salts in proptest::collection::vec(any::<u64>(), 2..6),
+    ) {
+        let script = generated_script(n, seed);
+        let names: Vec<String> = salts
+            .iter()
+            .enumerate()
+            .map(|(i, salt)| format!("wf{i}-{salt:016x}"))
+            .collect();
+        let unbatched = run_generated(k, n, seed, &script, &names, CommitBatch::disabled());
+        let batched = run_generated(k, n, seed, &script, &names, CommitBatch::default());
+        prop_assert_eq!(&unbatched, &batched, "k={} n={} seed={}", k, n, seed);
+        for (name, (status, trace, _)) in &unbatched {
+            prop_assert!(status.is_terminal(), "{}: {:?}", name, status);
+            prop_assert!(!trace.is_empty(), "{} never dispatched", name);
+        }
+    }
+}

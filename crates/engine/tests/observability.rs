@@ -702,7 +702,7 @@ compoundtask root of taskclass Root {
     assert!(
         events[forward_at + 1..].iter().any(|e| {
             e.shard == owner_node
-                && matches!(&e.kind, ObsEventKind::Commit { what } if what.contains("mark"))
+                && matches!(&e.kind, ObsEventKind::Commit { what, .. } if what.contains("mark"))
         }),
         "the owner commits the forwarded mark after the relay event"
     );

@@ -549,6 +549,9 @@ pub enum ObsEventKind {
     Commit {
         /// Short description of the committed change.
         what: String,
+        /// Batch id when this commit coalesced into a group-commit
+        /// window; `None` for a stand-alone commit.
+        batch: Option<u64>,
     },
     /// A task was dispatched to `executor`.
     Dispatch {
@@ -640,7 +643,13 @@ impl fmt::Display for ObsEvent {
             }
         }
         match &self.kind {
-            ObsEventKind::Commit { what } => write!(f, ": {what}"),
+            ObsEventKind::Commit { what, batch } => {
+                write!(f, ": {what}")?;
+                if let Some(batch) = batch {
+                    write!(f, " [batch {batch}]")?;
+                }
+                Ok(())
+            }
             ObsEventKind::Dispatch { executor } => write!(f, " -> executor node {executor}"),
             ObsEventKind::Retry { reason } => write!(f, ": {reason}"),
             ObsEventKind::Forward { to } => write!(f, " -> shard {to}"),

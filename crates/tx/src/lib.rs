@@ -52,4 +52,6 @@ pub use key::{FactKey, FactKind, StoreKey};
 pub use lock::{Conflict, LockMode};
 pub use log::{LogRecord, Wal};
 pub use manager::{AtomicAction, TxManager};
-pub use storage::{FileStorage, MemStorage, SharedStorage, Storage};
+pub use storage::{
+    FileStorage, MemStorage, SharedFileStorage, SharedStorage, StableStore, Storage,
+};

@@ -45,6 +45,13 @@ pub enum LogRecord {
         /// `true` = commit, `false` = abort.
         committed: bool,
     },
+    /// Several records made durable as one frame (group commit). A torn
+    /// group frame loses the whole group as a unit — recovery never sees
+    /// a partial batch.
+    GroupCommit {
+        /// The grouped records, in commit order.
+        records: Vec<LogRecord>,
+    },
 }
 
 impl Encode for LogRecord {
@@ -74,6 +81,10 @@ impl Encode for LogRecord {
                 tx.encode(w);
                 w.put_bool(*committed);
             }
+            LogRecord::GroupCommit { records } => {
+                w.put_u8(4);
+                records.encode(w);
+            }
         }
     }
 }
@@ -96,6 +107,9 @@ impl Decode for LogRecord {
             3 => Ok(LogRecord::Resolve {
                 tx: TxId::decode(r)?,
                 committed: r.get_bool()?,
+            }),
+            4 => Ok(LogRecord::GroupCommit {
+                records: Vec::decode(r)?,
             }),
             other => Err(CodecError::InvalidDiscriminant {
                 ty: "LogRecord",
@@ -285,6 +299,25 @@ mod tests {
     }
 
     #[test]
+    fn torn_group_frame_drops_whole_group() {
+        let mut wal = Wal::new(MemStorage::new());
+        wal.append(&sample_commit(1)).unwrap();
+        wal.append(&LogRecord::GroupCommit {
+            records: vec![sample_commit(2), sample_commit(3), sample_commit(4)],
+        })
+        .unwrap();
+        let mut storage = wal.into_storage();
+        let len = storage.len();
+        // Tear off the frame tail: the whole group vanishes as a unit,
+        // never a prefix of its member records.
+        storage.truncate(len - 3).unwrap();
+        let wal = Wal::new(storage);
+        let records = wal.scan().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0], sample_commit(1));
+    }
+
+    #[test]
     fn all_record_kinds_roundtrip() {
         let records = vec![
             sample_commit(3),
@@ -299,6 +332,14 @@ mod tests {
             LogRecord::Resolve {
                 tx: TxId::new(1, 4),
                 committed: false,
+            },
+            LogRecord::GroupCommit {
+                records: vec![
+                    sample_commit(5),
+                    LogRecord::GroupCommit {
+                        records: vec![sample_commit(6)],
+                    },
+                ],
             },
         ];
         for record in records {

@@ -109,9 +109,15 @@ struct TxMetrics {
     /// 2PC protocol steps processed here — prepares, resolves and
     /// coordinator decision records (`tx.two_pc_rounds`).
     two_pc_rounds: Counter,
+    /// Groups of ≥2 commits flushed as one `GroupCommit` frame
+    /// (`tx.group_commits`).
+    group_commits: Counter,
     /// Write frames per top-level commit record
     /// (`wal.frames_per_commit`); only fed when observing metrics.
     wal_frames_per_commit: Histogram,
+    /// Bytes per appended WAL frame (`wal.bytes_per_frame`); only fed
+    /// when observing metrics.
+    wal_bytes_per_frame: Histogram,
 }
 
 impl TxMetrics {
@@ -124,7 +130,9 @@ impl TxMetrics {
             fact_point_reads: registry.counter("tx.fact_point_reads"),
             lock_waits: registry.counter("tx.lock_waits"),
             two_pc_rounds: registry.counter("tx.two_pc_rounds"),
+            group_commits: registry.counter("tx.group_commits"),
             wal_frames_per_commit: registry.histogram("wal.frames_per_commit"),
+            wal_bytes_per_frame: registry.histogram("wal.bytes_per_frame"),
         }
     }
 }
@@ -153,6 +161,11 @@ pub struct TxManager<S = SharedStorage> {
     /// abort: only commits are remembered durably).
     coordinator_commits: HashMap<TxId, bool>,
     next_seq: u64,
+    /// Open [`TxManager::begin_group`] nesting depth; while positive,
+    /// top-level commit records buffer instead of hitting the WAL.
+    group_depth: usize,
+    /// Commit records awaiting the group flush, in commit order.
+    group_buffer: Vec<LogRecord>,
     metrics: TxMetrics,
     observe: ObserveLevel,
 }
@@ -196,8 +209,16 @@ impl<S: Storage> TxManager<S> {
         let mut prepared: HashMap<TxId, PreparedTx> = HashMap::new();
         let mut coordinator_commits = HashMap::new();
         let mut max_seq = 0u64;
-        for record in records {
+        // Worklist so `GroupCommit` frames flatten to their member
+        // records in order (groups may nest; replay order is preserved
+        // by pushing members reversed onto the stack).
+        let mut worklist: Vec<LogRecord> = records;
+        worklist.reverse();
+        while let Some(record) = worklist.pop() {
             match record {
+                LogRecord::GroupCommit { records } => {
+                    worklist.extend(records.into_iter().rev());
+                }
                 LogRecord::Checkpoint { states } => {
                     store = states.into_iter().collect();
                 }
@@ -251,6 +272,8 @@ impl<S: Storage> TxManager<S> {
             prepared,
             coordinator_commits,
             next_seq: max_seq + 1,
+            group_depth: 0,
+            group_buffer: Vec::new(),
             metrics: TxMetrics::register(registry),
             observe,
         })
@@ -562,10 +585,15 @@ impl<S: Storage> TxManager<S> {
                         .record(writes.len() as u64);
                 }
                 if !writes.is_empty() {
-                    self.wal.append(&LogRecord::Commit {
+                    let record = LogRecord::Commit {
                         tx: action.id,
                         writes: writes.clone(),
-                    })?;
+                    };
+                    if self.group_depth > 0 {
+                        self.group_buffer.push(record);
+                    } else {
+                        self.append_record(&record)?;
+                    }
                     apply_writes(&mut self.store, &writes);
                 }
                 self.locks.release_all(action.id);
@@ -579,6 +607,72 @@ impl<S: Storage> TxManager<S> {
     /// open children). Idempotent for already-terminated ids.
     pub fn abort(&mut self, action: AtomicAction) {
         self.abort_by_id(action.id);
+    }
+
+    // ------------------------------------------------------------------
+    // Group commit (batched durability).
+    // ------------------------------------------------------------------
+
+    /// Opens a commit group: until the matching [`TxManager::end_group`],
+    /// top-level commits apply to the store and release their locks as
+    /// usual but their log records buffer in memory instead of each
+    /// paying a WAL frame. Nests — only the outermost `end_group`
+    /// flushes. A crash before the flush loses the whole open group as
+    /// a unit (no partial batch is ever durable), which is exactly the
+    /// pre-flush window an unbatched caller would have lost anyway.
+    pub fn begin_group(&mut self) {
+        self.group_depth += 1;
+    }
+
+    /// Closes one [`TxManager::begin_group`] level; at depth zero the
+    /// buffered records flush — one record appends bare, two or more
+    /// become a single [`LogRecord::GroupCommit`] frame.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors on the flush append.
+    pub fn end_group(&mut self) -> Result<(), TxError> {
+        debug_assert!(self.group_depth > 0, "end_group without begin_group");
+        self.group_depth = self.group_depth.saturating_sub(1);
+        if self.group_depth > 0 {
+            return Ok(());
+        }
+        self.flush_group()
+    }
+
+    /// Whether a commit group is currently open (callers gate log
+    /// compaction on this: a rewrite mid-group would reorder records
+    /// around the unflushed buffer).
+    pub fn in_group(&self) -> bool {
+        self.group_depth > 0
+    }
+
+    fn flush_group(&mut self) -> Result<(), TxError> {
+        match self.group_buffer.len() {
+            0 => Ok(()),
+            1 => {
+                let record = self.group_buffer.pop().expect("length checked");
+                self.append_record(&record)
+            }
+            _ => {
+                let records = std::mem::take(&mut self.group_buffer);
+                self.metrics.group_commits.inc();
+                self.append_record(&LogRecord::GroupCommit { records })
+            }
+        }
+    }
+
+    fn append_record(&mut self, record: &LogRecord) -> Result<(), TxError> {
+        if self.observe.metrics() {
+            let before = self.wal.size_bytes();
+            self.wal.append(record)?;
+            self.metrics
+                .wal_bytes_per_frame
+                .record(self.wal.size_bytes().saturating_sub(before));
+            Ok(())
+        } else {
+            self.wal.append(record)
+        }
     }
 
     fn abort_by_id(&mut self, id: TxId) {
@@ -697,6 +791,10 @@ impl<S: Storage> TxManager<S> {
     ///
     /// Storage errors on rewrite.
     pub fn checkpoint(&mut self) -> Result<(), TxError> {
+        // Buffered group records are already applied to the store, so
+        // the snapshot below subsumes them — drop the buffer rather
+        // than flushing records the checkpoint would obsolete.
+        self.group_buffer.clear();
         // The store is ordered, so the snapshot is deterministic as-is.
         let states: Vec<(StoreKey, Vec<u8>)> = self
             .store
@@ -729,6 +827,19 @@ impl<S: Storage> TxManager<S> {
     /// Current log size in bytes.
     pub fn log_size(&self) -> u64 {
         self.wal.size_bytes()
+    }
+
+    /// WAL frames appended through this manager (each append is one
+    /// frame, so this counts frame writes — the unit group commit
+    /// amortizes). Thin wrapper over [`Wal::records_appended`].
+    pub fn wal_frames_appended(&self) -> u64 {
+        self.wal.records_appended()
+    }
+
+    /// Groups of ≥2 commits flushed as a single `GroupCommit` frame.
+    /// Thin wrapper over the `tx.group_commits` registry counter.
+    pub fn group_commit_count(&self) -> u64 {
+        self.metrics.group_commits.get()
     }
 
     /// `(commits, aborts)` — thin wrapper over the `tx.commits` /
@@ -798,7 +909,7 @@ impl<S: Storage> TxManager<S> {
                 });
             }
         }
-        self.wal.append(&LogRecord::Prepare {
+        self.append_record(&LogRecord::Prepare {
             tx,
             coordinator,
             writes: writes.clone(),
@@ -824,7 +935,7 @@ impl<S: Storage> TxManager<S> {
             return Ok(());
         };
         self.metrics.two_pc_rounds.inc();
-        self.wal.append(&LogRecord::Resolve { tx, committed })?;
+        self.append_record(&LogRecord::Resolve { tx, committed })?;
         if committed {
             apply_writes(&mut self.store, &prepared.writes);
             self.metrics.commits.inc();
@@ -856,7 +967,7 @@ impl<S: Storage> TxManager<S> {
     /// Storage errors on log append.
     pub fn log_coordinator_decision(&mut self, tx: TxId, committed: bool) -> Result<(), TxError> {
         self.metrics.two_pc_rounds.inc();
-        self.wal.append(&LogRecord::Resolve { tx, committed })?;
+        self.append_record(&LogRecord::Resolve { tx, committed })?;
         self.coordinator_commits.insert(tx, committed);
         Ok(())
     }
@@ -1210,6 +1321,113 @@ mod tests {
         let mgr = TxManager::open(0, stable).unwrap();
         assert_eq!(mgr.coordinator_decision(dist_tx), Some(true));
         assert_eq!(mgr.coordinator_decision(TxId::new(0, 501)), None);
+    }
+
+    #[test]
+    fn group_commit_flushes_one_frame() {
+        let stable = SharedStorage::new();
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            let frames_before = mgr.wal_frames_appended();
+            mgr.begin_group();
+            for i in 0..5u8 {
+                let a = mgr.begin();
+                mgr.write(&a, &uid(&format!("g{i}")), &i).unwrap();
+                mgr.commit(a).unwrap();
+                // Applied and unlocked immediately, durable later.
+                assert_eq!(
+                    mgr.read_committed::<u8>(&uid(&format!("g{i}"))).unwrap(),
+                    Some(i)
+                );
+            }
+            assert_eq!(mgr.wal_frames_appended(), frames_before, "buffered");
+            mgr.end_group().unwrap();
+            assert_eq!(mgr.wal_frames_appended(), frames_before + 1);
+            assert_eq!(mgr.group_commit_count(), 1);
+        }
+        // Recovery replays every member of the group frame.
+        let mgr = TxManager::open(0, stable).unwrap();
+        for i in 0..5u8 {
+            assert_eq!(
+                mgr.read_committed::<u8>(&uid(&format!("g{i}"))).unwrap(),
+                Some(i)
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_group_appends_bare_record() {
+        let mut mgr = TxManager::in_memory();
+        mgr.begin_group();
+        let a = mgr.begin();
+        mgr.write(&a, &uid("x"), &1u8).unwrap();
+        mgr.commit(a).unwrap();
+        mgr.end_group().unwrap();
+        assert_eq!(mgr.group_commit_count(), 0, "one record needs no group");
+        assert_eq!(mgr.wal_frames_appended(), 1);
+    }
+
+    #[test]
+    fn nested_groups_flush_once_at_depth_zero() {
+        let mut mgr = TxManager::in_memory();
+        mgr.begin_group();
+        mgr.begin_group();
+        let a = mgr.begin();
+        mgr.write(&a, &uid("x"), &1u8).unwrap();
+        mgr.commit(a).unwrap();
+        mgr.end_group().unwrap();
+        assert!(mgr.in_group());
+        assert_eq!(mgr.wal_frames_appended(), 0, "inner end does not flush");
+        let b = mgr.begin();
+        mgr.write(&b, &uid("y"), &2u8).unwrap();
+        mgr.commit(b).unwrap();
+        mgr.end_group().unwrap();
+        assert!(!mgr.in_group());
+        assert_eq!(mgr.wal_frames_appended(), 1);
+        assert_eq!(mgr.group_commit_count(), 1);
+    }
+
+    #[test]
+    fn unflushed_group_lost_as_a_unit() {
+        let stable = SharedStorage::new();
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            let a = mgr.begin();
+            mgr.write(&a, &uid("before"), &1u8).unwrap();
+            mgr.commit(a).unwrap();
+            mgr.begin_group();
+            for i in 0..3u8 {
+                let a = mgr.begin();
+                mgr.write(&a, &uid(&format!("w{i}")), &i).unwrap();
+                mgr.commit(a).unwrap();
+            }
+            // Crash before end_group: the whole window vanishes.
+        }
+        let mgr = TxManager::open(0, stable).unwrap();
+        assert_eq!(mgr.read_committed::<u8>(&uid("before")).unwrap(), Some(1));
+        for i in 0..3u8 {
+            assert_eq!(
+                mgr.read_committed::<u8>(&uid(&format!("w{i}"))).unwrap(),
+                None,
+                "no partial batch may survive"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_subsumes_open_group_buffer() {
+        let stable = SharedStorage::new();
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            mgr.begin_group();
+            let a = mgr.begin();
+            mgr.write(&a, &uid("x"), &7u8).unwrap();
+            mgr.commit(a).unwrap();
+            mgr.checkpoint().unwrap();
+            mgr.end_group().unwrap();
+        }
+        let mgr = TxManager::open(0, stable).unwrap();
+        assert_eq!(mgr.read_committed::<u8>(&uid("x")).unwrap(), Some(7));
     }
 
     #[test]
