@@ -27,8 +27,8 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flowscript_bench::report::{self, ComparisonRow, ThroughputRow};
 use flowscript_bench::{
-    durable_diamond_system, fat_fan_source, repeat_probe_source, run_instance_wave, run_skew_wave,
-    sharded_diamond_system, skewed_fan_system,
+    completed_wave, durable_diamond_system, fat_fan_source, repeat_probe_source, run_instance_wave,
+    run_skew_wave, sharded_diamond_system, skewed_fan_system, start_instance_wave,
 };
 use flowscript_core::ast::OutputKind;
 use flowscript_core::samples;
@@ -42,7 +42,7 @@ use flowscript_engine::ObserveLevel;
 use flowscript_engine::SchedPolicy;
 use flowscript_engine::{facts as engine_facts, InstanceKeys, StoreFacts};
 use flowscript_plan::{eval as plan_eval, Plan, PlanFacts, Probe, TaskId, Worklist};
-use flowscript_sim::SimDuration;
+use flowscript_sim::{SimDuration, SimTime};
 use flowscript_tx::TxManager;
 
 /// Adapter: the engine's in-memory fact store viewed through the
@@ -424,6 +424,103 @@ fn sharded(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+/// The `rebalance` variant: growing a 2-shard fleet to 3 while a
+/// 10 000-instance diamond wave is live. Ten virtual seconds into the
+/// wave — every instance mid-execution — a third coordinator is added
+/// and every instance the epoch-bumped map reassigns is moved by the
+/// batched 2PC hand-off. The wave must still complete **losslessly**
+/// (every instance reaches its outcome; every move counted exactly
+/// once), and the cost of a move is the per-instance *pause*: the
+/// wall-clock from hand-off intent to destination adoption, during
+/// which that instance accepts no new work. Max/mean/total pause and
+/// the whole-wave wall land in `rebalance_impact.csv`.
+fn rebalance(c: &mut Criterion) {
+    let wave = 10_000usize;
+    let start = Instant::now();
+    let mut sys = sharded_diamond_system(9, 2, 4);
+    start_instance_wave(&mut sys, wave);
+    sys.run_until(SimTime::from_nanos(10_000_000_000));
+    let report = sys
+        .add_coordinator("coordinator2")
+        .expect("live rebalance under load");
+    sys.run();
+    let wall = start.elapsed();
+    assert_eq!(
+        completed_wave(&sys, wave),
+        wave,
+        "no outcome may be lost to the rebalance"
+    );
+    assert!(report.moved > 0, "the new shard must take over instances");
+    assert_eq!(report.epoch, 2, "one membership change after epoch 1");
+    assert_eq!(
+        sys.stats().handoffs,
+        report.moved as u64,
+        "every move committed exactly once"
+    );
+    assert_eq!(
+        sys.stats().forward_loops,
+        0,
+        "a clean rebalance must not trip the loop guard"
+    );
+
+    let total_pause: u64 = report.pause_ns.iter().sum();
+    let rows = vec![
+        ThroughputRow {
+            workload: "add_shard_2to3/max_pause".into(),
+            items: 1,
+            wall_ns: report.max_pause_ns() as f64,
+        },
+        ThroughputRow {
+            workload: "add_shard_2to3/mean_pause".into(),
+            items: 1,
+            wall_ns: total_pause as f64 / report.moved.max(1) as f64,
+        },
+        ThroughputRow {
+            workload: "add_shard_2to3/all_moves".into(),
+            items: report.moved as u64,
+            wall_ns: total_pause as f64,
+        },
+        ThroughputRow {
+            workload: format!("add_shard_2to3/wave_{wave}"),
+            items: wave as u64,
+            wall_ns: wall.as_nanos() as f64,
+        },
+    ];
+    for row in &rows {
+        println!(
+            "plan_dispatch/rebalance {}: {} moves/instances in {:.3}ms",
+            row.workload,
+            row.items,
+            row.wall_ns / 1e6
+        );
+    }
+    let path = report::write_throughput_csv(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/rebalance_impact.csv"
+        ),
+        "moves",
+        &rows,
+    )
+    .expect("rebalance table written");
+    println!("rebalance impact table: {}", path.display());
+
+    let mut group = c.benchmark_group("plan_dispatch/rebalance");
+    group.sample_size(2);
+    group.bench_function(BenchmarkId::new("wave_512", "add_shard_2to3"), |b| {
+        b.iter(|| {
+            let mut sys = sharded_diamond_system(9, 2, 4);
+            start_instance_wave(&mut sys, 512);
+            sys.run_until(SimTime::from_nanos(10_000_000_000));
+            let report = sys.add_coordinator("coordinator2").expect("rebalance");
+            sys.run();
+            assert_eq!(completed_wave(&sys, 512), 512);
+            std::hint::black_box(report.moved)
+        })
+    });
     group.finish();
 }
 
@@ -874,6 +971,7 @@ criterion_group!(
     benches,
     dispatch,
     sharded,
+    rebalance,
     batched,
     scheduled,
     fact_reads,

@@ -293,11 +293,10 @@ fn diamond_wave_system(
     sys
 }
 
-/// Starts `count` diamond instances (`wave-0` … `wave-{count-1}`), runs
-/// the world to quiescence and returns how many completed. The 30s
-/// virtual work per task dwarfs the start window, so the whole wave is
-/// concurrently in flight.
-pub fn run_instance_wave(sys: &mut WorkflowSystem, count: usize) -> usize {
+/// Starts `count` diamond instances (`wave-0` … `wave-{count-1}`)
+/// without running the world — the live-rebalance bench needs the wave
+/// *in flight* when the fleet grows, not finished.
+pub fn start_instance_wave(sys: &mut WorkflowSystem, count: usize) {
     for i in 0..count {
         sys.start(
             &format!("wave-{i}"),
@@ -307,10 +306,22 @@ pub fn run_instance_wave(sys: &mut WorkflowSystem, count: usize) -> usize {
         )
         .expect("wave instance starts");
     }
-    sys.run();
+}
+
+/// How many instances of a started wave reached an outcome.
+pub fn completed_wave(sys: &WorkflowSystem, count: usize) -> usize {
     (0..count)
         .filter(|i| sys.outcome(&format!("wave-{i}")).is_some())
         .count()
+}
+
+/// Starts `count` diamond instances, runs the world to quiescence and
+/// returns how many completed. The 30s virtual work per task dwarfs the
+/// start window, so the whole wave is concurrently in flight.
+pub fn run_instance_wave(sys: &mut WorkflowSystem, count: usize) -> usize {
+    start_instance_wave(sys, count);
+    sys.run();
+    completed_wave(sys, count)
 }
 
 // ---------------------------------------------------------------------

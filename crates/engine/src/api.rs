@@ -297,12 +297,43 @@ impl SystemBuilder {
             repo_node,
             coord_nodes,
             executors,
+            executor_specs,
             registry,
             repo,
             coords,
             shard,
             storages,
+            config: self.config,
+            wal_dir: self.wal_dir,
         }
+    }
+}
+
+/// What one live rebalance ([`WorkflowSystem::rebalance`] /
+/// [`WorkflowSystem::add_coordinator`]) did: how many instances moved,
+/// how long each was unavailable, and the shard-map epoch the system
+/// converged on.
+#[derive(Debug, Clone, Default)]
+pub struct RebalanceReport {
+    /// Instances handed off (each one batched 2PC move).
+    pub moved: usize,
+    /// Wall-clock nanoseconds each moved instance was unavailable
+    /// (collect → adopt), in move order. Also recorded in the source
+    /// shard's `coord.handoff_pause_ns` histogram.
+    pub pause_ns: Vec<u64>,
+    /// The membership epoch after the final map flip.
+    pub epoch: u64,
+}
+
+impl RebalanceReport {
+    /// The longest single-instance pause, in nanoseconds.
+    pub fn max_pause_ns(&self) -> u64 {
+        self.pause_ns.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total wall-clock nanoseconds spent moving instances.
+    pub fn total_pause_ns(&self) -> u64 {
+        self.pause_ns.iter().sum()
     }
 }
 
@@ -313,11 +344,20 @@ pub struct WorkflowSystem {
     repo_node: NodeId,
     coord_nodes: Vec<NodeId>,
     executors: Vec<NodeId>,
+    /// The executor fleet with location labels — retained so
+    /// coordinators added later ([`WorkflowSystem::add_coordinator`])
+    /// schedule over the same fleet.
+    executor_specs: Vec<(NodeId, Option<String>)>,
     registry: ImplRegistry,
     repo: RepoHandle,
     coords: Vec<CoordHandle>,
     shard: ShardMap,
     storages: Vec<StableStore>,
+    /// Engine policy, retained for late-added coordinators.
+    config: EngineConfig,
+    /// WAL directory, retained so late-added shards journal alongside
+    /// the original fleet (`shardN.wal`).
+    wal_dir: Option<std::path::PathBuf>,
 }
 
 impl WorkflowSystem {
@@ -411,8 +451,11 @@ impl WorkflowSystem {
     // -----------------------------------------------------------------
 
     /// The `StartInstance` wire message (one builder for every start
-    /// entry point, so the shapes cannot drift apart).
+    /// entry point, so the shapes cannot drift apart). Client requests
+    /// carry the shard-map epoch they routed under, so a coordinator
+    /// whose map disagrees can tell a stale client from a stale peer.
     fn start_msg<I, K>(
+        &self,
         instance: &str,
         script: &str,
         version: Option<u32>,
@@ -429,6 +472,7 @@ impl WorkflowSystem {
             version,
             set: set.to_string(),
             inputs: inputs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+            epoch: self.shard.epoch(),
         }
     }
 
@@ -481,7 +525,7 @@ impl WorkflowSystem {
         I: IntoIterator<Item = (K, ObjectVal)>,
         K: Into<String>,
     {
-        let msg = Self::start_msg(instance, script, None, set, inputs);
+        let msg = self.start_msg(instance, script, None, set, inputs);
         let target = self.shard.node_of(instance);
         self.rpc_start(target, &msg)
     }
@@ -525,7 +569,7 @@ impl WorkflowSystem {
         I: IntoIterator<Item = (K, ObjectVal)>,
         K: Into<String>,
     {
-        let msg = Self::start_msg(instance, script, None, set, inputs);
+        let msg = self.start_msg(instance, script, None, set, inputs);
         let target = self.coord_nodes[via % self.coord_nodes.len()];
         self.rpc_start(target, &msg)
     }
@@ -708,6 +752,7 @@ impl WorkflowSystem {
             attempt,
             mark: mark.to_string(),
             objects: objects.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+            epoch: self.shard.epoch(),
         });
         let target = self.coord_nodes[via];
         self.world
@@ -849,7 +894,7 @@ impl WorkflowSystem {
         I: IntoIterator<Item = (K, ObjectVal)>,
         K: Into<String>,
     {
-        let msg = Self::start_msg(instance, script, Some(version), set, inputs);
+        let msg = self.start_msg(instance, script, Some(version), set, inputs);
         let target = self.shard.node_of(instance);
         self.rpc_start(target, &msg)
     }
@@ -892,6 +937,148 @@ impl WorkflowSystem {
     /// Executor node ids.
     pub fn executor_nodes(&self) -> &[NodeId] {
         &self.executors
+    }
+
+    /// Adds a fresh coordinator node named `name` to the execution
+    /// service **live**: the node is created with its own stable
+    /// storage, installed with the epoch-bumped shard map, and every
+    /// instance the new map assigns to it is moved in by
+    /// [`WorkflowSystem::rebalance`] — running instances included.
+    /// Returns the rebalance report (per-instance pause times).
+    ///
+    /// # Errors
+    ///
+    /// Storage failures opening the new shard or moving an instance.
+    pub fn add_coordinator(&mut self, name: &str) -> Result<RebalanceReport, EngineError> {
+        let node = self.world.add_node(name);
+        let idx = self.coords.len();
+        let storage = if let Some(dir) = &self.wal_dir {
+            std::fs::create_dir_all(dir).map_err(|e| EngineError::Tx(format!("wal dir: {e}")))?;
+            let path = dir.join(format!("shard{idx}.wal"));
+            StableStore::File(
+                SharedFileStorage::create(&path)
+                    .map_err(|e| EngineError::Tx(format!("wal file: {e}")))?,
+            )
+        } else {
+            StableStore::default()
+        };
+        let mut new_map = self.shard.clone();
+        new_map.add_node(node);
+        // The new shard starts life on the bumped epoch; the surviving
+        // shards keep the old map until the moves commit (dual-delivery
+        // window), then flip in `rebalance`.
+        let coordinator = Coordinator::open_sharded(
+            node,
+            self.repo_node,
+            self.executor_specs.clone(),
+            self.config.clone(),
+            storage.clone(),
+            new_map.clone(),
+        )?;
+        let coord = CoordHandle::new(coordinator);
+        coord.install(&mut self.world);
+        self.coords.push(coord);
+        self.coord_nodes.push(node);
+        self.storages.push(storage);
+        self.rebalance(new_map)
+    }
+
+    /// Moves the system to `new_map` live: every resident instance
+    /// whose owner changes is handed off to its new shard as one
+    /// batched 2PC (collect → prepare → commit → adopt), one instance
+    /// at a time; only after every move commits does each coordinator
+    /// (and the client router) flip to the new map. During the window,
+    /// executor replies for moved instances keep landing on the old
+    /// owner and are relayed — no report is lost or applied twice.
+    ///
+    /// Moves run sequentially by design: a destination's instance-id
+    /// allocation reads committed state, so concurrent prepares into
+    /// one shard would collide.
+    ///
+    /// # Errors
+    ///
+    /// A map naming a coordinator this system does not run, or a
+    /// storage failure mid-move. A destination that fails to prepare
+    /// aborts that move durably; the instance stays where it was.
+    pub fn rebalance(&mut self, new_map: ShardMap) -> Result<RebalanceReport, EngineError> {
+        // Work out every move up front, against residency (not the old
+        // map): a crash-recovered shard may hold instances the old map
+        // would misattribute.
+        let mut moves: Vec<(usize, String, NodeId)> = Vec::new();
+        for (idx, coord) in self.coords.iter().enumerate() {
+            for instance in coord.instance_names() {
+                let owner = new_map.node_of(&instance);
+                if owner != self.coord_nodes[idx] {
+                    moves.push((idx, instance, owner));
+                }
+            }
+        }
+        let mut pause_ns = Vec::with_capacity(moves.len());
+        for (src_idx, instance, dest_node) in moves {
+            let dest_idx = self
+                .coord_nodes
+                .iter()
+                .position(|&n| n == dest_node)
+                .ok_or_else(|| {
+                    EngineError::Tx(format!(
+                        "shard map assigns `{instance}` to {dest_node}, which runs no coordinator"
+                    ))
+                })?;
+            let src = self.coords[src_idx].clone();
+            let dest = self.coords[dest_idx].clone();
+            let clock = std::time::Instant::now();
+            let package = src.handoff_collect(&mut self.world, &instance, dest_node)?;
+            let tx = package.tx;
+            match dest.handoff_prepare(&package) {
+                Ok(()) => {
+                    src.handoff_commit(&mut self.world, &instance, tx, dest_node)?;
+                    dest.handoff_apply(&mut self.world, tx, true)?;
+                }
+                Err(err) => {
+                    src.handoff_abort(&instance, tx, dest_node)?;
+                    return Err(err);
+                }
+            }
+            let ns = clock.elapsed().as_nanos() as u64;
+            src.note_handoff_pause(ns);
+            pause_ns.push(ns);
+        }
+        // The flip: everyone adopts the new map at its bumped epoch.
+        for coord in &self.coords {
+            coord.set_shard_map(new_map.clone());
+        }
+        self.shard = new_map;
+        Ok(RebalanceReport {
+            moved: pause_ns.len(),
+            pause_ns,
+            epoch: self.shard.epoch(),
+        })
+    }
+
+    /// Overrides one coordinator's shard map *without* moving anything —
+    /// deliberately desynchronizing routing. Test hook for the
+    /// forwarding loop guard; real rebalances flip maps only after the
+    /// moves commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[doc(hidden)]
+    pub fn skew_shard_map(&mut self, shard: usize, map: ShardMap) {
+        self.coords[shard].set_shard_map(map);
+    }
+
+    /// Direct handle on one coordinator shard — test hook for driving
+    /// the hand-off protocol step by step (crash-between-steps
+    /// scenarios the synchronous [`WorkflowSystem::rebalance`] driver
+    /// can never produce).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[doc(hidden)]
+    pub fn coord_handle(&self, shard: usize) -> CoordHandle {
+        self.coords[shard].clone()
     }
 
     /// Schedules a fault plan.

@@ -39,7 +39,7 @@ use flowscript_core::schema::{self, CompiledTask, Schema, TaskBody};
 use flowscript_obs::{Counter, FlightRecorder, Histogram, ObsEventKind, ObserveLevel, Registry};
 use flowscript_plan::{eval as plan_eval, Plan, TaskId, Worklist};
 use flowscript_sim::{Envelope, EventId, NodeId, ReplyToken, SimDuration, World};
-use flowscript_tx::{ObjectUid, StableStore, StoreKey, TxManager};
+use flowscript_tx::{FactKey, ObjectUid, StableStore, StoreKey, TxId, TxManager};
 
 use crate::error::EngineError;
 use crate::facts::{self, StoreFacts};
@@ -50,6 +50,12 @@ use crate::sched::{ExecutorSlot, ImplHints, SchedPolicy, Scheduler};
 use crate::shard::ShardMap;
 use crate::state::{CbState, TaskCb};
 use crate::value::ObjectVal;
+
+/// Maximum relays a misdirected message may take before the relay
+/// drops it as a routing loop (see [`CoordStats::forward_loops`]).
+/// One hop resolves any transient single-rebalance disagreement; four
+/// leaves slack for stacked membership changes.
+pub const MAX_FORWARD_HOPS: u32 = 4;
 
 /// Tunable engine policy.
 #[derive(Debug, Clone)]
@@ -370,6 +376,13 @@ pub struct CoordStats {
     /// vanished between scheduling and sending (only a mid-flight
     /// reconfiguration can legitimately cause one).
     pub dropped_dispatches: u64,
+    /// Instances this coordinator handed off to another shard (the 2PC
+    /// moves of live rebalancing, counted at the commit decision).
+    pub handoffs: u64,
+    /// Forwarded messages dropped at the relay hop cap — two
+    /// coordinators whose shard maps disagree (the mid-rebalance state)
+    /// would otherwise ping-pong a report forever.
+    pub forward_loops: u64,
 }
 
 impl std::ops::AddAssign<&CoordStats> for CoordStats {
@@ -388,6 +401,8 @@ impl std::ops::AddAssign<&CoordStats> for CoordStats {
             forwarded,
             no_alternative_retries,
             dropped_dispatches,
+            handoffs,
+            forward_loops,
         } = *other;
         self.dispatches += dispatches;
         self.retries += retries;
@@ -400,6 +415,8 @@ impl std::ops::AddAssign<&CoordStats> for CoordStats {
         self.forwarded += forwarded;
         self.no_alternative_retries += no_alternative_retries;
         self.dropped_dispatches += dropped_dispatches;
+        self.handoffs += handoffs;
+        self.forward_loops += forward_loops;
     }
 }
 
@@ -419,6 +436,8 @@ struct CoordMetrics {
     forwarded: Counter,
     no_alternative_retries: Counter,
     dropped_dispatches: Counter,
+    handoffs: Counter,
+    forward_loops: Counter,
     /// Worklist steps per drain-to-quiescence (`coord.commit_drain_len`).
     commit_drain_len: Histogram,
     /// Executor reports coalesced per batch flush (`coord.batch_size`).
@@ -430,6 +449,10 @@ struct CoordMetrics {
     /// The chosen executor's load at each placement decision
     /// (`sched.pick_load`).
     sched_pick_load: Histogram,
+    /// Wall-clock nanoseconds one instance was unavailable during a
+    /// hand-off move (`coord.handoff_pause_ns`; recorded on the source
+    /// shard per committed move).
+    handoff_pause_ns: Histogram,
 }
 
 impl CoordMetrics {
@@ -446,10 +469,13 @@ impl CoordMetrics {
             forwarded: registry.counter("coord.forwarded"),
             no_alternative_retries: registry.counter("coord.no_alternative_retries"),
             dropped_dispatches: registry.counter("coord.dropped_dispatches"),
+            handoffs: registry.counter("coord.handoffs"),
+            forward_loops: registry.counter("coord.forward_loops"),
             commit_drain_len: registry.histogram("coord.commit_drain_len"),
             batch_size: registry.histogram("coord.batch_size"),
             dispatch_latency_ns: registry.histogram("coord.dispatch_latency_ns"),
             sched_pick_load: registry.histogram("sched.pick_load"),
+            handoff_pause_ns: registry.histogram("coord.handoff_pause_ns"),
         }
     }
 
@@ -469,6 +495,8 @@ impl CoordMetrics {
             forwarded: self.forwarded.get(),
             no_alternative_retries: self.no_alternative_retries.get(),
             dropped_dispatches: self.dropped_dispatches.get(),
+            handoffs: self.handoffs.get(),
+            forward_loops: self.forward_loops.get(),
         }
     }
 }
@@ -599,6 +627,43 @@ fn instance_seq_uid() -> ObjectUid {
     ObjectUid::new("sys/instance_seq")
 }
 
+/// Everything one instance move ships from source to destination
+/// shard: the moving transaction's identity and the raw committed
+/// bytes of the instance's whole keyspace — metadata, control blocks,
+/// rebindings, reconfiguration records, the pinned compiled plan and
+/// every dependency fact (one contiguous range scan). Produced by
+/// [`CoordHandle::handoff_collect`] on the source, consumed by
+/// [`CoordHandle::handoff_prepare`] on the destination; fact keys
+/// still carry the source shard's dense instance id (the destination
+/// re-keys them under its own allocator while staging).
+#[derive(Debug, Clone)]
+pub struct HandoffPackage {
+    /// The move's distributed transaction (2PC, source-coordinated).
+    pub tx: TxId,
+    /// The instance being moved.
+    pub instance: String,
+    /// Source coordinator node index — the 2PC coordinator a restarted
+    /// destination queries to terminate an in-doubt stage.
+    src_node: u32,
+    /// The instance's dense fact-key id on the source shard.
+    src_instance_id: u32,
+    /// Raw committed entries, keyed as the source stored them.
+    entries: Vec<(StoreKey, Vec<u8>)>,
+}
+
+impl HandoffPackage {
+    /// Number of committed entries the package carries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the package carries no entries (it never does for a
+    /// real instance — the meta object alone is one entry).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// The execution service state. Use through [`CoordHandle`].
 pub struct Coordinator {
     node: NodeId,
@@ -611,6 +676,14 @@ pub struct Coordinator {
     /// (shared verbatim by every shard; requests for instances this
     /// node does not own are forwarded to the owner).
     shard: ShardMap,
+    /// Where instances this node handed off went — the dual-delivery
+    /// relay table for the window between a move's commit and the
+    /// rebalance's final map flip, when this node's `shard` map still
+    /// claims ownership. Volatile, but rebuilt on recovery from
+    /// replayed `HandOffEnd` frames; cleared by the flip
+    /// ([`CoordHandle::set_shard_map`]), after which the map itself
+    /// routes to the new owner.
+    moved: BTreeMap<String, NodeId>,
     config: EngineConfig,
     mgr: TxManager<StableStore>,
     storage: StableStore,
@@ -717,6 +790,7 @@ impl Coordinator {
             config,
             mgr,
             storage,
+            moved: BTreeMap::new(),
             instances: BTreeMap::new(),
             commits: 0,
             commits_at_checkpoint: 0,
@@ -955,6 +1029,84 @@ impl Coordinator {
 
     fn read_meta(&self, instance: &str) -> Option<InstanceMeta> {
         self.mgr.read_committed(&meta_uid(instance)).ok().flatten()
+    }
+
+    /// Materializes an instance's volatile runtime from committed
+    /// state: the persisted fingerprinted plan when valid (recompiling
+    /// the source and replaying persisted reconfigurations as the
+    /// fallback), rebindings, interned keys and the non-terminal count.
+    /// Pure state load — arms no timers and dispatches nothing. Shared
+    /// by crash recovery and hand-off adoption.
+    fn load_instance(&mut self, name: &str, meta: &InstanceMeta) -> Option<InstanceRt> {
+        let cached: Option<Plan> = self
+            .mgr
+            .read_committed::<Plan>(&plan_uid(meta.plan_fingerprint))
+            .ok()
+            .flatten()
+            .filter(|plan| {
+                plan.fingerprint == meta.plan_fingerprint
+                    && plan.is_well_formed()
+                    && plan.verify_fingerprint()
+            });
+        let (plan, schema) = match cached {
+            Some(plan) => (plan, None),
+            None => {
+                // Fallback: recompile and replay persisted
+                // reconfigurations in order.
+                let mut schema = schema::compile_source(&meta.source, &meta.root).ok()?;
+                for op_uid in self.mgr.uids_with_prefix(&format!("inst/{name}/reconfig/")) {
+                    if let Ok(Some(op)) = self.mgr.read_committed::<Reconfig>(&op_uid) {
+                        let _ = reconfig::apply(&mut schema, &op);
+                    }
+                }
+                (Plan::lower(&schema), Some(Rc::new(schema)))
+            }
+        };
+        let mut bindings = BTreeMap::new();
+        for bind in self.mgr.uids_with_prefix(&format!("inst/{name}/bind/")) {
+            if let Ok(Some(to)) = self.mgr.read_committed::<String>(&bind) {
+                let code = bind
+                    .as_str()
+                    .trim_start_matches(&format!("inst/{name}/bind/"))
+                    .to_string();
+                bindings.insert(code, to);
+            }
+        }
+        let keys = InstanceKeys::build(&plan, name, meta.instance_id);
+        let nonterminal = count_nonterminal(&self.mgr, &plan, &keys);
+        Some(InstanceRt {
+            plan: Rc::new(plan),
+            keys: Rc::new(keys),
+            schema,
+            bindings,
+            watchdogs: BTreeMap::new(),
+            in_flight: BTreeSet::new(),
+            dispatched_to: BTreeMap::new(),
+            retry_from: BTreeMap::new(),
+            nonterminal,
+        })
+    }
+
+    /// Deletes every committed object of `instance` in one atomic
+    /// action: the whole `inst/{name}/` uid prefix plus the dense fact
+    /// range of the meta's instance id. The storage half of the source
+    /// side of a committed hand-off (the shared compiled-plan blob
+    /// stays; plan GC collects it once no local meta pins it).
+    fn purge_instance(&mut self, instance: &str) -> Result<(), EngineError> {
+        let meta: Option<InstanceMeta> = self.mgr.read_committed(&meta_uid(instance))?;
+        let action = self.mgr.begin();
+        for uid in self.mgr.uids_with_prefix(&format!("inst/{instance}/")) {
+            self.mgr.delete(&action, &uid)?;
+        }
+        if let Some(meta) = meta {
+            let lo = FactKey::instance_first(meta.instance_id);
+            let hi = FactKey::instance_last(meta.instance_id);
+            for fact in self.mgr.fact_keys_in_range(lo, hi) {
+                self.mgr.delete_key(&action, &StoreKey::Fact(fact))?;
+            }
+        }
+        self.commit(action)?;
+        Ok(())
     }
 
     /// Records `n` control blocks entering a terminal state (stuck
@@ -1322,10 +1474,28 @@ impl CoordHandle {
         let Ok(msg) = flowscript_codec::from_bytes::<EngineMsg>(&envelope.payload) else {
             return; // corrupt message: drop, sender will time out / retry
         };
+        self.deliver(world, envelope, msg, 0);
+    }
+
+    /// Handles one engine message that has been relayed `hops` times
+    /// already (0 for a direct send; unwrapped [`EngineMsg::Forwarded`]
+    /// layers carry the count).
+    fn deliver(&self, world: &mut World, envelope: &Envelope, msg: EngineMsg, hops: u32) {
         match msg {
+            EngineMsg::Forwarded {
+                epoch: _,
+                hops: relayed,
+                inner,
+            } => {
+                let Ok(inner) = flowscript_codec::from_bytes::<EngineMsg>(&inner) else {
+                    return;
+                };
+                self.deliver(world, envelope, inner, relayed);
+            }
             EngineMsg::Done(done) => {
                 if let Some(owner) = self.misdirected(&done.instance) {
-                    self.forward_oneway(world, owner, &done.instance, envelope);
+                    let instance = done.instance.clone();
+                    self.forward_oneway(world, owner, &instance, EngineMsg::Done(done), hops);
                     return;
                 }
                 if self.batching_enabled() {
@@ -1336,7 +1506,8 @@ impl CoordHandle {
             }
             EngineMsg::Mark(mark) => {
                 if let Some(owner) = self.misdirected(&mark.instance) {
-                    self.forward_oneway(world, owner, &mark.instance, envelope);
+                    let instance = mark.instance.clone();
+                    self.forward_oneway(world, owner, &instance, EngineMsg::Mark(mark), hops);
                     return;
                 }
                 if self.batching_enabled() {
@@ -1351,15 +1522,34 @@ impl CoordHandle {
                 version,
                 set,
                 inputs,
+                epoch,
             } => {
                 let Some(token) = envelope.reply_token() else {
                     return;
                 };
                 if let Some(owner) = self.misdirected(&instance) {
-                    self.forward_start(world, owner, &instance, token, envelope.payload.clone());
+                    let relay = EngineMsg::StartInstance {
+                        instance: instance.clone(),
+                        script,
+                        version,
+                        set,
+                        inputs,
+                        epoch,
+                    };
+                    self.forward_start(world, owner, &instance, token, relay, hops);
                     return;
                 }
                 self.on_start_instance(world, token, instance, script, version, set, inputs);
+            }
+            EngineMsg::HandoffQuery { tx_node, tx_seq } => {
+                self.on_handoff_query(world, envelope.src, TxId::new(tx_node, tx_seq));
+            }
+            EngineMsg::HandoffVerdict {
+                tx_node,
+                tx_seq,
+                committed,
+            } => {
+                self.on_handoff_verdict(world, TxId::new(tx_node, tx_seq), committed);
             }
             _ => {}
         }
@@ -1588,23 +1778,49 @@ impl CoordHandle {
     /// forwarded), `None` when this node owns it.
     fn misdirected(&self, instance: &str) -> Option<NodeId> {
         let coordinator = self.inner.borrow();
+        // Residency beats the map: the instant a committed hand-off is
+        // adopted, this node *is* the owner — even while its own map is
+        // still the pre-flip one (a crashed destination recovers the
+        // move before any map update reaches it). Without this, the
+        // stale map bounces relayed reports straight back at the
+        // relayer until the hop cap eats them.
+        if coordinator.instances.contains_key(instance) {
+            return None;
+        }
         let owner = coordinator.shard.node_of(instance);
-        (owner != coordinator.node).then_some(owner)
+        if owner != coordinator.node {
+            return Some(owner);
+        }
+        // The map says "mine" but the instance was handed off and the
+        // rebalance's map flip hasn't happened yet (the dual-delivery
+        // window): relay to where it went.
+        coordinator.moved.get(instance).copied()
     }
 
-    /// Relays a misdirected one-way message (`Done`/`Mark`) verbatim to
-    /// the owning shard. The relay charges only `forwarded`; the owner
-    /// counts the operation itself exactly once.
+    /// Relays a misdirected one-way message (`Done`/`Mark`) to the
+    /// owning shard, wrapped in [`EngineMsg::Forwarded`] so the hop
+    /// count travels with it. A message that already burned
+    /// [`MAX_FORWARD_HOPS`] relays is circling between coordinators
+    /// whose shard maps disagree — it is dropped and counted
+    /// (`coord.forward_loops`) instead of bouncing forever. The relay
+    /// charges only `forwarded`; the owner counts the operation itself
+    /// exactly once.
     fn forward_oneway(
         &self,
         world: &mut World,
         owner: NodeId,
         instance: &str,
-        envelope: &Envelope,
+        inner: EngineMsg,
+        hops: u32,
     ) {
-        let node = {
+        let (node, wrapped) = {
             let coordinator = self.inner.borrow();
+            if hops >= MAX_FORWARD_HOPS {
+                coordinator.metrics.forward_loops.inc();
+                return;
+            }
             coordinator.metrics.forwarded.inc();
+            let epoch = coordinator.shard.epoch();
             coordinator.record_event(
                 world.now().as_nanos(),
                 instance,
@@ -1612,26 +1828,47 @@ impl CoordHandle {
                 0,
                 ObsEventKind::Forward {
                     to: owner.index() as u32,
+                    epoch,
                 },
             );
-            coordinator.node
+            let wrapped = EngineMsg::Forwarded {
+                epoch,
+                hops: hops + 1,
+                inner: flowscript_codec::to_bytes(&inner),
+            };
+            (coordinator.node, wrapped)
         };
-        world.send(node, owner, envelope.payload.clone());
+        world.send(node, owner, flowscript_codec::to_bytes(&wrapped));
     }
 
     /// Relays a misdirected `StartInstance` RPC to the owning shard and
-    /// pipes the owner's reply back to the original caller.
+    /// pipes the owner's reply back to the original caller. At the hop
+    /// cap the caller gets a diagnosable error instead of a hang.
     fn forward_start(
         &self,
         world: &mut World,
         owner: NodeId,
         instance: &str,
         token: ReplyToken,
-        payload: Vec<u8>,
+        inner: EngineMsg,
+        hops: u32,
     ) {
-        let node = {
+        let (node, wrapped) = {
             let coordinator = self.inner.borrow();
+            if hops >= MAX_FORWARD_HOPS {
+                coordinator.metrics.forward_loops.inc();
+                drop(coordinator);
+                let reply = EngineMsg::Ack {
+                    result: Err(format!(
+                        "instance `{instance}` bounced through {hops} shards without \
+                         finding an owner (disagreeing shard maps?)"
+                    )),
+                };
+                world.rpc_reply_to(token, flowscript_codec::to_bytes(&reply));
+                return;
+            }
             coordinator.metrics.forwarded.inc();
+            let epoch = coordinator.shard.epoch();
             coordinator.record_event(
                 world.now().as_nanos(),
                 instance,
@@ -1639,14 +1876,20 @@ impl CoordHandle {
                 0,
                 ObsEventKind::Forward {
                     to: owner.index() as u32,
+                    epoch,
                 },
             );
-            coordinator.node
+            let wrapped = EngineMsg::Forwarded {
+                epoch,
+                hops: hops + 1,
+                inner: flowscript_codec::to_bytes(&inner),
+            };
+            (coordinator.node, wrapped)
         };
         world.rpc_call(
             node,
             owner,
-            payload,
+            flowscript_codec::to_bytes(&wrapped),
             SimDuration::from_secs(8),
             move |world, reply| {
                 let bytes = match reply {
@@ -1658,6 +1901,400 @@ impl CoordHandle {
                 world.rpc_reply_to(token, bytes);
             },
         );
+    }
+
+    // -----------------------------------------------------------------
+    // Live hand-off (rebalancing).
+    //
+    // One instance moves in four steps, a 2PC with the source as
+    // coordinator:
+    //
+    //   1. `handoff_collect` (source): WAL `HandOffBegin` intent, then
+    //      gather the instance's entire committed keyspace into a
+    //      [`HandoffPackage`].
+    //   2. `handoff_prepare` (destination): re-key the package under a
+    //      freshly allocated instance id and stage it as a prepared
+    //      remote transaction (durable yes-vote, write locks held).
+    //   3. `handoff_commit` (source): WAL `HandOffEnd` — the durable
+    //      decision — then atomically delete the instance's keyspace
+    //      and drop its volatile runtime. From here the source only
+    //      relays (executor replies to in-flight tasks are forwarded
+    //      to the new owner by the ordinary misdirection path).
+    //   4. `handoff_apply` (destination): resolve the prepared stage
+    //      and adopt the materialized instance — watchdogs re-armed
+    //      for executing tasks *without* attempt bumps, so a relayed
+    //      reply applies exactly as if the instance had never moved.
+    //
+    // Crash repair: `recover` purges committed-away instances whose
+    // delete didn't land, presumed-aborts dangling intents, re-announces
+    // verdicts, and chases in-doubt stages with `HandoffQuery`.
+    // -----------------------------------------------------------------
+
+    /// Step 1 (source): logs the move intent and packages the
+    /// instance's committed keyspace. The batch window is flushed
+    /// first so the package reflects every report that has arrived.
+    ///
+    /// # Errors
+    ///
+    /// Unknown instance, or storage failure logging the intent.
+    pub fn handoff_collect(
+        &self,
+        world: &mut World,
+        instance: &str,
+        dest: NodeId,
+    ) -> Result<HandoffPackage, EngineError> {
+        // The package must be the whole committed truth: absorb the
+        // batch window first so no report is stranded in memory.
+        self.flush_pending(world);
+        let mut coordinator = self.inner.borrow_mut();
+        let Some(rt) = coordinator.instances.get(instance) else {
+            return Err(EngineError::UnknownInstance(instance.to_string()));
+        };
+        let keys = rt.keys.clone();
+        let fingerprint = rt.plan.fingerprint;
+        let tx = coordinator
+            .mgr
+            .handoff_begin(instance, dest.index() as u32)?;
+        let mut entries: Vec<(StoreKey, Vec<u8>)> = Vec::new();
+        // Every string-keyed object of the instance (meta, control
+        // blocks, rebindings, reconfiguration records) ...
+        for uid in coordinator
+            .mgr
+            .uids_with_prefix(&format!("inst/{instance}/"))
+        {
+            let key = StoreKey::Uid(uid);
+            if let Some(bytes) = coordinator
+                .mgr
+                .read_committed_bytes(&key)
+                .map(<[u8]>::to_vec)
+            {
+                entries.push((key, bytes));
+            }
+        }
+        // ... the pinned compiled plan ...
+        let plan_key = StoreKey::Uid(plan_uid(fingerprint));
+        if let Some(bytes) = coordinator
+            .mgr
+            .read_committed_bytes(&plan_key)
+            .map(<[u8]>::to_vec)
+        {
+            entries.push((plan_key, bytes));
+        }
+        // ... and every dependency fact: one contiguous range scan.
+        let (lo, hi) = keys.instance_fact_range();
+        for fact in coordinator.mgr.fact_keys_in_range(lo, hi) {
+            let key = StoreKey::Fact(fact);
+            if let Some(bytes) = coordinator
+                .mgr
+                .read_committed_bytes(&key)
+                .map(<[u8]>::to_vec)
+            {
+                entries.push((key, bytes));
+            }
+        }
+        Ok(HandoffPackage {
+            tx,
+            instance: instance.to_string(),
+            src_node: coordinator.node.index() as u32,
+            src_instance_id: keys.instance_id,
+            entries,
+        })
+    }
+
+    /// Step 2 (destination): re-keys the package under a freshly
+    /// allocated local instance id and stages it as a prepared remote
+    /// transaction — the durable yes-vote. Nothing is visible until
+    /// the source's decision arrives ([`Self::handoff_apply`] or a
+    /// replayed verdict).
+    ///
+    /// Moves into one destination must run sequentially: the id
+    /// allocation reads *committed* state, so a second prepare before
+    /// the first resolves would draw the same id.
+    ///
+    /// # Errors
+    ///
+    /// Lock conflict on a staged key, undecodable metadata, or storage
+    /// failure persisting the vote.
+    pub fn handoff_prepare(&self, package: &HandoffPackage) -> Result<(), EngineError> {
+        let mut coordinator = self.inner.borrow_mut();
+        // The instance keeps its name; only the dense fact-key id is
+        // shard-local. Allocate the destination's next id and re-key.
+        let new_id: u32 = coordinator
+            .mgr
+            .read_committed(&instance_seq_uid())?
+            .unwrap_or(0);
+        let meta_key = StoreKey::Uid(meta_uid(&package.instance));
+        let mut writes: Vec<(StoreKey, Option<Vec<u8>>)> =
+            Vec::with_capacity(package.entries.len() + 1);
+        writes.push((
+            StoreKey::Uid(instance_seq_uid()),
+            Some(flowscript_codec::to_bytes(&(new_id + 1))),
+        ));
+        for (key, bytes) in &package.entries {
+            match key {
+                StoreKey::Fact(fact) => {
+                    debug_assert_eq!(fact.instance, package.src_instance_id);
+                    let fact = FactKey {
+                        instance: new_id,
+                        ..*fact
+                    };
+                    writes.push((StoreKey::Fact(fact), Some(bytes.clone())));
+                }
+                key if *key == meta_key => {
+                    let mut meta: InstanceMeta = flowscript_codec::from_bytes(bytes)
+                        .map_err(|e| EngineError::Tx(format!("hand-off meta corrupt: {e}")))?;
+                    meta.instance_id = new_id;
+                    writes.push((key.clone(), Some(flowscript_codec::to_bytes(&meta))));
+                }
+                key => writes.push((key.clone(), Some(bytes.clone()))),
+            }
+        }
+        coordinator
+            .mgr
+            .prepare_remote(package.tx, package.src_node, writes)?;
+        Ok(())
+    }
+
+    /// Step 3 (source): durably decides the move committed, then
+    /// atomically deletes the instance's keyspace and drops its
+    /// volatile runtime (watchdogs disarmed, outstanding dispatch load
+    /// released — the executor replies those dispatches still owe will
+    /// arrive here and be relayed to the new owner by the ordinary
+    /// misdirection path).
+    ///
+    /// # Errors
+    ///
+    /// Storage failure. The decision record lands before the delete,
+    /// so a failure here leaves a committed move whose purge crash
+    /// recovery finishes.
+    pub fn handoff_commit(
+        &self,
+        world: &mut World,
+        instance: &str,
+        tx: TxId,
+        dest: NodeId,
+    ) -> Result<(), EngineError> {
+        let watchdogs = {
+            let mut coordinator = self.inner.borrow_mut();
+            // The durable decision record: from here the move is
+            // committed, crash or no crash.
+            coordinator
+                .mgr
+                .handoff_end(tx, instance, dest.index() as u32, true)?;
+            coordinator.purge_instance(instance)?;
+            // Dual delivery: until the rebalance flips this node's map,
+            // executor replies for the moved instance still land here —
+            // the relay table routes them to the new owner.
+            coordinator.moved.insert(instance.to_string(), dest);
+            let mut stale = Vec::new();
+            if let Some(rt) = coordinator.instances.remove(instance) {
+                stale.extend(rt.watchdogs.into_values());
+                for (node, cost, _) in rt.dispatched_to.values() {
+                    coordinator.sched.note_release(*node, *cost);
+                }
+            }
+            coordinator.metrics.handoffs.inc();
+            let epoch = coordinator.shard.epoch();
+            coordinator.record_event(
+                world.now().as_nanos(),
+                instance,
+                None,
+                0,
+                ObsEventKind::HandOff {
+                    to: dest.index() as u32,
+                    epoch,
+                },
+            );
+            stale
+        };
+        for id in watchdogs {
+            world.cancel(id);
+        }
+        Ok(())
+    }
+
+    /// Aborts a move whose destination could not prepare (step 3's
+    /// other branch): durably records the abort so the intent is not
+    /// replayed as in-doubt. The instance never stopped being served
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// Storage failure persisting the abort record.
+    pub fn handoff_abort(&self, instance: &str, tx: TxId, dest: NodeId) -> Result<(), EngineError> {
+        let mut coordinator = self.inner.borrow_mut();
+        coordinator
+            .mgr
+            .handoff_end(tx, instance, dest.index() as u32, false)?;
+        Ok(())
+    }
+
+    /// Step 4 (destination): applies the source's decision to the
+    /// prepared stage — commit makes the re-keyed keyspace visible and
+    /// adopts the instance, abort discards the stage and releases its
+    /// locks. Idempotent: resolving an unknown transaction is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Storage failure persisting the resolution.
+    pub fn handoff_apply(
+        &self,
+        world: &mut World,
+        tx: TxId,
+        committed: bool,
+    ) -> Result<(), EngineError> {
+        self.inner.borrow_mut().mgr.resolve_remote(tx, committed)?;
+        if committed {
+            self.adopt_orphans(world);
+        }
+        Ok(())
+    }
+
+    /// Adopts every instance whose committed state sits in this
+    /// shard's store without a resident runtime — the landing half of
+    /// a hand-off (and of a replayed verdict after a destination
+    /// crash). Unlike crash recovery this bumps no attempts and
+    /// re-dispatches nothing: the old owner relays in-flight executor
+    /// replies, so the execution history stays byte-identical to an
+    /// unmoved run. Watchdogs are re-armed as the safety net for a
+    /// relay that never arrives.
+    fn adopt_orphans(&self, world: &mut World) {
+        let adopted: Vec<(String, bool)> = {
+            let mut coordinator = self.inner.borrow_mut();
+            let metas: Vec<ObjectUid> = coordinator.mgr.uids_matching("inst/", "/meta");
+            let mut adopted = Vec::new();
+            for uid in metas {
+                let name = uid
+                    .as_str()
+                    .trim_start_matches("inst/")
+                    .trim_end_matches("/meta")
+                    .to_string();
+                if coordinator.instances.contains_key(&name) {
+                    continue;
+                }
+                let Ok(Some(meta)) = coordinator.mgr.read_committed::<InstanceMeta>(&uid) else {
+                    continue;
+                };
+                let Some(rt) = coordinator.load_instance(&name, &meta) else {
+                    continue;
+                };
+                coordinator.instances.insert(name.clone(), rt);
+                let epoch = coordinator.shard.epoch();
+                let to = coordinator.node.index() as u32;
+                coordinator.record_event(
+                    world.now().as_nanos(),
+                    &name,
+                    None,
+                    0,
+                    ObsEventKind::HandOff { to, epoch },
+                );
+                adopted.push((name, meta.status == InstanceStatus::Running));
+            }
+            adopted
+        };
+        for (name, running) in adopted {
+            self.arm_adopted_watchdogs(world, &name);
+            if running {
+                // Full re-evaluation: an adopted instance has no
+                // commit to seed from. Executing tasks are not
+                // re-dispatched — their transitions gate on the
+                // control-block state.
+                self.evaluate(world, &name);
+            }
+        }
+    }
+
+    /// Arms fresh watchdogs for every task an adopted instance has in
+    /// the `Executing` state, marking them in flight. The normal case
+    /// is the watchdog being disarmed by the old owner's relayed
+    /// `TaskDone`; it fires only if the reply (or its relay) is truly
+    /// lost, turning the move into an ordinary bounded retry.
+    fn arm_adopted_watchdogs(&self, world: &mut World, instance: &str) {
+        let (node, executing) = {
+            let coordinator = self.inner.borrow();
+            let Some(rt) = coordinator.instances.get(instance) else {
+                return;
+            };
+            let (plan, keys) = (rt.plan.clone(), rt.keys.clone());
+            let executing: Vec<(String, u32, u32, SimDuration)> = (0..plan.tasks.len() as TaskId)
+                .filter_map(|id| {
+                    let cb = coordinator.read_cb_id(&keys, id)?;
+                    matches!(cb.state, CbState::Executing { .. }).then(|| {
+                        let hints = ImplHints::from_map(&plan.implementation_map(plan.task(id)));
+                        let timeout = hints.watchdog_timeout(coordinator.config.dispatch_timeout);
+                        (cb.path.clone(), cb.incarnation, cb.attempt, timeout)
+                    })
+                })
+                .collect();
+            (coordinator.node, executing)
+        };
+        for (path, incarnation, attempt, timeout) in executing {
+            let handle = self.clone();
+            let instance_owned = instance.to_string();
+            let path_owned = path.clone();
+            let watchdog = world.schedule_node_after(node, timeout, move |world| {
+                handle.on_watchdog(world, &instance_owned, &path_owned, incarnation, attempt);
+            });
+            let stale = {
+                let mut coordinator = self.inner.borrow_mut();
+                coordinator.instances.get_mut(instance).and_then(|rt| {
+                    rt.in_flight.insert(path.clone());
+                    rt.watchdogs.insert(path, watchdog)
+                })
+            };
+            if let Some(stale) = stale {
+                world.cancel(stale);
+            }
+        }
+    }
+
+    /// A restarted destination asking what happened to an in-doubt
+    /// move (source side). The decision record is durable before any
+    /// destination learns of a commit, so an unknown transaction means
+    /// abort — presumed abort.
+    fn on_handoff_query(&self, world: &mut World, from: NodeId, tx: TxId) {
+        let (node, committed) = {
+            let coordinator = self.inner.borrow();
+            (
+                coordinator.node,
+                coordinator.mgr.coordinator_decision(tx).unwrap_or(false),
+            )
+        };
+        let verdict = EngineMsg::HandoffVerdict {
+            tx_node: tx.node(),
+            tx_seq: tx.seq(),
+            committed,
+        };
+        world.send(node, from, flowscript_codec::to_bytes(&verdict));
+    }
+
+    /// The source's durable decision arriving for a stage this shard
+    /// prepared (destination side).
+    fn on_handoff_verdict(&self, world: &mut World, tx: TxId, committed: bool) {
+        let _ = self.handoff_apply(world, tx, committed);
+    }
+
+    /// The shard map's current epoch on this coordinator.
+    pub fn shard_epoch(&self) -> u64 {
+        self.inner.borrow().shard.epoch()
+    }
+
+    /// Replaces this coordinator's shard map — the final flip of a
+    /// rebalance, after every moved instance committed. Requests for
+    /// instances the new map assigns elsewhere forward from now on.
+    pub fn set_shard_map(&self, map: ShardMap) {
+        let mut coordinator = self.inner.borrow_mut();
+        coordinator.shard = map;
+        // The new map is authoritative: relay tombstones from the
+        // moves that led to this flip are now redundant.
+        coordinator.moved.clear();
+    }
+
+    /// Records one committed move's instance-unavailability window in
+    /// the `coord.handoff_pause_ns` histogram (measured wall-clock by
+    /// the rebalance driver, on the source shard).
+    pub fn note_handoff_pause(&self, ns: u64) {
+        self.inner.borrow().metrics.handoff_pause_ns.record(ns);
     }
 
     // -----------------------------------------------------------------
@@ -2430,8 +3067,23 @@ impl CoordHandle {
                 return; // stale (cancelled/terminated meanwhile): not a drop
             };
             // Run-time binding: per-instance rebinding overrides the
-            // script's name.
-            let script_code = plan.code(task).unwrap_or_default().to_string();
+            // script's name. A leaf with no implementation clause has
+            // no code to ship — shipping an empty name would bounce off
+            // every executor as an unbound implementation and burn the
+            // retry budget on an error no retry can fix.
+            let script_code = match plan.code(task) {
+                Some(code) if !code.is_empty() => code.to_string(),
+                _ => {
+                    drop(coordinator);
+                    self.fail_task(
+                        world,
+                        instance,
+                        path,
+                        &format!("missing implementation code for `{path}`"),
+                    );
+                    return;
+                }
+            };
             let rt = coordinator.instances.get(instance).expect("checked above");
             let code = rt
                 .bindings
@@ -2469,6 +3121,7 @@ impl CoordHandle {
                         set,
                         inputs,
                         repeat_objects,
+                        epoch: coordinator.shard.epoch(),
                     });
                     coordinator.metrics.dispatches.inc();
                     coordinator.record_event(
@@ -3830,7 +4483,7 @@ impl CoordHandle {
     /// replaying persisted reconfigurations — survives only as the
     /// fallback for a missing or corrupt blob.
     pub fn recover(&self, world: &mut World) {
-        let instances: Vec<String> = {
+        let recovered = {
             let mut coordinator = self.inner.borrow_mut();
             let (node, storage) = (coordinator.node, coordinator.storage.clone());
             // Reopen the store against the same registry: metric
@@ -3857,6 +4510,36 @@ impl CoordHandle {
             // below rebuild it.
             coordinator.sched.reset_loads();
 
+            // Hand-off repair, before instances load. A crash can
+            // strand a move at any point:
+            //  * a replayed *committed* decision whose keyspace purge
+            //    did not land means the destination owns the instance
+            //    — purge now, and re-announce the verdict below;
+            //  * an intent with no decision is presumed aborted:
+            //    append the durable abort and notify the destination
+            //    so it releases its staged locks.
+            let ends: Vec<(TxId, String, u32, bool)> =
+                coordinator.mgr.replayed_handoff_ends().to_vec();
+            for (_, instance, dest, committed) in &ends {
+                if !*committed {
+                    continue;
+                }
+                if coordinator.mgr.exists(&meta_uid(instance)) {
+                    let _ = coordinator.purge_instance(instance);
+                }
+                // Rebuild the dual-delivery relay entry: executor
+                // replies for the moved instance may still arrive here.
+                coordinator
+                    .moved
+                    .insert(instance.clone(), NodeId::from_index(*dest as usize));
+            }
+            let aborted = coordinator.mgr.open_handoffs();
+            for (tx, instance, dest) in &aborted {
+                let _ = coordinator.mgr.handoff_end(*tx, instance, *dest, false);
+            }
+            let in_doubt = coordinator.mgr.in_doubt();
+            let node = coordinator.node;
+
             // Enumerate instances by their meta objects.
             let metas: Vec<ObjectUid> = coordinator.mgr.uids_matching("inst/", "/meta");
             let mut names = Vec::new();
@@ -3869,84 +4552,72 @@ impl CoordHandle {
                     .trim_start_matches("inst/")
                     .trim_end_matches("/meta")
                     .to_string();
-                // Fast path: decode the persisted plan (validated like
-                // any other untrusted plan) and skip the front end.
-                let cached: Option<Plan> = coordinator
-                    .mgr
-                    .read_committed::<Plan>(&plan_uid(meta.plan_fingerprint))
-                    .ok()
-                    .flatten()
-                    .filter(|plan| {
-                        plan.fingerprint == meta.plan_fingerprint
-                            && plan.is_well_formed()
-                            && plan.verify_fingerprint()
-                    });
-                let (plan, schema) = match cached {
-                    Some(plan) => (plan, None),
-                    None => {
-                        // Fallback: recompile and replay persisted
-                        // reconfigurations in order.
-                        let Ok(mut schema) = schema::compile_source(&meta.source, &meta.root)
-                        else {
-                            continue;
-                        };
-                        for op_uid in coordinator
-                            .mgr
-                            .uids_with_prefix(&format!("inst/{name}/reconfig/"))
-                        {
-                            if let Ok(Some(op)) =
-                                coordinator.mgr.read_committed::<Reconfig>(&op_uid)
-                            {
-                                let _ = reconfig::apply(&mut schema, &op);
-                            }
-                        }
-                        (Plan::lower(&schema), Some(Rc::new(schema)))
-                    }
+                // Fast path inside: decode the persisted plan
+                // (validated like any other untrusted plan) and skip
+                // the front end.
+                let Some(rt) = coordinator.load_instance(&name, &meta) else {
+                    continue;
                 };
-                // Rebindings.
-                let mut bindings = BTreeMap::new();
-                for bind in coordinator
-                    .mgr
-                    .uids_with_prefix(&format!("inst/{name}/bind/"))
-                {
-                    if let Ok(Some(to)) = coordinator.mgr.read_committed::<String>(&bind) {
-                        let code = bind
-                            .as_str()
-                            .trim_start_matches(&format!("inst/{name}/bind/"))
-                            .to_string();
-                        bindings.insert(code, to);
-                    }
-                }
-                let keys = InstanceKeys::build(&plan, &name, meta.instance_id);
-                let nonterminal = count_nonterminal(&coordinator.mgr, &plan, &keys);
-                coordinator.instances.insert(
-                    name.clone(),
-                    InstanceRt {
-                        plan: Rc::new(plan),
-                        keys: Rc::new(keys),
-                        schema,
-                        bindings,
-                        watchdogs: BTreeMap::new(),
-                        in_flight: BTreeSet::new(),
-                        dispatched_to: BTreeMap::new(),
-                        retry_from: BTreeMap::new(),
-                        nonterminal,
-                    },
-                );
+                coordinator.instances.insert(name.clone(), rt);
                 coordinator.metrics.recovered_instances.inc();
+                let epoch = coordinator.shard.epoch();
                 coordinator.record_event(
                     world.now().as_nanos(),
                     &name,
                     None,
                     0,
-                    ObsEventKind::Recovery,
+                    ObsEventKind::Recovery { epoch },
                 );
                 if meta.status == InstanceStatus::Running {
                     names.push(name);
                 }
             }
-            names
+            (names, ends, aborted, in_doubt, node)
         };
+        let (instances, ends, aborted, in_doubt, node) = recovered;
+
+        // 2PC termination traffic. Every durable decision this restart
+        // replayed (plus the presumed aborts just appended) is
+        // re-announced — the destination may have crashed before
+        // hearing it the first time; resolution is idempotent, so
+        // duplicates are harmless. And every stage this node prepared
+        // but never heard a decision for is chased with a query to its
+        // coordinator.
+        for (tx, _, dest, committed) in &ends {
+            let verdict = EngineMsg::HandoffVerdict {
+                tx_node: tx.node(),
+                tx_seq: tx.seq(),
+                committed: *committed,
+            };
+            world.send(
+                node,
+                NodeId::from_index(*dest as usize),
+                flowscript_codec::to_bytes(&verdict),
+            );
+        }
+        for (tx, _, dest) in &aborted {
+            let verdict = EngineMsg::HandoffVerdict {
+                tx_node: tx.node(),
+                tx_seq: tx.seq(),
+                committed: false,
+            };
+            world.send(
+                node,
+                NodeId::from_index(*dest as usize),
+                flowscript_codec::to_bytes(&verdict),
+            );
+        }
+        for (tx, coordinator_node) in &in_doubt {
+            let query = EngineMsg::HandoffQuery {
+                tx_node: tx.node(),
+                tx_seq: tx.seq(),
+            };
+            world.send(
+                node,
+                NodeId::from_index(*coordinator_node as usize),
+                flowscript_codec::to_bytes(&query),
+            );
+        }
 
         // Re-dispatch whatever was executing (at-least-once execution,
         // exactly-once outcome application via attempt matching).

@@ -190,6 +190,7 @@ fn play_behavior(
             attempt: start.attempt,
             mark: mark.name,
             objects: mark.objects,
+            epoch: start.epoch,
         });
         let at = queue_delay + mark.at.min(behavior.work);
         world.schedule_node_after(node, at, move |world| {
@@ -220,6 +221,7 @@ fn send_done(
         incarnation: start.incarnation,
         attempt: start.attempt,
         result,
+        epoch: start.epoch,
     });
     world.send(node, coordinator, flowscript_codec::to_bytes(&msg));
 }
@@ -292,6 +294,7 @@ mod tests {
             set: "main".into(),
             inputs: Default::default(),
             repeat_objects: Default::default(),
+            epoch: 1,
         };
         let registry = ImplRegistry::new();
         let err = run_nested_script(&registry, "class C;", "root", &start).unwrap_err();

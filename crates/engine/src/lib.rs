@@ -27,6 +27,12 @@
 //!   across multiple execution-service nodes by rendezvous hash of the
 //!   instance name, each shard owning its facts, WAL and worklists,
 //!   with misdirected requests forwarded and per-shard crash recovery,
+//! - **live rebalancing**: epoch-versioned shard maps with hop-capped
+//!   forwarding, and [`WorkflowSystem::add_coordinator`] /
+//!   [`WorkflowSystem::rebalance`] moving running instances between
+//!   shards as batched two-phase hand-offs — dual delivery of executor
+//!   reports during the window, WAL-framed intent/decision records for
+//!   crash repair,
 //! - a high-level facade, [`WorkflowSystem`], that wires all services
 //!   onto `flowscript-sim` nodes (the paper's Fig. 4 topology).
 //!
@@ -76,9 +82,10 @@ pub mod shard;
 pub mod state;
 mod value;
 
-pub use api::{SystemBuilder, WorkflowSystem};
+pub use api::{RebalanceReport, SystemBuilder, WorkflowSystem};
 pub use coordinator::{
-    CommitBatch, CoordStats, DispatchRecord, EngineConfig, InstanceStatus, Outcome,
+    CommitBatch, CoordStats, DispatchRecord, EngineConfig, HandoffPackage, InstanceStatus, Outcome,
+    MAX_FORWARD_HOPS,
 };
 pub use error::EngineError;
 pub use facts::StoreFacts;

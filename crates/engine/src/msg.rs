@@ -29,6 +29,10 @@ pub struct StartTask {
     pub inputs: BTreeMap<String, ObjectVal>,
     /// Objects carried over from a repeat outcome, if re-executing.
     pub repeat_objects: BTreeMap<String, ObjectVal>,
+    /// Shard-map epoch the dispatching coordinator routed under; the
+    /// executor echoes it back on its reports so post-rebalance replies
+    /// are attributable to the map that placed them.
+    pub epoch: u64,
 }
 
 impl StartTask {
@@ -54,6 +58,8 @@ pub struct TaskDone {
     pub attempt: u32,
     /// The result.
     pub result: TaskResult,
+    /// Shard-map epoch echoed from the dispatching [`StartTask`].
+    pub epoch: u64,
 }
 
 /// The terminal result of one task execution attempt.
@@ -91,6 +97,8 @@ pub struct MarkMsg {
     pub mark: String,
     /// Objects released with it.
     pub objects: BTreeMap<String, ObjectVal>,
+    /// Shard-map epoch echoed from the dispatching [`StartTask`].
+    pub epoch: u64,
 }
 
 /// All engine messages, tagged for dispatch.
@@ -145,11 +153,44 @@ pub enum EngineMsg {
         set: String,
         /// Root input objects.
         inputs: BTreeMap<String, ObjectVal>,
+        /// Shard-map epoch the client routed under (0 = epoch-unaware
+        /// client; the owner serves it either way and the stamp makes
+        /// stale routing diagnosable in traces).
+        epoch: u64,
     },
     /// Generic acknowledgement reply.
     Ack {
         /// Success or an error description.
         result: Result<(), String>,
+    },
+    /// A misdirected message relayed toward the owning shard. The
+    /// wrapper counts hops so two coordinators with disagreeing maps
+    /// (the mid-rebalance state) cannot ping-pong a report forever.
+    Forwarded {
+        /// Shard-map epoch of the most recent forwarder.
+        epoch: u64,
+        /// Relays so far (the first forward sends 1).
+        hops: u32,
+        /// The encoded original [`EngineMsg`].
+        inner: Vec<u8>,
+    },
+    /// Restarted hand-off destination → source: what happened to this
+    /// in-doubt move? (2PC termination protocol for hand-offs.)
+    HandoffQuery {
+        /// Moving transaction id, node part.
+        tx_node: u32,
+        /// Moving transaction id, sequence part.
+        tx_seq: u64,
+    },
+    /// Hand-off source → destination: the durable decision for a move
+    /// (pushed on source recovery, or answering a [`HandoffQuery`]).
+    HandoffVerdict {
+        /// Moving transaction id, node part.
+        tx_node: u32,
+        /// Moving transaction id, sequence part.
+        tx_seq: u64,
+        /// `true` = the destination owns the instance.
+        committed: bool,
     },
 }
 
@@ -164,6 +205,7 @@ impl Encode for StartTask {
         w.put_str(&self.set);
         self.inputs.encode(w);
         self.repeat_objects.encode(w);
+        w.put_u64(self.epoch);
     }
 }
 
@@ -179,6 +221,7 @@ impl Decode for StartTask {
             set: r.get_str()?.to_owned(),
             inputs: BTreeMap::decode(r)?,
             repeat_objects: BTreeMap::decode(r)?,
+            epoch: r.get_u64()?,
         })
     }
 }
@@ -232,6 +275,7 @@ impl Encode for TaskDone {
         w.put_u32(self.incarnation);
         w.put_u32(self.attempt);
         self.result.encode(w);
+        w.put_u64(self.epoch);
     }
 }
 
@@ -243,6 +287,7 @@ impl Decode for TaskDone {
             incarnation: r.get_u32()?,
             attempt: r.get_u32()?,
             result: TaskResult::decode(r)?,
+            epoch: r.get_u64()?,
         })
     }
 }
@@ -255,6 +300,7 @@ impl Encode for MarkMsg {
         w.put_u32(self.attempt);
         w.put_str(&self.mark);
         self.objects.encode(w);
+        w.put_u64(self.epoch);
     }
 }
 
@@ -267,6 +313,7 @@ impl Decode for MarkMsg {
             attempt: r.get_u32()?,
             mark: r.get_str()?.to_owned(),
             objects: BTreeMap::decode(r)?,
+            epoch: r.get_u64()?,
         })
     }
 }
@@ -315,6 +362,7 @@ impl Encode for EngineMsg {
                 version,
                 set,
                 inputs,
+                epoch,
             } => {
                 w.put_u8(6);
                 w.put_str(instance);
@@ -322,10 +370,32 @@ impl Encode for EngineMsg {
                 version.encode(w);
                 w.put_str(set);
                 inputs.encode(w);
+                w.put_u64(*epoch);
             }
             EngineMsg::Ack { result } => {
                 w.put_u8(7);
                 result.encode(w);
+            }
+            EngineMsg::Forwarded { epoch, hops, inner } => {
+                w.put_u8(8);
+                w.put_u64(*epoch);
+                w.put_u32(*hops);
+                w.put_len_prefixed(inner);
+            }
+            EngineMsg::HandoffQuery { tx_node, tx_seq } => {
+                w.put_u8(9);
+                w.put_u32(*tx_node);
+                w.put_u64(*tx_seq);
+            }
+            EngineMsg::HandoffVerdict {
+                tx_node,
+                tx_seq,
+                committed,
+            } => {
+                w.put_u8(10);
+                w.put_u32(*tx_node);
+                w.put_u64(*tx_seq);
+                w.put_bool(*committed);
             }
         }
     }
@@ -358,9 +428,24 @@ impl Decode for EngineMsg {
                 version: Option::decode(r)?,
                 set: r.get_str()?.to_owned(),
                 inputs: BTreeMap::decode(r)?,
+                epoch: r.get_u64()?,
             },
             7 => EngineMsg::Ack {
                 result: Result::decode(r)?,
+            },
+            8 => EngineMsg::Forwarded {
+                epoch: r.get_u64()?,
+                hops: r.get_u32()?,
+                inner: r.get_len_prefixed()?.to_vec(),
+            },
+            9 => EngineMsg::HandoffQuery {
+                tx_node: r.get_u32()?,
+                tx_seq: r.get_u64()?,
+            },
+            10 => EngineMsg::HandoffVerdict {
+                tx_node: r.get_u32()?,
+                tx_seq: r.get_u64()?,
+                committed: r.get_bool()?,
             },
             other => {
                 return Err(CodecError::InvalidDiscriminant {
@@ -391,6 +476,7 @@ mod tests {
                 set: "main".into(),
                 inputs: inputs.clone(),
                 repeat_objects: BTreeMap::new(),
+                epoch: 1,
             }),
             EngineMsg::Done(TaskDone {
                 instance: "i1".into(),
@@ -402,6 +488,7 @@ mod tests {
                     objects: inputs.clone(),
                     redo_after: SimDuration::from_millis(5),
                 },
+                epoch: 2,
             }),
             EngineMsg::Done(TaskDone {
                 instance: "i1".into(),
@@ -411,6 +498,7 @@ mod tests {
                 result: TaskResult::ExecError {
                     reason: "no binding".into(),
                 },
+                epoch: 1,
             }),
             EngineMsg::Mark(MarkMsg {
                 instance: "i1".into(),
@@ -419,6 +507,7 @@ mod tests {
                 attempt: 1,
                 mark: "toPay".into(),
                 objects: inputs,
+                epoch: 3,
             }),
             EngineMsg::RepoRegister {
                 name: "s".into(),
@@ -441,9 +530,24 @@ mod tests {
                 version: None,
                 set: "main".into(),
                 inputs: BTreeMap::new(),
+                epoch: 2,
             },
             EngineMsg::Ack {
                 result: Err("boom".into()),
+            },
+            EngineMsg::Forwarded {
+                epoch: 4,
+                hops: 2,
+                inner: vec![7, 0, 1],
+            },
+            EngineMsg::HandoffQuery {
+                tx_node: 1,
+                tx_seq: 42,
+            },
+            EngineMsg::HandoffVerdict {
+                tx_node: 1,
+                tx_seq: 42,
+                committed: true,
             },
         ];
         for msg in msgs {

@@ -49,9 +49,16 @@ pub struct ImplHints {
 
 impl ImplHints {
     /// Extracts the typed hints from an implementation key/value map.
+    /// An empty `location` value means *unpinned*, exactly like an
+    /// absent one — the empty string is not a real label, and letting
+    /// it through would pin the task to executors registered with an
+    /// empty label.
     pub fn from_map(implementation: &BTreeMap<String, String>) -> Self {
         Self {
-            location: implementation.get("location").cloned(),
+            location: implementation
+                .get("location")
+                .filter(|label| !label.is_empty())
+                .cloned(),
             priority: implementation
                 .get("priority")
                 .and_then(|v| v.parse().ok())
@@ -169,14 +176,16 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Builds a scheduler over the executor fleet. `slots` order is the
-    /// deterministic tie-break order.
+    /// deterministic tie-break order. An empty-string location label
+    /// normalizes to `None`: such an executor is label-free, not
+    /// registered at a location named `""`.
     pub fn new(executors: Vec<(NodeId, Option<String>)>, policy: SchedPolicy) -> Self {
         Self {
             slots: executors
                 .into_iter()
                 .map(|(node, location)| ExecutorSlot {
                     node,
-                    location,
+                    location: location.filter(|label| !label.is_empty()),
                     in_flight: 0,
                     remaining: 0,
                 })
@@ -230,10 +239,12 @@ impl Scheduler {
             Some(location) => slot.location.as_deref() == Some(location.as_str()),
             None => true,
         };
-        if !self.slots.iter().any(|slot| eligible(&slot)) {
-            return Err(SchedError::NoExecutorAt(
-                hints.location.clone().unwrap_or_default(),
-            ));
+        // Only a real pin can be unsatisfiable: unpinned tasks are
+        // eligible everywhere and the fleet is non-empty.
+        if let Some(location) = &hints.location {
+            if !self.slots.iter().any(|slot| eligible(&slot)) {
+                return Err(SchedError::NoExecutorAt(location.clone()));
+            }
         }
         // Least-loaded among the eligible, preferring nodes other than
         // `avoid`; ties break by slot order (deterministic runs). The
@@ -459,6 +470,33 @@ mod tests {
         }
         assert_eq!(sched.pick("p", 0, &paris, None).unwrap().node, ids[1]);
         // A location nobody carries is a diagnosable error.
+        let mars = hints(&[("location", "mars")]);
+        assert_eq!(
+            sched.pick("p", 0, &mars, None),
+            Err(SchedError::NoExecutorAt("mars".into()))
+        );
+    }
+
+    #[test]
+    fn empty_location_label_means_unpinned() {
+        // An empty `location` value in the clause is no pin at all…
+        let h = hints(&[("location", "")]);
+        assert_eq!(h.location, None);
+        // …and an executor registered with an empty label is
+        // label-free, not installed at a location named `""` — the two
+        // must not rendezvous as if "" were a real place.
+        let ids = nodes(2);
+        let mut sched = Scheduler::new(
+            vec![(ids[0], Some(String::new())), (ids[1], None)],
+            SchedPolicy::LeastLoaded,
+        );
+        assert!(sched.snapshot().iter().all(|slot| slot.location.is_none()));
+        // The empty-pinned task schedules like any unpinned task:
+        // least-loaded over the whole fleet, no phantom constraint.
+        sched.note_dispatch(ids[0], 1);
+        assert_eq!(sched.pick("p", 0, &h, None).unwrap().node, ids[1]);
+        // A real pin nobody carries still errors with its own name,
+        // never the empty string.
         let mars = hints(&[("location", "mars")]);
         assert_eq!(
             sched.pick("p", 0, &mars, None),

@@ -224,7 +224,7 @@ fn trace_spans_one_shard_crash_and_recovery() {
     assert_lifecycle(instance, &events);
     let recovery_at = events
         .iter()
-        .position(|e| matches!(e.kind, ObsEventKind::Recovery))
+        .position(|e| matches!(e.kind, ObsEventKind::Recovery { .. }))
         .expect("the trace must contain the recovery event");
     assert!(
         recovery_at > 0 && recovery_at < events.len() - 1,
@@ -695,7 +695,7 @@ compoundtask root of taskclass Root {
         .iter()
         .enumerate()
         .find_map(|(at, e)| match e.kind {
-            ObsEventKind::Forward { to } => Some((at, to)),
+            ObsEventKind::Forward { to, .. } => Some((at, to)),
             _ => None,
         })
         .expect("the relay records the forward");

@@ -1,0 +1,405 @@
+//! Live shard rebalancing: adding a coordinator under load must move
+//! running instances to the new owner as 2PC hand-offs without losing
+//! or duplicating a single outcome — per-instance results must be
+//! byte-identical to a run that never rebalanced. A crash on either
+//! side of a half-finished hand-off must recover to exactly one
+//! converged owner (presumed abort before the decision, destination
+//! adoption after it). And deliberately skewed shard maps — the state
+//! a buggy flip would leave behind — must not ping-pong a message
+//! forever: the hop cap drops it and counts the loop.
+
+use std::collections::BTreeMap;
+
+use flowscript_core::samples;
+use flowscript_engine::coordinator::EngineConfig;
+use flowscript_engine::{
+    CbState, InstanceStatus, ObjectVal, ShardMap, TaskBehavior, WorkflowSystem, MAX_FORWARD_HOPS,
+};
+use flowscript_sim::net::LinkConfig;
+use flowscript_sim::{SimDuration, SimTime};
+
+/// A fully deterministic link, so the no-rebalance baseline and the
+/// rebalanced run consume the shared RNG identically.
+fn det_link() -> LinkConfig {
+    LinkConfig {
+        base_latency: SimDuration::from_micros(200),
+        jitter: SimDuration::ZERO,
+        drop_prob: 0.0,
+    }
+}
+
+fn det_config() -> EngineConfig {
+    EngineConfig {
+        dispatch_timeout: SimDuration::from_millis(400),
+        retry_backoff: SimDuration::from_millis(20),
+        record_dispatches: true,
+        ..EngineConfig::default()
+    }
+}
+
+fn text(class: &str, value: &str) -> ObjectVal {
+    ObjectVal::text(class, value)
+}
+
+/// Fig. 7 bindings: pure functions of the invocation, with enough
+/// simulated work (~100ms per order) that a mid-run rebalance catches
+/// instances with tasks genuinely executing.
+fn bind_order(sys: &WorkflowSystem) {
+    sys.bind_fn("refPaymentAuthorisation", |_| {
+        TaskBehavior::outcome("authorised")
+            .with_work(SimDuration::from_millis(30))
+            .with_object("paymentInfo", ObjectVal::text("PaymentInfo", "p"))
+    });
+    sys.bind_fn("refCheckStock", |_| {
+        TaskBehavior::outcome("stockAvailable")
+            .with_work(SimDuration::from_millis(45))
+            .with_object("stockInfo", ObjectVal::text("StockInfo", "s"))
+    });
+    sys.bind_fn("refDispatch", |_| {
+        TaskBehavior::outcome("dispatchCompleted")
+            .with_work(SimDuration::from_millis(25))
+            .with_object("dispatchNote", ObjectVal::text("DispatchNote", "n"))
+    });
+    sys.bind_fn("refDispatchAlt", |_| {
+        TaskBehavior::outcome("dispatchCompleted")
+            .with_work(SimDuration::from_millis(25))
+            .with_object("dispatchNote", ObjectVal::text("DispatchNote", "alt-note"))
+    });
+    sys.bind_fn("refPaymentCapture", |_| TaskBehavior::outcome("done"));
+}
+
+fn build(coordinators: usize) -> WorkflowSystem {
+    let mut sys = WorkflowSystem::builder()
+        .executors(3)
+        .coordinators(coordinators)
+        .seed(7)
+        .link(det_link())
+        .config(det_config())
+        .build();
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
+    bind_order(&sys);
+    sys
+}
+
+fn population() -> Vec<String> {
+    (0..24).map(|i| format!("order-{i}")).collect()
+}
+
+fn start_population(sys: &mut WorkflowSystem) {
+    for name in population() {
+        sys.start(&name, "order", "main", [("order", text("Order", &name))])
+            .unwrap();
+    }
+}
+
+/// Per-instance fingerprint: the encoded terminal status (outcome
+/// objects included) and every task's final state. Dispatch placement
+/// legitimately differs once a third shard exists, so the trace is
+/// deliberately *not* part of it — attempts still are, via the task
+/// states.
+type Fingerprint = (Vec<u8>, BTreeMap<String, CbState>);
+
+fn fingerprint(sys: &WorkflowSystem, instance: &str) -> Fingerprint {
+    let status = sys.status(instance).expect("instance known");
+    assert!(status.is_terminal(), "{instance} not terminal: {status:?}");
+    (
+        flowscript_codec::to_bytes(&status),
+        sys.task_states(instance),
+    )
+}
+
+#[test]
+fn live_rebalance_preserves_every_outcome() {
+    // Baseline: the same population, never rebalanced.
+    let baseline: BTreeMap<String, Fingerprint> = {
+        let mut sys = build(2);
+        start_population(&mut sys);
+        sys.run();
+        population()
+            .into_iter()
+            .map(|name| {
+                let print = fingerprint(&sys, &name);
+                (name, print)
+            })
+            .collect()
+    };
+
+    // Live run: grow the fleet mid-flight (~20ms into ~100ms orders).
+    let mut sys = build(2);
+    start_population(&mut sys);
+    sys.run_until(SimTime::from_nanos(20_000_000));
+    let live_before = population()
+        .iter()
+        .filter(|name| !sys.status(name).unwrap().is_terminal())
+        .count();
+    assert!(live_before > 0, "rebalance must catch running instances");
+
+    let report = sys.add_coordinator("coordinator2").expect("rebalance");
+    assert!(report.moved > 0, "the new shard must take over instances");
+    assert_eq!(report.moved, report.pause_ns.len());
+    assert_eq!(report.epoch, 2, "one membership change after epoch 1");
+    assert_eq!(sys.shard_map().epoch(), 2);
+    assert_eq!(sys.shard_count(), 3);
+    assert_eq!(
+        sys.stats().handoffs,
+        report.moved as u64,
+        "every move counted exactly once, at its commit decision"
+    );
+
+    sys.run();
+
+    // No outcome lost, duplicated or altered by the moves.
+    for name in population() {
+        assert_eq!(
+            fingerprint(&sys, &name),
+            baseline[&name],
+            "{name} diverged from the no-rebalance run"
+        );
+    }
+    // Dual delivery resolved every relayed report without tripping the
+    // loop guard: maps only disagreed transiently, in one direction.
+    assert_eq!(sys.stats().forward_loops, 0);
+}
+
+#[test]
+fn added_shard_serves_new_instances() {
+    let mut sys = build(2);
+    start_population(&mut sys);
+    sys.run_until(SimTime::from_nanos(20_000_000));
+    sys.add_coordinator("coordinator2").expect("rebalance");
+
+    // New arrivals route by the flipped map; some must land on the new
+    // shard, and everything — moved, resident and new — completes.
+    let extra: Vec<String> = (0..12).map(|i| format!("late-{i}")).collect();
+    for name in &extra {
+        sys.start(name, "order", "main", [("order", text("Order", name))])
+            .unwrap();
+    }
+    assert!(
+        extra.iter().any(|name| sys.shard_of(name) == 2),
+        "rendezvous hashing must give the new shard some of the new work"
+    );
+    sys.run();
+    for name in population().iter().chain(&extra) {
+        let status = sys.status(name).unwrap();
+        assert!(
+            matches!(status, InstanceStatus::Completed(_)),
+            "{name}: {status:?}"
+        );
+    }
+}
+
+/// Crash the *source* after it logged the hand-off intent but before
+/// the decision: recovery must presume abort, keep the instance, and
+/// finish it locally.
+#[test]
+fn source_crash_before_decision_presumes_abort() {
+    let mut sys = build(2);
+    start_population(&mut sys);
+    sys.run_until(SimTime::from_nanos(20_000_000));
+
+    let name = population()
+        .into_iter()
+        .find(|name| !sys.status(name).unwrap().is_terminal())
+        .expect("a running instance");
+    let src_shard = sys.shard_of(&name);
+    let src_node = sys.coordinator_node_for(&name);
+    let dest_shard = 1 - src_shard;
+    let dest_node = sys.coordinator_nodes()[dest_shard];
+    let src = sys.coord_handle(src_shard);
+
+    // Step 1 of 4 only: the durable intent exists, nothing was staged
+    // at the destination, no decision was logged.
+    let package = src
+        .handoff_collect(sys.world_mut(), &name, dest_node)
+        .expect("collect");
+    assert!(!package.is_empty());
+
+    sys.crash_now(src_node);
+    sys.restart_now(src_node);
+    sys.run();
+
+    // Presumed abort: the instance never left, and recovery finished it.
+    let src = sys.coord_handle(src_shard);
+    assert!(
+        src.instance_names().contains(&name),
+        "instance must stay resident at the source"
+    );
+    assert!(
+        !sys.coord_handle(dest_shard)
+            .instance_names()
+            .contains(&name),
+        "the aborted move must not leak the instance to the destination"
+    );
+    assert_eq!(
+        sys.shard_stats(src_shard).handoffs,
+        0,
+        "no commit, no count"
+    );
+    let status = sys.status(&name).unwrap();
+    assert!(
+        matches!(status, InstanceStatus::Completed(_)),
+        "{name}: {status:?}"
+    );
+    // And the whole population still converged.
+    for other in population() {
+        assert!(sys.status(&other).unwrap().is_terminal(), "{other}");
+    }
+}
+
+/// Crash the *destination* between its prepare and hearing the commit:
+/// its restart finds the in-doubt stage, asks the source (the 2PC
+/// coordinator), learns `committed`, and adopts the instance — which
+/// then finishes on its new owner, fed by relayed executor reports.
+#[test]
+fn destination_crash_after_commit_converges_to_destination() {
+    let mut sys = build(2);
+    start_population(&mut sys);
+    sys.run_until(SimTime::from_nanos(20_000_000));
+
+    let name = population()
+        .into_iter()
+        .find(|name| !sys.status(name).unwrap().is_terminal())
+        .expect("a running instance");
+    let src_shard = sys.shard_of(&name);
+    let dest_shard = 1 - src_shard;
+    let dest_node = sys.coordinator_nodes()[dest_shard];
+    let src = sys.coord_handle(src_shard);
+    let dest = sys.coord_handle(dest_shard);
+
+    let package = src
+        .handoff_collect(sys.world_mut(), &name, dest_node)
+        .expect("collect");
+    let tx = package.tx;
+    dest.handoff_prepare(&package).expect("prepare");
+    src.handoff_commit(sys.world_mut(), &name, tx, dest_node)
+        .expect("commit");
+    // The decision is durable at the source; the destination crashes
+    // without ever applying it.
+    sys.crash_now(dest_node);
+    sys.restart_now(dest_node);
+    sys.run();
+
+    // The restarted destination chased its in-doubt stage, heard
+    // `committed`, and adopted.
+    let dest = sys.coord_handle(dest_shard);
+    assert!(
+        dest.instance_names().contains(&name),
+        "destination must adopt the committed move"
+    );
+    assert!(
+        !sys.coord_handle(src_shard).instance_names().contains(&name),
+        "the source must have purged the moved instance"
+    );
+    assert_eq!(sys.shard_stats(src_shard).handoffs, 1);
+    // The client map was never flipped (this test drives the protocol
+    // by hand), so ask the new owner directly.
+    let status = dest.status(&name).unwrap();
+    assert!(
+        matches!(status, InstanceStatus::Completed(_)),
+        "{name}: {status:?}"
+    );
+}
+
+/// Two coordinators with *disagreeing* maps — each believing the other
+/// owns an instance — must not bounce a report forever. The hop cap
+/// drops it and the loop counter records the drop.
+#[test]
+fn skewed_maps_trip_the_forward_loop_guard() {
+    let mut sys = build(2);
+    let nodes = sys.coordinator_nodes().to_vec();
+    let straight = sys.shard_map().clone();
+    // Same nodes, reversed positions: positional seeds make the two
+    // maps disagree on part of the keyspace.
+    let skewed = ShardMap::new(vec![nodes[1], nodes[0]]);
+    let name = (0..10_000)
+        .map(|i| format!("ping-{i}"))
+        .find(|name| skewed.node_of(name) == nodes[1] && straight.node_of(name) == nodes[0])
+        .expect("some name the two maps route at each other");
+    sys.skew_shard_map(0, skewed);
+
+    // Shard 0 forwards to shard 1 (its skewed map says so); shard 1
+    // forwards straight back. Without the cap this never terminates.
+    sys.send_mark_via_shard(0, &name, "t", 0, 0, "m", Vec::<(&str, ObjectVal)>::new());
+    sys.run();
+
+    let stats = sys.stats();
+    assert!(
+        stats.forward_loops >= 1,
+        "the ping-pong must be detected: {stats:?}"
+    );
+    assert!(
+        stats.forwarded <= MAX_FORWARD_HOPS as u64,
+        "hops must stay under the cap: {stats:?}"
+    );
+}
+
+/// A task whose implementation clause binds an *empty* code string
+/// must fail diagnosably — not ship an empty script body to an
+/// executor, and not burn retries on a failure no retry can fix.
+#[test]
+fn empty_implementation_code_fails_without_retries() {
+    const BLANK_CODE: &str = r#"
+class Message;
+
+taskclass Produce {
+    inputs { input main { seed of class Message } };
+    outputs { outcome produced { message of class Message } }
+}
+
+taskclass Pipeline {
+    inputs { input main { seed of class Message } };
+    outputs { outcome done { message of class Message } }
+}
+
+compoundtask pipeline of taskclass Pipeline {
+    task produce of taskclass Produce {
+        implementation { "code" is "" };
+        inputs {
+            input main {
+                inputobject seed from { seed of task pipeline if input main }
+            }
+        }
+    };
+    outputs {
+        outcome done {
+            outputobject message from { message of task produce if output produced }
+        }
+    }
+}
+"#;
+    let mut sys = WorkflowSystem::builder()
+        .executors(1)
+        .seed(7)
+        .link(det_link())
+        .config(det_config())
+        .build();
+    sys.register_script("blank", BLANK_CODE, "pipeline")
+        .unwrap();
+    sys.start("b1", "blank", "main", [("seed", text("Message", "s"))])
+        .unwrap();
+    sys.run();
+
+    let states = sys.task_states("b1");
+    let state = &states["pipeline/produce"];
+    let CbState::Failed { reason } = state else {
+        panic!("task should fail, got {state:?}");
+    };
+    assert!(
+        reason.contains("missing implementation code"),
+        "diagnosable reason, got: {reason}"
+    );
+    let stats = sys.stats();
+    assert_eq!(stats.dispatches, 0, "nothing must reach an executor");
+    assert_eq!(stats.retries, 0, "an empty body is not retryable");
+    let status = sys.status("b1").unwrap();
+    assert!(
+        matches!(status, InstanceStatus::Stuck { .. }),
+        "the instance parks stuck, not silently complete: {status:?}"
+    );
+}

@@ -567,6 +567,8 @@ pub enum ObsEventKind {
     Forward {
         /// Owning shard the request was relayed to.
         to: u32,
+        /// Shard-map epoch the forwarder routed under.
+        epoch: u64,
     },
     /// The instance became stuck; `reason` is the diagnosis.
     Stuck {
@@ -576,7 +578,17 @@ pub enum ObsEventKind {
         reason: String,
     },
     /// The owning shard recovered this instance from its WAL.
-    Recovery,
+    Recovery {
+        /// Shard-map epoch in force when recovery ran.
+        epoch: u64,
+    },
+    /// The instance was handed off to a new owning shard.
+    HandOff {
+        /// Destination shard that adopted the instance.
+        to: u32,
+        /// Shard-map epoch the hand-off committed under.
+        epoch: u64,
+    },
     /// The instance reached a terminal outcome.
     Terminal {
         /// `done` or `aborted`.
@@ -599,7 +611,8 @@ impl ObsEventKind {
             ObsEventKind::Retry { .. } => "retry",
             ObsEventKind::Forward { .. } => "forward",
             ObsEventKind::Stuck { .. } => "stuck",
-            ObsEventKind::Recovery => "recovery",
+            ObsEventKind::Recovery { .. } => "recovery",
+            ObsEventKind::HandOff { .. } => "handoff",
             ObsEventKind::Terminal { .. } => "terminal",
             ObsEventKind::Repair { .. } => "repair",
         }
@@ -652,8 +665,10 @@ impl fmt::Display for ObsEvent {
             }
             ObsEventKind::Dispatch { executor } => write!(f, " -> executor node {executor}"),
             ObsEventKind::Retry { reason } => write!(f, ": {reason}"),
-            ObsEventKind::Forward { to } => write!(f, " -> shard {to}"),
+            ObsEventKind::Forward { to, epoch } => write!(f, " -> shard {to} @epoch {epoch}"),
             ObsEventKind::Stuck { reason } => write!(f, ": {reason}"),
+            ObsEventKind::Recovery { epoch } => write!(f, " @epoch {epoch}"),
+            ObsEventKind::HandOff { to, epoch } => write!(f, " -> shard {to} @epoch {epoch}"),
             ObsEventKind::Terminal { outcome } => write!(f, ": {outcome}"),
             ObsEventKind::Repair { what } => write!(f, ": {what}"),
             _ => Ok(()),

@@ -11,6 +11,15 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs a node id from its raw [`Self::index`]. Durable
+    /// records (WAL frames, shard maps) store node ids as plain
+    /// integers; this turns them back into addressable handles. The
+    /// index is not validated — sending to a node the world never
+    /// created is a silent no-op, same as sending to a crashed one.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
 }
 
 impl fmt::Display for NodeId {

@@ -52,6 +52,34 @@ pub enum LogRecord {
         /// The grouped records, in commit order.
         records: Vec<LogRecord>,
     },
+    /// The source side of an instance hand-off declared its intent: the
+    /// instance's keyspace is about to be 2PC'd to `dest`. A `Begin`
+    /// with no matching [`LogRecord::HandOffEnd`] after a crash means
+    /// the outcome is unknown — recovery presumes abort and tells the
+    /// destination.
+    HandOffBegin {
+        /// The distributed transaction moving the instance.
+        tx: TxId,
+        /// The moving instance's name.
+        instance: String,
+        /// Destination shard (coordinator node index).
+        dest: u32,
+    },
+    /// The source side's hand-off decision (this is the 2PC
+    /// coordinator's decision record: `committed` here is what the
+    /// destination learns if it has to ask after a crash). On commit,
+    /// the source's deletion of the moved keyspace follows as one
+    /// ordinary `Commit`.
+    HandOffEnd {
+        /// The distributed transaction moving the instance.
+        tx: TxId,
+        /// The moving instance's name.
+        instance: String,
+        /// Destination shard (coordinator node index).
+        dest: u32,
+        /// `true` = the destination owns the instance now.
+        committed: bool,
+    },
 }
 
 impl Encode for LogRecord {
@@ -85,6 +113,24 @@ impl Encode for LogRecord {
                 w.put_u8(4);
                 records.encode(w);
             }
+            LogRecord::HandOffBegin { tx, instance, dest } => {
+                w.put_u8(5);
+                tx.encode(w);
+                instance.encode(w);
+                w.put_u32(*dest);
+            }
+            LogRecord::HandOffEnd {
+                tx,
+                instance,
+                dest,
+                committed,
+            } => {
+                w.put_u8(6);
+                tx.encode(w);
+                instance.encode(w);
+                w.put_u32(*dest);
+                w.put_bool(*committed);
+            }
         }
     }
 }
@@ -110,6 +156,17 @@ impl Decode for LogRecord {
             }),
             4 => Ok(LogRecord::GroupCommit {
                 records: Vec::decode(r)?,
+            }),
+            5 => Ok(LogRecord::HandOffBegin {
+                tx: TxId::decode(r)?,
+                instance: String::decode(r)?,
+                dest: r.get_u32()?,
+            }),
+            6 => Ok(LogRecord::HandOffEnd {
+                tx: TxId::decode(r)?,
+                instance: String::decode(r)?,
+                dest: r.get_u32()?,
+                committed: r.get_bool()?,
             }),
             other => Err(CodecError::InvalidDiscriminant {
                 ty: "LogRecord",
@@ -340,6 +397,17 @@ mod tests {
                         records: vec![sample_commit(6)],
                     },
                 ],
+            },
+            LogRecord::HandOffBegin {
+                tx: TxId::new(2, 8),
+                instance: "wf-moving".into(),
+                dest: 3,
+            },
+            LogRecord::HandOffEnd {
+                tx: TxId::new(2, 8),
+                instance: "wf-moving".into(),
+                dest: 3,
+                committed: true,
             },
         ];
         for record in records {

@@ -160,6 +160,13 @@ pub struct TxManager<S = SharedStorage> {
     /// Commit decisions this node made as a 2PC coordinator (presumed
     /// abort: only commits are remembered durably).
     coordinator_commits: HashMap<TxId, bool>,
+    /// Instance hand-offs this node initiated whose outcome is not yet
+    /// durable: `HandOffBegin` logged, no matching `HandOffEnd`.
+    /// Keyed by the moving transaction; value = (instance, dest shard).
+    open_handoffs: HashMap<TxId, (String, u32)>,
+    /// Hand-off decisions seen during log replay (crash recovery needs
+    /// to re-announce committed moves and purge leftover state).
+    replayed_handoff_ends: Vec<(TxId, String, u32, bool)>,
     next_seq: u64,
     /// Open [`TxManager::begin_group`] nesting depth; while positive,
     /// top-level commit records buffer instead of hitting the WAL.
@@ -208,6 +215,8 @@ impl<S: Storage> TxManager<S> {
         let mut store = BTreeMap::new();
         let mut prepared: HashMap<TxId, PreparedTx> = HashMap::new();
         let mut coordinator_commits = HashMap::new();
+        let mut open_handoffs: HashMap<TxId, (String, u32)> = HashMap::new();
+        let mut replayed_handoff_ends: Vec<(TxId, String, u32, bool)> = Vec::new();
         let mut max_seq = 0u64;
         // Worklist so `GroupCommit` frames flatten to their member
         // records in order (groups may nest; replay order is preserved
@@ -252,6 +261,23 @@ impl<S: Storage> TxManager<S> {
                         coordinator_commits.insert(tx, committed);
                     }
                 }
+                LogRecord::HandOffBegin { tx, instance, dest } => {
+                    max_seq = max_seq.max(tx.seq());
+                    open_handoffs.insert(tx, (instance, dest));
+                }
+                LogRecord::HandOffEnd {
+                    tx,
+                    instance,
+                    dest,
+                    committed,
+                } => {
+                    max_seq = max_seq.max(tx.seq());
+                    open_handoffs.remove(&tx);
+                    // The end frame doubles as the 2PC coordinator
+                    // decision for the move.
+                    coordinator_commits.insert(tx, committed);
+                    replayed_handoff_ends.push((tx, instance, dest, committed));
+                }
             }
         }
         let mut locks = LockManager::new();
@@ -271,6 +297,8 @@ impl<S: Storage> TxManager<S> {
             active: HashMap::new(),
             prepared,
             coordinator_commits,
+            open_handoffs,
+            replayed_handoff_ends,
             next_seq: max_seq + 1,
             group_depth: 0,
             group_buffer: Vec::new(),
@@ -821,6 +849,22 @@ impl<S: Storage> TxManager<S> {
                 committed: *committed,
             });
         }
+        // Undecided hand-offs must survive compaction too: their
+        // begin frames are what recovery presumes abort from.
+        let mut open_moves: Vec<LogRecord> = self
+            .open_handoffs
+            .iter()
+            .map(|(tx, (instance, dest))| LogRecord::HandOffBegin {
+                tx: *tx,
+                instance: instance.clone(),
+                dest: *dest,
+            })
+            .collect();
+        open_moves.sort_by_key(|r| match r {
+            LogRecord::HandOffBegin { tx, .. } => *tx,
+            _ => unreachable!("only begins collected"),
+        });
+        pending.extend(open_moves);
         self.wal.rewrite_with_checkpoint(states, pending)
     }
 
@@ -980,6 +1024,75 @@ impl<S: Storage> TxManager<S> {
     /// Mints a fresh id for a distributed transaction coordinated here.
     pub fn mint_dist_tx(&mut self) -> TxId {
         self.mint()
+    }
+
+    // ------------------------------------------------------------------
+    // Instance hand-off frames (live shard rebalancing).
+    // ------------------------------------------------------------------
+
+    /// Source-side hand-off intent: mints the moving transaction and
+    /// durably logs that `instance` is being 2PC'd to shard `dest`.
+    /// A begin with no later [`TxManager::handoff_end`] is presumed
+    /// aborted by recovery.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors on log append.
+    pub fn handoff_begin(&mut self, instance: &str, dest: u32) -> Result<TxId, TxError> {
+        let tx = self.mint();
+        self.metrics.two_pc_rounds.inc();
+        self.append_record(&LogRecord::HandOffBegin {
+            tx,
+            instance: instance.to_string(),
+            dest,
+        })?;
+        self.open_handoffs.insert(tx, (instance.to_string(), dest));
+        Ok(tx)
+    }
+
+    /// Source-side hand-off decision. This is the move's 2PC
+    /// coordinator decision record: once durable, a crashed destination
+    /// can learn the verdict via [`TxManager::coordinator_decision`].
+    ///
+    /// # Errors
+    ///
+    /// Storage errors on log append.
+    pub fn handoff_end(
+        &mut self,
+        tx: TxId,
+        instance: &str,
+        dest: u32,
+        committed: bool,
+    ) -> Result<(), TxError> {
+        self.metrics.two_pc_rounds.inc();
+        self.append_record(&LogRecord::HandOffEnd {
+            tx,
+            instance: instance.to_string(),
+            dest,
+            committed,
+        })?;
+        self.open_handoffs.remove(&tx);
+        self.coordinator_commits.insert(tx, committed);
+        Ok(())
+    }
+
+    /// Hand-offs begun here with no durable decision yet, sorted by
+    /// transaction (crash recovery presumes these aborted).
+    pub fn open_handoffs(&self) -> Vec<(TxId, String, u32)> {
+        let mut out: Vec<(TxId, String, u32)> = self
+            .open_handoffs
+            .iter()
+            .map(|(tx, (instance, dest))| (*tx, instance.clone(), *dest))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Hand-off decisions replayed from the log at open time, in log
+    /// order. Recovery uses these to purge committed-away instances
+    /// and re-announce verdicts the destination may have missed.
+    pub fn replayed_handoff_ends(&self) -> &[(TxId, String, u32, bool)] {
+        &self.replayed_handoff_ends
     }
 }
 
@@ -1428,6 +1541,60 @@ mod tests {
         }
         let mgr = TxManager::open(0, stable).unwrap();
         assert_eq!(mgr.read_committed::<u8>(&uid("x")).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn open_handoff_survives_recovery_and_checkpoint() {
+        let stable = SharedStorage::new();
+        let moving;
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            moving = mgr.handoff_begin("wf-7", 2).unwrap();
+            // Crash with the intent durable but no decision.
+        }
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            assert_eq!(mgr.open_handoffs(), vec![(moving, "wf-7".to_string(), 2)]);
+            // Compaction must not forget the undecided move.
+            mgr.checkpoint().unwrap();
+        }
+        let mgr = TxManager::open(0, stable).unwrap();
+        assert_eq!(mgr.open_handoffs(), vec![(moving, "wf-7".to_string(), 2)]);
+        assert!(mgr.replayed_handoff_ends().is_empty());
+    }
+
+    #[test]
+    fn handoff_end_is_the_durable_decision() {
+        let stable = SharedStorage::new();
+        let moving;
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            moving = mgr.handoff_begin("wf-7", 2).unwrap();
+            mgr.handoff_end(moving, "wf-7", 2, true).unwrap();
+            assert!(mgr.open_handoffs().is_empty());
+        }
+        let mgr = TxManager::open(0, stable).unwrap();
+        assert!(mgr.open_handoffs().is_empty());
+        assert_eq!(
+            mgr.replayed_handoff_ends(),
+            &[(moving, "wf-7".to_string(), 2, true)]
+        );
+        // The destination can learn the verdict after a crash.
+        assert_eq!(mgr.coordinator_decision(moving), Some(true));
+    }
+
+    #[test]
+    fn aborted_handoff_answers_queries_with_abort() {
+        let stable = SharedStorage::new();
+        let moving;
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            moving = mgr.handoff_begin("wf-9", 1).unwrap();
+            mgr.handoff_end(moving, "wf-9", 1, false).unwrap();
+        }
+        let mgr = TxManager::open(0, stable).unwrap();
+        assert_eq!(mgr.coordinator_decision(moving), Some(false));
+        assert!(mgr.open_handoffs().is_empty());
     }
 
     #[test]
