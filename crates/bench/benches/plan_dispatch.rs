@@ -27,8 +27,9 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flowscript_bench::report::{self, ComparisonRow, ThroughputRow};
 use flowscript_bench::{
-    completed_wave, durable_diamond_system, fat_fan_source, repeat_probe_source, run_instance_wave,
-    run_skew_wave, sharded_diamond_system, skewed_fan_system, start_instance_wave,
+    adaptive_durable_diamond_system, completed_wave, durable_diamond_system, fat_fan_source,
+    feedback_chain_system, repeat_probe_source, run_instance_wave, run_lying_wave, run_skew_wave,
+    sharded_diamond_system, skewed_fan_system, start_admitted_wave, start_instance_wave,
 };
 use flowscript_core::ast::OutputKind;
 use flowscript_core::samples;
@@ -582,6 +583,42 @@ fn batched(c: &mut Criterion) {
             row.per_second()
         );
     }
+    // The adaptive-window arm: same batched pipeline, but the window
+    // auto-narrows to 1 virtual ms when report arrivals are sparse and
+    // re-widens to the full 20ms under bursts. On this wave the
+    // arrivals *are* bursty, so auto-tuning must not give back the
+    // group-commit win (same 2x-over-unbatched bar, asserted below).
+    {
+        let start = Instant::now();
+        let mut sys = adaptive_durable_diamond_system(
+            9,
+            4,
+            4,
+            CommitBatch {
+                max_events: 256,
+                max_window: SimDuration::from_millis(20),
+            },
+            SimDuration::from_millis(1),
+            wal_dir,
+        );
+        let completed = run_instance_wave(&mut sys, wave);
+        let wall = start.elapsed();
+        assert_eq!(completed, wave, "4 shards/adaptive: wave must complete");
+        let row = ThroughputRow {
+            workload: "4_shards_adaptive".into(),
+            items: wave as u64,
+            wall_ns: wall.as_nanos() as f64,
+        };
+        println!(
+            "plan_dispatch/batched {}: {} instances in {:.0}ms ({:.0}/s)",
+            row.workload,
+            row.items,
+            row.wall_ns / 1e6,
+            row.per_second()
+        );
+        per_s.insert(row.workload.clone(), row.per_second());
+        rows.push(row);
+    }
     let baseline = per_s["4_shards_unbatched"];
     let candidate = per_s["4_shards_batched"];
     assert!(
@@ -589,6 +626,13 @@ fn batched(c: &mut Criterion) {
         "group commit must clear 2x unbatched throughput at 4 shards: \
          {baseline:.0}/s unbatched vs {candidate:.0}/s batched ({:.2}x)",
         candidate / baseline
+    );
+    let adaptive = per_s["4_shards_adaptive"];
+    assert!(
+        adaptive >= 2.0 * baseline,
+        "the adaptive window must keep the group-commit win at 4 shards: \
+         {baseline:.0}/s unbatched vs {adaptive:.0}/s adaptive ({:.2}x)",
+        adaptive / baseline
     );
     let path = report::write_throughput_csv(
         concat!(
@@ -673,6 +717,132 @@ fn scheduled(c: &mut Criterion) {
             b.iter(|| {
                 let mut sys = skewed_fan_system(7, 4, policy);
                 std::hint::black_box(run_skew_wave(&mut sys, 64));
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The `adaptive` variant: the adaptive scheduling stack measured in
+/// deterministic virtual time on the probe→liar chain (two tasks
+/// sharing one 400ms implementation; the probe declares 400ms
+/// honestly, the liar declares 1ms):
+///
+/// - **declared_hints** — `cost_feedback` off. The liar's watchdog is
+///   `base + 1ms`, which can never fit the real 400ms execution: every
+///   attempt times out, relocates and retries until the attempt budget
+///   strands the instance stuck, and each timed-out attempt leaves a
+///   zombie execution occupying a serial executor lane. That churn is
+///   the cost of a wrong static hint — wasted executor time *and* lost
+///   outcomes.
+/// - **ewma_feedback** — the per-code cost model learns the real 400ms
+///   from the probe's completion before the liar ever dispatches, so
+///   its watchdog stretches to cover the observed duration: the whole
+///   wave completes with zero retries and a ≥1.3x virtual-makespan win
+///   (asserted).
+/// - **ewma_admitted** — same feedback arm, plus
+///   `max_inflight_instances` capping the shard at half the wave (2x
+///   admission overload) with queue depth 0: excess starts get a typed
+///   `Busy` and retry with virtual-time backoff. The cap must cost
+///   little makespan (≤1.25x the uncapped arm, asserted) and lose
+///   **zero** outcomes while bounding the live set.
+///
+/// The declared-vs-feedback and capped-vs-uncapped comparisons land in
+/// `adaptive_sched_impact.csv`.
+fn adaptive(c: &mut Criterion) {
+    let wave = 32usize;
+
+    let mut declared_sys = feedback_chain_system(11, false, None);
+    let (declared_makespan, declared_done) = run_lying_wave(&mut declared_sys, wave);
+    assert!(
+        declared_done < wave,
+        "the declared-hints arm must strand lying instances ({declared_done}/{wave} completed)"
+    );
+    assert!(
+        declared_sys.stats().retries > 0,
+        "lying hints must burn retries"
+    );
+
+    let mut ewma_sys = feedback_chain_system(11, true, None);
+    let (ewma_makespan, ewma_done) = run_lying_wave(&mut ewma_sys, wave);
+    assert_eq!(ewma_done, wave, "the feedback arm must complete the wave");
+    assert_eq!(
+        ewma_sys.stats().retries,
+        0,
+        "learned watchdogs must not retry"
+    );
+
+    let cap = wave / 2;
+    let mut admitted_sys = feedback_chain_system(11, true, Some(cap));
+    let rejections = start_admitted_wave(&mut admitted_sys, wave, SimDuration::from_millis(100));
+    admitted_sys.run();
+    let admitted_makespan = admitted_sys.now().since(SimTime::ZERO);
+    assert!(rejections > 0, "a 2x-overload wave must see Busy");
+    assert_eq!(admitted_sys.stats().busy_rejections, rejections);
+    for i in 0..wave {
+        assert!(
+            admitted_sys.outcome(&format!("wave-{i}")).is_some(),
+            "admission control lost wave-{i}"
+        );
+    }
+
+    let impact = vec![
+        ComparisonRow {
+            workload: format!("lying_chain/wave_{wave}"),
+            baseline_ns: declared_makespan.as_nanos() as f64,
+            candidate_ns: ewma_makespan.as_nanos() as f64,
+        },
+        ComparisonRow {
+            workload: format!("lying_chain/admitted_cap{cap}_wave_{wave}"),
+            baseline_ns: ewma_makespan.as_nanos() as f64,
+            candidate_ns: admitted_makespan.as_nanos() as f64,
+        },
+    ];
+    println!(
+        "plan_dispatch/adaptive wave_{wave}: declared {:.0}ms ({declared_done}/{wave} completed, \
+         {} retries) vs ewma {:.0}ms ({ewma_done}/{wave}, 0 retries): {:.2}x",
+        declared_makespan.as_nanos() as f64 / 1e6,
+        declared_sys.stats().retries,
+        ewma_makespan.as_nanos() as f64 / 1e6,
+        impact[0].speedup()
+    );
+    println!(
+        "plan_dispatch/adaptive admitted cap {cap}: {:.0}ms, {rejections} Busy retried, \
+         0 outcomes lost",
+        admitted_makespan.as_nanos() as f64 / 1e6
+    );
+    assert!(
+        impact[0].speedup() >= 1.3,
+        "observed-duration feedback must win >=1.3x virtual makespan on the lying chain: \
+         declared {:.0}ms vs ewma {:.0}ms",
+        declared_makespan.as_nanos() as f64 / 1e6,
+        ewma_makespan.as_nanos() as f64 / 1e6
+    );
+    assert!(
+        admitted_makespan.as_nanos() as f64 <= ewma_makespan.as_nanos() as f64 * 1.25,
+        "the admission cap must cost little makespan: capped {:.0}ms vs uncapped {:.0}ms",
+        admitted_makespan.as_nanos() as f64 / 1e6,
+        ewma_makespan.as_nanos() as f64 / 1e6
+    );
+    let path = report::write_comparison_csv(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/adaptive_sched_impact.csv"
+        ),
+        "declared_hints",
+        "ewma_feedback",
+        &impact,
+    )
+    .expect("impact table written");
+    println!("adaptive scheduling impact table: {}", path.display());
+
+    let mut group = c.benchmark_group("plan_dispatch/adaptive");
+    group.sample_size(2);
+    for (label, feedback) in [("declared_hints", false), ("ewma_feedback", true)] {
+        group.bench_function(BenchmarkId::new("wave_8", label), |b| {
+            b.iter(|| {
+                let mut sys = feedback_chain_system(11, feedback, None);
+                std::hint::black_box(run_lying_wave(&mut sys, 8))
             })
         });
     }
@@ -974,6 +1144,7 @@ criterion_group!(
     rebalance,
     batched,
     scheduled,
+    adaptive,
     fact_reads,
     obs_overhead
 );

@@ -16,7 +16,8 @@ use flowscript_core::fmt::format_script;
 use flowscript_core::samples;
 use flowscript_engine::coordinator::EngineConfig;
 use flowscript_engine::{
-    CommitBatch, InvokeCtx, ObjectVal, ObserveLevel, SchedPolicy, TaskBehavior, WorkflowSystem,
+    CommitBatch, EngineError, InvokeCtx, ObjectVal, ObserveLevel, SchedPolicy, TaskBehavior,
+    WorkflowSystem,
 };
 use flowscript_sim::{SimDuration, SimTime};
 
@@ -242,6 +243,29 @@ pub fn batched_diamond_system(
     diamond_wave_system(seed, coordinators, executors, config, None)
 }
 
+/// [`durable_diamond_system`] with the adaptive commit window enabled:
+/// the shard tracks an EWMA of report inter-arrival gaps and narrows
+/// the batch window to `min_window` when reports are sparse (commit
+/// latency), re-widening to the configured maximum under bursts (sync
+/// amortization). The `batched` bench variant runs this as a
+/// no-regression arm against the static-window pipeline.
+pub fn adaptive_durable_diamond_system(
+    seed: u64,
+    coordinators: usize,
+    executors: usize,
+    batch: CommitBatch,
+    min_window: SimDuration,
+    wal_dir: &std::path::Path,
+) -> WorkflowSystem {
+    let config = EngineConfig {
+        dispatch_timeout: SimDuration::from_secs(300),
+        commit_batch: batch,
+        adaptive_min_window: Some(min_window),
+        ..EngineConfig::default()
+    };
+    diamond_wave_system(seed, coordinators, executors, config, Some(wal_dir))
+}
+
 /// [`batched_diamond_system`] on a durable file-backed WAL: every shard
 /// logs to a fresh `shard{i}.wal` under `wal_dir`, and every log frame
 /// is an `fdatasync`ed file write. This is the configuration where group
@@ -421,6 +445,134 @@ pub fn run_skew_wave(sys: &mut WorkflowSystem, count: usize) -> SimDuration {
         );
     }
     sys.now().since(SimTime::ZERO)
+}
+
+// ---------------------------------------------------------------------
+// Lying-hint feedback waves (the `adaptive` bench variant).
+// ---------------------------------------------------------------------
+
+/// Source of the probe→liar chain behind the observed-duration
+/// comparison. Both tasks share one implementation code (`refShared`,
+/// 400ms of real work); the probe declares its duration honestly, the
+/// downstream liar declares 1ms. Under declared hints alone, the
+/// liar's watchdog (`base + 1ms`) can never fit the real execution, so
+/// every attempt times out, relocates and retries until the attempt
+/// budget strands the instance; with observed-duration feedback the
+/// probe's completion teaches the per-code cost model the real 400ms
+/// before the liar ever dispatches.
+pub fn lying_chain_source() -> String {
+    String::from(
+        r#"
+class Data;
+taskclass Work {
+    inputs { input main { in of class Data } };
+    outputs { outcome done { out of class Data } }
+}
+taskclass Root {
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { } }
+}
+compoundtask root of taskclass Root {
+    task probe of taskclass Work {
+        implementation { "code" is "refShared"; "duration_ms" is "400" };
+        inputs { input main { inputobject in from { seed of task root if input main } } }
+    };
+    task liar of taskclass Work {
+        implementation { "code" is "refShared"; "duration_ms" is "1" };
+        inputs { input main { inputobject in from { out of task probe if output done } } }
+    };
+    outputs { outcome done { notification from { task liar if output done } } }
+}
+"#,
+    )
+}
+
+/// A system for the adaptive-scheduling comparison: 2 serial executors,
+/// the probe→liar chain bound, a base watchdog (200ms) the liar's
+/// declared 1ms can never stretch over its real 400ms execution.
+/// `cost_feedback` toggles the observed-duration EWMA;
+/// `max_inflight` adds the per-shard admission cap (queue depth 0, so
+/// excess starts get a typed `Busy` to retry with backoff).
+pub fn feedback_chain_system(
+    seed: u64,
+    cost_feedback: bool,
+    max_inflight: Option<usize>,
+) -> WorkflowSystem {
+    let config = EngineConfig {
+        scheduler: SchedPolicy::LeastLoaded,
+        dispatch_timeout: SimDuration::from_millis(200),
+        retry_backoff: SimDuration::from_millis(50),
+        max_retries: 3,
+        cost_feedback,
+        max_inflight_instances: max_inflight,
+        admission_queue_limit: 0,
+        ..EngineConfig::default()
+    };
+    let mut sys = WorkflowSystem::builder()
+        .executors(2)
+        .serial_executors(true)
+        .seed(seed)
+        .config(config)
+        .trace(false)
+        .build();
+    sys.register_script("lying", &lying_chain_source(), "root")
+        .expect("lying chain source valid");
+    sys.bind_fn("refShared", |_| {
+        TaskBehavior::outcome("done")
+            .with_work(SimDuration::from_millis(400))
+            .with_object("out", ObjectVal::text("Data", "d"))
+    });
+    sys
+}
+
+/// Starts `count` probe→liar chains, runs to quiescence and returns
+/// `(virtual makespan, completed instances)`. Every instance must at
+/// least reach a terminal verdict: the declared-hints arm strands its
+/// liars stuck after the retry budget, so `completed` may be below
+/// `count` there — that gap *is* the cost of wrong hints.
+pub fn run_lying_wave(sys: &mut WorkflowSystem, count: usize) -> (SimDuration, usize) {
+    for i in 0..count {
+        sys.start(
+            &format!("wave-{i}"),
+            "lying",
+            "main",
+            [("seed", text("Data", "s"))],
+        )
+        .expect("wave instance starts");
+    }
+    sys.run();
+    let mut completed = 0;
+    for i in 0..count {
+        let name = format!("wave-{i}");
+        let status = sys.status(&name).expect("instance known");
+        assert!(status.is_terminal(), "{name} not terminal: {status:?}");
+        if sys.outcome(&name).is_some() {
+            completed += 1;
+        }
+    }
+    (sys.now().since(SimTime::ZERO), completed)
+}
+
+/// Starts `count` chains against a shard admission cap, retrying typed
+/// `Busy` rejections with virtual-time backoff (the client half of the
+/// backpressure contract). Returns how many rejections were retried;
+/// the caller still runs the world to quiescence.
+pub fn start_admitted_wave(sys: &mut WorkflowSystem, count: usize, backoff: SimDuration) -> u64 {
+    let mut rejections = 0u64;
+    for i in 0..count {
+        let name = format!("wave-{i}");
+        loop {
+            match sys.start(&name, "lying", "main", [("seed", text("Data", "s"))]) {
+                Ok(()) => break,
+                Err(EngineError::Busy { .. }) => {
+                    rejections += 1;
+                    sys.run_for(backoff);
+                }
+                Err(err) => panic!("{name} failed to start: {err}"),
+            }
+        }
+    }
+    rejections
 }
 
 // ---------------------------------------------------------------------
@@ -783,6 +935,38 @@ mod tests {
             sched_makespan < hash_makespan,
             "least-loaded {sched_makespan:?} vs hash {hash_makespan:?}"
         );
+    }
+
+    #[test]
+    fn lying_chain_feedback_restores_completion() {
+        // Declared hints alone: the liar's watchdog can never fit the
+        // real execution, so the retry budget strands it.
+        let mut declared = feedback_chain_system(3, false, None);
+        let (declared_makespan, declared_done) = run_lying_wave(&mut declared, 4);
+        assert!(declared_done < 4, "a lying hint must strand instances");
+        assert!(declared.stats().retries > 0);
+        // Observed durations: the probe teaches the cost model before
+        // the liar dispatches; everything completes, zero retries.
+        let mut ewma = feedback_chain_system(3, true, None);
+        let (ewma_makespan, ewma_done) = run_lying_wave(&mut ewma, 4);
+        assert_eq!(ewma_done, 4);
+        assert_eq!(ewma.stats().retries, 0);
+        assert!(
+            ewma_makespan < declared_makespan,
+            "feedback {ewma_makespan:?} vs declared {declared_makespan:?}"
+        );
+    }
+
+    #[test]
+    fn admission_cap_backpressures_and_loses_nothing() {
+        let mut sys = feedback_chain_system(4, true, Some(2));
+        let rejections = start_admitted_wave(&mut sys, 6, SimDuration::from_millis(100));
+        sys.run();
+        assert!(rejections > 0, "a 3x-overload wave must see Busy");
+        assert_eq!(sys.stats().busy_rejections, rejections);
+        for i in 0..6 {
+            assert!(sys.outcome(&format!("wave-{i}")).is_some(), "wave-{i} lost");
+        }
     }
 
     #[test]

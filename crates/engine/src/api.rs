@@ -36,6 +36,7 @@ use crate::impl_registry::{ImplRegistry, InvokeCtx, TaskBehavior, TaskImpl};
 use crate::msg::EngineMsg;
 use crate::reconfig::Reconfig;
 use crate::repository::RepoHandle;
+use crate::sched::ExecutorSpec;
 use crate::shard::ShardMap;
 use crate::state::CbState;
 use crate::value::ObjectVal;
@@ -47,7 +48,13 @@ pub struct SystemBuilder {
     /// Additional executors with an explicit node name and location
     /// label (the scheduler's placement constraint).
     placed_executors: Vec<(String, String)>,
-    serial_executors: bool,
+    /// Capacity every executor gets unless
+    /// [`SystemBuilder::executors_weighted`] says otherwise: `0` is the
+    /// legacy unbounded node, `1` the serial model.
+    default_capacity: u32,
+    /// Per-executor capacities for the location-less pool (overrides
+    /// `executors` when non-empty).
+    weighted_executors: Vec<u32>,
     coordinators: usize,
     seed: u64,
     config: EngineConfig,
@@ -64,7 +71,8 @@ impl Default for SystemBuilder {
         Self {
             executors: 2,
             placed_executors: Vec::new(),
-            serial_executors: false,
+            default_capacity: 0,
+            weighted_executors: Vec::new(),
             coordinators: 1,
             seed: 0,
             config: EngineConfig::default(),
@@ -103,9 +111,29 @@ impl SystemBuilder {
     /// Gives every executor **serial capacity**: one task at a time,
     /// later arrivals queueing in virtual time. Off by default (the
     /// legacy infinitely-parallel nodes); the `scheduled` bench runs
-    /// with it on so executor load shows up as latency.
+    /// with it on so executor load shows up as latency. Shorthand for a
+    /// uniform [`SystemBuilder::executor_capacity`] of 1.
     pub fn serial_executors(mut self, serial: bool) -> Self {
-        self.serial_executors = serial;
+        self.default_capacity = u32::from(serial);
+        self
+    }
+
+    /// Capacity every executor gets (declared to the schedulers AND
+    /// enforced by the node's virtual-time slot queue): `k` concurrent
+    /// tasks, `0` for the legacy unbounded node. Coordinators park
+    /// dispatches once every eligible executor is at its capacity.
+    pub fn executor_capacity(mut self, capacity: u32) -> Self {
+        self.default_capacity = capacity;
+        self
+    }
+
+    /// A **weighted** location-less fleet: one executor per entry, with
+    /// that entry's capacity (`0` = unbounded). Overrides
+    /// [`SystemBuilder::executors`]; placed executors keep the default
+    /// capacity.
+    pub fn executors_weighted(mut self, capacities: Vec<u32>) -> Self {
+        self.executors = capacities.len();
+        self.weighted_executors = capacities;
         self
     }
 
@@ -217,21 +245,34 @@ impl SystemBuilder {
                 })
             })
             .collect();
-        // The executor fleet: the location-less pool first, then every
-        // placed executor with its label. An entirely empty fleet gets
-        // one default node — a system always has an executor.
+        // The executor fleet: the location-less pool first (weighted
+        // capacities when declared), then every placed executor with
+        // its label. An entirely empty fleet gets one default node — a
+        // system always has an executor.
         let unlabeled = if self.executors == 0 && self.placed_executors.is_empty() {
             1
         } else {
             self.executors
         };
-        let mut executor_specs: Vec<(NodeId, Option<String>)> = (0..unlabeled)
-            .map(|i| (world.add_node(format!("executor{i}")), None))
+        let mut executor_specs: Vec<ExecutorSpec> = (0..unlabeled)
+            .map(|i| ExecutorSpec {
+                node: world.add_node(format!("executor{i}")),
+                location: None,
+                capacity: self
+                    .weighted_executors
+                    .get(i)
+                    .copied()
+                    .unwrap_or(self.default_capacity),
+            })
             .collect();
         for (name, location) in &self.placed_executors {
-            executor_specs.push((world.add_node(name.clone()), Some(location.clone())));
+            executor_specs.push(ExecutorSpec {
+                node: world.add_node(name.clone()),
+                location: Some(location.clone()),
+                capacity: self.default_capacity,
+            });
         }
-        let executors: Vec<NodeId> = executor_specs.iter().map(|(node, _)| *node).collect();
+        let executors: Vec<NodeId> = executor_specs.iter().map(|spec| spec.node).collect();
 
         let registry = self.registry.unwrap_or_default();
         let provided = self.shard_storages.unwrap_or_default();
@@ -279,14 +320,14 @@ impl SystemBuilder {
             })
             .collect();
 
-        for (node, location) in &executor_specs {
+        for spec in &executor_specs {
             executor::install_with(
                 &mut world,
-                *node,
+                spec.node,
                 registry.clone(),
                 executor::ExecutorProfile {
-                    location: location.clone(),
-                    serial: self.serial_executors,
+                    location: spec.location.clone(),
+                    capacity: spec.capacity,
                 },
             );
         }
@@ -344,10 +385,11 @@ pub struct WorkflowSystem {
     repo_node: NodeId,
     coord_nodes: Vec<NodeId>,
     executors: Vec<NodeId>,
-    /// The executor fleet with location labels — retained so
-    /// coordinators added later ([`WorkflowSystem::add_coordinator`])
-    /// schedule over the same fleet.
-    executor_specs: Vec<(NodeId, Option<String>)>,
+    /// The executor fleet with location labels and capacities —
+    /// retained so coordinators added later
+    /// ([`WorkflowSystem::add_coordinator`]) schedule over the same
+    /// fleet.
+    executor_specs: Vec<ExecutorSpec>,
     registry: ImplRegistry,
     repo: RepoHandle,
     coords: Vec<CoordHandle>,
@@ -479,7 +521,7 @@ impl WorkflowSystem {
     /// Sends a `StartInstance` RPC from the client to `target` and
     /// awaits the acknowledgement.
     fn rpc_start(&mut self, target: NodeId, msg: &EngineMsg) -> Result<(), EngineError> {
-        let result: Rc<RefCell<Option<Result<(), String>>>> = Rc::new(RefCell::new(None));
+        let result: Rc<RefCell<Option<Result<(), EngineError>>>> = Rc::new(RefCell::new(None));
         let result2 = result.clone();
         self.world.rpc_call(
             self.client,
@@ -488,10 +530,18 @@ impl WorkflowSystem {
             SimDuration::from_secs(10),
             move |_, reply| {
                 let outcome = match reply {
-                    Err(err) => Err(err.to_string()),
+                    Err(err) => Err(EngineError::BadInputs(err.to_string())),
                     Ok(bytes) => match flowscript_codec::from_bytes::<EngineMsg>(&bytes) {
-                        Ok(EngineMsg::Ack { result }) => result,
-                        _ => Err("malformed coordinator reply".to_string()),
+                        Ok(EngineMsg::Ack { result }) => result.map_err(EngineError::BadInputs),
+                        // The owning shard is at admission capacity:
+                        // typed, retryable rejection — not an input
+                        // error.
+                        Ok(EngineMsg::Busy { queue_depth }) => {
+                            Err(EngineError::Busy { queue_depth })
+                        }
+                        _ => Err(EngineError::BadInputs(
+                            "malformed coordinator reply".to_string(),
+                        )),
                     },
                 };
                 *result2.borrow_mut() = Some(outcome);
@@ -500,8 +550,7 @@ impl WorkflowSystem {
         self.pump(|| result.borrow().is_some());
         let taken = result.borrow_mut().take();
         match taken {
-            Some(Ok(())) => Ok(()),
-            Some(Err(err)) => Err(EngineError::BadInputs(err)),
+            Some(outcome) => outcome,
             None => Err(EngineError::Tx("start call never completed".into())),
         }
     }

@@ -36,7 +36,9 @@ use std::rc::Rc;
 use flowscript_codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 use flowscript_core::ast::OutputKind;
 use flowscript_core::schema::{self, CompiledTask, Schema, TaskBody};
-use flowscript_obs::{Counter, FlightRecorder, Histogram, ObsEventKind, ObserveLevel, Registry};
+use flowscript_obs::{
+    Counter, FlightRecorder, Gauge, Histogram, ObsEventKind, ObserveLevel, Registry,
+};
 use flowscript_plan::{eval as plan_eval, Plan, TaskId, Worklist};
 use flowscript_sim::{Envelope, EventId, NodeId, ReplyToken, SimDuration, World};
 use flowscript_tx::{FactKey, ObjectUid, StableStore, StoreKey, TxId, TxManager};
@@ -46,7 +48,7 @@ use crate::facts::{self, StoreFacts};
 use crate::keys::{cb_uid, InstanceKeys};
 use crate::msg::{EngineMsg, MarkMsg, StartTask, TaskDone, TaskResult};
 use crate::reconfig::{self, Reconfig};
-use crate::sched::{ExecutorSlot, ImplHints, SchedPolicy, Scheduler};
+use crate::sched::{CostModel, ExecutorSlot, ExecutorSpec, ImplHints, SchedPolicy, Scheduler};
 use crate::shard::ShardMap;
 use crate::state::{CbState, TaskCb};
 use crate::value::ObjectVal;
@@ -109,6 +111,31 @@ pub struct EngineConfig {
     /// Defaults on; [`CommitBatch::disabled`] reproduces the
     /// one-transaction-per-event pipeline as the baseline arm.
     pub commit_batch: CommitBatch,
+    /// Feed observed completion times back into scheduling: the
+    /// per-shard [`CostModel`] EWMA overrides absent-or-wrong declared
+    /// `duration_ms` in load accounting and (never below the declared
+    /// floor) in watchdog deadline math. Defaults on; the static-hints
+    /// baseline (`false`) is the comparison arm of the `adaptive`
+    /// bench variant.
+    pub cost_feedback: bool,
+    /// Per-shard admission cap: at most this many live (non-terminal)
+    /// instances at once. Excess `StartInstance` RPCs park in a
+    /// bounded admission queue and admit as instances terminate;
+    /// `None` (the default) keeps the legacy unbounded behaviour.
+    /// Direct in-process starts ([`CoordHandle::start_instance`])
+    /// bypass admission — the cap governs the RPC surface.
+    pub max_inflight_instances: Option<usize>,
+    /// Admission-queue bound: once [`EngineConfig::max_inflight_instances`]
+    /// is reached *and* this many starts are already queued, further
+    /// `StartInstance` RPCs are turned away with a typed
+    /// [`EngineMsg::Busy`] the client retries with backoff.
+    pub admission_queue_limit: usize,
+    /// Auto-tune the group-commit window between this floor and
+    /// [`CommitBatch::max_window`] from the observed report arrival
+    /// rate: bursts hold the full window (sync amortization), light
+    /// load narrows it to this floor (commit latency). `None` (the
+    /// default) keeps the static window.
+    pub adaptive_min_window: Option<SimDuration>,
 }
 
 impl Default for EngineConfig {
@@ -126,6 +153,10 @@ impl Default for EngineConfig {
             observe: ObserveLevel::Off,
             recorder_capacity: 4096,
             commit_batch: CommitBatch::default(),
+            cost_feedback: true,
+            max_inflight_instances: None,
+            admission_queue_limit: 64,
+            adaptive_min_window: None,
         }
     }
 }
@@ -383,6 +414,10 @@ pub struct CoordStats {
     /// coordinators whose shard maps disagree (the mid-rebalance state)
     /// would otherwise ping-pong a report forever.
     pub forward_loops: u64,
+    /// `StartInstance` RPCs turned away with [`EngineMsg::Busy`]: the
+    /// shard was at its admission cap *and* its admission queue was
+    /// full (`coord.busy_rejections`).
+    pub busy_rejections: u64,
 }
 
 impl std::ops::AddAssign<&CoordStats> for CoordStats {
@@ -403,6 +438,7 @@ impl std::ops::AddAssign<&CoordStats> for CoordStats {
             dropped_dispatches,
             handoffs,
             forward_loops,
+            busy_rejections,
         } = *other;
         self.dispatches += dispatches;
         self.retries += retries;
@@ -417,6 +453,7 @@ impl std::ops::AddAssign<&CoordStats> for CoordStats {
         self.dropped_dispatches += dropped_dispatches;
         self.handoffs += handoffs;
         self.forward_loops += forward_loops;
+        self.busy_rejections += busy_rejections;
     }
 }
 
@@ -438,6 +475,7 @@ struct CoordMetrics {
     dropped_dispatches: Counter,
     handoffs: Counter,
     forward_loops: Counter,
+    busy_rejections: Counter,
     /// Worklist steps per drain-to-quiescence (`coord.commit_drain_len`).
     commit_drain_len: Histogram,
     /// Executor reports coalesced per batch flush (`coord.batch_size`).
@@ -453,6 +491,16 @@ struct CoordMetrics {
     /// hand-off move (`coord.handoff_pause_ns`; recorded on the source
     /// shard per committed move).
     handoff_pause_ns: Histogram,
+    /// Virtual nanoseconds a `StartInstance` waited in the admission
+    /// queue before being admitted (`sched.admission_wait_ns`).
+    admission_wait_ns: Histogram,
+    /// Virtual nanoseconds a ready dispatch waited parked behind
+    /// saturated executor capacity (`sched.queue_wait_ns`).
+    queue_wait_ns: Histogram,
+    /// Current capacity-parked dispatch count (`sched.ready_queue_depth`).
+    ready_queue_depth: Gauge,
+    /// Current admission-queue depth (`coord.admission_queue_depth`).
+    admission_queue_depth: Gauge,
 }
 
 impl CoordMetrics {
@@ -471,11 +519,16 @@ impl CoordMetrics {
             dropped_dispatches: registry.counter("coord.dropped_dispatches"),
             handoffs: registry.counter("coord.handoffs"),
             forward_loops: registry.counter("coord.forward_loops"),
+            busy_rejections: registry.counter("coord.busy_rejections"),
             commit_drain_len: registry.histogram("coord.commit_drain_len"),
             batch_size: registry.histogram("coord.batch_size"),
             dispatch_latency_ns: registry.histogram("coord.dispatch_latency_ns"),
             sched_pick_load: registry.histogram("sched.pick_load"),
             handoff_pause_ns: registry.histogram("coord.handoff_pause_ns"),
+            admission_wait_ns: registry.histogram("sched.admission_wait_ns"),
+            queue_wait_ns: registry.histogram("sched.queue_wait_ns"),
+            ready_queue_depth: registry.gauge("sched.ready_queue_depth"),
+            admission_queue_depth: registry.gauge("coord.admission_queue_depth"),
         }
     }
 
@@ -497,6 +550,7 @@ impl CoordMetrics {
             dropped_dispatches: self.dropped_dispatches.get(),
             handoffs: self.handoffs.get(),
             forward_loops: self.forward_loops.get(),
+            busy_rejections: self.busy_rejections.get(),
         }
     }
 }
@@ -556,6 +610,54 @@ enum Staging {
     Error,
 }
 
+/// Scheduler accounting for one outstanding dispatch: where it went,
+/// the load cost it was charged at (the unit of remaining-work
+/// accounting), the virtual send time (dispatch-latency metric and
+/// cost-model sample base) and the implementation code that ran (the
+/// [`CostModel`] EWMA key).
+#[derive(Debug, Clone)]
+struct DispatchedTask {
+    node: NodeId,
+    cost: u64,
+    sent_ns: u64,
+    code: String,
+}
+
+/// One dispatch parked in the per-shard ready queue because every
+/// eligible executor sat at its declared capacity. The path stays in
+/// `InstanceRt::in_flight` while parked (stuck detection and crash
+/// recovery treat it as outstanding work); the queue itself is
+/// volatile — the control block committed `Executing` *before* the
+/// park, so recovery re-dispatches (and possibly re-parks) it.
+#[derive(Debug, Clone)]
+struct ParkedDispatch {
+    instance: String,
+    path: String,
+    attempt: u32,
+    inputs: BTreeMap<String, ObjectVal>,
+    repeat_objects: BTreeMap<String, ObjectVal>,
+    /// Scheduling hints captured at park time (eligibility re-checked
+    /// against these when the queue drains).
+    hints: ImplHints,
+    /// Virtual park time (`sched.queue_wait_ns` sample base).
+    parked_ns: u64,
+}
+
+/// One `StartInstance` RPC parked in the bounded admission queue until
+/// the shard drops below its instance cap. The client's reply token is
+/// held open; the reply (Ack or error) goes out when the start finally
+/// runs.
+struct AdmissionTicket {
+    instance: String,
+    script: String,
+    version: Option<u32>,
+    set: String,
+    inputs: BTreeMap<String, ObjectVal>,
+    token: ReplyToken,
+    /// Virtual enqueue time (`sched.admission_wait_ns` sample base).
+    enqueued_ns: u64,
+}
+
 /// Volatile per-instance runtime state (rebuilt on recovery).
 struct InstanceRt {
     /// The hierarchical schema — the input to dynamic reconfiguration.
@@ -576,12 +678,11 @@ struct InstanceRt {
     /// Paths with an outstanding dispatch, scheduled retry or pending
     /// repeat re-execution.
     in_flight: BTreeSet<String>,
-    /// The executor each outstanding dispatch was sent to, with the
-    /// load cost it was charged at — the unit of the scheduler's
-    /// remaining-work accounting (entry inserted when the dispatch
-    /// counts, removed exactly when the load is released) — and the
-    /// virtual send time in nanoseconds (dispatch-latency metric).
-    dispatched_to: BTreeMap<String, (NodeId, u64, u64)>,
+    /// The executor each outstanding dispatch was sent to, keyed by
+    /// dense plan task id (the last map on the dispatch hot path was
+    /// string-keyed until PR 9). Entry inserted when the dispatch
+    /// counts, removed exactly when the scheduler load is released.
+    dispatched_to: BTreeMap<TaskId, DispatchedTask>,
     /// The node the most recent *failed* attempt of a path ran on;
     /// consumed by the next dispatch so the retry relocates whenever
     /// an eligible alternative exists.
@@ -672,6 +773,35 @@ pub struct Coordinator {
     /// keeps its own load view; no cross-shard coordination on the
     /// dispatch hot path).
     sched: Scheduler,
+    /// Observed-duration feedback: per-code EWMA of real completion
+    /// times, sampled at every genuine `TaskDone` release. Volatile by
+    /// design (an estimate, not state) — recovery restarts it empty
+    /// and the declared hints carry placement until it re-converges.
+    costs: CostModel,
+    /// Dispatches parked because every eligible executor sat at its
+    /// declared capacity, ordered by `(priority desc, arrival)`.
+    /// Drained whenever a release frees a slot. Volatile: each parked
+    /// path's control block committed `Executing` before the park, so
+    /// recovery re-dispatches it.
+    parked: BTreeMap<(std::cmp::Reverse<i64>, u64), ParkedDispatch>,
+    /// Arrival tie-break for `parked` keys.
+    park_seq: u64,
+    /// `StartInstance` RPCs waiting out the admission cap, in arrival
+    /// order. Bounded by [`EngineConfig::admission_queue_limit`].
+    admission_queue: std::collections::VecDeque<AdmissionTicket>,
+    /// Live (non-terminal) instances resident on this shard — the
+    /// admission-control gauge. Maintained at instance start, terminal
+    /// transition, stuck/revive, adoption and hand-off; recounted on
+    /// recovery.
+    live_instances: usize,
+    /// Starts past admission but still in their repository round-trip
+    /// (counted so a burst cannot overshoot the cap mid-RPC).
+    starting: usize,
+    /// Report inter-arrival EWMA in virtual nanoseconds (adaptive
+    /// commit-window tuning; `u64::MAX` until the second report).
+    arrival_gap_ns: u64,
+    /// Virtual time of the last buffered report.
+    last_report_ns: u64,
     /// Instance ownership across all coordinator nodes of the system
     /// (shared verbatim by every shard; requests for instances this
     /// node does not own are forwarded to the owner).
@@ -742,7 +872,7 @@ impl Coordinator {
         Self::open_sharded(
             node,
             repo,
-            executors.into_iter().map(|node| (node, None)).collect(),
+            executors.into_iter().map(ExecutorSpec::unbounded).collect(),
             config,
             storage,
             ShardMap::new(vec![node]),
@@ -754,7 +884,7 @@ impl Coordinator {
     /// included), and this coordinator serves only the instances the
     /// map assigns to `node`, forwarding the rest. Each executor comes
     /// with its optional `location` label — the scheduler's hard
-    /// placement constraint.
+    /// placement constraint — and its declared capacity.
     ///
     /// # Errors
     ///
@@ -762,7 +892,7 @@ impl Coordinator {
     pub fn open_sharded(
         node: NodeId,
         repo: NodeId,
-        executors: Vec<(NodeId, Option<String>)>,
+        executors: Vec<ExecutorSpec>,
         config: EngineConfig,
         storage: impl Into<StableStore>,
         shard: ShardMap,
@@ -786,6 +916,14 @@ impl Coordinator {
             node,
             repo,
             sched,
+            costs: CostModel::new(),
+            parked: BTreeMap::new(),
+            park_seq: 0,
+            admission_queue: std::collections::VecDeque::new(),
+            live_instances: 0,
+            starting: 0,
+            arrival_gap_ns: u64::MAX,
+            last_report_ns: 0,
             shard,
             config,
             mgr,
@@ -842,6 +980,42 @@ impl Coordinator {
         self.gc_plans()?;
         self.mgr.checkpoint()?;
         Ok(())
+    }
+
+    /// Folds one buffered report's arrival into the inter-arrival EWMA
+    /// (same 1/4 gain as the cost model). The very first report only
+    /// seeds the clock — a gap measured from time zero is noise.
+    fn note_report_arrival(&mut self, now_ns: u64) {
+        if self.config.adaptive_min_window.is_none() {
+            return;
+        }
+        if self.last_report_ns != 0 {
+            let gap = now_ns.saturating_sub(self.last_report_ns);
+            self.arrival_gap_ns = if self.arrival_gap_ns == u64::MAX {
+                gap
+            } else {
+                ((u128::from(self.arrival_gap_ns) * 3 + u128::from(gap)) / 4) as u64
+            };
+        }
+        self.last_report_ns = now_ns;
+    }
+
+    /// The commit window to arm right now. Static configs return
+    /// [`CommitBatch::max_window`] unchanged; with
+    /// [`EngineConfig::adaptive_min_window`] set, a bursty report
+    /// stream (mean gap ≤ ¼ of the full window) holds the full window
+    /// to amortize the flush, while light load narrows to the floor so
+    /// a lone report commits sooner.
+    fn effective_window(&self) -> SimDuration {
+        let max = self.config.commit_batch.max_window;
+        let Some(min) = self.config.adaptive_min_window else {
+            return max;
+        };
+        if self.arrival_gap_ns <= max.as_nanos() / 4 {
+            max
+        } else {
+            min.min(max)
+        }
     }
 
     /// A `Commit` trace event stamped with the active batch id, so
@@ -1131,18 +1305,28 @@ impl Coordinator {
     /// the executor the dispatch ran on, if one was counted.
     ///
     /// `now_ns` is the completion time for the `coord.dispatch_latency_ns`
-    /// histogram; pass 0 on non-completion paths (timeouts, failures,
-    /// subtree sweeps) so they don't skew the latency distribution.
+    /// histogram and the cost model's EWMA sample; pass 0 on
+    /// non-completion paths (timeouts, failures, subtree sweeps) so
+    /// they skew neither the latency distribution nor the duration
+    /// estimates.
     fn release_dispatch(&mut self, instance: &str, path: &str, now_ns: u64) -> Option<NodeId> {
-        let (node, cost, sent_ns) = self
-            .instances
-            .get_mut(instance)
-            .and_then(|rt| rt.dispatched_to.remove(path))?;
-        self.sched.note_release(node, cost);
-        if self.config.observe.metrics() && now_ns >= sent_ns && now_ns > 0 {
-            self.metrics.dispatch_latency_ns.record(now_ns - sent_ns);
+        let dispatched = self.instances.get_mut(instance).and_then(|rt| {
+            let id = rt.plan.task_by_path(path)?;
+            rt.dispatched_to.remove(&id)
+        })?;
+        self.sched.note_release(dispatched.node, dispatched.cost);
+        if now_ns > 0 && now_ns >= dispatched.sent_ns {
+            let elapsed = now_ns - dispatched.sent_ns;
+            // Only genuine completions reach here: watchdogs and sweeps
+            // release with now_ns = 0 and never teach the model.
+            if self.config.cost_feedback {
+                self.costs.observe(&dispatched.code, elapsed);
+            }
+            if self.config.observe.metrics() {
+                self.metrics.dispatch_latency_ns.record(elapsed);
+            }
         }
-        Some(node)
+        Some(dispatched.node)
     }
 
     /// Drops every piece of volatile tracking under `scope_path` —
@@ -1179,15 +1363,25 @@ impl Coordinator {
             .map(|rt| {
                 rt.dispatched_to
                     .keys()
+                    .map(|&id| rt.plan.str(rt.plan.task(id).path).to_string())
                     .filter(|path| path.starts_with(&prefix))
-                    .cloned()
                     .collect()
             })
             .unwrap_or_default();
         for path in dispatched {
             let _ = self.release_dispatch(instance, &path, 0);
         }
+        // A cancelled subtree's parked dispatches must never run.
+        self.parked
+            .retain(|_, entry| entry.instance != instance || !entry.path.starts_with(&prefix));
         stale
+    }
+
+    /// Drops every parked dispatch of `instance` (instance hand-off or
+    /// purge — the new owner re-dispatches from its own committed
+    /// control blocks).
+    fn unpark_instance(&mut self, instance: &str) {
+        self.parked.retain(|_, entry| entry.instance != instance);
     }
 
     /// Recounts an instance's non-terminal control blocks from the
@@ -1431,13 +1625,20 @@ impl CoordHandle {
                 });
                 coordinator.mgr.write(&action, keys.cb(task_id), &cb)?;
             }
+            let mut revived = false;
             if let Some(mut meta) = coordinator.read_meta(instance) {
                 if matches!(meta.status, InstanceStatus::Stuck { .. }) {
                     meta.status = InstanceStatus::Running;
                     coordinator.mgr.write(&action, &meta_uid(instance), &meta)?;
+                    revived = true;
                 }
             }
             coordinator.commit(action)?;
+            if revived {
+                // Back from Stuck: the instance counts against the
+                // admission cap again.
+                coordinator.live_instances += 1;
+            }
             if force {
                 coordinator.note_terminals(instance, 1);
             }
@@ -1455,6 +1656,7 @@ impl CoordHandle {
             );
         }
         self.evaluate(world, instance);
+        self.pump(world);
         Ok(())
     }
 
@@ -1502,6 +1704,7 @@ impl CoordHandle {
                     self.enqueue_event(world, PendingEvent::Done(done));
                 } else {
                     self.on_task_done(world, done);
+                    self.pump(world);
                 }
             }
             EngineMsg::Mark(mark) => {
@@ -1514,6 +1717,7 @@ impl CoordHandle {
                     self.enqueue_event(world, PendingEvent::Mark(mark));
                 } else {
                     self.on_mark(world, mark);
+                    self.pump(world);
                 }
             }
             EngineMsg::StartInstance {
@@ -1539,7 +1743,16 @@ impl CoordHandle {
                     self.forward_start(world, owner, &instance, token, relay, hops);
                     return;
                 }
-                self.on_start_instance(world, token, instance, script, version, set, inputs);
+                let ticket = AdmissionTicket {
+                    instance,
+                    script,
+                    version,
+                    set,
+                    inputs,
+                    token,
+                    enqueued_ns: world.now().as_nanos(),
+                };
+                self.admit_or_queue(world, ticket);
             }
             EngineMsg::HandoffQuery { tx_node, tx_seq } => {
                 self.on_handoff_query(world, envelope.src, TxId::new(tx_node, tx_seq));
@@ -1552,6 +1765,185 @@ impl CoordHandle {
                 self.on_handoff_verdict(world, TxId::new(tx_node, tx_seq), committed);
             }
             _ => {}
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Admission control: per-shard instance cap on the RPC surface.
+    // -----------------------------------------------------------------
+
+    /// Gates one owned `StartInstance` RPC on the admission cap: under
+    /// the cap (with nothing already queued ahead) the start runs
+    /// immediately; at the cap it parks in the bounded admission
+    /// queue, its reply token held open; with the queue also full the
+    /// client gets a typed [`EngineMsg::Busy`] to retry with backoff.
+    fn admit_or_queue(&self, world: &mut World, ticket: AdmissionTicket) {
+        enum Verdict {
+            Admit,
+            Busy(u32),
+        }
+        let verdict = {
+            let mut coordinator = self.inner.borrow_mut();
+            let occupancy = coordinator.live_instances + coordinator.starting;
+            match coordinator.config.max_inflight_instances {
+                None => Verdict::Admit,
+                // FIFO fairness: a free slot goes to the queue head,
+                // never to a start that arrived after queued ones.
+                Some(cap) if occupancy < cap && coordinator.admission_queue.is_empty() => {
+                    Verdict::Admit
+                }
+                Some(_)
+                    if coordinator.admission_queue.len()
+                        < coordinator.config.admission_queue_limit =>
+                {
+                    coordinator.record_event(
+                        ticket.enqueued_ns,
+                        &ticket.instance,
+                        None,
+                        0,
+                        ObsEventKind::Parked {
+                            queue_depth: coordinator.admission_queue.len() as u64 + 1,
+                        },
+                    );
+                    coordinator.admission_queue.push_back(ticket);
+                    if coordinator.config.observe.metrics() {
+                        coordinator
+                            .metrics
+                            .admission_queue_depth
+                            .set(coordinator.admission_queue.len() as i64);
+                    }
+                    return;
+                }
+                Some(_) => {
+                    coordinator.metrics.busy_rejections.inc();
+                    Verdict::Busy(coordinator.admission_queue.len() as u32)
+                }
+            }
+        };
+        match verdict {
+            Verdict::Admit => {
+                self.on_start_instance(
+                    world,
+                    ticket.token,
+                    ticket.instance,
+                    ticket.script,
+                    ticket.version,
+                    ticket.set,
+                    ticket.inputs,
+                );
+            }
+            Verdict::Busy(queue_depth) => {
+                let reply = EngineMsg::Busy { queue_depth };
+                world.rpc_reply_to(ticket.token, flowscript_codec::to_bytes(&reply));
+            }
+        }
+    }
+
+    /// Admits queued starts while the shard sits under its cap (called
+    /// whenever an instance leaves the live set). Each admitted start
+    /// counts toward occupancy from its repository round-trip on, so a
+    /// burst of admissions cannot overshoot the cap.
+    fn admit_from_queue(&self, world: &mut World) {
+        loop {
+            let ticket = {
+                let mut coordinator = self.inner.borrow_mut();
+                let Some(cap) = coordinator.config.max_inflight_instances else {
+                    return;
+                };
+                if coordinator.live_instances + coordinator.starting >= cap {
+                    return;
+                }
+                let Some(ticket) = coordinator.admission_queue.pop_front() else {
+                    return;
+                };
+                let now_ns = world.now().as_nanos();
+                let waited = now_ns.saturating_sub(ticket.enqueued_ns);
+                if coordinator.config.observe.metrics() {
+                    coordinator.metrics.admission_wait_ns.record(waited);
+                    coordinator
+                        .metrics
+                        .admission_queue_depth
+                        .set(coordinator.admission_queue.len() as i64);
+                }
+                coordinator.record_event(
+                    now_ns,
+                    &ticket.instance,
+                    None,
+                    0,
+                    ObsEventKind::Admitted { wait_ns: waited },
+                );
+                ticket
+            };
+            self.on_start_instance(
+                world,
+                ticket.token,
+                ticket.instance,
+                ticket.script,
+                ticket.version,
+                ticket.set,
+                ticket.inputs,
+            );
+        }
+    }
+
+    /// The release pump: runs after any event that can free executor
+    /// capacity or admission headroom — completed/failed/timed-out
+    /// tasks, terminal instances, hand-offs, recovery — first draining
+    /// the capacity-parked ready queue, then admitting queued starts.
+    /// Never called from inside a drain (dispatch cascades would
+    /// re-enter); the outer event handlers call it exactly once.
+    fn pump(&self, world: &mut World) {
+        self.drain_parked(world);
+        self.admit_from_queue(world);
+    }
+
+    /// Re-dispatches parked work, highest `(priority, arrival)` first,
+    /// as long as some entry's eligible executors have free capacity.
+    /// Per-entry eligibility keeps a pinned entry whose location is
+    /// still full from blocking an unpinned one behind it.
+    fn drain_parked(&self, world: &mut World) {
+        loop {
+            let entry = {
+                let mut coordinator = self.inner.borrow_mut();
+                let key = coordinator
+                    .parked
+                    .iter()
+                    .find(|(_, entry)| !coordinator.sched.all_saturated(&entry.hints))
+                    .map(|(key, _)| *key);
+                let Some(key) = key else {
+                    return;
+                };
+                let entry = coordinator.parked.remove(&key).expect("key just found");
+                let now_ns = world.now().as_nanos();
+                if coordinator.config.observe.metrics() {
+                    coordinator
+                        .metrics
+                        .queue_wait_ns
+                        .record(now_ns.saturating_sub(entry.parked_ns));
+                    coordinator
+                        .metrics
+                        .ready_queue_depth
+                        .set(coordinator.parked.len() as i64);
+                }
+                coordinator.record_event(
+                    now_ns,
+                    &entry.instance,
+                    Some(&entry.path),
+                    entry.attempt,
+                    ObsEventKind::Admitted {
+                        wait_ns: now_ns.saturating_sub(entry.parked_ns),
+                    },
+                );
+                entry
+            };
+            self.dispatch(
+                world,
+                &entry.instance,
+                &entry.path,
+                entry.attempt,
+                entry.inputs,
+                entry.repeat_objects,
+            );
         }
     }
 
@@ -1575,6 +1967,7 @@ impl CoordHandle {
         }
         let next = {
             let mut coordinator = self.inner.borrow_mut();
+            coordinator.note_report_arrival(world.now().as_nanos());
             coordinator.pending.push(event);
             if coordinator.pending.len() >= coordinator.config.commit_batch.max_events {
                 Next::Flush
@@ -1582,7 +1975,7 @@ impl CoordHandle {
                 Next::Wait
             } else {
                 coordinator.window_armed = true;
-                Next::Arm(coordinator.node, coordinator.config.commit_batch.max_window)
+                Next::Arm(coordinator.node, coordinator.effective_window())
             }
         };
         match next {
@@ -1767,6 +2160,10 @@ impl CoordHandle {
             coordinator.current_batch = None;
         }
         let _ = self.inner.borrow_mut().maybe_checkpoint();
+        // A flushed batch both frees executor slots (completions) and
+        // settles instances — revisit parked dispatches and the
+        // admission queue.
+        self.pump(world);
     }
 
     // -----------------------------------------------------------------
@@ -2081,6 +2478,12 @@ impl CoordHandle {
             coordinator
                 .mgr
                 .handoff_end(tx, instance, dest.index() as u32, true)?;
+            let was_running = coordinator
+                .mgr
+                .read_committed::<InstanceMeta>(&meta_uid(instance))
+                .ok()
+                .flatten()
+                .is_some_and(|meta| meta.status == InstanceStatus::Running);
             coordinator.purge_instance(instance)?;
             // Dual delivery: until the rebalance flips this node's map,
             // executor replies for the moved instance still land here —
@@ -2089,9 +2492,18 @@ impl CoordHandle {
             let mut stale = Vec::new();
             if let Some(rt) = coordinator.instances.remove(instance) {
                 stale.extend(rt.watchdogs.into_values());
-                for (node, cost, _) in rt.dispatched_to.values() {
-                    coordinator.sched.note_release(*node, *cost);
+                for dispatched in rt.dispatched_to.values() {
+                    coordinator
+                        .sched
+                        .note_release(dispatched.node, dispatched.cost);
                 }
+            }
+            // The moved instance's parked dispatches must never run
+            // here — the new owner re-dispatches from its own committed
+            // control blocks. Its admission slot frees up too.
+            coordinator.unpark_instance(instance);
+            if was_running {
+                coordinator.live_instances = coordinator.live_instances.saturating_sub(1);
             }
             coordinator.metrics.handoffs.inc();
             let epoch = coordinator.shard.epoch();
@@ -2110,6 +2522,10 @@ impl CoordHandle {
         for id in watchdogs {
             world.cancel(id);
         }
+        // Freed executor load and a freed admission slot: parked
+        // dispatches of other instances may now place, and a queued
+        // start may now admit.
+        self.pump(world);
         Ok(())
     }
 
@@ -2179,6 +2595,11 @@ impl CoordHandle {
                     continue;
                 };
                 coordinator.instances.insert(name.clone(), rt);
+                if meta.status == InstanceStatus::Running {
+                    // An adopted live instance occupies an admission
+                    // slot on its new shard.
+                    coordinator.live_instances += 1;
+                }
                 let epoch = coordinator.shard.epoch();
                 let to = coordinator.node.index() as u32;
                 coordinator.record_event(
@@ -2220,8 +2641,28 @@ impl CoordHandle {
                 .filter_map(|id| {
                     let cb = coordinator.read_cb_id(&keys, id)?;
                     matches!(cb.state, CbState::Executing { .. }).then(|| {
-                        let hints = ImplHints::from_map(&plan.implementation_map(plan.task(id)));
-                        let timeout = hints.watchdog_timeout(coordinator.config.dispatch_timeout);
+                        let task = plan.task(id);
+                        let hints = ImplHints::from_map(&plan.implementation_map(task));
+                        // Same timeout math as a fresh dispatch —
+                        // including the observed-duration extension for
+                        // the (bindings-resolved) code, so a relay
+                        // delayed past a lying short hint still lands
+                        // before the adopted watchdog fires.
+                        let timeout = if coordinator.config.cost_feedback {
+                            let script_code = plan.code(task).unwrap_or("").to_string();
+                            let code = rt
+                                .bindings
+                                .get(&script_code)
+                                .cloned()
+                                .unwrap_or(script_code);
+                            coordinator.costs.watchdog_timeout(
+                                &code,
+                                &hints,
+                                coordinator.config.dispatch_timeout,
+                            )
+                        } else {
+                            hints.watchdog_timeout(coordinator.config.dispatch_timeout)
+                        };
                         (cb.path.clone(), cb.incarnation, cb.attempt, timeout)
                     })
                 })
@@ -2331,6 +2772,10 @@ impl CoordHandle {
             name: script.clone(),
             version,
         };
+        // The start occupies an admission slot for the whole repository
+        // round-trip — otherwise a burst of starts all admitted before
+        // any instance materializes would blow straight past the cap.
+        self.inner.borrow_mut().starting += 1;
         let handle = self.clone();
         world.rpc_call(
             node,
@@ -2338,6 +2783,10 @@ impl CoordHandle {
             flowscript_codec::to_bytes(&get),
             SimDuration::from_secs(5),
             move |world, reply| {
+                {
+                    let mut coordinator = handle.inner.borrow_mut();
+                    coordinator.starting = coordinator.starting.saturating_sub(1);
+                }
                 let result = match reply {
                     Err(err) => Err(format!("repository unreachable: {err}")),
                     Ok(bytes) => match flowscript_codec::from_bytes::<EngineMsg>(&bytes) {
@@ -2378,6 +2827,10 @@ impl CoordHandle {
                 };
                 let reply = EngineMsg::Ack { result };
                 world.rpc_reply_to(token, flowscript_codec::to_bytes(&reply));
+                // A failed start frees its reserved slot; a successful
+                // one may still have room under the cap. Either way the
+                // queue head gets another look.
+                handle.pump(world);
             },
         );
     }
@@ -2546,6 +2999,9 @@ impl CoordHandle {
                 nonterminal: task_count,
             },
         );
+        // The admission cap counts live (Running) instances; this one
+        // just became live.
+        coordinator.live_instances += 1;
         coordinator.record_event(
             world.now().as_nanos(),
             instance,
@@ -2827,6 +3283,9 @@ impl CoordHandle {
             .is_ok();
         if ok {
             if coordinator.commit(action).is_ok() {
+                // A stuck instance stops counting against the
+                // admission cap (a revival re-counts it).
+                coordinator.live_instances = coordinator.live_instances.saturating_sub(1);
                 coordinator.record_event(
                     world.now().as_nanos(),
                     instance,
@@ -3092,6 +3551,49 @@ impl CoordHandle {
                 .unwrap_or(script_code);
             let implementation = plan.implementation_map(task);
             let hints = ImplHints::from_map(&implementation);
+            // Capacity gate: when every eligible executor is at its
+            // declared capacity, park instead of piling on. The path
+            // stays in `in_flight` (it IS outstanding work — stuck
+            // detection and crash recovery must see it) and the
+            // committed `Executing` control block makes the park
+            // crash-safe: recovery re-dispatches, and re-parks if the
+            // fleet is still full. `retry_from` is left in place for
+            // the eventual real dispatch.
+            if coordinator.sched.all_saturated(&hints) {
+                let seq = coordinator.park_seq;
+                coordinator.park_seq += 1;
+                coordinator.record_event(
+                    now_ns,
+                    instance,
+                    Some(path),
+                    attempt,
+                    ObsEventKind::Parked {
+                        queue_depth: coordinator.parked.len() as u64 + 1,
+                    },
+                );
+                coordinator.parked.insert(
+                    (std::cmp::Reverse(hints.priority), seq),
+                    ParkedDispatch {
+                        instance: instance.to_string(),
+                        path: path.to_string(),
+                        attempt,
+                        inputs,
+                        repeat_objects,
+                        hints,
+                        parked_ns: now_ns,
+                    },
+                );
+                if coordinator.config.observe.metrics() {
+                    coordinator
+                        .metrics
+                        .ready_queue_depth
+                        .set(coordinator.parked.len() as i64);
+                }
+                if let Some(rt) = coordinator.instances.get_mut(instance) {
+                    rt.in_flight.insert(path.to_string());
+                }
+                return;
+            }
             // A failed attempt recorded the node it died on; consume it
             // so the retry relocates whenever an alternative exists
             // (service relocation, §3).
@@ -3109,14 +3611,25 @@ impl CoordHandle {
                         coordinator.metrics.sched_pick_load.record(placement.load);
                     }
                     // Watchdog: base timeout extended by the declared
-                    // duration, capped by the declared deadline.
-                    let timeout = hints.watchdog_timeout(coordinator.config.dispatch_timeout);
+                    // duration — or, with cost feedback on, by the
+                    // observed estimate when that is *longer* (a lying
+                    // short hint must not time out healthy work) —
+                    // capped by the declared deadline.
+                    let timeout = if coordinator.config.cost_feedback {
+                        coordinator.costs.watchdog_timeout(
+                            &code,
+                            &hints,
+                            coordinator.config.dispatch_timeout,
+                        )
+                    } else {
+                        hints.watchdog_timeout(coordinator.config.dispatch_timeout)
+                    };
                     let msg = EngineMsg::Start(StartTask {
                         instance: instance.to_string(),
                         path: path.to_string(),
                         incarnation: cb.incarnation,
                         attempt,
-                        code,
+                        code: code.clone(),
                         implementation,
                         set,
                         inputs,
@@ -3141,15 +3654,27 @@ impl CoordHandle {
                             executor: placement.node,
                         });
                     }
-                    // Count the load now (at the remaining-work cost the
-                    // hints declare), releasing any stale entry a
+                    // Count the load now — at the observed estimate
+                    // when the cost model has one, else the declared
+                    // remaining-work cost — releasing any stale entry a
                     // defensive re-dispatch might have left behind.
-                    let cost = hints.load_cost();
+                    let cost = if coordinator.config.cost_feedback {
+                        coordinator.costs.load_cost(&code, &hints)
+                    } else {
+                        hints.load_cost()
+                    };
                     let _ = coordinator.release_dispatch(instance, path, 0);
                     coordinator.sched.note_dispatch(placement.node, cost);
                     if let Some(rt) = coordinator.instances.get_mut(instance) {
-                        rt.dispatched_to
-                            .insert(path.to_string(), (placement.node, cost, now_ns));
+                        rt.dispatched_to.insert(
+                            task_id,
+                            DispatchedTask {
+                                node: placement.node,
+                                cost,
+                                sent_ns: now_ns,
+                                code,
+                            },
+                        );
                     }
                     Prepared::Send {
                         node: coordinator.node,
@@ -3563,6 +4088,10 @@ impl CoordHandle {
             }
         }
         self.retry_or_fail(world, instance, path, "dispatch timed out");
+        // The timed-out dispatch released its executor load (and a
+        // failed task may have terminated its instance): revisit the
+        // ready and admission queues.
+        self.pump(world);
     }
 
     /// Bounded automatic retry of a system-level failure.
@@ -3879,6 +4408,11 @@ impl CoordHandle {
             if ok {
                 if coordinator.commit(action).is_ok() {
                     coordinator.note_terminals(instance, terminal_delta);
+                    if is_root {
+                        // The instance just completed: its admission
+                        // slot frees for a queued start.
+                        coordinator.live_instances = coordinator.live_instances.saturating_sub(1);
+                    }
                     let verb = if kind == OutputKind::Outcome {
                         "done"
                     } else {
@@ -4239,6 +4773,9 @@ impl CoordHandle {
             .is_ok();
         if ok {
             if coordinator.commit(action).is_ok() {
+                // A stuck instance stops counting against the
+                // admission cap (a revival re-counts it).
+                coordinator.live_instances = coordinator.live_instances.saturating_sub(1);
                 coordinator.record_event(
                     world.now().as_nanos(),
                     instance,
@@ -4284,7 +4821,8 @@ impl CoordHandle {
             };
             // A reconfiguration can rescue a stuck instance (e.g. by adding
             // an alternative source), so revive it for re-evaluation.
-            if matches!(meta.status, InstanceStatus::Stuck { .. }) {
+            let revived = matches!(meta.status, InstanceStatus::Stuck { .. });
+            if revived {
                 meta.status = InstanceStatus::Running;
             }
             if !coordinator.instances.contains_key(instance) {
@@ -4371,6 +4909,11 @@ impl CoordHandle {
                     .write(&action, &bind_uid(instance, code), to)?;
             }
             coordinator.commit(action)?;
+            if revived {
+                // Back from Stuck: the instance counts against the
+                // admission cap again.
+                coordinator.live_instances += 1;
+            }
             coordinator.metrics.reconfigs.inc();
             let rt = coordinator
                 .instances
@@ -4394,6 +4937,7 @@ impl CoordHandle {
         // through the full scan (new tasks and new edges have no commit
         // to seed from).
         self.evaluate(world, instance);
+        self.pump(world);
         Ok(())
     }
 
@@ -4467,6 +5011,7 @@ impl CoordHandle {
             task_id
         };
         self.evaluate_from(world, instance, &[task_id]);
+        self.pump(world);
         Ok(())
     }
 
@@ -4509,6 +5054,18 @@ impl CoordHandle {
             // The in-flight view died with the process; re-dispatches
             // below rebuild it.
             coordinator.sched.reset_loads();
+            // So did the ready and admission queues: parked dispatches
+            // re-park (if still saturated) when their committed
+            // `Executing` blocks re-dispatch below, and queued starts
+            // are the client's to retry — their reply tokens died with
+            // the process. Live occupancy is recounted from the metas.
+            coordinator.parked.clear();
+            coordinator.park_seq = 0;
+            coordinator.admission_queue.clear();
+            coordinator.starting = 0;
+            coordinator.live_instances = 0;
+            coordinator.arrival_gap_ns = u64::MAX;
+            coordinator.last_report_ns = 0;
 
             // Hand-off repair, before instances load. A crash can
             // strand a move at any point:
@@ -4569,6 +5126,7 @@ impl CoordHandle {
                     ObsEventKind::Recovery { epoch },
                 );
                 if meta.status == InstanceStatus::Running {
+                    coordinator.live_instances += 1;
                     names.push(name);
                 }
             }
@@ -4664,6 +5222,9 @@ impl CoordHandle {
             }
             self.evaluate(world, instance);
         }
+        // Re-dispatches above may have parked against a still-cold
+        // scheduler view; give them one immediate placement pass.
+        self.pump(world);
     }
 }
 

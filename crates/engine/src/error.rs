@@ -19,6 +19,13 @@ pub enum EngineError {
     /// The named input set does not exist on the root task class, or the
     /// supplied objects do not match it.
     BadInputs(String),
+    /// The owning shard is at its admission cap and its admission
+    /// queue is full; the start was not accepted and may be retried
+    /// with backoff. Carries the queue depth at rejection time.
+    Busy {
+        /// Admission-queue depth when the start was turned away.
+        queue_depth: u32,
+    },
     /// The transactional substrate failed.
     Tx(String),
 }
@@ -35,6 +42,10 @@ impl fmt::Display for EngineError {
             EngineError::UnknownTask(path) => write!(f, "unknown task `{path}`"),
             EngineError::ReconfigRejected(msg) => write!(f, "reconfiguration rejected: {msg}"),
             EngineError::BadInputs(msg) => write!(f, "bad instance inputs: {msg}"),
+            EngineError::Busy { queue_depth } => write!(
+                f,
+                "shard at admission capacity ({queue_depth} starts queued); retry with backoff"
+            ),
             EngineError::Tx(msg) => write!(f, "transactional failure: {msg}"),
         }
     }

@@ -17,12 +17,15 @@
 //! a task's `location` hint as a hard placement constraint, and the
 //! executor itself double-checks the pin on arrival (a mispinned task
 //! is rejected as an execution error instead of silently running in
-//! the wrong place). A profile can also declare **serial capacity**:
-//! one task at a time, later arrivals queueing behind it in virtual
-//! time — the queueing model that makes executor load observable (the
-//! `scheduled` bench variant runs on it).
+//! the wrong place). A profile can also declare a **capacity**: `k`
+//! concurrent task slots, later arrivals queueing behind the earliest
+//! free slot in virtual time (`k = 1` is the serial model the
+//! `scheduled` bench variant runs on; `0` keeps the legacy
+//! infinitely-parallel node). The same capacity is registered with
+//! every coordinator's scheduler, which parks dispatches instead of
+//! queueing them here once all eligible executors are saturated.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use flowscript_sim::{Envelope, NodeId, SimDuration, SimTime, World};
@@ -46,20 +49,34 @@ pub struct ExecutorProfile {
     /// scheduler and re-checked on arrival against the task's
     /// `location` hint.
     pub location: Option<String>,
-    /// Run one task at a time, queueing later arrivals in virtual time
-    /// (FIFO by arrival). The default keeps the legacy
-    /// infinitely-parallel node: load then only shows in the
-    /// coordinator's in-flight counters, never in virtual latency.
+    /// Concurrent task slots: `k` tasks run at a time, later arrivals
+    /// queueing behind the earliest-free slot in virtual time (FIFO by
+    /// arrival within a slot). `1` is the serial model; the default
+    /// `0` keeps the legacy infinitely-parallel node, where load only
+    /// shows in the coordinator's in-flight counters, never in virtual
+    /// latency.
     ///
     /// Caveat: the queue reservation is made at arrival and there is
     /// no cancel protocol, so an attempt the coordinator abandons (a
     /// watchdog firing while the task is still queued) keeps its slot
-    /// and the retry queues *behind* it. Serial fleets should pair
+    /// and the retry queues *behind* it. Bounded fleets should pair
     /// with watchdog timeouts generous relative to the expected queue
-    /// depth (as the `scheduled` bench and tests do) — tight
-    /// `deadline_ms` pins on a saturated serial node retry into an
-    /// ever-longer queue until retries exhaust.
-    pub serial: bool,
+    /// depth (as the `scheduled` bench and tests do) — though with
+    /// capacity-aware scheduling the coordinator parks excess
+    /// dispatches instead of queueing them here, so in practice at
+    /// most `capacity` tasks occupy the node at once.
+    pub capacity: u32,
+}
+
+impl ExecutorProfile {
+    /// A serial profile (`capacity = 1`) at an optional location — the
+    /// shape the old `serial: bool` flag produced.
+    pub fn serial(location: Option<String>) -> Self {
+        ExecutorProfile {
+            location,
+            capacity: 1,
+        }
+    }
 }
 
 /// Installs the executor handler on `node` with the default profile
@@ -78,10 +95,11 @@ pub fn install_with(
     registry: ImplRegistry,
     profile: ExecutorProfile,
 ) {
-    // The serial queue tail: next free moment in virtual time.
-    let busy_until = Rc::new(Cell::new(SimTime::ZERO));
+    // One queue tail per declared slot: the next free moment of each.
+    // Empty (capacity 0) means unbounded — no queueing at all.
+    let tails = Rc::new(RefCell::new(vec![SimTime::ZERO; profile.capacity as usize]));
     world.set_handler(node, move |world, envelope| {
-        handle(world, node, &registry, &profile, &busy_until, envelope);
+        handle(world, node, &registry, &profile, &tails, envelope);
     });
 }
 
@@ -90,7 +108,7 @@ fn handle(
     node: NodeId,
     registry: &ImplRegistry,
     profile: &ExecutorProfile,
-    busy_until: &Rc<Cell<SimTime>>,
+    tails: &Rc<RefCell<Vec<SimTime>>>,
     envelope: &Envelope,
 ) {
     let Ok(EngineMsg::Start(start)) = flowscript_codec::from_bytes::<EngineMsg>(&envelope.payload)
@@ -157,16 +175,22 @@ fn handle(
             }
         }
     };
-    // Serial capacity: the task waits for the queue tail before its
-    // work (and marks) begin; the tail advances by its work time.
-    let queue_delay = if profile.serial {
-        let now = world.now();
-        let tail = busy_until.get().max(now);
-        let delay = tail.since(now);
-        busy_until.set(tail + behavior.work);
-        delay
-    } else {
-        SimDuration::ZERO
+    // Bounded capacity: the task takes the earliest-free slot, waits
+    // for its tail before the work (and marks) begin, and advances
+    // that tail by its work time. Slot index breaks ties (stable, so
+    // runs stay deterministic). No slots = unbounded, zero delay.
+    let queue_delay = {
+        let mut tails = tails.borrow_mut();
+        match tails.iter().enumerate().min_by_key(|(_, tail)| **tail) {
+            Some((slot, _)) => {
+                let now = world.now();
+                let tail = tails[slot].max(now);
+                let delay = tail.since(now);
+                tails[slot] = tail + behavior.work;
+                delay
+            }
+            None => SimDuration::ZERO,
+        }
     };
     play_behavior(world, node, coordinator, &start, behavior, queue_delay);
 }

@@ -15,11 +15,17 @@
 //! - **task executors** ([`executor`]) on separate simulated nodes,
 //!   running implementations bound *at run time* by name
 //!   ([`ImplRegistry`]), including the built-in timer,
-//! - **load-aware scheduling** ([`sched`]): dispatch honors the
-//!   implementation clause's typed hints — `location` as a hard
+//! - **adaptive, load-aware scheduling** ([`sched`]): dispatch honors
+//!   the implementation clause's typed hints — `location` as a hard
 //!   placement constraint, `priority` ordering ready tasks, declared
-//!   durations/deadlines shaping the watchdog — and picks the least
-//!   loaded eligible executor, relocating retries off failed nodes,
+//!   durations/deadlines shaping the watchdog — picks the least loaded
+//!   eligible executor (respecting declared **capacities**, parking
+//!   excess dispatches in a priority-ordered ready queue), relocates
+//!   retries off failed nodes, and feeds **observed completion times**
+//!   ([`CostModel`]) back into load costs and watchdog timeouts; a
+//!   per-shard **admission cap**
+//!   ([`EngineConfig::max_inflight_instances`]) queues or rejects
+//!   (typed [`EngineError::Busy`]) excess instance starts,
 //! - **dynamic reconfiguration** ([`reconfig`]): transactional
 //!   addition/removal of tasks and dependencies in a running instance,
 //!   and implementation rebinding (online upgrade),
@@ -98,7 +104,7 @@ pub use impl_registry::{
 };
 pub use keys::InstanceKeys;
 pub use reconfig::Reconfig;
-pub use sched::{ExecutorSlot, ImplHints, SchedPolicy, Scheduler};
+pub use sched::{CostModel, ExecutorSlot, ExecutorSpec, ImplHints, SchedPolicy, Scheduler};
 pub use shard::ShardMap;
 pub use state::{CbState, TaskCb};
 pub use value::ObjectVal;

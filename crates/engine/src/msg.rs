@@ -174,6 +174,15 @@ pub enum EngineMsg {
         /// The encoded original [`EngineMsg`].
         inner: Vec<u8>,
     },
+    /// Coordinator → client: the shard is at its admission cap *and*
+    /// its admission queue is full — the [`EngineMsg::StartInstance`]
+    /// was not accepted and may be retried with backoff. Typed (rather
+    /// than an `Ack` error string) so clients can distinguish
+    /// transient overload from permanent rejection.
+    Busy {
+        /// Admission-queue depth at rejection time (a backoff hint).
+        queue_depth: u32,
+    },
     /// Restarted hand-off destination → source: what happened to this
     /// in-doubt move? (2PC termination protocol for hand-offs.)
     HandoffQuery {
@@ -397,6 +406,10 @@ impl Encode for EngineMsg {
                 w.put_u64(*tx_seq);
                 w.put_bool(*committed);
             }
+            EngineMsg::Busy { queue_depth } => {
+                w.put_u8(11);
+                w.put_u32(*queue_depth);
+            }
         }
     }
 }
@@ -446,6 +459,9 @@ impl Decode for EngineMsg {
                 tx_node: r.get_u32()?,
                 tx_seq: r.get_u64()?,
                 committed: r.get_bool()?,
+            },
+            11 => EngineMsg::Busy {
+                queue_depth: r.get_u32()?,
             },
             other => {
                 return Err(CodecError::InvalidDiscriminant {
@@ -549,6 +565,7 @@ mod tests {
                 tx_seq: 42,
                 committed: true,
             },
+            EngineMsg::Busy { queue_depth: 17 },
         ];
         for msg in msgs {
             let bytes = flowscript_codec::to_bytes(&msg);

@@ -16,7 +16,18 @@
 //!   executor carries fails the task with a diagnosable error), retries
 //!   avoid the node that just failed whenever any alternative is
 //!   eligible, and the remainder is decided **least-loaded** (ties
-//!   break by executor order, keeping runs deterministic).
+//!   break by executor order, keeping runs deterministic),
+//! - every executor declares a **capacity** ([`ExecutorSpec`]): the
+//!   number of concurrent task slots it offers (`0` = unbounded, the
+//!   legacy model; `1` = serial). The picker prefers unsaturated
+//!   executors, and when *every* eligible executor is at capacity
+//!   ([`Scheduler::all_saturated`]) the coordinator parks the dispatch
+//!   in its ready queue instead of piling work onto a full node,
+//! - a [`CostModel`] keeps a per-code EWMA of **observed** completion
+//!   times, overriding absent-or-wrong declared `duration_ms` in load
+//!   accounting and (bounded below by the declared floor) in watchdog
+//!   deadline math — the hints are what the script *said*, the model is
+//!   what the fleet *measured*.
 //!
 //! Each coordinator shard owns a scheduler over the *shared* executor
 //! fleet: load views are per shard, so no cross-shard coordination sits
@@ -99,13 +110,112 @@ impl ImplHints {
     }
 }
 
+/// A per-shard moving estimate of real task durations, keyed by the
+/// implementation code that ran.
+///
+/// The coordinator feeds it every genuine completion (the elapsed
+/// virtual time from dispatch to the executor's report — queueing on a
+/// saturated node is kept *out* of the sample by capacity parking, so
+/// the estimate tracks service time, not congestion). The estimate is
+/// an EWMA with a 1/4 gain: `new = (3·old + observed) / 4` — heavy
+/// enough to converge within a few completions, smooth enough that one
+/// outlier does not repoint the fleet.
+///
+/// Consumers go through [`CostModel::load_cost`] and
+/// [`CostModel::watchdog_timeout`] instead of the raw
+/// [`ImplHints`] accessors: once a code has been observed, the model
+/// overrides the declared `duration_ms` (which may be absent, stale or
+/// simply wrong) — except that the watchdog duration never drops below
+/// the declared floor, and the declared `deadline_ms` cap always binds
+/// last. [`ImplHints`] stays a pure parse product.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    observed_ns: BTreeMap<String, u64>,
+}
+
+impl CostModel {
+    /// An empty model (every code falls back to its declared hints).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observed completion of `code` into its estimate.
+    pub fn observe(&mut self, code: &str, elapsed_ns: u64) {
+        match self.observed_ns.get_mut(code) {
+            Some(old) => {
+                *old = ((u128::from(*old) * 3 + u128::from(elapsed_ns)) / 4) as u64;
+            }
+            None => {
+                self.observed_ns.insert(code.to_string(), elapsed_ns);
+            }
+        }
+    }
+
+    /// The smoothed estimate for `code` in milliseconds (rounded up so
+    /// sub-millisecond work still registers as one unit), or `None`
+    /// before the first completion.
+    pub fn estimate_ms(&self, code: &str) -> Option<u64> {
+        self.observed_ns.get(code).map(|ns| ns.div_ceil(1_000_000))
+    }
+
+    /// Number of codes with at least one observation.
+    pub fn len(&self) -> usize {
+        self.observed_ns.len()
+    }
+
+    /// True when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.observed_ns.is_empty()
+    }
+
+    /// The load one dispatch of `code` is charged at: the observed
+    /// estimate once one exists (overriding absent or lying declared
+    /// durations), the declared [`ImplHints::load_cost`] before the
+    /// first completion.
+    pub fn load_cost(&self, code: &str, hints: &ImplHints) -> u64 {
+        match self.estimate_ms(code) {
+            Some(ms) => ms.saturating_add(1),
+            None => hints.load_cost(),
+        }
+    }
+
+    /// The watchdog timeout for one dispatch of `code`: like
+    /// [`ImplHints::watchdog_timeout`], but the duration term is
+    /// `max(declared duration_ms, 2 × observed estimate)` — an observed
+    /// duration may *extend* the declared floor (a lying short hint
+    /// must not time out healthy work; the 2× headroom absorbs normal
+    /// variance), never shrink it, and the declared `deadline_ms` cap
+    /// still binds last.
+    pub fn watchdog_timeout(
+        &self,
+        code: &str,
+        hints: &ImplHints,
+        base: SimDuration,
+    ) -> SimDuration {
+        let declared = hints.duration_ms.unwrap_or(0);
+        let duration = match self.estimate_ms(code) {
+            Some(estimate) => declared.max(estimate.saturating_mul(2)),
+            None => declared,
+        };
+        let mut timeout = base;
+        if duration > 0 {
+            timeout = timeout + SimDuration::from_millis(duration);
+        }
+        if let Some(cap) = hints.deadline_ms {
+            timeout = timeout.min(SimDuration::from_millis(cap));
+        }
+        timeout
+    }
+}
+
 /// How dispatch picks an executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedPolicy {
     /// Load-aware: location hard constraint, avoid the failed node on
     /// retry, least **remaining work** among the eligible remainder —
     /// each in-flight dispatch weighs `1 + duration_ms`
-    /// ([`ImplHints::load_cost`]), so declared durations shape
+    /// ([`ImplHints::load_cost`], overridden by the observed
+    /// [`CostModel`] estimate once one exists), so durations shape
     /// placement and hintless fleets degenerate to in-flight counting.
     #[default]
     LeastLoaded,
@@ -116,8 +226,35 @@ pub enum SchedPolicy {
     InFlightCount,
     /// The legacy baseline: stable hash of the task path plus the
     /// attempt, ignoring hints and load (kept for the `scheduled`
-    /// bench comparison and as a regression oracle).
+    /// bench comparison and as a regression oracle). Ignores declared
+    /// capacities too — the baseline predates them.
     PathHash,
+}
+
+/// One executor as registered with the system: where it runs, its
+/// optional location label, and how many concurrent tasks it declares
+/// it can serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutorSpec {
+    /// The executor's node.
+    pub node: NodeId,
+    /// Its location label (`None` — or the empty string — means
+    /// unpinned).
+    pub location: Option<String>,
+    /// Declared concurrent task slots: `0` = unbounded (the legacy
+    /// model), `1` = serial, `k` = `k` tasks at a time.
+    pub capacity: u32,
+}
+
+impl ExecutorSpec {
+    /// An unbounded, label-free executor on `node` (the legacy shape).
+    pub fn unbounded(node: NodeId) -> Self {
+        ExecutorSpec {
+            node,
+            location: None,
+            capacity: 0,
+        }
+    }
 }
 
 /// One executor as the scheduler sees it.
@@ -127,11 +264,21 @@ pub struct ExecutorSlot {
     pub node: NodeId,
     /// Its registered location label, if any.
     pub location: Option<String>,
+    /// Declared capacity (`0` = unbounded).
+    pub capacity: u32,
     /// Dispatches currently in flight on it *from this coordinator*.
     pub in_flight: u32,
     /// Remaining-work estimate of those dispatches: the sum of their
     /// [`ImplHints::load_cost`] charges.
     pub remaining: u64,
+}
+
+impl ExecutorSlot {
+    /// True when the slot is at its declared capacity (never true for
+    /// unbounded executors).
+    pub fn saturated(&self) -> bool {
+        self.capacity != 0 && self.in_flight >= self.capacity
+    }
 }
 
 /// Why the scheduler could not place a task.
@@ -175,17 +322,18 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Builds a scheduler over the executor fleet. `slots` order is the
+    /// Builds a scheduler over the executor fleet. `specs` order is the
     /// deterministic tie-break order. An empty-string location label
     /// normalizes to `None`: such an executor is label-free, not
     /// registered at a location named `""`.
-    pub fn new(executors: Vec<(NodeId, Option<String>)>, policy: SchedPolicy) -> Self {
+    pub fn new(specs: Vec<ExecutorSpec>, policy: SchedPolicy) -> Self {
         Self {
-            slots: executors
+            slots: specs
                 .into_iter()
-                .map(|(node, location)| ExecutorSlot {
-                    node,
-                    location: location.filter(|label| !label.is_empty()),
+                .map(|spec| ExecutorSlot {
+                    node: spec.node,
+                    location: spec.location.filter(|label| !label.is_empty()),
+                    capacity: spec.capacity,
                     in_flight: 0,
                     remaining: 0,
                 })
@@ -204,10 +352,42 @@ impl Scheduler {
         hash
     }
 
+    /// True when at least one executor is eligible for `hints` and
+    /// **every** eligible one sits at its declared capacity — the
+    /// caller should park the dispatch in its ready queue until a
+    /// release frees a slot, instead of piling work onto a full node.
+    /// An unsatisfiable pin returns `false`: that is a placement
+    /// *error* ([`SchedError::NoExecutorAt`]), not congestion. The
+    /// [`SchedPolicy::PathHash`] baseline predates capacities and
+    /// never reports saturation.
+    pub fn all_saturated(&self, hints: &ImplHints) -> bool {
+        if self.policy == SchedPolicy::PathHash {
+            return false;
+        }
+        let mut any_eligible = false;
+        for slot in &self.slots {
+            let eligible = match &hints.location {
+                Some(location) => slot.location.as_deref() == Some(location.as_str()),
+                None => true,
+            };
+            if eligible {
+                any_eligible = true;
+                if !slot.saturated() {
+                    return false;
+                }
+            }
+        }
+        any_eligible
+    }
+
     /// Picks the executor for one dispatch.
     ///
     /// `avoid` names the node the previous attempt died on (retries
     /// must relocate whenever an eligible alternative exists).
+    /// Unsaturated executors are preferred over saturated ones, and
+    /// relocation is preferred within each tier — but an unsaturated
+    /// avoided node beats a saturated alternative: capacity is a
+    /// declared bound, relocation only a preference.
     ///
     /// # Errors
     ///
@@ -246,36 +426,39 @@ impl Scheduler {
                 return Err(SchedError::NoExecutorAt(location.clone()));
             }
         }
-        // Least-loaded among the eligible, preferring nodes other than
-        // `avoid`; ties break by slot order (deterministic runs). The
-        // default metric is the remaining-work estimate; the
-        // `InFlightCount` baseline weighs every dispatch equally.
+        // Least-loaded among the eligible; ties break by slot order
+        // (deterministic runs). The default metric is the
+        // remaining-work estimate; the `InFlightCount` baseline weighs
+        // every dispatch equally.
         let load = |slot: &ExecutorSlot| match self.policy {
             SchedPolicy::InFlightCount => u64::from(slot.in_flight),
             _ => slot.remaining,
         };
-        let best = |skip_avoided: bool| {
+        let best = |skip_avoided: bool, skip_saturated: bool| {
             self.slots
                 .iter()
                 .filter(eligible)
                 .filter(|slot| !skip_avoided || avoid != Some(slot.node))
+                .filter(|slot| !skip_saturated || !slot.saturated())
                 .min_by_key(|slot| load(slot))
         };
-        if let Some(slot) = best(true) {
-            return Ok(Placement {
-                node: slot.node,
-                no_alternative: false,
-                load: load(slot),
-            });
+        // Tier order: unsaturated beats saturated, then relocation
+        // beats landing back on the avoided node.
+        for (skip_avoided, skip_saturated) in
+            [(true, true), (false, true), (true, false), (false, false)]
+        {
+            if let Some(slot) = best(skip_avoided, skip_saturated) {
+                return Ok(Placement {
+                    node: slot.node,
+                    // Only a retry can set `avoid`; landing back on it
+                    // means no alternative was eligible in any better
+                    // tier.
+                    no_alternative: avoid == Some(slot.node),
+                    load: load(slot),
+                });
+            }
         }
-        let slot = best(false).expect("eligibility checked above");
-        Ok(Placement {
-            node: slot.node,
-            // Only a retry can set `avoid`; landing back on it means no
-            // alternative was eligible.
-            no_alternative: avoid.is_some(),
-            load: load(slot),
-        })
+        unreachable!("eligibility checked above");
     }
 
     /// Records a dispatch landing on `node`, charged at `cost`
@@ -327,6 +510,20 @@ mod tests {
     fn nodes(n: u32) -> Vec<NodeId> {
         let mut world = flowscript_sim::World::new(0);
         (0..n).map(|i| world.add_node(format!("e{i}"))).collect()
+    }
+
+    fn unbounded(ids: &[NodeId]) -> Vec<ExecutorSpec> {
+        ids.iter()
+            .map(|&node| ExecutorSpec::unbounded(node))
+            .collect()
+    }
+
+    fn spec(node: NodeId, location: Option<&str>, capacity: u32) -> ExecutorSpec {
+        ExecutorSpec {
+            node,
+            location: location.map(str::to_string),
+            capacity,
+        }
     }
 
     fn hints(pairs: &[(&str, &str)]) -> ImplHints {
@@ -384,12 +581,58 @@ mod tests {
     }
 
     #[test]
+    fn cost_model_overrides_lying_hints_once_observed() {
+        let mut costs = CostModel::new();
+        let lying = hints(&[("duration_ms", "1")]);
+        // Before any observation the declared hint is all there is.
+        assert_eq!(costs.load_cost("refX", &lying), 2);
+        assert_eq!(costs.estimate_ms("refX"), None);
+        // One observed 400ms completion repoints the estimate…
+        costs.observe("refX", 400_000_000);
+        assert_eq!(costs.estimate_ms("refX"), Some(400));
+        assert_eq!(costs.load_cost("refX", &lying), 401);
+        // …and the EWMA smooths further samples at a 1/4 gain.
+        costs.observe("refX", 200_000_000);
+        assert_eq!(costs.estimate_ms("refX"), Some(350));
+        // Codes never observed still fall back to their own hints.
+        assert_eq!(costs.load_cost("refY", &hints(&[])), 1);
+    }
+
+    #[test]
+    fn observed_duration_extends_but_never_shrinks_the_watchdog() {
+        let base = SimDuration::from_millis(200);
+        let mut costs = CostModel::new();
+        let lying = hints(&[("duration_ms", "1")]);
+        // Unobserved: the declared extension alone.
+        assert_eq!(
+            costs.watchdog_timeout("refX", &lying, base),
+            SimDuration::from_millis(201)
+        );
+        // A 300ms observation extends the deadline to 2× the estimate.
+        costs.observe("refX", 300_000_000);
+        assert_eq!(
+            costs.watchdog_timeout("refX", &lying, base),
+            SimDuration::from_millis(800)
+        );
+        // The declared floor holds when the observation is *shorter*
+        // than the declaration — the model never shrinks a timeout.
+        let generous = hints(&[("duration_ms", "5000")]);
+        assert_eq!(
+            costs.watchdog_timeout("refX", &generous, base),
+            SimDuration::from_millis(5200)
+        );
+        // The declared deadline cap still binds last.
+        let capped = hints(&[("duration_ms", "1"), ("deadline_ms", "500")]);
+        assert_eq!(
+            costs.watchdog_timeout("refX", &capped, base),
+            SimDuration::from_millis(500)
+        );
+    }
+
+    #[test]
     fn least_loaded_spreads_and_ties_break_deterministically() {
         let ids = nodes(3);
-        let mut sched = Scheduler::new(
-            ids.iter().map(|&n| (n, None)).collect(),
-            SchedPolicy::LeastLoaded,
-        );
+        let mut sched = Scheduler::new(unbounded(&ids), SchedPolicy::LeastLoaded);
         // All empty: first slot wins the tie.
         let first = sched
             .pick("root/t", 0, &ImplHints::default(), None)
@@ -423,20 +666,14 @@ mod tests {
         // Remaining-work: one 400ms task on node 0 outweighs two 50ms
         // tasks on node 1, so the next short task lands on node 1 even
         // though node 1 has more dispatches in flight.
-        let mut sched = Scheduler::new(
-            ids.iter().map(|&n| (n, None)).collect(),
-            SchedPolicy::LeastLoaded,
-        );
+        let mut sched = Scheduler::new(unbounded(&ids), SchedPolicy::LeastLoaded);
         sched.note_dispatch(ids[0], long.load_cost());
         sched.note_dispatch(ids[1], short.load_cost());
         sched.note_dispatch(ids[1], short.load_cost());
         assert_eq!(sched.pick("p", 0, &short, None).unwrap().node, ids[1]);
         // The count-based baseline picks the node with fewer dispatches
         // regardless of their declared durations.
-        let mut count = Scheduler::new(
-            ids.iter().map(|&n| (n, None)).collect(),
-            SchedPolicy::InFlightCount,
-        );
+        let mut count = Scheduler::new(unbounded(&ids), SchedPolicy::InFlightCount);
         count.note_dispatch(ids[0], long.load_cost());
         count.note_dispatch(ids[1], short.load_cost());
         count.note_dispatch(ids[1], short.load_cost());
@@ -451,13 +688,81 @@ mod tests {
     }
 
     #[test]
+    fn capacity_prefers_unsaturated_and_reports_saturation() {
+        let ids = nodes(2);
+        let mut sched = Scheduler::new(
+            vec![spec(ids[0], None, 1), spec(ids[1], None, 2)],
+            SchedPolicy::LeastLoaded,
+        );
+        let h = ImplHints::default();
+        assert!(!sched.all_saturated(&h));
+        // Fill the serial executor: even though it is the least loaded
+        // by remaining work, the picker must route around it.
+        sched.note_dispatch(ids[0], 1);
+        sched.note_dispatch(ids[1], 100);
+        assert_eq!(sched.pick("p", 0, &h, None).unwrap().node, ids[1]);
+        assert!(!sched.all_saturated(&h));
+        // Fill the weighted executor too: everything is saturated.
+        sched.note_dispatch(ids[1], 100);
+        assert!(sched.all_saturated(&h));
+        // A release frees a slot again.
+        sched.note_release(ids[0], 1);
+        assert!(!sched.all_saturated(&h));
+        assert_eq!(sched.pick("p", 0, &h, None).unwrap().node, ids[0]);
+    }
+
+    #[test]
+    fn saturation_is_per_eligible_set_and_ignores_unbounded() {
+        let ids = nodes(3);
+        let mut sched = Scheduler::new(
+            vec![
+                spec(ids[0], Some("paris"), 1),
+                spec(ids[1], None, 1),
+                spec(ids[2], None, 0),
+            ],
+            SchedPolicy::LeastLoaded,
+        );
+        let paris = hints(&[("location", "paris")]);
+        sched.note_dispatch(ids[0], 1);
+        // The pinned set is saturated even though the fleet is not…
+        assert!(sched.all_saturated(&paris));
+        assert!(!sched.all_saturated(&ImplHints::default()));
+        // …an unbounded executor never saturates…
+        sched.note_dispatch(ids[1], 1);
+        for _ in 0..64 {
+            sched.note_dispatch(ids[2], 1);
+        }
+        assert!(!sched.all_saturated(&ImplHints::default()));
+        // …and an unsatisfiable pin is an error, not congestion.
+        assert!(!sched.all_saturated(&hints(&[("location", "mars")])));
+    }
+
+    #[test]
+    fn unsaturated_avoided_node_beats_saturated_alternative() {
+        let ids = nodes(2);
+        let mut sched = Scheduler::new(
+            vec![spec(ids[0], None, 1), spec(ids[1], None, 1)],
+            SchedPolicy::LeastLoaded,
+        );
+        // Node 1 is full; a retry avoiding node 0 must still land on
+        // node 0 (capacity is a bound, relocation a preference) and be
+        // flagged as having had no alternative.
+        sched.note_dispatch(ids[1], 1);
+        let placed = sched
+            .pick("p", 1, &ImplHints::default(), Some(ids[0]))
+            .unwrap();
+        assert_eq!(placed.node, ids[0]);
+        assert!(placed.no_alternative);
+    }
+
+    #[test]
     fn location_is_a_hard_constraint() {
         let ids = nodes(3);
         let sched = Scheduler::new(
             vec![
-                (ids[0], None),
-                (ids[1], Some("paris".into())),
-                (ids[2], Some("tokyo".into())),
+                spec(ids[0], None, 0),
+                spec(ids[1], Some("paris"), 0),
+                spec(ids[2], Some("tokyo"), 0),
             ],
             SchedPolicy::LeastLoaded,
         );
@@ -487,7 +792,7 @@ mod tests {
         // must not rendezvous as if "" were a real place.
         let ids = nodes(2);
         let mut sched = Scheduler::new(
-            vec![(ids[0], Some(String::new())), (ids[1], None)],
+            vec![spec(ids[0], Some(""), 0), spec(ids[1], None, 0)],
             SchedPolicy::LeastLoaded,
         );
         assert!(sched.snapshot().iter().all(|slot| slot.location.is_none()));
@@ -507,10 +812,7 @@ mod tests {
     #[test]
     fn retries_relocate_when_an_alternative_exists() {
         let ids = nodes(2);
-        let sched = Scheduler::new(
-            ids.iter().map(|&n| (n, None)).collect(),
-            SchedPolicy::LeastLoaded,
-        );
+        let sched = Scheduler::new(unbounded(&ids), SchedPolicy::LeastLoaded);
         let placed = sched
             .pick("root/t", 1, &ImplHints::default(), Some(ids[0]))
             .unwrap();
@@ -521,7 +823,7 @@ mod tests {
     #[test]
     fn single_executor_retry_is_flagged_no_alternative() {
         let ids = nodes(1);
-        let sched = Scheduler::new(vec![(ids[0], None)], SchedPolicy::LeastLoaded);
+        let sched = Scheduler::new(unbounded(&ids), SchedPolicy::LeastLoaded);
         let placed = sched
             .pick("root/t", 1, &ImplHints::default(), Some(ids[0]))
             .unwrap();
@@ -531,7 +833,7 @@ mod tests {
         // flagged too.
         let ids = nodes(2);
         let sched = Scheduler::new(
-            vec![(ids[0], Some("edge".into())), (ids[1], None)],
+            vec![spec(ids[0], Some("edge"), 0), spec(ids[1], None, 0)],
             SchedPolicy::LeastLoaded,
         );
         let placed = sched
@@ -544,10 +846,7 @@ mod tests {
     #[test]
     fn path_hash_policy_reproduces_the_legacy_choice() {
         let ids = nodes(4);
-        let sched = Scheduler::new(
-            ids.iter().map(|&n| (n, None)).collect(),
-            SchedPolicy::PathHash,
-        );
+        let sched = Scheduler::new(unbounded(&ids), SchedPolicy::PathHash);
         let path = "root/task";
         let mut hash = 0u64;
         for byte in path.bytes() {
@@ -568,10 +867,7 @@ mod tests {
     #[test]
     fn release_never_underflows_and_reset_zeroes() {
         let ids = nodes(2);
-        let mut sched = Scheduler::new(
-            ids.iter().map(|&n| (n, None)).collect(),
-            SchedPolicy::LeastLoaded,
-        );
+        let mut sched = Scheduler::new(unbounded(&ids), SchedPolicy::LeastLoaded);
         sched.note_release(ids[0], 1);
         assert_eq!(sched.load_of(ids[0]), 0);
         sched.note_dispatch(ids[0], 1);

@@ -1,0 +1,698 @@
+//! The adaptive scheduling stack: weighted executor capacities with a
+//! priority-ordered parked ready queue, observed-duration feedback
+//! (per-code EWMA overriding lying `duration_ms` hints in watchdog
+//! math), and per-shard admission control (queued starts, typed `Busy`
+//! overflow, crash-safe occupancy accounting). Capacities and feedback
+//! are **placement, not semantics**: per-instance outcomes, dispatch
+//! traces and task states must not change, proven against the fig. 7 /
+//! fig. 8 workloads across shard counts and by a randomized-capacity
+//! proptest arm.
+
+use std::collections::BTreeMap;
+
+use flowscript_core::samples;
+use flowscript_engine::coordinator::EngineConfig;
+use flowscript_engine::{
+    CbState, CommitBatch, EngineError, InstanceStatus, ObjectVal, ObsEventKind, ObserveLevel,
+    SchedPolicy, TaskBehavior, WorkflowSystem,
+};
+use flowscript_sim::net::LinkConfig;
+use flowscript_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn text(class: &str, value: &str) -> ObjectVal {
+    ObjectVal::text(class, value)
+}
+
+/// One leaf behind the root outcome — the smallest script that keeps an
+/// instance alive exactly as long as its task runs.
+const ONE_TASK: &str = r#"
+class Data;
+taskclass Work {
+    inputs { input main { in of class Data } };
+    outputs { outcome done { } }
+}
+taskclass Root {
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { } }
+}
+compoundtask root of taskclass Root {
+    task w of taskclass Work {
+        implementation { "code" is "refWork" };
+        inputs { input main { inputobject in from { seed of task root if input main } } }
+    };
+    outputs { outcome done { notification from { task w if output done } } }
+}
+"#;
+
+/// A `width`-way fan joined by an AND of notifications: the outcome is
+/// independent of completion order, so any capacity-induced
+/// serialization is observationally silent — exactly the property the
+/// equivalence tests assert.
+fn fan_join_source(width: usize) -> String {
+    let mut source = String::from(
+        r#"
+class Data;
+taskclass Work {
+    inputs { input main { in of class Data } };
+    outputs { outcome done { } }
+}
+taskclass Root {
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { } }
+}
+compoundtask root of taskclass Root {
+"#,
+    );
+    for i in 0..width {
+        source.push_str(&format!(
+            r#"    task w{i} of taskclass Work {{
+        implementation {{ "code" is "refW{i}" }};
+        inputs {{ input main {{ inputobject in from {{ seed of task root if input main }} }} }}
+    }};
+"#
+        ));
+    }
+    source.push_str("    outputs { outcome done {\n");
+    for i in 0..width {
+        let sep = if i + 1 < width { ";" } else { "" };
+        source.push_str(&format!(
+            "        notification from {{ task w{i} if output done }}{sep}\n"
+        ));
+    }
+    source.push_str("    } }\n}\n");
+    source
+}
+
+// ---------------------------------------------------------------------
+// Capacity parking: the per-shard ready queue.
+// ---------------------------------------------------------------------
+
+#[test]
+fn saturated_capacity_parks_and_drains_by_priority() {
+    // Three tasks become ready in one commit on ONE serial executor:
+    // only the first dispatch fits, the rest park in the ready queue
+    // and must drain highest declared priority first as completions
+    // free the slot.
+    let source = r#"
+class Data;
+taskclass Work {
+    inputs { input main { in of class Data } };
+    outputs { outcome done { } }
+}
+taskclass Root {
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { } }
+}
+compoundtask root of taskclass Root {
+    task low of taskclass Work {
+        implementation { "code" is "refWork"; "priority" is "1" };
+        inputs { input main { inputobject in from { seed of task root if input main } } }
+    };
+    task high of taskclass Work {
+        implementation { "code" is "refWork"; "priority" is "9" };
+        inputs { input main { inputobject in from { seed of task root if input main } } }
+    };
+    task mid of taskclass Work {
+        implementation { "code" is "refWork"; "priority" is "5" };
+        inputs { input main { inputobject in from { seed of task root if input main } } }
+    };
+    outputs {
+        outcome done {
+            notification from { task low if output done };
+            notification from { task high if output done };
+            notification from { task mid if output done }
+        }
+    }
+}
+"#;
+    let config = EngineConfig {
+        scheduler: SchedPolicy::LeastLoaded,
+        record_dispatches: true,
+        ..EngineConfig::default()
+    };
+    let mut sys = WorkflowSystem::builder()
+        .executors(1)
+        .serial_executors(true)
+        .seed(5)
+        .config(config)
+        .build();
+    sys.register_script("prio", source, "root").unwrap();
+    sys.bind_fn("refWork", |_| {
+        TaskBehavior::outcome("done").with_work(SimDuration::from_millis(50))
+    });
+    sys.start("p1", "prio", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    sys.run();
+    assert!(sys.outcome("p1").is_some(), "{:?}", sys.status("p1"));
+    let order: Vec<String> = sys
+        .dispatch_trace_of("p1")
+        .into_iter()
+        .map(|d| d.path)
+        .collect();
+    assert_eq!(
+        order,
+        vec![
+            "root/high".to_string(),
+            "root/mid".to_string(),
+            "root/low".to_string()
+        ],
+        "the parked ready queue must drain by declared priority"
+    );
+    let stats = sys.stats();
+    assert_eq!(stats.dispatches, 3);
+    assert_eq!(stats.retries, 0, "parking must not look like failure");
+    assert_eq!(stats.dropped_dispatches, 0);
+}
+
+// ---------------------------------------------------------------------
+// Admission control: queueing, typed overflow, post-crash accounting.
+// ---------------------------------------------------------------------
+
+fn admission_system(cap: usize, queue: usize, work_ms: u64) -> WorkflowSystem {
+    let config = EngineConfig {
+        max_inflight_instances: Some(cap),
+        admission_queue_limit: queue,
+        observe: ObserveLevel::Trace,
+        ..EngineConfig::default()
+    };
+    let mut sys = WorkflowSystem::builder()
+        .executors(2)
+        .seed(8)
+        .config(config)
+        .build();
+    sys.register_script("one", ONE_TASK, "root").unwrap();
+    sys.bind_fn("refWork", move |_| {
+        TaskBehavior::outcome("done").with_work(SimDuration::from_millis(work_ms))
+    });
+    sys
+}
+
+#[test]
+fn queued_start_blocks_until_capacity_frees_then_admits() {
+    let mut sys = admission_system(1, 4, 300);
+    sys.start("a", "one", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    assert!(
+        sys.now() < SimTime::from_nanos(100_000_000),
+        "a admits fast"
+    );
+    // The second start parks in the admission queue with its reply
+    // token held open: the client call completes only once instance
+    // "a" leaves the live set and the queue head is admitted.
+    sys.start("b", "one", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    assert!(
+        sys.now() >= SimTime::from_nanos(300_000_000),
+        "b's start must block until a's 300ms of work frees the cap (now {})",
+        sys.now()
+    );
+    sys.run();
+    assert!(sys.outcome("a").is_some());
+    assert!(sys.outcome("b").is_some());
+    assert_eq!(sys.stats().busy_rejections, 0, "queue room means no Busy");
+    // The queued instance's trace shows the park and the admit.
+    let events = sys.trace("b");
+    let kinds: Vec<&ObsEventKind> = events.iter().map(|e| &e.kind).collect();
+    assert!(
+        kinds
+            .iter()
+            .any(|k| matches!(k, ObsEventKind::Parked { queue_depth } if *queue_depth == 1)),
+        "b must record Parked: {kinds:?}"
+    );
+    assert!(
+        kinds
+            .iter()
+            .any(|k| matches!(k, ObsEventKind::Admitted { wait_ns } if *wait_ns > 0)),
+        "b must record Admitted with a real wait: {kinds:?}"
+    );
+    let trace = sys.trace("b");
+    drop(trace);
+}
+
+#[test]
+fn full_admission_queue_returns_typed_busy() {
+    let mut sys = admission_system(1, 0, 200);
+    sys.start("a", "one", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    // Zero queue room: the overflow start is rejected immediately with
+    // the typed, retryable error — not an input failure.
+    let err = sys
+        .start("b", "one", "main", [("seed", text("Data", "s"))])
+        .expect_err("the cap is full");
+    assert!(
+        matches!(err, EngineError::Busy { queue_depth: 0 }),
+        "expected Busy, got {err:?}"
+    );
+    assert_eq!(sys.stats().busy_rejections, 1);
+    sys.run();
+    assert!(sys.outcome("a").is_some());
+    // After the live set drains the same start is admitted.
+    sys.start("b", "one", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    sys.run();
+    assert!(sys.outcome("b").is_some());
+}
+
+#[test]
+fn recovery_recounts_live_instances_for_admission() {
+    let mut sys = admission_system(1, 0, 5_000);
+    sys.start("a", "one", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    sys.run_for(SimDuration::from_millis(1_000));
+    assert_eq!(sys.status("a").unwrap(), InstanceStatus::Running);
+    // Crash and restart the coordinator mid-run: recovery must rebuild
+    // the occupancy count from the persisted Running metas, so the cap
+    // still holds against the recovered instance.
+    let coordinator = sys.coordinator_node();
+    sys.crash_now(coordinator);
+    sys.restart_now(coordinator);
+    sys.run_for(SimDuration::from_millis(100));
+    let err = sys
+        .start("b", "one", "main", [("seed", text("Data", "s"))])
+        .expect_err("the recovered instance still occupies the cap");
+    assert!(matches!(err, EngineError::Busy { .. }), "got {err:?}");
+    sys.run();
+    assert!(sys.outcome("a").is_some(), "{:?}", sys.status("a"));
+    sys.start("b", "one", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    sys.run();
+    assert!(sys.outcome("b").is_some());
+}
+
+#[test]
+fn crash_with_parked_dispatches_recovers_the_whole_fan() {
+    // One serial executor, a 6-wide fan of 500ms tasks: 100ms in, one
+    // task is executing and five sit in the parked ready queue. The
+    // parked queue is volatile — the crash wipes it — so recovery must
+    // re-derive every pending dispatch from the committed control
+    // blocks alone.
+    let config = EngineConfig {
+        dispatch_timeout: SimDuration::from_secs(30),
+        ..EngineConfig::default()
+    };
+    let mut sys = WorkflowSystem::builder()
+        .executors(1)
+        .serial_executors(true)
+        .seed(13)
+        .config(config)
+        .build();
+    sys.register_script("fan", &fan_join_source(6), "root")
+        .unwrap();
+    for i in 0..6 {
+        sys.bind_fn(&format!("refW{i}"), |_| {
+            TaskBehavior::outcome("done").with_work(SimDuration::from_millis(500))
+        });
+    }
+    sys.start("f1", "fan", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    sys.run_for(SimDuration::from_millis(100));
+    let coordinator = sys.coordinator_node();
+    sys.crash_now(coordinator);
+    sys.restart_now(coordinator);
+    sys.run();
+    assert!(sys.outcome("f1").is_some(), "{:?}", sys.status("f1"));
+    let states = sys.task_states("f1");
+    assert!(
+        states.values().all(|s| matches!(s, CbState::Done { .. })),
+        "{states:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Observed-duration feedback vs lying hints.
+// ---------------------------------------------------------------------
+
+/// The probe→liar chain: two tasks share implementation code
+/// `refShared` (400ms of real work); the probe declares 400ms honestly,
+/// the downstream liar declares 1ms.
+const LYING_CHAIN: &str = r#"
+class Data;
+taskclass Work {
+    inputs { input main { in of class Data } };
+    outputs { outcome done { out of class Data } }
+}
+taskclass Root {
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { } }
+}
+compoundtask root of taskclass Root {
+    task probe of taskclass Work {
+        implementation { "code" is "refShared"; "duration_ms" is "400" };
+        inputs { input main { inputobject in from { seed of task root if input main } } }
+    };
+    task liar of taskclass Work {
+        implementation { "code" is "refShared"; "duration_ms" is "1" };
+        inputs { input main { inputobject in from { out of task probe if output done } } }
+    };
+    outputs { outcome done { notification from { task liar if output done } } }
+}
+"#;
+
+fn lying_chain_system(cost_feedback: bool) -> WorkflowSystem {
+    let config = EngineConfig {
+        scheduler: SchedPolicy::LeastLoaded,
+        dispatch_timeout: SimDuration::from_millis(200),
+        retry_backoff: SimDuration::from_millis(50),
+        max_retries: 3,
+        cost_feedback,
+        record_dispatches: true,
+        ..EngineConfig::default()
+    };
+    let mut sys = WorkflowSystem::builder()
+        .executors(2)
+        .serial_executors(true)
+        .seed(21)
+        .config(config)
+        .build();
+    sys.register_script("lying", LYING_CHAIN, "root").unwrap();
+    sys.bind_fn("refShared", |_| {
+        TaskBehavior::outcome("done")
+            .with_work(SimDuration::from_millis(400))
+            .with_object("out", text("Data", "d"))
+    });
+    sys
+}
+
+#[test]
+fn declared_hints_alone_strand_the_lying_task() {
+    let mut sys = lying_chain_system(false);
+    sys.start("l1", "lying", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    sys.run();
+    // The liar's watchdog (base 200ms + declared 1ms) can never cover
+    // its real 400ms execution: every attempt times out and relocates
+    // until the budget is spent and the instance goes stuck.
+    assert!(
+        matches!(sys.status("l1").unwrap(), InstanceStatus::Stuck { .. }),
+        "{:?}",
+        sys.status("l1")
+    );
+    assert_eq!(sys.stats().retries, 3, "the whole retry budget burns");
+    let liar_dispatches: Vec<_> = sys
+        .dispatch_trace_of("l1")
+        .into_iter()
+        .filter(|d| d.path == "root/liar")
+        .collect();
+    assert_eq!(liar_dispatches.len(), 4, "initial attempt + 3 retries");
+    let executors: std::collections::BTreeSet<_> =
+        liar_dispatches.iter().map(|d| d.executor).collect();
+    assert!(
+        executors.len() > 1,
+        "timed-out attempts must relocate across executors"
+    );
+}
+
+#[test]
+fn observed_durations_override_the_lying_watchdog() {
+    let mut sys = lying_chain_system(true);
+    sys.start("l1", "lying", "main", [("seed", text("Data", "s"))])
+        .unwrap();
+    sys.run();
+    // The probe's completion teaches the per-code model ~400ms before
+    // the liar dispatches; its watchdog stretches to cover the
+    // observed duration (never below the declared floor), so the chain
+    // completes without a single retry.
+    assert_eq!(sys.outcome("l1").expect("chain completes").name, "done");
+    assert_eq!(sys.stats().retries, 0);
+    assert_eq!(sys.stats().dropped_dispatches, 0);
+    assert_eq!(sys.dispatch_trace_of("l1").len(), 2, "one dispatch each");
+}
+
+// ---------------------------------------------------------------------
+// Equivalence: capacities and feedback are placement, not semantics.
+// ---------------------------------------------------------------------
+
+type Fingerprint = (
+    InstanceStatus,
+    Vec<(String, u32)>,
+    BTreeMap<String, CbState>,
+);
+
+fn fingerprint(sys: &WorkflowSystem, instance: &str) -> Fingerprint {
+    let status = sys.status(instance).expect("instance known");
+    assert!(status.is_terminal(), "{instance} not terminal: {status:?}");
+    let trace = sys
+        .dispatch_trace_of(instance)
+        .into_iter()
+        .map(|d| (d.path, d.attempt))
+        .collect();
+    (status, trace, sys.task_states(instance))
+}
+
+/// Fig. 7 + fig. 8 population under `coordinators` shards with the
+/// observed-duration feedback toggled; executors stay unbounded so the
+/// only degree of freedom feedback can move is *placement*.
+fn run_paper_population(coordinators: usize, cost_feedback: bool) -> BTreeMap<String, Fingerprint> {
+    let config = EngineConfig {
+        dispatch_timeout: SimDuration::from_millis(400),
+        retry_backoff: SimDuration::from_millis(20),
+        record_dispatches: true,
+        cost_feedback,
+        ..EngineConfig::default()
+    };
+    let mut sys = WorkflowSystem::builder()
+        .executors(3)
+        .coordinators(coordinators)
+        .seed(7)
+        .link(LinkConfig {
+            base_latency: SimDuration::from_micros(200),
+            jitter: SimDuration::ZERO,
+            drop_prob: 0.0,
+        })
+        .config(config)
+        .build();
+    sys.register_script(
+        "order",
+        samples::ORDER_PROCESSING,
+        "processOrderApplication",
+    )
+    .unwrap();
+    sys.register_script("trip", samples::BUSINESS_TRIP, "tripReservation")
+        .unwrap();
+    sys.bind_fn("refPaymentAuthorisation", |_| {
+        TaskBehavior::outcome("authorised")
+            .with_work(SimDuration::from_millis(30))
+            .with_object("paymentInfo", text("PaymentInfo", "p"))
+    });
+    sys.bind_fn("refCheckStock", |_| {
+        TaskBehavior::outcome("stockAvailable")
+            .with_work(SimDuration::from_millis(45))
+            .with_object("stockInfo", text("StockInfo", "s"))
+    });
+    sys.bind_fn("refDispatch", |_| {
+        TaskBehavior::outcome("dispatchCompleted")
+            .with_work(SimDuration::from_millis(25))
+            .with_object("dispatchNote", text("DispatchNote", "n"))
+    });
+    sys.bind_fn("refPaymentCapture", |_| TaskBehavior::outcome("done"));
+    sys.bind_fn("refDataAcquisition", |ctx| {
+        TaskBehavior::outcome("acquired")
+            .with_object("tripData", text("TripData", &ctx.input_text("user")))
+    });
+    sys.bind_fn("refAirlineQueryA", |_| {
+        TaskBehavior::outcome("notFound").with_work(SimDuration::from_millis(5))
+    });
+    sys.bind_fn("refAirlineQueryB", |ctx| {
+        TaskBehavior::outcome("found")
+            .with_work(SimDuration::from_millis(12))
+            .with_object(
+                "flightList",
+                text("FlightList", &ctx.input_text("tripData")),
+            )
+    });
+    sys.bind_fn("refAirlineQueryC", |ctx| {
+        TaskBehavior::outcome("found")
+            .with_work(SimDuration::from_millis(30))
+            .with_object(
+                "flightList",
+                text("FlightList", &ctx.input_text("tripData")),
+            )
+    });
+    sys.bind_fn("refFlightReservation", |ctx| {
+        TaskBehavior::outcome("reserved")
+            .with_object("plane", text("Plane", &ctx.input_text("flightList")))
+            .with_object("cost", text("Cost", "c"))
+    });
+    sys.bind_fn("refHotelReservation", |_| {
+        TaskBehavior::outcome("hotelBooked").with_object("hotel", text("Hotel", "h"))
+    });
+    sys.bind_fn("refFlightCancellation", |_| {
+        TaskBehavior::outcome("cancelled")
+    });
+    sys.bind_fn("refPrintTickets", |_| {
+        TaskBehavior::outcome("printed").with_object("tickets", text("Tickets", "tk"))
+    });
+    let mut names = Vec::new();
+    for i in 0..6 {
+        let name = format!("order-{i}");
+        sys.start(&name, "order", "main", [("order", text("Order", &name))])
+            .unwrap();
+        names.push(name);
+    }
+    for i in 0..3 {
+        let name = format!("trip-{i}");
+        sys.start(&name, "trip", "main", [("user", text("User", &name))])
+            .unwrap();
+        names.push(name);
+    }
+    sys.run();
+    names
+        .into_iter()
+        .map(|name| {
+            let print = fingerprint(&sys, &name);
+            (name, print)
+        })
+        .collect()
+}
+
+#[test]
+fn feedback_preserves_paper_fingerprints_across_shards() {
+    let baseline = run_paper_population(1, false);
+    for (coordinators, cost_feedback) in [(1, true), (4, false), (4, true)] {
+        assert_eq!(
+            baseline,
+            run_paper_population(coordinators, cost_feedback),
+            "shards {coordinators}, feedback {cost_feedback}"
+        );
+    }
+}
+
+/// The AND-join fan under explicit executor capacities: outcome, task
+/// states and the per-instance dispatch trace must match the
+/// unbounded-fleet baseline no matter how hard capacities serialize
+/// the fan.
+fn run_fan_population(capacities: Option<Vec<u32>>, wave: usize) -> BTreeMap<String, Fingerprint> {
+    let width = 6;
+    let config = EngineConfig {
+        scheduler: SchedPolicy::LeastLoaded,
+        dispatch_timeout: SimDuration::from_secs(3600),
+        record_dispatches: true,
+        ..EngineConfig::default()
+    };
+    let mut builder = WorkflowSystem::builder()
+        .executors(2)
+        .seed(9)
+        .config(config);
+    if let Some(caps) = capacities {
+        builder = builder.executors_weighted(caps);
+    }
+    let mut sys = builder.build();
+    sys.register_script("fan", &fan_join_source(width), "root")
+        .unwrap();
+    for i in 0..width {
+        let work = SimDuration::from_millis(40 + 30 * i as u64);
+        sys.bind_fn(&format!("refW{i}"), move |_| {
+            TaskBehavior::outcome("done").with_work(work)
+        });
+    }
+    let mut names = Vec::new();
+    for i in 0..wave {
+        let name = format!("fan-{i}");
+        sys.start(&name, "fan", "main", [("seed", text("Data", "s"))])
+            .unwrap();
+        names.push(name);
+    }
+    sys.run();
+    assert_eq!(sys.stats().dropped_dispatches, 0);
+    names
+        .into_iter()
+        .map(|name| {
+            let print = fingerprint(&sys, &name);
+            (name, print)
+        })
+        .collect()
+}
+
+#[test]
+fn capacity_parking_preserves_fan_outcomes() {
+    let baseline = run_fan_population(None, 4);
+    for caps in [vec![1, 1], vec![1, 2], vec![3, 1], vec![2, 2, 1]] {
+        assert_eq!(
+            baseline,
+            run_fan_population(Some(caps.clone()), 4),
+            "capacities {caps:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized capacities (0 = unbounded) over randomized wave
+    /// sizes: every instance must complete with a fingerprint
+    /// byte-identical to the unbounded baseline.
+    #[test]
+    fn random_capacities_never_change_fan_outcomes(
+        caps in proptest::collection::vec(0u32..4, 1..5),
+        wave in 1usize..5,
+    ) {
+        let baseline = run_fan_population(None, wave);
+        let parked = run_fan_population(Some(caps.clone()), wave);
+        prop_assert_eq!(&baseline, &parked, "caps {:?} wave {}", caps, wave);
+        for (name, (status, trace, _)) in &baseline {
+            prop_assert!(status.is_terminal(), "{}: {:?}", name, status);
+            prop_assert!(!trace.is_empty(), "{} never dispatched", name);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptive commit windows: auto-tuning must not change behaviour and
+// must not finish later than the static window.
+// ---------------------------------------------------------------------
+
+#[test]
+fn adaptive_commit_window_is_no_worse_than_static() {
+    let run = |adaptive: Option<SimDuration>| {
+        let config = EngineConfig {
+            commit_batch: CommitBatch {
+                max_events: 64,
+                max_window: SimDuration::from_millis(5),
+            },
+            adaptive_min_window: adaptive,
+            ..EngineConfig::default()
+        };
+        let mut sys = WorkflowSystem::builder()
+            .executors(3)
+            .seed(17)
+            .config(config)
+            .build();
+        sys.register_script("diamond", samples::FIG1_DIAMOND, "diamond")
+            .unwrap();
+        for code in ["refT1", "refT2", "refT3", "refT4"] {
+            sys.bind_fn(code, |_| {
+                TaskBehavior::outcome("done")
+                    .with_work(SimDuration::from_millis(30))
+                    .with_object("out", text("Data", "d"))
+            });
+        }
+        let mut outcomes = Vec::new();
+        for i in 0..8 {
+            sys.start(
+                &format!("d{i}"),
+                "diamond",
+                "main",
+                [("seed", text("Data", "s"))],
+            )
+            .unwrap();
+        }
+        sys.run();
+        for i in 0..8 {
+            let name = format!("d{i}");
+            outcomes.push((
+                sys.outcome(&name).expect("diamond completes").name,
+                sys.task_states(&name),
+            ));
+        }
+        (outcomes, sys.now().since(SimTime::ZERO))
+    };
+    let (static_outcomes, static_makespan) = run(None);
+    let (adaptive_outcomes, adaptive_makespan) = run(Some(SimDuration::from_millis(1)));
+    assert_eq!(static_outcomes, adaptive_outcomes, "same behaviour");
+    assert!(
+        adaptive_makespan <= static_makespan,
+        "narrowing the window under sparse arrivals must not finish later: \
+         adaptive {adaptive_makespan:?} vs static {static_makespan:?}"
+    );
+}

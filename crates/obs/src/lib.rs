@@ -599,6 +599,18 @@ pub enum ObsEventKind {
         /// What was repaired.
         what: String,
     },
+    /// A dispatch (or an instance start) was parked behind saturated
+    /// capacity / the admission cap instead of proceeding.
+    Parked {
+        /// Queue depth *after* parking (ready or admission queue).
+        queue_depth: u64,
+    },
+    /// A previously parked dispatch or instance start was released
+    /// from its queue and proceeded.
+    Admitted {
+        /// Virtual nanoseconds the work spent parked.
+        wait_ns: u64,
+    },
 }
 
 impl ObsEventKind {
@@ -615,6 +627,8 @@ impl ObsEventKind {
             ObsEventKind::HandOff { .. } => "handoff",
             ObsEventKind::Terminal { .. } => "terminal",
             ObsEventKind::Repair { .. } => "repair",
+            ObsEventKind::Parked { .. } => "parked",
+            ObsEventKind::Admitted { .. } => "admitted",
         }
     }
 }
@@ -671,6 +685,8 @@ impl fmt::Display for ObsEvent {
             ObsEventKind::HandOff { to, epoch } => write!(f, " -> shard {to} @epoch {epoch}"),
             ObsEventKind::Terminal { outcome } => write!(f, ": {outcome}"),
             ObsEventKind::Repair { what } => write!(f, ": {what}"),
+            ObsEventKind::Parked { queue_depth } => write!(f, ": depth {queue_depth}"),
+            ObsEventKind::Admitted { wait_ns } => write!(f, " after {wait_ns} ns"),
             _ => Ok(()),
         }
     }

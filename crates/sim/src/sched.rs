@@ -97,6 +97,17 @@ impl Scheduler {
         None
     }
 
+    /// Advances the clock to `at` without running anything; a no-op if
+    /// `at` is in the past. Callers must have drained events ≤ `at`
+    /// first, or the next pop would run behind the clock.
+    pub(crate) fn advance_to(&mut self, at: SimTime) {
+        debug_assert!(
+            self.peek_time().is_none_or(|next| next >= at),
+            "advance_to past a pending event"
+        );
+        self.now = self.now.max(at);
+    }
+
     /// Time of the next runnable event, if any.
     pub(crate) fn peek_time(&self) -> Option<SimTime> {
         self.entries

@@ -462,7 +462,11 @@ impl World {
         }
     }
 
-    /// Runs events with time ≤ `deadline`, leaving later events queued.
+    /// Runs events with time ≤ `deadline`, leaving later events queued,
+    /// then advances the clock to `deadline` itself — so waiting out a
+    /// quiet stretch (retry backoff, admission polling) really spends
+    /// the virtual time instead of spinning at the last event's
+    /// timestamp.
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(next) = self.sched.peek_time() {
             if next > deadline {
@@ -472,6 +476,7 @@ impl World {
                 break;
             }
         }
+        self.sched.advance_to(deadline);
     }
 
     /// Number of pending (uncancelled) events.
