@@ -525,6 +525,104 @@ fn rebalance(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `drain` variant: the elastic fleet shrinking under load. Ten
+/// virtual seconds into a 10 000-instance diamond wave on 3 shards,
+/// one coordinator is drained and removed: its whole live population
+/// moves to the survivors in batched 2PC rounds (one intent batch, one
+/// prepared id range, one atomic decision frame per round) before the
+/// node leaves the map. The wave must complete losslessly, and the
+/// batching must amortize — strictly fewer prepare rounds than moved
+/// instances. Max/mean per-round pause and the whole-wave wall land in
+/// `drain_impact.csv`.
+fn drain(c: &mut Criterion) {
+    let wave = 10_000usize;
+    let start = Instant::now();
+    let mut sys = sharded_diamond_system(9, 3, 4);
+    start_instance_wave(&mut sys, wave);
+    sys.run_until(SimTime::from_nanos(10_000_000_000));
+    let report = sys
+        .remove_coordinator("coordinator1")
+        .expect("live drain under load");
+    sys.run();
+    let wall = start.elapsed();
+    assert_eq!(
+        completed_wave(&sys, wave),
+        wave,
+        "no outcome may be lost to the drain"
+    );
+    assert!(report.moved > 0, "the drained shard must have had work");
+    assert!(
+        report.rounds < report.moved,
+        "batching must amortize: {} prepare rounds for {} instances",
+        report.rounds,
+        report.moved
+    );
+    assert_eq!(
+        sys.stats().handoffs,
+        report.moved as u64,
+        "every move committed exactly once"
+    );
+    assert_eq!(
+        sys.stats().forward_loops,
+        0,
+        "a clean drain must not trip the loop guard"
+    );
+
+    let total_pause: u64 = report.pause_ns.iter().sum();
+    let rows = vec![
+        ThroughputRow {
+            workload: "remove_shard_3to2/max_pause".into(),
+            items: 1,
+            wall_ns: report.max_pause_ns() as f64,
+        },
+        ThroughputRow {
+            workload: "remove_shard_3to2/mean_pause".into(),
+            items: 1,
+            wall_ns: total_pause as f64 / report.rounds.max(1) as f64,
+        },
+        ThroughputRow {
+            workload: format!("remove_shard_3to2/rounds_{}", report.rounds),
+            items: report.moved as u64,
+            wall_ns: total_pause as f64,
+        },
+        ThroughputRow {
+            workload: format!("remove_shard_3to2/wave_{wave}"),
+            items: wave as u64,
+            wall_ns: wall.as_nanos() as f64,
+        },
+    ];
+    for row in &rows {
+        println!(
+            "plan_dispatch/drain {}: {} moves/instances in {:.3}ms",
+            row.workload,
+            row.items,
+            row.wall_ns / 1e6
+        );
+    }
+    let path = report::write_throughput_csv(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/drain_impact.csv"),
+        "moves",
+        &rows,
+    )
+    .expect("drain table written");
+    println!("drain impact table: {}", path.display());
+
+    let mut group = c.benchmark_group("plan_dispatch/drain");
+    group.sample_size(2);
+    group.bench_function(BenchmarkId::new("wave_512", "remove_shard_3to2"), |b| {
+        b.iter(|| {
+            let mut sys = sharded_diamond_system(9, 3, 4);
+            start_instance_wave(&mut sys, 512);
+            sys.run_until(SimTime::from_nanos(10_000_000_000));
+            let report = sys.remove_coordinator("coordinator1").expect("drain");
+            sys.run();
+            assert_eq!(completed_wave(&sys, 512), 512);
+            std::hint::black_box(report.moved)
+        })
+    });
+    group.finish();
+}
+
 /// The `batched` variant: the same 10 000-instance diamond wave per
 /// shard count on a **durable file-backed WAL** (every frame is an
 /// `fdatasync`ed write), group-commit batching off vs on. Every task
@@ -1142,6 +1240,7 @@ criterion_group!(
     dispatch,
     sharded,
     rebalance,
+    drain,
     batched,
     scheduled,
     adaptive,

@@ -23,12 +23,13 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use flowscript_obs::{ObsEvent, ObserveLevel, Registry, Snapshot};
+use flowscript_obs::{ObsEvent, ObsEventKind, ObserveLevel, Registry, Snapshot};
 use flowscript_sim::{net::LinkConfig, FaultPlan, NodeId, SimDuration, SimTime, World};
-use flowscript_tx::{SharedFileStorage, StableStore};
+use flowscript_tx::{SharedFileStorage, StableStore, TxManager};
 
 use crate::coordinator::{
-    CommitBatch, CoordHandle, CoordStats, Coordinator, EngineConfig, InstanceStatus, Outcome,
+    package_stored_instance, CommitBatch, CoordHandle, CoordStats, Coordinator, EngineConfig,
+    InstanceStatus, Outcome,
 };
 use crate::error::EngineError;
 use crate::executor;
@@ -346,8 +347,88 @@ impl SystemBuilder {
             storages,
             config: self.config,
             wal_dir: self.wal_dir,
+            retired: Vec::new(),
+            chaos: None,
         }
     }
+}
+
+/// How many instances one drain round moves under a single 2PC: the
+/// batch is unavailable for the whole round, so the batch size bounds
+/// the per-instance pause while still amortizing prepare/decision
+/// traffic across many instances.
+const DRAIN_BATCH: usize = 64;
+
+/// Where an armed chaos kill ([`WorkflowSystem::arm_chaos_kill`]) fires
+/// inside a planned drain or a crash-driven adoption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Before the round's `HandOffBegin` intents are logged: the round
+    /// never started, nothing to repair.
+    BeforeBegin,
+    /// After the batch's intents are durable, before the destination
+    /// prepares — recovery presumes the whole batch aborted.
+    AfterBegin,
+    /// After the destination's durable yes-vote, before the source's
+    /// decision — the destination chases the in-doubt stage and learns
+    /// "abort" from the restarted source.
+    AfterPrepare,
+    /// After the source's durable decision (instances purged), before
+    /// the destination applies it — the restarted source re-announces
+    /// the verdict and the destination adopts.
+    AfterDecision,
+    /// Mid-claim during crash-driven adoption: the driver dies after
+    /// claiming some of the dead shard's instances. Re-running
+    /// [`WorkflowSystem::adopt_dead_shard`] is idempotent.
+    MidClaim,
+}
+
+/// An armed one-shot kill, consumed by the next drain or adoption.
+#[derive(Debug, Clone, Copy)]
+struct ChaosKill {
+    point: KillPoint,
+    /// For hand-off points: the 0-based batch round to strike in. For
+    /// [`KillPoint::MidClaim`]: how many instances to claim before
+    /// dying.
+    round: usize,
+}
+
+/// What one planned drain ([`WorkflowSystem::remove_coordinator`]) did.
+#[derive(Debug, Clone, Default)]
+pub struct DrainReport {
+    /// Instances moved off the departing shard.
+    pub moved: usize,
+    /// Batched 2PC rounds the drain took — many instances share one
+    /// round, so `rounds` is far below `moved` for a loaded shard.
+    pub rounds: usize,
+    /// Wall-clock nanoseconds per round (the per-instance pause bound:
+    /// a batch is unavailable for exactly its round). Also recorded in
+    /// the departing shard's `coord.drain_pause_ns` histogram.
+    pub pause_ns: Vec<u64>,
+    /// The membership epoch after the final map flip.
+    pub epoch: u64,
+}
+
+impl DrainReport {
+    /// The longest single round — the worst per-instance pause, in
+    /// nanoseconds.
+    pub fn max_pause_ns(&self) -> u64 {
+        self.pause_ns.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// What one crash-driven failover ([`WorkflowSystem::adopt_dead_shard`])
+/// did.
+#[derive(Debug, Clone, Default)]
+pub struct FailoverReport {
+    /// Instances claimed from the dead shard's storage and adopted by
+    /// survivors (instances already claimed by an earlier, interrupted
+    /// attempt are re-swept but not re-counted).
+    pub adopted: usize,
+    /// The membership epoch stamped into the fence and the new map.
+    pub epoch: u64,
+    /// Node index of the surviving shard that wrote the fence.
+    pub claimant: u32,
 }
 
 /// What one live rebalance ([`WorkflowSystem::rebalance`] /
@@ -400,6 +481,15 @@ pub struct WorkflowSystem {
     /// WAL directory, retained so late-added shards journal alongside
     /// the original fleet (`shardN.wal`).
     wal_dir: Option<std::path::PathBuf>,
+    /// Coordinators retired from the shard map by a planned drain or a
+    /// crash-driven failover. They stay installed in the world as pure
+    /// relays (late executor reports for their former instances route
+    /// through them to the adopter), and their counters, traces and
+    /// metrics keep aggregating.
+    retired: Vec<(NodeId, CoordHandle)>,
+    /// A one-shot chaos kill armed by [`WorkflowSystem::arm_chaos_kill`],
+    /// consumed by the next drain or adoption.
+    chaos: Option<ChaosKill>,
 }
 
 impl WorkflowSystem {
@@ -692,10 +782,21 @@ impl WorkflowSystem {
         self.coord_for(instance).output_fact(instance, path, output)
     }
 
-    /// Engine counters, aggregated over every coordinator shard.
+    /// Every coordinator handle: the active shards plus retired ones
+    /// (drained or failed-over nodes kept as relays). Aggregations walk
+    /// all of them so a shard's history survives its retirement.
+    fn all_coords(&self) -> impl Iterator<Item = &CoordHandle> {
+        self.coords
+            .iter()
+            .chain(self.retired.iter().map(|(_, coord)| coord))
+    }
+
+    /// Engine counters, aggregated over every coordinator shard —
+    /// including retired shards, whose counters record the work they
+    /// did before draining out.
     pub fn stats(&self) -> CoordStats {
         let mut total = CoordStats::default();
-        for coord in &self.coords {
+        for coord in self.all_coords() {
             total += &coord.stats();
         }
         total
@@ -715,8 +816,7 @@ impl WorkflowSystem {
     /// order of occurrence; the equivalence tests compare per-instance
     /// subsequences across shard counts).
     pub fn dispatch_trace(&self) -> Vec<crate::coordinator::DispatchRecord> {
-        self.coords
-            .iter()
+        self.all_coords()
             .flat_map(|coord| coord.dispatch_trace())
             .collect()
     }
@@ -838,8 +938,7 @@ impl WorkflowSystem {
     /// post-recovery re-dispatches follow.
     pub fn trace(&self, instance: &str) -> Vec<ObsEvent> {
         let mut events: Vec<ObsEvent> = self
-            .coords
-            .iter()
+            .all_coords()
             .flat_map(|coord| coord.recorder().events_for(instance))
             .collect();
         events.sort_by_key(|event| (event.at_ns, event.shard, event.seq));
@@ -852,7 +951,7 @@ impl WorkflowSystem {
     /// ([`Snapshot::to_csv`]).
     pub fn metrics_snapshot(&self) -> Snapshot {
         let mut merged = Snapshot::default();
-        for coord in &self.coords {
+        for coord in self.all_coords() {
             merged.merge(&coord.registry().snapshot());
         }
         merged
@@ -1101,6 +1200,251 @@ impl WorkflowSystem {
             moved: pause_ns.len(),
             pause_ns,
             epoch: self.shard.epoch(),
+        })
+    }
+
+    /// Resolves a coordinator by node name to `(index, node)`.
+    fn coord_by_name(&self, name: &str) -> Result<(usize, NodeId), EngineError> {
+        self.coord_nodes
+            .iter()
+            .position(|&n| self.world.node_name(n) == name)
+            .map(|idx| (idx, self.coord_nodes[idx]))
+            .ok_or_else(|| EngineError::Tx(format!("no coordinator named `{name}`")))
+    }
+
+    /// Fires the armed chaos kill if `point` in round `round` is its
+    /// strike point: crashes `victim` and surfaces the kill as an
+    /// error so the driver stops exactly where a real crash would have
+    /// stopped it.
+    fn chaos_strike(
+        &mut self,
+        point: KillPoint,
+        round: usize,
+        victim: NodeId,
+    ) -> Result<(), EngineError> {
+        if let Some(kill) = self.chaos {
+            if kill.point == point && kill.round == round {
+                self.chaos = None;
+                self.world.crash(victim);
+                return Err(EngineError::Tx(format!(
+                    "chaos: killed node at {point:?} (round {round})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Arms a one-shot kill inside the next drain or adoption: the
+    /// victim node crashes at `point` in batch round `round` (for
+    /// [`KillPoint::MidClaim`], after `round` instances were claimed)
+    /// and the driving call returns an error mid-protocol — exactly
+    /// the strand a real crash would leave. The chaos tests then
+    /// restart/re-run and assert convergence with zero lost outcomes.
+    #[doc(hidden)]
+    pub fn arm_chaos_kill(&mut self, point: KillPoint, round: usize) {
+        self.chaos = Some(ChaosKill { point, round });
+    }
+
+    /// Retires shard `idx` from the fleet: survivors (and the client
+    /// router) flip to `new_map`, while the retired coordinator stays
+    /// installed as a pure relay on the same map — its relay table
+    /// re-pointed off departed nodes — so late executor reports for
+    /// its former instances forward straight to the adopter.
+    fn retire_coordinator(&mut self, idx: usize, new_map: &ShardMap) {
+        let node = self.coord_nodes.remove(idx);
+        let coord = self.coords.remove(idx);
+        self.storages.remove(idx);
+        coord.set_shard_map_relay(new_map.clone());
+        for survivor in &self.coords {
+            survivor.set_shard_map(new_map.clone());
+        }
+        self.shard = new_map.clone();
+        self.retired.push((node, coord));
+    }
+
+    /// Drains and removes coordinator `name` from the execution
+    /// service **live**: the departing shard's entire resident
+    /// population moves to the surviving shards *before* the node
+    /// leaves the map — [`WorkflowSystem::rebalance`] in reverse,
+    /// upgraded to move up to [`DRAIN_BATCH`] instances per 2PC round
+    /// (one intent batch, one prepared stage with a contiguous
+    /// destination id range, one atomic decision frame). The drained
+    /// node is then retired: it stays installed as a relay for late
+    /// executor reports but owns nothing and serves nothing.
+    ///
+    /// # Errors
+    ///
+    /// Unknown name, draining the last shard, a storage failure
+    /// mid-move (a destination that fails to prepare aborts its whole
+    /// batch durably; the instances stay where they were), or an armed
+    /// chaos kill striking mid-drain.
+    pub fn remove_coordinator(&mut self, name: &str) -> Result<DrainReport, EngineError> {
+        let (idx, node) = self.coord_by_name(name)?;
+        if self.coords.len() == 1 {
+            return Err(EngineError::Tx(
+                "cannot drain the last coordinator".to_string(),
+            ));
+        }
+        let mut new_map = self.shard.clone();
+        new_map.remove_node(node);
+        let src = self.coords[idx].clone();
+        let names = src.instance_names();
+        src.record_system_event(
+            self.world.now().as_nanos(),
+            name,
+            ObsEventKind::DrainBegin {
+                remaining: names.len() as u64,
+            },
+        );
+        // Group the departing population by destination under the new
+        // map, then move each group in bounded batches — one 2PC round
+        // per batch.
+        let mut by_dest: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for instance in names {
+            let owner = new_map.node_of(&instance);
+            let dest_idx = self
+                .coord_nodes
+                .iter()
+                .position(|&n| n == owner)
+                .ok_or_else(|| {
+                    EngineError::Tx(format!(
+                        "shard map assigns `{instance}` to {owner}, which runs no coordinator"
+                    ))
+                })?;
+            by_dest.entry(dest_idx).or_default().push(instance);
+        }
+        let mut moved = 0usize;
+        let mut rounds = 0usize;
+        let mut pause_ns = Vec::new();
+        for (dest_idx, instances) in by_dest {
+            let dest = self.coords[dest_idx].clone();
+            let dest_node = self.coord_nodes[dest_idx];
+            for chunk in instances.chunks(DRAIN_BATCH) {
+                self.chaos_strike(KillPoint::BeforeBegin, rounds, node)?;
+                let clock = std::time::Instant::now();
+                let packages = src.handoff_collect_batch(&mut self.world, chunk, dest_node)?;
+                self.chaos_strike(KillPoint::AfterBegin, rounds, node)?;
+                let tx = packages[0].tx;
+                match dest.handoff_prepare_batch(&packages) {
+                    Ok(()) => {
+                        self.chaos_strike(KillPoint::AfterPrepare, rounds, node)?;
+                        src.handoff_commit_batch(&mut self.world, chunk, tx, dest_node)?;
+                        self.chaos_strike(KillPoint::AfterDecision, rounds, node)?;
+                        dest.handoff_apply(&mut self.world, tx, true)?;
+                    }
+                    Err(err) => {
+                        for instance in chunk {
+                            src.handoff_abort(instance, tx, dest_node)?;
+                        }
+                        return Err(err);
+                    }
+                }
+                let ns = clock.elapsed().as_nanos() as u64;
+                src.note_drain_pause(ns);
+                pause_ns.push(ns);
+                moved += chunk.len();
+                rounds += 1;
+            }
+        }
+        src.record_system_event(
+            self.world.now().as_nanos(),
+            name,
+            ObsEventKind::DrainEnd {
+                moved: moved as u64,
+                rounds: rounds as u64,
+            },
+        );
+        self.retire_coordinator(idx, &new_map);
+        Ok(DrainReport {
+            moved,
+            rounds,
+            pause_ns,
+            epoch: self.shard.epoch(),
+        })
+    }
+
+    /// Adopts a dead shard's instances **without waiting for the node
+    /// to come back**: the failover half of the elastic fleet. The
+    /// first surviving shard durably fences the dead shard's log
+    /// (epoch-stamped claim — a zombie waking mid-adoption fails its
+    /// next append instead of double-driving instances), then every
+    /// committed instance is read out of the surviving storage,
+    /// re-keyed and committed on its new owner per the epoch-bumped
+    /// map, and adopted through the same orphan-adoption path a
+    /// committed hand-off lands on. Idempotent end to end: a driver
+    /// that died mid-claim (see [`KillPoint::MidClaim`]) just runs it
+    /// again — already-claimed instances are skipped.
+    ///
+    /// Deliberately does NOT require the node to be down: adopting a
+    /// *live* shard is the false-positive failure-detection scenario,
+    /// and the fence is what keeps it safe.
+    ///
+    /// # Errors
+    ///
+    /// Unknown name, adopting the last shard, a foreign fence (another
+    /// claimant got there first), storage failures, or an armed chaos
+    /// kill striking mid-claim.
+    pub fn adopt_dead_shard(&mut self, name: &str) -> Result<FailoverReport, EngineError> {
+        let (idx, node) = self.coord_by_name(name)?;
+        if self.coords.len() == 1 {
+            return Err(EngineError::Tx(
+                "cannot fail over the last coordinator".to_string(),
+            ));
+        }
+        let mut new_map = self.shard.clone();
+        new_map.remove_node(node);
+        let epoch = new_map.epoch();
+        let claimant_idx = if idx == 0 { 1 } else { 0 };
+        let claimant_node = self.coord_nodes[claimant_idx];
+        // The fenced claim: reopen the dead shard's surviving storage
+        // under the claimant's identity and stamp the fence. From this
+        // append on, the dead shard's own manager can never commit
+        // again — the claimed copies are the truth.
+        let mut mgr = TxManager::open(claimant_node.index() as u32, self.storages[idx].clone())?;
+        mgr.write_fence(epoch)?;
+        let metas = mgr.uids_matching("inst/", "/meta");
+        let mut adopted = 0usize;
+        for uid in metas {
+            let instance = uid
+                .as_str()
+                .trim_start_matches("inst/")
+                .trim_end_matches("/meta")
+                .to_string();
+            let owner = new_map.node_of(&instance);
+            let dest_idx = self
+                .coord_nodes
+                .iter()
+                .position(|&n| n == owner)
+                .ok_or_else(|| {
+                    EngineError::Tx(format!(
+                        "shard map assigns `{instance}` to {owner}, which runs no coordinator"
+                    ))
+                })?;
+            let tx = mgr.mint_dist_tx();
+            let Some(package) = package_stored_instance(&mgr, &instance, tx, node.index() as u32)
+            else {
+                continue;
+            };
+            self.chaos_strike(KillPoint::MidClaim, adopted, node)?;
+            let dest = self.coords[dest_idx].clone();
+            if dest.claim_adopt(&mut self.world, &package, epoch)? {
+                adopted += 1;
+            }
+        }
+        // Adoption sweep on every survivor — a no-op on shards with no
+        // claims, and on a re-run it also catches instances a dying
+        // earlier attempt claimed but never swept. The dead shard is
+        // skipped: its storage is fenced now.
+        for (coord_idx, coord) in self.coords.clone().into_iter().enumerate() {
+            if coord_idx != idx {
+                coord.adopt_claimed(&mut self.world, node.index() as u32, epoch);
+            }
+        }
+        self.retire_coordinator(idx, &new_map);
+        Ok(FailoverReport {
+            adopted,
+            epoch,
+            claimant: claimant_node.index() as u32,
         })
     }
 

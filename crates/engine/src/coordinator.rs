@@ -418,6 +418,10 @@ pub struct CoordStats {
     /// shard was at its admission cap *and* its admission queue was
     /// full (`coord.busy_rejections`).
     pub busy_rejections: u64,
+    /// Instances this shard adopted from a *dead* shard's claimed
+    /// storage (crash-driven failover; planned hand-offs count under
+    /// `handoffs` instead).
+    pub adoptions: u64,
 }
 
 impl std::ops::AddAssign<&CoordStats> for CoordStats {
@@ -439,6 +443,7 @@ impl std::ops::AddAssign<&CoordStats> for CoordStats {
             handoffs,
             forward_loops,
             busy_rejections,
+            adoptions,
         } = *other;
         self.dispatches += dispatches;
         self.retries += retries;
@@ -454,6 +459,7 @@ impl std::ops::AddAssign<&CoordStats> for CoordStats {
         self.handoffs += handoffs;
         self.forward_loops += forward_loops;
         self.busy_rejections += busy_rejections;
+        self.adoptions += adoptions;
     }
 }
 
@@ -476,6 +482,7 @@ struct CoordMetrics {
     handoffs: Counter,
     forward_loops: Counter,
     busy_rejections: Counter,
+    adoptions: Counter,
     /// Worklist steps per drain-to-quiescence (`coord.commit_drain_len`).
     commit_drain_len: Histogram,
     /// Executor reports coalesced per batch flush (`coord.batch_size`).
@@ -491,6 +498,11 @@ struct CoordMetrics {
     /// hand-off move (`coord.handoff_pause_ns`; recorded on the source
     /// shard per committed move).
     handoff_pause_ns: Histogram,
+    /// Wall-clock nanoseconds one instance was unavailable during a
+    /// planned drain round (`coord.drain_pause_ns`; every instance in
+    /// a batched round shares the round's pause, recorded on the
+    /// draining shard).
+    drain_pause_ns: Histogram,
     /// Virtual nanoseconds a `StartInstance` waited in the admission
     /// queue before being admitted (`sched.admission_wait_ns`).
     admission_wait_ns: Histogram,
@@ -520,11 +532,13 @@ impl CoordMetrics {
             handoffs: registry.counter("coord.handoffs"),
             forward_loops: registry.counter("coord.forward_loops"),
             busy_rejections: registry.counter("coord.busy_rejections"),
+            adoptions: registry.counter("coord.adoptions"),
             commit_drain_len: registry.histogram("coord.commit_drain_len"),
             batch_size: registry.histogram("coord.batch_size"),
             dispatch_latency_ns: registry.histogram("coord.dispatch_latency_ns"),
             sched_pick_load: registry.histogram("sched.pick_load"),
             handoff_pause_ns: registry.histogram("coord.handoff_pause_ns"),
+            drain_pause_ns: registry.histogram("coord.drain_pause_ns"),
             admission_wait_ns: registry.histogram("sched.admission_wait_ns"),
             queue_wait_ns: registry.histogram("sched.queue_wait_ns"),
             ready_queue_depth: registry.gauge("sched.ready_queue_depth"),
@@ -551,6 +565,7 @@ impl CoordMetrics {
             handoffs: self.handoffs.get(),
             forward_loops: self.forward_loops.get(),
             busy_rejections: self.busy_rejections.get(),
+            adoptions: self.adoptions.get(),
         }
     }
 }
@@ -763,6 +778,48 @@ impl HandoffPackage {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+}
+
+/// Packages `instance` straight from a dead shard's reopened storage —
+/// the collect half of crash-driven adoption. There is no resident
+/// runtime to consult, so everything derives from the committed meta:
+/// the `inst/{name}/` uid prefix, the plan pinned under the meta's
+/// fingerprint, and the dense fact range of the meta's instance id.
+/// `src_node` is the dead shard (stamped into the claim trace).
+/// Returns `None` for a missing or undecodable meta.
+pub(crate) fn package_stored_instance(
+    mgr: &TxManager<StableStore>,
+    instance: &str,
+    tx: TxId,
+    src_node: u32,
+) -> Option<HandoffPackage> {
+    let meta: InstanceMeta = mgr.read_committed(&meta_uid(instance)).ok()??;
+    let mut entries: Vec<(StoreKey, Vec<u8>)> = Vec::new();
+    for uid in mgr.uids_with_prefix(&format!("inst/{instance}/")) {
+        let key = StoreKey::Uid(uid);
+        if let Some(bytes) = mgr.read_committed_bytes(&key).map(<[u8]>::to_vec) {
+            entries.push((key, bytes));
+        }
+    }
+    let plan_key = StoreKey::Uid(plan_uid(meta.plan_fingerprint));
+    if let Some(bytes) = mgr.read_committed_bytes(&plan_key).map(<[u8]>::to_vec) {
+        entries.push((plan_key, bytes));
+    }
+    let lo = FactKey::instance_first(meta.instance_id);
+    let hi = FactKey::instance_last(meta.instance_id);
+    for fact in mgr.fact_keys_in_range(lo, hi) {
+        let key = StoreKey::Fact(fact);
+        if let Some(bytes) = mgr.read_committed_bytes(&key).map(<[u8]>::to_vec) {
+            entries.push((key, bytes));
+        }
+    }
+    Some(HandoffPackage {
+        tx,
+        instance: instance.to_string(),
+        src_node,
+        src_instance_id: meta.instance_id,
+        entries,
+    })
 }
 
 /// The execution service state. Use through [`CoordHandle`].
@@ -1261,6 +1318,52 @@ impl Coordinator {
         })
     }
 
+    /// Packages one resident instance's entire committed keyspace for
+    /// a hand-off under moving transaction `tx`: the `inst/{name}/` uid
+    /// prefix, the pinned compiled plan, and the dense fact range — the
+    /// collect half shared by single moves, batched drains and (via
+    /// [`package_stored_instance`]) crash-driven claims.
+    fn package_instance(
+        &mut self,
+        instance: &str,
+        tx: TxId,
+    ) -> Result<HandoffPackage, EngineError> {
+        let Some(rt) = self.instances.get(instance) else {
+            return Err(EngineError::UnknownInstance(instance.to_string()));
+        };
+        let keys = rt.keys.clone();
+        let fingerprint = rt.plan.fingerprint;
+        let mut entries: Vec<(StoreKey, Vec<u8>)> = Vec::new();
+        // Every string-keyed object of the instance (meta, control
+        // blocks, rebindings, reconfiguration records) ...
+        for uid in self.mgr.uids_with_prefix(&format!("inst/{instance}/")) {
+            let key = StoreKey::Uid(uid);
+            if let Some(bytes) = self.mgr.read_committed_bytes(&key).map(<[u8]>::to_vec) {
+                entries.push((key, bytes));
+            }
+        }
+        // ... the pinned compiled plan ...
+        let plan_key = StoreKey::Uid(plan_uid(fingerprint));
+        if let Some(bytes) = self.mgr.read_committed_bytes(&plan_key).map(<[u8]>::to_vec) {
+            entries.push((plan_key, bytes));
+        }
+        // ... and every dependency fact: one contiguous range scan.
+        let (lo, hi) = keys.instance_fact_range();
+        for fact in self.mgr.fact_keys_in_range(lo, hi) {
+            let key = StoreKey::Fact(fact);
+            if let Some(bytes) = self.mgr.read_committed_bytes(&key).map(<[u8]>::to_vec) {
+                entries.push((key, bytes));
+            }
+        }
+        Ok(HandoffPackage {
+            tx,
+            instance: instance.to_string(),
+            src_node: self.node.index() as u32,
+            src_instance_id: keys.instance_id,
+            entries,
+        })
+    }
+
     /// Deletes every committed object of `instance` in one atomic
     /// action: the whole `inst/{name}/` uid prefix plus the dense fact
     /// range of the meta's instance id. The storage half of the source
@@ -1673,6 +1776,16 @@ impl CoordHandle {
     }
 
     fn handle_message(&self, world: &mut World, envelope: &Envelope) {
+        // A fenced shard is a zombie: its storage was claimed by
+        // another node and its instances run there now. Probe the
+        // claim *before* touching any state, so a zombie that never
+        // crashed (a false-positive failure detection) is muzzled at
+        // the door rather than discovering the fence mid-commit with
+        // half-mutated volatile state. Dropped requests time out at
+        // the sender, exactly like a down node.
+        if self.inner.borrow_mut().mgr.probe_fence().is_some() {
+            return;
+        }
         let Ok(msg) = flowscript_codec::from_bytes::<EngineMsg>(&envelope.payload) else {
             return; // corrupt message: drop, sender will time out / retry
         };
@@ -1996,6 +2109,13 @@ impl CoordHandle {
     fn on_batch_window(&self, world: &mut World) {
         {
             let mut coordinator = self.inner.borrow_mut();
+            // A fenced coordinator is a zombie: another node claimed its
+            // storage. Buffered reports die with it — the claimant's
+            // copies are the truth now (same muzzle as
+            // [`Self::handle_message`], for the timer entry points).
+            if coordinator.mgr.probe_fence().is_some() {
+                return;
+            }
             coordinator.window_armed = false;
             if coordinator.pending.is_empty() {
                 return;
@@ -2344,58 +2464,44 @@ impl CoordHandle {
         // batch window first so no report is stranded in memory.
         self.flush_pending(world);
         let mut coordinator = self.inner.borrow_mut();
-        let Some(rt) = coordinator.instances.get(instance) else {
+        if !coordinator.instances.contains_key(instance) {
             return Err(EngineError::UnknownInstance(instance.to_string()));
-        };
-        let keys = rt.keys.clone();
-        let fingerprint = rt.plan.fingerprint;
+        }
         let tx = coordinator
             .mgr
             .handoff_begin(instance, dest.index() as u32)?;
-        let mut entries: Vec<(StoreKey, Vec<u8>)> = Vec::new();
-        // Every string-keyed object of the instance (meta, control
-        // blocks, rebindings, reconfiguration records) ...
-        for uid in coordinator
-            .mgr
-            .uids_with_prefix(&format!("inst/{instance}/"))
-        {
-            let key = StoreKey::Uid(uid);
-            if let Some(bytes) = coordinator
-                .mgr
-                .read_committed_bytes(&key)
-                .map(<[u8]>::to_vec)
-            {
-                entries.push((key, bytes));
+        coordinator.package_instance(instance, tx)
+    }
+
+    /// Step 1 for a whole batch bound for one destination (planned
+    /// drains): ONE moving transaction covers every instance — the
+    /// destination stages them as one prepared transaction and the
+    /// decision applies to the batch atomically, so a drain pays one
+    /// 2PC round per batch instead of one per instance.
+    ///
+    /// # Errors
+    ///
+    /// Unknown instance, or storage failure logging the intents.
+    pub fn handoff_collect_batch(
+        &self,
+        world: &mut World,
+        instances: &[String],
+        dest: NodeId,
+    ) -> Result<Vec<HandoffPackage>, EngineError> {
+        self.flush_pending(world);
+        let mut coordinator = self.inner.borrow_mut();
+        for instance in instances {
+            if !coordinator.instances.contains_key(instance.as_str()) {
+                return Err(EngineError::UnknownInstance(instance.clone()));
             }
         }
-        // ... the pinned compiled plan ...
-        let plan_key = StoreKey::Uid(plan_uid(fingerprint));
-        if let Some(bytes) = coordinator
+        let tx = coordinator
             .mgr
-            .read_committed_bytes(&plan_key)
-            .map(<[u8]>::to_vec)
-        {
-            entries.push((plan_key, bytes));
-        }
-        // ... and every dependency fact: one contiguous range scan.
-        let (lo, hi) = keys.instance_fact_range();
-        for fact in coordinator.mgr.fact_keys_in_range(lo, hi) {
-            let key = StoreKey::Fact(fact);
-            if let Some(bytes) = coordinator
-                .mgr
-                .read_committed_bytes(&key)
-                .map(<[u8]>::to_vec)
-            {
-                entries.push((key, bytes));
-            }
-        }
-        Ok(HandoffPackage {
-            tx,
-            instance: instance.to_string(),
-            src_node: coordinator.node.index() as u32,
-            src_instance_id: keys.instance_id,
-            entries,
-        })
+            .handoff_begin_batch(instances, dest.index() as u32)?;
+        instances
+            .iter()
+            .map(|instance| coordinator.package_instance(instance, tx))
+            .collect()
     }
 
     /// Step 2 (destination): re-keys the package under a freshly
@@ -2413,42 +2519,64 @@ impl CoordHandle {
     /// Lock conflict on a staged key, undecodable metadata, or storage
     /// failure persisting the vote.
     pub fn handoff_prepare(&self, package: &HandoffPackage) -> Result<(), EngineError> {
+        self.handoff_prepare_batch(std::slice::from_ref(package))
+    }
+
+    /// Step 2 for a whole batch staged under ONE moving transaction:
+    /// the committed id sequence is read once and a contiguous id
+    /// range `base..base + N` allocated up front, so the batch costs a
+    /// single durable prepare (one yes-vote frame) however many
+    /// instances it carries.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::handoff_prepare`]; all packages must share one
+    /// moving transaction.
+    pub fn handoff_prepare_batch(&self, packages: &[HandoffPackage]) -> Result<(), EngineError> {
+        let Some(first) = packages.first() else {
+            return Ok(());
+        };
         let mut coordinator = self.inner.borrow_mut();
-        // The instance keeps its name; only the dense fact-key id is
-        // shard-local. Allocate the destination's next id and re-key.
-        let new_id: u32 = coordinator
+        // The instances keep their names; only the dense fact-key id is
+        // shard-local. Allocate the destination's next id range and
+        // re-key each package at its offset.
+        let base: u32 = coordinator
             .mgr
             .read_committed(&instance_seq_uid())?
             .unwrap_or(0);
-        let meta_key = StoreKey::Uid(meta_uid(&package.instance));
-        let mut writes: Vec<(StoreKey, Option<Vec<u8>>)> =
-            Vec::with_capacity(package.entries.len() + 1);
+        let total: usize = packages.iter().map(|p| p.entries.len()).sum();
+        let mut writes: Vec<(StoreKey, Option<Vec<u8>>)> = Vec::with_capacity(total + 1);
         writes.push((
             StoreKey::Uid(instance_seq_uid()),
-            Some(flowscript_codec::to_bytes(&(new_id + 1))),
+            Some(flowscript_codec::to_bytes(&(base + packages.len() as u32))),
         ));
-        for (key, bytes) in &package.entries {
-            match key {
-                StoreKey::Fact(fact) => {
-                    debug_assert_eq!(fact.instance, package.src_instance_id);
-                    let fact = FactKey {
-                        instance: new_id,
-                        ..*fact
-                    };
-                    writes.push((StoreKey::Fact(fact), Some(bytes.clone())));
+        for (offset, package) in packages.iter().enumerate() {
+            debug_assert_eq!(package.tx, first.tx, "batch spans one moving tx");
+            let new_id = base + offset as u32;
+            let meta_key = StoreKey::Uid(meta_uid(&package.instance));
+            for (key, bytes) in &package.entries {
+                match key {
+                    StoreKey::Fact(fact) => {
+                        debug_assert_eq!(fact.instance, package.src_instance_id);
+                        let fact = FactKey {
+                            instance: new_id,
+                            ..*fact
+                        };
+                        writes.push((StoreKey::Fact(fact), Some(bytes.clone())));
+                    }
+                    key if *key == meta_key => {
+                        let mut meta: InstanceMeta = flowscript_codec::from_bytes(bytes)
+                            .map_err(|e| EngineError::Tx(format!("hand-off meta corrupt: {e}")))?;
+                        meta.instance_id = new_id;
+                        writes.push((key.clone(), Some(flowscript_codec::to_bytes(&meta))));
+                    }
+                    key => writes.push((key.clone(), Some(bytes.clone()))),
                 }
-                key if *key == meta_key => {
-                    let mut meta: InstanceMeta = flowscript_codec::from_bytes(bytes)
-                        .map_err(|e| EngineError::Tx(format!("hand-off meta corrupt: {e}")))?;
-                    meta.instance_id = new_id;
-                    writes.push((key.clone(), Some(flowscript_codec::to_bytes(&meta))));
-                }
-                key => writes.push((key.clone(), Some(bytes.clone()))),
             }
         }
         coordinator
             .mgr
-            .prepare_remote(package.tx, package.src_node, writes)?;
+            .prepare_remote(first.tx, first.src_node, writes)?;
         Ok(())
     }
 
@@ -2465,6 +2593,57 @@ impl CoordHandle {
     /// so a failure here leaves a committed move whose purge crash
     /// recovery finishes.
     pub fn handoff_commit(
+        &self,
+        world: &mut World,
+        instance: &str,
+        tx: TxId,
+        dest: NodeId,
+    ) -> Result<(), EngineError> {
+        self.handoff_commit_inner(world, instance, tx, dest)?;
+        // Freed executor load and a freed admission slot: parked
+        // dispatches of other instances may now place, and a queued
+        // start may now admit.
+        self.pump(world);
+        Ok(())
+    }
+
+    /// Step 3 for a whole batch decided under ONE moving transaction.
+    /// The per-instance decision frames and keyspace purges run inside
+    /// a WAL commit group, flushing as a single atomic `GroupCommit`
+    /// frame: a crash can never leave half the batch committed and the
+    /// other half presumed aborted — which matters, because the
+    /// destination resolves its one staged transaction all-or-nothing.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::handoff_commit`].
+    pub fn handoff_commit_batch(
+        &self,
+        world: &mut World,
+        instances: &[String],
+        tx: TxId,
+        dest: NodeId,
+    ) -> Result<(), EngineError> {
+        self.inner.borrow_mut().mgr.begin_group();
+        let mut result = Ok(());
+        for instance in instances {
+            result = self.handoff_commit_inner(world, instance, tx, dest);
+            if result.is_err() {
+                break;
+            }
+        }
+        {
+            let mut coordinator = self.inner.borrow_mut();
+            if coordinator.mgr.end_group().is_err() && result.is_ok() {
+                result = Err(EngineError::Tx("hand-off batch flush failed".to_string()));
+            }
+        }
+        // The whole batch's freed load and admission slots at once.
+        self.pump(world);
+        result
+    }
+
+    fn handoff_commit_inner(
         &self,
         world: &mut World,
         instance: &str,
@@ -2522,10 +2701,6 @@ impl CoordHandle {
         for id in watchdogs {
             world.cancel(id);
         }
-        // Freed executor load and a freed admission slot: parked
-        // dispatches of other instances may now place, and a queued
-        // start may now admit.
-        self.pump(world);
         Ok(())
     }
 
@@ -2566,6 +2741,80 @@ impl CoordHandle {
         Ok(())
     }
 
+    /// Destination half of crash-driven adoption: commits a dead
+    /// shard's packaged instance locally under a freshly allocated id.
+    /// No 2PC — the source is dead and its storage fenced behind the
+    /// claimant, so the claim is ONE local atomic commit. Idempotent:
+    /// an instance already present (resident or committed) is skipped
+    /// with `Ok(false)`, which is what lets a driver that crashed
+    /// mid-claim simply run the whole adoption again.
+    ///
+    /// The caller adopts the landed orphans afterwards via
+    /// [`Self::adopt_claimed`] (one sweep per destination).
+    ///
+    /// # Errors
+    ///
+    /// Undecodable claimed metadata, or storage failure on the commit.
+    pub fn claim_adopt(
+        &self,
+        world: &mut World,
+        package: &HandoffPackage,
+        epoch: u64,
+    ) -> Result<bool, EngineError> {
+        let mut coordinator = self.inner.borrow_mut();
+        if coordinator.instances.contains_key(&package.instance)
+            || coordinator.mgr.exists(&meta_uid(&package.instance))
+        {
+            return Ok(false);
+        }
+        let new_id: u32 = coordinator
+            .mgr
+            .read_committed(&instance_seq_uid())?
+            .unwrap_or(0);
+        let meta_key = StoreKey::Uid(meta_uid(&package.instance));
+        let action = coordinator.mgr.begin();
+        coordinator
+            .mgr
+            .write(&action, &instance_seq_uid(), &(new_id + 1))?;
+        for (key, bytes) in &package.entries {
+            match key {
+                StoreKey::Fact(fact) => {
+                    debug_assert_eq!(fact.instance, package.src_instance_id);
+                    let fact = FactKey {
+                        instance: new_id,
+                        ..*fact
+                    };
+                    coordinator
+                        .mgr
+                        .write_key_raw(&action, &StoreKey::Fact(fact), bytes.clone())?;
+                }
+                key if *key == meta_key => {
+                    let mut meta: InstanceMeta = flowscript_codec::from_bytes(bytes)
+                        .map_err(|e| EngineError::Tx(format!("claimed meta corrupt: {e}")))?;
+                    meta.instance_id = new_id;
+                    coordinator.mgr.write_key_raw(
+                        &action,
+                        key,
+                        flowscript_codec::to_bytes(&meta),
+                    )?;
+                }
+                key => coordinator.mgr.write_key_raw(&action, key, bytes.clone())?,
+            }
+        }
+        coordinator.commit(action)?;
+        coordinator.record_event(
+            world.now().as_nanos(),
+            &package.instance,
+            None,
+            0,
+            ObsEventKind::Claim {
+                from: package.src_node,
+                epoch,
+            },
+        );
+        Ok(true)
+    }
+
     /// Adopts every instance whose committed state sits in this
     /// shard's store without a resident runtime — the landing half of
     /// a hand-off (and of a replayed verdict after a destination
@@ -2575,6 +2824,18 @@ impl CoordHandle {
     /// unmoved run. Watchdogs are re-armed as the safety net for a
     /// relay that never arrives.
     fn adopt_orphans(&self, world: &mut World) {
+        self.adopt_orphans_as(world, None);
+    }
+
+    /// [`Self::adopt_orphans`] for crash-driven adoption: the landing
+    /// trace event is [`ObsEventKind::Adopted`] — stamped with the dead
+    /// shard and the claim's membership epoch — and the
+    /// `coord.adoptions` counter ticks once per instance.
+    pub(crate) fn adopt_claimed(&self, world: &mut World, from: u32, epoch: u64) {
+        self.adopt_orphans_as(world, Some((from, epoch)));
+    }
+
+    fn adopt_orphans_as(&self, world: &mut World, claim: Option<(u32, u64)>) {
         let adopted: Vec<(String, bool)> = {
             let mut coordinator = self.inner.borrow_mut();
             let metas: Vec<ObjectUid> = coordinator.mgr.uids_matching("inst/", "/meta");
@@ -2600,15 +2861,20 @@ impl CoordHandle {
                     // slot on its new shard.
                     coordinator.live_instances += 1;
                 }
-                let epoch = coordinator.shard.epoch();
-                let to = coordinator.node.index() as u32;
-                coordinator.record_event(
-                    world.now().as_nanos(),
-                    &name,
-                    None,
-                    0,
-                    ObsEventKind::HandOff { to, epoch },
-                );
+                let kind = match claim {
+                    Some((from, claim_epoch)) => {
+                        coordinator.metrics.adoptions.inc();
+                        ObsEventKind::Adopted {
+                            from,
+                            epoch: claim_epoch,
+                        }
+                    }
+                    None => ObsEventKind::HandOff {
+                        to: coordinator.node.index() as u32,
+                        epoch: coordinator.shard.epoch(),
+                    },
+                };
+                coordinator.record_event(world.now().as_nanos(), &name, None, 0, kind);
                 adopted.push((name, meta.status == InstanceStatus::Running));
             }
             adopted
@@ -2731,11 +2997,50 @@ impl CoordHandle {
         coordinator.moved.clear();
     }
 
+    /// [`Self::set_shard_map`] for a coordinator that stays behind as a
+    /// pure relay (a drained shard retired from the map, or any node
+    /// whose relay table may reference departed peers). Instead of
+    /// clearing the relay table, every entry pointing at a node the new
+    /// map no longer carries is re-pointed at the new map's owner — so
+    /// a late executor report forwards straight to the adopter instead
+    /// of bouncing off a dead address and burning `forward_loops` hops.
+    pub fn set_shard_map_relay(&self, map: ShardMap) {
+        let mut coordinator = self.inner.borrow_mut();
+        let moved = std::mem::take(&mut coordinator.moved);
+        for (instance, dest) in moved {
+            let dest = if map.nodes().contains(&dest) {
+                dest
+            } else {
+                map.node_of(&instance)
+            };
+            coordinator.moved.insert(instance, dest);
+        }
+        coordinator.shard = map;
+    }
+
     /// Records one committed move's instance-unavailability window in
     /// the `coord.handoff_pause_ns` histogram (measured wall-clock by
     /// the rebalance driver, on the source shard).
     pub fn note_handoff_pause(&self, ns: u64) {
         self.inner.borrow().metrics.handoff_pause_ns.record(ns);
+    }
+
+    /// Records one drain round's instance-unavailability window in the
+    /// `coord.drain_pause_ns` histogram (measured wall-clock by the
+    /// drain driver, on the departing shard — the whole batch is
+    /// unavailable for the round, so the round IS the per-instance
+    /// pause bound).
+    pub fn note_drain_pause(&self, ns: u64) {
+        self.inner.borrow().metrics.drain_pause_ns.record(ns);
+    }
+
+    /// Records a fleet-level trace event (drain begin/end) against
+    /// this shard, labeled with the shard's node name rather than an
+    /// instance.
+    pub(crate) fn record_system_event(&self, now_ns: u64, label: &str, kind: ObsEventKind) {
+        self.inner
+            .borrow_mut()
+            .record_event(now_ns, label, None, 0, kind);
     }
 
     // -----------------------------------------------------------------
@@ -3475,6 +3780,10 @@ impl CoordHandle {
         inputs: BTreeMap<String, ObjectVal>,
         repeat_objects: BTreeMap<String, ObjectVal>,
     ) {
+        // Fenced = zombie: nothing dispatches off claimed storage.
+        if self.inner.borrow_mut().mgr.probe_fence().is_some() {
+            return;
+        }
         enum Prepared {
             Send {
                 node: NodeId,
@@ -4050,6 +4359,10 @@ impl CoordHandle {
         incarnation: u32,
         attempt: u32,
     ) {
+        // Fenced = zombie: no retry may be driven off claimed storage.
+        if self.inner.borrow_mut().mgr.probe_fence().is_some() {
+            return;
+        }
         // The completion may already be sitting in the batch window:
         // its transition just hasn't committed yet, and the watchdog
         // must not turn a report-in-flight into a spurious retry.
@@ -5044,6 +5357,24 @@ impl CoordHandle {
             };
             coordinator.mgr = mgr;
             coordinator.instances.clear();
+            if coordinator.mgr.fenced().is_some() {
+                // Another shard claimed this storage while the node was
+                // down (crash-driven adoption): every instance now
+                // lives — and runs — on the claimant's side. A zombie
+                // must not reload, re-dispatch, or relay anything; it
+                // wakes empty and every durable act it attempts fails
+                // on the fence.
+                coordinator.pending.clear();
+                coordinator.window_armed = false;
+                coordinator.current_batch = None;
+                coordinator.sched.reset_loads();
+                coordinator.parked.clear();
+                coordinator.admission_queue.clear();
+                coordinator.starting = 0;
+                coordinator.live_instances = 0;
+                coordinator.moved.clear();
+                return;
+            }
             // The batch window died with the process: unflushed reports
             // are lost as a unit (executors re-report via watchdog
             // retries), and the reopened manager starts outside any

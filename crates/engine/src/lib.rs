@@ -88,7 +88,9 @@ pub mod shard;
 pub mod state;
 mod value;
 
-pub use api::{RebalanceReport, SystemBuilder, WorkflowSystem};
+pub use api::{
+    DrainReport, FailoverReport, KillPoint, RebalanceReport, SystemBuilder, WorkflowSystem,
+};
 pub use coordinator::{
     CommitBatch, CoordStats, DispatchRecord, EngineConfig, HandoffPackage, InstanceStatus, Outcome,
     MAX_FORWARD_HOPS,

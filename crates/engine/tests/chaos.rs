@@ -274,6 +274,80 @@ fn repeated_shard_crashes_recover_shard_locally() {
     }
 }
 
+/// Repeated kill-one-shard cycles under traffic, resolved by
+/// crash-driven adoption instead of node restarts: a four-shard fleet
+/// loses one coordinator, its population is claimed out of the
+/// surviving storage and adopted, new orders keep arriving at the
+/// shrunken fleet — then a second shard dies the same way. Zero lost
+/// outcomes: every instance (started before, between or after the
+/// kills) must end with the same outcome bytes as a run that never saw
+/// a failure.
+#[test]
+fn repeated_shard_kills_with_adoption_lose_no_outcomes() {
+    let names: Vec<String> = (0..12).map(|i| format!("wf-{i}")).collect();
+    let start = |sys: &mut WorkflowSystem, name: &str| {
+        sys.start(
+            name,
+            "order",
+            "main",
+            [("order", ObjectVal::text("Order", name))],
+        )
+        .unwrap();
+    };
+
+    // The no-failure reference: outcomes are pure functions of the
+    // invocation, so they must survive any number of adoptions.
+    let expected: Vec<Vec<u8>> = {
+        let mut sys = sharded_order_system(5, 4, 8);
+        for name in &names {
+            start(&mut sys, name);
+        }
+        sys.run();
+        names
+            .iter()
+            .map(|name| flowscript_codec::to_bytes(&sys.status(name).unwrap()))
+            .collect()
+    };
+
+    let mut sys = sharded_order_system(5, 4, 8);
+    for name in &names[..8] {
+        start(&mut sys, name);
+    }
+    sys.run_for(SimDuration::from_millis(20));
+
+    // Cycle 1: kill a shard mid-traffic, adopt its population.
+    let victim = sys.coordinator_nodes()[1];
+    sys.crash_now(victim);
+    let first = sys.adopt_dead_shard("coordinator1").expect("failover 1");
+
+    // Traffic continues against the shrunken fleet.
+    for name in &names[8..] {
+        start(&mut sys, name);
+    }
+    sys.run_for(SimDuration::from_millis(30));
+
+    // Cycle 2: another shard dies the same way.
+    let victim = sys.coordinator_nodes()[1];
+    sys.crash_now(victim);
+    let second = sys.adopt_dead_shard("coordinator2").expect("failover 2");
+    assert_eq!(sys.shard_count(), 2);
+
+    sys.run();
+    for (name, expected) in names.iter().zip(&expected) {
+        let status = sys.status(name).unwrap();
+        assert_eq!(
+            &flowscript_codec::to_bytes(&status),
+            expected,
+            "{name} lost or changed its outcome across the kill cycles"
+        );
+    }
+    assert_eq!(
+        sys.stats().adoptions,
+        (first.adopted + second.adopted) as u64,
+        "every adoption counted exactly once"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -611,6 +611,37 @@ pub enum ObsEventKind {
         /// Virtual nanoseconds the work spent parked.
         wait_ns: u64,
     },
+    /// A planned drain of this shard began: its whole live population
+    /// is about to move to the survivors (shard-scoped; the recorded
+    /// "instance" is the shard label).
+    DrainBegin {
+        /// Resident instances the drain must move.
+        remaining: u64,
+    },
+    /// The planned drain finished and the shard left the map.
+    DrainEnd {
+        /// Instances moved off.
+        moved: u64,
+        /// Batched 2PC rounds the moves rode (fewer than `moved` when
+        /// id-range allocation let instances share prepare rounds).
+        rounds: u64,
+    },
+    /// This instance's keyspace was claimed from a dead shard's
+    /// surviving storage under an epoch-stamped fence.
+    Claim {
+        /// The dead shard the keyspace was claimed from.
+        from: u32,
+        /// The bumped membership epoch stamped into the fence.
+        epoch: u64,
+    },
+    /// The instance came alive on this shard via crash-driven adoption
+    /// (claimed, re-keyed and re-armed without its old owner's help).
+    Adopted {
+        /// The dead shard it survived.
+        from: u32,
+        /// Membership epoch the adoption ran under.
+        epoch: u64,
+    },
 }
 
 impl ObsEventKind {
@@ -629,6 +660,10 @@ impl ObsEventKind {
             ObsEventKind::Repair { .. } => "repair",
             ObsEventKind::Parked { .. } => "parked",
             ObsEventKind::Admitted { .. } => "admitted",
+            ObsEventKind::DrainBegin { .. } => "drain",
+            ObsEventKind::DrainEnd { .. } => "drained",
+            ObsEventKind::Claim { .. } => "claim",
+            ObsEventKind::Adopted { .. } => "adopted",
         }
     }
 }
@@ -687,6 +722,12 @@ impl fmt::Display for ObsEvent {
             ObsEventKind::Repair { what } => write!(f, ": {what}"),
             ObsEventKind::Parked { queue_depth } => write!(f, ": depth {queue_depth}"),
             ObsEventKind::Admitted { wait_ns } => write!(f, " after {wait_ns} ns"),
+            ObsEventKind::DrainBegin { remaining } => write!(f, ": {remaining} to move"),
+            ObsEventKind::DrainEnd { moved, rounds } => {
+                write!(f, ": {moved} moved in {rounds} rounds")
+            }
+            ObsEventKind::Claim { from, epoch } => write!(f, " <- shard {from} @epoch {epoch}"),
+            ObsEventKind::Adopted { from, epoch } => write!(f, " <- shard {from} @epoch {epoch}"),
             _ => Ok(()),
         }
     }

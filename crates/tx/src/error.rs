@@ -33,6 +33,17 @@ pub enum TxError {
         /// Human-readable reason (vote no, timeout…).
         reason: String,
     },
+    /// Another node claimed this storage (a durable
+    /// [`crate::LogRecord::Fence`] by a different claimant): this
+    /// manager may never append again. Terminal by design — the fenced
+    /// owner is a zombie and the claimant's adopted copies are the
+    /// truth.
+    Fenced {
+        /// The claiming node.
+        claimant: u32,
+        /// Membership epoch stamped into the claim.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for TxError {
@@ -53,6 +64,10 @@ impl fmt::Display for TxError {
             TxError::DistAborted { tx, reason } => {
                 write!(f, "distributed transaction {tx} aborted: {reason}")
             }
+            TxError::Fenced { claimant, epoch } => write!(
+                f,
+                "storage fenced: claimed by node {claimant} at epoch {epoch}"
+            ),
         }
     }
 }

@@ -80,6 +80,19 @@ pub enum LogRecord {
         /// `true` = the destination owns the instance now.
         committed: bool,
     },
+    /// Another node claimed this storage (crash-driven failover): the
+    /// claimant is about to adopt every instance recorded here. From
+    /// this record on, any manager whose node is *not* the claimant is
+    /// fenced — a zombie owner waking mid-adoption replays (or trips
+    /// over) the fence and can never commit again, so it cannot
+    /// double-drive the adopted instances.
+    Fence {
+        /// Node index of the claiming survivor.
+        claimant: u32,
+        /// Membership epoch the claim ran under (the post-failure
+        /// shard map's bumped epoch — stale claims are diagnosable).
+        epoch: u64,
+    },
 }
 
 impl Encode for LogRecord {
@@ -131,6 +144,11 @@ impl Encode for LogRecord {
                 w.put_u32(*dest);
                 w.put_bool(*committed);
             }
+            LogRecord::Fence { claimant, epoch } => {
+                w.put_u8(7);
+                w.put_u32(*claimant);
+                w.put_u64(*epoch);
+            }
         }
     }
 }
@@ -167,6 +185,10 @@ impl Decode for LogRecord {
                 instance: String::decode(r)?,
                 dest: r.get_u32()?,
                 committed: r.get_bool()?,
+            }),
+            7 => Ok(LogRecord::Fence {
+                claimant: r.get_u32()?,
+                epoch: r.get_u64()?,
             }),
             other => Err(CodecError::InvalidDiscriminant {
                 ty: "LogRecord",
@@ -216,6 +238,29 @@ impl<S: Storage> Wal<S> {
     pub fn scan(&self) -> Result<Vec<LogRecord>, TxError> {
         let bytes = self.storage.read_all()?;
         let mut reader = FrameReader::new(&bytes);
+        let (frames, _torn) = reader.read_all_tolerant()?;
+        let mut records = Vec::with_capacity(frames.len());
+        for payload in frames {
+            records.push(flowscript_codec::from_bytes::<LogRecord>(payload)?);
+        }
+        Ok(records)
+    }
+
+    /// Reads every decodable record appended at or after byte `offset`
+    /// (a frame boundary — callers pass a length they observed after
+    /// one of their own appends). The cheap half of fence detection:
+    /// a shared-storage writer scans only the tail another handle
+    /// grew, not the whole log.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Wal::scan`].
+    pub fn scan_from(&self, offset: u64) -> Result<Vec<LogRecord>, TxError> {
+        let bytes = self.storage.read_all()?;
+        if offset as usize >= bytes.len() {
+            return Ok(Vec::new());
+        }
+        let mut reader = FrameReader::new(&bytes[offset as usize..]);
         let (frames, _torn) = reader.read_all_tolerant()?;
         let mut records = Vec::with_capacity(frames.len());
         for payload in frames {
@@ -408,6 +453,10 @@ mod tests {
                 instance: "wf-moving".into(),
                 dest: 3,
                 committed: true,
+            },
+            LogRecord::Fence {
+                claimant: 4,
+                epoch: 9,
             },
         ];
         for record in records {

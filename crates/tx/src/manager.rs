@@ -161,9 +161,11 @@ pub struct TxManager<S = SharedStorage> {
     /// abort: only commits are remembered durably).
     coordinator_commits: HashMap<TxId, bool>,
     /// Instance hand-offs this node initiated whose outcome is not yet
-    /// durable: `HandOffBegin` logged, no matching `HandOffEnd`.
-    /// Keyed by the moving transaction; value = (instance, dest shard).
-    open_handoffs: HashMap<TxId, (String, u32)>,
+    /// durable: `HandOffBegin` logged, no matching `HandOffEnd`. Keyed
+    /// by the moving transaction; one transaction may batch several
+    /// instances bound for the same destination (planned drains), so
+    /// the value is every (instance, dest shard) still undecided.
+    open_handoffs: HashMap<TxId, Vec<(String, u32)>>,
     /// Hand-off decisions seen during log replay (crash recovery needs
     /// to re-announce committed moves and purge leftover state).
     replayed_handoff_ends: Vec<(TxId, String, u32, bool)>,
@@ -173,6 +175,15 @@ pub struct TxManager<S = SharedStorage> {
     group_depth: usize,
     /// Commit records awaiting the group flush, in commit order.
     group_buffer: Vec<LogRecord>,
+    /// A durable [`LogRecord::Fence`] by *another* node: `(claimant,
+    /// epoch)`. Set at replay, or detected mid-run by the tail probe in
+    /// [`TxManager::append_record`] (the storage is shared, so a
+    /// claimant's fence lands in this manager's log behind its back).
+    /// Once set, every append fails with [`TxError::Fenced`].
+    fence: Option<(u32, u64)>,
+    /// Log length after this manager's own last append — a tail beyond
+    /// it means another handle wrote (fence detection).
+    wal_len: u64,
     metrics: TxMetrics,
     observe: ObserveLevel,
 }
@@ -215,8 +226,9 @@ impl<S: Storage> TxManager<S> {
         let mut store = BTreeMap::new();
         let mut prepared: HashMap<TxId, PreparedTx> = HashMap::new();
         let mut coordinator_commits = HashMap::new();
-        let mut open_handoffs: HashMap<TxId, (String, u32)> = HashMap::new();
+        let mut open_handoffs: HashMap<TxId, Vec<(String, u32)>> = HashMap::new();
         let mut replayed_handoff_ends: Vec<(TxId, String, u32, bool)> = Vec::new();
+        let mut fence: Option<(u32, u64)> = None;
         let mut max_seq = 0u64;
         // Worklist so `GroupCommit` frames flatten to their member
         // records in order (groups may nest; replay order is preserved
@@ -263,7 +275,7 @@ impl<S: Storage> TxManager<S> {
                 }
                 LogRecord::HandOffBegin { tx, instance, dest } => {
                     max_seq = max_seq.max(tx.seq());
-                    open_handoffs.insert(tx, (instance, dest));
+                    open_handoffs.entry(tx).or_default().push((instance, dest));
                 }
                 LogRecord::HandOffEnd {
                     tx,
@@ -272,11 +284,23 @@ impl<S: Storage> TxManager<S> {
                     committed,
                 } => {
                     max_seq = max_seq.max(tx.seq());
-                    open_handoffs.remove(&tx);
+                    if let Some(batch) = open_handoffs.get_mut(&tx) {
+                        batch.retain(|(name, _)| *name != instance);
+                        if batch.is_empty() {
+                            open_handoffs.remove(&tx);
+                        }
+                    }
                     // The end frame doubles as the 2PC coordinator
                     // decision for the move.
                     coordinator_commits.insert(tx, committed);
                     replayed_handoff_ends.push((tx, instance, dest, committed));
+                }
+                LogRecord::Fence { claimant, epoch } => {
+                    // A claimant reopening storage it fenced itself must
+                    // not be fenced out by its own claim.
+                    if claimant != node {
+                        fence = Some((claimant, epoch));
+                    }
                 }
             }
         }
@@ -289,6 +313,7 @@ impl<S: Storage> TxManager<S> {
                 debug_assert_eq!(acquired, Acquired::Granted);
             }
         }
+        let wal_len = wal.size_bytes();
         Ok(Self {
             node,
             wal,
@@ -302,6 +327,8 @@ impl<S: Storage> TxManager<S> {
             next_seq: max_seq + 1,
             group_depth: 0,
             group_buffer: Vec::new(),
+            fence,
+            wal_len,
             metrics: TxMetrics::register(registry),
             observe,
         })
@@ -690,17 +717,90 @@ impl<S: Storage> TxManager<S> {
         }
     }
 
+    /// Routes a hand-off frame through the open commit group when one
+    /// is active — a drain batching N decisions under one group flushes
+    /// them as a single atomic `GroupCommit` frame (no crash can leave
+    /// half the batch decided) — and appends directly otherwise.
+    fn append_or_buffer(&mut self, record: LogRecord) -> Result<(), TxError> {
+        if self.group_depth > 0 {
+            self.check_fence()?;
+            self.group_buffer.push(record);
+            Ok(())
+        } else {
+            self.append_record(&record)
+        }
+    }
+
     fn append_record(&mut self, record: &LogRecord) -> Result<(), TxError> {
+        self.check_fence()?;
         if self.observe.metrics() {
             let before = self.wal.size_bytes();
             self.wal.append(record)?;
             self.metrics
                 .wal_bytes_per_frame
                 .record(self.wal.size_bytes().saturating_sub(before));
-            Ok(())
         } else {
-            self.wal.append(record)
+            self.wal.append(record)?;
         }
+        self.wal_len = self.wal.size_bytes();
+        Ok(())
+    }
+
+    /// Refuses the next append if another node has claimed this storage.
+    /// Cheap in the common case (a length compare); only when the log
+    /// grew behind our back — some other handle appended — do we scan
+    /// the foreign tail for a [`LogRecord::Fence`].
+    fn check_fence(&mut self) -> Result<(), TxError> {
+        if let Some((claimant, epoch)) = self.fence {
+            return Err(TxError::Fenced { claimant, epoch });
+        }
+        let len = self.wal.size_bytes();
+        if len != self.wal_len {
+            for record in self.wal.scan_from(self.wal_len)? {
+                if let LogRecord::Fence { claimant, epoch } = record {
+                    if claimant != self.node {
+                        self.fence = Some((claimant, epoch));
+                        return Err(TxError::Fenced { claimant, epoch });
+                    }
+                }
+            }
+            // Foreign tail but no fence in it (e.g. our own claim written
+            // through a sibling handle): fold it into the watermark.
+            self.wal_len = len;
+        }
+        Ok(())
+    }
+
+    /// The fence this manager has observed, if any: `(claimant, epoch)`.
+    /// Cached — does not touch storage; use [`TxManager::probe_fence`]
+    /// to actively check the log tail.
+    pub fn fenced(&self) -> Option<(u32, u64)> {
+        self.fence
+    }
+
+    /// Actively checks the log tail for a foreign fence and returns the
+    /// verdict. Lets callers muzzle a zombie *before* it starts mutating
+    /// in-memory state, instead of discovering the fence mid-commit.
+    pub fn probe_fence(&mut self) -> Option<(u32, u64)> {
+        let _ = self.check_fence();
+        self.fence
+    }
+
+    /// Durably claims this storage for `self.node` at membership
+    /// `epoch`: appends a [`LogRecord::Fence`] that every *other* node's
+    /// manager will trip over on its next append (or replay). Writing
+    /// one's own fence again is idempotent; claiming storage another
+    /// node already fenced fails with [`TxError::Fenced`].
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::Fenced`] if a different claimant got there first,
+    /// [`TxError::Storage`] on I/O failure.
+    pub fn write_fence(&mut self, epoch: u64) -> Result<(), TxError> {
+        self.append_record(&LogRecord::Fence {
+            claimant: self.node,
+            epoch,
+        })
     }
 
     fn abort_by_id(&mut self, id: TxId) {
@@ -819,6 +919,9 @@ impl<S: Storage> TxManager<S> {
     ///
     /// Storage errors on rewrite.
     pub fn checkpoint(&mut self) -> Result<(), TxError> {
+        // A fenced manager must not compact: the rewrite would erase the
+        // claimant's Fence record and un-fence the zombie.
+        self.check_fence()?;
         // Buffered group records are already applied to the store, so
         // the snapshot below subsumes them — drop the buffer rather
         // than flushing records the checkpoint would obsolete.
@@ -854,18 +957,24 @@ impl<S: Storage> TxManager<S> {
         let mut open_moves: Vec<LogRecord> = self
             .open_handoffs
             .iter()
-            .map(|(tx, (instance, dest))| LogRecord::HandOffBegin {
-                tx: *tx,
-                instance: instance.clone(),
-                dest: *dest,
+            .flat_map(|(tx, batch)| {
+                batch
+                    .iter()
+                    .map(|(instance, dest)| LogRecord::HandOffBegin {
+                        tx: *tx,
+                        instance: instance.clone(),
+                        dest: *dest,
+                    })
             })
             .collect();
         open_moves.sort_by_key(|r| match r {
-            LogRecord::HandOffBegin { tx, .. } => *tx,
+            LogRecord::HandOffBegin { tx, instance, .. } => (*tx, instance.clone()),
             _ => unreachable!("only begins collected"),
         });
         pending.extend(open_moves);
-        self.wal.rewrite_with_checkpoint(states, pending)
+        self.wal.rewrite_with_checkpoint(states, pending)?;
+        self.wal_len = self.wal.size_bytes();
+        Ok(())
     }
 
     /// Current log size in bytes.
@@ -1039,14 +1148,35 @@ impl<S: Storage> TxManager<S> {
     ///
     /// Storage errors on log append.
     pub fn handoff_begin(&mut self, instance: &str, dest: u32) -> Result<TxId, TxError> {
+        self.handoff_begin_batch(std::slice::from_ref(&instance.to_string()), dest)
+    }
+
+    /// [`TxManager::handoff_begin`] for a whole batch: mints ONE moving
+    /// transaction and logs a begin frame per instance, all bound for
+    /// shard `dest`. Planned drains use this to amortize the 2PC round
+    /// — one prepare/decision pair covers every instance in the batch.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors on log append.
+    pub fn handoff_begin_batch(
+        &mut self,
+        instances: &[String],
+        dest: u32,
+    ) -> Result<TxId, TxError> {
         let tx = self.mint();
         self.metrics.two_pc_rounds.inc();
-        self.append_record(&LogRecord::HandOffBegin {
-            tx,
-            instance: instance.to_string(),
-            dest,
-        })?;
-        self.open_handoffs.insert(tx, (instance.to_string(), dest));
+        for instance in instances {
+            self.append_or_buffer(LogRecord::HandOffBegin {
+                tx,
+                instance: instance.clone(),
+                dest,
+            })?;
+            self.open_handoffs
+                .entry(tx)
+                .or_default()
+                .push((instance.clone(), dest));
+        }
         Ok(tx)
     }
 
@@ -1065,13 +1195,18 @@ impl<S: Storage> TxManager<S> {
         committed: bool,
     ) -> Result<(), TxError> {
         self.metrics.two_pc_rounds.inc();
-        self.append_record(&LogRecord::HandOffEnd {
+        self.append_or_buffer(LogRecord::HandOffEnd {
             tx,
             instance: instance.to_string(),
             dest,
             committed,
         })?;
-        self.open_handoffs.remove(&tx);
+        if let Some(batch) = self.open_handoffs.get_mut(&tx) {
+            batch.retain(|(name, _)| name != instance);
+            if batch.is_empty() {
+                self.open_handoffs.remove(&tx);
+            }
+        }
         self.coordinator_commits.insert(tx, committed);
         Ok(())
     }
@@ -1082,7 +1217,11 @@ impl<S: Storage> TxManager<S> {
         let mut out: Vec<(TxId, String, u32)> = self
             .open_handoffs
             .iter()
-            .map(|(tx, (instance, dest))| (*tx, instance.clone(), *dest))
+            .flat_map(|(tx, batch)| {
+                batch
+                    .iter()
+                    .map(|(instance, dest)| (*tx, instance.clone(), *dest))
+            })
             .collect();
         out.sort();
         out
@@ -1595,6 +1734,96 @@ mod tests {
         let mgr = TxManager::open(0, stable).unwrap();
         assert_eq!(mgr.coordinator_decision(moving), Some(false));
         assert!(mgr.open_handoffs().is_empty());
+    }
+
+    #[test]
+    fn batched_handoff_shares_one_tx_and_ends_per_instance() {
+        let stable = SharedStorage::new();
+        let moving;
+        {
+            let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+            let names: Vec<String> = vec!["wf-1".into(), "wf-2".into(), "wf-3".into()];
+            moving = mgr.handoff_begin_batch(&names, 2).unwrap();
+            assert_eq!(mgr.open_handoffs().len(), 3);
+            mgr.handoff_end(moving, "wf-2", 2, true).unwrap();
+        }
+        // Recovery sees the two undecided members of the batch, not the
+        // decided one.
+        let mut mgr = TxManager::open(0, stable.clone()).unwrap();
+        assert_eq!(
+            mgr.open_handoffs(),
+            vec![
+                (moving, "wf-1".to_string(), 2),
+                (moving, "wf-3".to_string(), 2)
+            ]
+        );
+        // And compaction keeps them.
+        mgr.checkpoint().unwrap();
+        drop(mgr);
+        let mgr = TxManager::open(0, stable).unwrap();
+        assert_eq!(mgr.open_handoffs().len(), 2);
+    }
+
+    #[test]
+    fn fence_blocks_other_nodes_append_mid_run() {
+        let stable = SharedStorage::new();
+        let mut zombie = TxManager::open(0, stable.clone()).unwrap();
+        let a = zombie.begin();
+        zombie.write(&a, &uid("x"), &1u8).unwrap();
+        zombie.commit(a).unwrap();
+        // Another node claims the storage behind the zombie's back.
+        let mut claimant = TxManager::open(2, stable).unwrap();
+        claimant.write_fence(9).unwrap();
+        // The zombie's next durable act trips over the fence.
+        let b = zombie.begin();
+        zombie.write(&b, &uid("x"), &2u8).unwrap();
+        assert_eq!(
+            zombie.commit(b),
+            Err(TxError::Fenced {
+                claimant: 2,
+                epoch: 9
+            })
+        );
+        assert_eq!(zombie.fenced(), Some((2, 9)));
+        // Compaction is refused too — it would erase the fence record.
+        assert!(matches!(zombie.checkpoint(), Err(TxError::Fenced { .. })));
+    }
+
+    #[test]
+    fn fence_survives_replay_and_claimant_is_exempt() {
+        let stable = SharedStorage::new();
+        {
+            let mut claimant = TxManager::open(2, stable.clone()).unwrap();
+            claimant.write_fence(4).unwrap();
+        }
+        // The fenced owner restarting sees the claim at replay.
+        let mut owner = TxManager::open(0, stable.clone()).unwrap();
+        assert_eq!(owner.fenced(), Some((2, 4)));
+        assert_eq!(owner.probe_fence(), Some((2, 4)));
+        let a = owner.begin();
+        owner.write(&a, &uid("x"), &1u8).unwrap();
+        assert!(matches!(owner.commit(a), Err(TxError::Fenced { .. })));
+        // The claimant reopening its own claim is not fenced by it.
+        let mut again = TxManager::open(2, stable).unwrap();
+        assert_eq!(again.fenced(), None);
+        let b = again.begin();
+        again.write(&b, &uid("y"), &2u8).unwrap();
+        again.commit(b).unwrap();
+    }
+
+    #[test]
+    fn second_claimant_loses_to_first() {
+        let stable = SharedStorage::new();
+        let mut first = TxManager::open(2, stable.clone()).unwrap();
+        first.write_fence(4).unwrap();
+        let mut second = TxManager::open(3, stable).unwrap();
+        assert_eq!(
+            second.write_fence(5),
+            Err(TxError::Fenced {
+                claimant: 2,
+                epoch: 4
+            })
+        );
     }
 
     #[test]
